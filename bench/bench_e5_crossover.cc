@@ -1,0 +1,82 @@
+// Experiment E5 — Section 1.3's headline claim: on compressible documents
+// the compressed pipeline "may nevertheless beat the known linear
+// preprocessing and constant delay algorithms for non-compressed documents".
+//
+// Compressibility dial: doc = Block^t for a fixed 64-byte block, t sweeping
+// from 1 (incompressible representation, s ~ d) to 2^14 (s ~ log d). Task:
+// prepare + enumerate the first 64 results. The uncompressed baseline pays
+// O(d) preprocessing on the expanded text; the compressed side pays O(s).
+// The crossover sits where s stops being comparable to d.
+
+#include "core/evaluator.h"
+#include "harness.h"
+#include "slp/factory.h"
+#include "spanner/ref_eval.h"
+#include "spanner/spanner.h"
+#include "textgen/textgen.h"
+
+namespace slpspan {
+namespace {
+
+void RunE5() {
+  // One match per block copy.
+  Result<Spanner> sp = Spanner::Compile(".*x{needle}.*", "abcdelnst ");
+  SLPSPAN_CHECK(sp.ok());
+  SpannerEvaluator ev(*sp);
+  RefEvaluator ref(*sp);
+
+  const std::string block =
+      "scan abc needle tall badcab deed tale nest dance steel eb ";  // 59 bytes
+
+  bench::Table table(
+      "E5: compressed vs uncompressed — prepare + first 64 results",
+      {"t (copies)", "d", "size(S)", "d/s", "t_slp (ms)", "t_ref (ms)", "winner"});
+
+  for (uint64_t copies : {1ull, 4ull, 16ull, 64ull, 256ull, 1024ull, 4096ull,
+                          16384ull}) {
+    const Slp slp = SlpRepeat(block, copies);
+    const uint64_t d = slp.DocumentLength();
+    const std::string doc = GenerateRepeated(block, copies);
+
+    const double t_slp = bench::TimeSeconds(
+        [&] {
+          const PreparedDocument prep = ev.Prepare(slp);
+          uint64_t taken = 0;
+          for (CompressedEnumerator e = ev.Enumerate(prep);
+               e.Valid() && taken < 64; e.Next()) {
+            ++taken;
+          }
+        },
+        /*reps=*/2);
+
+    const double t_ref = bench::TimeSeconds(
+        [&] {
+          uint64_t taken = 0;
+          for (RefEnumerator e = ref.Enumerate(doc); e.Valid() && taken < 64;
+               e.Next()) {
+            ++taken;
+          }
+        },
+        /*reps=*/2);
+
+    table.AddRow({std::to_string(copies), bench::FmtCount(d),
+                  bench::FmtCount(slp.PaperSize()),
+                  bench::FmtDouble(static_cast<double>(d) / slp.PaperSize(), 1),
+                  bench::FmtDouble(t_slp * 1e3, 3), bench::FmtDouble(t_ref * 1e3, 3),
+                  t_slp < t_ref ? "compressed" : "uncompressed"});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: at t = 1 the uncompressed baseline wins (s ~ d but\n"
+      "the compressed side pays q^3 matrix work per rule); as d/s grows the\n"
+      "compressed side flattens while the baseline keeps growing with d —\n"
+      "the crossover lands at moderate d/s, beyond it the gap widens ~d/s.\n");
+}
+
+}  // namespace
+}  // namespace slpspan
+
+int main() {
+  slpspan::RunE5();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Experiment E7 — SLP construction front-ends compared as inputs to the
+// evaluation pipeline (paper Section 1.1: "algorithms for SLP-compressed
+// data carry over to practical formats"). For each workload and compressor:
+// compression ratio, depth, construction time, and downstream evaluation
+// cost (Prepare + full enumeration).
+
+#include "core/evaluator.h"
+#include "harness.h"
+#include "slp/balance.h"
+#include "slp/factory.h"
+#include "slp/lz77.h"
+#include "slp/lz78.h"
+#include "slp/repair.h"
+#include "spanner/spanner.h"
+#include "textgen/textgen.h"
+
+namespace slpspan {
+namespace {
+
+struct Workload {
+  std::string name;
+  std::string text;
+  std::string pattern;
+  std::string alphabet;
+};
+
+std::string FullAscii() {
+  std::string a;
+  for (char c = 32; c < 127; ++c) a += c;
+  a += '\n';
+  return a;
+}
+
+void RunE7() {
+  const std::vector<Workload> workloads = {
+      {"log (1k lines)", GenerateLog({.lines = 1000, .seed = 1}),
+       ".*user=x{u[0-9]+} action=y{[A-Z]+} status=500\n.*", FullAscii()},
+      {"dna (64k)", GenerateDna({.length = 65536, .motif_rate = 0.002, .seed = 2}),
+       ".*x{ACGTACGT}.*", "ACGT"},
+      {"versioned (40x1k)",
+       GenerateVersionedDoc({.base_length = 1000, .versions = 40, .seed = 3}),
+       ".*x{ab}.*", "abcdefghijklmnopqrstuvwxyz ,.\n"},
+      {"random (32k)", GenerateRandom(32768, "abcd", 4), ".*x{abcd}.*", "abcd"},
+  };
+
+  for (const Workload& w : workloads) {
+    Result<Spanner> sp = Spanner::Compile(w.pattern, w.alphabet);
+    SLPSPAN_CHECK(sp.ok());
+    SpannerEvaluator ev(*sp);
+
+    bench::Table table("E7: compressors on " + w.name + " (d = " +
+                           bench::FmtCount(w.text.size()) + ")",
+                       {"compressor", "size(S)", "d/s", "depth", "t_build (ms)",
+                        "t_eval (ms)", "results"});
+
+    struct Entry {
+      const char* name;
+      Slp slp;
+      double build_secs;
+    };
+    std::vector<Entry> entries;
+    {
+      Stopwatch sw;
+      Slp slp = RePairCompress(w.text);
+      entries.push_back({"RePair", std::move(slp), sw.ElapsedSeconds()});
+    }
+    {
+      Stopwatch sw;
+      Slp slp = Lz78Compress(w.text);
+      entries.push_back({"LZ78", std::move(slp), sw.ElapsedSeconds()});
+    }
+    {
+      Stopwatch sw;
+      Slp slp = Lz77Compress(w.text);
+      entries.push_back({"LZ77 (AVL)", std::move(slp), sw.ElapsedSeconds()});
+    }
+    {
+      Stopwatch sw;
+      Slp slp = Rebalance(Lz78Compress(w.text));
+      entries.push_back({"LZ78+rebalance", std::move(slp), sw.ElapsedSeconds()});
+    }
+    {
+      Stopwatch sw;
+      Slp slp = SlpFromString(w.text);
+      entries.push_back({"balanced tree", std::move(slp), sw.ElapsedSeconds()});
+    }
+
+    for (const Entry& entry : entries) {
+      uint64_t results = 0;
+      const double eval_secs = bench::TimeSeconds(
+          [&] {
+            const PreparedDocument prep = ev.Prepare(entry.slp);
+            results = 0;
+            for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+              ++results;
+            }
+          },
+          /*reps=*/1);
+      table.AddRow(
+          {entry.name, bench::FmtCount(entry.slp.PaperSize()),
+           bench::FmtDouble(static_cast<double>(w.text.size()) /
+                                static_cast<double>(entry.slp.PaperSize()),
+                            1),
+           std::to_string(entry.slp.depth()),
+           bench::FmtDouble(entry.build_secs * 1e3, 1),
+           bench::FmtDouble(eval_secs * 1e3, 1), bench::FmtCount(results)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape: RePair yields the smallest grammars on repetitive\n"
+      "inputs (logs/versioned), LZ78 builds fastest at moderate ratios, the\n"
+      "balanced tree never compresses but bounds depth; rebalancing buys a\n"
+      "log-depth grammar for a size factor. Downstream evaluation cost\n"
+      "follows size(S), per Theorems 5.1/7.1/8.10.\n");
+}
+
+}  // namespace
+}  // namespace slpspan
+
+int main() {
+  slpspan::RunE7();
+  return 0;
+}

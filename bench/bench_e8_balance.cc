@@ -1,0 +1,85 @@
+// Experiment E8 — ablation of the Theorem 4.3 stand-in (slp/balance.h):
+// what AVL rebalancing costs (size, build time) and what it buys
+// (logarithmic depth, hence enumeration delay and model-checking cost).
+
+#include "core/evaluator.h"
+#include "harness.h"
+#include "slp/balance.h"
+#include "slp/factory.h"
+#include "slp/lz78.h"
+#include "spanner/spanner.h"
+#include "textgen/textgen.h"
+#include "util/stopwatch.h"
+
+namespace slpspan {
+namespace {
+
+void RunE8() {
+  Result<Spanner> sp = Spanner::Compile("(ab)*x{ab}(ab)*", "ab");
+  SLPSPAN_CHECK(sp.ok());
+  SpannerEvaluator ev(*sp);
+
+  bench::Table table("E8: AVL rebalancing — cost and effect",
+                     {"input slp", "size before", "size after", "depth before",
+                      "depth after", "t_rebalance (ms)", "max delay before (ns)",
+                      "max delay after (ns)"});
+
+  struct Input {
+    std::string name;
+    Slp slp;
+  };
+  const uint64_t m = uint64_t{1} << 12;
+  const std::string doc = GenerateRepeated("ab", m);
+  std::vector<Input> inputs;
+  inputs.push_back({"chain d=8192", SlpChainFromString(doc)});
+  inputs.push_back({"lz78(a^65536)", Lz78Compress(std::string(65536, 'a'))});
+  inputs.push_back({"repeat-rule", SlpRepeat("ab", m)});
+
+  auto max_delay_ns = [&](const Slp& slp) {
+    const PreparedDocument prep = ev.Prepare(slp);
+    double max_ns = 0;
+    uint64_t taken = 0;
+    CompressedEnumerator e = ev.Enumerate(prep);
+    Stopwatch step;
+    while (e.Valid() && taken < 2048) {
+      step.Reset();
+      e.Next();
+      max_ns = std::max(max_ns, static_cast<double>(step.ElapsedNanos()));
+      ++taken;
+    }
+    return max_ns;
+  };
+
+  for (const Input& input : inputs) {
+    Stopwatch sw;
+    const Slp balanced = Rebalance(input.slp);
+    const double t_rebalance = sw.ElapsedSeconds();
+    double before_ns = 0, after_ns = 0;
+    // The unary lz78 input has no "ab" matches; skip its (empty) delay run.
+    const bool evaluable = input.name != "lz78(a^65536)";
+    if (evaluable) {
+      before_ns = max_delay_ns(input.slp);
+      after_ns = max_delay_ns(balanced);
+    }
+    table.AddRow({input.name, bench::FmtCount(input.slp.PaperSize()),
+                  bench::FmtCount(balanced.PaperSize()),
+                  std::to_string(input.slp.depth()), std::to_string(balanced.depth()),
+                  bench::FmtDouble(t_rebalance * 1e3, 2),
+                  evaluable ? bench::FmtDouble(before_ns, 0) : "-",
+                  evaluable ? bench::FmtDouble(after_ns, 0) : "-"});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: depth collapses to <= 1.45 log2(d) + O(1); size\n"
+      "grows by at most the documented O(log d) factor (usually far less);\n"
+      "the worst-case enumeration delay drops in proportion to the depth\n"
+      "reduction (Theorem 8.10's O(depth * |X|) delay).\n");
+}
+
+}  // namespace
+}  // namespace slpspan
+
+int main() {
+  slpspan::RunE8();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Shared harness for the experiment benchmarks (E1..E8): wall-clock timing
+// and aligned markdown table output, so every binary prints the rows that
+// EXPERIMENTS.md records.
+
+#ifndef SLPSPAN_BENCH_HARNESS_H_
+#define SLPSPAN_BENCH_HARNESS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace slpspan {
+namespace bench {
+
+/// Times `fn` (best of `reps` runs) in seconds.
+template <typename Fn>
+double TimeSeconds(Fn&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
+
+inline std::string FmtDouble(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+/// Microseconds with adaptive precision.
+inline std::string FmtMicros(double seconds) {
+  const double us = seconds * 1e6;
+  if (us < 10) return FmtDouble(us, 2);
+  if (us < 1000) return FmtDouble(us, 1);
+  return FmtDouble(us, 0);
+}
+
+inline std::string FmtCount(uint64_t v) {
+  if (v >= 10'000'000) return FmtDouble(static_cast<double>(v) / 1e6, 1) + "M";
+  if (v >= 10'000) return FmtDouble(static_cast<double>(v) / 1e3, 1) + "k";
+  return std::to_string(v);
+}
+
+/// Markdown-style table with aligned columns.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> header)
+      : title_(std::move(title)), header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::printf("\n### %s\n\n", title_.c_str());
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::printf("|");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bench
+}  // namespace slpspan
+
+#endif  // SLPSPAN_BENCH_HARNESS_H_

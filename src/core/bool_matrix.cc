@@ -1,0 +1,66 @@
+#include "core/bool_matrix.h"
+
+#include <sstream>
+
+namespace slpspan {
+
+void BoolMatrix::OrWith(const BoolMatrix& other) {
+  SLPSPAN_CHECK(n_ == other.n_);
+  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+bool BoolMatrix::AnySet() const {
+  for (uint64_t w : bits_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool BoolMatrix::RowAny(uint32_t i) const {
+  const uint64_t* row = Row(i);
+  for (uint32_t w = 0; w < words_; ++w) {
+    if (row[w] != 0) return true;
+  }
+  return false;
+}
+
+BoolMatrix BoolMatrix::Identity(uint32_t n) {
+  BoolMatrix m(n);
+  for (uint32_t i = 0; i < n; ++i) m.Set(i, i);
+  return m;
+}
+
+BoolMatrix BoolMatrix::Multiply(const BoolMatrix& a, const BoolMatrix& b) {
+  SLPSPAN_CHECK(a.n_ == b.n_);
+  BoolMatrix out(a.n_);
+  for (uint32_t i = 0; i < a.n_; ++i) {
+    uint64_t* out_row = out.MutableRow(i);
+    a.ForEachInRow(i, [&](uint32_t k) {
+      const uint64_t* b_row = b.Row(k);
+      for (uint32_t w = 0; w < out.words_; ++w) out_row[w] |= b_row[w];
+    });
+  }
+  return out;
+}
+
+BoolMatrix BoolMatrix::Closure(const BoolMatrix& a) {
+  BoolMatrix cur = Identity(a.n_);
+  cur.OrWith(a);
+  // Repeated squaring until fixpoint: ceil(log2 n) products.
+  while (true) {
+    BoolMatrix next = Multiply(cur, cur);
+    if (next == cur) return cur;
+    cur = std::move(next);
+  }
+}
+
+std::string BoolMatrix::DebugString() const {
+  std::ostringstream os;
+  for (uint32_t i = 0; i < n_; ++i) {
+    for (uint32_t j = 0; j < n_; ++j) os << (Get(i, j) ? '1' : '.');
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace slpspan

@@ -1,0 +1,85 @@
+// Word-packed Boolean q x q matrices — the kernel behind Lemma 4.5 and the
+// Lemma 6.5 preprocessing. Rows are bitsets, so the Boolean product runs in
+// O(q^3 / w) ("combinatorial" algorithm; the paper notes fast matrix
+// multiplication could lower the exponent, which we do not pursue).
+
+#ifndef SLPSPAN_CORE_BOOL_MATRIX_H_
+#define SLPSPAN_CORE_BOOL_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace slpspan {
+
+class BoolMatrix {
+ public:
+  BoolMatrix() = default;
+  explicit BoolMatrix(uint32_t n) : n_(n), words_((n + 63) / 64), bits_(n_ * words_) {}
+
+  uint32_t n() const { return n_; }
+
+  bool Get(uint32_t i, uint32_t j) const {
+    SLPSPAN_DCHECK(i < n_ && j < n_);
+    return (bits_[i * words_ + (j >> 6)] >> (j & 63)) & 1;
+  }
+
+  void Set(uint32_t i, uint32_t j, bool value = true) {
+    SLPSPAN_DCHECK(i < n_ && j < n_);
+    const uint64_t mask = uint64_t{1} << (j & 63);
+    if (value) {
+      bits_[i * words_ + (j >> 6)] |= mask;
+    } else {
+      bits_[i * words_ + (j >> 6)] &= ~mask;
+    }
+  }
+
+  /// Raw row access (words_ words per row).
+  const uint64_t* Row(uint32_t i) const { return bits_.data() + i * words_; }
+  uint64_t* MutableRow(uint32_t i) { return bits_.data() + i * words_; }
+  uint32_t words_per_row() const { return words_; }
+
+  /// this |= other.
+  void OrWith(const BoolMatrix& other);
+
+  bool AnySet() const;
+  bool RowAny(uint32_t i) const;
+
+  /// Iterates the set bits of row i, calling fn(j) in ascending j.
+  template <typename Fn>
+  void ForEachInRow(uint32_t i, Fn fn) const {
+    const uint64_t* row = Row(i);
+    for (uint32_t w = 0; w < words_; ++w) {
+      uint64_t bits = row[w];
+      while (bits != 0) {
+        const uint32_t j = (w << 6) + static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        fn(j);
+      }
+    }
+  }
+
+  bool operator==(const BoolMatrix& o) const { return n_ == o.n_ && bits_ == o.bits_; }
+
+  static BoolMatrix Identity(uint32_t n);
+
+  /// Boolean product a * b (row-oriented: out.row(i) = OR of b.row(k) for
+  /// every k set in a.row(i)).
+  static BoolMatrix Multiply(const BoolMatrix& a, const BoolMatrix& b);
+
+  /// Reflexive-transitive closure (repeated squaring).
+  static BoolMatrix Closure(const BoolMatrix& a);
+
+  std::string DebugString() const;
+
+ private:
+  uint32_t n_ = 0;
+  uint32_t words_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_BOOL_MATRIX_H_

@@ -1,0 +1,111 @@
+#include "core/compute.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace slpspan {
+
+std::vector<MarkerSeq> JoinLists(const std::vector<MarkerSeq>& b_list,
+                                 const std::vector<MarkerSeq>& c_list, uint64_t shift) {
+  std::vector<MarkerSeq> out;
+  out.reserve(b_list.size() * c_list.size());
+  // Outer loop in B-order, inner in C-order: by the monotonicity of ⊗ under
+  // ⪯ the output is sorted; by Lemma 6.9 it is duplicate-free.
+  for (const MarkerSeq& b : b_list) {
+    for (const MarkerSeq& c : c_list) {
+      out.push_back(MarkerSeq::Join(b, c, shift));
+    }
+  }
+  SLPSPAN_DCHECK(IsSortedUnique(out));
+  return out;
+}
+
+namespace {
+
+// (nt, i, j) packed into one key; q is capped so i and j fit 16 bits each.
+uint64_t PackTriple(NtId nt, StateId i, StateId j) {
+  return (static_cast<uint64_t>(nt) << 32) | (static_cast<uint64_t>(i) << 16) | j;
+}
+
+}  // namespace
+
+std::vector<MarkerSeq> ComputeAllMarkerSeqs(const Slp& slp, const Nfa& nfa,
+                                            const EvalTables& tables) {
+  SLPSPAN_CHECK(tables.q() <= 0xFFFF);
+  const std::vector<StateId> final_states = tables.AcceptingNonBot(slp, nfa);
+
+  // Phase 1: discover the needed triples (top-down worklist). Only triples
+  // with R = 1 on inner non-terminals expand further; R = ℮ resolves to {∅}
+  // and leaves resolve to their precomputed cells.
+  std::unordered_set<uint64_t> needed;
+  std::vector<uint64_t> worklist;
+  auto require = [&](NtId nt, StateId i, StateId j) {
+    const uint64_t key = PackTriple(nt, i, j);
+    if (needed.insert(key).second) worklist.push_back(key);
+  };
+  for (StateId j : final_states) require(slp.root(), 0, j);
+  while (!worklist.empty()) {
+    const uint64_t key = worklist.back();
+    worklist.pop_back();
+    const NtId nt = static_cast<NtId>(key >> 32);
+    const StateId i = static_cast<StateId>((key >> 16) & 0xFFFF);
+    const StateId j = static_cast<StateId>(key & 0xFFFF);
+    if (slp.IsLeaf(nt) || tables.R(nt, i, j) != RVal::kOne) continue;
+    tables.ForEachIntermediate(slp, nt, i, j, [&](StateId k) {
+      require(slp.Left(nt), i, k);
+      require(slp.Right(nt), k, j);
+    });
+  }
+
+  // Phase 2: evaluate bottom-up. Topological numbering (children < parents)
+  // makes one ascending pass over non-terminal ids sufficient.
+  std::unordered_map<uint64_t, std::vector<MarkerSeq>> memo;
+  memo.reserve(needed.size());
+
+  // Group the needed triples by non-terminal for the ascending pass.
+  std::vector<std::vector<uint32_t>> pairs_by_nt(slp.NumNonTerminals());
+  for (const uint64_t key : needed) {
+    pairs_by_nt[key >> 32].push_back(static_cast<uint32_t>(key & 0xFFFFFFFF));
+  }
+
+  for (NtId nt = 0; nt < slp.NumNonTerminals(); ++nt) {
+    for (const uint32_t packed_ij : pairs_by_nt[nt]) {
+      const StateId i = packed_ij >> 16;
+      const StateId j = packed_ij & 0xFFFF;
+      const uint64_t key = PackTriple(nt, i, j);
+      std::vector<MarkerSeq> result;
+      const RVal r = tables.R(nt, i, j);
+      if (r == RVal::kBot) {
+        // Possible for root triples only (F' already filters; keep safe).
+      } else if (slp.IsLeaf(nt)) {
+        for (MarkerMask m : tables.LeafCell(nt, i, j)) {
+          result.push_back(m == 0 ? MarkerSeq()
+                                  : MarkerSeq(std::vector<PosMark>{{1, m}}));
+        }
+      } else if (r == RVal::kEmpty) {
+        result.push_back(MarkerSeq());
+      } else {
+        const NtId b = slp.Left(nt), c = slp.Right(nt);
+        const uint64_t shift = slp.Length(b);
+        tables.ForEachIntermediate(slp, nt, i, j, [&](StateId k) {
+          const auto itb = memo.find(PackTriple(b, i, k));
+          const auto itc = memo.find(PackTriple(c, k, j));
+          SLPSPAN_CHECK(itb != memo.end() && itc != memo.end());
+          result = MergeSorted(std::move(result),
+                               JoinLists(itb->second, itc->second, shift));
+        });
+      }
+      memo.emplace(key, std::move(result));
+    }
+  }
+
+  std::vector<MarkerSeq> out;
+  for (StateId j : final_states) {
+    const auto it = memo.find(PackTriple(slp.root(), 0, j));
+    SLPSPAN_CHECK(it != memo.end());
+    out = MergeSorted(std::move(out), it->second);
+  }
+  return out;
+}
+
+}  // namespace slpspan

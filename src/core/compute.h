@@ -1,0 +1,38 @@
+// Computing the full result set ⟦M⟧(D) over an SLP-compressed document —
+// paper Theorem 7.1.
+//
+// Recursive decomposition M_A[i,j] = ⋃_{k ∈ I_A[i,j]} M_B[i,k] ⊗_{|D(B)|}
+// M_C[k,j] (Lemmas 6.6–6.8), evaluated bottom-up over exactly the triples
+// (A,i,j) reachable from the root triples (S0, start, j ∈ F') — the paper's
+// condition (†), which bounds every intermediate list by |⟦M⟧(D)|. All lists
+// are kept ⪯-sorted (the order's monotonicity under ⊗ makes joins of sorted
+// lists sorted), so unions are duplicate-free merges.
+//
+// Inputs are the sentinel-extended SLP and automaton (Section 6.1); the
+// evaluator facade (core/evaluator.h) handles that plumbing.
+
+#ifndef SLPSPAN_CORE_COMPUTE_H_
+#define SLPSPAN_CORE_COMPUTE_H_
+
+#include <vector>
+
+#include "core/tables.h"
+#include "slp/slp.h"
+#include "spanner/marker.h"
+#include "spanner/nfa.h"
+
+namespace slpspan {
+
+/// All marker sets of ⟦M⟧(D), ⪯-sorted, duplicate-free. `slp` and `nfa` must
+/// already carry the sentinel; `tables` must be built from exactly this pair.
+std::vector<MarkerSeq> ComputeAllMarkerSeqs(const Slp& slp, const Nfa& nfa,
+                                            const EvalTables& tables);
+
+/// The ⊗_s join of two ⪯-sorted lists (Definition 6.7); result is ⪯-sorted
+/// and duplicate-free (Lemma 6.9). Exposed for tests.
+std::vector<MarkerSeq> JoinLists(const std::vector<MarkerSeq>& b_list,
+                                 const std::vector<MarkerSeq>& c_list, uint64_t shift);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_COMPUTE_H_

@@ -1,0 +1,157 @@
+#include "core/count.h"
+
+namespace slpspan {
+
+namespace {
+
+uint64_t PackTriple(NtId nt, StateId i, StateId j) {
+  return (static_cast<uint64_t>(nt) << 32) | (static_cast<uint64_t>(i) << 16) | j;
+}
+
+uint64_t SatAdd(uint64_t a, uint64_t b, bool* overflow) {
+  const uint64_t sum = a + b;
+  if (sum < a) {
+    *overflow = true;
+    return UINT64_MAX;
+  }
+  return sum;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b, bool* overflow) {
+  if (a == 0 || b == 0) return 0;
+  if (a > UINT64_MAX / b) {
+    *overflow = true;
+    return UINT64_MAX;
+  }
+  return a * b;
+}
+
+}  // namespace
+
+CountTables::CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& tables)
+    : slp_(&slp), nfa_(&nfa), tables_(&tables) {
+  SLPSPAN_CHECK(nfa.IsDeterministic());  // Lemma 8.7 disjointness needs a DFA
+  SLPSPAN_CHECK(tables.q() <= 0xFFFF);
+  final_states_ = tables.AcceptingNonBot(slp, nfa);
+
+  // Discover the reachable triples exactly like Theorem 7.1's computation.
+  std::vector<uint64_t> worklist;
+  auto require = [&](NtId nt, StateId i, StateId j) {
+    const uint64_t key = PackTriple(nt, i, j);
+    if (counts_.emplace(key, 0).second) worklist.push_back(key);
+  };
+  for (StateId j : final_states_) require(slp.root(), 0, j);
+  for (size_t w = 0; w < worklist.size(); ++w) {
+    const uint64_t key = worklist[w];
+    const NtId nt = static_cast<NtId>(key >> 32);
+    const StateId i = static_cast<StateId>((key >> 16) & 0xFFFF);
+    const StateId j = static_cast<StateId>(key & 0xFFFF);
+    if (slp.IsLeaf(nt) || tables.R(nt, i, j) != RVal::kOne) continue;
+    tables.ForEachIntermediate(slp, nt, i, j, [&](StateId k) {
+      require(slp.Left(nt), i, k);
+      require(slp.Right(nt), k, j);
+    });
+  }
+
+  // Evaluate bottom-up (children have smaller NtIds).
+  std::vector<std::vector<uint32_t>> pairs_by_nt(slp.NumNonTerminals());
+  for (const auto& [key, unused] : counts_) {
+    (void)unused;
+    pairs_by_nt[key >> 32].push_back(static_cast<uint32_t>(key & 0xFFFFFFFF));
+  }
+  for (NtId nt = 0; nt < slp.NumNonTerminals(); ++nt) {
+    for (const uint32_t packed : pairs_by_nt[nt]) {
+      const StateId i = packed >> 16;
+      const StateId j = packed & 0xFFFF;
+      uint64_t count = 0;
+      switch (tables.R(nt, i, j)) {
+        case RVal::kBot:
+          break;
+        case RVal::kEmpty:
+          count = 1;
+          break;
+        case RVal::kOne:
+          if (slp.IsLeaf(nt)) {
+            count = tables.LeafCell(nt, i, j).size();
+          } else {
+            tables.ForEachIntermediate(slp, nt, i, j, [&](StateId k) {
+              const uint64_t cb = counts_.at(PackTriple(slp.Left(nt), i, k));
+              const uint64_t cc = counts_.at(PackTriple(slp.Right(nt), k, j));
+              count = SatAdd(count, SatMul(cb, cc, &overflow_), &overflow_);
+            });
+          }
+          break;
+      }
+      counts_[PackTriple(nt, i, j)] = count;
+    }
+  }
+
+  for (StateId j : final_states_) {
+    total_ = SatAdd(total_, counts_.at(PackTriple(slp.root(), 0, j)), &overflow_);
+  }
+}
+
+uint64_t CountTables::CountOf(NtId nt, StateId i, StateId j) const {
+  const auto it = counts_.find(PackTriple(nt, i, j));
+  SLPSPAN_CHECK(it != counts_.end());
+  return it->second;
+}
+
+MarkerSeq CountTables::Select(uint64_t idx) const {
+  SLPSPAN_CHECK(!overflow_);
+  SLPSPAN_CHECK(idx < total_);
+  // Pick the accepting state bucket first (F' order).
+  NtId root = slp_->root();
+  StateId j_final = 0;
+  for (StateId j : final_states_) {
+    const uint64_t c = CountOf(root, 0, j);
+    if (idx < c) {
+      j_final = j;
+      break;
+    }
+    idx -= c;
+  }
+  std::vector<PosMark> out;
+  SelectInto(root, 0, j_final, idx, 0, &out);
+  return MarkerSeq(std::move(out));
+}
+
+void CountTables::SelectInto(NtId nt, StateId i, StateId j, uint64_t idx,
+                             uint64_t shift, std::vector<PosMark>* out) const {
+  switch (tables_->R(nt, i, j)) {
+    case RVal::kBot:
+      SLPSPAN_CHECK(false);
+      return;
+    case RVal::kEmpty:
+      SLPSPAN_DCHECK(idx == 0);
+      return;  // the single element is the empty marker set
+    case RVal::kOne:
+      break;
+  }
+  if (slp_->IsLeaf(nt)) {
+    const auto& cell = tables_->LeafCell(nt, i, j);
+    SLPSPAN_DCHECK(idx < cell.size());
+    if (cell[idx] != 0) out->push_back({shift + 1, cell[idx]});
+    return;
+  }
+  // Canonical order: ascending k (the K^k buckets are disjoint for a DFA),
+  // within a bucket left-index-major (Lemma 6.9 injectivity).
+  const NtId b = slp_->Left(nt), c = slp_->Right(nt);
+  bool done = false;
+  tables_->ForEachIntermediate(*slp_, nt, i, j, [&](StateId k) {
+    if (done) return;
+    const uint64_t cb = CountOf(b, i, k);
+    const uint64_t cc = CountOf(c, k, j);
+    const uint64_t bucket = cb * cc;  // exact: !overflow_ checked in Select
+    if (idx >= bucket) {
+      idx -= bucket;
+      return;
+    }
+    SelectInto(b, i, k, idx / cc, shift, out);
+    SelectInto(c, k, j, idx % cc, shift + slp_->Length(b), out);
+    done = true;
+  });
+  SLPSPAN_CHECK(done);
+}
+
+}  // namespace slpspan

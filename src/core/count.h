@@ -1,0 +1,68 @@
+// Counting and random access ("select") over the compressed result set —
+// an extension of the paper's toolbox enabled by the same decomposition.
+//
+// For a *deterministic* automaton the decomposition of Lemma 6.8 is a
+// disjoint partition (Lemma 8.7) and every join is injective (Lemma 6.9), so
+//
+//     |M_A[i,j]| = sum over k in I_A[i,j] of |M_B[i,k]| * |M_C[k,j]|
+//
+// holds exactly. One bottom-up pass over the O(size(S) q^2) reachable
+// triples therefore yields |⟦M⟧(D)| *without enumerating anything* — and the
+// same counts unlock O(depth(S) * q) random access: the idx-th result in a
+// fixed canonical order (k-major, then left-index-major) is reconstructed by
+// descending the derivation once, exactly like random access to the i-th
+// document symbol, but on the result set.
+//
+// Counts can exceed 2^64 on adversarial inputs (up to d^(2|X|)); arithmetic
+// saturates and `overflowed()` reports it — Count() is then a lower bound
+// and Select() refuses indexes beyond the exact range.
+
+#ifndef SLPSPAN_CORE_COUNT_H_
+#define SLPSPAN_CORE_COUNT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/tables.h"
+#include "slp/slp.h"
+#include "spanner/marker.h"
+#include "spanner/nfa.h"
+
+namespace slpspan {
+
+/// Per-document result-set counter and selector. Build once per
+/// PreparedDocument (the evaluator facade wraps this as ResultCounter).
+/// Requires a deterministic automaton; CHECK-fails otherwise.
+class CountTables {
+ public:
+  /// `slp`/`nfa` carry the sentinel; `tables` built from exactly this pair.
+  /// O(size(S) * q^2 * q/w) time over the reachable triples.
+  CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& tables);
+
+  /// |⟦M⟧(D)| (saturated at UINT64_MAX if overflowed()).
+  uint64_t Total() const { return total_; }
+
+  /// True if any intermediate count saturated; Total() is then a lower bound.
+  bool overflowed() const { return overflow_; }
+
+  /// The idx-th result (0-based) in the canonical order. idx < Total() and
+  /// !overflowed() required. O(depth(S) * q + |X|) per call.
+  MarkerSeq Select(uint64_t idx) const;
+
+ private:
+  uint64_t CountOf(NtId nt, StateId i, StateId j) const;
+  void SelectInto(NtId nt, StateId i, StateId j, uint64_t idx, uint64_t shift,
+                  std::vector<PosMark>* out) const;
+
+  const Slp* slp_;
+  const Nfa* nfa_;
+  const EvalTables* tables_;
+  std::unordered_map<uint64_t, uint64_t> counts_;  // packed (nt,i,j) -> |M_A[i,j]|
+  std::vector<StateId> final_states_;
+  uint64_t total_ = 0;
+  bool overflow_ = false;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_COUNT_H_

@@ -1,0 +1,99 @@
+#include "core/enumerate.h"
+
+namespace slpspan {
+
+CompressedEnumerator::CompressedEnumerator(const Slp* slp, const Nfa* nfa,
+                                           const EvalTables* tables,
+                                           uint32_t num_vars)
+    : slp_(slp),
+      nfa_(nfa),
+      tables_(tables),
+      num_vars_(num_vars),
+      tree_(slp, tables) {
+  final_states_ = tables_->AcceptingNonBot(*slp_, *nfa_);
+  // Position on the first (j, k) root pair, if any, and produce the first
+  // tree / yield.
+  for (j_idx_ = 0; j_idx_ < final_states_.size(); ++j_idx_) {
+    cur_k_ = tree_.FirstK(slp_->root(), 0, final_states_[j_idx_]);
+    tree_.Init(slp_->root(), 0, final_states_[j_idx_], cur_k_);
+    StartTreeYields();
+    valid_ = true;
+    AssembleCurrent();
+    return;
+  }
+  valid_ = false;
+}
+
+void CompressedEnumerator::StartTreeYields() {
+  tree_.CollectTermLeaves(&leaves_);
+  slots_.clear();
+  slots_.reserve(leaves_.size());
+  for (const MTreeCursor::TermLeaf& leaf : leaves_) {
+    const std::vector<MarkerMask>& cell = tables_->LeafCell(leaf.nt, leaf.i, leaf.j);
+    SLPSPAN_DCHECK(!cell.empty());
+    slots_.push_back({&cell, 0, leaf.shift});
+  }
+}
+
+bool CompressedEnumerator::AdvanceYield() {
+  // Rightmost slot spins fastest (the nested loops of Lemma 8.5).
+  for (size_t s = slots_.size(); s-- > 0;) {
+    if (++slots_[s].idx < slots_[s].list->size()) {
+      for (size_t t = s + 1; t < slots_.size(); ++t) slots_[t].idx = 0;
+      return true;
+    }
+  }
+  return false;  // all combinations emitted (or the tree had no slots)
+}
+
+bool CompressedEnumerator::AdvanceTree() {
+  if (!tree_.Advance()) return false;
+  StartTreeYields();
+  return true;
+}
+
+bool CompressedEnumerator::AdvanceRoot() {
+  const NtId root = slp_->root();
+  while (true) {
+    if (cur_k_ != kExhaustedK) {
+      cur_k_ = tree_.NextK(root, 0, final_states_[j_idx_], cur_k_);
+      if (cur_k_ != kExhaustedK) {
+        tree_.Init(root, 0, final_states_[j_idx_], cur_k_);
+        StartTreeYields();
+        return true;
+      }
+    }
+    if (++j_idx_ >= final_states_.size()) return false;
+    cur_k_ = tree_.FirstK(root, 0, final_states_[j_idx_]);
+    tree_.Init(root, 0, final_states_[j_idx_], cur_k_);
+    StartTreeYields();
+    return true;
+  }
+}
+
+void CompressedEnumerator::Next() {
+  SLPSPAN_CHECK(valid_);
+  if (AdvanceYield() || AdvanceTree() || AdvanceRoot()) {
+    AssembleCurrent();
+    return;
+  }
+  valid_ = false;
+}
+
+void CompressedEnumerator::AssembleCurrent() {
+  std::vector<PosMark> entries;
+  entries.reserve(slots_.size());
+  for (const LeafSlot& slot : slots_) {
+    const MarkerMask mask = (*slot.list)[slot.idx];
+    if (mask != 0) entries.push_back({slot.shift + 1, mask});
+  }
+  current_ = MarkerSeq(std::move(entries));
+}
+
+SpanTuple CompressedEnumerator::Current() const {
+  Result<SpanTuple> t = CurrentMarkers().ToTuple(num_vars_);
+  SLPSPAN_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+}  // namespace slpspan

@@ -1,0 +1,77 @@
+// Enumeration of ⟦M⟧(D) over an SLP-compressed document — paper Theorem 8.10.
+//
+// Three nested cursors, exactly the paper's procedures:
+//   * (j, k)      — j ∈ F' and k ∈ Ī_{S0}[start, j]    (EnumSingleRoot),
+//   * trees       — MTreeCursor over Trees(S0, start, k, j)   (EnumAll),
+//   * yields      — odometer over the terminal-leaf lists M_Tx[i,j] with
+//                   precomputed total shifts              (EnumSingleTree).
+//
+// Preprocessing is the EvalTables construction, O(|M| + size(S)·q³); the
+// delay is O(depth(S)·|X|) — with a balanced SLP, O(log d · |X|).
+// Duplicate-freeness requires the automaton to be deterministic (Lemma 8.8);
+// with an NFA the enumeration is still correct but may repeat tuples.
+
+#ifndef SLPSPAN_CORE_ENUMERATE_H_
+#define SLPSPAN_CORE_ENUMERATE_H_
+
+#include <vector>
+
+#include "core/mtree.h"
+#include "core/tables.h"
+#include "slp/slp.h"
+#include "spanner/marker.h"
+#include "spanner/nfa.h"
+
+namespace slpspan {
+
+/// Pull-style enumerator (RocksDB-iterator idiom):
+///   for (auto e = evaluator.Enumerate(prep); e.Valid(); e.Next()) use(e.Current());
+/// The referenced Slp/Nfa/EvalTables must outlive the enumerator.
+class CompressedEnumerator {
+ public:
+  /// `slp`/`nfa` must carry the sentinel; `tables` built from exactly them.
+  CompressedEnumerator(const Slp* slp, const Nfa* nfa, const EvalTables* tables,
+                       uint32_t num_vars);
+
+  bool Valid() const { return valid_; }
+  void Next();
+
+  const MarkerSeq& CurrentMarkers() const {
+    SLPSPAN_DCHECK(valid_);
+    return current_;
+  }
+  SpanTuple Current() const;
+
+ private:
+  struct LeafSlot {
+    const std::vector<MarkerMask>* list;  // M_Tx[i,j], never empty
+    size_t idx;
+    uint64_t shift;
+  };
+
+  /// Loads the current tree's terminal leaves into slots_ (first yield).
+  void StartTreeYields();
+  bool AdvanceYield();          // odometer over slots_; false = tree done
+  bool AdvanceTree();           // next tree for current (j, k); false = done
+  bool AdvanceRoot();           // next (j, k); false = enumeration done
+  void AssembleCurrent();
+
+  const Slp* slp_;
+  const Nfa* nfa_;
+  const EvalTables* tables_;
+  uint32_t num_vars_;
+
+  std::vector<StateId> final_states_;  // F'
+  size_t j_idx_ = 0;
+  int32_t cur_k_ = kExhaustedK;
+
+  MTreeCursor tree_;
+  std::vector<MTreeCursor::TermLeaf> leaves_;
+  std::vector<LeafSlot> slots_;
+  MarkerSeq current_;
+  bool valid_ = false;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_ENUMERATE_H_

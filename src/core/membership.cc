@@ -1,0 +1,49 @@
+#include "core/membership.h"
+
+namespace slpspan {
+
+BoolMatrix LeafTransitionMatrix(const Nfa& nfa, SymbolId sym, const SymbolTable* table) {
+  const uint32_t q = nfa.NumStates();
+  BoolMatrix m(q);
+  if (SymbolTable::IsMaskSymbol(sym)) {
+    SLPSPAN_CHECK(table != nullptr);
+    const MarkerMask mask = table->MaskOf(sym);
+    for (StateId s = 0; s < q; ++s) {
+      for (const Nfa::MarkArc& a : nfa.MarkArcsFrom(s)) {
+        if (a.mask == mask) m.Set(s, a.to);
+      }
+    }
+  } else {
+    for (StateId s = 0; s < q; ++s) {
+      for (const Nfa::CharArc& a : nfa.CharArcsFrom(s)) {
+        if (a.sym == sym) m.Set(s, a.to);
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<BoolMatrix> NtTransitionMatrices(const Slp& slp, const Nfa& nfa,
+                                             const SymbolTable* table) {
+  SLPSPAN_CHECK(!nfa.HasEpsArcs());
+  std::vector<BoolMatrix> mats(slp.NumNonTerminals());
+  for (NtId a = 0; a < slp.NumNonTerminals(); ++a) {
+    if (slp.IsLeaf(a)) {
+      mats[a] = LeafTransitionMatrix(nfa, slp.LeafSymbol(a), table);
+    } else {
+      mats[a] = BoolMatrix::Multiply(mats[slp.Left(a)], mats[slp.Right(a)]);
+    }
+  }
+  return mats;
+}
+
+bool SlpInLanguage(const Slp& slp, const Nfa& nfa, const SymbolTable* table) {
+  const std::vector<BoolMatrix> mats = NtTransitionMatrices(slp, nfa, table);
+  const BoolMatrix& root = mats[slp.root()];
+  for (StateId j = 0; j < nfa.NumStates(); ++j) {
+    if (nfa.IsAccepting(j) && root.Get(0, j)) return true;
+  }
+  return false;
+}
+
+}  // namespace slpspan

@@ -1,0 +1,36 @@
+// Membership of an SLP-compressed document in a regular language —
+// paper Lemma 4.5.
+//
+// For every non-terminal A, a Boolean q x q matrix M_A with M_A[i][j] = 1 iff
+// the automaton can go from state i to state j reading D(A). Matrices are
+// computed bottom-up: leaves from the transition function, inner rules by
+// Boolean matrix product M_A = M_B * M_C. Total O(|M| + size(S) * q^3 / w).
+
+#ifndef SLPSPAN_CORE_MEMBERSHIP_H_
+#define SLPSPAN_CORE_MEMBERSHIP_H_
+
+#include <vector>
+
+#include "core/bool_matrix.h"
+#include "slp/slp.h"
+#include "spanner/nfa.h"
+#include "spanner/symbol_table.h"
+
+namespace slpspan {
+
+/// Per-leaf-symbol transition matrix of an eps-free NFA. Byte/sentinel
+/// symbols use char arcs; interned mask symbols (model checking's spliced
+/// documents) use mark arcs with the exact mask. `table` may be null when
+/// `sym` is not a mask symbol.
+BoolMatrix LeafTransitionMatrix(const Nfa& nfa, SymbolId sym, const SymbolTable* table);
+
+/// All matrices M_A, indexed by NtId (Lemma 4.5). `nfa` must be eps-free.
+std::vector<BoolMatrix> NtTransitionMatrices(const Slp& slp, const Nfa& nfa,
+                                             const SymbolTable* table);
+
+/// D(S) ∈ L(M)? `nfa` must be eps-free (Normalize() first if needed).
+bool SlpInLanguage(const Slp& slp, const Nfa& nfa, const SymbolTable* table = nullptr);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_MEMBERSHIP_H_

@@ -1,0 +1,74 @@
+#include "core/model_check.h"
+
+#include <functional>
+
+#include "core/membership.h"
+#include "slp/factory.h"
+
+namespace slpspan {
+
+Slp SpliceMarkers(const Slp& slp, const MarkerSeq& markers, SymbolTable* table) {
+  SLPSPAN_CHECK(markers.empty() || markers.MaxPos() <= slp.DocumentLength());
+
+  // Distinct names for equal expansions are required here (the path copies
+  // must not collapse back onto the original non-terminals), hence no pair
+  // dedup.
+  CnfAssembler a(/*dedup_pairs=*/false);
+
+  // Import the original rules; shared subtrees stay shared.
+  std::vector<NtId> imported(slp.NumNonTerminals());
+  for (NtId x = 0; x < slp.NumNonTerminals(); ++x) {
+    imported[x] = slp.IsLeaf(x)
+                      ? a.Leaf(slp.LeafSymbol(x))
+                      : a.Pair(imported[slp.Left(x)], imported[slp.Right(x)]);
+  }
+
+  const auto& entries = markers.entries();
+
+  // Splice(nt, [lo, hi), base): fresh non-terminal deriving m(D(nt), the
+  // markers entries[lo..hi) relative to absolute offset `base`). Only the
+  // O(#entries * depth) path copies are fresh; untouched subtrees reuse the
+  // imported rules. Marker position p marks the gap *before* document
+  // position p, so entry p belongs to the left child iff p <= base + |D(B)|.
+  std::function<NtId(NtId, size_t, size_t, uint64_t)> splice =
+      [&](NtId nt, size_t lo, size_t hi, uint64_t base) -> NtId {
+    if (lo == hi) return imported[nt];
+    if (slp.IsLeaf(nt)) {
+      SLPSPAN_CHECK(hi - lo == 1 && entries[lo].pos == base + 1);
+      const NtId mask_leaf = a.Leaf(table->InternMask(entries[lo].marks));
+      return a.Pair(mask_leaf, imported[nt]);
+    }
+    const NtId b = slp.Left(nt), c = slp.Right(nt);
+    const uint64_t left_len = slp.Length(b);
+    size_t mid = lo;
+    while (mid < hi && entries[mid].pos <= base + left_len) ++mid;
+    const NtId new_b = splice(b, lo, mid, base);
+    const NtId new_c = splice(c, mid, hi, base + left_len);
+    return a.Pair(new_b, new_c);
+  };
+
+  const NtId root = splice(slp.root(), 0, entries.size(), 0);
+  return a.Finish(root);
+}
+
+bool CheckModelPrepared(const Slp& slp_with_sentinel, const Nfa& nfa_with_sentinel,
+                        const SpanTuple& t) {
+  const uint64_t d = slp_with_sentinel.DocumentLength() - 1;  // without '#'
+  for (VarId v = 0; v < t.num_vars(); ++v) {
+    const auto& s = t.Get(v);
+    if (s.has_value() && (s->begin < 1 || s->end > d + 1)) return false;
+  }
+  SymbolTable table;
+  // Positions are <= d+1 = |D#|, so every marker lands before a character.
+  const Slp spliced =
+      SpliceMarkers(slp_with_sentinel, MarkerSeq::FromTuple(t), &table);
+  return SlpInLanguage(spliced, nfa_with_sentinel, &table);
+}
+
+bool CheckModel(const Slp& slp, const Spanner& spanner, const SpanTuple& t) {
+  const Slp with_sentinel = SlpAppendSymbol(slp, kSentinelSymbol);
+  const Nfa nfa = AppendSentinel(spanner.normalized());
+  return CheckModelPrepared(with_sentinel, nfa, t);
+}
+
+}  // namespace slpspan

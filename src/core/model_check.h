@@ -1,0 +1,41 @@
+// Model checking t ∈ ⟦M⟧(D) over an SLP-compressed document —
+// paper Theorem 5.1(2).
+//
+// The SLP S for D is transformed into an SLP S' for the subword-marked word
+// m(D, t) by splicing the ≤ 2|X| marker-set symbols of t into the derivation:
+// one root-to-leaf path is partially re-built per marked position, adding
+// O(|X| * depth(S)) fresh non-terminals, never expanding the document. Then
+// t ∈ ⟦M⟧(D)  ⇔  D(S') ∈ L(M)  (Proposition 3.3), decided by Lemma 4.5.
+//
+// Positions d+1 (spans ending past the last symbol) are handled by the
+// Section 6.1 sentinel: the caller passes the sentinel-extended SLP and
+// automaton, making position d+1 an ordinary "before-character" position.
+
+#ifndef SLPSPAN_CORE_MODEL_CHECK_H_
+#define SLPSPAN_CORE_MODEL_CHECK_H_
+
+#include "slp/slp.h"
+#include "spanner/marker.h"
+#include "spanner/spanner.h"
+#include "spanner/symbol_table.h"
+
+namespace slpspan {
+
+/// Builds the SLP for m(D(slp), markers): every marker-set of `markers` is
+/// spliced in front of the document position it marks. Positions must be in
+/// [1, |D|]; interned mask symbols are allocated from `table`.
+/// O(size(S) + |markers| * depth(S)) output size.
+Slp SpliceMarkers(const Slp& slp, const MarkerSeq& markers, SymbolTable* table);
+
+/// t ∈ ⟦M⟧(D(slp))? Self-contained variant (appends the sentinel to both the
+/// SLP and the automaton internally).
+bool CheckModel(const Slp& slp, const Spanner& spanner, const SpanTuple& t);
+
+/// Lower-level entry point over pre-sentineled inputs (cached by the
+/// evaluator): `slp_with_sentinel` = D#, `nfa_with_sentinel` = L(M)·#.
+bool CheckModelPrepared(const Slp& slp_with_sentinel, const Nfa& nfa_with_sentinel,
+                        const SpanTuple& t);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_MODEL_CHECK_H_

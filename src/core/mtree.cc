@@ -1,0 +1,194 @@
+#include "core/mtree.h"
+
+#include <sstream>
+
+namespace slpspan {
+
+int32_t MTreeCursor::FirstK(NtId nt, StateId i, StateId j) const {
+  SLPSPAN_DCHECK(tables_->NonBot(nt, i, j));
+  if (slp_->IsLeaf(nt) || tables_->R(nt, i, j) == RVal::kEmpty) return kBaseCase;
+  const int32_t k = tables_->NextIntermediate(*slp_, nt, i, j, -1);
+  SLPSPAN_DCHECK(k >= 0);  // R = 1 on an inner rule implies I_A[i,j] != empty
+  return k;
+}
+
+int32_t MTreeCursor::NextK(NtId nt, StateId i, StateId j, int32_t cur) const {
+  if (cur == kBaseCase) return kExhaustedK;  // Ī = {b} is a singleton
+  const int32_t k = tables_->NextIntermediate(*slp_, nt, i, j, cur);
+  return k >= 0 ? k : kExhaustedK;
+}
+
+int32_t MTreeCursor::NewNode() {
+  if (!free_list_.empty()) {
+    const int32_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  pool_.emplace_back();
+  return static_cast<int32_t>(pool_.size() - 1);
+}
+
+void MTreeCursor::FreeSubtree(int32_t idx) {
+  if (idx < 0) return;
+  std::vector<int32_t> stack{idx};
+  while (!stack.empty()) {
+    const int32_t cur = stack.back();
+    stack.pop_back();
+    if (pool_[cur].left >= 0) stack.push_back(pool_[cur].left);
+    if (pool_[cur].right >= 0) stack.push_back(pool_[cur].right);
+    pool_[cur].left = pool_[cur].right = -1;
+    free_list_.push_back(cur);
+  }
+}
+
+int32_t MTreeCursor::BuildFirst(NtId nt, StateId i, StateId j, int32_t k) {
+  const int32_t idx = NewNode();
+  Node& n = pool_[idx];
+  n.nt = nt;
+  n.i = i;
+  n.j = j;
+  n.k = k;
+  n.left = n.right = -1;
+  if (k == kBaseCase) {
+    n.kind = tables_->R(nt, i, j) == RVal::kEmpty ? Kind::kEmptyLeaf : Kind::kTermLeaf;
+    SLPSPAN_DCHECK(n.kind == Kind::kEmptyLeaf || slp_->IsLeaf(nt));
+    return idx;
+  }
+  n.kind = Kind::kInner;
+  const NtId b = slp_->Left(nt), c = slp_->Right(nt);
+  const StateId kk = static_cast<StateId>(k);
+  const int32_t left = BuildFirst(b, i, kk, FirstK(b, i, kk));
+  const int32_t right = BuildFirst(c, kk, j, FirstK(c, kk, j));
+  pool_[idx].left = left;   // n may be dangling after recursive pool growth
+  pool_[idx].right = right;
+  return idx;
+}
+
+void MTreeCursor::Init(NtId nt, StateId i, StateId j, int32_t k) {
+  FreeSubtree(root_);
+  root_ = BuildFirst(nt, i, j, k);
+}
+
+bool MTreeCursor::Advance() { return AdvanceNode(root_); }
+
+bool MTreeCursor::AdvanceNode(int32_t idx) {
+  // Odometer per Algorithm 1: the right subtree (the C-loop) spins fastest,
+  // then the left subtree (B-loop), then the (k_B, k_C) pair (states-loop,
+  // k_C fastest). Base-case nodes represent singleton tree sets.
+  //
+  // All fields are copied up front: recursive calls may grow the node pool,
+  // so references into it must not be held across them. A failed AdvanceNode
+  // never mutates its subtree, so the copied child indices stay valid.
+  if (pool_[idx].kind != Kind::kInner) return false;
+  const NtId nt = pool_[idx].nt;
+  const StateId i = pool_[idx].i, j = pool_[idx].j;
+  const StateId k = static_cast<StateId>(pool_[idx].k);
+  const NtId b = slp_->Left(nt), c = slp_->Right(nt);
+  const int32_t left = pool_[idx].left, right = pool_[idx].right;
+
+  if (AdvanceNode(right)) return true;
+
+  if (AdvanceNode(left)) {
+    // Within the same (k_B, k_C) pair: right restarts from its first tree.
+    const int32_t kc = pool_[right].k;
+    FreeSubtree(right);
+    const int32_t new_right = BuildFirst(c, k, j, kc);
+    pool_[idx].right = new_right;
+    return true;
+  }
+
+  // Next k_C; both subtrees restart (the TB loop is inside the pair loop).
+  const int32_t kc_next = NextK(c, k, j, pool_[right].k);
+  if (kc_next != kExhaustedK) {
+    const int32_t kb = pool_[left].k;
+    FreeSubtree(left);
+    FreeSubtree(right);
+    const int32_t new_left = BuildFirst(b, i, k, kb);
+    const int32_t new_right = BuildFirst(c, k, j, kc_next);
+    pool_[idx].left = new_left;
+    pool_[idx].right = new_right;
+    return true;
+  }
+
+  // Next k_B; k_C restarts from the front.
+  const int32_t kb_next = NextK(b, i, k, pool_[left].k);
+  if (kb_next != kExhaustedK) {
+    FreeSubtree(left);
+    FreeSubtree(right);
+    const int32_t new_left = BuildFirst(b, i, k, kb_next);
+    const int32_t new_right = BuildFirst(c, k, j, FirstK(c, k, j));
+    pool_[idx].left = new_left;
+    pool_[idx].right = new_right;
+    return true;
+  }
+  return false;
+}
+
+void MTreeCursor::CollectTermLeaves(std::vector<TermLeaf>* out) const {
+  out->clear();
+  SLPSPAN_CHECK(root_ >= 0);
+  Collect(root_, 0, out);
+}
+
+void MTreeCursor::Collect(int32_t idx, uint64_t shift,
+                          std::vector<TermLeaf>* out) const {
+  // Iterative left-to-right traversal (tree depth can reach depth(S)).
+  std::vector<std::pair<int32_t, uint64_t>> stack{{idx, shift}};
+  while (!stack.empty()) {
+    const auto [cur, cur_shift] = stack.back();
+    stack.pop_back();
+    const Node& n = pool_[cur];
+    switch (n.kind) {
+      case Kind::kEmptyLeaf:
+        break;
+      case Kind::kTermLeaf:
+        out->push_back({n.nt, n.i, n.j, cur_shift});
+        break;
+      case Kind::kInner:
+        // Right pushed first so the left subtree is visited first.
+        stack.push_back({n.right, cur_shift + slp_->Length(slp_->Left(n.nt))});
+        stack.push_back({n.left, cur_shift});
+        break;
+    }
+  }
+}
+
+uint32_t MTreeCursor::NumLiveNodes() const {
+  if (root_ < 0) return 0;
+  uint32_t count = 0;
+  std::vector<int32_t> stack{root_};
+  while (!stack.empty()) {
+    const int32_t idx = stack.back();
+    stack.pop_back();
+    ++count;
+    const Node& n = pool_[idx];
+    if (n.left >= 0) stack.push_back(n.left);
+    if (n.right >= 0) stack.push_back(n.right);
+  }
+  return count;
+}
+
+std::string MTreeCursor::DebugString(const VariableSet& vars) const {
+  (void)vars;
+  std::ostringstream os;
+  std::vector<std::pair<int32_t, int>> stack{{root_, 0}};
+  while (!stack.empty()) {
+    auto [idx, indent] = stack.back();
+    stack.pop_back();
+    if (idx < 0) continue;
+    const Node& n = pool_[idx];
+    for (int s = 0; s < indent; ++s) os << "  ";
+    os << "N" << n.nt << "<" << n.i;
+    if (n.kind == Kind::kInner) {
+      os << "|" << n.k << "|" << n.j << ">";
+    } else {
+      os << "|" << n.j << (n.kind == Kind::kEmptyLeaf ? ",e>" : ",1>");
+    }
+    os << "\n";
+    stack.push_back({n.right, indent + 1});
+    stack.push_back({n.left, indent + 1});
+  }
+  return os.str();
+}
+
+}  // namespace slpspan

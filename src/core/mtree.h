@@ -1,0 +1,96 @@
+// (M,S)-trees and their enumeration — paper Section 8 / Algorithm 1.
+//
+// An (M,S)-tree is an ordered binary tree over node labels
+//   A⟨i ◃ k ◃ j⟩  (inner non-terminal, intermediate state k ∈ I_A[i,j]),
+//   A⟨i ◃ j, ℮⟩   (empty-leaf: M_A[i,j] = {∅}),
+//   T_x⟨i ◃ j, 1⟩ (terminal-leaf: yields the precomputed M_Tx[i,j]),
+// with the arc to the right child implicitly carrying the shift |D(B)|.
+//
+// MTreeCursor enumerates Trees(A, i, k, j) exactly as the paper's EnumAll
+// (Lemma 8.9): for every node, the (k_B, k_C) pair loop is outermost, the
+// left subtree next, the right subtree innermost. Implemented as an odometer
+// over an explicit node pool; advancing costs O(|X| * depth) like the paper's
+// bound max(A,i,k,j) (Lemma 8.4). Intermediate-state sets Ī are iterated
+// directly off the bit-matrix tables (never materialized).
+
+#ifndef SLPSPAN_CORE_MTREE_H_
+#define SLPSPAN_CORE_MTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tables.h"
+#include "slp/slp.h"
+
+namespace slpspan {
+
+/// k value encoding for Ī_A[i,j]: kBaseCase is the paper's `b` (used for
+/// leaf non-terminals and R = ℮ entries); kExhausted terminates iteration.
+constexpr int32_t kBaseCase = -1;
+constexpr int32_t kExhaustedK = -2;
+
+class MTreeCursor {
+ public:
+  MTreeCursor(const Slp* slp, const EvalTables* tables)
+      : slp_(slp), tables_(tables) {}
+
+  /// First element of Ī_A[i,j] (kBaseCase for leaf non-terminals and ℮
+  /// entries, otherwise the smallest intermediate state). R must be ≠ ⊥.
+  int32_t FirstK(NtId nt, StateId i, StateId j) const;
+
+  /// Successor of `cur` in Ī_A[i,j]; kExhaustedK when done.
+  int32_t NextK(NtId nt, StateId i, StateId j, int32_t cur) const;
+
+  /// Positions the cursor on the first tree of Trees(A, i, k, j).
+  void Init(NtId nt, StateId i, StateId j, int32_t k);
+
+  /// Moves to the next tree; false when Trees(A, i, k, j) is exhausted.
+  bool Advance();
+
+  /// A terminal-leaf of the current tree together with its total shift (sum
+  /// of arc labels from the root; document position = shift + 1).
+  struct TermLeaf {
+    NtId nt;
+    StateId i;
+    StateId j;
+    uint64_t shift;
+  };
+
+  /// Terminal leaves of the current tree, left-to-right (ascending shifts).
+  void CollectTermLeaves(std::vector<TermLeaf>* out) const;
+
+  /// Number of live nodes of the current tree (tests: Lemma 8.4 bound).
+  uint32_t NumLiveNodes() const;
+
+  std::string DebugString(const VariableSet& vars) const;
+
+ private:
+  enum class Kind : uint8_t { kInner, kEmptyLeaf, kTermLeaf };
+
+  struct Node {
+    NtId nt;
+    StateId i, j;
+    int32_t k;        // own intermediate (kInner only)
+    Kind kind;
+    int32_t left = -1, right = -1;
+  };
+
+  int32_t NewNode();
+  void FreeSubtree(int32_t idx);
+  /// Builds the first tree for (nt, i, j) with the given k (kBaseCase for the
+  /// single-node base trees); returns the node index.
+  int32_t BuildFirst(NtId nt, StateId i, StateId j, int32_t k);
+  bool AdvanceNode(int32_t idx);
+  void Collect(int32_t idx, uint64_t shift, std::vector<TermLeaf>* out) const;
+
+  const Slp* slp_;
+  const EvalTables* tables_;
+  std::vector<Node> pool_;
+  std::vector<int32_t> free_list_;
+  int32_t root_ = -1;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_MTREE_H_

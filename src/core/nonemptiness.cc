@@ -1,0 +1,16 @@
+#include "core/nonemptiness.h"
+
+#include "core/membership.h"
+
+namespace slpspan {
+
+bool CheckNonEmptinessProjected(const Slp& slp, const Nfa& projected_char_nfa) {
+  return SlpInLanguage(slp, projected_char_nfa, nullptr);
+}
+
+bool CheckNonEmptiness(const Slp& slp, const Spanner& spanner) {
+  const Nfa projected = Normalize(ProjectMarkersToEps(spanner.normalized()));
+  return CheckNonEmptinessProjected(slp, projected);
+}
+
+}  // namespace slpspan

@@ -1,0 +1,26 @@
+// Non-emptiness of the result set over an SLP-compressed document —
+// paper Theorem 5.1(1).
+//
+// ⟦M⟧(D) ≠ ∅ iff M accepts *some* subword-marked word w with e(w) = D, so
+// projecting every marker transition to eps and checking plain membership of
+// D (Lemma 4.5) decides it in O(|M| + size(S) * q^3).
+
+#ifndef SLPSPAN_CORE_NONEMPTINESS_H_
+#define SLPSPAN_CORE_NONEMPTINESS_H_
+
+#include "slp/slp.h"
+#include "spanner/spanner.h"
+
+namespace slpspan {
+
+/// ⟦M⟧(D(slp)) ≠ ∅ ?
+bool CheckNonEmptiness(const Slp& slp, const Spanner& spanner);
+
+/// Lower-level entry point taking the already-projected char automaton
+/// (Normalize(ProjectMarkersToEps(normalized))); exposed so the evaluator
+/// can cache the projection across documents.
+bool CheckNonEmptinessProjected(const Slp& slp, const Nfa& projected_char_nfa);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_NONEMPTINESS_H_

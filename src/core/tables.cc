@@ -1,0 +1,81 @@
+#include "core/tables.h"
+
+#include <algorithm>
+
+namespace slpspan {
+
+EvalTables::EvalTables(const Slp& slp, const Nfa& nfa) {
+  SLPSPAN_CHECK(!nfa.HasEpsArcs());
+  q_ = nfa.NumStates();
+  const uint32_t n = slp.NumNonTerminals();
+  u_.resize(n);
+  w_.resize(n);
+  leaf_index_.assign(n, UINT32_MAX);
+
+  for (NtId a = 0; a < n; ++a) {
+    if (!slp.IsLeaf(a)) {
+      // U_A = U_B·U_C ;  W_A = (U_B|W_B)·W_C ∨ W_B·U_C.
+      const NtId b = slp.Left(a), c = slp.Right(a);
+      u_[a] = BoolMatrix::Multiply(u_[b], u_[c]);
+      BoolMatrix any_b = u_[b];
+      any_b.OrWith(w_[b]);
+      w_[a] = BoolMatrix::Multiply(any_b, w_[c]);
+      w_[a].OrWith(BoolMatrix::Multiply(w_[b], u_[c]));
+      continue;
+    }
+
+    // Leaf tables (Lemma 6.5): M_Tx[i,j] = { p(A1 x) : i --A1 x--> j }.
+    const SymbolId x = slp.LeafSymbol(a);
+    leaf_index_[a] = static_cast<uint32_t>(leaf_cells_.size());
+    leaf_cells_.emplace_back(static_cast<size_t>(q_) * q_);
+    auto& cells = leaf_cells_.back();
+    u_[a] = BoolMatrix(q_);
+    w_[a] = BoolMatrix(q_);
+
+    for (StateId i = 0; i < q_; ++i) {
+      // Direct char arc: the unmarked word x, element ∅.
+      for (const Nfa::CharArc& ca : nfa.CharArcsFrom(i)) {
+        if (ca.sym == x) {
+          cells[i * q_ + ca.to].push_back(0);
+          u_[a].Set(i, ca.to);
+        }
+      }
+      // Marker set then char: i --mask--> l --x--> j, element {(1, mask)}.
+      for (const Nfa::MarkArc& ma : nfa.MarkArcsFrom(i)) {
+        for (const Nfa::CharArc& ca : nfa.CharArcsFrom(ma.to)) {
+          if (ca.sym == x) {
+            cells[i * q_ + ca.to].push_back(ma.mask);
+            w_[a].Set(i, ca.to);
+          }
+        }
+      }
+    }
+    // Sort every cell by the paper's ⪯ (non-empty masks first — the empty
+    // set is a prefix of everything, hence largest) and deduplicate.
+    for (auto& cell : cells) {
+      std::sort(cell.begin(), cell.end(), [](MarkerMask m1, MarkerMask m2) {
+        return CompareMasks(m1, m2) < 0;
+      });
+      cell.erase(std::unique(cell.begin(), cell.end()), cell.end());
+    }
+  }
+}
+
+int32_t EvalTables::NextIntermediate(const Slp& slp, NtId a, StateId i, StateId j,
+                                     int32_t after) const {
+  const NtId b = slp.Left(a), c = slp.Right(a);
+  for (uint32_t k = static_cast<uint32_t>(after + 1); k < q_; ++k) {
+    if (NonBot(b, i, k) && NonBot(c, k, j)) return static_cast<int32_t>(k);
+  }
+  return -1;
+}
+
+std::vector<StateId> EvalTables::AcceptingNonBot(const Slp& slp, const Nfa& nfa) const {
+  std::vector<StateId> out;
+  for (StateId j = 0; j < q_; ++j) {
+    if (nfa.IsAccepting(j) && NonBot(slp.root(), 0, j)) out.push_back(j);
+  }
+  return out;
+}
+
+}  // namespace slpspan

@@ -1,0 +1,104 @@
+// Preprocessing data structures of Lemma 6.5.
+//
+// For every non-terminal A the paper's matrix R_A over {⊥, ℮, 1} classifies
+// M_A[i,j] (Definition 6.2/6.4):
+//   ⊥  no marked word takes i to j over D(A),
+//   ℮  only the unmarked word does           (M_A[i,j] = {∅}),
+//   1  some properly marked word does.
+// We store R_A as two bit-matrices:
+//   U_A[i,j] = a run over D(A) with no markers exists,
+//   W_A[i,j] = a run with at least one marker exists,
+// with recurrences U_A = U_B·U_C and W_A = (U_B|W_B)·W_C | W_B·U_C.
+//
+// I_A[i,j] = { k : R_B[i,k] ≠ ⊥ ∧ R_C[k,j] ≠ ⊥ } is *derived on demand* from
+// rows of NZ = U|W (ForEachIntermediate) instead of being materialized —
+// same asymptotic preprocessing cost, O(size(S) q^2 / 8) memory instead of
+// O(size(S) q^3).
+//
+// For every leaf non-terminal T_x the full set M_Tx[i,j] is materialized:
+// each element is either ∅ or a single marker set at position 1, so one
+// MarkerMask per element (0 encodes ∅), kept ⪯-sorted.
+
+#ifndef SLPSPAN_CORE_TABLES_H_
+#define SLPSPAN_CORE_TABLES_H_
+
+#include <vector>
+
+#include "core/bool_matrix.h"
+#include "slp/slp.h"
+#include "spanner/nfa.h"
+#include "spanner/symbol_table.h"
+#include "spanner/variables.h"
+
+namespace slpspan {
+
+/// R_A[i,j] values (Definition 6.4).
+enum class RVal : uint8_t {
+  kBot,    ///< M_A[i,j] = ∅
+  kEmpty,  ///< M_A[i,j] = {∅}      (the paper's ℮)
+  kOne,    ///< M_A[i,j] contains a non-empty marker set
+};
+
+class EvalTables {
+ public:
+  /// Builds all tables bottom-up. `nfa` must be eps-free (normalized; the
+  /// evaluator also applies the sentinel transform first). O(|M| + s·q³/w).
+  EvalTables(const Slp& slp, const Nfa& nfa);
+
+  uint32_t q() const { return q_; }
+
+  RVal R(NtId a, StateId i, StateId j) const {
+    if (w_[a].Get(i, j)) return RVal::kOne;
+    return u_[a].Get(i, j) ? RVal::kEmpty : RVal::kBot;
+  }
+
+  /// R_A[i,j] ≠ ⊥.
+  bool NonBot(NtId a, StateId i, StateId j) const {
+    return u_[a].Get(i, j) || w_[a].Get(i, j);
+  }
+
+  const BoolMatrix& U(NtId a) const { return u_[a]; }
+  const BoolMatrix& W(NtId a) const { return w_[a]; }
+
+  /// Calls fn(k) for every k ∈ I_A[i,j], ascending (A must be inner).
+  template <typename Fn>
+  void ForEachIntermediate(const Slp& slp, NtId a, StateId i, StateId j,
+                           Fn fn) const {
+    const NtId b = slp.Left(a), c = slp.Right(a);
+    const uint64_t* ub = u_[b].Row(i);
+    const uint64_t* wb = w_[b].Row(i);
+    const uint32_t words = u_[b].words_per_row();
+    for (uint32_t w = 0; w < words; ++w) {
+      uint64_t bits = ub[w] | wb[w];
+      while (bits != 0) {
+        const StateId k = (w << 6) + static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        if (NonBot(c, k, j)) fn(k);
+      }
+    }
+  }
+
+  /// First k ∈ I_A[i,j] strictly greater than `after` (use after = -1 for the
+  /// first), or -1 if none. Powers the O(1)-memory iteration of EnumAll.
+  int32_t NextIntermediate(const Slp& slp, NtId a, StateId i, StateId j,
+                           int32_t after) const;
+
+  /// M_Tx[i,j] for a leaf non-terminal: ⪯-sorted element masks (0 = ∅).
+  const std::vector<MarkerMask>& LeafCell(NtId leaf, StateId i, StateId j) const {
+    SLPSPAN_DCHECK(leaf_index_[leaf] != UINT32_MAX);
+    return leaf_cells_[leaf_index_[leaf]][i * q_ + j];
+  }
+
+  /// Accepting states j with R_S0[start, j] ≠ ⊥ (the paper's F').
+  std::vector<StateId> AcceptingNonBot(const Slp& slp, const Nfa& nfa) const;
+
+ private:
+  uint32_t q_ = 0;
+  std::vector<BoolMatrix> u_, w_;              // per NtId
+  std::vector<uint32_t> leaf_index_;           // NtId -> index or UINT32_MAX
+  std::vector<std::vector<std::vector<MarkerMask>>> leaf_cells_;  // [leaf][i*q+j]
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_TABLES_H_

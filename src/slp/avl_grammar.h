@@ -1,0 +1,145 @@
+// Persistent AVL grammars — shared machinery behind Rebalance()
+// (slp/balance.h) and the LZ77 -> SLP conversion (slp/lz77.h).
+//
+// An AVL grammar is a normal-form SLP whose derivation trees satisfy the AVL
+// balance invariant, so every node's height is <= 1.4405 log2(d + 2). All
+// nodes are immutable (they are grammar rules, possibly shared), so the
+// classic tree operations are implemented persistently:
+//   * Join(l, r)    — grammar for D(l) D(r), O(|height(l) - height(r)|)
+//                     fresh nodes (key-less "Just Join"),
+//   * Split(t, k)   — grammars for the first k symbols and the rest,
+//                     O(height) fresh nodes,
+//   * Extract(t, i, j) — grammar for D(t)[i..j), two splits.
+// Garbage nodes created along the way are pruned by CnfAssembler::Finish.
+
+#ifndef SLPSPAN_SLP_AVL_GRAMMAR_H_
+#define SLPSPAN_SLP_AVL_GRAMMAR_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "slp/slp.h"
+
+namespace slpspan {
+namespace internal {
+
+class AvlGrammar {
+ public:
+  AvlGrammar() : asm_(/*dedup_pairs=*/true) {}
+
+  /// Sentinel for "empty grammar" operands of Join/Split.
+  static constexpr NtId kEmpty = kInvalidNt;
+
+  NtId Leaf(SymbolId s) {
+    const NtId id = asm_.Leaf(s);
+    Record(id, 1, kEmpty, kEmpty);
+    return id;
+  }
+
+  /// Concatenation; either side may be kEmpty.
+  NtId Join(NtId l, NtId r) {
+    if (l == kEmpty) return r;
+    if (r == kEmpty) return l;
+    if (H(l) >= H(r) + 2) return JoinRight(l, r);
+    if (H(r) >= H(l) + 2) return JoinLeft(l, r);
+    return Node(l, r);
+  }
+
+  /// Splits D(t) after the first k symbols; k in [0, |D(t)|].
+  std::pair<NtId, NtId> Split(NtId t, uint64_t k) {
+    if (k == 0) return {kEmpty, t};
+    SLPSPAN_DCHECK(t != kEmpty && k <= Length(t));
+    if (k == Length(t)) return {t, kEmpty};
+    const NtId l = children_[t].first, r = children_[t].second;
+    const uint64_t left_len = Length(l);
+    if (k < left_len) {
+      auto [a, b] = Split(l, k);
+      return {a, Join(b, r)};
+    }
+    if (k > left_len) {
+      auto [a, b] = Split(r, k - left_len);
+      return {Join(l, a), b};
+    }
+    return {l, r};
+  }
+
+  /// Grammar for D(t)[from, to) (0-based, half-open, non-empty).
+  NtId Extract(NtId t, uint64_t from, uint64_t to) {
+    SLPSPAN_DCHECK(from < to && to <= Length(t));
+    auto [head, tail] = Split(t, from);
+    (void)head;
+    auto [mid, rest] = Split(tail, to - from);
+    (void)rest;
+    return mid;
+  }
+
+  uint64_t Length(NtId t) const { return t == kEmpty ? 0 : asm_.LengthOf(t); }
+  int Height(NtId t) const { return t == kEmpty ? 0 : H(t); }
+  uint32_t NumNodes() const { return asm_.NumNonTerminals(); }
+
+  /// Finishes into an immutable Slp rooted at `root` (prunes garbage).
+  Slp Finish(NtId root) { return asm_.Finish(root); }
+
+ private:
+  int H(NtId id) const { return heights_[id]; }
+
+  void Record(NtId id, int h, NtId l, NtId r) {
+    if (id >= heights_.size()) {
+      heights_.resize(id + 1, 0);
+      children_.resize(id + 1, {kEmpty, kEmpty});
+    }
+    heights_[id] = h;
+    children_[id] = {l, r};
+  }
+
+  // AVL-safe pair; callers guarantee |height difference| <= 1.
+  NtId Node(NtId l, NtId r) {
+    SLPSPAN_DCHECK(std::abs(H(l) - H(r)) <= 1);
+    const NtId id = asm_.Pair(l, r);
+    Record(id, 1 + std::max(H(l), H(r)), l, r);
+    return id;
+  }
+
+  // Combines `l` with an over-tall right part `t` (height(t) == height(l)+2)
+  // via a single or double rotation (persistent: new nodes only).
+  NtId RebalanceRight(NtId l, NtId t) {
+    const NtId tl = children_[t].first, tr = children_[t].second;
+    if (H(tl) <= H(tr)) return Node(Node(l, tl), tr);
+    const NtId x = children_[tl].first, y = children_[tl].second;
+    return Node(Node(l, x), Node(y, tr));
+  }
+
+  NtId RebalanceLeft(NtId t, NtId r) {
+    const NtId tl = children_[t].first, tr = children_[t].second;
+    if (H(tr) <= H(tl)) return Node(tl, Node(tr, r));
+    const NtId x = children_[tr].first, y = children_[tr].second;
+    return Node(Node(tl, x), Node(y, r));
+  }
+
+  // Precondition: height(l) >= height(r) + 2 (hence l is inner).
+  NtId JoinRight(NtId l, NtId r) {
+    const NtId ll = children_[l].first, lr = children_[l].second;
+    const NtId t = (H(lr) <= H(r) + 1) ? Node(lr, r) : JoinRight(lr, r);
+    if (H(t) <= H(ll) + 1) return Node(ll, t);
+    return RebalanceRight(ll, t);
+  }
+
+  // Precondition: height(r) >= height(l) + 2 (hence r is inner).
+  NtId JoinLeft(NtId l, NtId r) {
+    const NtId rl = children_[r].first, rr = children_[r].second;
+    const NtId t = (H(rl) <= H(l) + 1) ? Node(l, rl) : JoinLeft(l, rl);
+    if (H(t) <= H(rr) + 1) return Node(t, rr);
+    return RebalanceLeft(t, rr);
+  }
+
+  CnfAssembler asm_;
+  std::vector<int> heights_;
+  std::vector<std::pair<NtId, NtId>> children_;
+};
+
+}  // namespace internal
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SLP_AVL_GRAMMAR_H_

@@ -1,0 +1,28 @@
+#include "slp/balance.h"
+
+#include <cmath>
+
+#include "slp/avl_grammar.h"
+
+namespace slpspan {
+
+Slp Rebalance(const Slp& slp) {
+  internal::AvlGrammar avl;
+  // Bottom-up over the (topologically numbered) input rules: each inner rule
+  // A -> B C becomes an AVL concatenation of the balanced grammars for B, C;
+  // each concatenation creates O(|height diff|) <= O(log d) fresh rules.
+  std::vector<NtId> bal(slp.NumNonTerminals());
+  for (NtId x = 0; x < slp.NumNonTerminals(); ++x) {
+    bal[x] = slp.IsLeaf(x) ? avl.Leaf(slp.LeafSymbol(x))
+                           : avl.Join(bal[slp.Left(x)], bal[slp.Right(x)]);
+  }
+  return avl.Finish(bal[slp.root()]);
+}
+
+bool IsBalanced(const Slp& slp, double c) {
+  const double bound =
+      std::max(4.0, c * std::log2(static_cast<double>(slp.DocumentLength()) + 2.0));
+  return slp.depth() <= bound;
+}
+
+}  // namespace slpspan

@@ -1,0 +1,30 @@
+// SLP balancing — practical stand-in for the Ganardi–Jeż–Lohrey theorem
+// (paper Theorem 4.3).
+//
+// Rebalance() converts any normal-form SLP into an equivalent one whose
+// derivation-tree depth is O(log d) (AVL-bounded: <= 1.45 log2(d) + O(1)).
+// The construction processes rules bottom-up and replaces every inner rule
+// A -> B C by a persistent AVL concatenation of the already-balanced
+// grammars for B and C; each concatenation adds O(|height(B)-height(C)|)
+// fresh non-terminals, for a total size of O(s log d) — a log factor more
+// than GJL's O(s), which is the documented substitution (DESIGN.md §4(1)).
+// Everything the evaluation algorithms need from Theorem 4.3 — logarithmic
+// *depth*, hence O(log d) enumeration delay — is preserved.
+
+#ifndef SLPSPAN_SLP_BALANCE_H_
+#define SLPSPAN_SLP_BALANCE_H_
+
+#include "slp/slp.h"
+
+namespace slpspan {
+
+/// Returns an SLP for the same document with depth O(log d).
+Slp Rebalance(const Slp& slp);
+
+/// True if depth(S) <= max(4, c * log2(d + 2)). The AVL bound holds with
+/// c = 1.45 (plus the constant absorbed by the max).
+bool IsBalanced(const Slp& slp, double c = 1.5);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SLP_BALANCE_H_

@@ -1,0 +1,112 @@
+#include "slp/builder.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace slpspan {
+
+uint32_t SlpBuilder::DeclareNonTerminal() {
+  defs_.emplace_back();
+  return static_cast<uint32_t>(defs_.size() - 1);
+}
+
+void SlpBuilder::SetRule(uint32_t nt, std::vector<GrammarSym> rhs) {
+  SLPSPAN_CHECK(nt < defs_.size());
+  SLPSPAN_CHECK(!defs_[nt].defined);  // R must be a function N -> (N u Sigma)+
+  SLPSPAN_CHECK(!rhs.empty());
+  defs_[nt].defined = true;
+  defs_[nt].rhs = std::move(rhs);
+}
+
+void SlpBuilder::SetRuleFromString(uint32_t nt, std::string_view rhs,
+                                   const std::vector<std::pair<char, uint32_t>>& nts) {
+  std::unordered_map<char, uint32_t> map;
+  for (const auto& [c, id] : nts) map[c] = id;
+  std::vector<GrammarSym> syms;
+  syms.reserve(rhs.size());
+  for (char c : rhs) {
+    auto it = map.find(c);
+    if (it != map.end()) {
+      syms.push_back(GrammarSym::Nt(it->second));
+    } else {
+      syms.push_back(GrammarSym::Terminal(static_cast<unsigned char>(c)));
+    }
+  }
+  SetRule(nt, std::move(syms));
+}
+
+Result<Slp> SlpBuilder::Build(uint32_t start) {
+  if (start >= defs_.size()) return Status::InvalidArgument("undeclared start symbol");
+  for (uint32_t n = 0; n < defs_.size(); ++n) {
+    if (!defs_[n].defined) {
+      return Status::InvalidArgument("non-terminal " + std::to_string(n) +
+                                     " has no rule");
+    }
+    for (const GrammarSym& s : defs_[n].rhs) {
+      if (s.kind == GrammarSym::kNonTerminal && s.id >= defs_.size()) {
+        return Status::InvalidArgument("rule references undeclared non-terminal");
+      }
+    }
+  }
+
+  // Iterative DFS computing a topological order; detects cycles (an SLP's
+  // derivation relation must be acyclic, Section 4.1).
+  enum Color : uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Color> color(defs_.size(), kWhite);
+  std::vector<uint32_t> order;
+  order.reserve(defs_.size());
+  struct Frame {
+    uint32_t nt;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  for (uint32_t s = 0; s < defs_.size(); ++s) {
+    if (color[s] != kWhite) continue;
+    stack.push_back({s, 0});
+    color[s] = kGrey;
+    while (!stack.empty()) {
+      const uint32_t nt = stack.back().nt;
+      bool descended = false;
+      while (stack.back().next_child < defs_[nt].rhs.size()) {
+        const GrammarSym& sym = defs_[nt].rhs[stack.back().next_child++];
+        if (sym.kind != GrammarSym::kNonTerminal) continue;
+        if (color[sym.id] == kGrey) {
+          return Status::InvalidArgument("grammar is cyclic — not an SLP");
+        }
+        if (color[sym.id] == kWhite) {
+          color[sym.id] = kGrey;
+          stack.push_back({sym.id, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[nt] = kBlack;
+        order.push_back(nt);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Convert bottom-up. Balanced() of a single part is the part itself, which
+  // performs unit-rule elimination (A -> B, A -> x) for free.
+  CnfAssembler asmblr(/*dedup_pairs=*/true);
+  std::vector<NtId> ids(defs_.size(), kInvalidNt);
+  for (uint32_t nt : order) {
+    std::vector<NtId> parts;
+    parts.reserve(defs_[nt].rhs.size());
+    for (const GrammarSym& sym : defs_[nt].rhs) {
+      if (sym.kind == GrammarSym::kTerminal) {
+        parts.push_back(asmblr.Leaf(sym.id));
+      } else {
+        SLPSPAN_CHECK(ids[sym.id] != kInvalidNt);
+        parts.push_back(ids[sym.id]);
+      }
+    }
+    ids[nt] = asmblr.Balanced(parts);
+  }
+
+  return asmblr.Finish(ids[start]);
+}
+
+}  // namespace slpspan

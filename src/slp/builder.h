@@ -1,0 +1,69 @@
+// SlpBuilder — general grammar front-end.
+//
+// Accepts arbitrary SLP-style rules A -> alpha with alpha a non-empty word
+// over non-terminals and terminals (the paper's Definition in Section 4.1,
+// e.g. Example 4.1's  S0 -> A b a A B b), and converts them into the normal
+// form used throughout the library: unit rules are eliminated, right-hand
+// sides are binarized with balanced trees (adding O(log |alpha|) depth), and
+// terminals become shared leaf non-terminals.
+
+#ifndef SLPSPAN_SLP_BUILDER_H_
+#define SLPSPAN_SLP_BUILDER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "slp/slp.h"
+#include "util/status.h"
+
+namespace slpspan {
+
+/// One right-hand-side entry: either a terminal symbol or a non-terminal
+/// reference (by the id returned from SlpBuilder::DeclareNonTerminal).
+struct GrammarSym {
+  enum Kind { kTerminal, kNonTerminal } kind;
+  uint32_t id;  // SymbolId for terminals, builder-local nt id otherwise
+
+  static GrammarSym Terminal(SymbolId s) { return {kTerminal, s}; }
+  static GrammarSym Nt(uint32_t n) { return {kNonTerminal, n}; }
+};
+
+/// Builder for SLPs given as general (non-Chomsky) grammars.
+///
+/// Usage:
+///   SlpBuilder b;
+///   auto S0 = b.DeclareNonTerminal();
+///   auto A  = b.DeclareNonTerminal();
+///   b.SetRule(S0, {GrammarSym::Nt(A), GrammarSym::Terminal('b'), ...});
+///   ...
+///   Result<Slp> slp = b.Build(S0);
+class SlpBuilder {
+ public:
+  /// Declares a fresh non-terminal; its rule must be set before Build().
+  uint32_t DeclareNonTerminal();
+
+  /// Sets the (unique) rule for `nt`. `rhs` must be non-empty.
+  void SetRule(uint32_t nt, std::vector<GrammarSym> rhs);
+
+  /// Convenience: rule given as a byte string where characters name terminals
+  /// and placeholders from `nts` (e.g. "AbaABb" with nts mapping 'A','B')
+  /// name non-terminals.
+  void SetRuleFromString(uint32_t nt, std::string_view rhs,
+                         const std::vector<std::pair<char, uint32_t>>& nts);
+
+  /// Validates (every nt defined, acyclic, start defined) and produces the
+  /// normal-form Slp.
+  Result<Slp> Build(uint32_t start);
+
+ private:
+  struct NtDef {
+    bool defined = false;
+    std::vector<GrammarSym> rhs;
+  };
+  std::vector<NtDef> defs_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SLP_BUILDER_H_

@@ -1,0 +1,102 @@
+#include "slp/factory.h"
+
+namespace slpspan {
+
+Slp SlpFromSymbols(const std::vector<SymbolId>& symbols, bool dedup) {
+  SLPSPAN_CHECK(!symbols.empty());
+  CnfAssembler a(dedup);
+  std::vector<NtId> level;
+  level.reserve(symbols.size());
+  for (SymbolId s : symbols) level.push_back(a.Leaf(s));
+  return a.Finish(a.Balanced(level));
+}
+
+Slp SlpFromString(std::string_view text, bool dedup) {
+  return SlpFromSymbols(ToSymbols(text), dedup);
+}
+
+Slp SlpChainFromString(std::string_view text) {
+  SLPSPAN_CHECK(!text.empty());
+  CnfAssembler a(/*dedup_pairs=*/false);
+  NtId cur = a.Leaf(static_cast<unsigned char>(text[0]));
+  for (size_t i = 1; i < text.size(); ++i) {
+    cur = a.Pair(cur, a.Leaf(static_cast<unsigned char>(text[i])));
+  }
+  return a.Finish(cur);
+}
+
+Slp SlpPowerString(SymbolId sym, uint32_t k) {
+  CnfAssembler a;
+  NtId cur = a.Leaf(sym);
+  for (uint32_t i = 0; i < k; ++i) cur = a.Pair(cur, cur);
+  return a.Finish(cur);
+}
+
+Slp SlpRepeat(std::string_view block, uint64_t times) {
+  SLPSPAN_CHECK(!block.empty() && times >= 1);
+  CnfAssembler a;
+  std::vector<NtId> leaves;
+  leaves.reserve(block.size());
+  for (char c : block) leaves.push_back(a.Leaf(static_cast<unsigned char>(c)));
+  NtId b = a.Balanced(leaves);
+
+  // Binary powering: collect b^(2^i) for the set bits of `times`, then fold.
+  std::vector<NtId> powers_needed;
+  NtId pow = b;
+  for (uint64_t bits = times; bits != 0; bits >>= 1) {
+    if (bits & 1) powers_needed.push_back(pow);
+    if (bits > 1) pow = a.Pair(pow, pow);
+  }
+  // Fold most-significant-first so the tree stays shallow.
+  NtId cur = powers_needed.back();
+  for (size_t i = powers_needed.size() - 1; i-- > 0;) {
+    cur = a.Pair(cur, powers_needed[i]);
+  }
+  return a.Finish(cur);
+}
+
+Slp SlpFibonacci(uint32_t k, SymbolId a_sym, SymbolId b_sym) {
+  SLPSPAN_CHECK(k >= 1);
+  CnfAssembler a;
+  NtId f1 = a.Leaf(b_sym);   // F(1) = b
+  if (k == 1) return a.Finish(f1);
+  NtId f2 = a.Leaf(a_sym);   // F(2) = a
+  NtId prev = f1, cur = f2;
+  for (uint32_t i = 3; i <= k; ++i) {
+    NtId next = a.Pair(cur, prev);  // F(i) = F(i-1) F(i-2)
+    prev = cur;
+    cur = next;
+  }
+  return a.Finish(cur);
+}
+
+Slp SlpThueMorse(uint32_t k, SymbolId a_sym, SymbolId b_sym) {
+  CnfAssembler a;
+  NtId ta = a.Leaf(a_sym);
+  NtId tb = a.Leaf(b_sym);
+  // A(0) = a, B(0) = b, A(i) = A(i-1) B(i-1), B(i) = B(i-1) A(i-1).
+  NtId cur_a = ta, cur_b = tb;
+  for (uint32_t i = 0; i < k; ++i) {
+    NtId next_a = a.Pair(cur_a, cur_b);
+    NtId next_b = a.Pair(cur_b, cur_a);
+    cur_a = next_a;
+    cur_b = next_b;
+  }
+  return a.Finish(cur_a);
+}
+
+Slp SlpConcat(const Slp& left, const Slp& right) {
+  CnfAssembler a;
+  NtId l = a.Import(left);
+  NtId r = a.Import(right);
+  return a.Finish(a.Pair(l, r));
+}
+
+Slp SlpAppendSymbol(const Slp& slp, SymbolId sym) {
+  CnfAssembler a;
+  NtId body = a.Import(slp);
+  NtId leaf = a.Leaf(sym);
+  return a.Finish(a.Pair(body, leaf));
+}
+
+}  // namespace slpspan

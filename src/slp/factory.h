@@ -1,0 +1,50 @@
+// Factories for SLPs: direct construction from strings plus the closed-form
+// compressible families used throughout the paper and the benchmark suite.
+
+#ifndef SLPSPAN_SLP_FACTORY_H_
+#define SLPSPAN_SLP_FACTORY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "slp/slp.h"
+
+namespace slpspan {
+
+/// Perfectly balanced SLP for an explicit symbol sequence. With `dedup` on
+/// (the default), identical subtrees are hash-consed, so periodic inputs
+/// compress; depth is always ceil(log2 n) + 1. O(n) time.
+Slp SlpFromSymbols(const std::vector<SymbolId>& symbols, bool dedup = true);
+
+/// Convenience overload for byte strings.
+Slp SlpFromString(std::string_view text, bool dedup = true);
+
+/// A deliberately *unbalanced* (left-leaning chain) SLP for the same content:
+/// depth = n. Used by tests and the balancing ablation (experiment E8).
+Slp SlpChainFromString(std::string_view text);
+
+/// SLP of size O(k) for the string sym^(2^k) — the paper's canonical
+/// "exponentially compressible" family (Section 4.2).
+Slp SlpPowerString(SymbolId sym, uint32_t k);
+
+/// SLP for block^times, size O(|block| + log times), via binary powering.
+Slp SlpRepeat(std::string_view block, uint64_t times);
+
+/// SLP for the k-th Fibonacci word over {a, b}:
+/// F(1) = "b", F(2) = "a", F(k) = F(k-1) F(k-2). Size O(k), length fib(k).
+Slp SlpFibonacci(uint32_t k, SymbolId a = 'a', SymbolId b = 'b');
+
+/// SLP for the Thue–Morse word of order k (length 2^k) over {a, b}.
+Slp SlpThueMorse(uint32_t k, SymbolId a = 'a', SymbolId b = 'b');
+
+/// Concatenation: SLP for D(left) D(right). Size |left| + |right| + O(1).
+Slp SlpConcat(const Slp& left, const Slp& right);
+
+/// SLP for D(slp) followed by one extra terminal symbol (used for the
+/// sentinel transform of Section 6.1). Adds at most two non-terminals.
+Slp SlpAppendSymbol(const Slp& slp, SymbolId sym);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SLP_FACTORY_H_

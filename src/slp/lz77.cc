@@ -1,0 +1,103 @@
+#include "slp/lz77.h"
+
+#include <unordered_map>
+
+#include "slp/avl_grammar.h"
+
+namespace slpspan {
+
+namespace {
+
+uint64_t Anchor4(const std::vector<SymbolId>& text, size_t pos) {
+  // Order-sensitive 4-symbol anchor hash.
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < 4; ++i) {
+    h ^= text[pos + i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<Lz77Factor> Lz77Parse(const std::vector<SymbolId>& text,
+                                  Lz77Options opts) {
+  SLPSPAN_CHECK(opts.min_match >= 2);
+  std::vector<Lz77Factor> parse;
+  // Hash chains: anchor hash -> recent positions (newest first).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> chains;
+  chains.reserve(text.size() / 4 + 1);
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    uint64_t best_len = 0, best_src = 0;
+    if (pos + opts.min_match <= text.size() && pos >= 1) {
+      const auto it = pos + 4 <= text.size() ? chains.find(Anchor4(text, pos))
+                                             : chains.end();
+      if (it != chains.end()) {
+        const std::vector<uint64_t>& chain = it->second;
+        auto try_candidate = [&](uint64_t src) {
+          // Non-overlapping factor: the source must end at or before pos,
+          // so older sources allow longer copies (runs double through the
+          // oldest candidate), while recent sources give cache-local wins.
+          const uint64_t cap = std::min<uint64_t>(pos - src, text.size() - pos);
+          if (cap <= best_len) return;
+          uint64_t len = 0;
+          while (len < cap && text[src + len] == text[pos + len]) ++len;
+          if (len > best_len) {
+            best_len = len;
+            best_src = src;
+          }
+        };
+        // Walk half the budget from the oldest end, half from the newest.
+        const size_t half = std::max<size_t>(1, opts.max_chain / 2);
+        const size_t n_cand = chain.size();
+        const size_t front = std::min(half, n_cand);
+        const size_t back_start = std::max(front, n_cand > half ? n_cand - half : 0);
+        for (size_t c = 0; c < front; ++c) try_candidate(chain[c]);
+        for (size_t c = back_start; c < n_cand; ++c) try_candidate(chain[c]);
+      }
+    }
+
+    if (best_len >= opts.min_match) {
+      parse.push_back({best_src, best_len, 0});
+    } else {
+      best_len = 1;
+      parse.push_back({0, 0, text[pos]});
+    }
+    // Index the anchors inside the emitted element (sparsely for long
+    // factors to bound indexing work).
+    const size_t end = pos + best_len;
+    const size_t stride = best_len > 512 ? 7 : 1;
+    for (size_t p = pos; p < end && p + 4 <= text.size(); p += stride) {
+      chains[Anchor4(text, p)].push_back(p);
+    }
+    pos = end;
+  }
+  return parse;
+}
+
+Slp Lz77Compress(const std::vector<SymbolId>& text, Lz77Options opts) {
+  SLPSPAN_CHECK(!text.empty());
+  const std::vector<Lz77Factor> parse = Lz77Parse(text, opts);
+
+  internal::AvlGrammar avl;
+  NtId root = internal::AvlGrammar::kEmpty;
+  for (const Lz77Factor& f : parse) {
+    if (f.len == 0) {
+      root = avl.Join(root, avl.Leaf(f.literal));
+    } else {
+      // Rytter's step: extract the source occurrence from the grammar built
+      // so far (persistent splits) and append it.
+      const NtId piece = avl.Extract(root, f.src, f.src + f.len);
+      root = avl.Join(root, piece);
+    }
+  }
+  return avl.Finish(root);
+}
+
+Slp Lz77Compress(std::string_view text, Lz77Options opts) {
+  return Lz77Compress(ToSymbols(text), opts);
+}
+
+}  // namespace slpspan

@@ -1,0 +1,52 @@
+// LZ77/LZSS parsing converted to a balanced SLP — the conversion the paper
+// cites in Section 1.1 (Rytter [26]: LZ77 factorizations turn into
+// AVL grammars of size O(z log n)).
+//
+// The factorizer is a practical LZSS-style matcher (hash chains over 4-byte
+// anchors, longest match wins, bounded chain walk), not an exact
+// leftmost-longest LZ77; factors never overlap their source, so runs a^k
+// factor into O(log k) doubling factors. Each factor is *extracted* from the
+// persistent AVL grammar built so far (two splits, O(log n) fresh rules) and
+// re-joined at the end — so the output grammar shares structure with the
+// source occurrence exactly as in Rytter's construction, and its depth is
+// AVL-bounded, i.e. O(log n), making it immediately suitable for the
+// O(log d)-delay enumeration of Theorem 8.10 with no rebalancing pass.
+
+#ifndef SLPSPAN_SLP_LZ77_H_
+#define SLPSPAN_SLP_LZ77_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "slp/slp.h"
+
+namespace slpspan {
+
+struct Lz77Options {
+  uint32_t min_match = 4;    ///< factors shorter than this become literals
+  uint32_t max_chain = 32;   ///< hash-chain candidates examined per position
+};
+
+/// One element of the parse: a literal symbol or a (src, len) factor copying
+/// text[src, src+len) with src + len <= current position.
+struct Lz77Factor {
+  uint64_t src = 0;
+  uint64_t len = 0;   // 0 => literal
+  SymbolId literal = 0;
+};
+
+/// The factorization itself (exposed for tests and benchmarks).
+std::vector<Lz77Factor> Lz77Parse(const std::vector<SymbolId>& text,
+                                  Lz77Options opts = {});
+
+/// Compresses a non-empty symbol sequence into a normal-form SLP of size
+/// O(z log n) and depth O(log n), where z is the number of parse elements.
+Slp Lz77Compress(const std::vector<SymbolId>& text, Lz77Options opts = {});
+
+/// Convenience overload for byte strings.
+Slp Lz77Compress(std::string_view text, Lz77Options opts = {});
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SLP_LZ77_H_

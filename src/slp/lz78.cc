@@ -1,0 +1,78 @@
+#include "slp/lz78.h"
+
+#include <unordered_map>
+
+namespace slpspan {
+
+namespace {
+
+// Trie edge key: (node id, next symbol).
+struct EdgeKey {
+  uint64_t node;
+  SymbolId sym;
+  bool operator==(const EdgeKey& o) const { return node == o.node && sym == o.sym; }
+};
+
+struct EdgeKeyHash {
+  size_t operator()(const EdgeKey& k) const {
+    uint64_t v = (k.node << 20) ^ k.sym;
+    v *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(v ^ (v >> 32));
+  }
+};
+
+// Runs the LZ78 parse; calls `emit(parent_phrase, symbol)` once per phrase,
+// where parent_phrase is 0 for the empty phrase and i >= 1 for the i-th
+// emitted phrase. The final phrase may be a bare repeat of an existing
+// phrase (input exhausted mid-extension); then emit_prefix(phrase) is called.
+template <typename EmitFn, typename EmitPrefixFn>
+void ParseLz78(const std::vector<SymbolId>& text, EmitFn emit,
+               EmitPrefixFn emit_prefix) {
+  std::unordered_map<EdgeKey, uint64_t, EdgeKeyHash> trie;
+  trie.reserve(text.size());
+  uint64_t next_phrase = 1;
+  uint64_t node = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    auto it = trie.find(EdgeKey{node, text[i]});
+    if (it != trie.end()) {
+      node = it->second;
+      continue;
+    }
+    trie.emplace(EdgeKey{node, text[i]}, next_phrase);
+    emit(node, text[i]);
+    ++next_phrase;
+    node = 0;
+  }
+  if (node != 0) emit_prefix(node);
+}
+
+}  // namespace
+
+Slp Lz78Compress(const std::vector<SymbolId>& text) {
+  SLPSPAN_CHECK(!text.empty());
+  CnfAssembler a;
+  // phrase_nt[i] = assembler non-terminal expanding to the i-th phrase.
+  std::vector<NtId> phrase_nt{kInvalidNt};  // index 0 = empty phrase (unused)
+  std::vector<NtId> top;
+  ParseLz78(
+      text,
+      [&](uint64_t parent, SymbolId sym) {
+        NtId leaf = a.Leaf(sym);
+        NtId nt = (parent == 0) ? leaf : a.Pair(phrase_nt[parent], leaf);
+        phrase_nt.push_back(nt);
+        top.push_back(nt);
+      },
+      [&](uint64_t prefix_phrase) { top.push_back(phrase_nt[prefix_phrase]); });
+  return a.Finish(a.Balanced(top));
+}
+
+Slp Lz78Compress(std::string_view text) { return Lz78Compress(ToSymbols(text)); }
+
+uint64_t Lz78PhraseCount(const std::vector<SymbolId>& text) {
+  uint64_t count = 0;
+  ParseLz78(
+      text, [&](uint64_t, SymbolId) { ++count; }, [&](uint64_t) { ++count; });
+  return count;
+}
+
+}  // namespace slpspan

@@ -1,0 +1,31 @@
+// LZ78 parsing converted to an SLP.
+//
+// Each LZ78 phrase extends a previous phrase by one symbol, which maps
+// directly onto a Chomsky-normal-form rule P_i -> P_j T_c. The top-level
+// phrase sequence is packed with a balanced binary tree. Runs in O(n)
+// expected time and produces an SLP of size O(#phrases) = O(n / log_sigma n)
+// for typical inputs — the guaranteed-fast construction path for large
+// documents (cf. the conversion results cited in paper Section 1.1).
+
+#ifndef SLPSPAN_SLP_LZ78_H_
+#define SLPSPAN_SLP_LZ78_H_
+
+#include <string_view>
+#include <vector>
+
+#include "slp/slp.h"
+
+namespace slpspan {
+
+/// Compresses a non-empty symbol sequence into a normal-form SLP via LZ78.
+Slp Lz78Compress(const std::vector<SymbolId>& text);
+
+/// Convenience overload for byte strings.
+Slp Lz78Compress(std::string_view text);
+
+/// Number of phrases in the LZ78 parsing (exposed for tests/benchmarks).
+uint64_t Lz78PhraseCount(const std::vector<SymbolId>& text);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SLP_LZ78_H_

@@ -1,0 +1,37 @@
+// RePair grammar compression (Larsson & Moffat style).
+//
+// Repeatedly replaces a most frequent adjacent symbol pair by a fresh
+// non-terminal until no pair occurs twice, then packs the remaining sequence
+// with a balanced binary tree. This implementation recounts pair frequencies
+// per round (O(current length) per round) instead of maintaining the
+// linear-time priority-queue structure of the original paper — identical
+// output grammar, simpler code; see DESIGN.md §4(3). Intended for inputs up
+// to a few hundred KB; use Lz78Compress for larger documents.
+
+#ifndef SLPSPAN_SLP_REPAIR_H_
+#define SLPSPAN_SLP_REPAIR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "slp/slp.h"
+
+namespace slpspan {
+
+struct RePairOptions {
+  /// Stop after this many replacement rounds (0 = unlimited). A safety valve
+  /// for adversarial (incompressible) inputs; the remaining sequence is
+  /// packed with a balanced tree either way.
+  uint32_t max_rounds = 0;
+};
+
+/// Compresses a non-empty symbol sequence into a normal-form SLP.
+Slp RePairCompress(const std::vector<SymbolId>& text, RePairOptions opts = {});
+
+/// Convenience overload for byte strings.
+Slp RePairCompress(std::string_view text, RePairOptions opts = {});
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SLP_REPAIR_H_

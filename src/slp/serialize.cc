@@ -1,0 +1,140 @@
+#include "slp/serialize.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace slpspan {
+
+std::string SaveSlpToString(const Slp& slp) {
+  std::ostringstream os;
+  os << "slpspan-slp v1\n";
+  os << "nts " << slp.NumNonTerminals() << " root " << slp.root() << "\n";
+  for (NtId a = 0; a < slp.NumNonTerminals(); ++a) {
+    if (slp.IsLeaf(a)) {
+      os << "L " << a << " " << slp.LeafSymbol(a) << "\n";
+    } else {
+      os << "P " << a << " " << slp.Left(a) << " " << slp.Right(a) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Status SaveSlpToFile(const Slp& slp, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open for writing: " + path);
+  out << SaveSlpToString(slp);
+  out.flush();
+  if (!out) return Status::InvalidArgument("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Slp> LoadSlpFromString(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != "slpspan-slp v1") {
+    return Status::Corruption("bad header");
+  }
+  std::string tok;
+  uint64_t count = 0, root = 0;
+  if (!(in >> tok) || tok != "nts" || !(in >> count) || !(in >> tok) || tok != "root" ||
+      !(in >> root)) {
+    return Status::Corruption("bad nts/root line");
+  }
+  if (count == 0 || root >= count) return Status::Corruption("bad counts");
+
+  struct RawRule {
+    bool defined = false;
+    bool leaf = false;
+    uint64_t a = 0, b = 0;
+  };
+  std::vector<RawRule> raw(count);
+  while (in >> tok) {
+    uint64_t id;
+    RawRule r;
+    r.defined = true;
+    if (tok == "L") {
+      r.leaf = true;
+      if (!(in >> id >> r.a)) return Status::Corruption("bad leaf rule");
+    } else if (tok == "P") {
+      if (!(in >> id >> r.a >> r.b)) return Status::Corruption("bad pair rule");
+    } else {
+      return Status::Corruption("unknown record: " + tok);
+    }
+    if (id >= count) return Status::Corruption("rule id out of range");
+    if (raw[id].defined) return Status::Corruption("duplicate rule id");
+    if (!r.leaf && (r.a >= count || r.b >= count)) {
+      return Status::Corruption("child id out of range");
+    }
+    raw[id] = r;
+  }
+  for (const RawRule& r : raw) {
+    if (!r.defined) return Status::Corruption("missing rule");
+  }
+
+  // Rebuild through the assembler. Kahn's algorithm over the reachable rules
+  // both re-establishes topological numbering and rejects cyclic inputs.
+  std::vector<bool> reachable(count, false);
+  {
+    std::vector<uint64_t> stack{root};
+    reachable[root] = true;
+    while (!stack.empty()) {
+      uint64_t id = stack.back();
+      stack.pop_back();
+      const RawRule& r = raw[id];
+      if (r.leaf) continue;
+      for (uint64_t child : {r.a, r.b}) {
+        if (!reachable[child]) {
+          reachable[child] = true;
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  std::vector<uint32_t> pending(count, 0);  // unmapped child occurrences
+  std::vector<std::vector<uint64_t>> parents(count);
+  uint64_t num_reachable = 0;
+  std::vector<uint64_t> ready;
+  for (uint64_t id = 0; id < count; ++id) {
+    if (!reachable[id]) continue;
+    ++num_reachable;
+    const RawRule& r = raw[id];
+    if (r.leaf) {
+      ready.push_back(id);
+    } else {
+      pending[id] = 2;
+      parents[r.a].push_back(id);
+      parents[r.b].push_back(id);
+    }
+  }
+  CnfAssembler assembler(/*dedup_pairs=*/false);
+  std::vector<NtId> mapped(count, kInvalidNt);
+  uint64_t num_mapped = 0;
+  while (!ready.empty()) {
+    uint64_t id = ready.back();
+    ready.pop_back();
+    const RawRule& r = raw[id];
+    mapped[id] = r.leaf ? assembler.Leaf(static_cast<SymbolId>(r.a))
+                        : assembler.Pair(mapped[r.a], mapped[r.b]);
+    ++num_mapped;
+    for (uint64_t p : parents[id]) {
+      if (--pending[p] == 0) ready.push_back(p);
+    }
+  }
+  if (num_mapped != num_reachable) return Status::Corruption("cyclic grammar");
+
+  Slp slp = assembler.Finish(mapped[root]);
+  Status v = slp.Validate();
+  if (!v.ok()) return v;
+  return slp;
+}
+
+Result<Slp> LoadSlpFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open: " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return LoadSlpFromString(ss.str());
+}
+
+}  // namespace slpspan

@@ -1,0 +1,33 @@
+// Plain-text persistence format for SLPs.
+//
+// Format (line oriented):
+//   slpspan-slp v1
+//   nts <count> root <id>
+//   L <id> <symbol>
+//   P <id> <left> <right>
+// Rules may appear in any order; LoadSlp re-validates everything (topological
+// numbering is re-established) and fails with Status::Corruption on any
+// inconsistency, so untrusted files cannot break library invariants.
+
+#ifndef SLPSPAN_SLP_SERIALIZE_H_
+#define SLPSPAN_SLP_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "slp/slp.h"
+#include "util/status.h"
+
+namespace slpspan {
+
+/// Serializes `slp` into the text format above.
+std::string SaveSlpToString(const Slp& slp);
+Status SaveSlpToFile(const Slp& slp, const std::string& path);
+
+/// Parses and validates an SLP from the text format.
+Result<Slp> LoadSlpFromString(const std::string& text);
+Result<Slp> LoadSlpFromFile(const std::string& path);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SLP_SERIALIZE_H_

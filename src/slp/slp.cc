@@ -1,0 +1,358 @@
+#include "slp/slp.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace slpspan {
+
+std::vector<SymbolId> ToSymbols(std::string_view text) {
+  std::vector<SymbolId> out;
+  out.reserve(text.size());
+  for (unsigned char c : text) out.push_back(static_cast<SymbolId>(c));
+  return out;
+}
+
+std::string ToByteString(const std::vector<SymbolId>& symbols) {
+  std::string out;
+  out.reserve(symbols.size());
+  for (SymbolId s : symbols) {
+    SLPSPAN_CHECK(s < 256);
+    out.push_back(static_cast<char>(static_cast<unsigned char>(s)));
+  }
+  return out;
+}
+
+Slp::Slp(std::vector<Rule> rules, NtId root, uint32_t num_inner)
+    : rules_(std::move(rules)), root_(root), num_inner_(num_inner) {
+  SLPSPAN_CHECK(!rules_.empty());
+  SLPSPAN_CHECK(root_ < rules_.size());
+  // Children precede parents, so one upward pass fills both tables (Lemma 4.4).
+  lengths_.resize(rules_.size());
+  depths_.resize(rules_.size());
+  for (NtId a = 0; a < rules_.size(); ++a) {
+    if (rules_[a].right == kInvalidNt) {
+      lengths_[a] = 1;
+      depths_[a] = 1;
+    } else {
+      SLPSPAN_CHECK(rules_[a].left < a && rules_[a].right < a);
+      lengths_[a] = lengths_[rules_[a].left] + lengths_[rules_[a].right];
+      depths_[a] = 1 + std::max(depths_[rules_[a].left], depths_[rules_[a].right]);
+    }
+  }
+}
+
+SymbolId Slp::SymbolAt(uint64_t pos) const {
+  SLPSPAN_CHECK(pos >= 1 && pos <= DocumentLength());
+  NtId a = root_;
+  // Top-down descent guided by |D(B)| — exactly the procedure the paper uses
+  // in Theorem 5.1(2); O(depth(S)).
+  while (!IsLeaf(a)) {
+    NtId b = Left(a);
+    if (pos <= lengths_[b]) {
+      a = b;
+    } else {
+      pos -= lengths_[b];
+      a = Right(a);
+    }
+  }
+  return LeafSymbol(a);
+}
+
+void Slp::AppendExpansion(NtId start, std::vector<SymbolId>* out) const {
+  // Explicit stack; recursion depth can be Theta(|N|) for degenerate SLPs.
+  std::vector<NtId> stack;
+  stack.push_back(start);
+  while (!stack.empty()) {
+    NtId a = stack.back();
+    stack.pop_back();
+    if (IsLeaf(a)) {
+      out->push_back(LeafSymbol(a));
+    } else {
+      stack.push_back(Right(a));
+      stack.push_back(Left(a));
+    }
+  }
+}
+
+std::vector<SymbolId> Slp::Expand() const {
+  std::vector<SymbolId> out;
+  out.reserve(DocumentLength());
+  AppendExpansion(root_, &out);
+  return out;
+}
+
+std::string Slp::ExpandToString() const { return ToByteString(Expand()); }
+
+std::vector<SymbolId> Slp::ExpandRange(uint64_t from, uint64_t to) const {
+  SLPSPAN_CHECK(from >= 1 && from <= to && to <= DocumentLength() + 1);
+  std::vector<SymbolId> out;
+  out.reserve(to - from);
+  if (from == to) return out;
+
+  // Iterative descent with an explicit stack of (non-terminal, absolute start
+  // position of its expansion); prunes every subtree outside [from, to).
+  struct Frame {
+    NtId nt;
+    uint64_t start;  // 1-based position of D(nt)'s first symbol in D
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_, 1});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const uint64_t end = f.start + lengths_[f.nt];  // exclusive
+    if (end <= from || f.start >= to) continue;
+    if (IsLeaf(f.nt)) {
+      out.push_back(LeafSymbol(f.nt));
+      continue;
+    }
+    // Right pushed first so the left subtree is emitted first.
+    stack.push_back({Right(f.nt), f.start + lengths_[Left(f.nt)]});
+    stack.push_back({Left(f.nt), f.start});
+  }
+  return out;
+}
+
+void Slp::ForEachSymbol(const std::function<void(SymbolId)>& fn) const {
+  std::vector<NtId> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    NtId a = stack.back();
+    stack.pop_back();
+    if (IsLeaf(a)) {
+      fn(LeafSymbol(a));
+    } else {
+      stack.push_back(Right(a));
+      stack.push_back(Left(a));
+    }
+  }
+}
+
+Status Slp::Validate() const {
+  if (rules_.empty()) return Status::Corruption("empty rule set");
+  if (root_ >= rules_.size()) return Status::Corruption("root out of range");
+
+  std::unordered_map<SymbolId, NtId> leaf_for_symbol;
+  uint32_t inner = 0;
+  for (NtId a = 0; a < rules_.size(); ++a) {
+    if (rules_[a].right == kInvalidNt) {
+      auto [it, fresh] = leaf_for_symbol.emplace(rules_[a].left, a);
+      (void)it;
+      if (!fresh) {
+        return Status::Corruption("duplicate leaf non-terminal for one symbol");
+      }
+    } else {
+      ++inner;
+      if (rules_[a].left >= a || rules_[a].right >= a) {
+        return Status::Corruption("rule not topologically numbered");
+      }
+    }
+  }
+  if (inner != num_inner_) return Status::Corruption("inner count mismatch");
+
+  // Reachability from the root.
+  std::vector<bool> seen(rules_.size(), false);
+  std::vector<NtId> stack{root_};
+  seen[root_] = true;
+  while (!stack.empty()) {
+    NtId a = stack.back();
+    stack.pop_back();
+    if (rules_[a].right == kInvalidNt) continue;
+    for (NtId c : {rules_[a].left, rules_[a].right}) {
+      if (!seen[c]) {
+        seen[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+  if (!std::all_of(seen.begin(), seen.end(), [](bool b) { return b; })) {
+    return Status::Corruption("unreachable non-terminal");
+  }
+
+  // Length / depth table consistency.
+  for (NtId a = 0; a < rules_.size(); ++a) {
+    if (rules_[a].right == kInvalidNt) {
+      if (lengths_[a] != 1 || depths_[a] != 1) {
+        return Status::Corruption("leaf table entry wrong");
+      }
+    } else {
+      if (lengths_[a] != lengths_[rules_[a].left] + lengths_[rules_[a].right]) {
+        return Status::Corruption("length table entry wrong");
+      }
+      if (depths_[a] != 1 + std::max(depths_[rules_[a].left], depths_[rules_[a].right])) {
+        return Status::Corruption("depth table entry wrong");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Slp::DebugString() const {
+  std::ostringstream os;
+  os << "Slp{root=N" << root_ << ", d=" << DocumentLength() << ", depth=" << depth()
+     << "}\n";
+  for (NtId a = 0; a < rules_.size(); ++a) {
+    if (IsLeaf(a)) {
+      os << "  N" << a << " -> sym(" << LeafSymbol(a);
+      if (LeafSymbol(a) < 256 && std::isprint(static_cast<int>(LeafSymbol(a)))) {
+        os << " '" << static_cast<char>(LeafSymbol(a)) << "'";
+      }
+      os << ")\n";
+    } else {
+      os << "  N" << a << " -> N" << Left(a) << " N" << Right(a) << "   |D|="
+         << lengths_[a] << "\n";
+    }
+  }
+  return os.str();
+}
+
+Slp::Stats Slp::ComputeStats() const {
+  Stats st;
+  st.non_terminals = NumNonTerminals();
+  st.inner_non_terminals = num_inner_;
+  st.leaf_non_terminals = st.non_terminals - st.inner_non_terminals;
+  st.paper_size = PaperSize();
+  st.document_length = DocumentLength();
+  st.depth = depth();
+  st.compression_ratio =
+      static_cast<double>(st.document_length) / static_cast<double>(st.paper_size);
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// CnfAssembler
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PairKey {
+  NtId left;
+  NtId right;
+  bool operator==(const PairKey& o) const { return left == o.left && right == o.right; }
+};
+
+struct PairKeyHash {
+  size_t operator()(const PairKey& k) const {
+    uint64_t v = (static_cast<uint64_t>(k.left) << 32) | k.right;
+    v *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(v ^ (v >> 32));
+  }
+};
+
+}  // namespace
+
+struct CnfAssembler::Impl {
+  struct Rule {
+    uint32_t left;
+    NtId right;  // kInvalidNt => leaf
+  };
+  bool dedup_pairs;
+  std::vector<Rule> rules;
+  std::vector<uint64_t> lengths;
+  std::unordered_map<SymbolId, NtId> leaf_ids;
+  std::unordered_map<PairKey, NtId, PairKeyHash> pair_ids;
+};
+
+CnfAssembler::CnfAssembler(bool dedup_pairs) : impl_(new Impl) {
+  impl_->dedup_pairs = dedup_pairs;
+}
+
+CnfAssembler::~CnfAssembler() { delete impl_; }
+
+NtId CnfAssembler::Leaf(SymbolId x) {
+  auto it = impl_->leaf_ids.find(x);
+  if (it != impl_->leaf_ids.end()) return it->second;
+  NtId id = static_cast<NtId>(impl_->rules.size());
+  impl_->rules.push_back({x, kInvalidNt});
+  impl_->lengths.push_back(1);
+  impl_->leaf_ids.emplace(x, id);
+  return id;
+}
+
+NtId CnfAssembler::Pair(NtId left, NtId right) {
+  SLPSPAN_CHECK(left < impl_->rules.size() && right < impl_->rules.size());
+  if (impl_->dedup_pairs) {
+    auto it = impl_->pair_ids.find(PairKey{left, right});
+    if (it != impl_->pair_ids.end()) return it->second;
+  }
+  NtId id = static_cast<NtId>(impl_->rules.size());
+  impl_->rules.push_back({left, right});
+  impl_->lengths.push_back(impl_->lengths[left] + impl_->lengths[right]);
+  if (impl_->dedup_pairs) impl_->pair_ids.emplace(PairKey{left, right}, id);
+  return id;
+}
+
+NtId CnfAssembler::Balanced(const std::vector<NtId>& parts) {
+  SLPSPAN_CHECK(!parts.empty());
+  // Bottom-up halving keeps the added depth at ceil(log2(|parts|)).
+  std::vector<NtId> level = parts;
+  while (level.size() > 1) {
+    std::vector<NtId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(Pair(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level.swap(next);
+  }
+  return level[0];
+}
+
+NtId CnfAssembler::Import(const Slp& other) {
+  std::vector<NtId> remap(other.NumNonTerminals());
+  for (NtId a = 0; a < other.NumNonTerminals(); ++a) {
+    remap[a] = other.IsLeaf(a) ? Leaf(other.LeafSymbol(a))
+                               : Pair(remap[other.Left(a)], remap[other.Right(a)]);
+  }
+  return remap[other.root()];
+}
+
+uint64_t CnfAssembler::LengthOf(NtId a) const {
+  SLPSPAN_CHECK(a < impl_->lengths.size());
+  return impl_->lengths[a];
+}
+
+uint32_t CnfAssembler::NumNonTerminals() const {
+  return static_cast<uint32_t>(impl_->rules.size());
+}
+
+Slp CnfAssembler::Finish(NtId root) {
+  SLPSPAN_CHECK(root < impl_->rules.size());
+  // Prune unreachable rules while preserving the topological order (ids are
+  // already child-before-parent because Pair() requires existing children).
+  std::vector<bool> reach(impl_->rules.size(), false);
+  std::vector<NtId> stack{root};
+  reach[root] = true;
+  while (!stack.empty()) {
+    NtId a = stack.back();
+    stack.pop_back();
+    const auto& r = impl_->rules[a];
+    if (r.right == kInvalidNt) continue;
+    if (!reach[r.left]) {
+      reach[r.left] = true;
+      stack.push_back(r.left);
+    }
+    if (!reach[r.right]) {
+      reach[r.right] = true;
+      stack.push_back(r.right);
+    }
+  }
+  std::vector<NtId> remap(impl_->rules.size(), kInvalidNt);
+  std::vector<Slp::Rule> rules;
+  uint32_t num_inner = 0;
+  for (NtId a = 0; a < impl_->rules.size(); ++a) {
+    if (!reach[a]) continue;
+    remap[a] = static_cast<NtId>(rules.size());
+    const auto& r = impl_->rules[a];
+    if (r.right == kInvalidNt) {
+      rules.push_back({r.left, kInvalidNt});
+    } else {
+      rules.push_back({remap[r.left], remap[r.right]});
+      ++num_inner;
+    }
+  }
+  return Slp(std::move(rules), remap[root], num_inner);
+}
+
+}  // namespace slpspan

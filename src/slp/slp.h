@@ -1,0 +1,215 @@
+// Straight-line programs (SLPs) in normal form — paper Section 4.
+//
+// An SLP is a context-free grammar generating exactly one document. Following
+// the paper we keep every SLP in *normal form*:
+//   * Chomsky normal form: every rule is either A -> B C (inner non-terminal)
+//     or T_x -> x (leaf non-terminal), and
+//   * for every terminal symbol x there is at most one leaf non-terminal T_x.
+//
+// The terminal alphabet is `SymbolId` (uint32):
+//   0..255   raw document bytes,
+//   256      the sentinel `#` appended by the evaluator (Section 6.1),
+//   >= 257   interned marker-set symbols from P(Gamma_X), used by the spliced
+//            SLPs of model checking (Theorem 5.1(2)); see spanner/symbol_table.h.
+//
+// Invariants maintained by construction (and checked by Validate()):
+//   * rules are topologically numbered: children of an inner non-terminal have
+//     strictly smaller ids, so bottom-up passes are plain index loops;
+//   * every non-terminal is reachable from the root;
+//   * |D(A)| (Lemma 4.4) and depth(A) are precomputed in O(size(S)).
+
+#ifndef SLPSPAN_SLP_SLP_H_
+#define SLPSPAN_SLP_SLP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace slpspan {
+
+/// Terminal symbol of an SLP (see file comment for the id ranges).
+using SymbolId = uint32_t;
+
+/// The sentinel `#` used internally for the non-tail-spanning transform.
+constexpr SymbolId kSentinelSymbol = 256;
+
+/// First id used for interned marker-set symbols.
+constexpr SymbolId kFirstMarkerSymbol = 257;
+
+/// Non-terminal id within one Slp.
+using NtId = uint32_t;
+constexpr NtId kInvalidNt = UINT32_MAX;
+
+/// Converts a byte string to the SymbolId representation used by SLPs.
+std::vector<SymbolId> ToSymbols(std::string_view text);
+
+/// Converts a symbol sequence back to bytes. CHECK-fails on non-byte symbols;
+/// only use on symbol sequences known to be plain documents.
+std::string ToByteString(const std::vector<SymbolId>& symbols);
+
+/// Immutable straight-line program in normal form. Construct through
+/// SlpBuilder, CnfAssembler or the factory functions in slp/factory.h.
+class Slp {
+ public:
+  /// Number of non-terminals |N|.
+  uint32_t NumNonTerminals() const { return static_cast<uint32_t>(rules_.size()); }
+
+  /// Number of inner (binary) non-terminals.
+  uint32_t NumInnerNonTerminals() const { return num_inner_; }
+
+  /// The paper's size(S) = |N| + sum_A |rhs(A)| = |N| + 2*|inner| + |leaves|.
+  uint64_t PaperSize() const {
+    return static_cast<uint64_t>(rules_.size()) + 2ull * num_inner_ +
+           (rules_.size() - num_inner_);
+  }
+
+  NtId root() const { return root_; }
+
+  bool IsLeaf(NtId a) const {
+    SLPSPAN_DCHECK(a < rules_.size());
+    return rules_[a].right == kInvalidNt;
+  }
+
+  /// Terminal symbol of a leaf non-terminal T_x.
+  SymbolId LeafSymbol(NtId a) const {
+    SLPSPAN_DCHECK(IsLeaf(a));
+    return rules_[a].left;
+  }
+
+  /// Left child B of an inner rule A -> B C.
+  NtId Left(NtId a) const {
+    SLPSPAN_DCHECK(!IsLeaf(a));
+    return rules_[a].left;
+  }
+
+  /// Right child C of an inner rule A -> B C.
+  NtId Right(NtId a) const {
+    SLPSPAN_DCHECK(!IsLeaf(a));
+    return rules_[a].right;
+  }
+
+  /// |D(A)| — length of the expansion of A (Lemma 4.4, precomputed).
+  uint64_t Length(NtId a) const {
+    SLPSPAN_DCHECK(a < lengths_.size());
+    return lengths_[a];
+  }
+
+  /// d = |D| — length of the represented document.
+  uint64_t DocumentLength() const { return lengths_[root_]; }
+
+  /// depth(A): number of non-terminal levels in A's derivation tree
+  /// (leaf non-terminals have depth 1, depth(A->BC) = 1 + max of children).
+  uint32_t Depth(NtId a) const {
+    SLPSPAN_DCHECK(a < depths_.size());
+    return depths_[a];
+  }
+
+  /// depth(S) = depth of the start non-terminal.
+  uint32_t depth() const { return depths_[root_]; }
+
+  /// Returns the i-th symbol of D, 1-based (paper convention D[i]).
+  /// O(depth(S)) via a root-to-leaf descent guided by |D(A)|.
+  SymbolId SymbolAt(uint64_t pos) const;
+
+  /// Expands D(a) into `out` (appends). Iterative; O(|D(a)|).
+  void AppendExpansion(NtId a, std::vector<SymbolId>* out) const;
+
+  /// Full document as a symbol sequence. O(d) time and memory.
+  std::vector<SymbolId> Expand() const;
+
+  /// Full document as bytes; CHECK-fails if any symbol is not a byte.
+  std::string ExpandToString() const;
+
+  /// Extracts D[from, to> (1-based, half-open, `to` exclusive) without
+  /// expanding the whole document. O(depth(S) + (to - from)).
+  std::vector<SymbolId> ExpandRange(uint64_t from, uint64_t to) const;
+
+  /// Streams the document's symbols left to right without materializing it.
+  void ForEachSymbol(const std::function<void(SymbolId)>& fn) const;
+
+  /// Structural validation: topological numbering, normal form (unique leaf
+  /// per terminal), reachability, and length/depth table consistency.
+  Status Validate() const;
+
+  /// Human-readable grammar listing (for debugging / small SLPs).
+  std::string DebugString() const;
+
+  struct Stats {
+    uint32_t non_terminals = 0;
+    uint32_t inner_non_terminals = 0;
+    uint32_t leaf_non_terminals = 0;
+    uint64_t paper_size = 0;      ///< size(S) as defined in the paper
+    uint64_t document_length = 0; ///< d
+    uint32_t depth = 0;           ///< depth(S)
+    double compression_ratio = 0; ///< d / size(S)
+  };
+  Stats ComputeStats() const;
+
+ private:
+  friend class CnfAssembler;
+
+  struct Rule {
+    // Leaf: right == kInvalidNt and left holds the terminal SymbolId.
+    // Inner: left/right are child NtIds.
+    uint32_t left;
+    NtId right;
+  };
+
+  Slp(std::vector<Rule> rules, NtId root, uint32_t num_inner);
+
+  std::vector<Rule> rules_;
+  std::vector<uint64_t> lengths_;
+  std::vector<uint32_t> depths_;
+  NtId root_ = kInvalidNt;
+  uint32_t num_inner_ = 0;
+};
+
+/// Low-level builder for normal-form SLPs. Children must be created before
+/// parents, which makes the numbering topological by construction. Leaf() and
+/// (optionally) Pair() are hash-consed, so structurally equal sub-derivations
+/// share one non-terminal — this is what makes balanced construction from an
+/// explicit string compress repetitive inputs.
+class CnfAssembler {
+ public:
+  /// If `dedup_pairs` is false, Pair() always creates a fresh non-terminal
+  /// (needed when the caller wants distinct names for equal expansions, e.g.
+  /// the spliced SLPs of model checking).
+  explicit CnfAssembler(bool dedup_pairs = true);
+  ~CnfAssembler();
+
+  CnfAssembler(const CnfAssembler&) = delete;
+  CnfAssembler& operator=(const CnfAssembler&) = delete;
+
+  /// Leaf non-terminal T_x for terminal `x` (created once per symbol).
+  NtId Leaf(SymbolId x);
+
+  /// Inner non-terminal with rule A -> left right.
+  NtId Pair(NtId left, NtId right);
+
+  /// Balanced binary concatenation of a non-empty sequence of non-terminals.
+  NtId Balanced(const std::vector<NtId>& parts);
+
+  /// Imports all rules of `other` and returns the id mapping of its root.
+  /// Leaf non-terminals are merged with this assembler's leaves.
+  NtId Import(const Slp& other);
+
+  uint64_t LengthOf(NtId a) const;
+  uint32_t NumNonTerminals() const;
+
+  /// Finishes construction: prunes non-terminals unreachable from `root`,
+  /// renumbers topologically and returns the immutable Slp.
+  Slp Finish(NtId root);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SLP_SLP_H_

@@ -1,0 +1,98 @@
+#include "spanner/algebra.h"
+
+#include <bit>
+
+namespace slpspan {
+
+namespace {
+
+/// Rewrites a mask under a variable-id mapping; `mapping[v] == kInvalidNt`
+/// drops the variable's markers.
+MarkerMask RemapMask(MarkerMask mask, const std::vector<uint32_t>& mapping) {
+  MarkerMask out = 0;
+  while (mask != 0) {
+    const int bit = std::countr_zero(mask);
+    mask &= mask - 1;
+    const VarId v = static_cast<VarId>(bit / 2);
+    SLPSPAN_CHECK(v < mapping.size());
+    if (mapping[v] == UINT32_MAX) continue;
+    out |= MarkerMask{1} << (2 * mapping[v] + (bit % 2));
+  }
+  return out;
+}
+
+/// Copies `src` into `dst` with state offset and mask remapping; marker arcs
+/// whose mask remaps to the empty set become eps arcs.
+void ImportAutomaton(const Nfa& src, const std::vector<uint32_t>& var_mapping,
+                     Nfa* dst, StateId offset) {
+  for (StateId s = 0; s < src.NumStates(); ++s) {
+    if (src.IsAccepting(s)) dst->SetAccepting(offset + s, true);
+    for (const Nfa::CharArc& a : src.CharArcsFrom(s)) {
+      dst->AddCharArc(offset + s, a.sym, offset + a.to);
+    }
+    for (const Nfa::MarkArc& a : src.MarkArcsFrom(s)) {
+      const MarkerMask mask = RemapMask(a.mask, var_mapping);
+      if (mask == 0) {
+        dst->AddEpsArc(offset + s, offset + a.to);
+      } else {
+        dst->AddMarkArc(offset + s, mask, offset + a.to);
+      }
+    }
+    for (StateId t : src.EpsArcsFrom(s)) {
+      dst->AddEpsArc(offset + s, offset + t);
+    }
+  }
+}
+
+}  // namespace
+
+Result<Spanner> SpannerUnion(const Spanner& a, const Spanner& b) {
+  // Merge the variable sets by name; each side gets an id mapping.
+  VariableSet merged;
+  std::vector<uint32_t> map_a(a.num_vars()), map_b(b.num_vars());
+  for (VarId v = 0; v < a.num_vars(); ++v) {
+    Result<VarId> id = merged.Intern(a.vars().Name(v));
+    if (!id.ok()) return id.status();
+    map_a[v] = id.value();
+  }
+  for (VarId v = 0; v < b.num_vars(); ++v) {
+    Result<VarId> id = merged.Intern(b.vars().Name(v));
+    if (!id.ok()) return id.status();
+    map_b[v] = id.value();
+  }
+
+  // Fresh start state with eps arcs into both copies.
+  Nfa out;  // state 0 = start
+  const StateId base_a = out.NumStates();
+  for (StateId s = 0; s < a.raw().NumStates(); ++s) out.AddState();
+  const StateId base_b = out.NumStates();
+  for (StateId s = 0; s < b.raw().NumStates(); ++s) out.AddState();
+  ImportAutomaton(a.raw(), map_a, &out, base_a);
+  ImportAutomaton(b.raw(), map_b, &out, base_b);
+  out.AddEpsArc(0, base_a);  // raw automata start at their state 0
+  out.AddEpsArc(0, base_b);
+
+  return Spanner::FromAutomaton(std::move(out), std::move(merged));
+}
+
+Result<Spanner> SpannerProject(const Spanner& sp,
+                               const std::vector<std::string>& keep) {
+  VariableSet projected;
+  std::vector<uint32_t> mapping(sp.num_vars(), UINT32_MAX);
+  for (const std::string& name : keep) {
+    const auto old_id = sp.vars().Find(name);
+    if (!old_id.has_value()) {
+      return Status::InvalidArgument("projection variable not in spanner: " + name);
+    }
+    Result<VarId> new_id = projected.Intern(name);
+    if (!new_id.ok()) return new_id.status();
+    mapping[*old_id] = new_id.value();
+  }
+
+  Nfa out;  // state 0 = start, aligned with sp.raw()'s start
+  for (StateId s = 1; s < sp.raw().NumStates(); ++s) out.AddState();
+  ImportAutomaton(sp.raw(), mapping, &out, 0);
+  return Spanner::FromAutomaton(std::move(out), std::move(projected));
+}
+
+}  // namespace slpspan

@@ -1,0 +1,40 @@
+// Spanner algebra on regular spanners — union and projection.
+//
+// The framework of [Fagin et al. 2015] composes extracted relations with
+// relational algebra; regular spanners are closed under union and projection
+// at the *automaton* level, which lets the whole composed query run directly
+// on the compressed document. Both operations work on the raw automata and
+// re-normalize, so their results are ordinary Spanners accepted by every
+// evaluator in this library.
+//
+//   * Union: ⟦A ∪ B⟧(D) = ⟦A⟧(D) ∪ ⟦B⟧(D). Variables are matched by name;
+//     a variable used by only one side is simply unset (⊥) in the other
+//     side's tuples (schemaless semantics, paper Section 1.2).
+//   * Projection: ⟦π_Y A⟧(D) = { t|_Y : t ∈ ⟦A⟧(D) } — markers of dropped
+//     variables are erased from the transitions; duplicates introduced by
+//     the restriction collapse under the set semantics automatically.
+
+#ifndef SLPSPAN_SPANNER_ALGEBRA_H_
+#define SLPSPAN_SPANNER_ALGEBRA_H_
+
+#include <string>
+#include <vector>
+
+#include "spanner/spanner.h"
+#include "util/status.h"
+
+namespace slpspan {
+
+/// Union of two spanners over the same terminal alphabet (the caller is
+/// responsible for alphabet compatibility; variables merge by name). Fails
+/// if the merged variable set exceeds kMaxVariables.
+Result<Spanner> SpannerUnion(const Spanner& a, const Spanner& b);
+
+/// Projection onto the named variables. Unknown names fail with
+/// kInvalidArgument. The result's VarIds are renumbered densely in the order
+/// given by `keep`.
+Result<Spanner> SpannerProject(const Spanner& sp, const std::vector<std::string>& keep);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SPANNER_ALGEBRA_H_

@@ -1,0 +1,154 @@
+#include "spanner/marker.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace slpspan {
+
+MarkerSeq::MarkerSeq(std::vector<PosMark> entries) : entries_(std::move(entries)) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    SLPSPAN_CHECK(entries_[i].marks != 0);
+    SLPSPAN_CHECK(entries_[i].pos >= 1);
+    if (i > 0) SLPSPAN_CHECK(entries_[i - 1].pos < entries_[i].pos);
+  }
+}
+
+MarkerSeq MarkerSeq::FromTuple(const SpanTuple& t) {
+  // Collect (position, mask) pairs; positions are at most 2 * num_vars many.
+  std::vector<PosMark> entries;
+  auto add = [&entries](uint64_t pos, MarkerMask m) {
+    for (auto& e : entries) {
+      if (e.pos == pos) {
+        e.marks |= m;
+        return;
+      }
+    }
+    entries.push_back({pos, m});
+  };
+  for (VarId v = 0; v < t.num_vars(); ++v) {
+    const auto& span = t.Get(v);
+    if (!span.has_value()) continue;
+    add(span->begin, OpenMarker(v));
+    add(span->end, CloseMarker(v));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const PosMark& a, const PosMark& b) { return a.pos < b.pos; });
+  return MarkerSeq(std::move(entries));
+}
+
+Result<SpanTuple> MarkerSeq::ToTuple(uint32_t num_vars) const {
+  SpanTuple t(num_vars);
+  std::vector<uint64_t> open_pos(num_vars, 0), close_pos(num_vars, 0);
+  for (const PosMark& e : entries_) {
+    MarkerMask m = e.marks;
+    while (m != 0) {
+      const int bit = std::countr_zero(m);
+      m &= m - 1;
+      const VarId v = static_cast<VarId>(bit / 2);
+      if (v >= num_vars) return Status::InvalidArgument("marker for unknown variable");
+      uint64_t& slot = (bit % 2 == 0) ? open_pos[v] : close_pos[v];
+      if (slot != 0) return Status::InvalidArgument("duplicate marker for variable");
+      slot = e.pos;
+    }
+  }
+  for (VarId v = 0; v < num_vars; ++v) {
+    if ((open_pos[v] == 0) != (close_pos[v] == 0)) {
+      return Status::InvalidArgument("unmatched open/close marker");
+    }
+    if (open_pos[v] != 0) {
+      if (open_pos[v] > close_pos[v]) {
+        return Status::InvalidArgument("close marker before open marker");
+      }
+      t.Set(v, Span{open_pos[v], close_pos[v]});
+    }
+  }
+  return t;
+}
+
+MarkerSeq MarkerSeq::RightShift(uint64_t shift) const {
+  MarkerSeq out;
+  out.entries_ = entries_;
+  for (PosMark& e : out.entries_) e.pos += shift;
+  return out;
+}
+
+MarkerSeq MarkerSeq::Join(const MarkerSeq& a, const MarkerSeq& b, uint64_t s) {
+  SLPSPAN_DCHECK(a.entries_.empty() || a.entries_.back().pos <= s);
+  MarkerSeq out;
+  out.entries_.reserve(a.entries_.size() + b.entries_.size());
+  out.entries_ = a.entries_;
+  for (const PosMark& e : b.entries_) out.entries_.push_back({e.pos + s, e.marks});
+  return out;
+}
+
+int MarkerSeq::Compare(const MarkerSeq& a, const MarkerSeq& b) {
+  // Element-wise comparison of the flattened words <<Λ>> over Gamma_X × N:
+  // per entry first by position, then by CompareMasks over the entry's
+  // markers; if all compared elements agree and one word ends first, the
+  // shorter (prefix) word is *larger* — matching the paper's order.
+  const size_t n = std::min(a.entries_.size(), b.entries_.size());
+  for (size_t idx = 0; idx < n; ++idx) {
+    const PosMark& x = a.entries_[idx];
+    const PosMark& y = b.entries_[idx];
+    if (x.pos != y.pos) {
+      // The first differing flattened element is the one at the smaller
+      // position; the sequence holding it is smaller.
+      return x.pos < y.pos ? -1 : 1;
+    }
+    const int c = CompareMasks(x.marks, y.marks);
+    if (c != 0) return c;
+  }
+  if (a.entries_.size() == b.entries_.size()) return 0;
+  return a.entries_.size() < b.entries_.size() ? 1 : -1;  // prefix is larger
+}
+
+uint32_t MarkerSeq::NumMarkers() const {
+  uint32_t total = 0;
+  for (const PosMark& e : entries_) {
+    total += static_cast<uint32_t>(std::popcount(e.marks));
+  }
+  return total;
+}
+
+std::string MarkerSeq::ToString(const VariableSet& vars) const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << entries_[i].pos << ":" << vars.MaskToString(entries_[i].marks);
+  }
+  os << "}";
+  return os.str();
+}
+
+std::vector<MarkerSeq> MergeSorted(std::vector<MarkerSeq> a, std::vector<MarkerSeq> b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  std::vector<MarkerSeq> out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const int c = MarkerSeq::Compare(a[i], b[j]);
+    if (c < 0) {
+      out.push_back(std::move(a[i++]));
+    } else if (c > 0) {
+      out.push_back(std::move(b[j++]));
+    } else {
+      out.push_back(std::move(a[i++]));
+      ++j;  // duplicate dropped
+    }
+  }
+  while (i < a.size()) out.push_back(std::move(a[i++]));
+  while (j < b.size()) out.push_back(std::move(b[j++]));
+  return out;
+}
+
+bool IsSortedUnique(const std::vector<MarkerSeq>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (MarkerSeq::Compare(v[i - 1], v[i]) >= 0) return false;
+  }
+  return true;
+}
+
+}  // namespace slpspan

@@ -1,0 +1,91 @@
+// Partial marker sets Λ ("MarkerSeq") — paper Sections 3.1 and 6.1.
+//
+// A partial marker set is a finite set of (marker, position) pairs; we store
+// it as a position-sorted sequence of (position, MarkerMask) entries with
+// non-zero masks, i.e. exactly the non-empty sets A_i of the marked word
+// m(D, Λ) = A_1 b_1 ... A_d b_d A_{d+1}.
+//
+// The three operations the evaluation algorithms are built from:
+//   * RightShift  — the paper's rs_ℓ(Λ),
+//   * Join(a, b, s) — the paper's a ⊗_s b = a ∪ rs_s(b)  (Definition 6.7),
+//   * Compare     — the paper's total order ⪯ from the proof of Theorem 7.1,
+//     including its "a proper prefix is *larger*" twist. That twist is what
+//     makes ⊗_s monotone in both arguments, so joins of sorted lists are
+//     sorted and unions can be merged with on-the-fly duplicate removal.
+
+#ifndef SLPSPAN_SPANNER_MARKER_H_
+#define SLPSPAN_SPANNER_MARKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spanner/span.h"
+#include "spanner/variables.h"
+#include "util/status.h"
+
+namespace slpspan {
+
+/// All markers occurring at one document position (mask is never 0 inside a
+/// MarkerSeq).
+struct PosMark {
+  uint64_t pos = 0;        ///< 1-based position in [1, d+1]
+  MarkerMask marks = 0;
+
+  bool operator==(const PosMark& o) const { return pos == o.pos && marks == o.marks; }
+};
+
+/// A partial marker set Λ; immutable value type.
+class MarkerSeq {
+ public:
+  MarkerSeq() = default;
+
+  /// Builds from entries; they must be strictly increasing in position with
+  /// non-zero masks (checked).
+  explicit MarkerSeq(std::vector<PosMark> entries);
+
+  /// The marker set \hat{t} of a span-tuple (paper Section 3).
+  static MarkerSeq FromTuple(const SpanTuple& t);
+
+  /// Reconstructs the span-tuple; fails if some variable has an unmatched or
+  /// duplicated open/close marker (cannot happen for marker sets produced by
+  /// well-formed spanners).
+  Result<SpanTuple> ToTuple(uint32_t num_vars) const;
+
+  /// rs_ℓ(Λ): every position shifted right by `shift`.
+  MarkerSeq RightShift(uint64_t shift) const;
+
+  /// a ⊗_s b = a ∪ rs_s(b). Precondition (checked): all positions of `a` are
+  /// <= s, so the result is sorted by construction — this always holds when
+  /// `a` describes a non-tail-spanning marked word of a length-s prefix.
+  static MarkerSeq Join(const MarkerSeq& a, const MarkerSeq& b, uint64_t s);
+
+  /// Total order ⪯: -1, 0, 1. See file comment.
+  static int Compare(const MarkerSeq& a, const MarkerSeq& b);
+
+  bool empty() const { return entries_.empty(); }
+  size_t NumPositions() const { return entries_.size(); }
+  /// Total number of (marker, position) pairs, <= 2|X|.
+  uint32_t NumMarkers() const;
+  uint64_t MaxPos() const { return entries_.empty() ? 0 : entries_.back().pos; }
+
+  const std::vector<PosMark>& entries() const { return entries_; }
+
+  bool operator==(const MarkerSeq& o) const { return entries_ == o.entries_; }
+  bool operator<(const MarkerSeq& o) const { return Compare(*this, o) < 0; }
+
+  std::string ToString(const VariableSet& vars) const;
+
+ private:
+  std::vector<PosMark> entries_;
+};
+
+/// Merges two ⪯-sorted, duplicate-free vectors into one (duplicates removed).
+std::vector<MarkerSeq> MergeSorted(std::vector<MarkerSeq> a, std::vector<MarkerSeq> b);
+
+/// True if `v` is strictly ⪯-increasing (sorted and duplicate-free).
+bool IsSortedUnique(const std::vector<MarkerSeq>& v);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SPANNER_MARKER_H_

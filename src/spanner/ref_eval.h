@@ -1,0 +1,104 @@
+// Reference evaluator on *uncompressed* documents.
+//
+// Implements all four evaluation tasks by direct automaton simulation /
+// product-DAG construction over the plain document — the classical approach
+// the paper compares against ([9], [2]; see DESIGN.md §4(2) for the
+// documented substitution of the constant-delay machinery):
+//   * non-emptiness  O(d * |M|)          (state-set simulation)
+//   * model checking O((d + |X|) * |M|)  (simulation on the marked word)
+//   * computation    O(d * q * r * |X|)  (forward DP with sorted lists)
+//   * enumeration    O(d * |M|) preprocessing, O(d) worst-case delay
+//                    (DFS over the trimmed product DAG)
+//
+// Doubles as the ground-truth oracle for the compressed algorithms in tests.
+
+#ifndef SLPSPAN_SPANNER_REF_EVAL_H_
+#define SLPSPAN_SPANNER_REF_EVAL_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "spanner/marker.h"
+#include "spanner/nfa.h"
+#include "spanner/spanner.h"
+
+namespace slpspan {
+
+/// Pull-style enumerator over the product DAG of (automaton x document).
+/// RocksDB-iterator usage:
+///   for (RefEnumerator e = ref.Enumerate(doc); e.Valid(); e.Next()) use(e.Current());
+class RefEnumerator {
+ public:
+  bool Valid() const { return valid_; }
+  void Next();
+
+  /// Current result as a marker set / span-tuple (Valid() required).
+  const MarkerSeq& CurrentMarkers() const {
+    SLPSPAN_DCHECK(valid_);
+    return current_;
+  }
+  SpanTuple Current() const;
+
+ private:
+  friend class RefEvaluator;
+  RefEnumerator(const Nfa* nfa, std::vector<SymbolId> word, uint32_t num_vars);
+
+  struct Move {
+    MarkerMask mask;  // 0 = plain char move
+    StateId to;
+  };
+  struct Frame {
+    StateId state;
+    std::vector<Move> moves;
+    size_t next_move;
+  };
+
+  bool CoAccessible(uint64_t pos, StateId s) const {
+    return (coacc_[pos][s >> 6] >> (s & 63)) & 1;
+  }
+  void BuildMoves(Frame* f, uint64_t pos) const;
+  /// Advances the DFS until the next accepting leaf or exhaustion.
+  void Advance();
+  void AssembleCurrent();
+
+  const Nfa* nfa_ = nullptr;
+  std::vector<SymbolId> word_;  // document + sentinel
+  uint32_t num_vars_ = 0;
+  std::vector<std::vector<uint64_t>> coacc_;  // [pos][state words]
+  std::vector<Frame> stack_;                  // stack_[i] is at position i
+  std::vector<PosMark> marks_;                // masks taken along current path
+  MarkerSeq current_;
+  bool valid_ = false;
+};
+
+/// Evaluator over plain byte documents.
+class RefEvaluator {
+ public:
+  /// `determinize` applies to the automaton used for computation/enumeration;
+  /// with a DFA the enumeration is duplicate-free (mirrors Theorem 8.10's
+  /// requirement).
+  explicit RefEvaluator(const Spanner& spanner, bool determinize = true);
+
+  bool CheckNonEmptiness(std::string_view doc) const;
+  bool CheckModel(std::string_view doc, const SpanTuple& t) const;
+
+  /// All results as marker sets, ⪯-sorted and duplicate-free.
+  std::vector<MarkerSeq> ComputeAllMarkers(std::string_view doc) const;
+  std::vector<SpanTuple> ComputeAll(std::string_view doc) const;
+
+  RefEnumerator Enumerate(std::string_view doc) const;
+
+  uint32_t num_vars() const { return num_vars_; }
+  const Nfa& eval_nfa() const { return eval_nfa_; }
+
+ private:
+  uint32_t num_vars_;
+  Nfa nonempty_nfa_;  // markers projected away, then normalized: char arcs only
+  Nfa model_nfa_;     // normalized (no sentinel)
+  Nfa eval_nfa_;      // normalized + sentinel (+ determinization)
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SPANNER_REF_EVAL_H_

@@ -1,0 +1,185 @@
+#include "spanner/regex_ast.h"
+
+#include <sstream>
+
+namespace slpspan {
+
+RegexPtr RegexNode::Epsilon() {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kEpsilon;
+  return n;
+}
+
+RegexPtr RegexNode::Class(const ByteSet& set) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kCharClass;
+  n->cls = set;
+  return n;
+}
+
+RegexPtr RegexNode::Literal(unsigned char c) {
+  ByteSet s;
+  s.set(c);
+  return Class(s);
+}
+
+RegexPtr RegexNode::Concat(std::vector<RegexPtr> parts) {
+  if (parts.empty()) return Epsilon();
+  if (parts.size() == 1) return std::move(parts[0]);
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kConcat;
+  n->children = std::move(parts);
+  return n;
+}
+
+RegexPtr RegexNode::Union(std::vector<RegexPtr> alts) {
+  SLPSPAN_CHECK(!alts.empty());
+  if (alts.size() == 1) return std::move(alts[0]);
+  auto n = std::make_unique<RegexNode>();
+  n->kind = Kind::kUnion;
+  n->children = std::move(alts);
+  return n;
+}
+
+namespace {
+RegexPtr Unary(RegexNode::Kind kind, RegexPtr inner) {
+  auto n = std::make_unique<RegexNode>();
+  n->kind = kind;
+  n->children.push_back(std::move(inner));
+  return n;
+}
+}  // namespace
+
+RegexPtr RegexNode::Star(RegexPtr inner) { return Unary(Kind::kStar, std::move(inner)); }
+RegexPtr RegexNode::Plus(RegexPtr inner) { return Unary(Kind::kPlus, std::move(inner)); }
+RegexPtr RegexNode::Optional(RegexPtr inner) {
+  return Unary(Kind::kOptional, std::move(inner));
+}
+
+RegexPtr RegexNode::Capture(VarId var, RegexPtr inner) {
+  auto n = Unary(Kind::kCapture, std::move(inner));
+  n->var = var;
+  return n;
+}
+
+Status ValidateVariableUsage(const RegexNode& node, VarUsage* may_use) {
+  *may_use = 0;
+  switch (node.kind) {
+    case RegexNode::Kind::kEpsilon:
+    case RegexNode::Kind::kCharClass:
+      return Status::OK();
+    case RegexNode::Kind::kStar:
+    case RegexNode::Kind::kPlus: {
+      VarUsage inner = 0;
+      Status st = ValidateVariableUsage(*node.children[0], &inner);
+      if (!st.ok()) return st;
+      if (inner != 0) {
+        return Status::InvalidArgument(
+            "variable capture under * or + would repeat a marker");
+      }
+      return Status::OK();
+    }
+    case RegexNode::Kind::kOptional:
+      return ValidateVariableUsage(*node.children[0], may_use);
+    case RegexNode::Kind::kConcat: {
+      for (const RegexPtr& child : node.children) {
+        VarUsage inner = 0;
+        Status st = ValidateVariableUsage(*child, &inner);
+        if (!st.ok()) return st;
+        if ((*may_use & inner) != 0) {
+          return Status::InvalidArgument(
+              "variable may be captured twice in one concatenation");
+        }
+        *may_use |= inner;
+      }
+      return Status::OK();
+    }
+    case RegexNode::Kind::kUnion: {
+      for (const RegexPtr& child : node.children) {
+        VarUsage inner = 0;
+        Status st = ValidateVariableUsage(*child, &inner);
+        if (!st.ok()) return st;
+        *may_use |= inner;
+      }
+      return Status::OK();
+    }
+    case RegexNode::Kind::kCapture: {
+      VarUsage inner = 0;
+      Status st = ValidateVariableUsage(*node.children[0], &inner);
+      if (!st.ok()) return st;
+      const VarUsage self = VarUsage{1} << node.var;
+      if ((inner & self) != 0) {
+        return Status::InvalidArgument("variable captured inside itself");
+      }
+      *may_use = inner | self;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("corrupt regex node");
+}
+
+namespace {
+
+void Render(const RegexNode& node, const VariableSet& vars, std::ostringstream& os) {
+  switch (node.kind) {
+    case RegexNode::Kind::kEpsilon:
+      os << "()";
+      break;
+    case RegexNode::Kind::kCharClass: {
+      const size_t count = node.cls.count();
+      if (count == 1) {
+        for (int c = 0; c < 256; ++c) {
+          if (node.cls.test(c)) os << static_cast<char>(c);
+        }
+      } else {
+        os << "[";
+        for (int c = 0; c < 256; ++c) {
+          if (node.cls.test(c)) os << static_cast<char>(c);
+        }
+        os << "]";
+      }
+      break;
+    }
+    case RegexNode::Kind::kConcat:
+      for (const auto& c : node.children) Render(*c, vars, os);
+      break;
+    case RegexNode::Kind::kUnion:
+      os << "(";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) os << "|";
+        Render(*node.children[i], vars, os);
+      }
+      os << ")";
+      break;
+    case RegexNode::Kind::kStar:
+      os << "(";
+      Render(*node.children[0], vars, os);
+      os << ")*";
+      break;
+    case RegexNode::Kind::kPlus:
+      os << "(";
+      Render(*node.children[0], vars, os);
+      os << ")+";
+      break;
+    case RegexNode::Kind::kOptional:
+      os << "(";
+      Render(*node.children[0], vars, os);
+      os << ")?";
+      break;
+    case RegexNode::Kind::kCapture:
+      os << vars.Name(node.var) << "{";
+      Render(*node.children[0], vars, os);
+      os << "}";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string RegexToString(const RegexNode& node, const VariableSet& vars) {
+  std::ostringstream os;
+  Render(node, vars, os);
+  return os.str();
+}
+
+}  // namespace slpspan

@@ -1,0 +1,76 @@
+// AST for the spanner regex dialect.
+//
+// Syntax (see regex_parser.h for the grammar): ordinary regular expressions
+// over bytes extended with *variable capture*  name{ ... }  which compiles to
+// the marker pair  open(name) ... close(name)  — i.e. the subword-marked
+// languages of paper Section 3. Example (the paper's introduction spanner):
+//
+//     (b|c)* x{a} .* y{c c*} .*
+//
+// Static well-formedness (ValidateVariableUsage) guarantees the compiled
+// automaton accepts only subword-marked words: no capture inside * or +, and
+// no variable that can occur twice on one concatenation path.
+
+#ifndef SLPSPAN_SPANNER_REGEX_AST_H_
+#define SLPSPAN_SPANNER_REGEX_AST_H_
+
+#include <bitset>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spanner/variables.h"
+#include "util/status.h"
+
+namespace slpspan {
+
+using ByteSet = std::bitset<256>;
+
+struct RegexNode;
+using RegexPtr = std::unique_ptr<RegexNode>;
+
+struct RegexNode {
+  enum class Kind {
+    kEpsilon,    ///< matches the empty word
+    kCharClass,  ///< matches one byte from `cls`
+    kConcat,     ///< children in sequence
+    kUnion,      ///< any child
+    kStar,       ///< child repeated >= 0 times
+    kPlus,       ///< child repeated >= 1 times
+    kOptional,   ///< child or empty
+    kCapture,    ///< child wrapped in open(var)/close(var) markers
+  };
+
+  Kind kind;
+  ByteSet cls;                     // kCharClass only
+  VarId var = 0;                   // kCapture only
+  std::vector<RegexPtr> children;  // arity: 0 / 1 / n by kind
+
+  static RegexPtr Epsilon();
+  static RegexPtr Class(const ByteSet& set);
+  static RegexPtr Literal(unsigned char c);
+  static RegexPtr Concat(std::vector<RegexPtr> parts);
+  static RegexPtr Union(std::vector<RegexPtr> alts);
+  static RegexPtr Star(RegexPtr inner);
+  static RegexPtr Plus(RegexPtr inner);
+  static RegexPtr Optional(RegexPtr inner);
+  static RegexPtr Capture(VarId var, RegexPtr inner);
+};
+
+/// Bitmask over VarIds (bit v = variable v may be captured on some path).
+using VarUsage = uint64_t;
+
+/// Checks the two static rules that keep the compiled language a
+/// subword-marked language:
+///  (1) no capture occurs inside kStar/kPlus (a repeated marker),
+///  (2) within a concatenation, the may-capture sets of the parts are
+///      pairwise disjoint (conservative: rejects some harmless patterns,
+///      never accepts a bad one). Returns the may-capture set via out-param.
+Status ValidateVariableUsage(const RegexNode& node, VarUsage* may_use);
+
+/// Debug rendering.
+std::string RegexToString(const RegexNode& node, const VariableSet& vars);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SPANNER_REGEX_AST_H_

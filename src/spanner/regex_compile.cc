@@ -1,0 +1,138 @@
+#include "spanner/regex_parser.h"
+#include "spanner/spanner.h"
+
+namespace slpspan {
+
+namespace {
+
+// Thompson fragments: every Build() call returns (entry, exit) states such
+// that the fragment's language labels exactly the entry->exit paths.
+struct Fragment {
+  StateId entry;
+  StateId exit;
+};
+
+class ThompsonBuilder {
+ public:
+  explicit ThompsonBuilder(Nfa* nfa) : nfa_(nfa) {}
+
+  Fragment Build(const RegexNode& node) {
+    switch (node.kind) {
+      case RegexNode::Kind::kEpsilon: {
+        const StateId s = nfa_->AddState();
+        return {s, s};
+      }
+      case RegexNode::Kind::kCharClass: {
+        const StateId s = nfa_->AddState();
+        const StateId t = nfa_->AddState();
+        for (int c = 0; c < 256; ++c) {
+          if (node.cls.test(c)) nfa_->AddCharArc(s, static_cast<SymbolId>(c), t);
+        }
+        return {s, t};
+      }
+      case RegexNode::Kind::kConcat: {
+        Fragment acc = Build(*node.children[0]);
+        for (size_t i = 1; i < node.children.size(); ++i) {
+          Fragment next = Build(*node.children[i]);
+          nfa_->AddEpsArc(acc.exit, next.entry);
+          acc.exit = next.exit;
+        }
+        return acc;
+      }
+      case RegexNode::Kind::kUnion: {
+        const StateId s = nfa_->AddState();
+        const StateId t = nfa_->AddState();
+        for (const RegexPtr& child : node.children) {
+          Fragment f = Build(*child);
+          nfa_->AddEpsArc(s, f.entry);
+          nfa_->AddEpsArc(f.exit, t);
+        }
+        return {s, t};
+      }
+      case RegexNode::Kind::kStar: {
+        const StateId s = nfa_->AddState();
+        const StateId t = nfa_->AddState();
+        Fragment f = Build(*node.children[0]);
+        nfa_->AddEpsArc(s, t);
+        nfa_->AddEpsArc(s, f.entry);
+        nfa_->AddEpsArc(f.exit, f.entry);
+        nfa_->AddEpsArc(f.exit, t);
+        return {s, t};
+      }
+      case RegexNode::Kind::kPlus: {
+        Fragment f = Build(*node.children[0]);
+        const StateId t = nfa_->AddState();
+        nfa_->AddEpsArc(f.exit, f.entry);
+        nfa_->AddEpsArc(f.exit, t);
+        return {f.entry, t};
+      }
+      case RegexNode::Kind::kOptional: {
+        const StateId s = nfa_->AddState();
+        const StateId t = nfa_->AddState();
+        Fragment f = Build(*node.children[0]);
+        nfa_->AddEpsArc(s, t);
+        nfa_->AddEpsArc(s, f.entry);
+        nfa_->AddEpsArc(f.exit, t);
+        return {s, t};
+      }
+      case RegexNode::Kind::kCapture: {
+        const StateId s = nfa_->AddState();
+        const StateId t = nfa_->AddState();
+        Fragment f = Build(*node.children[0]);
+        nfa_->AddMarkArc(s, OpenMarker(node.var), f.entry);
+        nfa_->AddMarkArc(f.exit, CloseMarker(node.var), t);
+        return {s, t};
+      }
+    }
+    SLPSPAN_CHECK(false);
+    return {0, 0};
+  }
+
+ private:
+  Nfa* nfa_;
+};
+
+}  // namespace
+
+Nfa CompileRegexToNfa(const RegexNode& root) {
+  Nfa nfa;  // state 0 = start
+  ThompsonBuilder builder(&nfa);
+  Fragment f = builder.Build(root);
+  nfa.AddEpsArc(0, f.entry);
+  nfa.SetAccepting(f.exit, true);
+  return nfa;
+}
+
+Result<Spanner> Spanner::Compile(std::string_view pattern, std::string_view alphabet) {
+  Spanner sp;
+  sp.pattern_ = std::string(pattern);
+  const ByteSet sigma = MakeAlphabet(alphabet);
+  Result<RegexPtr> ast = ParseRegex(pattern, sigma, &sp.vars_);
+  if (!ast.ok()) return ast.status();
+  VarUsage usage = 0;
+  Status st = ValidateVariableUsage(**ast, &usage);
+  if (!st.ok()) return st;
+  sp.raw_ = CompileRegexToNfa(**ast);
+  sp.normalized_ = Trim(Normalize(sp.raw_));
+  return sp;
+}
+
+Result<Spanner> Spanner::FromAutomaton(Nfa raw, VariableSet vars) {
+  // Reject masks that reference variables outside `vars`.
+  const MarkerMask allowed =
+      vars.size() >= 32 ? ~MarkerMask{0} : ((MarkerMask{1} << (2 * vars.size())) - 1);
+  for (StateId s = 0; s < raw.NumStates(); ++s) {
+    for (const Nfa::MarkArc& a : raw.MarkArcsFrom(s)) {
+      if ((a.mask & ~allowed) != 0) {
+        return Status::InvalidArgument("marker arc uses an undeclared variable");
+      }
+    }
+  }
+  Spanner sp;
+  sp.vars_ = std::move(vars);
+  sp.raw_ = std::move(raw);
+  sp.normalized_ = Trim(Normalize(sp.raw_));
+  return sp;
+}
+
+}  // namespace slpspan

@@ -1,0 +1,207 @@
+#include "spanner/regex_parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace slpspan {
+
+ByteSet MakeAlphabet(std::string_view alphabet) {
+  ByteSet set;
+  for (unsigned char c : alphabet) set.set(c);
+  return set;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view pattern, const ByteSet& alphabet, VariableSet* vars)
+      : text_(pattern), alphabet_(alphabet), vars_(vars) {}
+
+  Result<RegexPtr> Parse() {
+    Result<RegexPtr> e = ParseExpr();
+    if (!e.ok()) return e;
+    if (pos_ != text_.size()) return Err("unexpected '" + std::string(1, Peek()) + "'");
+    return e;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text_[pos_]; }
+  char Take() { return text_[pos_++]; }
+
+  Result<RegexPtr> ParseExpr() {
+    std::vector<RegexPtr> alts;
+    while (true) {
+      Result<RegexPtr> term = ParseTerm();
+      if (!term.ok()) return term;
+      alts.push_back(std::move(term).value());
+      if (Peek() == '|') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return RegexNode::Union(std::move(alts));
+  }
+
+  Result<RegexPtr> ParseTerm() {
+    std::vector<RegexPtr> parts;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')' && Peek() != '}') {
+      Result<RegexPtr> f = ParseFactor();
+      if (!f.ok()) return f;
+      parts.push_back(std::move(f).value());
+    }
+    return RegexNode::Concat(std::move(parts));
+  }
+
+  Result<RegexPtr> ParseFactor() {
+    Result<RegexPtr> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RegexPtr node = std::move(atom).value();
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == '*') {
+        node = RegexNode::Star(std::move(node));
+      } else if (c == '+') {
+        node = RegexNode::Plus(std::move(node));
+      } else if (c == '?') {
+        node = RegexNode::Optional(std::move(node));
+      } else {
+        break;
+      }
+      ++pos_;
+    }
+    return node;
+  }
+
+  Result<RegexPtr> ParseAtom() {
+    if (AtEnd()) return Err("expected atom");
+    const char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      Result<RegexPtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (Peek() != ')') return Err("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    if (c == '[') return ParseClass();
+    if (c == '.') {
+      ++pos_;
+      if (alphabet_.none()) return Err("'.' used with empty alphabet");
+      return RegexNode::Class(alphabet_);
+    }
+    if (c == '\\') return ParseEscape();
+    if (c == '*' || c == '+' || c == '?' || c == ')' || c == '|' || c == '{' ||
+        c == '}' || c == ']') {
+      return Err(std::string("unexpected '") + c + "'");
+    }
+    // Capture lookahead: IDENT '{'.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      if (end < text_.size() && text_[end] == '{') {
+        const std::string name(text_.substr(pos_, end - pos_));
+        pos_ = end + 1;  // consume IDENT and '{'
+        Result<VarId> var = vars_->Intern(name);
+        if (!var.ok()) return var.status();
+        Result<RegexPtr> inner = ParseExpr();
+        if (!inner.ok()) return inner;
+        if (Peek() != '}') return Err("expected '}' closing capture " + name);
+        ++pos_;
+        return RegexNode::Capture(var.value(), std::move(inner).value());
+      }
+    }
+    ++pos_;
+    return MakeLiteral(static_cast<unsigned char>(c));
+  }
+
+  Result<RegexPtr> MakeLiteral(unsigned char c) {
+    if (!alphabet_.test(c)) {
+      return Err(std::string("literal '") + static_cast<char>(c) +
+                 "' not in declared alphabet");
+    }
+    return RegexNode::Literal(c);
+  }
+
+  Result<RegexPtr> ParseEscape() {
+    ++pos_;  // consume backslash
+    if (AtEnd()) return Err("dangling escape");
+    char c = Take();
+    switch (c) {
+      case 'n': c = '\n'; break;
+      case 't': c = '\t'; break;
+      case 'r': c = '\r'; break;
+      case '0': c = '\0'; break;
+      default: break;  // escaped metacharacter / literal
+    }
+    return MakeLiteral(static_cast<unsigned char>(c));
+  }
+
+  Result<RegexPtr> ParseClass() {
+    ++pos_;  // consume '['
+    bool negate = false;
+    if (Peek() == '^') {
+      negate = true;
+      ++pos_;
+    }
+    ByteSet set;
+    bool any = false;
+    while (!AtEnd() && Peek() != ']') {
+      unsigned char lo;
+      if (Peek() == '\\') {
+        ++pos_;
+        if (AtEnd()) return Err("dangling escape in class");
+        char e = Take();
+        switch (e) {
+          case 'n': e = '\n'; break;
+          case 't': e = '\t'; break;
+          case 'r': e = '\r'; break;
+          default: break;
+        }
+        lo = static_cast<unsigned char>(e);
+      } else {
+        lo = static_cast<unsigned char>(Take());
+      }
+      unsigned char hi = lo;
+      if (Peek() == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] != ']') {
+        ++pos_;  // consume '-'
+        hi = static_cast<unsigned char>(Take());
+        if (hi < lo) return Err("inverted range in class");
+      }
+      for (unsigned int b = lo; b <= hi; ++b) {
+        set.set(b);
+        any = true;
+      }
+    }
+    if (Peek() != ']') return Err("expected ']'");
+    ++pos_;
+    if (!any && !negate) return Err("empty character class");
+    ByteSet result = negate ? (~set & alphabet_) : (set & alphabet_);
+    if (result.none()) return Err("character class matches nothing in the alphabet");
+    return RegexNode::Class(result);
+  }
+
+  std::string_view text_;
+  ByteSet alphabet_;
+  VariableSet* vars_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view pattern, const ByteSet& alphabet,
+                            VariableSet* vars) {
+  return Parser(pattern, alphabet, vars).Parse();
+}
+
+}  // namespace slpspan

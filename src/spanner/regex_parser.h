@@ -1,0 +1,41 @@
+// Parser for the spanner regex dialect.
+//
+// Grammar:
+//   expr    := term ('|' term)*          (an empty term is epsilon)
+//   term    := factor*
+//   factor  := atom ('*' | '+' | '?')*
+//   atom    := '(' expr ')'
+//            | IDENT '{' expr '}'        (variable capture; IDENT = [A-Za-z_]\w*)
+//            | '[' ('^')? class-items ']'
+//            | '.'                       (any alphabet byte)
+//            | '\' c                     (escaped literal, incl. \n \t \\ ...)
+//            | c                         (literal byte)
+//
+// Whether a letter run is a capture name or a literal is decided by one-token
+// lookahead: letters immediately followed by '{' form a capture, otherwise
+// the first letter is a single literal (so "ab*" parses as a(b*)). Literal
+// bytes must belong to the declared alphabet; '.' and classes are restricted
+// to it.
+
+#ifndef SLPSPAN_SPANNER_REGEX_PARSER_H_
+#define SLPSPAN_SPANNER_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "spanner/regex_ast.h"
+#include "spanner/variables.h"
+#include "util/status.h"
+
+namespace slpspan {
+
+/// Parses `pattern` over the given terminal alphabet; variable names are
+/// interned into `vars` in order of first occurrence.
+Result<RegexPtr> ParseRegex(std::string_view pattern, const ByteSet& alphabet,
+                            VariableSet* vars);
+
+/// Builds a ByteSet from the distinct bytes of `alphabet`.
+ByteSet MakeAlphabet(std::string_view alphabet);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SPANNER_REGEX_PARSER_H_

@@ -1,0 +1,42 @@
+#include "spanner/span.h"
+
+#include <sstream>
+
+#include "spanner/variables.h"
+
+namespace slpspan {
+
+std::string Span::ToString() const {
+  std::ostringstream os;
+  os << "[" << begin << "," << end << ">";
+  return os.str();
+}
+
+bool SpanTuple::operator<(const SpanTuple& o) const {
+  SLPSPAN_DCHECK(spans_.size() == o.spans_.size());
+  for (size_t v = 0; v < spans_.size(); ++v) {
+    const auto& a = spans_[v];
+    const auto& b = o.spans_[v];
+    if (a.has_value() != b.has_value()) return !a.has_value();  // ⊥ sorts first
+    if (a.has_value() && !(*a == *b)) return *a < *b;
+  }
+  return false;
+}
+
+std::string SpanTuple::ToString(const VariableSet& vars) const {
+  std::ostringstream os;
+  os << "(";
+  for (VarId v = 0; v < spans_.size(); ++v) {
+    if (v > 0) os << ", ";
+    os << vars.Name(v) << "=";
+    if (spans_[v].has_value()) {
+      os << spans_[v]->ToString();
+    } else {
+      os << "_";
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace slpspan

@@ -1,0 +1,83 @@
+// Spans and span-tuples — paper Section 3.
+//
+// A span [b, e> of a document D selects the substring from position b to
+// position e-1 (1-based, half-open, b <= e; empty spans b == e are allowed).
+// An (X, D)-tuple is a *partial* map from variables to spans; unset variables
+// model the paper's schemaless / non-functional semantics.
+
+#ifndef SLPSPAN_SPANNER_SPAN_H_
+#define SLPSPAN_SPANNER_SPAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace slpspan {
+
+class VariableSet;
+
+/// Variable id within one VariableSet (dense, 0-based).
+using VarId = uint32_t;
+
+/// A span [begin, end> with 1-based positions and begin <= end.
+struct Span {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  bool operator==(const Span& o) const { return begin == o.begin && end == o.end; }
+  bool operator<(const Span& o) const {
+    return begin != o.begin ? begin < o.begin : end < o.end;
+  }
+
+  uint64_t length() const { return end - begin; }
+  std::string ToString() const;
+};
+
+/// A span-tuple: one optional span per variable of the spanner. Variables
+/// without a span are "undefined" (the paper's ⊥).
+class SpanTuple {
+ public:
+  SpanTuple() = default;
+  explicit SpanTuple(uint32_t num_vars) : spans_(num_vars) {}
+
+  uint32_t num_vars() const { return static_cast<uint32_t>(spans_.size()); }
+
+  const std::optional<Span>& Get(VarId v) const {
+    SLPSPAN_DCHECK(v < spans_.size());
+    return spans_[v];
+  }
+
+  void Set(VarId v, Span s) {
+    SLPSPAN_DCHECK(v < spans_.size());
+    SLPSPAN_DCHECK(s.begin >= 1 && s.begin <= s.end);
+    spans_[v] = s;
+  }
+
+  void Clear(VarId v) {
+    SLPSPAN_DCHECK(v < spans_.size());
+    spans_[v].reset();
+  }
+
+  bool IsTotal() const {
+    for (const auto& s : spans_) {
+      if (!s.has_value()) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const SpanTuple& o) const { return spans_ == o.spans_; }
+  bool operator<(const SpanTuple& o) const;
+
+  /// Renders e.g. "(x=[1,3>, y=⊥)" using variable names from `vars`.
+  std::string ToString(const VariableSet& vars) const;
+
+ private:
+  std::vector<std::optional<Span>> spans_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SPANNER_SPAN_H_

@@ -1,0 +1,58 @@
+// Spanner — a compiled regular (Sigma, X)-spanner.
+//
+// A Spanner bundles the variable set X, the terminal alphabet, and two
+// automata views of the subword-marked language (paper Section 3.2):
+//   * raw()        — as constructed (Thompson NFA with eps and single-marker
+//                    arcs, or a hand-built automaton),
+//   * normalized() — eps-free with merged set transitions and trimmed; this
+//                    is the representation every evaluation algorithm uses.
+
+#ifndef SLPSPAN_SPANNER_SPANNER_H_
+#define SLPSPAN_SPANNER_SPANNER_H_
+
+#include <string>
+#include <string_view>
+
+#include "spanner/nfa.h"
+#include "spanner/regex_ast.h"
+#include "spanner/variables.h"
+#include "util/status.h"
+
+namespace slpspan {
+
+class Spanner {
+ public:
+  /// Compiles a spanner regex (see regex_parser.h) over the given terminal
+  /// alphabet (the distinct bytes of `alphabet`).
+  static Result<Spanner> Compile(std::string_view pattern, std::string_view alphabet);
+
+  /// Wraps a hand-built automaton over Sigma ∪ P(Gamma_X). `raw` may use eps
+  /// arcs and un-merged marker arcs; it is normalized internally. `vars`
+  /// names the variables whose markers appear in `raw`.
+  static Result<Spanner> FromAutomaton(Nfa raw, VariableSet vars);
+
+  const Nfa& raw() const { return raw_; }
+  const Nfa& normalized() const { return normalized_; }
+  const VariableSet& vars() const { return vars_; }
+  uint32_t num_vars() const { return vars_.size(); }
+  const std::string& pattern() const { return pattern_; }
+
+  /// q of the normalized automaton.
+  uint32_t NumStates() const { return normalized_.NumStates(); }
+
+ private:
+  Spanner() = default;
+
+  std::string pattern_;
+  VariableSet vars_;
+  Nfa raw_;
+  Nfa normalized_;
+};
+
+/// Thompson construction: compiles a validated regex AST into a raw NFA with
+/// eps arcs and single-marker mark arcs. Exposed for tests.
+Nfa CompileRegexToNfa(const RegexNode& root);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SPANNER_SPANNER_H_

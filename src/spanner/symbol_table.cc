@@ -1,0 +1,67 @@
+#include "spanner/symbol_table.h"
+
+namespace slpspan {
+
+SymbolId SymbolTable::InternMask(MarkerMask mask) {
+  SLPSPAN_CHECK(mask != 0);
+  auto it = ids_.find(mask);
+  if (it != ids_.end()) return it->second;
+  const SymbolId id = kFirstMarkerSymbol + static_cast<SymbolId>(masks_.size());
+  masks_.push_back(mask);
+  ids_.emplace(mask, id);
+  return id;
+}
+
+MarkerMask SymbolTable::MaskOf(SymbolId s) const {
+  SLPSPAN_CHECK(IsMaskSymbol(s));
+  const uint32_t idx = s - kFirstMarkerSymbol;
+  SLPSPAN_CHECK(idx < masks_.size());
+  return masks_[idx];
+}
+
+std::vector<SymbolId> MarkedWord(const std::vector<SymbolId>& doc,
+                                 const MarkerSeq& markers, SymbolTable* table) {
+  SLPSPAN_CHECK(markers.empty() || markers.MaxPos() <= doc.size() + 1);
+  std::vector<SymbolId> out;
+  out.reserve(doc.size() + markers.NumPositions());
+  size_t next = 0;
+  const auto& entries = markers.entries();
+  for (uint64_t pos = 1; pos <= doc.size() + 1; ++pos) {
+    if (next < entries.size() && entries[next].pos == pos) {
+      out.push_back(table->InternMask(entries[next].marks));
+      ++next;
+    }
+    if (pos <= doc.size()) out.push_back(doc[pos - 1]);
+  }
+  return out;
+}
+
+std::vector<SymbolId> ExtractDocument(const std::vector<SymbolId>& marked) {
+  std::vector<SymbolId> out;
+  out.reserve(marked.size());
+  for (SymbolId s : marked) {
+    if (!SymbolTable::IsMaskSymbol(s)) out.push_back(s);
+  }
+  return out;
+}
+
+MarkerSeq ExtractMarkers(const std::vector<SymbolId>& marked, const SymbolTable& table) {
+  std::vector<PosMark> entries;
+  uint64_t pos = 1;
+  MarkerMask pending = 0;
+  for (SymbolId s : marked) {
+    if (SymbolTable::IsMaskSymbol(s)) {
+      pending |= table.MaskOf(s);
+    } else {
+      if (pending != 0) {
+        entries.push_back({pos, pending});
+        pending = 0;
+      }
+      ++pos;
+    }
+  }
+  if (pending != 0) entries.push_back({pos, pending});
+  return MarkerSeq(std::move(entries));
+}
+
+}  // namespace slpspan

@@ -1,0 +1,52 @@
+// Interning of marker-set symbols.
+//
+// Subword-marked words are words over Sigma ∪ P(Gamma_X). Plain symbols use
+// ids 0..256 (bytes + sentinel, see slp/slp.h); every distinct marker set
+// that needs to appear *inside a document* (the spliced SLPs of model
+// checking, explicit marked words in tests and the reference evaluator) is
+// interned here and receives an id >= kFirstMarkerSymbol.
+
+#ifndef SLPSPAN_SPANNER_SYMBOL_TABLE_H_
+#define SLPSPAN_SPANNER_SYMBOL_TABLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "slp/slp.h"
+#include "spanner/marker.h"
+#include "spanner/variables.h"
+
+namespace slpspan {
+
+/// Bidirectional map MarkerMask <-> SymbolId (>= kFirstMarkerSymbol).
+class SymbolTable {
+ public:
+  /// Returns the symbol id for `mask` (non-zero), interning it if new.
+  SymbolId InternMask(MarkerMask mask);
+
+  static bool IsMaskSymbol(SymbolId s) { return s >= kFirstMarkerSymbol; }
+
+  /// Mask of an interned symbol; CHECK-fails for unknown ids.
+  MarkerMask MaskOf(SymbolId s) const;
+
+  uint32_t NumMasks() const { return static_cast<uint32_t>(masks_.size()); }
+
+ private:
+  std::vector<MarkerMask> masks_;
+  std::unordered_map<MarkerMask, SymbolId> ids_;
+};
+
+/// Builds the subword-marked word m(doc, markers) as a symbol sequence with
+/// interned mask symbols. `markers` positions must be <= |doc| + 1.
+std::vector<SymbolId> MarkedWord(const std::vector<SymbolId>& doc,
+                                 const MarkerSeq& markers, SymbolTable* table);
+
+/// Inverse projections on symbol sequences (paper's e(.) and p(.)):
+/// ExtractDocument removes mask symbols; ExtractMarkers collects them with
+/// their document positions.
+std::vector<SymbolId> ExtractDocument(const std::vector<SymbolId>& marked);
+MarkerSeq ExtractMarkers(const std::vector<SymbolId>& marked, const SymbolTable& table);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SPANNER_SYMBOL_TABLE_H_

@@ -1,0 +1,58 @@
+#include "spanner/variables.h"
+
+#include <bit>
+#include <sstream>
+
+namespace slpspan {
+
+int CompareMasks(MarkerMask a, MarkerMask b) {
+  if (a == b) return 0;
+  while (a != 0 && b != 0) {
+    const int bit_a = std::countr_zero(a);
+    const int bit_b = std::countr_zero(b);
+    if (bit_a != bit_b) return bit_a < bit_b ? -1 : 1;
+    a &= a - 1;
+    b &= b - 1;
+  }
+  // One is a proper prefix of the other; the prefix is *larger*.
+  return a == 0 ? 1 : -1;
+}
+
+Result<VarId> VariableSet::Intern(std::string_view name) {
+  if (auto found = Find(name)) return *found;
+  if (names_.size() >= kMaxVariables) {
+    return Status::NotSupported("at most 32 span variables are supported");
+  }
+  names_.emplace_back(name);
+  return static_cast<VarId>(names_.size() - 1);
+}
+
+std::optional<VarId> VariableSet::Find(std::string_view name) const {
+  for (VarId v = 0; v < names_.size(); ++v) {
+    if (names_[v] == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::string VariableSet::MaskToString(MarkerMask m) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int bit = 0; bit < 64; ++bit) {
+    if (!((m >> bit) & 1)) continue;
+    if (!first) os << ", ";
+    first = false;
+    const VarId v = static_cast<VarId>(bit / 2);
+    const bool open = bit % 2 == 0;
+    os << (open ? "<" : ">");
+    if (v < names_.size()) {
+      os << names_[v];
+    } else {
+      os << "v" << v;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace slpspan

@@ -1,0 +1,68 @@
+// Variable registry and marker bit-encoding.
+//
+// The marker alphabet Gamma_X = { open(x), close(x) : x in X } is packed into
+// a 64-bit mask: bit 2v encodes the open marker of variable v, bit 2v+1 its
+// close marker. A symbol from P(Gamma_X) — the paper's merged marker sets —
+// is therefore a single MarkerMask, which caps |X| at 32 variables
+// (Status::kNotSupported beyond that).
+
+#ifndef SLPSPAN_SPANNER_VARIABLES_H_
+#define SLPSPAN_SPANNER_VARIABLES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spanner/span.h"
+#include "util/status.h"
+
+namespace slpspan {
+
+/// One symbol from P(Gamma_X): a set of open/close markers.
+using MarkerMask = uint64_t;
+
+constexpr uint32_t kMaxVariables = 32;
+
+inline MarkerMask OpenMarker(VarId v) { return MarkerMask{1} << (2 * v); }
+inline MarkerMask CloseMarker(VarId v) { return MarkerMask{1} << (2 * v + 1); }
+inline bool HasOpen(MarkerMask m, VarId v) { return (m >> (2 * v)) & 1; }
+inline bool HasClose(MarkerMask m, VarId v) { return (m >> (2 * v + 1)) & 1; }
+
+/// Total order on individual markers used by the paper's order on marker
+/// sets; we order by bit index (open(x0) < close(x0) < open(x1) < ...).
+///
+/// CompareMasks compares two marker sets occurring at the *same* document
+/// position as the paper compares the words <<Lambda>>: element-wise in
+/// ascending marker order, and if one set is a proper prefix of the other,
+/// the *prefix is larger* (this inversion is what makes the join operator
+/// monotone; see Theorem 7.1's proof and marker.h).
+int CompareMasks(MarkerMask a, MarkerMask b);
+
+/// Registry of variable names; ids are dense and ordered by first Intern.
+class VariableSet {
+ public:
+  /// Returns the id for `name`, creating it if unseen. Fails with
+  /// kNotSupported once kMaxVariables is exceeded.
+  Result<VarId> Intern(std::string_view name);
+
+  std::optional<VarId> Find(std::string_view name) const;
+
+  const std::string& Name(VarId v) const {
+    SLPSPAN_CHECK(v < names_.size());
+    return names_[v];
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+  /// Renders a marker set, e.g. "{<x, >y}" for {open(x), close(y)}.
+  std::string MaskToString(MarkerMask m) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_SPANNER_VARIABLES_H_

@@ -1,0 +1,95 @@
+#include "textgen/textgen.h"
+
+#include <string_view>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace slpspan {
+
+std::string GenerateLog(const LogOptions& opts) {
+  Rng rng(opts.seed);
+  static constexpr const char* kActions[] = {"GET", "PUT", "POST", "DEL",
+                                             "HEAD", "LIST", "SCAN", "STAT"};
+  static constexpr const char* kStatus[] = {"200", "404", "500", "301"};
+  const uint32_t actions = std::min<uint32_t>(opts.distinct_actions, 8);
+  std::string out;
+  out.reserve(opts.lines * 48);
+  uint64_t ts = 1000;
+  for (uint64_t line = 0; line < opts.lines; ++line) {
+    ts += rng.Range(1, 5);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08llu", static_cast<unsigned long long>(ts));
+    out += "ts=";
+    out += buf;
+    out += " user=u";
+    out += std::to_string(rng.Below(opts.distinct_users));
+    out += " action=";
+    out += kActions[rng.Below(actions == 0 ? 1 : actions)];
+    out += " status=";
+    out += kStatus[rng.Below(4)];
+    out += "\n";
+  }
+  return out;
+}
+
+std::string GenerateDna(const DnaOptions& opts) {
+  Rng rng(opts.seed);
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string out;
+  out.reserve(opts.length + opts.motif.size());
+  const uint64_t rate_per_million =
+      static_cast<uint64_t>(opts.motif_rate * 1'000'000.0);
+  while (out.size() < opts.length) {
+    if (!opts.motif.empty() && rng.Below(1'000'000) < rate_per_million) {
+      out += opts.motif;
+    } else {
+      out += kBases[rng.Below(4)];
+    }
+  }
+  out.resize(opts.length);
+  return out;
+}
+
+std::string GenerateVersionedDoc(const VersionedDocOptions& opts) {
+  Rng rng(opts.seed);
+  static constexpr std::string_view kChars =
+      "abcdefghijklmnopqrstuvwxyz ,.";
+  std::string version;
+  version.reserve(opts.base_length);
+  for (uint64_t i = 0; i < opts.base_length; ++i) {
+    version += kChars[rng.Below(kChars.size())];
+  }
+  const uint64_t edits_per_million =
+      static_cast<uint64_t>(opts.edit_rate * 1'000'000.0);
+  std::string out;
+  out.reserve((opts.base_length + 1) * opts.versions);
+  for (uint32_t v = 0; v < opts.versions; ++v) {
+    out += version;
+    out += opts.separator;
+    for (char& c : version) {
+      if (rng.Below(1'000'000) < edits_per_million) {
+        c = kChars[rng.Below(kChars.size())];
+      }
+    }
+  }
+  return out;
+}
+
+std::string GenerateRandom(uint64_t length, std::string_view alphabet, uint64_t seed) {
+  SLPSPAN_CHECK(!alphabet.empty());
+  Rng rng(seed);
+  std::string out;
+  out.reserve(length);
+  for (uint64_t i = 0; i < length; ++i) out += alphabet[rng.Below(alphabet.size())];
+  return out;
+}
+
+std::string GenerateRepeated(std::string_view block, uint64_t times) {
+  std::string out;
+  out.reserve(block.size() * times);
+  for (uint64_t i = 0; i < times; ++i) out += block;
+  return out;
+}
+
+}  // namespace slpspan

@@ -1,0 +1,62 @@
+// Deterministic workload generators for examples, tests and benchmarks.
+//
+// The paper has no experimental section, so these generators define the
+// document families of the experiment suite (DESIGN.md §2.2): repetitive
+// machine-generated text (logs), biological sequences with planted motifs
+// (DNA), edit-chains of near-identical versions (versioned documents), and
+// adversarial incompressible strings. All generators are seeded and
+// platform-stable (util/rng.h).
+
+#ifndef SLPSPAN_TEXTGEN_TEXTGEN_H_
+#define SLPSPAN_TEXTGEN_TEXTGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slpspan {
+
+struct LogOptions {
+  uint64_t lines = 1000;
+  uint32_t distinct_users = 8;      ///< low cardinality => highly compressible
+  uint32_t distinct_actions = 4;
+  uint64_t seed = 42;
+};
+
+/// Synthetic server log, e.g. lines of the form
+///   "ts=001234 user=u3 action=GET status=200\n"
+/// Fields draw from small vocabularies, so RePair/LZ78 compress well.
+std::string GenerateLog(const LogOptions& opts);
+
+struct DnaOptions {
+  uint64_t length = 10000;
+  std::string motif = "ACGTACGT";
+  double motif_rate = 0.01;  ///< expected planted motifs per position
+  uint64_t seed = 7;
+};
+
+/// DNA-like string over ACGT with planted motif occurrences.
+std::string GenerateDna(const DnaOptions& opts);
+
+struct VersionedDocOptions {
+  uint64_t base_length = 2000;
+  uint32_t versions = 20;
+  double edit_rate = 0.005;  ///< per-character probability of a point edit
+  char separator = '\n';
+  uint64_t seed = 11;
+};
+
+/// Concatenation of `versions` successive revisions of one base document,
+/// each obtained from the previous by sparse point edits — the classic
+/// "versioned wiki" workload where SLP compression shines.
+std::string GenerateVersionedDoc(const VersionedDocOptions& opts);
+
+/// Uniform random string over the given alphabet (incompressible baseline).
+std::string GenerateRandom(uint64_t length, std::string_view alphabet, uint64_t seed);
+
+/// block repeated `times` times (compressibility dial for crossover sweeps).
+std::string GenerateRepeated(std::string_view block, uint64_t times);
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_TEXTGEN_TEXTGEN_H_

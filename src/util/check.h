@@ -1,0 +1,39 @@
+// Internal invariant-checking macros.
+//
+// SLPSPAN_CHECK fires in all build types; it guards invariants whose violation
+// means the library itself is broken (not bad user input — user input errors
+// are reported through Status/Result, see util/status.h).
+//
+// SLPSPAN_DCHECK compiles away in NDEBUG builds and may be used on hot paths.
+
+#ifndef SLPSPAN_UTIL_CHECK_H_
+#define SLPSPAN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slpspan {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "slpspan: CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace slpspan
+
+#define SLPSPAN_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::slpspan::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SLPSPAN_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#else
+#define SLPSPAN_DCHECK(expr) SLPSPAN_CHECK(expr)
+#endif
+
+#endif  // SLPSPAN_UTIL_CHECK_H_

@@ -1,0 +1,113 @@
+// Status / Result<T>: error handling for recoverable, user-facing failures.
+//
+// Follows the RocksDB/Arrow idiom: library entry points that can fail because
+// of *user input* (malformed regex, invalid grammar, incompatible span-tuple)
+// return Status or Result<T> instead of throwing. Internal invariants use
+// SLPSPAN_CHECK (util/check.h).
+
+#ifndef SLPSPAN_UTIL_STATUS_H_
+#define SLPSPAN_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace slpspan {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kParseError,        ///< spanner regex / SLP text format syntax error
+  kNotSupported,      ///< request outside implemented envelope (e.g. >32 vars)
+  kOutOfRange,        ///< index/position beyond document bounds
+  kCorruption,        ///< persisted SLP failed validation
+};
+
+/// Lightweight status object; cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "invalid argument"; break;
+      case StatusCode::kParseError: name = "parse error"; break;
+      case StatusCode::kNotSupported: name = "not supported"; break;
+      case StatusCode::kOutOfRange: name = "out of range"; break;
+      case StatusCode::kCorruption: name = "corruption"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> = value or Status. `value()` asserts ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {   // NOLINT implicit
+    SLPSPAN_CHECK(!status_.ok());  // OK statuses must carry a value
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SLPSPAN_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    SLPSPAN_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    SLPSPAN_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by benchmarks and delay instrumentation.
+
+#ifndef SLPSPAN_UTIL_STOPWATCH_H_
+#define SLPSPAN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace slpspan {
+
+/// Monotonic nanosecond stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction / last Reset().
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
+  double ElapsedMicros() const { return static_cast<double>(ElapsedNanos()) / 1e3; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_UTIL_STOPWATCH_H_

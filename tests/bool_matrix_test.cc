@@ -1,0 +1,114 @@
+// Tests for the word-packed Boolean matrix kernel (core/bool_matrix.h).
+
+#include "core/bool_matrix.h"
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace slpspan {
+namespace {
+
+BoolMatrix RandomMatrix(uint32_t n, Rng* rng, uint32_t density_percent) {
+  BoolMatrix m(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (rng->Below(100) < density_percent) m.Set(i, j);
+    }
+  }
+  return m;
+}
+
+BoolMatrix NaiveMultiply(const BoolMatrix& a, const BoolMatrix& b) {
+  BoolMatrix out(a.n());
+  for (uint32_t i = 0; i < a.n(); ++i) {
+    for (uint32_t j = 0; j < a.n(); ++j) {
+      for (uint32_t k = 0; k < a.n(); ++k) {
+        if (a.Get(i, k) && b.Get(k, j)) {
+          out.Set(i, j);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(BoolMatrix, SetGetClear) {
+  BoolMatrix m(70);  // crosses the 64-bit word boundary
+  EXPECT_FALSE(m.Get(69, 69));
+  m.Set(69, 69);
+  m.Set(0, 64);
+  EXPECT_TRUE(m.Get(69, 69));
+  EXPECT_TRUE(m.Get(0, 64));
+  m.Set(69, 69, false);
+  EXPECT_FALSE(m.Get(69, 69));
+  EXPECT_TRUE(m.AnySet());
+  EXPECT_TRUE(m.RowAny(0));
+  EXPECT_FALSE(m.RowAny(1));
+}
+
+TEST(BoolMatrix, IdentityIsMultiplicativeUnit) {
+  Rng rng(5);
+  const BoolMatrix a = RandomMatrix(33, &rng, 20);
+  const BoolMatrix id = BoolMatrix::Identity(33);
+  EXPECT_TRUE(BoolMatrix::Multiply(a, id) == a);
+  EXPECT_TRUE(BoolMatrix::Multiply(id, a) == a);
+}
+
+class BoolMatrixMultiplyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BoolMatrixMultiplyTest, MatchesNaiveProduct) {
+  Rng rng(GetParam());
+  const uint32_t n = 1 + rng.Below(100);
+  const BoolMatrix a = RandomMatrix(n, &rng, 1 + rng.Below(50));
+  const BoolMatrix b = RandomMatrix(n, &rng, 1 + rng.Below(50));
+  EXPECT_TRUE(BoolMatrix::Multiply(a, b) == NaiveMultiply(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoolMatrixMultiplyTest,
+                         ::testing::Range<uint32_t>(0, 20));
+
+TEST(BoolMatrix, MultiplicationAssociativity) {
+  Rng rng(77);
+  const BoolMatrix a = RandomMatrix(40, &rng, 15);
+  const BoolMatrix b = RandomMatrix(40, &rng, 15);
+  const BoolMatrix c = RandomMatrix(40, &rng, 15);
+  EXPECT_TRUE(BoolMatrix::Multiply(BoolMatrix::Multiply(a, b), c) ==
+              BoolMatrix::Multiply(a, BoolMatrix::Multiply(b, c)));
+}
+
+TEST(BoolMatrix, ClosureOfPathGraph) {
+  // Edges i -> i+1: closure must be the upper triangle (incl. diagonal).
+  const uint32_t n = 50;
+  BoolMatrix path(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) path.Set(i, i + 1);
+  const BoolMatrix closure = BoolMatrix::Closure(path);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      EXPECT_EQ(closure.Get(i, j), i <= j) << i << "," << j;
+    }
+  }
+}
+
+TEST(BoolMatrix, ForEachInRowAscending) {
+  BoolMatrix m(130);
+  m.Set(1, 0);
+  m.Set(1, 63);
+  m.Set(1, 64);
+  m.Set(1, 129);
+  std::vector<uint32_t> seen;
+  m.ForEachInRow(1, [&](uint32_t j) { seen.push_back(j); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 63, 64, 129}));
+}
+
+TEST(BoolMatrix, OrWith) {
+  BoolMatrix a(10), b(10);
+  a.Set(1, 2);
+  b.Set(3, 4);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Get(1, 2));
+  EXPECT_TRUE(a.Get(3, 4));
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,144 @@
+// Tests for Theorem 7.1 (core/compute.h): computing the full result set
+// directly on the SLP, cross-validated against the reference evaluator over
+// several spanners, documents, and SLP constructions.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/compute.h"
+#include "core/evaluator.h"
+#include "slp/factory.h"
+#include "spanner/ref_eval.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::AllSlpKinds;
+using testing_util::ExpectSameTupleSet;
+using testing_util::MakeFigure2Spanner;
+using testing_util::MakeIntroSpanner;
+using testing_util::MakeSlp;
+using testing_util::SlpKind;
+using testing_util::Tup;
+
+TEST(JoinLists, ProducesSortedUniqueOutput) {
+  const MarkerSeq b1(std::vector<PosMark>{{1, OpenMarker(0)}});
+  const MarkerSeq b2;  // empty (sorts after non-empty: prefix is larger)
+  const MarkerSeq c1(std::vector<PosMark>{{1, CloseMarker(0)}});
+  const MarkerSeq c2(std::vector<PosMark>{{2, CloseMarker(0)}});
+  const std::vector<MarkerSeq> joined = JoinLists({b1, b2}, {c1, c2}, 4);
+  ASSERT_EQ(joined.size(), 4u);
+  EXPECT_TRUE(IsSortedUnique(joined));
+  // First element: b1 ⊗_4 c1 = {(1,<x), (5,>x)}.
+  EXPECT_EQ(joined[0].entries()[1].pos, 5u);
+}
+
+TEST(ComputeAll, PaperIntroductionExample) {
+  const Spanner sp = MakeIntroSpanner();
+  SpannerEvaluator ev(sp);
+  ExpectSameTupleSet(
+      {
+          Tup({Span{1, 2}, Span{3, 4}}),
+          Tup({Span{1, 2}, Span{4, 5}}),
+          Tup({Span{1, 2}, Span{3, 5}}),
+      },
+      ev.ComputeAll(SlpFromString("abcca")));
+}
+
+TEST(ComputeAll, Figure2OnExample42AllSlpKinds) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  RefEvaluator ref(sp);
+  const std::string doc = "aabccaabaa";
+  const std::vector<SpanTuple> expected = ref.ComputeAll(doc);
+  ASSERT_EQ(expected.size(), 24u);
+  for (SlpKind kind : AllSlpKinds()) {
+    ExpectSameTupleSet(expected, ev.ComputeAll(MakeSlp(kind, doc)));
+  }
+  // The paper Example 4.2 grammar itself.
+  ExpectSameTupleSet(expected, ev.ComputeAll(testing_util::MakeExample42Slp()));
+}
+
+TEST(ComputeAll, AgreesWithReferenceOnManyDocs) {
+  const Spanner spanners[] = {MakeFigure2Spanner(), MakeIntroSpanner()};
+  const std::vector<std::string> docs = {"a",     "c",      "ab",       "ac",
+                                         "abc",   "abcca",  "cabac",    "bbcca",
+                                         "aaaa",  "cccc",   "abcabc",   "baccab"};
+  for (const Spanner& sp : spanners) {
+    SpannerEvaluator ev(sp);
+    RefEvaluator ref(sp);
+    for (const std::string& doc : docs) {
+      ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc)));
+    }
+  }
+}
+
+TEST(ComputeAll, MarkersAreSortedUnique) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aabccaabaa"));
+  EXPECT_TRUE(IsSortedUnique(ev.ComputeAllMarkers(prep)));
+}
+
+TEST(ComputeAll, NondeterministicAutomatonStillDeduplicates) {
+  // Without determinization different runs can produce the same tuple; the
+  // sorted merges must deduplicate them.
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator nondet(sp, {.determinize = false});
+  SpannerEvaluator det(sp, {.determinize = true});
+  const Slp slp = SlpFromString("aabccaabaa");
+  ExpectSameTupleSet(det.ComputeAll(slp), nondet.ComputeAll(slp));
+}
+
+TEST(ComputeAll, EmptyResultSet) {
+  Result<Spanner> sp = Spanner::Compile(".*x{b}.*", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  EXPECT_TRUE(ev.ComputeAll(SlpFromString("aaaa")).empty());
+}
+
+TEST(ComputeAll, EmptyTupleOnly) {
+  Result<Spanner> sp = Spanner::Compile("(x{b})?a+", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const std::vector<SpanTuple> all = ev.ComputeAll(SlpFromString("aaa"));
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0] == Tup({std::nullopt}));
+}
+
+TEST(ComputeAll, RepetitiveDocumentLinearInResults) {
+  // (ab)^32: x{ab} has exactly 32 matches at even offsets.
+  Result<Spanner> sp = Spanner::Compile("(ab)*x{ab}(ab)*", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const std::vector<SpanTuple> all = ev.ComputeAll(SlpRepeat("ab", 32));
+  ASSERT_EQ(all.size(), 32u);
+  for (const SpanTuple& t : all) {
+    ASSERT_TRUE(t.Get(0).has_value());
+    EXPECT_EQ(t.Get(0)->begin % 2, 1u);
+    EXPECT_EQ(t.Get(0)->length(), 2u);
+  }
+}
+
+TEST(ComputeAll, ThreeVariables) {
+  Result<Spanner> sp = Spanner::Compile("p{a*}x{b}s{a*}", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  RefEvaluator ref(*sp);
+  for (const std::string doc : {"b", "ab", "aba", "aabaa"}) {
+    ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc)));
+  }
+}
+
+TEST(ComputeAll, ChainSlpDeepRecursionSafe) {
+  // Deep unbalanced SLP: the bottom-up (non-recursive) evaluation must cope.
+  const std::string doc(2000, 'a');
+  Result<Spanner> sp = Spanner::Compile("a*x{aa}a*", "a");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  EXPECT_EQ(ev.ComputeAll(SlpChainFromString(doc)).size(), 1999u);
+}
+
+}  // namespace
+}  // namespace slpspan

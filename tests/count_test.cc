@@ -1,0 +1,165 @@
+// Tests for counting and random access over the compressed result set
+// (core/count.h): Total() must match enumeration, Select() must be a
+// bijection onto the result set, both validated across documents, spanners
+// and SLP shapes — plus the compressed-only regime where the result set is
+// astronomically larger than the grammar.
+
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/count.h"
+#include "core/evaluator.h"
+#include "slp/factory.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::AllSlpKinds;
+using testing_util::MakeFigure2Spanner;
+using testing_util::MakeIntroSpanner;
+using testing_util::MakeSlp;
+using testing_util::SlpKind;
+
+TEST(CountTables, MatchesEnumerationOnFixtures) {
+  const Spanner spanners[] = {MakeFigure2Spanner(), MakeIntroSpanner()};
+  const std::vector<std::string> docs = {"a",    "ac",     "abcca",    "cabac",
+                                         "aaaa", "ccccc",  "aabccaabaa"};
+  for (const Spanner& sp : spanners) {
+    SpannerEvaluator ev(sp);
+    for (const std::string& doc : docs) {
+      const Slp slp = SlpFromString(doc);
+      const PreparedDocument prep = ev.Prepare(slp);
+      const CountTables counter = ev.BuildCounter(prep);
+      EXPECT_FALSE(counter.overflowed());
+      uint64_t enumerated = 0;
+      for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+        ++enumerated;
+      }
+      EXPECT_EQ(counter.Total(), enumerated) << doc;
+    }
+  }
+}
+
+TEST(CountTables, SelectIsABijectionOntoTheResultSet) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  for (SlpKind kind : AllSlpKinds()) {
+    const Slp slp = MakeSlp(kind, "aabccaabaa");
+    const PreparedDocument prep = ev.Prepare(slp);
+    const CountTables counter = ev.BuildCounter(prep);
+    ASSERT_EQ(counter.Total(), 24u);
+
+    std::set<SpanTuple> selected;
+    for (uint64_t idx = 0; idx < counter.Total(); ++idx) {
+      selected.insert(ev.TupleOf(counter.Select(idx)));
+    }
+    EXPECT_EQ(selected.size(), 24u) << testing_util::SlpKindName(kind);
+
+    std::set<SpanTuple> enumerated;
+    for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+      enumerated.insert(e.Current());
+    }
+    EXPECT_TRUE(selected == enumerated);
+  }
+}
+
+TEST(CountTables, CountOnExponentialDocument) {
+  // x{aa} inside a^(2^30): exactly 2^30 - 1 results, counted from a 31-rule
+  // grammar without enumerating anything.
+  Result<Spanner> sp = Spanner::Compile("a*x{aa}a*", "a");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const Slp slp = SlpPowerString('a', 30);
+  const PreparedDocument prep = ev.Prepare(slp);
+  const CountTables counter = ev.BuildCounter(prep);
+  EXPECT_FALSE(counter.overflowed());
+  EXPECT_EQ(counter.Total(), (1ull << 30) - 1);
+}
+
+TEST(CountTables, SelectOnExponentialDocument) {
+  Result<Spanner> sp = Spanner::Compile("a*x{aa}a*", "a");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const Slp slp = SlpPowerString('a', 24);
+  const PreparedDocument prep = ev.Prepare(slp);
+  const CountTables counter = ev.BuildCounter(prep);
+  const uint64_t total = counter.Total();
+  ASSERT_EQ(total, (1ull << 24) - 1);
+  // Sample far-apart indexes; each must decode to a valid distinct tuple.
+  std::set<uint64_t> begins;
+  for (uint64_t idx : {uint64_t{0}, uint64_t{1}, total / 3, total / 2, total - 1}) {
+    const SpanTuple t = ev.TupleOf(counter.Select(idx));
+    ASSERT_TRUE(t.Get(0).has_value());
+    EXPECT_EQ(t.Get(0)->length(), 2u);
+    EXPECT_GE(t.Get(0)->begin, 1u);
+    EXPECT_LE(t.Get(0)->end, slp.DocumentLength() + 1);
+    begins.insert(t.Get(0)->begin);
+  }
+  EXPECT_EQ(begins.size(), 5u);
+}
+
+TEST(CountTables, OverflowIsDetectedAndSaturates) {
+  // Six independent optional captures of "aa" anywhere in a^(2^20) give
+  // ~ (2^20)^6 > 2^64 results: the counter must saturate, not wrap.
+  std::string pattern = "a*";
+  for (int v = 0; v < 6; ++v) {
+    pattern += "(v" + std::to_string(v) + "{aa})?a*";
+  }
+  Result<Spanner> sp = Spanner::Compile(pattern, "a");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const PreparedDocument prep = ev.Prepare(SlpPowerString('a', 20));
+  const CountTables counter = ev.BuildCounter(prep);
+  EXPECT_TRUE(counter.overflowed());
+  EXPECT_EQ(counter.Total(), UINT64_MAX);
+}
+
+TEST(CountTables, EmptyResultSet) {
+  Result<Spanner> sp = Spanner::Compile(".*x{b}.*", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa"));
+  const CountTables counter = ev.BuildCounter(prep);
+  EXPECT_EQ(counter.Total(), 0u);
+  EXPECT_FALSE(counter.overflowed());
+}
+
+TEST(CountTables, EmptyTupleCountsOnce) {
+  Result<Spanner> sp = Spanner::Compile("(x{b})?a+", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa"));
+  const CountTables counter = ev.BuildCounter(prep);
+  ASSERT_EQ(counter.Total(), 1u);
+  const SpanTuple t = ev.TupleOf(counter.Select(0));
+  EXPECT_FALSE(t.Get(0).has_value());
+}
+
+TEST(CountTables, AgreesWithEnumerationAcrossShapes) {
+  Result<Spanner> sp = Spanner::Compile("(c|b)*x{a+}(b|c|a)*", "abc");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  for (const std::string doc : {"abcabcaab", "aaaa", "cbcbcb", "a"}) {
+    for (SlpKind kind : AllSlpKinds()) {
+      const Slp slp = MakeSlp(kind, doc);
+      const PreparedDocument prep = ev.Prepare(slp);
+      const CountTables counter = ev.BuildCounter(prep);
+      std::set<SpanTuple> enumerated;
+      for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+        enumerated.insert(e.Current());
+      }
+      ASSERT_EQ(counter.Total(), enumerated.size());
+      std::set<SpanTuple> selected;
+      for (uint64_t i = 0; i < counter.Total(); ++i) {
+        selected.insert(ev.TupleOf(counter.Select(i)));
+      }
+      EXPECT_TRUE(selected == enumerated)
+          << doc << " via " << testing_util::SlpKindName(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,170 @@
+// Tests for Theorem 8.10 (core/enumerate.h): the compressed enumerator must
+// produce exactly the computed result set, duplicate-free when the automaton
+// is a DFA, across documents, spanners, and SLP shapes (balanced, chain,
+// RePair, LZ78).
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/evaluator.h"
+#include "slp/factory.h"
+#include "spanner/ref_eval.h"
+#include "test_util.h"
+#include "textgen/textgen.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::AllSlpKinds;
+using testing_util::ExpectSameTupleSet;
+using testing_util::MakeFigure2Spanner;
+using testing_util::MakeIntroSpanner;
+using testing_util::MakeSlp;
+using testing_util::SlpKind;
+using testing_util::Tup;
+
+std::vector<SpanTuple> Drain(const SpannerEvaluator& ev, const PreparedDocument& prep) {
+  std::vector<SpanTuple> out;
+  for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+    out.push_back(e.Current());
+  }
+  return out;
+}
+
+TEST(Enumerate, Figure2OnExample42) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  RefEvaluator ref(sp);
+  const PreparedDocument prep = ev.Prepare(testing_util::MakeExample42Slp());
+  const std::vector<SpanTuple> enumerated = Drain(ev, prep);
+  EXPECT_EQ(enumerated.size(), 24u);
+  ExpectSameTupleSet(ref.ComputeAll("aabccaabaa"), enumerated);
+}
+
+TEST(Enumerate, PaperExample82TuplePresent) {
+  // The Figure 4 walk-through: (x=⊥, y=[4,6>) must be enumerated.
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  const PreparedDocument prep = ev.Prepare(testing_util::MakeExample42Slp());
+  const SpanTuple expected = Tup({std::nullopt, Span{4, 6}});
+  bool found = false;
+  for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+    if (e.Current() == expected) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Enumerate, DfaEnumerationIsDuplicateFree) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp, {.determinize = true});
+  for (SlpKind kind : AllSlpKinds()) {
+    const PreparedDocument prep = ev.Prepare(MakeSlp(kind, "aabccaabaa"));
+    std::vector<SpanTuple> tuples = testing_util::Sorted(Drain(ev, prep));
+    for (size_t i = 1; i < tuples.size(); ++i) {
+      EXPECT_FALSE(tuples[i - 1] == tuples[i])
+          << "duplicate via " << testing_util::SlpKindName(kind);
+    }
+    EXPECT_EQ(tuples.size(), 24u);
+  }
+}
+
+TEST(Enumerate, NfaEnumerationCoversSetPossiblyWithDuplicates) {
+  // The paper's remark after Theorem 8.10: running on an NFA stays correct
+  // as a multi-set cover of the result set.
+  const Spanner sp = MakeIntroSpanner();
+  SpannerEvaluator nondet(sp, {.determinize = false});
+  RefEvaluator ref(sp);
+  const PreparedDocument prep = nondet.Prepare(SlpFromString("abcca"));
+  std::vector<SpanTuple> tuples = Drain(nondet, prep);
+  ASSERT_GE(tuples.size(), 3u);
+  std::vector<SpanTuple> dedup = testing_util::Sorted(std::move(tuples));
+  dedup.erase(std::unique(dedup.begin(), dedup.end(),
+                          [](const SpanTuple& a, const SpanTuple& b) { return a == b; }),
+              dedup.end());
+  ExpectSameTupleSet(ref.ComputeAll("abcca"), dedup);
+}
+
+TEST(Enumerate, MatchesComputeOnManyDocs) {
+  const Spanner spanners[] = {MakeFigure2Spanner(), MakeIntroSpanner()};
+  const std::vector<std::string> docs = {"a",    "ac",    "abcca", "cabac",
+                                         "aaaa", "ccccc", "abcabcabc", "bac"};
+  for (const Spanner& sp : spanners) {
+    SpannerEvaluator ev(sp);
+    for (const std::string& doc : docs) {
+      const PreparedDocument prep = ev.Prepare(SlpFromString(doc));
+      ExpectSameTupleSet(ev.ComputeAll(prep), Drain(ev, prep));
+    }
+  }
+}
+
+TEST(Enumerate, EmptyResultSetIsInvalidImmediately) {
+  Result<Spanner> sp = Spanner::Compile(".*x{b}.*", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa"));
+  CompressedEnumerator e = ev.Enumerate(prep);
+  EXPECT_FALSE(e.Valid());
+}
+
+TEST(Enumerate, EmptyTupleOnly) {
+  Result<Spanner> sp = Spanner::Compile("(x{b})?a+", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa"));
+  CompressedEnumerator e = ev.Enumerate(prep);
+  ASSERT_TRUE(e.Valid());
+  EXPECT_TRUE(e.Current() == Tup({std::nullopt}));
+  e.Next();
+  EXPECT_FALSE(e.Valid());
+}
+
+TEST(Enumerate, ExponentiallyCompressedDocument) {
+  // x{aa} at every position of a^(2^16): 2^16 - 1 tuples enumerated off a
+  // 17-rule grammar; check count and a few members without expansion.
+  Result<Spanner> sp = Spanner::Compile("a*x{aa}a*", "a");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const Slp slp = SlpPowerString('a', 16);
+  const PreparedDocument prep = ev.Prepare(slp);
+  uint64_t count = 0;
+  uint64_t begin_sum = 0;
+  for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+    const SpanTuple t = e.Current();
+    ASSERT_TRUE(t.Get(0).has_value());
+    ASSERT_EQ(t.Get(0)->length(), 2u);
+    begin_sum += t.Get(0)->begin;
+    ++count;
+  }
+  const uint64_t n = 1ull << 16;
+  EXPECT_EQ(count, n - 1);
+  EXPECT_EQ(begin_sum, (n - 1) * n / 2);  // begins are exactly 1..n-1
+}
+
+TEST(Enumerate, RebalanceOptionPreservesResults) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator plain(sp, {.rebalance = false});
+  SpannerEvaluator rebal(sp, {.rebalance = true});
+  const std::string doc = GenerateRepeated("aabcc", 50);
+  const Slp chain = SlpChainFromString(doc);
+  const PreparedDocument prep_plain = plain.Prepare(chain);
+  const PreparedDocument prep_rebal = rebal.Prepare(chain);
+  EXPECT_LT(prep_rebal.slp().depth(), prep_plain.slp().depth() / 4);
+  ExpectSameTupleSet(Drain(plain, prep_plain), Drain(rebal, prep_rebal));
+}
+
+TEST(Enumerate, GeneratedWorkloadAgainstReference) {
+  const std::string log = GenerateLog({.lines = 12, .seed = 3});
+  std::string alphabet;
+  for (char c = 32; c < 127; ++c) alphabet += c;
+  alphabet += '\n';
+  Result<Spanner> sp =
+      Spanner::Compile(".*user=x{u[0-9]+} action=y{[A-Z]+} .*", alphabet);
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  RefEvaluator ref(*sp);
+  const PreparedDocument prep = ev.Prepare(RePairCompress(log));
+  ExpectSameTupleSet(ref.ComputeAll(log), Drain(ev, prep));
+}
+
+}  // namespace
+}  // namespace slpspan

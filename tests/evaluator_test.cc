@@ -1,0 +1,137 @@
+// End-to-end tests for the SpannerEvaluator facade (core/evaluator.h):
+// all four evaluation tasks agreeing with each other and with the reference
+// evaluator, the paper's worked examples, and option handling.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/evaluator.h"
+#include "slp/factory.h"
+#include "spanner/ref_eval.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::ExpectSameTupleSet;
+using testing_util::MakeFigure2Spanner;
+using testing_util::MakeIntroSpanner;
+using testing_util::Tup;
+
+TEST(SpannerEvaluator, PaperIntroductionEndToEnd) {
+  const Spanner sp = MakeIntroSpanner();
+  SpannerEvaluator ev(sp);
+  const Slp slp = SlpFromString("abcca");
+
+  EXPECT_TRUE(ev.CheckNonEmptiness(slp));
+  EXPECT_EQ(ev.CountAll(slp), 3u);
+
+  const std::vector<SpanTuple> expected = {
+      Tup({Span{1, 2}, Span{3, 4}}),
+      Tup({Span{1, 2}, Span{4, 5}}),
+      Tup({Span{1, 2}, Span{3, 5}}),
+  };
+  ExpectSameTupleSet(expected, ev.ComputeAll(slp));
+  for (const SpanTuple& t : expected) {
+    EXPECT_TRUE(ev.CheckModel(slp, t));
+  }
+  EXPECT_FALSE(ev.CheckModel(slp, Tup({Span{1, 2}, Span{2, 4}})));
+}
+
+TEST(SpannerEvaluator, TasksAgreeOnFigure2) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  const Slp slp = testing_util::MakeExample42Slp();
+
+  const std::vector<SpanTuple> computed = ev.ComputeAll(slp);
+  EXPECT_EQ(computed.size(), 24u);
+  EXPECT_TRUE(ev.CheckNonEmptiness(slp));
+  EXPECT_EQ(ev.CountAll(slp), computed.size());
+  for (const SpanTuple& t : computed) {
+    EXPECT_TRUE(ev.CheckModel(slp, t)) << t.ToString(ev.vars());
+  }
+}
+
+TEST(SpannerEvaluator, NonEmptinessConsistentWithCount) {
+  const Spanner sp = MakeIntroSpanner();
+  SpannerEvaluator ev(sp);
+  for (const std::string doc : {"abcca", "ac", "ca", "bbb", "a", "c", "acacac"}) {
+    const Slp slp = SlpFromString(doc);
+    EXPECT_EQ(ev.CheckNonEmptiness(slp), ev.CountAll(slp) > 0) << doc;
+  }
+}
+
+TEST(SpannerEvaluator, VariablesAccessor) {
+  Result<Spanner> sp = Spanner::Compile("alpha{a}beta{b}", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  EXPECT_EQ(ev.num_vars(), 2u);
+  EXPECT_EQ(ev.vars().Name(0), "alpha");
+  EXPECT_EQ(ev.vars().Name(1), "beta");
+}
+
+TEST(SpannerEvaluator, PreparedDocumentReuse) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aabccaabaa"));
+  // Compute twice and enumerate twice off the same preparation.
+  const auto first = ev.ComputeAll(prep);
+  const auto second = ev.ComputeAll(prep);
+  ExpectSameTupleSet(first, second);
+  uint64_t count = 0;
+  for (auto e = ev.Enumerate(prep); e.Valid(); e.Next()) ++count;
+  EXPECT_EQ(count, first.size());
+}
+
+TEST(SpannerEvaluator, SentinelIsInvisibleToResults) {
+  // Spans may end at d+1 but never beyond; no tuple may mention the sentinel.
+  Result<Spanner> sp = Spanner::Compile(".*x{a+}", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const Slp slp = SlpFromString("bbaa");
+  for (const SpanTuple& t : ev.ComputeAll(slp)) {
+    ASSERT_TRUE(t.Get(0).has_value());
+    EXPECT_LE(t.Get(0)->end, slp.DocumentLength() + 1);
+    EXPECT_EQ(t.Get(0)->end, 5u);  // capture is anchored at the end
+  }
+  EXPECT_EQ(ev.ComputeAll(slp).size(), 2u);  // x = [3,5> and [4,5>
+}
+
+TEST(SpannerEvaluator, AgreesWithReferenceOnVersionedDocs) {
+  Result<Spanner> sp = Spanner::Compile(".*x{qq}.*", "abcdefghijklmnopqrstuvwxyz ,.\n");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  RefEvaluator ref(*sp);
+  const std::string doc = "aqq qqa zqqz";
+  ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc)));
+}
+
+TEST(SpannerEvaluator, ChecksVariableCountOnModelCheck) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  EXPECT_TRUE(ev.CheckModel(SlpFromString("ab"), Tup({Span{1, 2}, std::nullopt})));
+}
+
+TEST(SpannerEvaluator, EvalNfaIsDeterministicByDefault) {
+  const Spanner sp = MakeIntroSpanner();
+  SpannerEvaluator det(sp);
+  EXPECT_TRUE(det.eval_nfa().IsDeterministic());
+  SpannerEvaluator nondet(sp, {.determinize = false});
+  // The non-determinized automaton keeps its sentinel but may stay an NFA.
+  EXPECT_TRUE(nondet.eval_nfa().HasAcceptingState());
+}
+
+TEST(SpannerEvaluator, EmptySpannerLanguage) {
+  // A spanner whose language is empty: every task degenerates gracefully.
+  Result<Spanner> sp = Spanner::Compile("x{a}b", "ab");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  const Slp slp = SlpFromString("ba");  // 'ab' never occurs
+  EXPECT_FALSE(ev.CheckNonEmptiness(slp));
+  EXPECT_TRUE(ev.ComputeAll(slp).empty());
+  EXPECT_EQ(ev.CountAll(slp), 0u);
+  EXPECT_FALSE(ev.CheckModel(slp, Tup({Span{2, 3}})));
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,159 @@
+// Integration tests: full pipelines from raw text through compression,
+// (de)serialization, balancing and evaluation, cross-validated against the
+// uncompressed reference evaluator on realistic generated workloads.
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/evaluator.h"
+#include "slp/balance.h"
+#include "slp/factory.h"
+#include "slp/lz78.h"
+#include "slp/repair.h"
+#include "slp/serialize.h"
+#include "spanner/ref_eval.h"
+#include "test_util.h"
+#include "textgen/textgen.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::ExpectSameTupleSet;
+
+std::string FullAsciiAlphabet() {
+  std::string alphabet;
+  for (char c = 32; c < 127; ++c) alphabet += c;
+  alphabet += '\n';
+  return alphabet;
+}
+
+std::vector<SpanTuple> DrainAll(const SpannerEvaluator& ev,
+                                const PreparedDocument& prep) {
+  std::vector<SpanTuple> out;
+  for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+    out.push_back(e.Current());
+  }
+  return out;
+}
+
+TEST(Integration, LogPipelineExtractErrorActions) {
+  const std::string log = GenerateLog({.lines = 120, .distinct_users = 4, .seed = 21});
+  Result<Spanner> sp =
+      Spanner::Compile(".*user=x{u[0-9]+} action=y{[A-Z]+} status=500\n.*",
+                       FullAsciiAlphabet());
+  ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+
+  RefEvaluator ref(*sp);
+  const std::vector<SpanTuple> expected = ref.ComputeAll(log);
+
+  SpannerEvaluator ev(*sp);
+  for (const Slp& slp : {RePairCompress(log), Lz78Compress(log),
+                         Rebalance(Lz78Compress(log))}) {
+    ASSERT_EQ(slp.ExpandToString(), log);
+    const PreparedDocument prep = ev.Prepare(slp);
+    ExpectSameTupleSet(expected, ev.ComputeAll(prep));
+    ExpectSameTupleSet(expected, DrainAll(ev, prep));
+    EXPECT_EQ(ev.CheckNonEmptiness(slp), !expected.empty());
+  }
+}
+
+TEST(Integration, DnaMotifContextExtraction) {
+  const std::string dna =
+      GenerateDna({.length = 3000, .motif = "ACGTACGT", .motif_rate = 0.004,
+                   .seed = 22});
+  // Capture each planted motif with one base of left/right context.
+  Result<Spanner> sp =
+      Spanner::Compile(".*l{[ACGT]}m{ACGTACGT}r{[ACGT]}.*", "ACGT");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  SpannerEvaluator ev(*sp);
+  const Slp slp = RePairCompress(dna);
+  ExpectSameTupleSet(ref.ComputeAll(dna), ev.ComputeAll(slp));
+}
+
+TEST(Integration, VersionedDocPipelineWithSerialization) {
+  const std::string doc =
+      GenerateVersionedDoc({.base_length = 250, .versions = 8, .seed = 23});
+  const Slp slp = RePairCompress(doc);
+
+  // Persist, reload, evaluate on the reloaded grammar.
+  const std::string path = ::testing::TempDir() + "/slpspan_integration.slp";
+  ASSERT_TRUE(SaveSlpToFile(slp, path).ok());
+  Result<Slp> reloaded = LoadSlpFromFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  std::remove(path.c_str());
+
+  Result<Spanner> sp = Spanner::Compile(".*x{ the }.*",
+                                        "abcdefghijklmnopqrstuvwxyz ,.\n");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  SpannerEvaluator ev(*sp);
+  ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(*reloaded));
+}
+
+TEST(Integration, HugeSyntheticDocumentBeyondExpansion) {
+  // A document of ~10^9 symbols defined purely by grammar: (ab)^(2^29).
+  // Evaluation must finish off the 31-rule SLP; expansion would be 1 GiB.
+  Result<Spanner> sp = Spanner::Compile("(ab)*x{ab}(ab)*", "ab");
+  ASSERT_TRUE(sp.ok());
+  CnfAssembler a;
+  NtId ab = a.Pair(a.Leaf('a'), a.Leaf('b'));
+  for (int i = 0; i < 29; ++i) ab = a.Pair(ab, ab);
+  const Slp slp = a.Finish(ab);
+  ASSERT_EQ(slp.DocumentLength(), 1ull << 30);
+
+  SpannerEvaluator ev(*sp);
+  EXPECT_TRUE(ev.CheckNonEmptiness(slp));
+  // Model-check a specific deep match without expanding anything.
+  EXPECT_TRUE(ev.CheckModel(
+      slp, testing_util::Tup({Span{999999999, 1000000001}})));  // odd begin
+  EXPECT_FALSE(ev.CheckModel(
+      slp, testing_util::Tup({Span{1000000000, 1000000002}})));  // even begin
+  // Enumerate just the first few of the 2^29 results with bounded delay.
+  const PreparedDocument prep = ev.Prepare(slp);
+  CompressedEnumerator e = ev.Enumerate(prep);
+  int taken = 0;
+  for (; e.Valid() && taken < 1000; e.Next()) {
+    const SpanTuple t = e.Current();
+    ASSERT_TRUE(t.Get(0).has_value());
+    EXPECT_EQ(t.Get(0)->begin % 2, 1u);
+    ++taken;
+  }
+  EXPECT_EQ(taken, 1000);
+}
+
+TEST(Integration, FibonacciDocumentFactorSpans) {
+  // All occurrences of "ab" in the 18th Fibonacci word, compressed natively.
+  Result<Spanner> sp = Spanner::Compile(".*x{ab}.*", "ab");
+  ASSERT_TRUE(sp.ok());
+  const Slp fib = SlpFibonacci(18);
+  ASSERT_EQ(fib.DocumentLength(), 2584u);  // fib(18)
+  SpannerEvaluator ev(*sp);
+  RefEvaluator ref(*sp);
+  const std::string text = fib.ExpandToString();
+  const std::vector<SpanTuple> expected = ref.ComputeAll(text);
+  const PreparedDocument prep = ev.Prepare(fib);
+  ExpectSameTupleSet(expected, ev.ComputeAll(prep));
+  EXPECT_GT(expected.size(), 500u);
+}
+
+TEST(Integration, MixedTasksOnOneDocument) {
+  const std::string doc = GenerateRepeated("abbcab", 40) + "cc";
+  const Spanner sp = testing_util::MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  RefEvaluator ref(sp);
+  const Slp slp = Rebalance(RePairCompress(doc));
+
+  ASSERT_EQ(ev.CheckNonEmptiness(slp), ref.CheckNonEmptiness(doc));
+  const std::vector<SpanTuple> expected = ref.ComputeAll(doc);
+  const PreparedDocument prep = ev.Prepare(slp);
+  ExpectSameTupleSet(expected, ev.ComputeAll(prep));
+  ExpectSameTupleSet(expected, DrainAll(ev, prep));
+  for (size_t i = 0; i < expected.size(); i += 37) {
+    EXPECT_TRUE(ev.CheckModel(slp, expected[i]));
+  }
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,252 @@
+// Tests for the marker algebra (spanner/marker.h, spanner/variables.h,
+// spanner/symbol_table.h): the paper's Examples 3.2 and 6.1, the order ⪯
+// from the proof of Theorem 7.1 (prefix-is-larger), the monotonicity of ⊗
+// that the sorted-merge computation relies on, and span-tuple round-trips.
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "spanner/marker.h"
+#include "spanner/symbol_table.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::Tup;
+
+TEST(CompareMasks, OrdersByLowestBitFirst) {
+  const MarkerMask open0 = OpenMarker(0);   // bit 0
+  const MarkerMask close0 = CloseMarker(0); // bit 1
+  const MarkerMask open1 = OpenMarker(1);   // bit 2
+  EXPECT_LT(CompareMasks(open0, close0), 0);
+  EXPECT_LT(CompareMasks(close0, open1), 0);
+  EXPECT_GT(CompareMasks(open1, open0), 0);
+  EXPECT_EQ(CompareMasks(open0, open0), 0);
+}
+
+TEST(CompareMasks, ProperPrefixIsLarger) {
+  const MarkerMask small = OpenMarker(0);
+  const MarkerMask big = OpenMarker(0) | CloseMarker(1);
+  // {open0} is a proper prefix of {open0, close1} — the prefix is larger.
+  EXPECT_GT(CompareMasks(small, big), 0);
+  EXPECT_LT(CompareMasks(big, small), 0);
+  // The empty set is a prefix of everything, hence the largest.
+  EXPECT_GT(CompareMasks(0, small), 0);
+  EXPECT_EQ(CompareMasks(0, 0), 0);
+}
+
+TEST(VariableSet, InternAndLookup) {
+  VariableSet vars;
+  const VarId x = vars.Intern("x").value();
+  const VarId y = vars.Intern("y").value();
+  EXPECT_EQ(x, 0u);
+  EXPECT_EQ(y, 1u);
+  EXPECT_EQ(vars.Intern("x").value(), x);  // idempotent
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars.Name(y), "y");
+  EXPECT_FALSE(vars.Find("z").has_value());
+}
+
+TEST(VariableSet, CapsAt32Variables) {
+  VariableSet vars;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(vars.Intern("v" + std::to_string(i)).ok());
+  }
+  Result<VarId> overflow = vars.Intern("v32");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(VariableSet, MaskToStringNamesMarkers) {
+  VariableSet vars;
+  const VarId x = vars.Intern("x").value();
+  const VarId y = vars.Intern("y").value();
+  EXPECT_EQ(vars.MaskToString(OpenMarker(x) | CloseMarker(y)), "{<x, >y}");
+}
+
+TEST(MarkerSeq, FromTuplePaperExample32) {
+  // Example 3.2: w = {<x} a b {<y,<z,>x} b c {>z} a b {>y} a c encodes
+  // ([1,3>, [3,7>, [3,5>) over document abbcabac.
+  const SpanTuple t = Tup({Span{1, 3}, Span{3, 7}, Span{3, 5}});
+  const MarkerSeq m = MarkerSeq::FromTuple(t);
+  ASSERT_EQ(m.NumPositions(), 4u);
+  EXPECT_EQ(m.entries()[0], (PosMark{1, OpenMarker(0)}));
+  EXPECT_EQ(m.entries()[1],
+            (PosMark{3, CloseMarker(0) | OpenMarker(1) | OpenMarker(2)}));
+  EXPECT_EQ(m.entries()[2], (PosMark{5, CloseMarker(2)}));
+  EXPECT_EQ(m.entries()[3], (PosMark{7, CloseMarker(1)}));
+  EXPECT_EQ(m.NumMarkers(), 6u);
+}
+
+TEST(MarkerSeq, MarkedWordPaperExample32SecondPart) {
+  // m(D, t) for D = aaabcbb, t = ([6,8>, ⊥, [3,8>) is
+  // aa {<z} abc {<x} bb {>x,>z}  — note the marker at position 8 = |D|+1.
+  const SpanTuple t = Tup({Span{6, 8}, std::nullopt, Span{3, 8}});
+  SymbolTable table;
+  const std::vector<SymbolId> doc = ToSymbols("aaabcbb");
+  const std::vector<SymbolId> marked = MarkedWord(doc, MarkerSeq::FromTuple(t), &table);
+  ASSERT_EQ(marked.size(), 10u);
+  EXPECT_EQ(marked[0], SymbolId{'a'});
+  EXPECT_EQ(marked[1], SymbolId{'a'});
+  EXPECT_EQ(table.MaskOf(marked[2]), OpenMarker(2));
+  EXPECT_EQ(marked[3], SymbolId{'a'});
+  EXPECT_EQ(table.MaskOf(marked[6]), OpenMarker(0));
+  EXPECT_EQ(table.MaskOf(marked[9]), CloseMarker(0) | CloseMarker(2));
+  // e(.) and p(.) recover document and marker set (Figure 1 triangle).
+  EXPECT_EQ(ExtractDocument(marked), doc);
+  EXPECT_TRUE(ExtractMarkers(marked, table) == MarkerSeq::FromTuple(t));
+}
+
+TEST(MarkerSeq, ToTupleRoundTrip) {
+  const SpanTuple t = Tup({Span{2, 4}, std::nullopt, Span{1, 9}, Span{4, 4}});
+  Result<SpanTuple> back = MarkerSeq::FromTuple(t).ToTuple(4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == t);
+}
+
+TEST(MarkerSeq, ToTupleRejectsUnmatchedMarkers) {
+  const MarkerSeq only_open(std::vector<PosMark>{{2, OpenMarker(0)}});
+  EXPECT_FALSE(only_open.ToTuple(1).ok());
+  const MarkerSeq only_close(std::vector<PosMark>{{2, CloseMarker(0)}});
+  EXPECT_FALSE(only_close.ToTuple(1).ok());
+}
+
+TEST(MarkerSeq, ToTupleRejectsInvertedSpan) {
+  const MarkerSeq inverted(
+      std::vector<PosMark>{{2, CloseMarker(0)}, {5, OpenMarker(0)}});
+  EXPECT_FALSE(inverted.ToTuple(1).ok());
+}
+
+TEST(MarkerSeq, ToTupleAcceptsEmptySpanAtOnePosition) {
+  const MarkerSeq both(std::vector<PosMark>{{3, OpenMarker(0) | CloseMarker(0)}});
+  Result<SpanTuple> t = both.ToTuple(1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(*t == Tup({Span{3, 3}}));
+}
+
+TEST(MarkerSeq, PaperExample61ShiftAndJoin) {
+  // Lambda1 = {(<y,2), (<z,4), (<x,4), (>z,6)} over D1 = ababcc,
+  // Lambda2 = {(>x,2), (>y,4)} over D2 = caba;
+  // Lambda1 ⊗_6 Lambda2 = marker set of ([4,8>, [2,10>, [4,6>).
+  const MarkerSeq l1(std::vector<PosMark>{
+      {2, OpenMarker(1)}, {4, OpenMarker(2) | OpenMarker(0)}, {6, CloseMarker(2)}});
+  const MarkerSeq l2(
+      std::vector<PosMark>{{2, CloseMarker(0)}, {4, CloseMarker(1)}});
+  const MarkerSeq joined = MarkerSeq::Join(l1, l2, 6);
+  Result<SpanTuple> t = joined.ToTuple(3);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(*t == Tup({Span{4, 8}, Span{2, 10}, Span{4, 6}}));
+}
+
+TEST(MarkerSeq, RightShift) {
+  const MarkerSeq m(std::vector<PosMark>{{1, OpenMarker(0)}, {3, CloseMarker(0)}});
+  const MarkerSeq shifted = m.RightShift(10);
+  EXPECT_EQ(shifted.entries()[0].pos, 11u);
+  EXPECT_EQ(shifted.entries()[1].pos, 13u);
+  EXPECT_EQ(shifted.entries()[0].marks, m.entries()[0].marks);
+}
+
+TEST(MarkerSeqCompare, PositionMajor) {
+  const MarkerSeq a(std::vector<PosMark>{{1, OpenMarker(0)}});
+  const MarkerSeq b(std::vector<PosMark>{{2, OpenMarker(0)}});
+  EXPECT_LT(MarkerSeq::Compare(a, b), 0);
+  EXPECT_GT(MarkerSeq::Compare(b, a), 0);
+}
+
+TEST(MarkerSeqCompare, PrefixIsLarger) {
+  const MarkerSeq shorter(std::vector<PosMark>{{1, OpenMarker(0)}});
+  const MarkerSeq longer(
+      std::vector<PosMark>{{1, OpenMarker(0)}, {5, CloseMarker(0)}});
+  EXPECT_GT(MarkerSeq::Compare(shorter, longer), 0);
+  // And the empty marker set is the largest of all.
+  EXPECT_GT(MarkerSeq::Compare(MarkerSeq(), shorter), 0);
+}
+
+TEST(MarkerSeqCompare, EntryMaskPrefixConsistentWithFlattening) {
+  // a = {(1, {open0}), (2, {close0})}, b = {(1, {open0, close0})}:
+  // flattened, b's second element (1, close0) precedes a's (2, close0),
+  // so b < a even though a's first *entry* is a bit-prefix of b's.
+  const MarkerSeq a(
+      std::vector<PosMark>{{1, OpenMarker(0)}, {2, CloseMarker(0)}});
+  const MarkerSeq b(std::vector<PosMark>{{1, OpenMarker(0) | CloseMarker(0)}});
+  EXPECT_LT(MarkerSeq::Compare(b, a), 0);
+}
+
+// The property Theorem 7.1's merge relies on: the join is strictly monotone
+// in both arguments. Random trial sweep.
+class JoinMonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+MarkerSeq RandomSeq(Rng* rng, uint64_t max_pos, uint32_t vars) {
+  std::vector<PosMark> entries;
+  uint64_t pos = 0;
+  while (true) {
+    pos += 1 + rng->Below(3);
+    if (pos > max_pos || rng->Chance(1, 3)) break;
+    const MarkerMask mask = 1 + rng->Below((1ull << (2 * vars)) - 1);
+    entries.push_back({pos, mask});
+  }
+  return MarkerSeq(std::move(entries));
+}
+
+TEST_P(JoinMonotonicityTest, JoinPreservesStrictOrder) {
+  Rng rng(GetParam());
+  const uint64_t shift = 8;
+  for (int trial = 0; trial < 200; ++trial) {
+    const MarkerSeq b1 = RandomSeq(&rng, shift, 2);
+    const MarkerSeq b2 = RandomSeq(&rng, shift, 2);
+    const MarkerSeq c1 = RandomSeq(&rng, 6, 2);
+    const MarkerSeq c2 = RandomSeq(&rng, 6, 2);
+    const int cb = MarkerSeq::Compare(b1, b2);
+    const MarkerSeq j1 = MarkerSeq::Join(b1, c1, shift);
+    const MarkerSeq j2 = MarkerSeq::Join(b2, c2, shift);
+    if (cb != 0) {
+      // Different left parts: the join order follows the left order.
+      EXPECT_EQ(cb < 0, MarkerSeq::Compare(j1, j2) < 0);
+    } else {
+      // Equal left parts: the join order follows the right order.
+      EXPECT_EQ(MarkerSeq::Compare(c1, c2), MarkerSeq::Compare(j1, j2));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinMonotonicityTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(MergeSorted, DeduplicatesAndStaysSorted) {
+  const MarkerSeq m1(std::vector<PosMark>{{1, OpenMarker(0)}});
+  const MarkerSeq m2(std::vector<PosMark>{{2, OpenMarker(0)}});
+  const MarkerSeq m3;
+  std::vector<MarkerSeq> a{m1, m3};  // sorted: {…} < empty (prefix larger)
+  std::vector<MarkerSeq> b{m1, m2, m3};
+  ASSERT_TRUE(IsSortedUnique(a));
+  ASSERT_TRUE(IsSortedUnique(b));
+  const std::vector<MarkerSeq> merged = MergeSorted(a, b);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_TRUE(IsSortedUnique(merged));
+}
+
+TEST(SymbolTable, InternIsStable) {
+  SymbolTable table;
+  const SymbolId s1 = table.InternMask(OpenMarker(0));
+  const SymbolId s2 = table.InternMask(OpenMarker(1));
+  EXPECT_EQ(table.InternMask(OpenMarker(0)), s1);
+  EXPECT_NE(s1, s2);
+  EXPECT_GE(s1, kFirstMarkerSymbol);
+  EXPECT_EQ(table.MaskOf(s2), OpenMarker(1));
+  EXPECT_TRUE(SymbolTable::IsMaskSymbol(s1));
+  EXPECT_FALSE(SymbolTable::IsMaskSymbol('a'));
+  EXPECT_FALSE(SymbolTable::IsMaskSymbol(kSentinelSymbol));
+}
+
+TEST(SpanTuple, ToStringRendersBottom) {
+  VariableSet vars;
+  (void)vars.Intern("x");
+  (void)vars.Intern("y");
+  const SpanTuple t = Tup({Span{1, 3}, std::nullopt});
+  EXPECT_EQ(t.ToString(vars), "(x=[1,3>, y=_)");
+}
+
+}  // namespace
+}  // namespace slpspan

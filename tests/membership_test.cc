@@ -1,0 +1,141 @@
+// Tests for Lemma 4.5 (core/membership.h): membership of SLP-compressed
+// documents in regular languages, cross-validated against direct automaton
+// simulation on the expanded document, over multiple SLP constructions.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/membership.h"
+#include "slp/factory.h"
+#include "test_util.h"
+#include "textgen/textgen.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::AllSlpKinds;
+using testing_util::MakeSlp;
+using testing_util::SlpKind;
+
+// Variable-free spanners are ordinary regular expressions; their normalized
+// automata are eps-free char NFAs suitable for SlpInLanguage.
+struct LangCase {
+  const char* pattern;
+  const char* alphabet;
+};
+
+const LangCase kLanguages[] = {
+    {"(ab)*", "ab"},
+    {"a*b*a*", "ab"},
+    {"(a|b)*abb", "ab"},
+    {".*fox.*", "abcdefghijklmnopqrstuvwxyz "},
+    {"(a|b|c)*", "abc"},
+    {"a(aa)*", "a"},        // odd-length a-blocks
+    {"(aa)*", "a"},         // even-length a-blocks
+};
+
+TEST(SlpInLanguage, AgreesWithSimulationOnSmallDocs) {
+  const std::vector<std::string> docs = {"a",  "b",   "ab",   "ba",  "abb",
+                                         "aab", "abab", "ababab", "fox",
+                                         "the quick fox", "aaaa", "aaaaa"};
+  for (const LangCase& lang : kLanguages) {
+    Result<Spanner> sp = Spanner::Compile(lang.pattern, lang.alphabet);
+    ASSERT_TRUE(sp.ok()) << lang.pattern;
+    const Nfa& nfa = sp->normalized();
+    for (const std::string& doc : docs) {
+      bool in_alphabet = true;
+      for (char ch : doc) {
+        if (std::string(lang.alphabet).find(ch) == std::string::npos) {
+          in_alphabet = false;
+        }
+      }
+      if (!in_alphabet) continue;
+      const bool expected = AcceptsSymbols(nfa, ToSymbols(doc), nullptr);
+      for (SlpKind kind : AllSlpKinds()) {
+        const Slp slp = MakeSlp(kind, doc);
+        EXPECT_EQ(SlpInLanguage(slp, nfa), expected)
+            << lang.pattern << " on " << doc << " via "
+            << testing_util::SlpKindName(kind);
+      }
+    }
+  }
+}
+
+TEST(SlpInLanguage, ExponentialDocumentParity) {
+  // a^(2^k) ∈ (aa)* iff 2^k is even — true for all k >= 1; and the odd
+  // language a(aa)* must reject every even power.
+  Result<Spanner> even = Spanner::Compile("(aa)*", "a");
+  Result<Spanner> odd = Spanner::Compile("a(aa)*", "a");
+  ASSERT_TRUE(even.ok() && odd.ok());
+  for (uint32_t k : {1u, 5u, 17u, 40u}) {
+    const Slp slp = SlpPowerString('a', k);  // document far too big to expand
+    EXPECT_TRUE(SlpInLanguage(slp, even->normalized())) << k;
+    EXPECT_FALSE(SlpInLanguage(slp, odd->normalized())) << k;
+  }
+}
+
+TEST(SlpInLanguage, FibonacciWordsAvoidBB) {
+  // Fibonacci words famously contain no factor "bb".
+  Result<Spanner> has_bb = Spanner::Compile(".*bb.*", "ab");
+  ASSERT_TRUE(has_bb.ok());
+  for (uint32_t k = 3; k <= 25; ++k) {
+    EXPECT_FALSE(SlpInLanguage(SlpFibonacci(k), has_bb->normalized())) << k;
+  }
+  // Sanity: the language itself is recognizable.
+  EXPECT_TRUE(SlpInLanguage(SlpFromString("abba"), has_bb->normalized()));
+}
+
+TEST(SlpInLanguage, ThueMorseIsCubeFree) {
+  // Thue–Morse words contain no factor "aaa" or "bbb".
+  Result<Spanner> cube = Spanner::Compile(".*(aaa|bbb).*", "ab");
+  ASSERT_TRUE(cube.ok());
+  for (uint32_t k = 2; k <= 14; ++k) {
+    EXPECT_FALSE(SlpInLanguage(SlpThueMorse(k), cube->normalized())) << k;
+  }
+  EXPECT_TRUE(SlpInLanguage(SlpFromString("abaaab"), cube->normalized()));
+}
+
+TEST(NtTransitionMatrices, RootRowMatchesAcceptance) {
+  Result<Spanner> sp = Spanner::Compile("(ab)*", "ab");
+  ASSERT_TRUE(sp.ok());
+  const Slp slp = SlpRepeat("ab", 64);
+  const std::vector<BoolMatrix> mats = NtTransitionMatrices(slp, sp->normalized(),
+                                                            nullptr);
+  ASSERT_EQ(mats.size(), slp.NumNonTerminals());
+  bool accepted = false;
+  for (StateId j = 0; j < sp->normalized().NumStates(); ++j) {
+    if (sp->normalized().IsAccepting(j) && mats[slp.root()].Get(0, j)) accepted = true;
+  }
+  EXPECT_TRUE(accepted);
+}
+
+TEST(LeafTransitionMatrix, MaskSymbolsUseMarkArcs) {
+  Nfa nfa;
+  const StateId s1 = nfa.AddState();
+  nfa.AddMarkArc(0, OpenMarker(0), s1);
+  nfa.AddCharArc(0, 'a', s1);
+  SymbolTable table;
+  const SymbolId mask_sym = table.InternMask(OpenMarker(0));
+  const BoolMatrix via_mask = LeafTransitionMatrix(nfa, mask_sym, &table);
+  EXPECT_TRUE(via_mask.Get(0, s1));
+  const BoolMatrix via_char = LeafTransitionMatrix(nfa, 'a', nullptr);
+  EXPECT_TRUE(via_char.Get(0, s1));
+  const BoolMatrix via_other = LeafTransitionMatrix(nfa, 'b', nullptr);
+  EXPECT_FALSE(via_other.AnySet());
+}
+
+TEST(SlpInLanguage, GeneratedLogOverCompressors) {
+  const std::string log = GenerateLog({.lines = 60, .seed = 1});
+  std::string alphabet;
+  for (char c = 32; c < 127; ++c) alphabet += c;
+  alphabet += '\n';
+  Result<Spanner> sp = Spanner::Compile(".*action=GET.*", alphabet);
+  ASSERT_TRUE(sp.ok());
+  const bool expected = AcceptsSymbols(sp->normalized(), ToSymbols(log), nullptr);
+  for (SlpKind kind : {SlpKind::kBalanced, SlpKind::kRePair, SlpKind::kLz78}) {
+    EXPECT_EQ(SlpInLanguage(MakeSlp(kind, log), sp->normalized()), expected);
+  }
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,130 @@
+// Tests for Theorem 5.1(2) (core/model_check.h): splicing marker symbols
+// into SLPs (SpliceMarkers yields exactly m(D, t)) and compressed model
+// checking, cross-validated exhaustively against the reference evaluator.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/model_check.h"
+#include "slp/factory.h"
+#include "spanner/ref_eval.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::MakeFigure2Spanner;
+using testing_util::MakeIntroSpanner;
+using testing_util::MakeSlp;
+using testing_util::SlpKind;
+using testing_util::Tup;
+
+TEST(SpliceMarkers, ProducesExactlyTheMarkedWord) {
+  const std::string doc = "abbcabac";
+  // Example 3.2's tuple ([1,3>, [3,7>, [3,5>).
+  const SpanTuple t = Tup({Span{1, 3}, Span{3, 7}, Span{3, 5}});
+  const MarkerSeq markers = MarkerSeq::FromTuple(t);
+  for (SlpKind kind : testing_util::AllSlpKinds()) {
+    SymbolTable table;
+    const Slp slp = MakeSlp(kind, doc);
+    const Slp spliced = SpliceMarkers(slp, markers, &table);
+    EXPECT_TRUE(spliced.Validate().ok());
+    EXPECT_EQ(spliced.Expand(), MarkedWord(ToSymbols(doc), markers, &table))
+        << testing_util::SlpKindName(kind);
+  }
+}
+
+TEST(SpliceMarkers, EmptyMarkerSetIsIdentityOnContent) {
+  SymbolTable table;
+  const Slp slp = SlpFromString("hello");
+  const Slp spliced = SpliceMarkers(slp, MarkerSeq(), &table);
+  EXPECT_EQ(spliced.ExpandToString(), "hello");
+}
+
+TEST(SpliceMarkers, AddsOnlyPathCopies) {
+  // Splicing into a^(2^20) must stay tiny: O(|X| * depth) new rules.
+  SymbolTable table;
+  const Slp slp = SlpPowerString('a', 20);
+  const MarkerSeq markers(std::vector<PosMark>{{12345, OpenMarker(0)},
+                                               {987654, CloseMarker(0)}});
+  const Slp spliced = SpliceMarkers(slp, markers, &table);
+  EXPECT_LE(spliced.NumNonTerminals(), slp.NumNonTerminals() + 2 * 21 + 4);
+  EXPECT_EQ(spliced.DocumentLength(), slp.DocumentLength() + 2);
+  // Verify the mask symbols landed at the right positions.
+  EXPECT_TRUE(SymbolTable::IsMaskSymbol(spliced.SymbolAt(12345)));
+  EXPECT_EQ(spliced.SymbolAt(12346), SymbolId{'a'});
+}
+
+TEST(CheckModel, Figure2AllMembersAndNonMembers) {
+  const Spanner sp = MakeFigure2Spanner();
+  RefEvaluator ref(sp);
+  const std::string doc = "aabccaabaa";
+  const Slp slp = testing_util::MakeExample42Slp();
+  // Exhaustive sweep over all single-variable span assignments for x and y
+  // (incl. undefined): compare compressed vs reference on every candidate.
+  std::vector<std::optional<Span>> spans{{std::nullopt}};
+  for (uint64_t b = 1; b <= doc.size() + 1; ++b) {
+    for (uint64_t e = b; e <= doc.size() + 1; ++e) spans.push_back(Span{b, e});
+  }
+  int checked = 0, members = 0;
+  for (const auto& sx : spans) {
+    for (const auto& sy : spans) {
+      const SpanTuple t = Tup({sx, sy});
+      const bool expected = ref.CheckModel(doc, t);
+      ASSERT_EQ(CheckModel(slp, sp, t), expected) << t.ToString(sp.vars());
+      ++checked;
+      members += expected;
+    }
+  }
+  EXPECT_EQ(checked, 67 * 67);
+  EXPECT_EQ(members, 24);  // exactly the Figure-2 result set
+}
+
+TEST(CheckModel, IntroExample) {
+  const Spanner sp = MakeIntroSpanner();
+  const Slp slp = SlpFromString("abcca");
+  EXPECT_TRUE(CheckModel(slp, sp, Tup({Span{1, 2}, Span{3, 4}})));
+  EXPECT_TRUE(CheckModel(slp, sp, Tup({Span{1, 2}, Span{4, 5}})));
+  EXPECT_TRUE(CheckModel(slp, sp, Tup({Span{1, 2}, Span{3, 5}})));
+  EXPECT_FALSE(CheckModel(slp, sp, Tup({Span{1, 2}, Span{3, 6}})));
+  EXPECT_FALSE(CheckModel(slp, sp, Tup({Span{2, 3}, Span{3, 4}})));
+  EXPECT_FALSE(CheckModel(slp, sp, Tup({std::nullopt, Span{3, 4}})));
+}
+
+TEST(CheckModel, SpanTouchingDocumentEnd) {
+  const Spanner sp = MakeFigure2Spanner();
+  const Slp slp = testing_util::MakeExample42Slp();  // aabccaabaa
+  EXPECT_TRUE(CheckModel(slp, sp, Tup({Span{9, 11}, std::nullopt})));
+  EXPECT_TRUE(CheckModel(slp, sp, Tup({Span{6, 11}, std::nullopt})));
+  EXPECT_FALSE(CheckModel(slp, sp, Tup({Span{9, 12}, std::nullopt})));  // past end
+}
+
+TEST(CheckModel, RejectsOutOfRangeSpans) {
+  const Spanner sp = MakeFigure2Spanner();
+  const Slp slp = SlpFromString("ab");
+  EXPECT_FALSE(CheckModel(slp, sp, Tup({Span{1, 9}, std::nullopt})));
+}
+
+TEST(CheckModel, HugeCompressedDocument) {
+  // x{a...a} (full document) on a^(2^25): check the full-span tuple without
+  // expansion; also check an off-by-one non-member.
+  Result<Spanner> sp = Spanner::Compile("x{a+}", "a");
+  ASSERT_TRUE(sp.ok());
+  const Slp slp = SlpPowerString('a', 25);
+  const uint64_t d = slp.DocumentLength();
+  EXPECT_TRUE(CheckModel(slp, *sp, Tup({Span{1, d + 1}})));
+  EXPECT_FALSE(CheckModel(slp, *sp, Tup({Span{1, d}})));    // misses last a
+  EXPECT_FALSE(CheckModel(slp, *sp, Tup({Span{2, d + 1}}))); // misses first a
+}
+
+TEST(CheckModelPrepared, MatchesSelfContainedVariant) {
+  const Spanner sp = MakeFigure2Spanner();
+  const Slp slp = SlpFromString("abcab");
+  const Slp with_sentinel = SlpAppendSymbol(slp, kSentinelSymbol);
+  const Nfa nfa = AppendSentinel(sp.normalized());
+  const SpanTuple t = Tup({Span{1, 3}, std::nullopt});
+  EXPECT_EQ(CheckModelPrepared(with_sentinel, nfa, t), CheckModel(slp, sp, t));
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,86 @@
+// Tests for Theorem 5.1(1) (core/nonemptiness.h): non-emptiness of ⟦M⟧(D)
+// directly on the SLP, cross-validated against the reference evaluator.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/nonemptiness.h"
+#include "slp/factory.h"
+#include "spanner/ref_eval.h"
+#include "test_util.h"
+#include "textgen/textgen.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::AllSlpKinds;
+using testing_util::MakeFigure2Spanner;
+using testing_util::MakeIntroSpanner;
+using testing_util::MakeSlp;
+using testing_util::SlpKind;
+
+TEST(NonEmptiness, Figure2Fixture) {
+  const Spanner sp = MakeFigure2Spanner();
+  EXPECT_TRUE(CheckNonEmptiness(testing_util::MakeExample42Slp(), sp));
+  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("a"), sp));
+  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("ccc"), sp));
+}
+
+TEST(NonEmptiness, IntroSpannerNeedsAnAThenC) {
+  const Spanner sp = MakeIntroSpanner();
+  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("abcca"), sp));
+  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("ac"), sp));
+  EXPECT_FALSE(CheckNonEmptiness(SlpFromString("ca"), sp));   // c before a only
+  EXPECT_FALSE(CheckNonEmptiness(SlpFromString("bbb"), sp));  // no 'a'
+  EXPECT_FALSE(CheckNonEmptiness(SlpFromString("aaa"), sp));  // no 'c' after
+}
+
+TEST(NonEmptiness, AgreesWithReferenceAcrossDocsAndKinds) {
+  const Spanner spanners[] = {MakeFigure2Spanner(), MakeIntroSpanner()};
+  const std::vector<std::string> docs = {
+      "a", "b", "c", "ab", "ac", "ca", "abc", "cab", "bbbb",
+      "abcca", "aabccaabaa", "cacacaca", "bacbacbac"};
+  for (const Spanner& sp : spanners) {
+    RefEvaluator ref(sp);
+    for (const std::string& doc : docs) {
+      const bool expected = ref.CheckNonEmptiness(doc);
+      for (SlpKind kind : AllSlpKinds()) {
+        EXPECT_EQ(CheckNonEmptiness(MakeSlp(kind, doc), sp), expected)
+            << doc << " via " << testing_util::SlpKindName(kind);
+      }
+    }
+  }
+}
+
+TEST(NonEmptiness, ExponentiallyCompressedPositive) {
+  // x{a+} on a^(2^30): decided without touching the billion-symbol document.
+  Result<Spanner> sp = Spanner::Compile("x{a+}.*", "a");
+  ASSERT_TRUE(sp.ok());
+  EXPECT_TRUE(CheckNonEmptiness(SlpPowerString('a', 30), *sp));
+}
+
+TEST(NonEmptiness, ExponentiallyCompressedNegative) {
+  // x{b} never matches inside a^(2^30).
+  Result<Spanner> sp = Spanner::Compile(".*x{b}.*", "ab");
+  ASSERT_TRUE(sp.ok());
+  EXPECT_FALSE(CheckNonEmptiness(SlpPowerString('a', 30), *sp));
+}
+
+TEST(NonEmptiness, ProjectedEntryPointMatches) {
+  const Spanner sp = MakeIntroSpanner();
+  const Nfa projected = Normalize(ProjectMarkersToEps(sp.normalized()));
+  const Slp slp = SlpFromString("abcca");
+  EXPECT_EQ(CheckNonEmptinessProjected(slp, projected), CheckNonEmptiness(slp, sp));
+}
+
+TEST(NonEmptiness, VersionedDocWorkload) {
+  const std::string doc = GenerateVersionedDoc({.base_length = 300, .versions = 6});
+  std::string alphabet = "abcdefghijklmnopqrstuvwxyz ,.\n";
+  Result<Spanner> sp = Spanner::Compile(".*x{qq}.*", alphabet);
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  EXPECT_EQ(CheckNonEmptiness(Lz78Compress(doc), *sp), ref.CheckNonEmptiness(doc));
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,227 @@
+// The paper, executable: every numbered example, figure and core proposition
+// of "Spanner Evaluation over SLP-Compressed Documents" (PODS 2021) asserted
+// end-to-end, in the paper's order. Complements the per-module tests: this
+// file is the human-readable fidelity record.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/evaluator.h"
+#include "core/membership.h"
+#include "core/model_check.h"
+#include "slp/balance.h"
+#include "slp/builder.h"
+#include "slp/factory.h"
+#include "spanner/ref_eval.h"
+#include "spanner/symbol_table.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::MakeExample42Slp;
+using testing_util::MakeFigure2Spanner;
+using testing_util::Tup;
+
+// --- Section 1, introduction --------------------------------------------
+// "the subword-marked language given by (b∨c)* ⊿x a ◁x Σ* ⊿y c+ ◁y Σ*
+//  describes the spanner [mapping] D = abcca to
+//  {([1,2>,[3,4>), ([1,2>,[4,5>), ([1,2>,[3,5>)}".
+TEST(Paper, Section1IntroductionSpanner) {
+  Result<Spanner> sp = Spanner::Compile("(b|c)*x{a}.*y{cc*}.*", "abc");
+  ASSERT_TRUE(sp.ok());
+  SpannerEvaluator ev(*sp);
+  testing_util::ExpectSameTupleSet(
+      {Tup({Span{1, 2}, Span{3, 4}}), Tup({Span{1, 2}, Span{4, 5}}),
+       Tup({Span{1, 2}, Span{3, 5}})},
+      ev.ComputeAll(SlpFromString("abcca")));
+}
+
+// --- Example 3.2 -----------------------------------------------------------
+// w = {<x}ab{<y,<z,>x}bc{>z}ab{>y}ac with e(w) = abbcabac and p(w) the set
+// representation of ([1,3>, [3,7>, [3,5>).
+TEST(Paper, Example32SubwordMarkedWord) {
+  SymbolTable table;
+  const SpanTuple t = Tup({Span{1, 3}, Span{3, 7}, Span{3, 5}});
+  const MarkerSeq markers = MarkerSeq::FromTuple(t);
+  const std::vector<SymbolId> w = MarkedWord(ToSymbols("abbcabac"), markers, &table);
+  // e(w) recovers the document.
+  EXPECT_EQ(ToByteString(ExtractDocument(w)), "abbcabac");
+  // p(w) recovers the marker set, and the round-trip to the tuple holds.
+  const MarkerSeq p = ExtractMarkers(w, table);
+  EXPECT_TRUE(p == markers);
+  Result<SpanTuple> back = p.ToTuple(3);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == t);
+  // The in-word positions of the paper's rendering: 4 marked gaps.
+  EXPECT_EQ(markers.NumPositions(), 4u);
+  EXPECT_EQ(markers.NumMarkers(), 6u);
+}
+
+// m(D, t) for D = aaabcbb and t = ([6,8>, ⊥, [3,8>) equals
+// aa{<z}abc{<x}bb{>x,>z} — in particular markers sit at position d+1 = 8.
+TEST(Paper, Example32MarkedWordWithTailMarkers) {
+  SymbolTable table;
+  const SpanTuple t = Tup({Span{6, 8}, std::nullopt, Span{3, 8}});
+  const std::vector<SymbolId> w =
+      MarkedWord(ToSymbols("aaabcbb"), MarkerSeq::FromTuple(t), &table);
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_EQ(table.MaskOf(w.back()), CloseMarker(0) | CloseMarker(2));
+}
+
+// --- Proposition 3.3 -------------------------------------------------------
+// t ∈ ⟦L⟧(D) iff m(D,t) ∈ L — model checking through the marked word, for
+// every candidate on a small instance.
+TEST(Paper, Proposition33ModelCheckingViaMarkedWords) {
+  const Spanner sp = MakeFigure2Spanner();
+  RefEvaluator ref(sp);
+  const std::string doc = "abc";
+  for (uint64_t b1 = 1; b1 <= 4; ++b1) {
+    for (uint64_t e1 = b1; e1 <= 4; ++e1) {
+      const SpanTuple t = Tup({Span{b1, e1}, std::nullopt});
+      SymbolTable table;
+      const std::vector<SymbolId> w =
+          MarkedWord(ToSymbols(doc), MarkerSeq::FromTuple(t), &table);
+      EXPECT_EQ(ref.CheckModel(doc, t),
+                AcceptsSymbols(sp.normalized(), w, &table))
+          << t.ToString(sp.vars());
+    }
+  }
+}
+
+// --- Example 4.1 -----------------------------------------------------------
+// S0 -> AbaABb, A -> BaB, B -> baab derives baababaabbabaababaabbaabb,
+// with |D(S)| = 25 (and the paper's size(S)=16 refers to the non-CNF form).
+TEST(Paper, Example41GeneralSlp) {
+  SlpBuilder b;
+  const uint32_t s0 = b.DeclareNonTerminal();
+  const uint32_t a = b.DeclareNonTerminal();
+  const uint32_t bb = b.DeclareNonTerminal();
+  b.SetRuleFromString(s0, "AbaABb", {{'A', a}, {'B', bb}});
+  b.SetRuleFromString(a, "BaB", {{'B', bb}});
+  b.SetRuleFromString(bb, "baab", {});
+  Result<Slp> slp = b.Build(s0);
+  ASSERT_TRUE(slp.ok());
+  EXPECT_EQ(slp->ExpandToString(), "baababaabbabaababaabbaabb");
+  EXPECT_EQ(slp->DocumentLength(), 25u);
+}
+
+// --- Example 4.2 / Figure 3 ------------------------------------------------
+// The normal-form SLP with D(B) level structure derives aabccaabaa; the
+// derivation tree (Figure 3) has five non-terminal levels.
+TEST(Paper, Example42NormalFormSlp) {
+  const Slp slp = MakeExample42Slp();
+  EXPECT_EQ(slp.ExpandToString(), "aabccaabaa");
+  EXPECT_EQ(slp.NumNonTerminals(), 9u);
+  EXPECT_EQ(slp.depth(), 5u);
+  // Lemma 4.4: |D(A)| for every non-terminal, computed in O(size(S)):
+  // |Ta|=|Tb|=|Tc|=1, |E|=|D|=2, |C|=3, |A|=|B|=5, |S0|=10.
+  uint64_t sum = 0;
+  for (NtId a = 0; a < slp.NumNonTerminals(); ++a) sum += slp.Length(a);
+  EXPECT_EQ(sum, 1 + 1 + 1 + 2 + 2 + 3 + 5 + 5 + 10u);
+}
+
+// --- Section 4.2 -----------------------------------------------------------
+// "strings a^(2^n) can be represented by n+1 rules".
+TEST(Paper, Section42ExponentialCompression) {
+  const Slp slp = SlpPowerString('a', 40);
+  EXPECT_EQ(slp.NumNonTerminals(), 41u);
+  EXPECT_EQ(slp.DocumentLength(), 1ull << 40);
+}
+
+// --- Theorem 4.3 (as substituted) ------------------------------------------
+// Balancing yields depth O(log d) while preserving the document.
+TEST(Paper, Theorem43BalancingSubstitute) {
+  const std::string doc = testing_util::MakeExample42Slp().ExpandToString();
+  const Slp chain = SlpChainFromString(doc + doc + doc);
+  const Slp balanced = Rebalance(chain);
+  EXPECT_EQ(balanced.ExpandToString(), doc + doc + doc);
+  EXPECT_TRUE(IsBalanced(balanced));
+}
+
+// --- Lemma 4.5 --------------------------------------------------------------
+// Membership of an SLP-compressed document in a regular language via one
+// Boolean matrix per non-terminal.
+TEST(Paper, Lemma45CompressedMembership) {
+  Result<Spanner> even_a = Spanner::Compile("(aa)*", "a");
+  ASSERT_TRUE(even_a.ok());
+  EXPECT_TRUE(SlpInLanguage(SlpPowerString('a', 33), even_a->normalized()));
+}
+
+// --- Theorem 5.1 -------------------------------------------------------------
+TEST(Paper, Theorem51NonEmptinessAndModelChecking) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  const Slp slp = MakeExample42Slp();
+  EXPECT_TRUE(ev.CheckNonEmptiness(slp));                             // (1)
+  EXPECT_TRUE(ev.CheckModel(slp, Tup({std::nullopt, Span{4, 6}})));   // (2)
+  EXPECT_FALSE(ev.CheckModel(slp, Tup({std::nullopt, Span{4, 7}})));
+}
+
+// --- Example 6.1 -------------------------------------------------------------
+// Λ = Λ1 ⊗_|D1| Λ2 combines the partial marker sets of the two factors into
+// the marker set of ([4,8>, [2,10>, [4,6>) over D = D1 D2.
+TEST(Paper, Example61PartialMarkerSets) {
+  const MarkerSeq l1(std::vector<PosMark>{
+      {2, OpenMarker(1)}, {4, OpenMarker(0) | OpenMarker(2)}, {6, CloseMarker(2)}});
+  const MarkerSeq l2(std::vector<PosMark>{{2, CloseMarker(0)}, {4, CloseMarker(1)}});
+  Result<SpanTuple> t = MarkerSeq::Join(l1, l2, 6).ToTuple(3);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(*t == Tup({Span{4, 8}, Span{2, 10}, Span{4, 6}}));
+}
+
+// --- Lemma 6.3 ----------------------------------------------------------------
+// ⟦M⟧(D) = union over accepting j of M_S0[1,j] — here checked as: the
+// computation (which follows the lemma) equals the reference evaluator.
+TEST(Paper, Lemma63RootDecomposition) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  RefEvaluator ref(sp);
+  testing_util::ExpectSameTupleSet(ref.ComputeAll("aabccaabaa"),
+                                   ev.ComputeAll(MakeExample42Slp()));
+}
+
+// --- Example 8.2 / Figure 4 -----------------------------------------------
+// The (M,S0)-tree of Figure 4 yields {(⊿y,4), (◁y,6)} — the span-tuple
+// (x=⊥, y=[4,6>) with m(D,Λ) = aab ⊿y cc ◁y aabaa. Verified through the
+// public enumeration API (the tree-level fixture lives in mtree_test.cc).
+TEST(Paper, Example82Figure4Yield) {
+  const Spanner sp = MakeFigure2Spanner();
+  SpannerEvaluator ev(sp);
+  const PreparedDocument prep = ev.Prepare(MakeExample42Slp());
+  bool found = false;
+  for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+    if (e.Current() == Tup({std::nullopt, Span{4, 6}})) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Theorem 8.10 -------------------------------------------------------------
+// Enumeration: duplicate-free for DFAs, covering for NFAs (the paper's
+// closing remark of Section 8).
+TEST(Paper, Theorem810EnumerationGuarantees) {
+  const Spanner sp = MakeFigure2Spanner();
+  RefEvaluator ref(sp);
+  const std::vector<SpanTuple> expected = testing_util::Sorted(
+      ref.ComputeAll("aabccaabaa"));
+  for (bool determinize : {true, false}) {
+    SpannerEvaluator ev(sp, {.determinize = determinize});
+    const PreparedDocument prep = ev.Prepare(MakeExample42Slp());
+    std::vector<SpanTuple> got;
+    for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+      got.push_back(e.Current());
+    }
+    if (determinize) {
+      ASSERT_EQ(got.size(), expected.size());  // no duplicates
+    }
+    got = testing_util::Sorted(std::move(got));
+    got.erase(std::unique(got.begin(), got.end(),
+                          [](const SpanTuple& a, const SpanTuple& b) { return a == b; }),
+              got.end());
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) ASSERT_TRUE(got[i] == expected[i]);
+  }
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,159 @@
+// Property-based sweeps: for a pool of spanners and randomized documents,
+// every compressed-evaluation task must agree with the uncompressed
+// reference evaluator across all SLP constructions. This is the library's
+// main correctness net, complementing the exact fixtures elsewhere.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/evaluator.h"
+#include "spanner/ref_eval.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::AllSlpKinds;
+using testing_util::MakeSlp;
+using testing_util::SlpKind;
+using testing_util::Sorted;
+
+struct SpannerCase {
+  const char* name;
+  const char* pattern;
+  const char* alphabet;
+};
+
+// Deliberately diverse: multiple variables, optional variables, empty spans,
+// unions re-using a variable, anchored and floating matches.
+const SpannerCase kSpannerPool[] = {
+    {"factor_ab", ".*x{ab}.*", "ab"},
+    {"runs", "(c|b)*x{a+}(b|c|a)*", "abc"},
+    {"two_vars", ".*x{a+}b+y{c+}.*", "abc"},
+    {"optional", "(x{aa})?(a|b)*", "ab"},
+    {"union_var", "x{a}.*|x{b}.*", "ab"},
+    {"empty_span", "a*x{}b*", "ab"},
+    {"nested", ".*o{(a)i{b+}a}.*", "ab"},
+    {"figure2_like", ".*x{(a|b)(a|b)*}.*|.*y{cc*}.*", "abc"},
+    {"anchored", "x{.}.*y{.}", "abc"},
+};
+
+std::string RandomDoc(Rng* rng, uint32_t sigma, uint64_t max_len) {
+  const uint64_t len = 1 + rng->Below(max_len);
+  std::string doc;
+  for (uint64_t i = 0; i < len; ++i) {
+    doc += static_cast<char>('a' + rng->Below(sigma));
+  }
+  return doc;
+}
+
+class PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertyTest, AllTasksAgreeWithReference) {
+  Rng rng(GetParam() * 7919 + 1);
+  for (const SpannerCase& pc : kSpannerPool) {
+    Result<Spanner> sp = Spanner::Compile(pc.pattern, pc.alphabet);
+    ASSERT_TRUE(sp.ok()) << pc.name << ": " << sp.status().ToString();
+    SpannerEvaluator ev(*sp);
+    RefEvaluator ref(*sp);
+    const uint32_t sigma =
+        static_cast<uint32_t>(std::string(pc.alphabet).size());
+
+    for (int docs = 0; docs < 3; ++docs) {
+      const std::string doc = RandomDoc(&rng, sigma, 24);
+      const std::vector<SpanTuple> expected = Sorted(ref.ComputeAll(doc));
+
+      for (SlpKind kind : AllSlpKinds()) {
+        const Slp slp = MakeSlp(kind, doc);
+        SCOPED_TRACE(std::string(pc.name) + " doc=" + doc + " kind=" +
+                     testing_util::SlpKindName(kind));
+
+        // Task 1: non-emptiness.
+        EXPECT_EQ(ev.CheckNonEmptiness(slp), !expected.empty());
+
+        // Task 3: computation.
+        const std::vector<SpanTuple> computed = Sorted(ev.ComputeAll(slp));
+        ASSERT_EQ(computed.size(), expected.size());
+        for (size_t i = 0; i < computed.size(); ++i) {
+          ASSERT_TRUE(computed[i] == expected[i]);
+        }
+
+        // Task 4: enumeration (duplicate-free, same set).
+        const PreparedDocument prep = ev.Prepare(slp);
+        std::vector<SpanTuple> enumerated;
+        for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+          enumerated.push_back(e.Current());
+        }
+        enumerated = Sorted(std::move(enumerated));
+        ASSERT_EQ(enumerated.size(), expected.size());
+        for (size_t i = 0; i < enumerated.size(); ++i) {
+          ASSERT_TRUE(enumerated[i] == expected[i]);
+        }
+
+        // Task 2: model checking — all members pass...
+        for (const SpanTuple& t : expected) {
+          EXPECT_TRUE(ev.CheckModel(slp, t));
+        }
+        // ...and random candidates agree with membership in the set.
+        for (int probes = 0; probes < 10; ++probes) {
+          SpanTuple candidate(sp->num_vars());
+          for (VarId v = 0; v < sp->num_vars(); ++v) {
+            if (rng.Chance(1, 3)) continue;  // leave undefined
+            const uint64_t b = 1 + rng.Below(doc.size() + 1);
+            const uint64_t e = b + rng.Below(doc.size() + 2 - b);
+            candidate.Set(v, Span{b, e});
+          }
+          const bool in_set =
+              std::binary_search(expected.begin(), expected.end(), candidate);
+          EXPECT_EQ(ev.CheckModel(slp, candidate), in_set)
+              << candidate.ToString(sp->vars());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range<uint64_t>(0, 8));
+
+// Non-deterministic evaluation path: computation still deduplicates, and
+// enumeration covers the set (duplicates allowed).
+class NfaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NfaPropertyTest, NondeterministicEvaluatorCoversReference) {
+  Rng rng(GetParam() * 104729 + 11);
+  for (const SpannerCase& pc : kSpannerPool) {
+    Result<Spanner> sp = Spanner::Compile(pc.pattern, pc.alphabet);
+    ASSERT_TRUE(sp.ok());
+    SpannerEvaluator ev(*sp, {.determinize = false});
+    RefEvaluator ref(*sp, /*determinize=*/false);
+    const uint32_t sigma =
+        static_cast<uint32_t>(std::string(pc.alphabet).size());
+    const std::string doc = RandomDoc(&rng, sigma, 16);
+    const std::vector<SpanTuple> expected = Sorted(ref.ComputeAll(doc));
+    const Slp slp = MakeSlp(SlpKind::kBalanced, doc);
+
+    const std::vector<SpanTuple> computed = Sorted(ev.ComputeAll(slp));
+    ASSERT_EQ(computed.size(), expected.size()) << pc.name << " doc=" << doc;
+    for (size_t i = 0; i < computed.size(); ++i) {
+      ASSERT_TRUE(computed[i] == expected[i]);
+    }
+
+    const PreparedDocument prep = ev.Prepare(slp);
+    std::vector<SpanTuple> enumerated;
+    for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+      enumerated.push_back(e.Current());
+    }
+    std::vector<SpanTuple> dedup = Sorted(std::move(enumerated));
+    dedup.erase(
+        std::unique(dedup.begin(), dedup.end(),
+                    [](const SpanTuple& a, const SpanTuple& b) { return a == b; }),
+        dedup.end());
+    ASSERT_EQ(dedup.size(), expected.size()) << pc.name << " doc=" << doc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NfaPropertyTest, ::testing::Range<uint64_t>(0, 4));
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,178 @@
+// Tests for the uncompressed reference evaluator (spanner/ref_eval.h): the
+// paper's worked examples as exact expectations, plus internal consistency
+// between its four tasks. This evaluator is the oracle for the compressed
+// algorithms, so it gets its own ground-truth tests here.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "spanner/ref_eval.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::ExpectSameTupleSet;
+using testing_util::MakeFigure2Spanner;
+using testing_util::MakeIntroSpanner;
+using testing_util::Tup;
+
+// The paper's introduction example: the spanner (b∨c)* <x a >x Σ* <y c+ >y Σ*
+// maps D = abcca to {([1,2>,[3,4>), ([1,2>,[4,5>), ([1,2>,[3,5>)}.
+TEST(RefEval, PaperIntroductionExample) {
+  const Spanner sp = MakeIntroSpanner();
+  RefEvaluator ref(sp);
+  ExpectSameTupleSet(
+      {
+          Tup({Span{1, 2}, Span{3, 4}}),
+          Tup({Span{1, 2}, Span{4, 5}}),
+          Tup({Span{1, 2}, Span{3, 5}}),
+      },
+      ref.ComputeAll("abcca"));
+}
+
+// All (x, y) tuples of the Figure 2 spanner on Example 4.2's document
+// aabccaabaa: x ranges over the non-empty {a,b}-factors (runs [1,3] and
+// [6,10]: 6 + 15 spans), y over the non-empty c-factors (run [4,5]: 3 spans).
+std::vector<SpanTuple> Figure2ExpectedTuples() {
+  std::vector<SpanTuple> expected;
+  auto add_x_run = [&expected](uint64_t lo, uint64_t hi) {
+    for (uint64_t b = lo; b <= hi; ++b) {
+      for (uint64_t e = b + 1; e <= hi + 1; ++e) {
+        expected.push_back(Tup({Span{b, e}, std::nullopt}));
+      }
+    }
+  };
+  add_x_run(1, 3);
+  add_x_run(6, 10);
+  for (uint64_t b = 4; b <= 5; ++b) {
+    for (uint64_t e = b + 1; e <= 6; ++e) {
+      expected.push_back(Tup({std::nullopt, Span{b, e}}));
+    }
+  }
+  return expected;
+}
+
+TEST(RefEval, Figure2OnExample42Document) {
+  const Spanner sp = MakeFigure2Spanner();
+  RefEvaluator ref(sp);
+  const std::vector<SpanTuple> expected = Figure2ExpectedTuples();
+  ASSERT_EQ(expected.size(), 24u);
+  ExpectSameTupleSet(expected, ref.ComputeAll("aabccaabaa"));
+}
+
+TEST(RefEval, NonEmptiness) {
+  RefEvaluator ref(MakeFigure2Spanner());
+  EXPECT_TRUE(ref.CheckNonEmptiness("aabccaabaa"));
+  EXPECT_TRUE(ref.CheckNonEmptiness("a"));
+  EXPECT_TRUE(ref.CheckNonEmptiness("c"));
+  EXPECT_FALSE(ref.CheckNonEmptiness(""));  // no empty factor to capture
+}
+
+TEST(RefEval, NonEmptinessRequiresMatchableContent) {
+  Result<Spanner> sp = Spanner::Compile("b*x{a}b*", "ab");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  EXPECT_TRUE(ref.CheckNonEmptiness("bab"));
+  EXPECT_FALSE(ref.CheckNonEmptiness("bbb"));  // no 'a' anywhere
+}
+
+TEST(RefEval, ModelCheckAgainstComputedSet) {
+  const Spanner sp = MakeFigure2Spanner();
+  RefEvaluator ref(sp);
+  const std::string doc = "aabccaabaa";
+  for (const SpanTuple& t : Figure2ExpectedTuples()) {
+    EXPECT_TRUE(ref.CheckModel(doc, t)) << t.ToString(sp.vars());
+  }
+  // A few non-members.
+  EXPECT_FALSE(ref.CheckModel(doc, Tup({Span{4, 5}, std::nullopt})));   // x on 'c'
+  EXPECT_FALSE(ref.CheckModel(doc, Tup({std::nullopt, Span{1, 2}})));   // y on 'a'
+  EXPECT_FALSE(ref.CheckModel(doc, Tup({Span{1, 2}, Span{4, 5}})));     // both set
+  EXPECT_FALSE(ref.CheckModel(doc, Tup({std::nullopt, std::nullopt}))); // none set
+  EXPECT_FALSE(ref.CheckModel(doc, Tup({Span{1, 1}, std::nullopt})));   // empty span
+  EXPECT_FALSE(ref.CheckModel(doc, Tup({Span{9, 12}, std::nullopt})));  // outside D
+}
+
+TEST(RefEval, ModelCheckSpanEndingAtDocEnd) {
+  // Spans that end at position d+1 exercise the tail-marker handling.
+  RefEvaluator ref(MakeFigure2Spanner());
+  EXPECT_TRUE(ref.CheckModel("aabccaabaa", Tup({Span{9, 11}, std::nullopt})));
+  EXPECT_TRUE(ref.CheckModel("abc", Tup({std::nullopt, Span{3, 4}})));
+}
+
+TEST(RefEval, EnumerateMatchesComputeAll) {
+  const Spanner sp = MakeFigure2Spanner();
+  RefEvaluator ref(sp);
+  const std::string doc = "aabccaabaa";
+  std::vector<SpanTuple> enumerated;
+  for (RefEnumerator e = ref.Enumerate(doc); e.Valid(); e.Next()) {
+    enumerated.push_back(e.Current());
+  }
+  ExpectSameTupleSet(ref.ComputeAll(doc), std::move(enumerated));
+}
+
+TEST(RefEval, EnumerateIsDuplicateFreeWithDfa) {
+  const Spanner sp = MakeFigure2Spanner();
+  RefEvaluator ref(sp, /*determinize=*/true);
+  std::vector<SpanTuple> enumerated;
+  for (RefEnumerator e = ref.Enumerate("aabccaabaa"); e.Valid(); e.Next()) {
+    enumerated.push_back(e.Current());
+  }
+  std::vector<SpanTuple> sorted = testing_util::Sorted(enumerated);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_FALSE(sorted[i - 1] == sorted[i]) << "duplicate tuple";
+  }
+  EXPECT_EQ(sorted.size(), 24u);
+}
+
+TEST(RefEval, EnumerateEmptyResult) {
+  Result<Spanner> sp = Spanner::Compile("x{a}", "ab");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  RefEnumerator e = ref.Enumerate("b");
+  EXPECT_FALSE(e.Valid());
+  EXPECT_TRUE(ref.ComputeAll("b").empty());
+}
+
+TEST(RefEval, EmptyTupleWhenDocumentItselfMatches) {
+  // (x{a})? on "b" yields exactly the all-undefined tuple.
+  Result<Spanner> sp = Spanner::Compile("(x{a})?.*", "ab");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  const std::vector<SpanTuple> all = ref.ComputeAll("b");
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0] == Tup({std::nullopt}));
+}
+
+TEST(RefEval, EmptySpanCapture) {
+  // x{} captures the empty span at every gap position of "ab".
+  Result<Spanner> sp = Spanner::Compile(".*x{}.*", "ab");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  ExpectSameTupleSet(
+      {Tup({Span{1, 1}}), Tup({Span{2, 2}}), Tup({Span{3, 3}})},
+      ref.ComputeAll("ab"));
+}
+
+TEST(RefEval, OverlappingCaptures) {
+  // Nested captures: x over "aa", y over the second 'a' inside it. The
+  // parentheses keep 'a' a literal (bare "ay{" would parse as capture "ay").
+  Result<Spanner> sp = Spanner::Compile("x{(a)y{a}} b", "ab ");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  ExpectSameTupleSet({Tup({Span{1, 3}, Span{2, 3}})}, ref.ComputeAll("aa b"));
+}
+
+TEST(RefEval, MarkersOnEveryPosition) {
+  // Saturated marking: y empty prefix, x whole doc, z empty suffix —
+  // exercises masks at positions 1 and d+1 simultaneously. Variable ids
+  // follow first occurrence: y=0, x=1, z=2.
+  Result<Spanner> sp = Spanner::Compile("y{}x{a+}z{}", "a");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  ExpectSameTupleSet({Tup({Span{1, 1}, Span{1, 4}, Span{4, 4}})},
+                     ref.ComputeAll("aaa"));
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,142 @@
+// Differential fuzzing with *generated* spanners: random well-formed regex
+// ASTs (respecting the capture validation rules by construction) are
+// compiled and evaluated on random documents, compressed vs the reference
+// oracle. This covers automaton shapes the hand-written spanner pool in
+// property_test.cc cannot reach.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "core/evaluator.h"
+#include "spanner/ref_eval.h"
+#include "spanner/regex_ast.h"
+#include "spanner/spanner.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace slpspan {
+namespace {
+
+constexpr const char* kSigma = "ab";
+
+// Generates a random AST. `vars_available` holds variable ids not yet used
+// on this concatenation path; captures consume from it (keeping the
+// "no duplicate capture on a path" rule true by construction). Star/plus
+// bodies are generated with no variables at all.
+RegexPtr RandomAst(Rng* rng, int depth, std::vector<VarId>* vars_available) {
+  const bool allow_vars = vars_available != nullptr && !vars_available->empty();
+  const uint64_t kind = rng->Below(allow_vars ? 8 : 6);
+  if (depth <= 0 || kind == 0) {  // leaf: literal / class / epsilon
+    switch (rng->Below(3)) {
+      case 0: return RegexNode::Literal(static_cast<unsigned char>(
+          kSigma[rng->Below(2)]));
+      case 1: {
+        ByteSet set;
+        set.set('a');
+        set.set('b');
+        return RegexNode::Class(set);  // "."
+      }
+      default: return RegexNode::Epsilon();
+    }
+  }
+  switch (kind) {
+    case 1: {  // concat
+      std::vector<RegexPtr> parts;
+      const uint64_t n = 2 + rng->Below(2);
+      for (uint64_t i = 0; i < n; ++i) {
+        parts.push_back(RandomAst(rng, depth - 1, vars_available));
+      }
+      return RegexNode::Concat(std::move(parts));
+    }
+    case 2: {  // union — both branches may reuse the same variables
+      std::vector<VarId> copy_l = vars_available ? *vars_available
+                                                 : std::vector<VarId>{};
+      std::vector<VarId> copy_r = copy_l;
+      std::vector<RegexPtr> alts;
+      alts.push_back(RandomAst(rng, depth - 1, vars_available ? &copy_l : nullptr));
+      alts.push_back(RandomAst(rng, depth - 1, vars_available ? &copy_r : nullptr));
+      // The path constraint is per-branch; the parent's concatenation path
+      // may continue through either branch, so only variables unconsumed in
+      // *both* remain available: keep the intersection.
+      if (vars_available) {
+        std::vector<VarId> inter;
+        for (VarId v : copy_l) {
+          if (std::find(copy_r.begin(), copy_r.end(), v) != copy_r.end()) {
+            inter.push_back(v);
+          }
+        }
+        *vars_available = std::move(inter);
+      }
+      return RegexNode::Union(std::move(alts));
+    }
+    case 3:  // star (variable-free body)
+      return RegexNode::Star(RandomAst(rng, depth - 1, nullptr));
+    case 4:  // plus (variable-free body)
+      return RegexNode::Plus(RandomAst(rng, depth - 1, nullptr));
+    case 5:  // optional
+      return RegexNode::Optional(RandomAst(rng, depth - 1, vars_available));
+    default: {  // capture
+      const size_t pick = rng->Below(vars_available->size());
+      const VarId v = (*vars_available)[pick];
+      vars_available->erase(vars_available->begin() + pick);
+      return RegexNode::Capture(v, RandomAst(rng, depth - 1, vars_available));
+    }
+  }
+}
+
+class GeneratedSpannerTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratedSpannerTest, CompressedMatchesReference) {
+  Rng rng(GetParam() * 1315423911ull + 7);
+  int evaluated = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    VariableSet vars;
+    const uint32_t nvars = 1 + rng.Below(3);
+    std::vector<VarId> available;
+    for (uint32_t v = 0; v < nvars; ++v) {
+      available.push_back(vars.Intern("v" + std::to_string(v)).value());
+    }
+    RegexPtr ast = RandomAst(&rng, 4, &available);
+    VarUsage usage = 0;
+    ASSERT_TRUE(ValidateVariableUsage(*ast, &usage).ok())
+        << RegexToString(*ast, vars);  // by-construction validity
+    Nfa raw = CompileRegexToNfa(*ast);
+    Result<Spanner> sp = Spanner::FromAutomaton(std::move(raw), std::move(vars));
+    ASSERT_TRUE(sp.ok());
+
+    SpannerEvaluator ev(*sp);
+    RefEvaluator ref(*sp);
+    for (int d = 0; d < 2; ++d) {
+      std::string doc;
+      const uint64_t len = 1 + rng.Below(14);
+      for (uint64_t i = 0; i < len; ++i) doc += kSigma[rng.Below(2)];
+
+      const std::vector<SpanTuple> expected =
+          testing_util::Sorted(ref.ComputeAll(doc));
+      const std::vector<SpanTuple> compressed =
+          testing_util::Sorted(ev.ComputeAll(SlpFromString(doc)));
+      ASSERT_EQ(expected.size(), compressed.size())
+          << RegexToString(*ast, sp->vars()) << " on " << doc;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_TRUE(expected[i] == compressed[i])
+            << RegexToString(*ast, sp->vars()) << " on " << doc;
+      }
+      // Enumeration agrees too (duplicate-free; evaluator determinizes).
+      const PreparedDocument prep = ev.Prepare(SlpFromString(doc));
+      std::vector<SpanTuple> enumerated;
+      for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+        enumerated.push_back(e.Current());
+      }
+      enumerated = testing_util::Sorted(std::move(enumerated));
+      ASSERT_EQ(enumerated.size(), expected.size());
+      ++evaluated;
+    }
+  }
+  EXPECT_GE(evaluated, 80);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedSpannerTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,183 @@
+// Tests for the spanner regex dialect: parser (spanner/regex_parser.h),
+// AST validation (spanner/regex_ast.h) and Thompson compilation
+// (spanner/spanner.h), checked through the reference evaluator's
+// model-checking semantics on small documents.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "spanner/ref_eval.h"
+#include "spanner/regex_parser.h"
+#include "spanner/spanner.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::Tup;
+
+// True iff `pattern` (a variable-free regex over `alphabet`) matches `doc`
+// exactly — via non-emptiness of doc under the compiled spanner... a
+// variable-free spanner's ⟦M⟧(doc) is {()} if doc ∈ L and ∅ otherwise.
+bool Matches(const std::string& pattern, const std::string& alphabet,
+             const std::string& doc) {
+  Result<Spanner> sp = Spanner::Compile(pattern, alphabet);
+  SLPSPAN_CHECK(sp.ok());
+  return RefEvaluator(*sp).CheckNonEmptiness(doc);
+}
+
+TEST(RegexParser, LiteralsAndConcat) {
+  EXPECT_TRUE(Matches("abc", "abc", "abc"));
+  EXPECT_FALSE(Matches("abc", "abc", "abca"));
+  EXPECT_FALSE(Matches("abc", "abc", "ab"));
+}
+
+TEST(RegexParser, UnionAndGrouping) {
+  EXPECT_TRUE(Matches("a(b|c)a", "abc", "aba"));
+  EXPECT_TRUE(Matches("a(b|c)a", "abc", "aca"));
+  EXPECT_FALSE(Matches("a(b|c)a", "abc", "aaa"));
+  EXPECT_TRUE(Matches("ab|cd", "abcd", "cd"));
+}
+
+TEST(RegexParser, EmptyAlternative) {
+  EXPECT_TRUE(Matches("a(b|)c", "abc", "ac"));
+  EXPECT_TRUE(Matches("a(b|)c", "abc", "abc"));
+}
+
+TEST(RegexParser, StarPlusOptional) {
+  EXPECT_TRUE(Matches("ab*c", "abc", "ac"));
+  EXPECT_TRUE(Matches("ab*c", "abc", "abbbbc"));
+  EXPECT_FALSE(Matches("ab+c", "abc", "ac"));
+  EXPECT_TRUE(Matches("ab+c", "abc", "abc"));
+  EXPECT_TRUE(Matches("ab?c", "abc", "ac"));
+  EXPECT_TRUE(Matches("ab?c", "abc", "abc"));
+  EXPECT_FALSE(Matches("ab?c", "abc", "abbc"));
+}
+
+TEST(RegexParser, PostfixBindsToLastLiteralOfARun) {
+  // "ab*" must parse as a(b*) — the letters are literals, not an identifier.
+  EXPECT_TRUE(Matches("ab*", "ab", "a"));
+  EXPECT_TRUE(Matches("ab*", "ab", "abbb"));
+  EXPECT_FALSE(Matches("ab*", "ab", "abab"));
+}
+
+TEST(RegexParser, DotMatchesAlphabetOnly) {
+  EXPECT_TRUE(Matches(".*", "ab", "abba"));
+  EXPECT_FALSE(Matches(".", "ab", "c"));  // 'c' outside declared alphabet
+}
+
+TEST(RegexParser, CharClassesAndRanges) {
+  EXPECT_TRUE(Matches("[abc]+", "abcd", "cab"));
+  EXPECT_FALSE(Matches("[abc]+", "abcd", "cad"));
+  EXPECT_TRUE(Matches("[a-c]+", "abcd", "abc"));
+  EXPECT_TRUE(Matches("[^d]+", "abcd", "abc"));
+  EXPECT_FALSE(Matches("[^d]+", "abcd", "ad"));
+}
+
+TEST(RegexParser, Escapes) {
+  EXPECT_TRUE(Matches(R"(a\*b)", "ab*", "a*b"));
+  EXPECT_TRUE(Matches(R"(\n)", "\n", "\n"));
+  EXPECT_TRUE(Matches(R"(\{x\})", "x{}", "{x}"));
+}
+
+TEST(RegexParser, SpaceIsLiteral) {
+  EXPECT_TRUE(Matches("a b", "ab ", "a b"));
+  EXPECT_FALSE(Matches("a b", "ab ", "ab"));
+}
+
+TEST(RegexParser, CaptureSyntax) {
+  Result<Spanner> sp = Spanner::Compile("x{a+}b", "ab");
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->num_vars(), 1u);
+  EXPECT_EQ(sp->vars().Name(0), "x");
+  RefEvaluator ref(*sp);
+  testing_util::ExpectSameTupleSet({Tup({Span{1, 3}})}, ref.ComputeAll("aab"));
+}
+
+TEST(RegexParser, NestedCaptures) {
+  Result<Spanner> sp = Spanner::Compile("outer{a inner{b+} a}", "ab ");
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->num_vars(), 2u);
+}
+
+TEST(RegexParser, MultiCharIdentifier) {
+  Result<Spanner> sp = Spanner::Compile("user_42{a}", "a");
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->vars().Name(0), "user_42");
+}
+
+TEST(RegexParser, ErrorUnbalancedParen) {
+  EXPECT_FALSE(Spanner::Compile("(ab", "ab").ok());
+  EXPECT_FALSE(Spanner::Compile("ab)", "ab").ok());
+}
+
+TEST(RegexParser, ErrorDanglingPostfix) {
+  EXPECT_FALSE(Spanner::Compile("*a", "a").ok());
+  EXPECT_FALSE(Spanner::Compile("|*", "a").ok());
+}
+
+TEST(RegexParser, ErrorUnterminatedCapture) {
+  EXPECT_FALSE(Spanner::Compile("x{ab", "ab").ok());
+}
+
+TEST(RegexParser, ErrorLiteralOutsideAlphabet) {
+  Result<Spanner> sp = Spanner::Compile("abz", "ab");
+  ASSERT_FALSE(sp.ok());
+  EXPECT_EQ(sp.status().code(), StatusCode::kParseError);
+}
+
+TEST(RegexParser, ErrorBadClass) {
+  EXPECT_FALSE(Spanner::Compile("[z-a]", "abcdefghijklmnopqrstuvwxyz").ok());
+  EXPECT_FALSE(Spanner::Compile("[ab", "ab").ok());
+  EXPECT_FALSE(Spanner::Compile("[]", "ab").ok());
+}
+
+TEST(RegexValidation, RejectsCaptureUnderStar) {
+  Result<Spanner> sp = Spanner::Compile("(x{a})*", "a");
+  ASSERT_FALSE(sp.ok());
+  EXPECT_EQ(sp.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Spanner::Compile("(x{a})+", "a").ok());
+}
+
+TEST(RegexValidation, RejectsDuplicateCaptureInConcat) {
+  EXPECT_FALSE(Spanner::Compile("x{a}x{b}", "ab").ok());
+}
+
+TEST(RegexValidation, AcceptsCaptureInBothUnionBranches) {
+  // The same variable on *alternative* paths is fine (non-functional spanner).
+  EXPECT_TRUE(Spanner::Compile("x{a}|x{b}", "ab").ok());
+}
+
+TEST(RegexValidation, AcceptsOptionalCapture) {
+  Result<Spanner> sp = Spanner::Compile("(x{a})?b", "ab");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  // On "b", x is undefined; on "ab", x = [1,2>.
+  testing_util::ExpectSameTupleSet({Tup({std::nullopt})}, ref.ComputeAll("b"));
+  testing_util::ExpectSameTupleSet({Tup({Span{1, 2}})}, ref.ComputeAll("ab"));
+}
+
+TEST(RegexValidation, RejectsVariableInsideItself) {
+  EXPECT_FALSE(Spanner::Compile("x{a x{b} c}", "abc ").ok());
+}
+
+TEST(RegexToString, RoundTripRendering) {
+  VariableSet vars;
+  const ByteSet sigma = MakeAlphabet("abc");
+  Result<RegexPtr> ast = ParseRegex("(a|b)*x{c+}", sigma, &vars);
+  ASSERT_TRUE(ast.ok());
+  const std::string rendered = RegexToString(**ast, vars);
+  EXPECT_NE(rendered.find("x{"), std::string::npos);
+  EXPECT_NE(rendered.find("|"), std::string::npos);
+}
+
+TEST(RegexCompile, EmptyPatternMatchesEmptyDocumentOnly) {
+  Result<Spanner> sp = Spanner::Compile("", "ab");
+  ASSERT_TRUE(sp.ok());
+  RefEvaluator ref(*sp);
+  EXPECT_TRUE(ref.CheckNonEmptiness(""));
+  EXPECT_FALSE(ref.CheckNonEmptiness("a"));
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,113 @@
+// Tests for the AVL rebalancing (slp/balance.h) — the Theorem 4.3 stand-in.
+// Content preservation plus the logarithmic-depth guarantee that the
+// enumeration delay bound (Theorem 8.10) depends on.
+
+#include <cmath>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "slp/balance.h"
+#include "slp/factory.h"
+#include "slp/lz78.h"
+#include "slp/repair.h"
+#include "textgen/textgen.h"
+#include "util/rng.h"
+
+namespace slpspan {
+namespace {
+
+void ExpectBalancedAndEqual(const Slp& original) {
+  const Slp balanced = Rebalance(original);
+  ASSERT_TRUE(balanced.Validate().ok());
+  EXPECT_EQ(balanced.DocumentLength(), original.DocumentLength());
+  if (original.DocumentLength() <= 1 << 16) {
+    EXPECT_EQ(balanced.Expand(), original.Expand());
+  } else {
+    // Sample positions instead of expanding huge documents.
+    Rng rng(123);
+    for (int trial = 0; trial < 64; ++trial) {
+      const uint64_t pos = 1 + rng.Below(original.DocumentLength());
+      EXPECT_EQ(balanced.SymbolAt(pos), original.SymbolAt(pos)) << pos;
+    }
+  }
+  const double avl_bound =
+      1.4405 * std::log2(static_cast<double>(balanced.DocumentLength()) + 2.0) + 3.0;
+  EXPECT_LE(balanced.depth(), avl_bound);
+}
+
+TEST(Rebalance, ChainBecomesLogDepth) {
+  const std::string text = GenerateRandom(4096, "ab", 9);
+  const Slp chain = SlpChainFromString(text);
+  ASSERT_EQ(chain.depth(), 4096u);
+  const Slp balanced = Rebalance(chain);
+  EXPECT_EQ(balanced.ExpandToString(), text);
+  EXPECT_LE(balanced.depth(), 21u);
+  EXPECT_TRUE(IsBalanced(balanced));
+}
+
+TEST(Rebalance, PreservesTinyDocuments) {
+  for (const std::string text : {"a", "ab", "abc", "abcd"}) {
+    ExpectBalancedAndEqual(SlpChainFromString(text));
+  }
+}
+
+TEST(Rebalance, PowerString) { ExpectBalancedAndEqual(SlpPowerString('a', 24)); }
+
+TEST(Rebalance, FibonacciSlpStaysSmall) {
+  const Slp fib = SlpFibonacci(30);
+  const Slp balanced = Rebalance(fib);
+  ExpectBalancedAndEqual(fib);
+  // Size may grow by the documented O(log d) factor but must stay far below
+  // the document length.
+  EXPECT_LT(balanced.NumNonTerminals(),
+            fib.NumNonTerminals() * balanced.depth() + 64u);
+  EXPECT_LT(balanced.NumNonTerminals(), fib.DocumentLength() / 100);
+}
+
+TEST(Rebalance, Lz78OutputsBecomeBalanced) {
+  const std::string doc = GenerateVersionedDoc({.base_length = 800, .versions = 8});
+  const Slp lz = Lz78Compress(doc);
+  const Slp balanced = Rebalance(lz);
+  EXPECT_EQ(balanced.ExpandToString(), doc);
+  EXPECT_TRUE(IsBalanced(balanced, 1.5));
+}
+
+TEST(Rebalance, RePairOutputs) {
+  const std::string log = GenerateLog({.lines = 200, .seed = 17});
+  ExpectBalancedAndEqual(RePairCompress(log));
+}
+
+TEST(Rebalance, IdempotentOnBalancedInput) {
+  const Slp balanced = Rebalance(SlpChainFromString(GenerateRandom(1000, "abc", 3)));
+  const Slp again = Rebalance(balanced);
+  EXPECT_EQ(again.Expand(), balanced.Expand());
+  EXPECT_LE(again.depth(), balanced.depth() + 1);
+}
+
+class BalancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BalancePropertyTest, RandomChainSlps) {
+  Rng rng(GetParam() * 31 + 7);
+  const uint64_t len = 1 + rng.Below(3000);
+  const uint32_t sigma = 1 + rng.Below(6);
+  std::string text;
+  for (uint64_t i = 0; i < len; ++i) {
+    text += static_cast<char>('a' + rng.Below(sigma));
+  }
+  ExpectBalancedAndEqual(SlpChainFromString(text));
+}
+
+TEST_P(BalancePropertyTest, RandomLz78Slps) {
+  Rng rng(GetParam() * 101 + 13);
+  const uint64_t len = 1 + rng.Below(4000);
+  std::string text;
+  for (uint64_t i = 0; i < len; ++i) {
+    text += static_cast<char>('a' + rng.Below(3));
+  }
+  ExpectBalancedAndEqual(Lz78Compress(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalancePropertyTest, ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace slpspan

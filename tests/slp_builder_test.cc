@@ -1,0 +1,150 @@
+// Tests for the general-grammar front-end (slp/builder.h): Example 4.1 from
+// the paper, unit-rule elimination, binarization, and error reporting.
+
+#include "gtest/gtest.h"
+#include "slp/builder.h"
+#include "slp/slp.h"
+
+namespace slpspan {
+namespace {
+
+TEST(SlpBuilder, PaperExample41) {
+  // S0 -> A b a A B b, A -> B a B, B -> b a a b; D(S) from Example 4.1.
+  SlpBuilder b;
+  const uint32_t s0 = b.DeclareNonTerminal();
+  const uint32_t a = b.DeclareNonTerminal();
+  const uint32_t bb = b.DeclareNonTerminal();
+  b.SetRuleFromString(s0, "AbaABb", {{'A', a}, {'B', bb}});
+  b.SetRuleFromString(a, "BaB", {{'B', bb}});
+  b.SetRuleFromString(bb, "baab", {});
+  Result<Slp> slp = b.Build(s0);
+  ASSERT_TRUE(slp.ok()) << slp.status().ToString();
+  EXPECT_EQ(slp->ExpandToString(), "baababaabbabaababaabbaabb");
+  EXPECT_EQ(slp->DocumentLength(), 25u);
+  EXPECT_TRUE(slp->Validate().ok());
+}
+
+TEST(SlpBuilder, PaperExample42InChomskyNormalForm) {
+  SlpBuilder b;
+  const uint32_t s0 = b.DeclareNonTerminal();
+  const uint32_t a = b.DeclareNonTerminal();
+  const uint32_t bb = b.DeclareNonTerminal();
+  const uint32_t c = b.DeclareNonTerminal();
+  const uint32_t d = b.DeclareNonTerminal();
+  const uint32_t e = b.DeclareNonTerminal();
+  b.SetRule(s0, {GrammarSym::Nt(a), GrammarSym::Nt(bb)});
+  b.SetRule(a, {GrammarSym::Nt(c), GrammarSym::Nt(d)});
+  b.SetRule(bb, {GrammarSym::Nt(c), GrammarSym::Nt(e)});
+  b.SetRule(c, {GrammarSym::Nt(e), GrammarSym::Terminal('b')});
+  b.SetRule(d, {GrammarSym::Terminal('c'), GrammarSym::Terminal('c')});
+  b.SetRule(e, {GrammarSym::Terminal('a'), GrammarSym::Terminal('a')});
+  Result<Slp> slp = b.Build(s0);
+  ASSERT_TRUE(slp.ok());
+  EXPECT_EQ(slp->ExpandToString(), "aabccaabaa");
+  EXPECT_EQ(slp->NumNonTerminals(), 9u);
+  EXPECT_EQ(slp->depth(), 5u);
+}
+
+TEST(SlpBuilder, UnitRulesAreEliminated) {
+  SlpBuilder b;
+  const uint32_t s = b.DeclareNonTerminal();
+  const uint32_t u1 = b.DeclareNonTerminal();
+  const uint32_t u2 = b.DeclareNonTerminal();
+  b.SetRule(s, {GrammarSym::Nt(u1), GrammarSym::Nt(u1)});
+  b.SetRule(u1, {GrammarSym::Nt(u2)});               // unit chain
+  b.SetRule(u2, {GrammarSym::Terminal('x')});        // unit to terminal
+  Result<Slp> slp = b.Build(s);
+  ASSERT_TRUE(slp.ok());
+  EXPECT_EQ(slp->ExpandToString(), "xx");
+  // T_x plus one pair — the unit non-terminals vanish.
+  EXPECT_EQ(slp->NumNonTerminals(), 2u);
+}
+
+TEST(SlpBuilder, LongRhsGetsBalancedBinarization) {
+  SlpBuilder b;
+  const uint32_t s = b.DeclareNonTerminal();
+  std::vector<GrammarSym> rhs;
+  std::string expected;
+  for (int i = 0; i < 64; ++i) {
+    rhs.push_back(GrammarSym::Terminal('a' + (i % 3)));
+    expected += static_cast<char>('a' + (i % 3));
+  }
+  b.SetRule(s, rhs);
+  Result<Slp> slp = b.Build(s);
+  ASSERT_TRUE(slp.ok());
+  EXPECT_EQ(slp->ExpandToString(), expected);
+  EXPECT_LE(slp->depth(), 7u);  // log2(64) + leaf level
+}
+
+TEST(SlpBuilder, SharedSubtreesAreDeduplicated) {
+  SlpBuilder b;
+  const uint32_t s = b.DeclareNonTerminal();
+  const uint32_t p = b.DeclareNonTerminal();
+  const uint32_t q = b.DeclareNonTerminal();
+  // p and q expand identically; dedup collapses them.
+  b.SetRule(p, {GrammarSym::Terminal('a'), GrammarSym::Terminal('b')});
+  b.SetRule(q, {GrammarSym::Terminal('a'), GrammarSym::Terminal('b')});
+  b.SetRule(s, {GrammarSym::Nt(p), GrammarSym::Nt(q)});
+  Result<Slp> slp = b.Build(s);
+  ASSERT_TRUE(slp.ok());
+  EXPECT_EQ(slp->ExpandToString(), "abab");
+  EXPECT_EQ(slp->NumNonTerminals(), 4u);  // Ta, Tb, (ab), ((ab)(ab))
+}
+
+TEST(SlpBuilder, RuleWithRepeatedNonTerminal) {
+  SlpBuilder b;
+  const uint32_t s = b.DeclareNonTerminal();
+  const uint32_t a = b.DeclareNonTerminal();
+  b.SetRule(a, {GrammarSym::Terminal('z')});
+  b.SetRule(s, {GrammarSym::Nt(a), GrammarSym::Nt(a), GrammarSym::Nt(a)});
+  Result<Slp> slp = b.Build(s);
+  ASSERT_TRUE(slp.ok());
+  EXPECT_EQ(slp->ExpandToString(), "zzz");
+}
+
+TEST(SlpBuilder, RejectsCyclicGrammar) {
+  SlpBuilder b;
+  const uint32_t s = b.DeclareNonTerminal();
+  const uint32_t a = b.DeclareNonTerminal();
+  b.SetRule(s, {GrammarSym::Nt(a), GrammarSym::Terminal('x')});
+  b.SetRule(a, {GrammarSym::Nt(s)});
+  Result<Slp> slp = b.Build(s);
+  ASSERT_FALSE(slp.ok());
+  EXPECT_EQ(slp.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SlpBuilder, RejectsSelfReference) {
+  SlpBuilder b;
+  const uint32_t s = b.DeclareNonTerminal();
+  b.SetRule(s, {GrammarSym::Nt(s), GrammarSym::Terminal('x')});
+  EXPECT_FALSE(b.Build(s).ok());
+}
+
+TEST(SlpBuilder, RejectsMissingRule) {
+  SlpBuilder b;
+  const uint32_t s = b.DeclareNonTerminal();
+  const uint32_t a = b.DeclareNonTerminal();
+  b.SetRule(s, {GrammarSym::Nt(a)});
+  (void)a;  // rule for a never set
+  EXPECT_FALSE(b.Build(s).ok());
+}
+
+TEST(SlpBuilder, RejectsUndeclaredStart) {
+  SlpBuilder b;
+  EXPECT_FALSE(b.Build(3).ok());
+}
+
+TEST(SlpBuilder, PrunesUnreachableRules) {
+  SlpBuilder b;
+  const uint32_t s = b.DeclareNonTerminal();
+  const uint32_t junk = b.DeclareNonTerminal();
+  b.SetRule(s, {GrammarSym::Terminal('a'), GrammarSym::Terminal('a')});
+  b.SetRule(junk, {GrammarSym::Terminal('q'), GrammarSym::Terminal('q')});
+  Result<Slp> slp = b.Build(s);
+  ASSERT_TRUE(slp.ok());
+  EXPECT_EQ(slp->ExpandToString(), "aa");
+  EXPECT_EQ(slp->NumNonTerminals(), 2u);  // junk and T_q pruned
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,125 @@
+// Tests for the LZ77 -> AVL-grammar conversion (slp/lz77.h): lossless
+// round-trips, parse structure, the O(log n) depth guarantee (no separate
+// rebalancing pass needed), and compression quality on repetitive inputs.
+
+#include <cmath>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "slp/balance.h"
+#include "slp/lz77.h"
+#include "slp/repair.h"
+#include "textgen/textgen.h"
+#include "util/rng.h"
+
+namespace slpspan {
+namespace {
+
+TEST(Lz77Parse, LiteralsOnlyForShortNovelText) {
+  const std::vector<Lz77Factor> parse = Lz77Parse(ToSymbols("abcd"));
+  ASSERT_EQ(parse.size(), 4u);
+  for (const Lz77Factor& f : parse) EXPECT_EQ(f.len, 0u);
+}
+
+TEST(Lz77Parse, FindsRepetition) {
+  // "abcdabcdabcd": after the first block, factors copy earlier text.
+  const std::vector<Lz77Factor> parse = Lz77Parse(ToSymbols("abcdabcdabcd"));
+  ASSERT_GE(parse.size(), 5u);
+  EXPECT_LE(parse.size(), 7u);
+  bool has_factor = false;
+  uint64_t covered = 0;
+  for (const Lz77Factor& f : parse) {
+    if (f.len > 0) {
+      has_factor = true;
+      EXPECT_LE(f.src + f.len, covered);  // non-overlapping source
+    }
+    covered += f.len == 0 ? 1 : f.len;
+  }
+  EXPECT_TRUE(has_factor);
+  EXPECT_EQ(covered, 12u);
+}
+
+TEST(Lz77Compress, RoundTripFixedInputs) {
+  for (const std::string text :
+       {"a", "ab", "abcd", "aaaa", "abcdabcdabcd", "mississippi mississippi",
+        "the quick brown fox jumps over the lazy dog the quick brown fox"}) {
+    const Slp slp = Lz77Compress(text);
+    EXPECT_EQ(slp.ExpandToString(), text) << text;
+    EXPECT_TRUE(slp.Validate().ok()) << text;
+  }
+}
+
+TEST(Lz77Compress, UnaryRunFactorsLogarithmically) {
+  // a^n with non-overlapping factors doubles: O(log n) parse elements.
+  const std::string text(1 << 15, 'a');
+  const std::vector<Lz77Factor> parse = Lz77Parse(ToSymbols(text));
+  EXPECT_LE(parse.size(), 24u);
+  const Slp slp = Lz77Compress(text);
+  EXPECT_EQ(slp.DocumentLength(), text.size());
+  EXPECT_EQ(slp.SymbolAt(12345), SymbolId{'a'});
+  EXPECT_LT(slp.NumNonTerminals(), 600u);  // z log n, not n
+}
+
+TEST(Lz77Compress, DepthIsAvlBounded) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    const std::string text = GenerateVersionedDoc(
+        {.base_length = 700, .versions = 12, .seed = seed});
+    const Slp slp = Lz77Compress(text);
+    EXPECT_EQ(slp.ExpandToString(), text);
+    const double bound =
+        1.4405 * std::log2(static_cast<double>(text.size()) + 2.0) + 3.0;
+    EXPECT_LE(slp.depth(), bound) << "seed " << seed;
+    EXPECT_TRUE(IsBalanced(slp));
+  }
+}
+
+TEST(Lz77Compress, BeatsLiteralSizeOnVersionedDocs) {
+  const std::string doc =
+      GenerateVersionedDoc({.base_length = 2000, .versions = 30, .seed = 4});
+  const Slp slp = Lz77Compress(doc);
+  EXPECT_EQ(slp.ExpandToString(), doc);
+  // Every revision after the first is one (or a few) copy factor(s); the
+  // grammar must be a small fraction of the document.
+  EXPECT_LT(slp.PaperSize(), doc.size() / 4);
+}
+
+class Lz77RandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lz77RandomTest, RoundTripsRandomStrings) {
+  Rng rng(GetParam() * 131 + 17);
+  const uint64_t len = 1 + rng.Below(5000);
+  const uint32_t sigma = 1 + rng.Below(6);
+  std::string text;
+  for (uint64_t i = 0; i < len; ++i) {
+    text += static_cast<char>('a' + rng.Below(sigma));
+  }
+  const Slp slp = Lz77Compress(text);
+  EXPECT_EQ(slp.ExpandToString(), text);
+  EXPECT_TRUE(slp.Validate().ok());
+  EXPECT_TRUE(IsBalanced(slp, 1.6));
+}
+
+TEST_P(Lz77RandomTest, RoundTripsRepetitiveStrings) {
+  Rng rng(GetParam() * 733 + 5);
+  std::string block;
+  const uint64_t block_len = 3 + rng.Below(40);
+  for (uint64_t i = 0; i < block_len; ++i) {
+    block += static_cast<char>('a' + rng.Below(4));
+  }
+  const std::string text = GenerateRepeated(block, 2 + rng.Below(200));
+  const Slp slp = Lz77Compress(text);
+  EXPECT_EQ(slp.ExpandToString(), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lz77RandomTest, ::testing::Range<uint64_t>(0, 20));
+
+TEST(Lz77Compress, MinMatchOptionRespected) {
+  const std::string text = "xyxyxyxyxyxyxyxyxyxyxyxyxyxyxyxy";
+  const Slp strict = Lz77Compress(text, {.min_match = 8});
+  const Slp loose = Lz77Compress(text, {.min_match = 4});
+  EXPECT_EQ(strict.ExpandToString(), text);
+  EXPECT_EQ(loose.ExpandToString(), text);
+}
+
+}  // namespace
+}  // namespace slpspan

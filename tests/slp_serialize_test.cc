@@ -1,0 +1,89 @@
+// Tests for the SLP text persistence format (slp/serialize.h), including the
+// validation of untrusted inputs.
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "slp/factory.h"
+#include "slp/serialize.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+TEST(SlpSerialize, RoundTripSmall) {
+  const Slp slp = testing_util::MakeExample42Slp();
+  const std::string text = SaveSlpToString(slp);
+  Result<Slp> loaded = LoadSlpFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ExpandToString(), "aabccaabaa");
+  EXPECT_EQ(loaded->NumNonTerminals(), slp.NumNonTerminals());
+  EXPECT_EQ(loaded->depth(), slp.depth());
+}
+
+TEST(SlpSerialize, RoundTripPowerString) {
+  const Slp slp = SlpPowerString('q', 30);
+  Result<Slp> loaded = LoadSlpFromString(SaveSlpToString(slp));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->DocumentLength(), 1ull << 30);
+  EXPECT_EQ(loaded->SymbolAt(98765), SymbolId{'q'});
+}
+
+TEST(SlpSerialize, RoundTripThroughFile) {
+  const Slp slp = SlpFromString("serialize me to disk");
+  const std::string path = ::testing::TempDir() + "/slpspan_roundtrip.slp";
+  ASSERT_TRUE(SaveSlpToFile(slp, path).ok());
+  Result<Slp> loaded = LoadSlpFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ExpandToString(), "serialize me to disk");
+  std::remove(path.c_str());
+}
+
+TEST(SlpSerialize, RejectsBadHeader) {
+  EXPECT_FALSE(LoadSlpFromString("not-an-slp\n").ok());
+  EXPECT_FALSE(LoadSlpFromString("").ok());
+}
+
+TEST(SlpSerialize, RejectsMissingRule) {
+  const std::string text = "slpspan-slp v1\nnts 2 root 1\nL 0 97\n";  // rule 1 absent
+  Result<Slp> loaded = LoadSlpFromString(text);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SlpSerialize, RejectsDuplicateRule) {
+  const std::string text = "slpspan-slp v1\nnts 1 root 0\nL 0 97\nL 0 98\n";
+  EXPECT_FALSE(LoadSlpFromString(text).ok());
+}
+
+TEST(SlpSerialize, RejectsOutOfRangeChild) {
+  const std::string text = "slpspan-slp v1\nnts 2 root 1\nL 0 97\nP 1 0 7\n";
+  EXPECT_FALSE(LoadSlpFromString(text).ok());
+}
+
+TEST(SlpSerialize, RejectsCyclicGrammar) {
+  const std::string text =
+      "slpspan-slp v1\nnts 3 root 2\nL 0 97\nP 1 2 0\nP 2 1 0\n";
+  Result<Slp> loaded = LoadSlpFromString(text);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SlpSerialize, RejectsRootOutOfRange) {
+  EXPECT_FALSE(LoadSlpFromString("slpspan-slp v1\nnts 1 root 5\nL 0 97\n").ok());
+}
+
+TEST(SlpSerialize, AcceptsRuleWithRepeatedChild) {
+  const std::string text = "slpspan-slp v1\nnts 2 root 1\nL 0 97\nP 1 0 0\n";
+  Result<Slp> loaded = LoadSlpFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ExpandToString(), "aa");
+}
+
+TEST(SlpSerialize, LoadFromMissingFileFails) {
+  EXPECT_FALSE(LoadSlpFromFile("/nonexistent/path/foo.slp").ok());
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,188 @@
+// Unit tests for the SLP core (slp/slp.h) and factories (slp/factory.h):
+// normal form, Lemma 4.4 length tables, random access, range extraction,
+// validation, and the closed-form compressible families.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "slp/factory.h"
+#include "slp/slp.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+TEST(SymbolConversion, RoundTrip) {
+  const std::string text = "hello \x01\xff world";
+  EXPECT_EQ(ToByteString(ToSymbols(text)), text);
+}
+
+TEST(SlpFromString, ExpandsBack) {
+  for (const std::string text : {"a", "ab", "abc", "abca", "mississippi",
+                                 "aaaaaaaaaaaaaaaa", "xyxyxyxyxyxyxyxyxyxz"}) {
+    const Slp slp = SlpFromString(text);
+    EXPECT_EQ(slp.ExpandToString(), text) << text;
+    EXPECT_TRUE(slp.Validate().ok()) << slp.Validate().ToString();
+    EXPECT_EQ(slp.DocumentLength(), text.size());
+  }
+}
+
+TEST(SlpFromString, DedupCompressesPeriodicInput) {
+  const std::string periodic(1 << 12, 'a');
+  const Slp with_dedup = SlpFromString(periodic, /*dedup=*/true);
+  const Slp without = SlpFromString(periodic, /*dedup=*/false);
+  // a^(2^12) hash-conses to a 13-rule power chain.
+  EXPECT_EQ(with_dedup.NumNonTerminals(), 13u);
+  EXPECT_GT(without.NumNonTerminals(), 4000u);
+  EXPECT_EQ(with_dedup.ExpandToString(), periodic);
+}
+
+TEST(SlpFromString, DepthIsLogarithmic) {
+  std::string text;
+  for (int i = 0; i < 1000; ++i) text += static_cast<char>('a' + (i * 7 + i / 13) % 5);
+  const Slp slp = SlpFromString(text);
+  EXPECT_LE(slp.depth(), 12u);  // ceil(log2(1000)) + 1 levels
+}
+
+TEST(SlpChain, MaximallyDeep) {
+  const std::string text = "abcabcabc";
+  const Slp slp = SlpChainFromString(text);
+  EXPECT_EQ(slp.ExpandToString(), text);
+  EXPECT_EQ(slp.depth(), text.size());  // left-leaning chain
+  EXPECT_TRUE(slp.Validate().ok());
+}
+
+TEST(SlpPowerString, ExponentialCompression) {
+  const Slp slp = SlpPowerString('a', 20);
+  EXPECT_EQ(slp.DocumentLength(), 1ull << 20);
+  EXPECT_EQ(slp.NumNonTerminals(), 21u);  // leaf + 20 squarings
+  EXPECT_EQ(slp.depth(), 21u);
+  EXPECT_TRUE(slp.Validate().ok());
+  // Spot-check random access without expanding the megabyte document.
+  EXPECT_EQ(slp.SymbolAt(1), SymbolId{'a'});
+  EXPECT_EQ(slp.SymbolAt(1ull << 20), SymbolId{'a'});
+}
+
+TEST(SlpPowerString, PaperSizeDefinition) {
+  // CNF: size(S) = |N| + 2*inner + leaves.
+  const Slp slp = SlpPowerString('a', 3);  // 4 rules: Ta, A1, A2, A3
+  EXPECT_EQ(slp.NumNonTerminals(), 4u);
+  EXPECT_EQ(slp.NumInnerNonTerminals(), 3u);
+  EXPECT_EQ(slp.PaperSize(), 4u + 2 * 3 + 1);
+}
+
+TEST(SlpRepeat, MatchesExplicitRepetition) {
+  for (uint64_t times : {1ull, 2ull, 3ull, 7ull, 8ull, 13ull, 100ull}) {
+    const Slp slp = SlpRepeat("abc", times);
+    std::string expected;
+    for (uint64_t i = 0; i < times; ++i) expected += "abc";
+    EXPECT_EQ(slp.ExpandToString(), expected) << "times=" << times;
+    EXPECT_TRUE(slp.Validate().ok());
+  }
+}
+
+TEST(SlpRepeat, LogarithmicSize) {
+  const Slp slp = SlpRepeat("ab", 1'000'000);
+  EXPECT_EQ(slp.DocumentLength(), 2'000'000u);
+  EXPECT_LT(slp.NumNonTerminals(), 64u);
+}
+
+TEST(SlpFibonacci, FirstWords) {
+  // F(1)=b, F(2)=a, F(3)=ab, F(4)=aba, F(5)=abaab, F(6)=abaababa.
+  EXPECT_EQ(SlpFibonacci(1).ExpandToString(), "b");
+  EXPECT_EQ(SlpFibonacci(2).ExpandToString(), "a");
+  EXPECT_EQ(SlpFibonacci(3).ExpandToString(), "ab");
+  EXPECT_EQ(SlpFibonacci(4).ExpandToString(), "aba");
+  EXPECT_EQ(SlpFibonacci(5).ExpandToString(), "abaab");
+  EXPECT_EQ(SlpFibonacci(6).ExpandToString(), "abaababa");
+}
+
+TEST(SlpFibonacci, LinearRulesExponentialLength) {
+  const Slp slp = SlpFibonacci(40);
+  EXPECT_EQ(slp.DocumentLength(), 102334155u);  // fib(40)
+  EXPECT_LE(slp.NumNonTerminals(), 40u);
+}
+
+TEST(SlpThueMorse, FirstWords) {
+  EXPECT_EQ(SlpThueMorse(0).ExpandToString(), "a");
+  EXPECT_EQ(SlpThueMorse(1).ExpandToString(), "ab");
+  EXPECT_EQ(SlpThueMorse(2).ExpandToString(), "abba");
+  EXPECT_EQ(SlpThueMorse(3).ExpandToString(), "abbabaab");
+  EXPECT_EQ(SlpThueMorse(4).ExpandToString(), "abbabaabbaababba");
+}
+
+TEST(SlpConcat, JoinsDocuments) {
+  const Slp left = SlpFromString("hello ");
+  const Slp right = SlpFromString("world");
+  EXPECT_EQ(SlpConcat(left, right).ExpandToString(), "hello world");
+}
+
+TEST(SlpAppendSymbol, AddsSentinel) {
+  const Slp slp = SlpFromString("doc");
+  const Slp with = SlpAppendSymbol(slp, kSentinelSymbol);
+  const std::vector<SymbolId> expanded = with.Expand();
+  ASSERT_EQ(expanded.size(), 4u);
+  EXPECT_EQ(expanded[3], kSentinelSymbol);
+  EXPECT_EQ(with.DocumentLength(), slp.DocumentLength() + 1);
+  EXPECT_LE(with.depth(), slp.depth() + 1);
+}
+
+TEST(SlpSymbolAt, MatchesExpansionEverywhere) {
+  const Slp slp = testing_util::MakeExample42Slp();
+  const std::string text = slp.ExpandToString();
+  ASSERT_EQ(text, "aabccaabaa");  // paper Example 4.2
+  for (uint64_t i = 1; i <= text.size(); ++i) {
+    EXPECT_EQ(slp.SymbolAt(i), static_cast<SymbolId>(text[i - 1])) << i;
+  }
+}
+
+TEST(SlpExample42, MatchesPaperStatistics) {
+  const Slp slp = testing_util::MakeExample42Slp();
+  EXPECT_EQ(slp.NumNonTerminals(), 9u);  // S0, A, B, C, D, E, Ta, Tb, Tc
+  EXPECT_EQ(slp.depth(), 5u);            // Figure 3: five non-terminal levels
+  EXPECT_TRUE(slp.Validate().ok());
+}
+
+TEST(SlpExpandRange, AllSubranges) {
+  const Slp slp = testing_util::MakeExample42Slp();
+  const std::string text = slp.ExpandToString();
+  for (uint64_t from = 1; from <= text.size() + 1; ++from) {
+    for (uint64_t to = from; to <= text.size() + 1; ++to) {
+      EXPECT_EQ(ToByteString(slp.ExpandRange(from, to)),
+                text.substr(from - 1, to - from))
+          << from << ".." << to;
+    }
+  }
+}
+
+TEST(SlpExpandRange, LargeDocumentWindow) {
+  const Slp slp = SlpPowerString('z', 30);  // ~1G symbols, never expanded
+  const std::vector<SymbolId> window = slp.ExpandRange(123456789, 123456799);
+  EXPECT_EQ(window.size(), 10u);
+  for (SymbolId s : window) EXPECT_EQ(s, SymbolId{'z'});
+}
+
+TEST(SlpForEachSymbol, VisitsInOrder) {
+  const Slp slp = testing_util::MakeExample42Slp();
+  std::string collected;
+  slp.ForEachSymbol([&](SymbolId s) { collected += static_cast<char>(s); });
+  EXPECT_EQ(collected, "aabccaabaa");
+}
+
+TEST(SlpStats, ConsistentWithAccessors) {
+  const Slp slp = SlpPowerString('a', 10);
+  const Slp::Stats st = slp.ComputeStats();
+  EXPECT_EQ(st.non_terminals, slp.NumNonTerminals());
+  EXPECT_EQ(st.document_length, 1u << 10);
+  EXPECT_EQ(st.depth, slp.depth());
+  EXPECT_GT(st.compression_ratio, 30.0);
+}
+
+TEST(SlpDebugString, MentionsRootAndLength) {
+  const Slp slp = SlpFromString("ab");
+  const std::string dbg = slp.DebugString();
+  EXPECT_NE(dbg.find("d=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,194 @@
+// Tests for the Lemma 6.5 preprocessing tables (core/tables.h): leaf cells
+// M_Tx[i,j], the R classification (⊥/℮/1) via the U/W recurrences, and the
+// on-demand I_A[i,j] iteration — cross-validated against brute force over
+// all marked words on small fixtures.
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "core/tables.h"
+#include "slp/factory.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::MakeExample42Slp;
+using testing_util::MakeFigure2Spanner;
+
+// Brute force: does some marked word w with e(w) = text take the eps-free
+// NFA from state i to state j, with (with_markers / without_markers) as
+// requested? Tries every position-subset/mask assignment up to 2 variables.
+bool BruteForceRun(const Nfa& nfa, const std::vector<SymbolId>& text, StateId from,
+                   StateId to, bool want_markers) {
+  // Enumerate mask choices per gap position 1..|text| (no tail markers, as
+  // required by non-tail-spanning marked words): each position gets one of
+  // the masks occurring in the automaton, or none.
+  std::set<MarkerMask> mask_pool{0};
+  for (StateId s = 0; s < nfa.NumStates(); ++s) {
+    for (const Nfa::MarkArc& a : nfa.MarkArcsFrom(s)) mask_pool.insert(a.mask);
+  }
+  const std::vector<MarkerMask> masks(mask_pool.begin(), mask_pool.end());
+  const size_t n = text.size();
+  std::vector<size_t> choice(n, 0);
+  while (true) {
+    // Simulate this marked word from `from`.
+    std::set<StateId> cur{from};
+    bool used_marker = false;
+    for (size_t p = 0; p < n && !cur.empty(); ++p) {
+      const MarkerMask m = masks[choice[p]];
+      std::set<StateId> mid;
+      if (m == 0) {
+        mid = cur;
+      } else {
+        used_marker = true;
+        for (StateId s : cur) {
+          for (const Nfa::MarkArc& a : nfa.MarkArcsFrom(s)) {
+            if (a.mask == m) mid.insert(a.to);
+          }
+        }
+      }
+      std::set<StateId> next;
+      for (StateId s : mid) {
+        for (const Nfa::CharArc& a : nfa.CharArcsFrom(s)) {
+          if (a.sym == text[p]) next.insert(a.to);
+        }
+      }
+      cur.swap(next);
+    }
+    if (cur.count(to) != 0 && used_marker == want_markers) return true;
+    // Odometer over mask choices.
+    size_t p = 0;
+    while (p < n && ++choice[p] == masks.size()) choice[p++] = 0;
+    if (p == n) return false;
+  }
+}
+
+TEST(EvalTables, LeafCellsMatchFigure2Fixture) {
+  // Keep the hand-built state numbering: normalize without trimming.
+  const Spanner sp = MakeFigure2Spanner();
+  // FromAutomaton trims; rebuild the untrimmed normalized automaton directly.
+  const Nfa norm = Normalize(sp.raw());
+  const Slp slp = MakeExample42Slp();
+  EvalTables tables(slp, norm);
+
+  // Locate the leaf non-terminals.
+  NtId ta = kInvalidNt, tc = kInvalidNt;
+  for (NtId x = 0; x < slp.NumNonTerminals(); ++x) {
+    if (!slp.IsLeaf(x)) continue;
+    if (slp.LeafSymbol(x) == 'a') ta = x;
+    if (slp.LeafSymbol(x) == 'c') tc = x;
+  }
+  ASSERT_NE(ta, kInvalidNt);
+  ASSERT_NE(tc, kInvalidNt);
+
+  // Paper Example 8.2 (states shifted to 0-based): yield(Tc⟨1◃5,1⟩) =
+  // {{(<y,1)}} — cell (0,4) of T_c holds exactly the mask {open y}.
+  const auto& cell_c = tables.LeafCell(tc, 0, 4);
+  ASSERT_EQ(cell_c.size(), 1u);
+  EXPECT_EQ(cell_c[0], OpenMarker(1));
+  // yield(Ta⟨5◃6,1⟩) = {{(>y,1)}} — cell (4,5) of T_a = {close y}.
+  const auto& cell_a = tables.LeafCell(ta, 4, 5);
+  ASSERT_EQ(cell_a.size(), 1u);
+  EXPECT_EQ(cell_a[0], CloseMarker(1));
+  // T_a from state 5 to 5: only the unmarked word (Sigma self-loop).
+  const auto& cell_loop = tables.LeafCell(ta, 5, 5);
+  ASSERT_EQ(cell_loop.size(), 1u);
+  EXPECT_EQ(cell_loop[0], MarkerMask{0});
+  // T_a from 0 to 1: {open x} then 'a'.
+  const auto& cell_open_x = tables.LeafCell(ta, 0, 2);
+  ASSERT_EQ(cell_open_x.size(), 1u);
+  EXPECT_EQ(cell_open_x[0], OpenMarker(0));
+  // R classifications for those cells.
+  EXPECT_EQ(tables.R(tc, 0, 4), RVal::kOne);
+  EXPECT_EQ(tables.R(ta, 5, 5), RVal::kEmpty);
+  EXPECT_EQ(tables.R(ta, 0, 4), RVal::kBot);
+}
+
+TEST(EvalTables, RMatchesBruteForceOnAllPairs) {
+  const Spanner sp = MakeFigure2Spanner();
+  const Nfa norm = Normalize(sp.raw());
+  // Small document so the brute force stays cheap; SLP for "aabc".
+  const Slp slp = SlpFromString("aabc");
+  EvalTables tables(slp, norm);
+  for (NtId a = 0; a < slp.NumNonTerminals(); ++a) {
+    std::vector<SymbolId> expansion;
+    slp.AppendExpansion(a, &expansion);
+    if (expansion.size() > 3) continue;  // keep brute force tractable
+    for (StateId i = 0; i < norm.NumStates(); ++i) {
+      for (StateId j = 0; j < norm.NumStates(); ++j) {
+        const bool unmarked = BruteForceRun(norm, expansion, i, j, false);
+        const bool marked = BruteForceRun(norm, expansion, i, j, true);
+        RVal expected = RVal::kBot;
+        if (marked) {
+          expected = RVal::kOne;
+        } else if (unmarked) {
+          expected = RVal::kEmpty;
+        }
+        EXPECT_EQ(tables.R(a, i, j), expected)
+            << "nt=" << a << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(EvalTables, IntermediateIterationMatchesDefinition) {
+  const Spanner sp = MakeFigure2Spanner();
+  const Nfa norm = Normalize(sp.raw());
+  const Slp slp = MakeExample42Slp();
+  EvalTables tables(slp, norm);
+  for (NtId a = 0; a < slp.NumNonTerminals(); ++a) {
+    if (slp.IsLeaf(a)) continue;
+    for (StateId i = 0; i < norm.NumStates(); ++i) {
+      for (StateId j = 0; j < norm.NumStates(); ++j) {
+        // Definition 6.4: I_A[i,j] = {k : R_B[i,k] != ⊥ and R_C[k,j] != ⊥}.
+        std::vector<StateId> expected;
+        for (StateId k = 0; k < norm.NumStates(); ++k) {
+          if (tables.NonBot(slp.Left(a), i, k) && tables.NonBot(slp.Right(a), k, j)) {
+            expected.push_back(k);
+          }
+        }
+        std::vector<StateId> via_iter;
+        tables.ForEachIntermediate(slp, a, i, j,
+                                   [&](StateId k) { via_iter.push_back(k); });
+        EXPECT_EQ(via_iter, expected);
+        // NextIntermediate walks the same set.
+        std::vector<StateId> via_next;
+        for (int32_t k = tables.NextIntermediate(slp, a, i, j, -1); k >= 0;
+             k = tables.NextIntermediate(slp, a, i, j, k)) {
+          via_next.push_back(static_cast<StateId>(k));
+        }
+        EXPECT_EQ(via_next, expected);
+      }
+    }
+  }
+}
+
+TEST(EvalTables, AcceptingNonBotIsFPrime) {
+  const Spanner sp = MakeFigure2Spanner();
+  const Nfa norm = AppendSentinel(Normalize(sp.raw()));
+  const Slp slp = SlpAppendSymbol(MakeExample42Slp(), kSentinelSymbol);
+  EvalTables tables(slp, norm);
+  const std::vector<StateId> fprime = tables.AcceptingNonBot(slp, norm);
+  // Only the sentinel state (6) accepts, and the document has results.
+  ASSERT_EQ(fprime.size(), 1u);
+  EXPECT_EQ(fprime[0], 6u);
+}
+
+TEST(EvalTables, UWRecurrenceSpotCheck) {
+  // For A -> B C with B = C = T_a over the one-state automaton with a-loop
+  // and a marker loop, W must become reachable through either side.
+  Nfa nfa;
+  nfa.AddCharArc(0, 'a', 0);
+  const StateId s1 = nfa.AddState();
+  nfa.AddMarkArc(0, OpenMarker(0) | CloseMarker(0), s1);
+  nfa.AddCharArc(s1, 'a', 0);
+  nfa.SetAccepting(0);
+  const Slp slp = SlpFromString("aa");  // root -> T_a T_a
+  EvalTables tables(slp, nfa);
+  EXPECT_EQ(tables.R(slp.root(), 0, 0), RVal::kOne);   // marked run exists
+  EXPECT_TRUE(tables.U(slp.root()).Get(0, 0));         // and the unmarked one
+}
+
+}  // namespace
+}  // namespace slpspan

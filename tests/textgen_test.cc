@@ -1,0 +1,94 @@
+// Tests for the workload generators (textgen/textgen.h): determinism,
+// structural properties, and compressibility expectations.
+
+#include <algorithm>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "slp/repair.h"
+#include "textgen/textgen.h"
+
+namespace slpspan {
+namespace {
+
+TEST(GenerateLog, DeterministicPerSeed) {
+  const LogOptions opts{.lines = 50, .seed = 9};
+  EXPECT_EQ(GenerateLog(opts), GenerateLog(opts));
+  LogOptions other = opts;
+  other.seed = 10;
+  EXPECT_NE(GenerateLog(opts), GenerateLog(other));
+}
+
+TEST(GenerateLog, LineStructure) {
+  const std::string log = GenerateLog({.lines = 20, .seed = 1});
+  EXPECT_EQ(std::count(log.begin(), log.end(), '\n'), 20);
+  size_t pos = 0;
+  while (pos < log.size()) {
+    const size_t end = log.find('\n', pos);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = log.substr(pos, end - pos);
+    EXPECT_EQ(line.rfind("ts=", 0), 0u) << line;
+    EXPECT_NE(line.find(" user=u"), std::string::npos) << line;
+    EXPECT_NE(line.find(" action="), std::string::npos) << line;
+    EXPECT_NE(line.find(" status="), std::string::npos) << line;
+    pos = end + 1;
+  }
+}
+
+TEST(GenerateLog, TimestampsAreMonotone) {
+  const std::string log = GenerateLog({.lines = 30, .seed = 2});
+  uint64_t prev = 0;
+  size_t pos = 0;
+  while ((pos = log.find("ts=", pos)) != std::string::npos) {
+    const uint64_t ts = std::stoull(log.substr(pos + 3, 8));
+    EXPECT_GT(ts, prev);
+    prev = ts;
+    pos += 3;
+  }
+}
+
+TEST(GenerateDna, AlphabetAndLength) {
+  const std::string dna = GenerateDna({.length = 5000, .seed = 3});
+  EXPECT_EQ(dna.size(), 5000u);
+  for (char c : dna) {
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << c;
+  }
+}
+
+TEST(GenerateDna, PlantsMotifs) {
+  const DnaOptions opts{.length = 20000, .motif = "ACGTACGT", .motif_rate = 0.01,
+                        .seed = 4};
+  const std::string dna = GenerateDna(opts);
+  size_t count = 0, pos = 0;
+  while ((pos = dna.find(opts.motif, pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_GT(count, 20u);  // ~200 expected at rate 0.01
+}
+
+TEST(GenerateVersionedDoc, StructureAndCompressibility) {
+  const VersionedDocOptions opts{.base_length = 400, .versions = 12, .seed = 5};
+  const std::string doc = GenerateVersionedDoc(opts);
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '\n'), 12);
+  EXPECT_EQ(doc.size(), (opts.base_length + 1) * opts.versions);
+  // Near-identical versions compress drastically.
+  const Slp slp = RePairCompress(doc);
+  EXPECT_LT(slp.PaperSize(), doc.size() / 3);
+}
+
+TEST(GenerateRandom, RespectsAlphabet) {
+  const std::string s = GenerateRandom(1000, "xyz", 6);
+  EXPECT_EQ(s.size(), 1000u);
+  for (char c : s) EXPECT_NE(std::string("xyz").find(c), std::string::npos);
+  EXPECT_EQ(s, GenerateRandom(1000, "xyz", 6));
+  EXPECT_NE(s, GenerateRandom(1000, "xyz", 7));
+}
+
+TEST(GenerateRepeated, ExactRepetition) {
+  EXPECT_EQ(GenerateRepeated("ab", 3), "ababab");
+  EXPECT_EQ(GenerateRepeated("x", 0), "");
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -1,0 +1,296 @@
+// slpspan — command-line front-end for the library.
+//
+//   slpspan compress  <in.txt> <out.slp> [--method=repair|lz77|lz78|balanced]
+//                     [--rebalance]
+//   slpspan stats     <in.slp>
+//   slpspan decompress<in.slp> <out.txt>
+//   slpspan extract   <in.slp> <pattern> [--alphabet=...] [--limit=N]
+//   slpspan count     <in.slp> <pattern> [--alphabet=...]
+//   slpspan sample    <in.slp> <pattern> <k> [--alphabet=...] [--seed=S]
+//   slpspan check     <in.slp> <pattern> (non-emptiness only)
+//
+// `extract` enumerates span-tuples (Theorem 8.10), `count`/`sample` use the
+// counting + random-access extension (core/count.h), `check` is Theorem
+// 5.1(1). Patterns use the spanner regex dialect (see spanner/regex_parser.h);
+// the alphabet defaults to printable ASCII + newline + tab.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/count.h"
+#include "core/evaluator.h"
+#include "slp/balance.h"
+#include "slp/factory.h"
+#include "slp/lz77.h"
+#include "slp/lz78.h"
+#include "slp/repair.h"
+#include "slp/serialize.h"
+#include "spanner/spanner.h"
+#include "textgen/textgen.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace slpspan;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  slpspan compress <in.txt> <out.slp> [--method=repair|lz77|lz78|"
+               "balanced] [--rebalance]\n"
+               "  slpspan decompress <in.slp> <out.txt>\n"
+               "  slpspan stats <in.slp>\n"
+               "  slpspan check <in.slp> <pattern> [--alphabet=CHARS]\n"
+               "  slpspan count <in.slp> <pattern> [--alphabet=CHARS]\n"
+               "  slpspan extract <in.slp> <pattern> [--alphabet=CHARS] "
+               "[--limit=N]\n"
+               "  slpspan sample <in.slp> <pattern> <k> [--alphabet=CHARS] "
+               "[--seed=S]\n");
+  return 2;
+}
+
+struct Flags {
+  std::string method = "repair";
+  std::string alphabet;
+  uint64_t limit = 20;
+  uint64_t seed = 42;
+  bool rebalance = false;
+  std::vector<std::string> positional;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (char c = 32; c < 127; ++c) flags.alphabet += c;
+  flags.alphabet += '\n';
+  flags.alphabet += '\t';
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--method=", 0) == 0) {
+      flags.method = arg.substr(9);
+    } else if (arg.rfind("--alphabet=", 0) == 0) {
+      flags.alphabet = arg.substr(11);
+    } else if (arg.rfind("--limit=", 0) == 0) {
+      flags.limit = std::stoull(arg.substr(8));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      flags.seed = std::stoull(arg.substr(7));
+    } else if (arg == "--rebalance") {
+      flags.rebalance = true;
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int CmdCompress(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  std::string text;
+  if (!ReadFile(flags.positional[0], &text) || text.empty()) {
+    std::fprintf(stderr, "cannot read (non-empty) input %s\n",
+                 flags.positional[0].c_str());
+    return 1;
+  }
+  Stopwatch sw;
+  Slp slp = [&] {
+    if (flags.method == "lz77") return Lz77Compress(text);
+    if (flags.method == "lz78") return Lz78Compress(text);
+    if (flags.method == "balanced") return SlpFromString(text);
+    return RePairCompress(text);
+  }();
+  if (flags.rebalance) slp = Rebalance(slp);
+  const double ms = sw.ElapsedMillis();
+  Status st = SaveSlpToFile(slp, flags.positional[1]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const Slp::Stats stats = slp.ComputeStats();
+  std::printf("%s: %llu symbols -> size(S)=%llu (%.2fx), depth=%u, %.1f ms (%s)\n",
+              flags.positional[1].c_str(),
+              static_cast<unsigned long long>(stats.document_length),
+              static_cast<unsigned long long>(stats.paper_size),
+              stats.compression_ratio, stats.depth, ms, flags.method.c_str());
+  return 0;
+}
+
+Result<Slp> LoadOrDie(const std::string& path) { return LoadSlpFromFile(path); }
+
+int CmdDecompress(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  Result<Slp> slp = LoadOrDie(flags.positional[0]);
+  if (!slp.ok()) {
+    std::fprintf(stderr, "%s\n", slp.status().ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(flags.positional[1], std::ios::binary);
+  std::string buffer;
+  buffer.reserve(1 << 20);
+  slp->ForEachSymbol([&](SymbolId s) {
+    buffer.push_back(static_cast<char>(static_cast<unsigned char>(s)));
+    if (buffer.size() >= (1 << 20)) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
+  });
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  return out ? 0 : 1;
+}
+
+int CmdStats(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  Result<Slp> slp = LoadOrDie(flags.positional[0]);
+  if (!slp.ok()) {
+    std::fprintf(stderr, "%s\n", slp.status().ToString().c_str());
+    return 1;
+  }
+  const Slp::Stats s = slp->ComputeStats();
+  std::printf("document length : %llu\n",
+              static_cast<unsigned long long>(s.document_length));
+  std::printf("non-terminals   : %u (%u inner, %u leaves)\n", s.non_terminals,
+              s.inner_non_terminals, s.leaf_non_terminals);
+  std::printf("size(S)         : %llu\n",
+              static_cast<unsigned long long>(s.paper_size));
+  std::printf("depth(S)        : %u%s\n", s.depth,
+              IsBalanced(*slp) ? " (balanced)" : "");
+  std::printf("ratio d/size(S) : %.2f\n", s.compression_ratio);
+  return 0;
+}
+
+struct Query {
+  Slp slp;
+  Spanner spanner;
+};
+
+Result<Query> LoadQuery(const Flags& flags) {
+  Result<Slp> slp = LoadOrDie(flags.positional[0]);
+  if (!slp.ok()) return slp.status();
+  Result<Spanner> sp = Spanner::Compile(flags.positional[1], flags.alphabet);
+  if (!sp.ok()) return sp.status();
+  return Query{std::move(slp).value(), std::move(sp).value()};
+}
+
+int CmdCheck(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  Result<Query> q = LoadQuery(flags);
+  if (!q.ok()) {
+    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  SpannerEvaluator ev(q->spanner);
+  const bool nonempty = ev.CheckNonEmptiness(q->slp);
+  std::printf("%s\n", nonempty ? "non-empty" : "empty");
+  return nonempty ? 0 : 3;
+}
+
+void PrintTuple(const Slp& slp, const Spanner& sp, const SpanTuple& t) {
+  std::printf("(");
+  for (VarId v = 0; v < t.num_vars(); ++v) {
+    if (v > 0) std::printf(", ");
+    std::printf("%s=", sp.vars().Name(v).c_str());
+    if (!t.Get(v).has_value()) {
+      std::printf("_");
+      continue;
+    }
+    const Span s = *t.Get(v);
+    std::string value;
+    const uint64_t end = std::min(s.end, s.begin + 40);  // clip long spans
+    if (s.begin < end) {
+      value = ToByteString(slp.ExpandRange(s.begin, end));
+    }
+    std::printf("[%llu,%llu>\"%s%s\"", static_cast<unsigned long long>(s.begin),
+                static_cast<unsigned long long>(s.end), value.c_str(),
+                end < s.end ? "..." : "");
+  }
+  std::printf(")\n");
+}
+
+int CmdExtract(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  Result<Query> q = LoadQuery(flags);
+  if (!q.ok()) {
+    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  SpannerEvaluator ev(q->spanner);
+  const PreparedDocument prep = ev.Prepare(q->slp);
+  uint64_t shown = 0;
+  for (CompressedEnumerator e = ev.Enumerate(prep);
+       e.Valid() && shown < flags.limit; e.Next(), ++shown) {
+    PrintTuple(q->slp, q->spanner, e.Current());
+  }
+  std::printf("(%llu shown; --limit to change)\n",
+              static_cast<unsigned long long>(shown));
+  return 0;
+}
+
+int CmdCount(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  Result<Query> q = LoadQuery(flags);
+  if (!q.ok()) {
+    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  SpannerEvaluator ev(q->spanner);
+  const PreparedDocument prep = ev.Prepare(q->slp);
+  const CountTables counter = ev.BuildCounter(prep);
+  std::printf("%llu%s\n", static_cast<unsigned long long>(counter.Total()),
+              counter.overflowed() ? "+ (overflowed; lower bound)" : "");
+  return 0;
+}
+
+int CmdSample(const Flags& flags) {
+  if (flags.positional.size() != 3) return Usage();
+  Result<Query> q = LoadQuery(flags);
+  if (!q.ok()) {
+    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t k = std::stoull(flags.positional[2]);
+  SpannerEvaluator ev(q->spanner);
+  const PreparedDocument prep = ev.Prepare(q->slp);
+  const CountTables counter = ev.BuildCounter(prep);
+  if (counter.overflowed()) {
+    std::fprintf(stderr, "result count exceeds 2^64; cannot sample uniformly\n");
+    return 1;
+  }
+  if (counter.Total() == 0) {
+    std::printf("(empty result set)\n");
+    return 3;
+  }
+  Rng rng(flags.seed);
+  for (uint64_t i = 0; i < k; ++i) {
+    const uint64_t idx = rng.Below(counter.Total());
+    PrintTuple(q->slp, q->spanner, ev.TupleOf(counter.Select(idx)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Flags flags = ParseFlags(argc, argv);
+  const std::string cmd = argv[1];
+  if (cmd == "compress") return CmdCompress(flags);
+  if (cmd == "decompress") return CmdDecompress(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "check") return CmdCheck(flags);
+  if (cmd == "count") return CmdCount(flags);
+  if (cmd == "extract") return CmdExtract(flags);
+  if (cmd == "sample") return CmdSample(flags);
+  return Usage();
+}
