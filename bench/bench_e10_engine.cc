@@ -1,0 +1,107 @@
+// Experiment E10 — costs specific to the public facade, the numbers a
+// service owner needs:
+//   (a) the prepared-state cache: first Engine operation per (document,
+//       query) pays the O(|M| + size(S)·q³) preparation, every later one is
+//       a cache hit (mutex + hash lookup);
+//   (b) streaming early exit: Extract with limit=1 on documents whose full
+//       result set is astronomically large (the laziness Theorem 8.10 buys);
+//   (c) Engine construction itself (two shared handles — effectively free).
+
+#include "harness.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
+#include "util/stopwatch.h"
+
+namespace slpspan {
+namespace {
+
+void CacheSweep() {
+  bench::Table table(
+      "E10a: prepared-state cache — cold (prepare) vs hot (hit) per task",
+      {"workload", "size(S)", "t_cold (us)", "t_hot (us)", "cold/hot"});
+
+  struct Workload {
+    const char* name;
+    std::string text;
+    const char* pattern;
+    std::string alphabet;
+  };
+  std::string ascii;
+  for (char c = 32; c < 127; ++c) ascii += c;
+  ascii += '\n';
+  const Workload workloads[] = {
+      {"log 4k lines", GenerateLog({.lines = 4000, .seed = 5}),
+       ".*user=x{u[0-9]+}.*", ascii},
+      {"dna 256k", GenerateDna({.length = 1 << 18, .motif_rate = 0.001, .seed = 6}),
+       ".*x{ACGTACGT}.*", "ACGT"},
+  };
+
+  for (const Workload& w : workloads) {
+    Result<Query> query = Query::Compile(w.pattern, w.alphabet);
+    SLPSPAN_CHECK(query.ok());
+    const DocumentPtr doc = *Document::FromText(w.text);
+    const double t_cold = bench::TimeSeconds([&] {
+      // A fresh Document wrapper has an empty cache: Count pays the
+      // preparation (compression is excluded — the grammar is reused).
+      const Engine engine(*query, Document::FromSlp(doc->slp()));
+      SLPSPAN_CHECK(engine.Count().ok());
+    });
+
+    (void)Engine(*query, doc).Count();  // warm the cache
+    const double t_hot = bench::TimeSeconds([&] {
+      const Engine engine(*query, doc);  // fresh Engine, warm Document
+      SLPSPAN_CHECK(engine.Count().ok());
+    });
+    table.AddRow({w.name, bench::FmtCount(doc->stats().paper_size),
+                  bench::FmtMicros(t_cold), bench::FmtMicros(t_hot),
+                  bench::FmtDouble(t_cold / t_hot, 0)});
+  }
+  table.Print();
+}
+
+void EarlyExitSweep() {
+  bench::Table table(
+      "E10b: Extract limit=1 — early exit on huge result sets (warm cache)",
+      {"k", "d", "r (approx)", "t_first (us)"});
+  Result<Query> query = Query::Compile(".*x{a*}.*", "a");
+  SLPSPAN_CHECK(query.ok());
+  for (uint32_t k : {10u, 16u, 22u, 28u}) {
+    const Engine engine(*query, Document::FromSlp(SlpPowerString('a', k)));
+    (void)engine.IsNonEmpty();
+    (void)engine.ExtractAll({.limit = 1});  // warm the prepared-state cache
+    const double secs = bench::TimeSeconds([&] {
+      ResultStream s = engine.Extract({.limit = 1});
+      SLPSPAN_CHECK(s.Valid());
+    });
+    // r ~ d^2/2 distinct (begin, end) pairs.
+    const double r = 0.5 * static_cast<double>(uint64_t{1} << k) *
+                     static_cast<double>(uint64_t{1} << k);
+    table.AddRow({std::to_string(k), bench::FmtCount(uint64_t{1} << k),
+                  bench::FmtSci(r), bench::FmtMicros(secs)});
+  }
+  table.Print();
+}
+
+void EngineConstruction() {
+  Result<Query> query = Query::Compile(".*x{ab}.*", "ab");
+  SLPSPAN_CHECK(query.ok());
+  const DocumentPtr doc = Document::FromSlp(SlpRepeat("ab", 1 << 12));
+  const int reps = 100000;
+  Stopwatch sw;
+  for (int i = 0; i < reps; ++i) {
+    const Engine engine(*query, doc);
+    (void)engine;
+  }
+  std::printf("\nE10c: Engine construction: %.0f ns per bind (%d reps)\n",
+              sw.ElapsedSeconds() * 1e9 / reps, reps);
+}
+
+}  // namespace
+}  // namespace slpspan
+
+int main() {
+  slpspan::CacheSweep();
+  slpspan::EarlyExitSweep();
+  slpspan::EngineConstruction();
+  return 0;
+}

@@ -1,16 +1,14 @@
 // Experiment E2 — Theorem 5.1(2): model checking in
-// O((size(S) + |X| * depth(S)) * q^3).
+// O((size(S) + |X| * depth(S)) * q^3), via the public Engine::Matches.
 //
 // Two sweeps on the same document content:
 //   (a) depth sweep — balanced vs chain SLPs of (ab)^m: with s comparable,
 //       the |X|*depth(S) splice term separates the shapes;
 //   (b) |X| sweep — spanners with 1..6 variables on a fixed balanced SLP.
 
-#include "core/evaluator.h"
 #include "harness.h"
-#include "slp/factory.h"
-#include "spanner/spanner.h"
-#include "textgen/textgen.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
 
 namespace slpspan {
 namespace {
@@ -25,9 +23,8 @@ SpanTuple MidTuple(uint64_t d, uint32_t num_vars) {
 }
 
 void DepthSweep() {
-  Result<Spanner> sp = Spanner::Compile(".*x{ab}.*", "ab");
-  SLPSPAN_CHECK(sp.ok());
-  SpannerEvaluator ev(*sp);
+  Result<Query> query = Query::Compile(".*x{ab}.*", "ab");
+  SLPSPAN_CHECK(query.ok());
 
   bench::Table table("E2a: model checking — depth(S) term (same document)",
                      {"m", "d", "slp", "size(S)", "depth(S)", "t_check (us)"});
@@ -36,24 +33,26 @@ void DepthSweep() {
     const std::string doc = GenerateRepeated("ab", m);
     struct Shape {
       const char* name;
-      Slp slp;
+      DocumentPtr doc;
     };
-    Shape shapes[] = {{"balanced", SlpFromString(doc)},
-                      {"chain", SlpChainFromString(doc)},
-                      {"repeat-rule", SlpRepeat("ab", m)}};
+    Shape shapes[] = {{"balanced", Document::FromSlp(SlpFromString(doc))},
+                      {"chain", Document::FromSlp(SlpChainFromString(doc))},
+                      {"repeat-rule", Document::FromSlp(SlpRepeat("ab", m))}};
     for (const Shape& shape : shapes) {
       // Model-check a positive mid-document tuple; begin must be odd for
       // "ab" at that offset.
       SpanTuple t(1);
       const uint64_t begin = (2 * m) / 4 + 1;
       t.Set(0, Span{begin, begin + 2});
+      const Engine engine(*query, shape.doc);
       const double secs = bench::TimeSeconds([&] {
-        volatile bool r = ev.CheckModel(shape.slp, t);
-        (void)r;
+        Result<bool> r = engine.Matches(t);
+        SLPSPAN_CHECK(r.ok());
       });
       table.AddRow({std::to_string(m), bench::FmtCount(2 * m), shape.name,
-                    bench::FmtCount(shape.slp.PaperSize()),
-                    std::to_string(shape.slp.depth()), bench::FmtMicros(secs)});
+                    bench::FmtCount(shape.doc->slp().PaperSize()),
+                    std::to_string(shape.doc->slp().depth()),
+                    bench::FmtMicros(secs)});
     }
   }
   table.Print();
@@ -62,22 +61,22 @@ void DepthSweep() {
 void VarSweep() {
   bench::Table table("E2b: model checking — |X| term (fixed document)",
                      {"|X|", "q", "t_check (us)"});
-  const Slp slp = SlpRepeat("ab", 1 << 12);
+  const DocumentPtr doc = Document::FromSlp(SlpRepeat("ab", 1 << 12));
   for (uint32_t nvars = 1; nvars <= 6; ++nvars) {
     // Pattern: .* v1{ab} .* v2{ab} .* ... — nvars disjoint captures.
     std::string pattern = ".*";
     for (uint32_t v = 0; v < nvars; ++v) {
       pattern += "v" + std::to_string(v) + "{ab}.*";
     }
-    Result<Spanner> sp = Spanner::Compile(pattern, "ab");
-    SLPSPAN_CHECK(sp.ok());
-    SpannerEvaluator ev(*sp);
-    const SpanTuple t = MidTuple(slp.DocumentLength(), nvars);
+    Result<Query> query = Query::Compile(pattern, "ab");
+    SLPSPAN_CHECK(query.ok());
+    const Engine engine(*query, doc);
+    const SpanTuple t = MidTuple(doc->length(), nvars);
     const double secs = bench::TimeSeconds([&] {
-      volatile bool r = ev.CheckModel(slp, t);
-      (void)r;
+      Result<bool> r = engine.Matches(t);
+      SLPSPAN_CHECK(r.ok());
     });
-    table.AddRow({std::to_string(nvars), std::to_string(sp->NumStates()),
+    table.AddRow({std::to_string(nvars), std::to_string(query->num_states()),
                   bench::FmtMicros(secs)});
   }
   table.Print();

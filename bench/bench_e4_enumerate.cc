@@ -6,6 +6,10 @@
 //       chain SLP (depth ~ d) and the rebalanced chain — per-result delay
 //       must track depth(S), the paper's headline O(log d) claim.
 
+// Deliberately benchmarks the *internal* evaluator (core/evaluator.h): it
+// times the Prepare() phase and per-result delay in isolation, which the
+// public facade intentionally hides behind the Document cache.
+
 #include "core/evaluator.h"
 #include "harness.h"
 #include "slp/balance.h"

@@ -4,25 +4,25 @@
 //
 // Compressibility dial: doc = Block^t for a fixed 64-byte block, t sweeping
 // from 1 (incompressible representation, s ~ d) to 2^14 (s ~ log d). Task:
-// prepare + enumerate the first 64 results. The uncompressed baseline pays
-// O(d) preprocessing on the expanded text; the compressed side pays O(s).
-// The crossover sits where s stops being comparable to d.
+// prepare + stream the first 64 results via Engine::Extract with a limit (the
+// facade's early-exit path). The uncompressed baseline pays O(d)
+// preprocessing on the expanded text; the compressed side pays O(s). The
+// crossover sits where s stops being comparable to d.
 
-#include "core/evaluator.h"
 #include "harness.h"
-#include "slp/factory.h"
-#include "spanner/ref_eval.h"
-#include "spanner/spanner.h"
-#include "textgen/textgen.h"
+#include "slpspan/reference.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
 
 namespace slpspan {
 namespace {
 
 void RunE5() {
   // One match per block copy.
-  Result<Spanner> sp = Spanner::Compile(".*x{needle}.*", "abcdelnst ");
-  SLPSPAN_CHECK(sp.ok());
-  SpannerEvaluator ev(*sp);
+  const std::string pattern = ".*x{needle}.*";
+  Result<Query> query = Query::Compile(pattern, "abcdelnst ");
+  SLPSPAN_CHECK(query.ok());
+  Result<Spanner> sp = Spanner::Compile(pattern, "abcdelnst ");
   RefEvaluator ref(*sp);
 
   const std::string block =
@@ -40,12 +40,14 @@ void RunE5() {
 
     const double t_slp = bench::TimeSeconds(
         [&] {
-          const PreparedDocument prep = ev.Prepare(slp);
+          // Fresh Document per rep: include the preparation, not a cache hit.
+          const Engine engine(*query, Document::FromSlp(slp));
           uint64_t taken = 0;
-          for (CompressedEnumerator e = ev.Enumerate(prep);
-               e.Valid() && taken < 64; e.Next()) {
+          for (ResultStream s = engine.Extract({.limit = 64}); s.Valid();
+               s.Next()) {
             ++taken;
           }
+          (void)taken;
         },
         /*reps=*/2);
 

@@ -5,6 +5,10 @@
 // with m while the document (a^(2^16), 17 rules) stays fixed. The table
 // reports t_prepare and the normalized t / (s * q^3) constant.
 
+// Deliberately benchmarks the *internal* evaluator (core/evaluator.h): it
+// isolates the Prepare() phase, which the public facade hides behind the
+// Document cache.
+
 #include "core/evaluator.h"
 #include "harness.h"
 #include "slp/factory.h"

@@ -2,17 +2,13 @@
 // evaluation pipeline (paper Section 1.1: "algorithms for SLP-compressed
 // data carry over to practical formats"). For each workload and compressor:
 // compression ratio, depth, construction time, and downstream evaluation
-// cost (Prepare + full enumeration).
+// cost (prepare + full streaming enumeration), all through the public
+// Document / Engine facade.
 
-#include "core/evaluator.h"
 #include "harness.h"
-#include "slp/balance.h"
-#include "slp/factory.h"
-#include "slp/lz77.h"
-#include "slp/lz78.h"
-#include "slp/repair.h"
-#include "spanner/spanner.h"
-#include "textgen/textgen.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
+#include "util/stopwatch.h"
 
 namespace slpspan {
 namespace {
@@ -44,9 +40,8 @@ void RunE7() {
   };
 
   for (const Workload& w : workloads) {
-    Result<Spanner> sp = Spanner::Compile(w.pattern, w.alphabet);
-    SLPSPAN_CHECK(sp.ok());
-    SpannerEvaluator ev(*sp);
+    Result<Query> query = Query::Compile(w.pattern, w.alphabet);
+    SLPSPAN_CHECK(query.ok());
 
     bench::Table table("E7: compressors on " + w.name + " (d = " +
                            bench::FmtCount(w.text.size()) + ")",
@@ -55,53 +50,44 @@ void RunE7() {
 
     struct Entry {
       const char* name;
-      Slp slp;
+      DocumentPtr doc;
       double build_secs;
     };
     std::vector<Entry> entries;
-    {
+    const auto add = [&](const char* name, auto build) {
       Stopwatch sw;
-      Slp slp = RePairCompress(w.text);
-      entries.push_back({"RePair", std::move(slp), sw.ElapsedSeconds()});
-    }
-    {
-      Stopwatch sw;
-      Slp slp = Lz78Compress(w.text);
-      entries.push_back({"LZ78", std::move(slp), sw.ElapsedSeconds()});
-    }
-    {
-      Stopwatch sw;
-      Slp slp = Lz77Compress(w.text);
-      entries.push_back({"LZ77 (AVL)", std::move(slp), sw.ElapsedSeconds()});
-    }
-    {
-      Stopwatch sw;
-      Slp slp = Rebalance(Lz78Compress(w.text));
-      entries.push_back({"LZ78+rebalance", std::move(slp), sw.ElapsedSeconds()});
-    }
-    {
-      Stopwatch sw;
-      Slp slp = SlpFromString(w.text);
-      entries.push_back({"balanced tree", std::move(slp), sw.ElapsedSeconds()});
-    }
+      DocumentPtr doc = build();
+      entries.push_back({name, std::move(doc), sw.ElapsedSeconds()});
+    };
+    add("RePair", [&] { return *Document::FromText(w.text, Compression::kRePair); });
+    add("LZ78", [&] { return *Document::FromText(w.text, Compression::kLz78); });
+    add("LZ77 (AVL)",
+        [&] { return *Document::FromText(w.text, Compression::kLz77); });
+    add("LZ78+rebalance", [&] {
+      return Document::FromSlp(
+          Rebalance((*Document::FromText(w.text, Compression::kLz78))->slp()));
+    });
+    add("balanced tree",
+        [&] { return *Document::FromText(w.text, Compression::kBalanced); });
 
     for (const Entry& entry : entries) {
       uint64_t results = 0;
       const double eval_secs = bench::TimeSeconds(
           [&] {
-            const PreparedDocument prep = ev.Prepare(entry.slp);
+            // Fresh Document wrapper so every run pays the preparation.
+            const Engine engine(*query, Document::FromSlp(entry.doc->slp()));
             results = 0;
-            for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
+            for (ResultStream s = engine.Extract(); s.Valid(); s.Next()) {
               ++results;
             }
           },
           /*reps=*/1);
       table.AddRow(
-          {entry.name, bench::FmtCount(entry.slp.PaperSize()),
+          {entry.name, bench::FmtCount(entry.doc->slp().PaperSize()),
            bench::FmtDouble(static_cast<double>(w.text.size()) /
-                                static_cast<double>(entry.slp.PaperSize()),
+                                static_cast<double>(entry.doc->slp().PaperSize()),
                             1),
-           std::to_string(entry.slp.depth()),
+           std::to_string(entry.doc->slp().depth()),
            bench::FmtDouble(entry.build_secs * 1e3, 1),
            bench::FmtDouble(eval_secs * 1e3, 1), bench::FmtCount(results)});
     }

@@ -2,6 +2,10 @@
 // what AVL rebalancing costs (size, build time) and what it buys
 // (logarithmic depth, hence enumeration delay and model-checking cost).
 
+// Deliberately benchmarks the *internal* evaluator (core/evaluator.h) to
+// isolate the rebalancing phase; the public facade exposes the same switch
+// as QueryOptions::rebalance.
+
 #include "core/evaluator.h"
 #include "harness.h"
 #include "slp/balance.h"

@@ -1,43 +1,41 @@
-// Experiment E9 — the counting / random-access extension (core/count.h):
-// counting |⟦M⟧(D)| in O(size(S) * q^2) beats enumerating all r results once
-// r >> s, and Select() retrieves arbitrary results in O(depth(S) * q) —
-// independent of r and of the position of the result in the order.
+// Experiment E9 — the counting / random-access extension on the public
+// facade: Engine::Count answers |⟦M⟧(D)| in O(size(S) * q^2), beating
+// enumerating all r results once r >> s, and Engine::At retrieves arbitrary
+// results in O(depth(S) * q) — independent of r and of the position of the
+// result in the order.
 
-#include "core/count.h"
-#include "core/evaluator.h"
 #include "harness.h"
-#include "slp/factory.h"
-#include "spanner/spanner.h"
+#include "slpspan/slpspan.h"
 #include "util/rng.h"
 
 namespace slpspan {
 namespace {
 
 void RunE9() {
-  Result<Spanner> sp = Spanner::Compile("a*x{aa}a*", "a");
-  SLPSPAN_CHECK(sp.ok());
-  SpannerEvaluator ev(*sp);
+  Result<Query> query = Query::Compile("a*x{aa}a*", "a");
+  SLPSPAN_CHECK(query.ok());
 
   bench::Table table("E9a: counting vs full enumeration",
                      {"k", "d", "r", "t_count (us)", "t_enumerate (us)", "speedup"});
   for (uint32_t k = 8; k <= 22; k += 2) {
     const Slp slp = SlpPowerString('a', k);
-    const PreparedDocument prep = ev.Prepare(slp);
 
     uint64_t r_count = 0;
     const double t_count = bench::TimeSeconds([&] {
-      const CountTables counter = ev.BuildCounter(prep);
-      r_count = counter.Total();
+      // Fresh Document per rep: include preparation + counting-table build.
+      const Engine engine(*query, Document::FromSlp(slp));
+      Result<CountInfo> count = engine.Count();
+      SLPSPAN_CHECK(count.ok());
+      r_count = count->value;
     });
 
     double t_enum = -1;
     if (k <= 18) {
       t_enum = bench::TimeSeconds(
           [&] {
+            const Engine engine(*query, Document::FromSlp(slp));
             uint64_t n = 0;
-            for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
-              ++n;
-            }
+            for (ResultStream s = engine.Extract(); s.Valid(); s.Next()) ++n;
           },
           /*reps=*/1);
     }
@@ -49,19 +47,20 @@ void RunE9() {
   }
   table.Print();
 
-  bench::Table table2("E9b: random access (Select) — per-call latency",
-                      {"k", "r", "t_select (ns/call)"});
+  bench::Table table2("E9b: random access (Engine::At) — per-call latency",
+                      {"k", "r", "t_at (ns/call)"});
   Rng rng(99);
   for (uint32_t k : {12u, 16u, 20u, 24u, 28u}) {
-    const Slp slp = SlpPowerString('a', k);
-    const PreparedDocument prep = ev.Prepare(slp);
-    const CountTables counter = ev.BuildCounter(prep);
-    const uint64_t total = counter.Total();
+    const Engine engine(*query, Document::FromSlp(SlpPowerString('a', k)));
+    Result<CountInfo> count = engine.Count();  // warms tables + counter
+    SLPSPAN_CHECK(count.ok());
+    const uint64_t total = count->value;
     const int calls = 2000;
     const double secs = bench::TimeSeconds([&] {
       for (int c = 0; c < calls; ++c) {
-        volatile uint64_t sink =
-            counter.Select(rng.Below(total)).entries().front().pos;
+        Result<SpanTuple> t = engine.At(rng.Below(total));
+        SLPSPAN_CHECK(t.ok());
+        volatile uint64_t sink = t->Get(0)->begin;
         (void)sink;
       }
     });
@@ -71,7 +70,7 @@ void RunE9() {
   table2.Print();
   std::printf(
       "\nExpected shape: E9a — counting time is r-independent (flat in the\n"
-      "sweep) while enumeration grows linearly with r; E9b — Select latency\n"
+      "sweep) while enumeration grows linearly with r; E9b — At latency\n"
       "grows ~linearly in depth(S) = k+O(1), even as r reaches 2^28.\n");
 }
 

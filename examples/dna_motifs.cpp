@@ -3,19 +3,18 @@
 // Biological sequences with repeated regions compress well with grammar
 // compressors; spanners express "motif with context" queries naturally. The
 // example plants ACGTACGT motifs into a synthetic chromosome slice, keeps it
-// LZ78-compressed (rebalanced for the O(log d) delay guarantee), and
-// extracts every motif with one base of flanking context.
+// LZ78-compressed, and streams every motif occurrence (with one base of
+// flanking context) out of Engine::Extract. The query is compiled with
+// rebalancing, so the O(log d) delay guarantee holds regardless of the
+// LZ78 grammar's shape.
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
 
-#include "core/evaluator.h"
-#include "slp/balance.h"
-#include "slp/lz78.h"
-#include "spanner/spanner.h"
-#include "textgen/textgen.h"
-#include "util/stopwatch.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
 
 int main() {
   using namespace slpspan;
@@ -23,36 +22,42 @@ int main() {
   const std::string dna = GenerateDna(
       {.length = 200000, .motif = "ACGTACGT", .motif_rate = 0.0008, .seed = 7});
 
-  Stopwatch build_sw;
-  const Slp slp = Rebalance(Lz78Compress(dna));
-  const Slp::Stats stats = slp.ComputeStats();
+  const auto build_start = std::chrono::steady_clock::now();
+  Result<DocumentPtr> doc = Document::FromText(dna, Compression::kLz78);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  const double build_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - build_start)
+                              .count();
+  const Slp::Stats stats = (*doc)->stats();
   std::printf("sequence   : %zu bases\n", dna.size());
   std::printf("SLP        : size(S)=%llu (ratio %.1fx), depth=%u, built in %.1f ms\n",
               static_cast<unsigned long long>(stats.paper_size),
-              stats.compression_ratio, stats.depth, build_sw.ElapsedMillis());
+              stats.compression_ratio, stats.depth, build_ms);
 
-  Result<Spanner> spanner =
-      Spanner::Compile(".*l{[ACGT]}m{ACGTACGT}r{[ACGT]}.*", "ACGT");
-  if (!spanner.ok()) {
-    std::fprintf(stderr, "%s\n", spanner.status().ToString().c_str());
+  Result<Query> query = Query::Compile(".*l{[ACGT]}m{ACGTACGT}r{[ACGT]}.*",
+                                       "ACGT", {.rebalance = true});
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
 
-  SpannerEvaluator evaluator(*spanner);
-  Stopwatch eval_sw;
-  const PreparedDocument prep = evaluator.Prepare(slp);
-
-  uint64_t count = 0;
+  Engine engine(*query, *doc);
+  const auto eval_start = std::chrono::steady_clock::now();
   std::map<std::string, uint64_t> context_histogram;
-  for (CompressedEnumerator e = evaluator.Enumerate(prep); e.Valid(); e.Next()) {
-    const SpanTuple t = e.Current();
+  const uint64_t count = engine.Extract([&](const SpanTuple& t) {
     const std::string left = dna.substr(t.Get(0)->begin - 1, 1);
     const std::string right = dna.substr(t.Get(2)->begin - 1, 1);
     ++context_histogram[left + "_" + right];
-    ++count;
-  }
+    return true;
+  });
+  const double eval_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - eval_start)
+                             .count();
   std::printf("extraction : %llu motif occurrences in %.1f ms\n",
-              static_cast<unsigned long long>(count), eval_sw.ElapsedMillis());
+              static_cast<unsigned long long>(count), eval_ms);
 
   std::printf("\nflanking-context histogram (left_right -> count):\n");
   for (const auto& [ctx, n] : context_histogram) {

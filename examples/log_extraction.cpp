@@ -3,18 +3,27 @@
 // Machine-generated logs are extremely repetitive, so they compress well —
 // which makes them exactly the "big data" regime the paper targets: keep the
 // log compressed, evaluate spanners on the SLP directly. This example
-// extracts (user, action) pairs from failed requests (status=500) and
-// compares against evaluating on the raw text.
+// extracts (user, action) pairs from failed requests (status=500) using the
+// streaming Engine::Extract (only the first 8 tuples are rendered; the rest
+// are merely counted) and compares against evaluating on the raw text.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
-#include "core/evaluator.h"
-#include "slp/repair.h"
-#include "spanner/ref_eval.h"
-#include "spanner/spanner.h"
-#include "textgen/textgen.h"
-#include "util/stopwatch.h"
+#include "slpspan/reference.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 int main() {
   using namespace slpspan;
@@ -25,48 +34,57 @@ int main() {
   for (char c = 32; c < 127; ++c) alphabet += c;
   alphabet += '\n';
 
-  Result<Spanner> spanner = Spanner::Compile(
-      ".*user=x{u[0-9]+} action=y{[A-Z]+} status=500\n.*", alphabet);
-  if (!spanner.ok()) {
-    std::fprintf(stderr, "%s\n", spanner.status().ToString().c_str());
+  const std::string pattern =
+      ".*user=x{u[0-9]+} action=y{[A-Z]+} status=500\n.*";
+  Result<Query> query = Query::Compile(pattern, alphabet);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
 
-  Stopwatch compress_sw;
-  const Slp slp = RePairCompress(log);
-  const double compress_ms = compress_sw.ElapsedMillis();
-  const Slp::Stats stats = slp.ComputeStats();
+  const auto compress_start = std::chrono::steady_clock::now();
+  Result<DocumentPtr> doc = Document::FromText(log);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  const double compress_ms = MillisSince(compress_start);
+  const Slp::Stats stats = (*doc)->stats();
   std::printf("log          : %zu bytes, %u lines\n", log.size(), 2000u);
   std::printf("RePair SLP   : size(S)=%llu (ratio %.1fx), depth=%u, built in %.1f ms\n",
               static_cast<unsigned long long>(stats.paper_size),
               stats.compression_ratio, stats.depth, compress_ms);
 
-  SpannerEvaluator evaluator(*spanner);
-  Stopwatch eval_sw;
-  const PreparedDocument prep = evaluator.Prepare(slp);
-  uint64_t matches = 0;
+  Engine engine(*query, *doc);
+  const auto eval_start = std::chrono::steady_clock::now();
   std::printf("\nfirst failed requests (user, action):\n");
-  for (CompressedEnumerator e = evaluator.Enumerate(prep); e.Valid(); e.Next()) {
-    if (matches < 8) {
-      const SpanTuple t = e.Current();
-      std::printf("  user=%-4s action=%s\n",
-                  log.substr(t.Get(0)->begin - 1, t.Get(0)->length()).c_str(),
-                  log.substr(t.Get(1)->begin - 1, t.Get(1)->length()).c_str());
-    }
-    ++matches;
+  const uint64_t matches = engine.Extract([&](const SpanTuple& t) {
+    std::printf("  user=%-4s action=%s\n",
+                log.substr(t.Get(0)->begin - 1, t.Get(0)->length()).c_str(),
+                log.substr(t.Get(1)->begin - 1, t.Get(1)->length()).c_str());
+    return true;
+  }, {.limit = 8});
+  // The display stopped early; the exact total needs no enumeration at all.
+  Result<CountInfo> total = engine.Count();
+  const double compressed_ms = MillisSince(eval_start);
+  std::printf("total matches: %llu\n",
+              static_cast<unsigned long long>(total.ok() ? total->value : 0));
+  (void)matches;
+
+  // Uncompressed comparison (slpspan/reference.h baseline).
+  Result<Spanner> ref_spanner = Spanner::Compile(pattern, alphabet);
+  if (!ref_spanner.ok()) {
+    std::fprintf(stderr, "%s\n", ref_spanner.status().ToString().c_str());
+    return 1;
   }
-  const double compressed_ms = eval_sw.ElapsedMillis();
-  std::printf("total matches: %llu\n", static_cast<unsigned long long>(matches));
-
-  // Uncompressed comparison.
-  RefEvaluator ref(*spanner);
-  Stopwatch ref_sw;
+  RefEvaluator ref(*ref_spanner);
+  const auto ref_start = std::chrono::steady_clock::now();
   const uint64_t ref_matches = ref.ComputeAll(log).size();
-  const double ref_ms = ref_sw.ElapsedMillis();
+  const double ref_ms = MillisSince(ref_start);
 
-  std::printf("\ncompressed evaluation : %.1f ms (prepare + enumerate)\n",
+  std::printf("\ncompressed evaluation : %.1f ms (prepare + stream + count)\n",
               compressed_ms);
   std::printf("uncompressed baseline : %.1f ms (%llu matches)\n", ref_ms,
               static_cast<unsigned long long>(ref_matches));
-  return matches == ref_matches ? 0 : 1;
+  return total.ok() && total->value == ref_matches ? 0 : 1;
 }

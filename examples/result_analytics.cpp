@@ -2,22 +2,18 @@
 //
 // On a gigabyte-scale document represented by a 33-rule grammar, a simple
 // spanner has ~10^9 results. Enumerating them all is already linear work —
-// but with the counting/random-access extension (core/count.h) the library
-// answers aggregate questions *without* enumerating:
-//   * exact |⟦M⟧(D)| in microseconds,
-//   * uniform random samples of the result set (Select = O(depth) per draw),
+// but the Engine answers aggregate questions *without* enumerating:
+//   * Count()  — exact |⟦M⟧(D)| in microseconds,
+//   * Sample() — uniform random draws from the result set,
+//   * At(i)    — random access to the i-th result in canonical order,
 // which is how one would power an "estimated matches" UI or a statistical
 // profile of the extraction on compressed archives.
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 
-#include "core/count.h"
-#include "core/evaluator.h"
-#include "slp/factory.h"
-#include "spanner/spanner.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
+#include "slpspan/slpspan.h"
 
 int main() {
   using namespace slpspan;
@@ -26,42 +22,46 @@ int main() {
   CnfAssembler assembler;
   NtId root = assembler.Pair(assembler.Leaf('a'), assembler.Leaf('b'));
   for (int i = 0; i < 29; ++i) root = assembler.Pair(root, root);
-  const Slp slp = assembler.Finish(root);
+  DocumentPtr doc = Document::FromSlp(assembler.Finish(root));
   std::printf("document : %llu symbols in %u rules (depth %u)\n",
-              static_cast<unsigned long long>(slp.DocumentLength()),
-              slp.NumNonTerminals(), slp.depth());
+              static_cast<unsigned long long>(doc->length()),
+              doc->slp().NumNonTerminals(), doc->slp().depth());
 
-  Result<Spanner> spanner = Spanner::Compile("(ab)*x{ab(ab)?}(ab)*", "ab");
-  if (!spanner.ok()) {
-    std::fprintf(stderr, "%s\n", spanner.status().ToString().c_str());
+  Result<Query> query = Query::Compile("(ab)*x{ab(ab)?}(ab)*", "ab");
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
-  SpannerEvaluator evaluator(*spanner);
+  Engine engine(*query, doc);
 
-  Stopwatch prep_sw;
-  const PreparedDocument prep = evaluator.Prepare(slp);
-  std::printf("prepare  : %.1f us (Lemma 6.5 tables)\n", prep_sw.ElapsedMicros());
-
-  Stopwatch count_sw;
-  const CountTables counter = evaluator.BuildCounter(prep);
-  std::printf("count    : %llu results in %.1f us%s\n",
-              static_cast<unsigned long long>(counter.Total()),
-              count_sw.ElapsedMicros(),
-              counter.overflowed() ? " (saturated)" : "");
+  const auto count_start = std::chrono::steady_clock::now();
+  Result<CountInfo> count = engine.Count();
+  const double count_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - count_start)
+                              .count();
+  if (!count.ok()) {
+    std::fprintf(stderr, "%s\n", count.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("count    : %llu results in %.1f us (prepare + count)%s\n",
+              static_cast<unsigned long long>(count->value), count_us,
+              count->exact ? "" : " (saturated)");
 
   // Uniform sample: how are the matched span lengths distributed?
-  Rng rng(7);
-  std::map<uint64_t, uint64_t> length_histogram;
   const int kSamples = 10000;
-  Stopwatch sample_sw;
-  for (int i = 0; i < kSamples; ++i) {
-    const SpanTuple t =
-        evaluator.TupleOf(counter.Select(rng.Below(counter.Total())));
-    ++length_histogram[t.Get(0)->length()];
+  const auto sample_start = std::chrono::steady_clock::now();
+  Result<std::vector<SpanTuple>> sample = engine.Sample(kSamples, /*seed=*/7);
+  const double sample_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - sample_start)
+                               .count();
+  if (!sample.ok()) {
+    std::fprintf(stderr, "%s\n", sample.status().ToString().c_str());
+    return 1;
   }
+  std::map<uint64_t, uint64_t> length_histogram;
+  for (const SpanTuple& t : *sample) ++length_histogram[t.Get(0)->length()];
   std::printf("sampling : %d draws in %.1f ms (%.1f us/draw)\n", kSamples,
-              sample_sw.ElapsedMillis(),
-              sample_sw.ElapsedMicros() / kSamples);
+              sample_ms, sample_ms * 1000.0 / kSamples);
   std::printf("\nspan-length distribution over the sample:\n");
   for (const auto& [len, n] : length_histogram) {
     std::printf("  |x| = %llu : %5.2f%%\n", static_cast<unsigned long long>(len),

@@ -3,21 +3,30 @@
 // A document with many near-identical revisions (wiki history, config
 // snapshots, backups) is the canonical SLP win: the grammar stores shared
 // content once. This example keeps 60 revisions compressed, persists the
-// grammar to disk, reloads it, and answers spanner queries on the reloaded
-// SLP — demonstrating the full storage pipeline plus the sub-linear regime
-// where the compressed evaluation beats scanning the expanded text.
+// grammar to disk with Document::Save, reloads it with Document::FromSlpFile
+// (untrusted input is re-validated, bad files surface as Status), and
+// answers spanner queries on the reloaded document — demonstrating the full
+// storage pipeline plus the sub-linear regime where compressed evaluation
+// beats scanning the expanded text.
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <string>
 
-#include "core/evaluator.h"
-#include "slp/repair.h"
-#include "slp/serialize.h"
-#include "spanner/ref_eval.h"
-#include "spanner/spanner.h"
-#include "textgen/textgen.h"
-#include "util/stopwatch.h"
+#include "slpspan/reference.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 int main() {
   using namespace slpspan;
@@ -25,10 +34,14 @@ int main() {
   const std::string store = GenerateVersionedDoc(
       {.base_length = 4000, .versions = 60, .edit_rate = 0.002, .seed = 31});
 
-  Stopwatch compress_sw;
-  const Slp slp = RePairCompress(store);
-  const double compress_ms = compress_sw.ElapsedMillis();
-  const Slp::Stats stats = slp.ComputeStats();
+  const auto compress_start = std::chrono::steady_clock::now();
+  Result<DocumentPtr> compressed = Document::FromText(store);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "%s\n", compressed.status().ToString().c_str());
+    return 1;
+  }
+  const double compress_ms = MillisSince(compress_start);
+  const Slp::Stats stats = (*compressed)->stats();
   std::printf("store      : %zu bytes (60 revisions)\n", store.size());
   std::printf("RePair SLP : size(S)=%llu (ratio %.1fx), depth=%u, %.1f ms\n",
               static_cast<unsigned long long>(stats.paper_size),
@@ -36,13 +49,13 @@ int main() {
 
   // Persist + reload — the store lives on disk as a grammar.
   const std::string path = "/tmp/slpspan_versioned_store.slp";
-  if (!SaveSlpToFile(slp, path).ok()) {
+  if (!(*compressed)->Save(path).ok()) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  Result<Slp> reloaded = LoadSlpFromFile(path);
-  if (!reloaded.ok()) {
-    std::fprintf(stderr, "reload failed: %s\n", reloaded.status().ToString().c_str());
+  Result<DocumentPtr> doc = Document::FromSlpFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "reload failed: %s\n", doc.status().ToString().c_str());
     return 1;
   }
   std::printf("persisted  : %s, reloaded and validated\n", path.c_str());
@@ -59,28 +72,37 @@ int main() {
     }
   }
   const std::string pattern = ".*x{" + needle + "[a-z]*}.*";
-  Result<Spanner> spanner =
-      Spanner::Compile(pattern, "abcdefghijklmnopqrstuvwxyz ,.\n");
-  if (!spanner.ok()) {
-    std::fprintf(stderr, "%s\n", spanner.status().ToString().c_str());
+  const std::string alphabet = "abcdefghijklmnopqrstuvwxyz ,.\n";
+  Result<Query> query = Query::Compile(pattern, alphabet);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
     return 1;
   }
-  SpannerEvaluator evaluator(*spanner);
 
-  Stopwatch slp_sw;
-  const uint64_t compressed_count = evaluator.CountAll(*reloaded);
-  const double slp_ms = slp_sw.ElapsedMillis();
+  Engine engine(*query, *doc);
+  const auto slp_start = std::chrono::steady_clock::now();
+  Result<CountInfo> compressed_count = engine.Count();
+  const double slp_ms = MillisSince(slp_start);
+  if (!compressed_count.ok()) {
+    std::fprintf(stderr, "%s\n", compressed_count.status().ToString().c_str());
+    return 1;
+  }
 
-  RefEvaluator ref(*spanner);
-  Stopwatch ref_sw;
+  Result<Spanner> ref_spanner = Spanner::Compile(pattern, alphabet);
+  if (!ref_spanner.ok()) {
+    std::fprintf(stderr, "%s\n", ref_spanner.status().ToString().c_str());
+    return 1;
+  }
+  RefEvaluator ref(*ref_spanner);
+  const auto ref_start = std::chrono::steady_clock::now();
   const uint64_t ref_count = ref.ComputeAll(store).size();
-  const double ref_ms = ref_sw.ElapsedMillis();
+  const double ref_ms = MillisSince(ref_start);
 
   std::printf("\nquery \"%s\"\n", pattern.c_str());
   std::printf("  compressed   : %llu matches in %.1f ms\n",
-              static_cast<unsigned long long>(compressed_count), slp_ms);
+              static_cast<unsigned long long>(compressed_count->value), slp_ms);
   std::printf("  uncompressed : %llu matches in %.1f ms\n",
               static_cast<unsigned long long>(ref_count), ref_ms);
   std::remove(path.c_str());
-  return compressed_count == ref_count ? 0 : 1;
+  return compressed_count->value == ref_count ? 0 : 1;
 }

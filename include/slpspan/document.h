@@ -1,0 +1,110 @@
+// Document — an immutable, shared handle on an SLP-compressed document.
+//
+// Documents are always held by shared_ptr (DocumentPtr): engines, streams
+// and application code can share one compressed document without lifetime
+// bookkeeping — the old PreparedDocument "must outlive the enumerator"
+// footgun is gone, a ResultStream keeps everything it reads from alive.
+//
+// Each Document owns a per-query cache of prepared evaluation state (the
+// sentinel-extended grammar plus the Lemma 6.5 tables, built in
+// O(|M| + size(S)·q³)). The first Engine operation that needs the tables
+// pays that cost; every later operation with the same Query — from any
+// Engine or thread — reuses the cached state. cache_stats() makes the
+// hit/miss behaviour observable.
+//
+// Loading and compression errors (unreadable files, corrupt .slp input,
+// empty documents) surface as Result<DocumentPtr>.
+
+#ifndef SLPSPAN_PUBLIC_DOCUMENT_H_
+#define SLPSPAN_PUBLIC_DOCUMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "slp/slp.h"
+#include "slpspan/query.h"
+#include "slpspan/status.h"
+
+namespace slpspan {
+
+namespace api_internal {
+struct PreparedState;
+}  // namespace api_internal
+
+class Document;
+
+/// Documents are immutable; share them freely.
+using DocumentPtr = std::shared_ptr<const Document>;
+
+/// Grammar compressor used by Document::FromText / FromFile.
+enum class Compression {
+  kRePair,    ///< greedy digram replacement — best ratio on repetitive text
+  kLz78,      ///< LZ78 parse converted to an SLP — fastest construction
+  kLz77,      ///< LZ77 parse converted to an SLP (Theorem 4.6 route)
+  kBalanced,  ///< balanced hash-consed grammar — O(log d) depth guarantee
+};
+
+class Document {
+ public:
+  /// Compresses `text` into an SLP. Fails with kInvalidArgument on empty
+  /// input (an SLP derives exactly one non-empty document).
+  static Result<DocumentPtr> FromText(std::string_view text,
+                                      Compression method = Compression::kRePair);
+
+  /// Reads a raw text file and compresses it.
+  static Result<DocumentPtr> FromFile(const std::string& path,
+                                      Compression method = Compression::kRePair);
+
+  /// Wraps an already-built grammar (see slpspan/slp.h for constructions).
+  static DocumentPtr FromSlp(Slp slp);
+
+  /// Loads a persisted `.slp` grammar. Untrusted input is fully re-validated;
+  /// fails with kCorruption instead of trusting the file.
+  static Result<DocumentPtr> FromSlpFile(const std::string& path);
+
+  /// Persists the grammar in the textual `.slp` format.
+  Status Save(const std::string& path) const;
+
+  /// The underlying grammar (normal form, Section 4).
+  const Slp& slp() const { return slp_; }
+
+  /// d — length of the represented document.
+  uint64_t length() const { return slp_.DocumentLength(); }
+
+  Slp::Stats stats() const { return slp_.ComputeStats(); }
+
+  /// Observability for the per-query prepared-state cache.
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;  ///< == number of preparations paid for
+    uint64_t entries = 0;
+  };
+  CacheStats cache_stats() const;
+
+ private:
+  friend class Engine;
+
+  explicit Document(Slp slp) : slp_(std::move(slp)) {}
+
+  /// Returns the prepared state for `query`, building and caching it on
+  /// first use. Thread-safe; the expensive build runs outside the lock.
+  std::shared_ptr<const api_internal::PreparedState> PreparedFor(
+      const Query& query) const;
+
+  const Slp slp_;
+
+  mutable std::mutex mu_;
+  mutable std::unordered_map<uint64_t,
+                             std::shared_ptr<const api_internal::PreparedState>>
+      cache_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_PUBLIC_DOCUMENT_H_

@@ -1,0 +1,11 @@
+// Public re-export of the uncompressed reference evaluator — the O(d)
+// baseline that evaluates a spanner directly on the plain text. Exposed for
+// crossover benchmarks and differential testing against the compressed
+// engine; production callers want slpspan/engine.h.
+
+#ifndef SLPSPAN_PUBLIC_REFERENCE_H_
+#define SLPSPAN_PUBLIC_REFERENCE_H_
+
+#include "spanner/ref_eval.h"
+
+#endif  // SLPSPAN_PUBLIC_REFERENCE_H_

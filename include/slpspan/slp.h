@@ -1,0 +1,19 @@
+// Public SLP surface: the grammar value type (slpspan::Slp, paper Section 4)
+// plus the constructions callers legitimately reach for directly —
+// CnfAssembler and the closed-form compressible families (SlpPowerString,
+// SlpFibonacci, ...) used to build documents far larger than memory.
+//
+// Most callers never touch this header: Document::FromText / FromSlpFile
+// cover the compress-and-load paths. It exists for programmatic grammar
+// construction (Document::FromSlp) and direct inspection via
+// Document::slp().
+
+#ifndef SLPSPAN_PUBLIC_SLP_H_
+#define SLPSPAN_PUBLIC_SLP_H_
+
+#include "slp/balance.h"
+#include "slp/factory.h"
+#include "slp/serialize.h"
+#include "slp/slp.h"
+
+#endif  // SLPSPAN_PUBLIC_SLP_H_

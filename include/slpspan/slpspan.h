@@ -1,0 +1,32 @@
+// slpspan — spanner evaluation over SLP-compressed documents.
+//
+// Umbrella header for the public API. The three nouns:
+//
+//   Document  — immutable shared handle on a compressed document; owns the
+//               grammar and a per-query cache of prepared evaluation state.
+//   Query     — a compiled spanner; built once, reused across documents,
+//               safe for concurrent use.
+//   Engine    — binds Query × Document; non-emptiness, model checking,
+//               streaming extraction, counting, random access, sampling.
+//
+// Quickstart:
+//
+//   auto query = slpspan::Query::Compile("(b|c)*x{a}.*y{cc*}.*", "abc");
+//   auto doc   = slpspan::Document::FromText("abcca");
+//   if (!query.ok() || !doc.ok()) { /* recoverable Status, not a crash */ }
+//   slpspan::Engine engine(*query, *doc);
+//   for (const slpspan::SpanTuple& t : engine.Extract({.limit = 10})) {
+//     ...                       // lazily computed, early exit after 10
+//   }
+
+#ifndef SLPSPAN_PUBLIC_SLPSPAN_H_
+#define SLPSPAN_PUBLIC_SLPSPAN_H_
+
+#include "slpspan/document.h"
+#include "slpspan/engine.h"
+#include "slpspan/query.h"
+#include "slpspan/slp.h"
+#include "slpspan/status.h"
+#include "slpspan/types.h"
+
+#endif  // SLPSPAN_PUBLIC_SLPSPAN_H_

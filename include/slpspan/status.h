@@ -1,0 +1,14 @@
+// Public error-handling surface: slpspan::Status, slpspan::StatusCode and
+// slpspan::Result<T>.
+//
+// Every fallible entry point of the public API (compiling a Query, loading a
+// Document, model checking a candidate tuple, random access into the result
+// set) returns Status or Result<T>; malformed user input never aborts the
+// process. Internal invariant violations still use SLPSPAN_CHECK.
+
+#ifndef SLPSPAN_PUBLIC_STATUS_H_
+#define SLPSPAN_PUBLIC_STATUS_H_
+
+#include "util/status.h"
+
+#endif  // SLPSPAN_PUBLIC_STATUS_H_

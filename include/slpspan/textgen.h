@@ -1,0 +1,11 @@
+// Public re-export of the deterministic workload generators (logs, DNA with
+// planted motifs, versioned-document chains, random/repeated strings) used
+// by the examples and benchmarks. All generators are seeded and
+// platform-stable.
+
+#ifndef SLPSPAN_PUBLIC_TEXTGEN_H_
+#define SLPSPAN_PUBLIC_TEXTGEN_H_
+
+#include "textgen/textgen.h"
+
+#endif  // SLPSPAN_PUBLIC_TEXTGEN_H_

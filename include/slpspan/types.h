@@ -1,0 +1,16 @@
+// Public value types of the result model (paper Section 3):
+//   * slpspan::Span        — [begin, end>, 1-based, half-open,
+//   * slpspan::SpanTuple   — partial map variable -> span (⊥ allowed),
+//   * slpspan::VariableSet — variable-name registry (VarId is dense),
+//   * slpspan::VarId.
+//
+// These are the types streamed out of Engine::Extract and accepted by
+// Engine::Matches.
+
+#ifndef SLPSPAN_PUBLIC_TYPES_H_
+#define SLPSPAN_PUBLIC_TYPES_H_
+
+#include "spanner/span.h"
+#include "spanner/variables.h"
+
+#endif  // SLPSPAN_PUBLIC_TYPES_H_

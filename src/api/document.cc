@@ -1,0 +1,85 @@
+#include "slpspan/document.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "api/internal.h"
+#include "slp/factory.h"
+#include "slp/lz77.h"
+#include "slp/lz78.h"
+#include "slp/repair.h"
+#include "slp/serialize.h"
+
+namespace slpspan {
+
+Result<DocumentPtr> Document::FromText(std::string_view text,
+                                       Compression method) {
+  if (text.empty()) {
+    return Status::InvalidArgument(
+        "cannot compress an empty document (an SLP derives exactly one "
+        "non-empty string)");
+  }
+  switch (method) {
+    case Compression::kRePair:
+      return FromSlp(RePairCompress(text));
+    case Compression::kLz78:
+      return FromSlp(Lz78Compress(text));
+    case Compression::kLz77:
+      return FromSlp(Lz77Compress(text));
+    case Compression::kBalanced:
+      return FromSlp(SlpFromString(text));
+  }
+  return Status::InvalidArgument("unknown compression method");
+}
+
+Result<DocumentPtr> Document::FromFile(const std::string& path,
+                                       Compression method) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return FromText(ss.str(), method);
+}
+
+DocumentPtr Document::FromSlp(Slp slp) {
+  // Private constructor — not reachable by make_shared.
+  return DocumentPtr(new Document(std::move(slp)));
+}
+
+Result<DocumentPtr> Document::FromSlpFile(const std::string& path) {
+  Result<Slp> slp = LoadSlpFromFile(path);
+  if (!slp.ok()) return slp.status();
+  return FromSlp(std::move(slp).value());
+}
+
+Status Document::Save(const std::string& path) const {
+  return SaveSlpToFile(slp_, path);
+}
+
+Document::CacheStats Document::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CacheStats{hits_, misses_, cache_.size()};
+}
+
+std::shared_ptr<const api_internal::PreparedState> Document::PreparedFor(
+    const Query& query) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = cache_.find(query.id());
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  lock.unlock();
+  // Build outside the lock: preparation is O(|M| + size(S)·q³) and must not
+  // serialize unrelated queries. A racing builder for the same query is
+  // harmless — the first insert wins below.
+  auto prep = std::make_shared<api_internal::PreparedState>(
+      query.state_->evaluator.Prepare(slp_));
+  lock.lock();
+  auto [pos, inserted] = cache_.emplace(query.id(), std::move(prep));
+  return pos->second;
+}
+
+}  // namespace slpspan

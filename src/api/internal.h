@@ -1,0 +1,108 @@
+// Shared implementation state behind the public API handles. Private to
+// src/api/; public headers only forward-declare these types.
+
+#ifndef SLPSPAN_API_INTERNAL_H_
+#define SLPSPAN_API_INTERNAL_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/count.h"
+#include "core/enumerate.h"
+#include "core/evaluator.h"
+#include "slpspan/document.h"
+#include "slpspan/engine.h"
+#include "slpspan/query.h"
+#include "spanner/spanner.h"
+
+namespace slpspan {
+namespace api_internal {
+
+/// Compiled-query state shared by all copies of one Query.
+struct QueryState {
+  uint64_t id = 0;
+  QueryOptions options;
+  Spanner spanner;
+  SpannerEvaluator evaluator;
+
+  QueryState(uint64_t id_in, QueryOptions options_in, Spanner spanner_in,
+             SpannerEvaluator evaluator_in)
+      : id(id_in),
+        options(options_in),
+        spanner(std::move(spanner_in)),
+        evaluator(std::move(evaluator_in)) {}
+};
+
+/// Per-(document, query) prepared evaluation state: the sentinel-extended
+/// grammar + Lemma 6.5 tables, plus lazily-built counting tables. Cached
+/// inside the Document and shared by every Engine/ResultStream that uses it.
+struct PreparedState {
+  explicit PreparedState(PreparedDocument prepared_in)
+      : prepared(std::move(prepared_in)) {}
+
+  const PreparedDocument prepared;
+
+  /// Counting tables for Count/At/Sample; built once on first use. The
+  /// caller must ensure the query is determinized (CountTables requires it).
+  const CountTables& Counter(const SpannerEvaluator& evaluator) const {
+    std::call_once(counter_once_, [&] {
+      counter_.emplace(prepared.slp(), evaluator.eval_nfa(), prepared.tables());
+    });
+    return *counter_;
+  }
+
+ private:
+  mutable std::once_flag counter_once_;
+  mutable std::optional<CountTables> counter_;
+};
+
+/// Everything a live ResultStream owns. Declaration order matters: the
+/// enumerator borrows from `query`/`prep`, so they must be initialized
+/// first and destroyed last.
+struct StreamState {
+  Query query;
+  DocumentPtr document;
+  std::shared_ptr<const PreparedState> prep;
+  CompressedEnumerator enumerator;
+  std::optional<uint64_t> limit;
+  SpanTuple current;
+  uint64_t emitted = 0;
+  bool valid = false;
+
+  StreamState(Query query_in, DocumentPtr document_in,
+              std::shared_ptr<const PreparedState> prep_in, const Nfa* eval_nfa,
+              uint32_t num_vars, std::optional<uint64_t> limit_in)
+      : query(std::move(query_in)),
+        document(std::move(document_in)),
+        prep(std::move(prep_in)),
+        enumerator(&prep->prepared.slp(), eval_nfa, &prep->prepared.tables(),
+                   num_vars),
+        limit(limit_in) {
+    if (enumerator.Valid() && (!limit || *limit > 0)) {
+      current = enumerator.Current();
+      emitted = 1;
+      valid = true;
+    }
+  }
+
+  void Advance() {
+    SLPSPAN_CHECK(valid);
+    if (limit && emitted >= *limit) {
+      valid = false;  // early exit: never compute tuples past the limit
+      return;
+    }
+    enumerator.Next();
+    if (!enumerator.Valid()) {
+      valid = false;
+      return;
+    }
+    current = enumerator.Current();
+    ++emitted;
+  }
+};
+
+}  // namespace api_internal
+}  // namespace slpspan
+
+#endif  // SLPSPAN_API_INTERNAL_H_

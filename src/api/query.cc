@@ -1,0 +1,57 @@
+#include "slpspan/query.h"
+
+#include <atomic>
+#include <utility>
+
+#include "api/internal.h"
+
+namespace slpspan {
+
+namespace {
+
+uint64_t NextQueryId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Result<Query> Query::Wrap(Spanner spanner, QueryOptions opts) {
+  Result<SpannerEvaluator> evaluator = SpannerEvaluator::Make(
+      spanner, {.determinize = opts.determinize, .rebalance = opts.rebalance});
+  if (!evaluator.ok()) return evaluator.status();
+  auto state = std::make_shared<api_internal::QueryState>(
+      NextQueryId(), opts, std::move(spanner), std::move(evaluator).value());
+  return Query(std::move(state));
+}
+
+Result<Query> Query::Compile(std::string_view pattern,
+                             std::string_view alphabet, QueryOptions opts) {
+  Result<Spanner> spanner = Spanner::Compile(pattern, alphabet);
+  if (!spanner.ok()) return spanner.status();
+  return Wrap(std::move(spanner).value(), opts);
+}
+
+Result<Query> Query::FromAutomaton(Nfa raw, VariableSet vars,
+                                   QueryOptions opts) {
+  Result<Spanner> spanner =
+      Spanner::FromAutomaton(std::move(raw), std::move(vars));
+  if (!spanner.ok()) return spanner.status();
+  return Wrap(std::move(spanner).value(), opts);
+}
+
+const std::string& Query::pattern() const { return state_->spanner.pattern(); }
+
+const VariableSet& Query::vars() const { return state_->evaluator.vars(); }
+
+uint32_t Query::num_vars() const { return state_->evaluator.num_vars(); }
+
+uint32_t Query::num_states() const {
+  return state_->evaluator.eval_nfa().NumStates();
+}
+
+const QueryOptions& Query::options() const { return state_->options; }
+
+uint64_t Query::id() const { return state_->id; }
+
+}  // namespace slpspan

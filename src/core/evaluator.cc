@@ -8,15 +8,35 @@
 
 namespace slpspan {
 
-SpannerEvaluator::SpannerEvaluator(const Spanner& spanner, EvaluatorOptions opts)
-    : vars_(spanner.vars()), opts_(opts) {
+SpannerEvaluator::SpannerEvaluator(const Spanner& spanner, EvaluatorOptions opts) {
+  opts_ = opts;
+  const Status st = Init(spanner);
+  SLPSPAN_CHECK(st.ok());
+}
+
+Result<SpannerEvaluator> SpannerEvaluator::Make(const Spanner& spanner,
+                                                EvaluatorOptions opts) {
+  SpannerEvaluator ev;
+  ev.opts_ = opts;
+  Status st = ev.Init(spanner);
+  if (!st.ok()) return st;
+  return ev;
+}
+
+Status SpannerEvaluator::Init(const Spanner& spanner) {
+  vars_ = spanner.vars();
   const Nfa& norm = spanner.normalized();
   nonempty_nfa_ = Normalize(ProjectMarkersToEps(norm));
   model_nfa_ = AppendSentinel(norm);
   Nfa eval = model_nfa_;
   if (opts_.determinize) eval = Trim(Determinize(eval));
   eval_nfa_ = std::move(eval);
-  SLPSPAN_CHECK(eval_nfa_.NumStates() <= 0xFFFF);  // states packed in 16 bits
+  if (eval_nfa_.NumStates() > 0xFFFF) {  // states packed in 16 bits
+    return Status::NotSupported(
+        "evaluation automaton has " + std::to_string(eval_nfa_.NumStates()) +
+        " states; the packed tables support at most 65535");
+  }
+  return Status::OK();
 }
 
 bool SpannerEvaluator::CheckNonEmptiness(const Slp& slp) const {

@@ -58,7 +58,14 @@ class PreparedDocument {
 
 class SpannerEvaluator {
  public:
+  /// CHECK-fails when the evaluation automaton exceeds the 16-bit state
+  /// budget; use Make() where that must surface as a recoverable error.
   explicit SpannerEvaluator(const Spanner& spanner, EvaluatorOptions opts = {});
+
+  /// Status-returning factory: kNotSupported when the (possibly determinized)
+  /// evaluation automaton does not fit the packed 16-bit state encoding.
+  static Result<SpannerEvaluator> Make(const Spanner& spanner,
+                                       EvaluatorOptions opts = {});
 
   /// ⟦M⟧(D) ≠ ∅ — Theorem 5.1(1), O(|M| + size(S)·q³).
   bool CheckNonEmptiness(const Slp& slp) const;
@@ -94,6 +101,9 @@ class SpannerEvaluator {
   const Nfa& nonemptiness_nfa() const { return nonempty_nfa_; }
 
  private:
+  SpannerEvaluator() = default;
+  Status Init(const Spanner& spanner);
+
   VariableSet vars_;
   EvaluatorOptions opts_;
   Nfa nonempty_nfa_;  // char-only projection of the normalized automaton

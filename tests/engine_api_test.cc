@@ -1,0 +1,332 @@
+// Tests for the public facade (include/slpspan/): Document / Query / Engine,
+// streaming extraction with early exit, prepared-state cache behaviour, and
+// the Status-based error paths at the API boundary.
+
+#include "slpspan/slpspan.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::ExpectSameTupleSet;
+using testing_util::Tup;
+
+Query CompileIntro() {
+  Result<Query> q = Query::Compile("(b|c)*x{a}.*y{cc*}.*", "abc");
+  SLPSPAN_CHECK(q.ok());
+  return *q;
+}
+
+// The paper's introduction example on D = "abcca": the expected ⟦M⟧(D).
+std::vector<SpanTuple> IntroExpected() {
+  return {Tup({Span{1, 2}, Span{3, 4}}), Tup({Span{1, 2}, Span{3, 5}}),
+          Tup({Span{1, 2}, Span{4, 5}})};
+}
+
+TEST(EngineApi, QuickstartPipeline) {
+  Query query = CompileIntro();
+  Result<DocumentPtr> doc = Document::FromText("abcca");
+  ASSERT_TRUE(doc.ok());
+  Engine engine(query, *doc);
+
+  EXPECT_TRUE(engine.IsNonEmpty());
+  ExpectSameTupleSet(IntroExpected(), engine.ExtractAll());
+
+  Result<CountInfo> count = engine.Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_TRUE(count->exact);
+  EXPECT_EQ(3u, count->value);
+}
+
+TEST(EngineApi, RangeForStreaming) {
+  Query query = CompileIntro();
+  Result<DocumentPtr> doc = Document::FromText("abcca");
+  ASSERT_TRUE(doc.ok());
+  Engine engine(query, *doc);
+
+  std::vector<SpanTuple> seen;
+  for (const SpanTuple& t : engine.Extract()) seen.push_back(t);
+  ExpectSameTupleSet(IntroExpected(), seen);
+}
+
+TEST(EngineApi, SinkOverloadEarlyExit) {
+  Query query = CompileIntro();
+  Result<DocumentPtr> doc = Document::FromText("abcca");
+  ASSERT_TRUE(doc.ok());
+  Engine engine(query, *doc);
+
+  uint64_t calls = 0;
+  const uint64_t delivered = engine.Extract([&](const SpanTuple&) {
+    ++calls;
+    return calls < 2;  // stop after the second tuple
+  });
+  EXPECT_EQ(2u, delivered);
+  EXPECT_EQ(2u, calls);
+
+  // Limit in options caps delivery too.
+  calls = 0;
+  EXPECT_EQ(1u, engine.Extract([&](const SpanTuple&) { ++calls; return true; },
+                               {.limit = 1}));
+  EXPECT_EQ(1u, calls);
+}
+
+TEST(EngineApi, LimitZeroSkipsPreparation) {
+  Query query = CompileIntro();
+  Result<DocumentPtr> doc = Document::FromText("abcca");
+  ASSERT_TRUE(doc.ok());
+  Engine engine(query, *doc);
+  ResultStream stream = engine.Extract({.limit = 0});
+  EXPECT_FALSE(stream.Valid());
+  EXPECT_EQ(0u, stream.num_emitted());
+  // A stream that may emit nothing must not pay the preparation.
+  EXPECT_EQ(0u, (*doc)->cache_stats().misses);
+}
+
+// Acceptance-criterion test: Extract with limit=1 must perform early exit on
+// a document whose full result set is far too large to materialize. D =
+// a^(2^20) with x{a*} has ~2^39 results; computing them all would run for
+// days, so the test passing at all demonstrates laziness.
+TEST(EngineApi, LimitOneEarlyExitOnHugeResultSet) {
+  Result<Query> query = Query::Compile(".*x{a*}.*", "a");
+  ASSERT_TRUE(query.ok());
+  DocumentPtr doc = Document::FromSlp(SlpPowerString('a', 20));
+  Engine engine(*query, doc);
+
+  ResultStream stream = engine.Extract({.limit = 1});
+  ASSERT_TRUE(stream.Valid());
+  stream.Next();
+  EXPECT_FALSE(stream.Valid());
+  EXPECT_EQ(1u, stream.num_emitted());
+
+  // The result count really is astronomically large.
+  Result<CountInfo> count = engine.Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(count->value, uint64_t{1} << 38);
+}
+
+TEST(EngineApi, StreamOutlivesEngineAndCallerHandles) {
+  // The stream owns the query, the document and the prepared tables; the
+  // caller may drop every other handle mid-iteration.
+  ResultStream stream = [] {
+    Query query = CompileIntro();
+    Result<DocumentPtr> doc = Document::FromText("abcca");
+    SLPSPAN_CHECK(doc.ok());
+    Engine engine(query, *doc);
+    return engine.Extract();
+  }();
+  std::vector<SpanTuple> seen;
+  for (const SpanTuple& t : stream) seen.push_back(t);
+  ExpectSameTupleSet(IntroExpected(), seen);
+}
+
+TEST(EngineApi, QueryReuseAcrossDocuments) {
+  Query query = CompileIntro();
+  Result<DocumentPtr> d1 = Document::FromText("abcca");
+  Result<DocumentPtr> d2 = Document::FromText("bbbb", Compression::kBalanced);
+  Result<DocumentPtr> d3 = Document::FromText("acac", Compression::kLz78);
+  ASSERT_TRUE(d1.ok() && d2.ok() && d3.ok());
+
+  EXPECT_TRUE(Engine(query, *d1).IsNonEmpty());
+  EXPECT_FALSE(Engine(query, *d2).IsNonEmpty());  // no 'a' followed by c-block
+  EXPECT_TRUE(Engine(query, *d3).IsNonEmpty());
+
+  EXPECT_EQ(3u, Engine(query, *d1).ExtractAll().size());
+  EXPECT_EQ(0u, Engine(query, *d2).ExtractAll().size());
+}
+
+TEST(EngineApi, DocumentReuseAcrossQueriesWithObservableCache) {
+  Result<DocumentPtr> doc = Document::FromText("abccaabcca");
+  ASSERT_TRUE(doc.ok());
+  Result<Query> q1 = Query::Compile(".*x{a}.*", "abc");
+  Result<Query> q2 = Query::Compile(".*y{cc}.*", "abc");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+
+  EXPECT_EQ(0u, (*doc)->cache_stats().misses);
+
+  Engine e1(*q1, *doc);
+  Engine e2(*q2, *doc);
+  (void)e1.ExtractAll();  // prepares for q1 (miss)
+  (void)e2.ExtractAll();  // prepares for q2 (miss)
+  Document::CacheStats stats = (*doc)->cache_stats();
+  EXPECT_EQ(2u, stats.misses);
+  EXPECT_EQ(2u, stats.entries);
+
+  // Re-running either query — even through a fresh Engine — hits the cache.
+  (void)e1.Count();
+  (void)Engine(*q1, *doc).ExtractAll();
+  (void)Engine(*q2, *doc).ExtractAll();
+  stats = (*doc)->cache_stats();
+  EXPECT_EQ(2u, stats.misses) << "prepared state must not be rebuilt";
+  EXPECT_GE(stats.hits, 3u);
+  EXPECT_EQ(2u, stats.entries);
+
+  // A copy of a Query shares its compiled state and therefore its cache slot.
+  Query q1_copy = *q1;
+  (void)Engine(q1_copy, *doc).ExtractAll();
+  EXPECT_EQ(2u, (*doc)->cache_stats().misses);
+}
+
+TEST(EngineApi, MalformedRegexIsRecoverable) {
+  Result<Query> bad = Query::Compile("x{a", "abc");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(StatusCode::kParseError, bad.status().code());
+
+  Result<Query> bad2 = Query::Compile("(a", "abc");
+  ASSERT_FALSE(bad2.ok());
+  EXPECT_EQ(StatusCode::kParseError, bad2.status().code());
+}
+
+TEST(EngineApi, CorruptSlpFileIsRecoverable) {
+  const std::string path = ::testing::TempDir() + "/corrupt.slp";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(nullptr, f);
+    std::fputs("slpspan-slp v1\nnts 2 root 7\nL 0 97\nP 1 0 5\n", f);
+    std::fclose(f);
+  }
+  Result<DocumentPtr> doc = Document::FromSlpFile(path);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(StatusCode::kCorruption, doc.status().code());
+  std::remove(path.c_str());
+
+  Result<DocumentPtr> missing = Document::FromSlpFile("/nonexistent/x.slp");
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST(EngineApi, EmptyTextIsRecoverable) {
+  Result<DocumentPtr> doc = Document::FromText("");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, doc.status().code());
+}
+
+TEST(EngineApi, MatchesValidatesTuples) {
+  Query query = CompileIntro();
+  Result<DocumentPtr> doc = Document::FromText("abcca");
+  ASSERT_TRUE(doc.ok());
+  Engine engine(query, *doc);
+
+  Result<bool> good = engine.Matches(Tup({Span{1, 2}, Span{3, 5}}));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(*good);
+
+  Result<bool> no = engine.Matches(Tup({Span{2, 3}, Span{3, 5}}));
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+
+  // Arity mismatch: recoverable error instead of a CHECK-abort.
+  Result<bool> arity = engine.Matches(Tup({Span{1, 2}}));
+  ASSERT_FALSE(arity.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, arity.status().code());
+
+  // Span past the end of the 5-symbol document.
+  Result<bool> range = engine.Matches(Tup({Span{1, 2}, Span{3, 99}}));
+  ASSERT_FALSE(range.ok());
+  EXPECT_EQ(StatusCode::kOutOfRange, range.status().code());
+}
+
+TEST(EngineApi, AtAndSample) {
+  Query query = CompileIntro();
+  Result<DocumentPtr> doc = Document::FromText("abcca");
+  ASSERT_TRUE(doc.ok());
+  Engine engine(query, *doc);
+
+  // At enumerates the same set as Extract.
+  std::vector<SpanTuple> via_at;
+  for (uint64_t i = 0; i < 3; ++i) {
+    Result<SpanTuple> t = engine.At(i);
+    ASSERT_TRUE(t.ok());
+    via_at.push_back(*t);
+  }
+  ExpectSameTupleSet(IntroExpected(), via_at);
+
+  Result<SpanTuple> oob = engine.At(3);
+  ASSERT_FALSE(oob.ok());
+  EXPECT_EQ(StatusCode::kOutOfRange, oob.status().code());
+
+  Result<std::vector<SpanTuple>> sample = engine.Sample(64, /*seed=*/7);
+  ASSERT_TRUE(sample.ok());
+  ASSERT_EQ(64u, sample->size());
+  const std::vector<SpanTuple> all = engine.ExtractAll();
+  for (const SpanTuple& t : *sample) {
+    EXPECT_NE(std::find(all.begin(), all.end(), t), all.end());
+  }
+}
+
+TEST(EngineApi, SampleFromEmptyResultSet) {
+  Result<Query> query = Query::Compile("x{b}", "ab");
+  ASSERT_TRUE(query.ok());
+  DocumentPtr doc = *Document::FromText("aaaa", Compression::kBalanced);
+  Engine engine(*query, doc);
+  EXPECT_FALSE(engine.IsNonEmpty());
+  Result<std::vector<SpanTuple>> sample = engine.Sample(5);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_TRUE(sample->empty());
+}
+
+TEST(EngineApi, NonDeterminizedQueryFallbacks) {
+  Result<Query> query =
+      Query::Compile("(b|c)*x{a}.*y{cc*}.*", "abc", {.determinize = false});
+  ASSERT_TRUE(query.ok());
+  DocumentPtr doc = *Document::FromText("abcca");
+  Engine engine(*query, doc);
+
+  // Count falls back to the deduplicating materialization: still exact.
+  Result<CountInfo> count = engine.Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(3u, count->value);
+  EXPECT_TRUE(count->exact);
+
+  EXPECT_EQ(StatusCode::kNotSupported, engine.At(0).status().code());
+  EXPECT_EQ(StatusCode::kNotSupported, engine.Sample(1).status().code());
+}
+
+TEST(EngineApi, RebalanceOptionMatchesPlain) {
+  Result<Query> plain = Query::Compile(".*x{ab}.*", "ab");
+  Result<Query> rebal = Query::Compile(".*x{ab}.*", "ab", {.rebalance = true});
+  ASSERT_TRUE(plain.ok() && rebal.ok());
+  DocumentPtr doc = Document::FromSlp(SlpChainFromString("abababab"));
+  ExpectSameTupleSet(Engine(*plain, doc).ExtractAll(),
+                     Engine(*rebal, doc).ExtractAll());
+}
+
+TEST(EngineApi, SaveAndReload) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.slp";
+  DocumentPtr doc = *Document::FromText("abccaabcca");
+  ASSERT_TRUE(doc->Save(path).ok());
+  Result<DocumentPtr> reloaded = Document::FromSlpFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(doc->length(), (*reloaded)->length());
+  EXPECT_EQ(doc->slp().ExpandToString(), (*reloaded)->slp().ExpandToString());
+  std::remove(path.c_str());
+}
+
+TEST(EngineApi, FromAutomatonQuery) {
+  // Figure 2 spanner, hand-built automaton, via the public facade.
+  VariableSet vars;
+  const VarId x = vars.Intern("x").value();
+  Nfa nfa;
+  for (int s = 1; s <= 3; ++s) nfa.AddState();
+  nfa.AddCharArc(0, 'a', 0);
+  nfa.AddCharArc(0, 'b', 0);
+  nfa.AddMarkArc(0, OpenMarker(x), 1);
+  nfa.AddCharArc(1, 'b', 2);
+  nfa.AddMarkArc(2, CloseMarker(x), 3);
+  nfa.SetAccepting(3);
+  // Accepts only documents ending in b, capturing that b.
+  Result<Query> query = Query::FromAutomaton(std::move(nfa), std::move(vars));
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(1u, query->num_vars());
+
+  DocumentPtr doc = *Document::FromText("aab", Compression::kBalanced);
+  ExpectSameTupleSet({Tup({Span{3, 4}})}, Engine(*query, doc).ExtractAll());
+}
+
+}  // namespace
+}  // namespace slpspan

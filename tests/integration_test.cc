@@ -1,20 +1,16 @@
 // Integration tests: full pipelines from raw text through compression,
 // (de)serialization, balancing and evaluation, cross-validated against the
-// uncompressed reference evaluator on realistic generated workloads.
+// uncompressed reference evaluator on realistic generated workloads — all
+// driven through the public facade (Document / Query / Engine).
 
 #include <cstdio>
 #include <string>
 
 #include "gtest/gtest.h"
-#include "core/evaluator.h"
-#include "slp/balance.h"
-#include "slp/factory.h"
-#include "slp/lz78.h"
-#include "slp/repair.h"
-#include "slp/serialize.h"
-#include "spanner/ref_eval.h"
+#include "slpspan/reference.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
 #include "test_util.h"
-#include "textgen/textgen.h"
 
 namespace slpspan {
 namespace {
@@ -28,33 +24,34 @@ std::string FullAsciiAlphabet() {
   return alphabet;
 }
 
-std::vector<SpanTuple> DrainAll(const SpannerEvaluator& ev,
-                                const PreparedDocument& prep) {
+std::vector<SpanTuple> DrainStream(const Engine& engine) {
   std::vector<SpanTuple> out;
-  for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
-    out.push_back(e.Current());
+  for (ResultStream s = engine.Extract(); s.Valid(); s.Next()) {
+    out.push_back(s.Current());
   }
   return out;
 }
 
 TEST(Integration, LogPipelineExtractErrorActions) {
   const std::string log = GenerateLog({.lines = 120, .distinct_users = 4, .seed = 21});
-  Result<Spanner> sp =
-      Spanner::Compile(".*user=x{u[0-9]+} action=y{[A-Z]+} status=500\n.*",
-                       FullAsciiAlphabet());
-  ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+  const std::string pattern = ".*user=x{u[0-9]+} action=y{[A-Z]+} status=500\n.*";
+  Result<Query> query = Query::Compile(pattern, FullAsciiAlphabet());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
 
+  Result<Spanner> sp = Spanner::Compile(pattern, FullAsciiAlphabet());
+  ASSERT_TRUE(sp.ok());
   RefEvaluator ref(*sp);
   const std::vector<SpanTuple> expected = ref.ComputeAll(log);
 
-  SpannerEvaluator ev(*sp);
-  for (const Slp& slp : {RePairCompress(log), Lz78Compress(log),
-                         Rebalance(Lz78Compress(log))}) {
-    ASSERT_EQ(slp.ExpandToString(), log);
-    const PreparedDocument prep = ev.Prepare(slp);
-    ExpectSameTupleSet(expected, ev.ComputeAll(prep));
-    ExpectSameTupleSet(expected, DrainAll(ev, prep));
-    EXPECT_EQ(ev.CheckNonEmptiness(slp), !expected.empty());
+  for (Compression method :
+       {Compression::kRePair, Compression::kLz78, Compression::kBalanced}) {
+    Result<DocumentPtr> doc = Document::FromText(log, method);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_EQ((*doc)->slp().ExpandToString(), log);
+    const Engine engine(*query, *doc);
+    ExpectSameTupleSet(expected, engine.ExtractAll());
+    ExpectSameTupleSet(expected, DrainStream(engine));
+    EXPECT_EQ(engine.IsNonEmpty(), !expected.empty());
   }
 }
 
@@ -63,95 +60,110 @@ TEST(Integration, DnaMotifContextExtraction) {
       GenerateDna({.length = 3000, .motif = "ACGTACGT", .motif_rate = 0.004,
                    .seed = 22});
   // Capture each planted motif with one base of left/right context.
-  Result<Spanner> sp =
-      Spanner::Compile(".*l{[ACGT]}m{ACGTACGT}r{[ACGT]}.*", "ACGT");
+  const std::string pattern = ".*l{[ACGT]}m{ACGTACGT}r{[ACGT]}.*";
+  Result<Query> query = Query::Compile(pattern, "ACGT");
+  ASSERT_TRUE(query.ok());
+  Result<Spanner> sp = Spanner::Compile(pattern, "ACGT");
   ASSERT_TRUE(sp.ok());
   RefEvaluator ref(*sp);
-  SpannerEvaluator ev(*sp);
-  const Slp slp = RePairCompress(dna);
-  ExpectSameTupleSet(ref.ComputeAll(dna), ev.ComputeAll(slp));
+  Result<DocumentPtr> doc = Document::FromText(dna);
+  ASSERT_TRUE(doc.ok());
+  ExpectSameTupleSet(ref.ComputeAll(dna), Engine(*query, *doc).ExtractAll());
 }
 
 TEST(Integration, VersionedDocPipelineWithSerialization) {
-  const std::string doc =
+  const std::string text =
       GenerateVersionedDoc({.base_length = 250, .versions = 8, .seed = 23});
-  const Slp slp = RePairCompress(doc);
+  Result<DocumentPtr> compressed = Document::FromText(text);
+  ASSERT_TRUE(compressed.ok());
 
   // Persist, reload, evaluate on the reloaded grammar.
   const std::string path = ::testing::TempDir() + "/slpspan_integration.slp";
-  ASSERT_TRUE(SaveSlpToFile(slp, path).ok());
-  Result<Slp> reloaded = LoadSlpFromFile(path);
+  ASSERT_TRUE((*compressed)->Save(path).ok());
+  Result<DocumentPtr> reloaded = Document::FromSlpFile(path);
   ASSERT_TRUE(reloaded.ok());
   std::remove(path.c_str());
 
-  Result<Spanner> sp = Spanner::Compile(".*x{ the }.*",
-                                        "abcdefghijklmnopqrstuvwxyz ,.\n");
+  const std::string pattern = ".*x{ the }.*";
+  const std::string alphabet = "abcdefghijklmnopqrstuvwxyz ,.\n";
+  Result<Query> query = Query::Compile(pattern, alphabet);
+  ASSERT_TRUE(query.ok());
+  Result<Spanner> sp = Spanner::Compile(pattern, alphabet);
   ASSERT_TRUE(sp.ok());
   RefEvaluator ref(*sp);
-  SpannerEvaluator ev(*sp);
-  ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(*reloaded));
+  ExpectSameTupleSet(ref.ComputeAll(text),
+                     Engine(*query, *reloaded).ExtractAll());
 }
 
 TEST(Integration, HugeSyntheticDocumentBeyondExpansion) {
   // A document of ~10^9 symbols defined purely by grammar: (ab)^(2^29).
   // Evaluation must finish off the 31-rule SLP; expansion would be 1 GiB.
-  Result<Spanner> sp = Spanner::Compile("(ab)*x{ab}(ab)*", "ab");
-  ASSERT_TRUE(sp.ok());
+  Result<Query> query = Query::Compile("(ab)*x{ab}(ab)*", "ab");
+  ASSERT_TRUE(query.ok());
   CnfAssembler a;
   NtId ab = a.Pair(a.Leaf('a'), a.Leaf('b'));
   for (int i = 0; i < 29; ++i) ab = a.Pair(ab, ab);
-  const Slp slp = a.Finish(ab);
-  ASSERT_EQ(slp.DocumentLength(), 1ull << 30);
+  const DocumentPtr doc = Document::FromSlp(a.Finish(ab));
+  ASSERT_EQ(doc->length(), 1ull << 30);
 
-  SpannerEvaluator ev(*sp);
-  EXPECT_TRUE(ev.CheckNonEmptiness(slp));
+  const Engine engine(*query, doc);
+  EXPECT_TRUE(engine.IsNonEmpty());
   // Model-check a specific deep match without expanding anything.
-  EXPECT_TRUE(ev.CheckModel(
-      slp, testing_util::Tup({Span{999999999, 1000000001}})));  // odd begin
-  EXPECT_FALSE(ev.CheckModel(
-      slp, testing_util::Tup({Span{1000000000, 1000000002}})));  // even begin
-  // Enumerate just the first few of the 2^29 results with bounded delay.
-  const PreparedDocument prep = ev.Prepare(slp);
-  CompressedEnumerator e = ev.Enumerate(prep);
-  int taken = 0;
-  for (; e.Valid() && taken < 1000; e.Next()) {
-    const SpanTuple t = e.Current();
+  Result<bool> deep =
+      engine.Matches(testing_util::Tup({Span{999999999, 1000000001}}));
+  ASSERT_TRUE(deep.ok());
+  EXPECT_TRUE(*deep);  // odd begin
+  Result<bool> off =
+      engine.Matches(testing_util::Tup({Span{1000000000, 1000000002}}));
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(*off);  // even begin
+  // Stream just the first 1000 of the 2^29 results with bounded delay.
+  uint64_t taken = 0;
+  for (const SpanTuple& t : engine.Extract({.limit = 1000})) {
     ASSERT_TRUE(t.Get(0).has_value());
     EXPECT_EQ(t.Get(0)->begin % 2, 1u);
     ++taken;
   }
-  EXPECT_EQ(taken, 1000);
+  EXPECT_EQ(taken, 1000u);
+  // And the counting extension sees all 2^29 without enumerating them.
+  Result<CountInfo> count = engine.Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->value, 1ull << 29);
 }
 
 TEST(Integration, FibonacciDocumentFactorSpans) {
   // All occurrences of "ab" in the 18th Fibonacci word, compressed natively.
+  Result<Query> query = Query::Compile(".*x{ab}.*", "ab");
+  ASSERT_TRUE(query.ok());
+  const DocumentPtr fib = Document::FromSlp(SlpFibonacci(18));
+  ASSERT_EQ(fib->length(), 2584u);  // fib(18)
   Result<Spanner> sp = Spanner::Compile(".*x{ab}.*", "ab");
   ASSERT_TRUE(sp.ok());
-  const Slp fib = SlpFibonacci(18);
-  ASSERT_EQ(fib.DocumentLength(), 2584u);  // fib(18)
-  SpannerEvaluator ev(*sp);
   RefEvaluator ref(*sp);
-  const std::string text = fib.ExpandToString();
-  const std::vector<SpanTuple> expected = ref.ComputeAll(text);
-  const PreparedDocument prep = ev.Prepare(fib);
-  ExpectSameTupleSet(expected, ev.ComputeAll(prep));
+  const std::vector<SpanTuple> expected =
+      ref.ComputeAll(fib->slp().ExpandToString());
+  ExpectSameTupleSet(expected, Engine(*query, fib).ExtractAll());
   EXPECT_GT(expected.size(), 500u);
 }
 
 TEST(Integration, MixedTasksOnOneDocument) {
-  const std::string doc = GenerateRepeated("abbcab", 40) + "cc";
+  const std::string text = GenerateRepeated("abbcab", 40) + "cc";
   const Spanner sp = testing_util::MakeFigure2Spanner();
-  SpannerEvaluator ev(sp);
+  Result<Query> query = Query::FromAutomaton(sp.raw(), sp.vars());
+  ASSERT_TRUE(query.ok());
   RefEvaluator ref(sp);
-  const Slp slp = Rebalance(RePairCompress(doc));
+  const DocumentPtr doc =
+      Document::FromSlp(Rebalance((*Document::FromText(text))->slp()));
 
-  ASSERT_EQ(ev.CheckNonEmptiness(slp), ref.CheckNonEmptiness(doc));
-  const std::vector<SpanTuple> expected = ref.ComputeAll(doc);
-  const PreparedDocument prep = ev.Prepare(slp);
-  ExpectSameTupleSet(expected, ev.ComputeAll(prep));
-  ExpectSameTupleSet(expected, DrainAll(ev, prep));
+  const Engine engine(*query, doc);
+  ASSERT_EQ(engine.IsNonEmpty(), ref.CheckNonEmptiness(text));
+  const std::vector<SpanTuple> expected = ref.ComputeAll(text);
+  ExpectSameTupleSet(expected, engine.ExtractAll());
+  ExpectSameTupleSet(expected, DrainStream(engine));
   for (size_t i = 0; i < expected.size(); i += 37) {
-    EXPECT_TRUE(ev.CheckModel(slp, expected[i]));
+    Result<bool> member = engine.Matches(expected[i]);
+    ASSERT_TRUE(member.ok());
+    EXPECT_TRUE(*member);
   }
 }
 

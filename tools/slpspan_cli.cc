@@ -1,4 +1,6 @@
-// slpspan — command-line front-end for the library.
+// slpspan — command-line front-end for the library, built entirely on the
+// public API (include/slpspan/): Document for storage, Query for compiled
+// patterns, Engine for evaluation.
 //
 //   slpspan compress  <in.txt> <out.slp> [--method=repair|lz77|lz78|balanced]
 //                     [--rebalance]
@@ -9,30 +11,21 @@
 //   slpspan sample    <in.slp> <pattern> <k> [--alphabet=...] [--seed=S]
 //   slpspan check     <in.slp> <pattern> (non-emptiness only)
 //
-// `extract` enumerates span-tuples (Theorem 8.10), `count`/`sample` use the
-// counting + random-access extension (core/count.h), `check` is Theorem
-// 5.1(1). Patterns use the spanner regex dialect (see spanner/regex_parser.h);
-// the alphabet defaults to printable ASCII + newline + tab.
+// `extract` streams span-tuples through Engine::Extract with early exit at
+// --limit (Theorem 8.10; tuples past the limit are never computed), `count`
+// uses the enumeration-free counting extension, `sample` draws uniformly
+// from the result set, `check` is Theorem 5.1(1). Patterns use the spanner
+// regex dialect (see README.md); the alphabet defaults to printable ASCII +
+// newline + tab.
 
+#include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/count.h"
-#include "core/evaluator.h"
-#include "slp/balance.h"
-#include "slp/factory.h"
-#include "slp/lz77.h"
-#include "slp/lz78.h"
-#include "slp/repair.h"
-#include "slp/serialize.h"
-#include "spanner/spanner.h"
-#include "textgen/textgen.h"
-#include "util/rng.h"
-#include "util/stopwatch.h"
+#include "slpspan/slpspan.h"
 
 namespace {
 
@@ -60,8 +53,23 @@ struct Flags {
   uint64_t limit = 20;
   uint64_t seed = 42;
   bool rebalance = false;
+  bool parse_error = false;
   std::vector<std::string> positional;
 };
+
+/// Strict decimal parse; rejects empty strings, sign characters, trailing
+/// garbage and overflow (no exceptions, no partial consumption).
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
 
 Flags ParseFlags(int argc, char** argv) {
   Flags flags;
@@ -75,9 +83,9 @@ Flags ParseFlags(int argc, char** argv) {
     } else if (arg.rfind("--alphabet=", 0) == 0) {
       flags.alphabet = arg.substr(11);
     } else if (arg.rfind("--limit=", 0) == 0) {
-      flags.limit = std::stoull(arg.substr(8));
+      flags.parse_error |= !ParseUint(arg.substr(8), &flags.limit);
     } else if (arg.rfind("--seed=", 0) == 0) {
-      flags.seed = std::stoull(arg.substr(7));
+      flags.parse_error |= !ParseUint(arg.substr(7), &flags.seed);
     } else if (arg == "--rebalance") {
       flags.rebalance = true;
     } else {
@@ -87,38 +95,43 @@ Flags ParseFlags(int argc, char** argv) {
   return flags;
 }
 
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
-  return true;
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  return 1;
 }
 
 int CmdCompress(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
-  std::string text;
-  if (!ReadFile(flags.positional[0], &text) || text.empty()) {
-    std::fprintf(stderr, "cannot read (non-empty) input %s\n",
-                 flags.positional[0].c_str());
+  std::ifstream in(flags.positional[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read input %s\n", flags.positional[0].c_str());
     return 1;
   }
-  Stopwatch sw;
-  Slp slp = [&] {
-    if (flags.method == "lz77") return Lz77Compress(text);
-    if (flags.method == "lz78") return Lz78Compress(text);
-    if (flags.method == "balanced") return SlpFromString(text);
-    return RePairCompress(text);
-  }();
-  if (flags.rebalance) slp = Rebalance(slp);
-  const double ms = sw.ElapsedMillis();
-  Status st = SaveSlpToFile(slp, flags.positional[1]);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  const Slp::Stats stats = slp.ComputeStats();
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  Compression method = Compression::kRePair;
+  if (flags.method == "lz77") method = Compression::kLz77;
+  else if (flags.method == "lz78") method = Compression::kLz78;
+  else if (flags.method == "balanced") method = Compression::kBalanced;
+  else if (flags.method != "repair") return Usage();
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<DocumentPtr> doc = Document::FromText(text, method);
+  if (!doc.ok()) return Fail(doc.status());
+  if (flags.rebalance) *doc = Document::FromSlp(Rebalance((*doc)->slp()));
+  const double ms = MillisSince(start);
+
+  Status st = (*doc)->Save(flags.positional[1]);
+  if (!st.ok()) return Fail(st);
+  const Slp::Stats stats = (*doc)->stats();
   std::printf("%s: %llu symbols -> size(S)=%llu (%.2fx), depth=%u, %.1f ms (%s)\n",
               flags.positional[1].c_str(),
               static_cast<unsigned long long>(stats.document_length),
@@ -127,19 +140,14 @@ int CmdCompress(const Flags& flags) {
   return 0;
 }
 
-Result<Slp> LoadOrDie(const std::string& path) { return LoadSlpFromFile(path); }
-
 int CmdDecompress(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
-  Result<Slp> slp = LoadOrDie(flags.positional[0]);
-  if (!slp.ok()) {
-    std::fprintf(stderr, "%s\n", slp.status().ToString().c_str());
-    return 1;
-  }
+  Result<DocumentPtr> doc = Document::FromSlpFile(flags.positional[0]);
+  if (!doc.ok()) return Fail(doc.status());
   std::ofstream out(flags.positional[1], std::ios::binary);
   std::string buffer;
   buffer.reserve(1 << 20);
-  slp->ForEachSymbol([&](SymbolId s) {
+  (*doc)->slp().ForEachSymbol([&](SymbolId s) {
     buffer.push_back(static_cast<char>(static_cast<unsigned char>(s)));
     if (buffer.size() >= (1 << 20)) {
       out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
@@ -152,12 +160,9 @@ int CmdDecompress(const Flags& flags) {
 
 int CmdStats(const Flags& flags) {
   if (flags.positional.size() != 1) return Usage();
-  Result<Slp> slp = LoadOrDie(flags.positional[0]);
-  if (!slp.ok()) {
-    std::fprintf(stderr, "%s\n", slp.status().ToString().c_str());
-    return 1;
-  }
-  const Slp::Stats s = slp->ComputeStats();
+  Result<DocumentPtr> doc = Document::FromSlpFile(flags.positional[0]);
+  if (!doc.ok()) return Fail(doc.status());
+  const Slp::Stats s = (*doc)->stats();
   std::printf("document length : %llu\n",
               static_cast<unsigned long long>(s.document_length));
   std::printf("non-terminals   : %u (%u inner, %u leaves)\n", s.non_terminals,
@@ -165,42 +170,36 @@ int CmdStats(const Flags& flags) {
   std::printf("size(S)         : %llu\n",
               static_cast<unsigned long long>(s.paper_size));
   std::printf("depth(S)        : %u%s\n", s.depth,
-              IsBalanced(*slp) ? " (balanced)" : "");
+              IsBalanced((*doc)->slp()) ? " (balanced)" : "");
   std::printf("ratio d/size(S) : %.2f\n", s.compression_ratio);
   return 0;
 }
 
-struct Query {
-  Slp slp;
-  Spanner spanner;
-};
-
-Result<Query> LoadQuery(const Flags& flags) {
-  Result<Slp> slp = LoadOrDie(flags.positional[0]);
-  if (!slp.ok()) return slp.status();
-  Result<Spanner> sp = Spanner::Compile(flags.positional[1], flags.alphabet);
-  if (!sp.ok()) return sp.status();
-  return Query{std::move(slp).value(), std::move(sp).value()};
+/// Loads the document and compiles the pattern into an Engine.
+Result<Engine> LoadEngine(const Flags& flags) {
+  Result<DocumentPtr> doc = Document::FromSlpFile(flags.positional[0]);
+  if (!doc.ok()) return doc.status();
+  Result<Query> query = Query::Compile(flags.positional[1], flags.alphabet);
+  if (!query.ok()) return query.status();
+  return Engine(std::move(query).value(), std::move(doc).value());
 }
 
 int CmdCheck(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
-  Result<Query> q = LoadQuery(flags);
-  if (!q.ok()) {
-    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
-    return 1;
-  }
-  SpannerEvaluator ev(q->spanner);
-  const bool nonempty = ev.CheckNonEmptiness(q->slp);
+  Result<Engine> engine = LoadEngine(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  const bool nonempty = engine->IsNonEmpty();
   std::printf("%s\n", nonempty ? "non-empty" : "empty");
   return nonempty ? 0 : 3;
 }
 
-void PrintTuple(const Slp& slp, const Spanner& sp, const SpanTuple& t) {
+void PrintTuple(const Engine& engine, const SpanTuple& t) {
+  const Slp& slp = engine.document()->slp();
+  const VariableSet& vars = engine.query().vars();
   std::printf("(");
   for (VarId v = 0; v < t.num_vars(); ++v) {
     if (v > 0) std::printf(", ");
-    std::printf("%s=", sp.vars().Name(v).c_str());
+    std::printf("%s=", vars.Name(v).c_str());
     if (!t.Get(v).has_value()) {
       std::printf("_");
       continue;
@@ -220,18 +219,15 @@ void PrintTuple(const Slp& slp, const Spanner& sp, const SpanTuple& t) {
 
 int CmdExtract(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
-  Result<Query> q = LoadQuery(flags);
-  if (!q.ok()) {
-    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
-    return 1;
-  }
-  SpannerEvaluator ev(q->spanner);
-  const PreparedDocument prep = ev.Prepare(q->slp);
-  uint64_t shown = 0;
-  for (CompressedEnumerator e = ev.Enumerate(prep);
-       e.Valid() && shown < flags.limit; e.Next(), ++shown) {
-    PrintTuple(q->slp, q->spanner, e.Current());
-  }
+  Result<Engine> engine = LoadEngine(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  // Streaming with early exit: tuples past --limit are never computed.
+  const uint64_t shown = engine->Extract(
+      [&](const SpanTuple& t) {
+        PrintTuple(*engine, t);
+        return true;
+      },
+      {.limit = flags.limit});
   std::printf("(%llu shown; --limit to change)\n",
               static_cast<unsigned long long>(shown));
   return 0;
@@ -239,43 +235,29 @@ int CmdExtract(const Flags& flags) {
 
 int CmdCount(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
-  Result<Query> q = LoadQuery(flags);
-  if (!q.ok()) {
-    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
-    return 1;
-  }
-  SpannerEvaluator ev(q->spanner);
-  const PreparedDocument prep = ev.Prepare(q->slp);
-  const CountTables counter = ev.BuildCounter(prep);
-  std::printf("%llu%s\n", static_cast<unsigned long long>(counter.Total()),
-              counter.overflowed() ? "+ (overflowed; lower bound)" : "");
+  Result<Engine> engine = LoadEngine(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  Result<CountInfo> count = engine->Count();
+  if (!count.ok()) return Fail(count.status());
+  std::printf("%llu%s\n", static_cast<unsigned long long>(count->value),
+              count->exact ? "" : "+ (overflowed; lower bound)");
   return 0;
 }
 
 int CmdSample(const Flags& flags) {
   if (flags.positional.size() != 3) return Usage();
-  Result<Query> q = LoadQuery(flags);
-  if (!q.ok()) {
-    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
-    return 1;
-  }
-  const uint64_t k = std::stoull(flags.positional[2]);
-  SpannerEvaluator ev(q->spanner);
-  const PreparedDocument prep = ev.Prepare(q->slp);
-  const CountTables counter = ev.BuildCounter(prep);
-  if (counter.overflowed()) {
-    std::fprintf(stderr, "result count exceeds 2^64; cannot sample uniformly\n");
-    return 1;
-  }
-  if (counter.Total() == 0) {
+  uint64_t k = 0;
+  if (!ParseUint(flags.positional[2], &k)) return Usage();
+  Result<Engine> engine = LoadEngine(flags);
+  if (!engine.ok()) return Fail(engine.status());
+  if (k == 0) return 0;
+  Result<std::vector<SpanTuple>> sample = engine->Sample(k, flags.seed);
+  if (!sample.ok()) return Fail(sample.status());
+  if (sample->empty()) {
     std::printf("(empty result set)\n");
     return 3;
   }
-  Rng rng(flags.seed);
-  for (uint64_t i = 0; i < k; ++i) {
-    const uint64_t idx = rng.Below(counter.Total());
-    PrintTuple(q->slp, q->spanner, ev.TupleOf(counter.Select(idx)));
-  }
+  for (const SpanTuple& t : *sample) PrintTuple(*engine, t);
   return 0;
 }
 
@@ -284,6 +266,7 @@ int CmdSample(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const Flags flags = ParseFlags(argc, argv);
+  if (flags.parse_error) return Usage();
   const std::string cmd = argv[1];
   if (cmd == "compress") return CmdCompress(flags);
   if (cmd == "decompress") return CmdDecompress(flags);
