@@ -1,11 +1,24 @@
-// Experiment E10 — costs specific to the public facade, the numbers a
-// service owner needs:
+// Experiment E10 — costs specific to the public facade and the runtime
+// layer, the numbers a service owner needs:
 //   (a) the prepared-state cache: first Engine operation per (document,
-//       query) pays the O(|M| + size(S)·q³) preparation, every later one is
-//       a cache hit (mutex + hash lookup);
+//       query) pair pays the O(|M| + size(S)·q³) preparation, every later one
+//       is a cache hit (shard lock + hash lookup);
 //   (b) streaming early exit: Extract with limit=1 on documents whose full
 //       result set is astronomically large (the laziness Theorem 8.10 buys);
-//   (c) Engine construction itself (two shared handles — effectively free).
+//   (c) Engine construction itself (two shared handles — effectively free);
+//   (d) cross-document batch evaluation: a 64-request mixed batch
+//       (check/count/extract-with-limit, with realistic duplicate requests)
+//       through Session::EvalBatch on a 4-thread pool vs the same requests
+//       in a serial Engine loop. Request dedup plus the single-flight cache
+//       make the batch path win even on a single core; a parallel machine
+//       adds to the margin.
+//
+// Alongside the human-readable tables the binary emits one JSON document
+// (stdout line prefixed "JSON: ", and optionally --json=PATH) so the bench
+// trajectory (BENCH_*.json) can accumulate machine-readable numbers.
+
+#include <cstring>
+#include <fstream>
 
 #include "harness.h"
 #include "slpspan/slpspan.h"
@@ -15,7 +28,7 @@
 namespace slpspan {
 namespace {
 
-void CacheSweep() {
+void CacheSweep(bench::Json* json) {
   bench::Table table(
       "E10a: prepared-state cache — cold (prepare) vs hot (hit) per task",
       {"workload", "size(S)", "t_cold (us)", "t_hot (us)", "cold/hot"});
@@ -36,12 +49,13 @@ void CacheSweep() {
        ".*x{ACGTACGT}.*", "ACGT"},
   };
 
+  std::vector<std::string> rows;
   for (const Workload& w : workloads) {
     Result<Query> query = Query::Compile(w.pattern, w.alphabet);
     SLPSPAN_CHECK(query.ok());
     const DocumentPtr doc = *Document::FromText(w.text);
     const double t_cold = bench::TimeSeconds([&] {
-      // A fresh Document wrapper has an empty cache: Count pays the
+      // A fresh Document wrapper has no cache entries: Count pays the
       // preparation (compression is excluded — the grammar is reused).
       const Engine engine(*query, Document::FromSlp(doc->slp()));
       SLPSPAN_CHECK(engine.Count().ok());
@@ -55,16 +69,24 @@ void CacheSweep() {
     table.AddRow({w.name, bench::FmtCount(doc->stats().paper_size),
                   bench::FmtMicros(t_cold), bench::FmtMicros(t_hot),
                   bench::FmtDouble(t_cold / t_hot, 0)});
+    bench::Json row;
+    row.Put("workload", std::string(w.name));
+    row.Put("size_s", doc->stats().paper_size);
+    row.Put("t_cold_us", t_cold * 1e6);
+    row.Put("t_hot_us", t_hot * 1e6);
+    rows.push_back(row.Str());
   }
   table.Print();
+  json->PutRaw("e10a_cache", bench::Json::Array(rows));
 }
 
-void EarlyExitSweep() {
+void EarlyExitSweep(bench::Json* json) {
   bench::Table table(
       "E10b: Extract limit=1 — early exit on huge result sets (warm cache)",
       {"k", "d", "r (approx)", "t_first (us)"});
   Result<Query> query = Query::Compile(".*x{a*}.*", "a");
   SLPSPAN_CHECK(query.ok());
+  std::vector<std::string> rows;
   for (uint32_t k : {10u, 16u, 22u, 28u}) {
     const Engine engine(*query, Document::FromSlp(SlpPowerString('a', k)));
     (void)engine.IsNonEmpty();
@@ -78,11 +100,16 @@ void EarlyExitSweep() {
                      static_cast<double>(uint64_t{1} << k);
     table.AddRow({std::to_string(k), bench::FmtCount(uint64_t{1} << k),
                   bench::FmtSci(r), bench::FmtMicros(secs)});
+    bench::Json row;
+    row.Put("k", static_cast<uint64_t>(k));
+    row.Put("t_first_us", secs * 1e6);
+    rows.push_back(row.Str());
   }
   table.Print();
+  json->PutRaw("e10b_early_exit", bench::Json::Array(rows));
 }
 
-void EngineConstruction() {
+void EngineConstruction(bench::Json* json) {
   Result<Query> query = Query::Compile(".*x{ab}.*", "ab");
   SLPSPAN_CHECK(query.ok());
   const DocumentPtr doc = Document::FromSlp(SlpRepeat("ab", 1 << 12));
@@ -92,16 +119,161 @@ void EngineConstruction() {
     const Engine engine(*query, doc);
     (void)engine;
   }
-  std::printf("\nE10c: Engine construction: %.0f ns per bind (%d reps)\n",
-              sw.ElapsedSeconds() * 1e9 / reps, reps);
+  const double ns = sw.ElapsedSeconds() * 1e9 / reps;
+  std::printf("\nE10c: Engine construction: %.0f ns per bind (%d reps)\n", ns,
+              reps);
+  json->Put("e10c_bind_ns", ns);
+}
+
+// ---------------------------------------------------------------- E10d ------
+
+/// The acceptance workload: 64 mixed requests over 8 (document, query) pairs
+/// — per pair one check, one count and six identical extract-with-limit jobs
+/// (the shape a result API serving many users of few hot queries produces).
+struct BatchWorkload {
+  std::vector<Slp> grammars;
+  std::vector<Query> queries;
+  uint64_t extract_limit = 1000;
+};
+
+BatchWorkload MakeBatchWorkload() {
+  BatchWorkload w;
+  std::string ascii;
+  for (char c = 32; c < 127; ++c) ascii += c;
+  ascii += '\n';
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const DocumentPtr doc =
+        *Document::FromText(GenerateLog({.lines = 400, .seed = seed}));
+    w.grammars.push_back(doc->slp());
+  }
+  w.queries.push_back(*Query::Compile(".*user=x{u[0-9]+}.*", ascii));
+  w.queries.push_back(*Query::Compile(".*x{ERROR|WARN}.*", ascii));
+  return w;
+}
+
+/// Fresh Document wrappers per call, so every timed run starts cold.
+std::vector<EngineRequest> MakeRequests(const BatchWorkload& w) {
+  std::vector<EngineRequest> requests;
+  for (const Slp& grammar : w.grammars) {
+    const DocumentPtr doc = Document::FromSlp(grammar);
+    for (const Query& query : w.queries) {
+      requests.push_back({.query = query,
+                          .document = doc,
+                          .op = EngineRequest::Op::kIsNonEmpty,
+                          .limit = {}});
+      requests.push_back({.query = query,
+                          .document = doc,
+                          .op = EngineRequest::Op::kCount,
+                          .limit = {}});
+      for (int dup = 0; dup < 6; ++dup) {
+        requests.push_back({.query = query,
+                            .document = doc,
+                            .op = EngineRequest::Op::kExtract,
+                            .limit = w.extract_limit});
+      }
+    }
+  }
+  return requests;
+}
+
+uint64_t RunSerial(const std::vector<EngineRequest>& requests) {
+  uint64_t sink = 0;
+  for (const EngineRequest& r : requests) {
+    const Engine engine(r.query, r.document);
+    switch (r.op) {
+      case EngineRequest::Op::kIsNonEmpty:
+        sink += engine.IsNonEmpty();
+        break;
+      case EngineRequest::Op::kCount:
+        sink += engine.Count()->value;
+        break;
+      case EngineRequest::Op::kExtract:
+        sink += engine.ExtractAll({.limit = r.limit}).size();
+        break;
+    }
+  }
+  return sink;
+}
+
+void BatchSweep(bench::Json* json) {
+  const BatchWorkload workload = MakeBatchWorkload();
+  const uint32_t kThreads = 4;
+  const Session session({.num_threads = kThreads});
+
+  uint64_t serial_sink = 0, batch_sink = 0;
+  const double serial_s = bench::TimeSeconds([&] {
+    const std::vector<EngineRequest> requests = MakeRequests(workload);
+    serial_sink = RunSerial(requests);
+  });
+  const double batch_s = bench::TimeSeconds([&] {
+    const std::vector<EngineRequest> requests = MakeRequests(workload);
+    batch_sink = 0;
+    for (const Result<EngineOutput>& out : session.EvalBatch(requests)) {
+      SLPSPAN_CHECK(out.ok());
+      batch_sink += out->nonempty + out->count.value + out->tuples.size();
+    }
+  });
+  SLPSPAN_CHECK(serial_sink > 0 && batch_sink > 0);
+
+  const size_t distinct_pairs = workload.grammars.size() * workload.queries.size();
+  const size_t num_requests = 8 * distinct_pairs;  // 1 check + 1 count + 6 extract
+  bench::Table table(
+      "E10d: 64-request mixed batch — serial Engine loop vs Session::EvalBatch",
+      {"mode", "requests", "pairs", "threads", "wall (ms)", "speedup"});
+  table.AddRow({"serial loop", std::to_string(num_requests),
+                std::to_string(distinct_pairs), "1",
+                bench::FmtDouble(serial_s * 1e3, 1), "1.0"});
+  table.AddRow({"EvalBatch", std::to_string(num_requests),
+                std::to_string(distinct_pairs), std::to_string(kThreads),
+                bench::FmtDouble(batch_s * 1e3, 1),
+                bench::FmtDouble(serial_s / batch_s, 2)});
+  table.Print();
+
+  bench::Json d;
+  d.Put("requests", static_cast<uint64_t>(num_requests));
+  d.Put("distinct_pairs", static_cast<uint64_t>(distinct_pairs));
+  d.Put("threads", static_cast<uint64_t>(kThreads));
+  d.Put("extract_limit", workload.extract_limit);
+  d.Put("serial_ms", serial_s * 1e3);
+  d.Put("batch_ms", batch_s * 1e3);
+  d.Put("speedup", serial_s / batch_s);
+  d.Put("batch_beats_serial", std::string(batch_s < serial_s ? "true" : "false"));
+  json->PutRaw("e10d_batch", d.Str());
 }
 
 }  // namespace
 }  // namespace slpspan
 
-int main() {
-  slpspan::CacheSweep();
-  slpspan::EarlyExitSweep();
-  slpspan::EngineConstruction();
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  slpspan::bench::Json json;
+  json.Put("bench", std::string("e10_engine"));
+  slpspan::CacheSweep(&json);
+  slpspan::EarlyExitSweep(&json);
+  slpspan::EngineConstruction(&json);
+  slpspan::BatchSweep(&json);
+
+  const slpspan::Runtime::CacheStats cache = slpspan::Runtime::cache_stats();
+  slpspan::bench::Json cache_json;
+  cache_json.Put("hits", cache.hits);
+  cache_json.Put("misses", cache.misses);
+  cache_json.Put("evictions", cache.evictions);
+  cache_json.Put("bytes", cache.bytes);
+  json.PutRaw("runtime_cache", cache_json.Str());
+
+  const std::string out = json.Str();
+  std::printf("\nJSON: %s\n", out.c_str());
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << out << "\n";
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stopwatch.h"
@@ -53,6 +54,64 @@ inline std::string FmtCount(uint64_t v) {
   if (v >= 10'000) return FmtDouble(static_cast<double>(v) / 1e3, 1) + "k";
   return std::to_string(v);
 }
+
+/// Minimal JSON writer for machine-readable bench output (the BENCH_*.json
+/// trajectory). Values are emitted in insertion order; nested objects and
+/// arrays are composed via PutRaw.
+class Json {
+ public:
+  void Put(const std::string& key, double v) { PutRaw(key, FmtJsonDouble(v)); }
+  void Put(const std::string& key, uint64_t v) { PutRaw(key, std::to_string(v)); }
+  void Put(const std::string& key, int v) { PutRaw(key, std::to_string(v)); }
+  void Put(const std::string& key, const std::string& v) {
+    PutRaw(key, Quote(v));
+  }
+  void PutRaw(const std::string& key, const std::string& raw_json) {
+    entries_.emplace_back(key, raw_json);
+  }
+
+  std::string Str() const {
+    std::string out = "{";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quote(entries_[i].first) + ": " + entries_[i].second;
+    }
+    return out + "}";
+  }
+
+  static std::string Array(const std::vector<std::string>& raw_elems) {
+    std::string out = "[";
+    for (size_t i = 0; i < raw_elems.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += raw_elems[i];
+    }
+    return out + "]";
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+        continue;
+      }
+      out += c;
+    }
+    return out + "\"";
+  }
+
+ private:
+  static std::string FmtJsonDouble(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Markdown-style table with aligned columns.
 class Table {

@@ -5,12 +5,14 @@
 // bookkeeping — the old PreparedDocument "must outlive the enumerator"
 // footgun is gone, a ResultStream keeps everything it reads from alive.
 //
-// Each Document owns a per-query cache of prepared evaluation state (the
-// sentinel-extended grammar plus the Lemma 6.5 tables, built in
-// O(|M| + size(S)·q³)). The first Engine operation that needs the tables
+// Prepared evaluation state (the sentinel-extended grammar plus the Lemma
+// 6.5 tables, built in O(|M| + size(S)·q³)) lives in the process-wide
+// sharded, byte-budgeted LRU cache (slpspan/runtime.h), keyed by
+// (document-id, query-id). The first Engine operation that needs the tables
 // pays that cost; every later operation with the same Query — from any
-// Engine or thread — reuses the cached state. cache_stats() makes the
-// hit/miss behaviour observable.
+// Engine or thread — reuses the cached state, and concurrent first uses are
+// coalesced so the preparation is never built twice. cache_stats() reports
+// this Document's share of the cache (hits/misses/evictions/resident bytes).
 //
 // Loading and compression errors (unreadable files, corrupt .slp input,
 // empty documents) surface as Result<DocumentPtr>.
@@ -20,10 +22,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 
 #include "slp/slp.h"
 #include "slpspan/query.h"
@@ -34,6 +34,10 @@ namespace slpspan {
 namespace api_internal {
 struct PreparedState;
 }  // namespace api_internal
+
+namespace runtime_internal {
+struct DocCacheCounters;
+}  // namespace runtime_internal
 
 class Document;
 
@@ -69,40 +73,53 @@ class Document {
   /// Persists the grammar in the textual `.slp` format.
   Status Save(const std::string& path) const;
 
+  /// Evicts this Document's entries from the process-wide prepared-state
+  /// cache (the bytes stop counting against the budget immediately).
+  ~Document();
+
+  // Documents are shared by handle (DocumentPtr), never by value: a copy
+  // would alias id_/counters_ and its destructor would purge the original's
+  // cache entries.
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
   /// The underlying grammar (normal form, Section 4).
   const Slp& slp() const { return slp_; }
 
   /// d — length of the represented document.
   uint64_t length() const { return slp_.DocumentLength(); }
 
+  /// Process-unique identity of this Document instance; together with
+  /// Query::id() it keys the process-wide prepared-state cache.
+  uint64_t id() const { return id_; }
+
   Slp::Stats stats() const { return slp_.ComputeStats(); }
 
-  /// Observability for the per-query prepared-state cache.
+  /// This Document's view of the process-wide prepared-state cache (see
+  /// Runtime::cache_stats() for the global picture).
   struct CacheStats {
     uint64_t hits = 0;
-    uint64_t misses = 0;  ///< == number of preparations paid for
-    uint64_t entries = 0;
+    uint64_t misses = 0;     ///< == number of preparations paid for
+    uint64_t evictions = 0;  ///< this document's entries dropped for budget
+    uint64_t entries = 0;    ///< currently resident entries
+    uint64_t bytes = 0;      ///< currently resident bytes
   };
   CacheStats cache_stats() const;
 
  private:
   friend class Engine;
 
-  explicit Document(Slp slp) : slp_(std::move(slp)) {}
+  explicit Document(Slp slp);
 
-  /// Returns the prepared state for `query`, building and caching it on
-  /// first use. Thread-safe; the expensive build runs outside the lock.
+  /// Returns the prepared state for `query` from the process-wide cache,
+  /// building it on first use. Thread-safe; concurrent builds for the same
+  /// (document, query) pair are coalesced (single-flight).
   std::shared_ptr<const api_internal::PreparedState> PreparedFor(
       const Query& query) const;
 
   const Slp slp_;
-
-  mutable std::mutex mu_;
-  mutable std::unordered_map<uint64_t,
-                             std::shared_ptr<const api_internal::PreparedState>>
-      cache_;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
+  const uint64_t id_;
+  const std::shared_ptr<runtime_internal::DocCacheCounters> counters_;
 };
 
 }  // namespace slpspan

@@ -1,0 +1,141 @@
+// Runtime layer — what turns the library into something a server can embed.
+//
+// Two facilities:
+//
+//  * A process-wide, sharded, byte-budgeted LRU cache of prepared evaluation
+//    state. Every Document draws from it (keyed by (document-id, query-id)),
+//    so a host holding many corpora gets a real memory policy: entries are
+//    accounted in actual bytes (Slp::MemoryUsage + EvalTables::MemoryUsage),
+//    least-recently-used pairs are evicted when the budget is exceeded, and
+//    concurrent builders of the same pair are coalesced (single-flight) so
+//    the O(|M| + size(S)·q³) preparation is never paid twice. Configure the
+//    budget with Runtime::Configure / SetCacheByteBudget; observe globally
+//    with Runtime::cache_stats() and per document with
+//    Document::cache_stats().
+//
+//  * Session — a thread-pool handle for cross-document batch evaluation.
+//    Session::EvalBatch runs IsNonEmpty/Count/Extract-with-limit jobs for
+//    many (query, document) pairs concurrently, deduplicating identical
+//    requests (N requests against the same pair evaluate once) and returning
+//    one Result per request, in request order.
+//
+// Eviction only drops the cache's reference: prepared state is shared_ptr-
+// held, so streams and engines that are still using an evicted entry keep it
+// alive; the bytes are simply no longer charged to the budget.
+
+#ifndef SLPSPAN_PUBLIC_RUNTIME_H_
+#define SLPSPAN_PUBLIC_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "slpspan/document.h"
+#include "slpspan/engine.h"
+#include "slpspan/query.h"
+#include "slpspan/status.h"
+#include "slpspan/types.h"
+
+namespace slpspan {
+
+namespace runtime_internal {
+class ThreadPool;
+}  // namespace runtime_internal
+
+struct RuntimeOptions {
+  /// Byte budget for the process-wide prepared-state cache. The budget is
+  /// split evenly across shards (LevelDB-style), so the largest entry that
+  /// can stay resident is cache_bytes / cache_shards; a bigger entry is
+  /// still returned to the caller but evicted immediately (never resident).
+  uint64_t cache_bytes = uint64_t{1} << 30;  // 1 GiB
+
+  /// Number of cache shards (rounded up to a power of two). More shards ==
+  /// less lock contention but smaller per-shard budget slices; only
+  /// honoured before the cache's first use.
+  uint32_t cache_shards = 8;
+};
+
+/// Process-wide runtime configuration and observability.
+class Runtime {
+ public:
+  /// Applies `opts`. The shard count is fixed at the cache's first use
+  /// (first prepared lookup anywhere in the process); the byte budget may
+  /// be changed at any time — shrinking evicts immediately.
+  static void Configure(const RuntimeOptions& opts);
+
+  /// Adjusts only the cache byte budget (thread-safe, takes effect now).
+  static void SetCacheByteBudget(uint64_t bytes);
+
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;     ///< == preparations actually paid for
+    uint64_t evictions = 0;  ///< entries dropped to respect the budget
+    uint64_t entries = 0;    ///< currently resident entries
+    uint64_t bytes = 0;      ///< currently resident bytes
+    uint64_t budget_bytes = 0;
+    uint32_t shards = 0;
+  };
+  /// Aggregate statistics across all shards (hits/misses/evictions are
+  /// cumulative since process start and monotone).
+  static CacheStats cache_stats();
+};
+
+/// One evaluation job: an operation on a (query, document) pair.
+struct EngineRequest {
+  enum class Op {
+    kIsNonEmpty,  ///< Theorem 5.1(1)
+    kCount,       ///< counting extension (no enumeration)
+    kExtract,     ///< streaming extraction, materialized up to `limit`
+  };
+
+  Query query;
+  DocumentPtr document;
+  Op op = Op::kCount;
+
+  /// kExtract only: cap on materialized tuples (unset = all of ⟦M⟧(D); set a
+  /// limit for huge result sets — tuples past it are never computed).
+  std::optional<uint64_t> limit;
+};
+
+/// Per-request payload; which field is meaningful depends on the request op.
+struct EngineOutput {
+  bool nonempty = false;          ///< Op::kIsNonEmpty
+  CountInfo count;                ///< Op::kCount
+  std::vector<SpanTuple> tuples;  ///< Op::kExtract
+};
+
+struct SessionOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency (at least 1).
+  uint32_t num_threads = 0;
+};
+
+/// A batch-evaluation handle owning a worker pool. Create one per server (or
+/// per traffic class) and reuse it; construction spawns the threads.
+/// EvalBatch may be called concurrently from multiple threads.
+class Session {
+ public:
+  explicit Session(SessionOptions opts = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Evaluates every request and returns one Result per request, in request
+  /// order. Identical requests (same query, document, op and limit) are
+  /// evaluated once and share the output; distinct requests against the same
+  /// (query, document) pair share a single preparation via the process-wide
+  /// cache's single-flight path. Blocks until the whole batch is done.
+  std::vector<Result<EngineOutput>> EvalBatch(
+      std::span<const EngineRequest> requests) const;
+
+  uint32_t num_threads() const;
+
+ private:
+  std::unique_ptr<runtime_internal::ThreadPool> pool_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_PUBLIC_RUNTIME_H_

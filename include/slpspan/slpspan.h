@@ -9,6 +9,10 @@
 //   Engine    — binds Query × Document; non-emptiness, model checking,
 //               streaming extraction, counting, random access, sampling.
 //
+// Plus the runtime layer (slpspan/runtime.h): the process-wide byte-budgeted
+// prepared-state cache (Runtime) and thread-pooled cross-document batch
+// evaluation (Session::EvalBatch).
+//
 // Quickstart:
 //
 //   auto query = slpspan::Query::Compile("(b|c)*x{a}.*y{cc*}.*", "abc");
@@ -25,6 +29,7 @@
 #include "slpspan/document.h"
 #include "slpspan/engine.h"
 #include "slpspan/query.h"
+#include "slpspan/runtime.h"
 #include "slpspan/slp.h"
 #include "slpspan/status.h"
 #include "slpspan/types.h"

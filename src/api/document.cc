@@ -1,10 +1,11 @@
 #include "slpspan/document.h"
 
+#include <atomic>
 #include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "api/internal.h"
+#include "runtime/prepared_cache.h"
 #include "slp/factory.h"
 #include "slp/lz77.h"
 #include "slp/lz78.h"
@@ -12,6 +13,33 @@
 #include "slp/serialize.h"
 
 namespace slpspan {
+
+namespace {
+
+uint64_t NextDocumentId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Document::Document(Slp slp)
+    : slp_(std::move(slp)),
+      id_(NextDocumentId()),
+      counters_(std::make_shared<runtime_internal::DocCacheCounters>()) {}
+
+Document::~Document() {
+  std::vector<uint64_t> query_ids;
+  {
+    std::lock_guard<std::mutex> lock(counters_->mu);
+    query_ids = counters_->query_ids;
+  }
+  // Only touch the global cache if this document ever put something in it
+  // (never force the singleton into existence from a destructor).
+  if (!query_ids.empty()) {
+    runtime_internal::PreparedCache::Global().EraseDocument(id_, query_ids);
+  }
+}
 
 Result<DocumentPtr> Document::FromText(std::string_view text,
                                        Compression method) {
@@ -37,9 +65,33 @@ Result<DocumentPtr> Document::FromFile(const std::string& path,
                                        Compression method) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::InvalidArgument("cannot open " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return FromText(ss.str(), method);
+  std::string text;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in ? static_cast<std::streamoff>(in.tellg()) : -1;
+  if (size > 0) {
+    // Single read into a pre-sized buffer (no stringstream double-copy).
+    in.seekg(0, std::ios::beg);
+    text.resize(static_cast<size_t>(size));
+    in.read(text.data(), size);
+    if (!in) return Status::InvalidArgument("short read on " + path);
+  } else {
+    // Not seekable (pipe, FIFO, /dev/stdin) or a seekable file reporting
+    // size 0 (procfs/sysfs pseudo-files do, yet carry content): chunked
+    // append from the start.
+    in.clear();
+    in.seekg(0, std::ios::beg);
+    in.clear();
+    char buf[1 << 16];
+    while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+      text.append(buf, static_cast<size_t>(in.gcount()));
+    }
+  }
+  if (text.empty()) {
+    return Status::InvalidArgument(
+        "file " + path +
+        " is empty (an SLP derives exactly one non-empty document)");
+  }
+  return FromText(text, method);
 }
 
 DocumentPtr Document::FromSlp(Slp slp) {
@@ -58,28 +110,21 @@ Status Document::Save(const std::string& path) const {
 }
 
 Document::CacheStats Document::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return CacheStats{hits_, misses_, cache_.size()};
+  const runtime_internal::DocCacheCounters& c = *counters_;
+  return CacheStats{c.hits.load(std::memory_order_relaxed),
+                    c.misses.load(std::memory_order_relaxed),
+                    c.evictions.load(std::memory_order_relaxed),
+                    c.entries.load(std::memory_order_relaxed),
+                    c.bytes.load(std::memory_order_relaxed)};
 }
 
 std::shared_ptr<const api_internal::PreparedState> Document::PreparedFor(
     const Query& query) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = cache_.find(query.id());
-  if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
-  }
-  ++misses_;
-  lock.unlock();
-  // Build outside the lock: preparation is O(|M| + size(S)·q³) and must not
-  // serialize unrelated queries. A racing builder for the same query is
-  // harmless — the first insert wins below.
-  auto prep = std::make_shared<api_internal::PreparedState>(
-      query.state_->evaluator.Prepare(slp_));
-  lock.lock();
-  auto [pos, inserted] = cache_.emplace(query.id(), std::move(prep));
-  return pos->second;
+  return runtime_internal::PreparedCache::Global().GetOrBuild(
+      id_, query.id(), counters_, [&] {
+        return std::make_shared<const api_internal::PreparedState>(
+            query.state_->evaluator.Prepare(slp_));
+      });
 }
 
 }  // namespace slpspan

@@ -43,6 +43,16 @@ struct PreparedState {
 
   const PreparedDocument prepared;
 
+  /// Bytes charged to the runtime prepared-state cache: the sentinel-extended
+  /// grammar plus the Lemma 6.5 bit-matrices — the dominant per-pair cost,
+  /// O(size(S)·q²/8). The lazily-built counting tables are deliberately not
+  /// re-charged (an entry's charge must stay constant while it is resident);
+  /// CountTables::MemoryUsage exists for observability.
+  uint64_t MemoryUsage() const {
+    return sizeof(*this) + prepared.slp().MemoryUsage() +
+           prepared.tables().MemoryUsage();
+  }
+
   /// Counting tables for Count/At/Sample; built once on first use. The
   /// caller must ensure the query is determinized (CountTables requires it).
   const CountTables& Counter(const SpannerEvaluator& evaluator) const {

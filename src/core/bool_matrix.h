@@ -63,6 +63,11 @@ class BoolMatrix {
 
   bool operator==(const BoolMatrix& o) const { return n_ == o.n_ && bits_ == o.bits_; }
 
+  /// Heap + object bytes held by this matrix (drives cache eviction).
+  uint64_t MemoryUsage() const {
+    return sizeof(*this) + bits_.capacity() * sizeof(uint64_t);
+  }
+
   static BoolMatrix Identity(uint32_t n);
 
   /// Boolean product a * b (row-oriented: out.row(i) = OR of b.row(k) for

@@ -49,6 +49,17 @@ class CountTables {
   /// !overflowed() required. O(depth(S) * q + |X|) per call.
   MarkerSeq Select(uint64_t idx) const;
 
+  /// Approximate heap bytes held by the count tables (hash-map buckets plus
+  /// nodes). Observability only: counting tables are built lazily and are
+  /// small next to the EvalTables bit-matrices.
+  uint64_t MemoryUsage() const {
+    // Node = key/value pair + next pointer (libstdc++ layout estimate).
+    return sizeof(*this) +
+           counts_.size() * (sizeof(std::pair<uint64_t, uint64_t>) + sizeof(void*)) +
+           counts_.bucket_count() * sizeof(void*) +
+           final_states_.capacity() * sizeof(StateId);
+  }
+
  private:
   uint64_t CountOf(NtId nt, StateId i, StateId j) const;
   void SelectInto(NtId nt, StateId i, StateId j, uint64_t idx, uint64_t shift,

@@ -61,6 +61,19 @@ EvalTables::EvalTables(const Slp& slp, const Nfa& nfa) {
   }
 }
 
+uint64_t EvalTables::MemoryUsage() const {
+  uint64_t bytes = sizeof(*this);
+  for (const BoolMatrix& m : u_) bytes += m.MemoryUsage();
+  for (const BoolMatrix& m : w_) bytes += m.MemoryUsage();
+  bytes += leaf_index_.capacity() * sizeof(uint32_t);
+  bytes += leaf_cells_.capacity() * sizeof(std::vector<std::vector<MarkerMask>>);
+  for (const auto& cells : leaf_cells_) {
+    bytes += cells.capacity() * sizeof(std::vector<MarkerMask>);
+    for (const auto& cell : cells) bytes += cell.capacity() * sizeof(MarkerMask);
+  }
+  return bytes;
+}
+
 int32_t EvalTables::NextIntermediate(const Slp& slp, NtId a, StateId i, StateId j,
                                      int32_t after) const {
   const NtId b = slp.Left(a), c = slp.Right(a);

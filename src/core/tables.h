@@ -92,6 +92,11 @@ class EvalTables {
   /// Accepting states j with R_S0[start, j] ≠ ⊥ (the paper's F').
   std::vector<StateId> AcceptingNonBot(const Slp& slp, const Nfa& nfa) const;
 
+  /// Total heap bytes held by the tables — the dominant per-(query,document)
+  /// cost, O(size(S)·q²/8) for the bit-matrices plus the leaf cells. Used by
+  /// the runtime cache to account entries in real bytes.
+  uint64_t MemoryUsage() const;
+
  private:
   uint32_t q_ = 0;
   std::vector<BoolMatrix> u_, w_;              // per NtId

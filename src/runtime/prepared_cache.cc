@@ -1,0 +1,205 @@
+#include "runtime/prepared_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "api/internal.h"
+
+namespace slpspan {
+namespace runtime_internal {
+
+namespace {
+
+// Staged configuration, consumed by Global() at first use (shards) or pushed
+// through immediately (budget). Changing shards after first use is a no-op.
+// g_config_mu orders configuration against singleton creation, so a budget
+// configured concurrently with the first lookup is never lost; the atomic
+// pointer keeps the created-cache fast path lock-free.
+std::mutex g_config_mu;
+uint64_t g_staged_budget = RuntimeOptions{}.cache_bytes;
+uint32_t g_staged_shards = RuntimeOptions{}.cache_shards;
+std::atomic<PreparedCache*> g_cache{nullptr};
+
+}  // namespace
+
+PreparedCache& PreparedCache::Global() {
+  PreparedCache* cache = g_cache.load(std::memory_order_acquire);
+  if (cache != nullptr) return *cache;
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  cache = g_cache.load(std::memory_order_relaxed);
+  if (cache == nullptr) {
+    // Leaked singleton: prepared state may be referenced from static-duration
+    // objects in the host, so the cache must not be destroyed at exit.
+    cache = new PreparedCache(g_staged_budget, g_staged_shards);
+    g_cache.store(cache, std::memory_order_release);
+  }
+  return *cache;
+}
+
+void PreparedCache::ConfigureGlobal(uint64_t budget_bytes, uint32_t shards) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_staged_budget = budget_bytes;
+  if (shards > 0) g_staged_shards = shards;
+  if (PreparedCache* cache = g_cache.load(std::memory_order_relaxed)) {
+    cache->SetByteBudget(budget_bytes);
+  }
+}
+
+void PreparedCache::SetGlobalBudget(uint64_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_staged_budget = budget_bytes;
+  if (PreparedCache* cache = g_cache.load(std::memory_order_relaxed)) {
+    cache->SetByteBudget(budget_bytes);
+  }
+}
+
+PreparedCache::PreparedCache(uint64_t budget_bytes, uint32_t shards)
+    : shards_(std::bit_ceil(std::max<uint32_t>(1, shards))), budget_(budget_bytes) {
+  shard_mask_ = static_cast<uint32_t>(shards_.size()) - 1;
+}
+
+PreparedCache::StatePtr PreparedCache::GetOrBuild(
+    uint64_t doc_id, uint64_t query_id,
+    const std::shared_ptr<DocCacheCounters>& doc, const Builder& build) {
+  const Key key{doc_id, query_id};
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+
+  for (;;) {
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      doc->hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second->state;
+    }
+
+    auto inflight_it = shard.inflight.find(key);
+    if (inflight_it == shard.inflight.end()) break;  // we lead the build
+    // Single-flight: another thread is already paying the preparation; wait
+    // for it instead of duplicating O(|M| + size(S)·q³) work.
+    std::shared_ptr<Build> pending = inflight_it->second;
+    shard.cv.wait(lock, [&] { return pending->done; });
+    if (pending->result == nullptr) continue;  // leader's build threw; re-race
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    doc->hits.fetch_add(1, std::memory_order_relaxed);
+    return pending->result;
+  }
+
+  // Miss: this thread is the build leader.
+  auto pending = std::make_shared<Build>();
+  shard.inflight.emplace(key, pending);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  doc->misses.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+
+  StatePtr state;
+  try {
+    state = build();
+  } catch (...) {
+    // Unwind the rendezvous (done with a null result) so waiters re-race for
+    // leadership instead of blocking on a key that will never land.
+    lock.lock();
+    pending->done = true;
+    shard.inflight.erase(key);
+    lock.unlock();
+    shard.cv.notify_all();
+    throw;
+  }
+  const uint64_t bytes = state->MemoryUsage();
+
+  lock.lock();
+  pending->done = true;
+  pending->result = state;
+  shard.inflight.erase(key);
+  shard.lru.push_front(Entry{key, state, doc, bytes});
+  shard.map.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  doc->entries.fetch_add(1, std::memory_order_relaxed);
+  doc->bytes.fetch_add(bytes, std::memory_order_relaxed);
+  EvictOverBudgetLocked(shard);
+  lock.unlock();
+  shard.cv.notify_all();
+
+  {
+    std::lock_guard<std::mutex> doc_lock(doc->mu);
+    if (std::find(doc->query_ids.begin(), doc->query_ids.end(), query_id) ==
+        doc->query_ids.end()) {
+      doc->query_ids.push_back(query_id);
+    }
+  }
+  return state;
+}
+
+void PreparedCache::EvictOverBudgetLocked(Shard& shard) {
+  const uint64_t slice = PerShardBudget();
+  while (shard.bytes > slice && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    victim.doc->evictions.fetch_add(1, std::memory_order_relaxed);
+    victim.doc->entries.fetch_sub(1, std::memory_order_relaxed);
+    victim.doc->bytes.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+void PreparedCache::EraseDocument(uint64_t doc_id,
+                                  const std::vector<uint64_t>& query_ids) {
+  for (const uint64_t query_id : query_ids) {
+    const Key key{doc_id, query_id};
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) continue;  // already evicted
+    const Entry& entry = *it->second;
+    shard.bytes -= entry.bytes;
+    entry.doc->entries.fetch_sub(1, std::memory_order_relaxed);
+    entry.doc->bytes.fetch_sub(entry.bytes, std::memory_order_relaxed);
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+}
+
+void PreparedCache::SetByteBudget(uint64_t bytes) {
+  budget_.store(bytes, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvictOverBudgetLocked(shard);
+  }
+}
+
+Runtime::CacheStats PreparedCache::Stats() const {
+  Runtime::CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.budget_bytes = budget_.load(std::memory_order_relaxed);
+  stats.shards = static_cast<uint32_t>(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.map.size();
+    stats.bytes += shard.bytes;
+  }
+  return stats;
+}
+
+}  // namespace runtime_internal
+
+// ------------------------------------------------------- Runtime facade ----
+
+void Runtime::Configure(const RuntimeOptions& opts) {
+  runtime_internal::PreparedCache::ConfigureGlobal(opts.cache_bytes,
+                                                   opts.cache_shards);
+}
+
+void Runtime::SetCacheByteBudget(uint64_t bytes) {
+  runtime_internal::PreparedCache::SetGlobalBudget(bytes);
+}
+
+Runtime::CacheStats Runtime::cache_stats() {
+  return runtime_internal::PreparedCache::Global().Stats();
+}
+
+}  // namespace slpspan

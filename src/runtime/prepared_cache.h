@@ -1,0 +1,154 @@
+// Process-wide sharded LRU cache of prepared evaluation state, keyed by
+// (document-id, query-id) and bounded by a byte budget.
+//
+// Design notes:
+//  * Sharded locking: the key hashes to one of N shards (N fixed at first
+//    use, rounded to a power of two); each shard has its own mutex, LRU list
+//    and map, so unrelated (document, query) pairs never contend.
+//  * Byte budget: the global budget is split evenly across shards. Entries
+//    are charged their real bytes (PreparedState::MemoryUsage — grammar +
+//    Lemma 6.5 bit-matrices); when a shard exceeds its slice, entries are
+//    dropped from the LRU tail. Eviction only releases the cache's
+//    shared_ptr — in-use state stays alive with its current users.
+//  * Single-flight: concurrent builders of one pair rendezvous on a Build
+//    record; exactly one thread pays the O(|M| + size(S)·q³) preparation and
+//    the rest block on the shard's condition variable until it lands. The
+//    leader counts as the miss, waiters count as hits.
+//  * Per-document stats: each Document owns a shared DocCacheCounters that
+//    entries also reference, so hits/misses/evictions/bytes can be reported
+//    per document (Document::cache_stats()) even when eviction happens after
+//    the Document is gone.
+
+#ifndef SLPSPAN_RUNTIME_PREPARED_CACHE_H_
+#define SLPSPAN_RUNTIME_PREPARED_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "slpspan/runtime.h"
+
+namespace slpspan {
+
+namespace api_internal {
+struct PreparedState;
+}  // namespace api_internal
+
+namespace runtime_internal {
+
+/// Cache counters for one Document, shared_ptr-held by both the Document and
+/// every cache entry built for it — eviction after the Document died updates
+/// a live object. All fields are monotone except entries/bytes (residency).
+struct DocCacheCounters {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> evictions{0};
+  std::atomic<uint64_t> entries{0};
+  std::atomic<uint64_t> bytes{0};
+
+  /// Distinct query ids ever inserted for this document. Lets ~Document
+  /// erase exactly its keys instead of scanning every shard's entries.
+  std::mutex mu;
+  std::vector<uint64_t> query_ids;
+};
+
+class PreparedCache {
+ public:
+  using StatePtr = std::shared_ptr<const api_internal::PreparedState>;
+  using Builder = std::function<StatePtr()>;
+
+  /// The process-wide instance (created on first use with the configured
+  /// shard count and budget).
+  static PreparedCache& Global();
+
+  /// Stages configuration for Global(): the budget applies immediately if
+  /// the cache already exists; the shard count only before first use.
+  static void ConfigureGlobal(uint64_t budget_bytes, uint32_t shards);
+  static void SetGlobalBudget(uint64_t budget_bytes);
+
+  PreparedCache(uint64_t budget_bytes, uint32_t shards);
+
+  /// Returns the cached state for (doc_id, query_id), building it via
+  /// `build` on a miss. Thread-safe; concurrent misses for one key build
+  /// once (single-flight). `build` runs outside every lock.
+  StatePtr GetOrBuild(uint64_t doc_id, uint64_t query_id,
+                      const std::shared_ptr<DocCacheCounters>& doc,
+                      const Builder& build);
+
+  /// Drops a dead Document's entries — the keys (doc_id, query_id) for the
+  /// given query ids; see DocCacheCounters::query_ids. Not counted as
+  /// evictions.
+  void EraseDocument(uint64_t doc_id, const std::vector<uint64_t>& query_ids);
+
+  /// Changes the byte budget; shrinking evicts immediately.
+  void SetByteBudget(uint64_t bytes);
+
+  Runtime::CacheStats Stats() const;
+
+ private:
+  struct Key {
+    uint64_t doc_id = 0;
+    uint64_t query_id = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Fibonacci mixing of both ids (they are small dense counters).
+      uint64_t h = k.doc_id * 0x9E3779B97F4A7C15ull;
+      h ^= k.query_id * 0xC2B2AE3D27D4EB4Full;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  struct Entry {
+    Key key;
+    StatePtr state;
+    std::shared_ptr<DocCacheCounters> doc;
+    uint64_t bytes = 0;
+  };
+
+  /// Single-flight rendezvous for one in-progress preparation.
+  struct Build {
+    bool done = false;
+    StatePtr result;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;  // notified when any in-flight build lands
+    std::list<Entry> lru;        // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+    std::unordered_map<Key, std::shared_ptr<Build>, KeyHash> inflight;
+    uint64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[KeyHash{}(key)&shard_mask_];
+  }
+
+  uint64_t PerShardBudget() const {
+    return budget_.load(std::memory_order_relaxed) / shards_.size();
+  }
+
+  /// Drops LRU-tail entries until `shard` fits its budget slice. Caller
+  /// holds shard.mu.
+  void EvictOverBudgetLocked(Shard& shard);
+
+  uint32_t shard_mask_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> budget_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace runtime_internal
+}  // namespace slpspan
+
+#endif  // SLPSPAN_RUNTIME_PREPARED_CACHE_H_

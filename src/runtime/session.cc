@@ -1,0 +1,120 @@
+#include "slpspan/runtime.h"
+
+#include <latch>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "runtime/thread_pool.h"
+
+namespace slpspan {
+
+namespace {
+
+/// Canonical identity of a request: two requests with equal keys must
+/// produce identical outputs, so the batch evaluates one representative.
+struct RequestKey {
+  uint64_t query_id = 0;
+  uint64_t doc_id = 0;
+  EngineRequest::Op op = EngineRequest::Op::kCount;
+  uint64_t limit = UINT64_MAX;  // UINT64_MAX encodes "no limit"
+
+  bool operator==(const RequestKey&) const = default;
+};
+
+struct RequestKeyHash {
+  size_t operator()(const RequestKey& k) const {
+    uint64_t h = k.query_id * 0x9E3779B97F4A7C15ull;
+    h ^= k.doc_id * 0xC2B2AE3D27D4EB4Full;
+    h ^= (static_cast<uint64_t>(k.op) << 56) ^ k.limit;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+Result<EngineOutput> EvalOne(const EngineRequest& request) {
+  const Engine engine(request.query, request.document);
+  EngineOutput out;
+  switch (request.op) {
+    case EngineRequest::Op::kIsNonEmpty:
+      out.nonempty = engine.IsNonEmpty();
+      return out;
+    case EngineRequest::Op::kCount: {
+      Result<CountInfo> count = engine.Count();
+      if (!count.ok()) return count.status();
+      out.count = *count;
+      return out;
+    }
+    case EngineRequest::Op::kExtract:
+      out.tuples = engine.ExtractAll({.limit = request.limit});
+      return out;
+  }
+  return Status::InvalidArgument("unknown EngineRequest::Op");
+}
+
+}  // namespace
+
+Session::Session(SessionOptions opts)
+    : pool_(std::make_unique<runtime_internal::ThreadPool>(
+          opts.num_threads > 0 ? opts.num_threads
+                               : std::max(1u, std::thread::hardware_concurrency()))) {}
+
+Session::~Session() = default;
+
+uint32_t Session::num_threads() const { return pool_->size(); }
+
+std::vector<Result<EngineOutput>> Session::EvalBatch(
+    std::span<const EngineRequest> requests) const {
+  // Group identical requests: index -> representative's group. Null-document
+  // requests fail immediately and never reach a worker.
+  std::unordered_map<RequestKey, std::vector<size_t>, RequestKeyHash> groups;
+  std::vector<std::optional<Result<EngineOutput>>> slots(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const EngineRequest& r = requests[i];
+    if (r.document == nullptr) {
+      slots[i] = Status::InvalidArgument("EngineRequest.document is null");
+      continue;
+    }
+    groups[RequestKey{r.query.id(), r.document->id(), r.op,
+                      r.limit.value_or(UINT64_MAX)}]
+        .push_back(i);
+  }
+
+  if (!groups.empty()) {
+    std::latch done(static_cast<ptrdiff_t>(groups.size()));
+    for (auto& [key, members] : groups) {
+      (void)key;
+      const std::vector<size_t>* indices = &members;
+      pool_->Submit([&requests, &slots, indices, &done] {
+        // One evaluation per group; duplicates share (a copy of) the output.
+        // Exceptions (e.g. bad_alloc while building the O(size(S)·q³)
+        // tables) become this group's per-request error — they must neither
+        // kill the worker thread nor leave the latch hanging.
+        Result<EngineOutput> result = [&]() -> Result<EngineOutput> {
+          try {
+            return EvalOne(requests[indices->front()]);
+          } catch (const std::exception& e) {
+            return Status::ResourceExhausted(
+                std::string("batch evaluation failed: ") + e.what());
+          } catch (...) {
+            return Status::ResourceExhausted(
+                "batch evaluation failed: unknown exception");
+          }
+        }();
+        for (size_t i = 1; i < indices->size(); ++i) {
+          slots[(*indices)[i]] = result;
+        }
+        slots[indices->front()] = std::move(result);
+        done.count_down();
+      });
+    }
+    done.wait();
+  }
+
+  std::vector<Result<EngineOutput>> out;
+  out.reserve(requests.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace slpspan

@@ -1,0 +1,51 @@
+// A small fixed-size worker pool for cross-document batch evaluation.
+//
+// Deliberately minimal (submit-only, FIFO, no futures): Session::EvalBatch
+// tracks completion itself with a latch, and the pool's only job is to keep
+// `num_threads` workers draining the task queue. Tasks must not throw —
+// library failures travel as Status values inside the task's result slot.
+
+#ifndef SLPSPAN_RUNTIME_THREAD_POOL_H_
+#define SLPSPAN_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slpspan {
+namespace runtime_internal {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  /// Joins all workers; pending tasks are still executed before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe; never blocks on task execution.
+  void Submit(std::function<void()> task);
+
+  uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace runtime_internal
+}  // namespace slpspan
+
+#endif  // SLPSPAN_RUNTIME_THREAD_POOL_H_

@@ -132,6 +132,14 @@ class Slp {
   /// Streams the document's symbols left to right without materializing it.
   void ForEachSymbol(const std::function<void(SymbolId)>& fn) const;
 
+  /// Heap + object bytes held by the grammar (rules plus the precomputed
+  /// length/depth tables). Drives byte-budgeted caching in the runtime layer.
+  uint64_t MemoryUsage() const {
+    return sizeof(*this) + rules_.capacity() * sizeof(Rule) +
+           lengths_.capacity() * sizeof(uint64_t) +
+           depths_.capacity() * sizeof(uint32_t);
+  }
+
   /// Structural validation: topological numbering, normal form (unique leaf
   /// per terminal), reachability, and length/depth table consistency.
   Status Validate() const;

@@ -24,6 +24,7 @@ enum class StatusCode {
   kNotSupported,      ///< request outside implemented envelope (e.g. >32 vars)
   kOutOfRange,        ///< index/position beyond document bounds
   kCorruption,        ///< persisted SLP failed validation
+  kResourceExhausted, ///< allocation/limit failure (e.g. preparation OOM)
 };
 
 /// Lightweight status object; cheap to copy in the OK case.
@@ -47,6 +48,9 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -62,6 +66,7 @@ class Status {
       case StatusCode::kNotSupported: name = "not supported"; break;
       case StatusCode::kOutOfRange: name = "out of range"; break;
       case StatusCode::kCorruption: name = "corruption"; break;
+      case StatusCode::kResourceExhausted: name = "resource exhausted"; break;
     }
     return std::string(name) + ": " + message_;
   }

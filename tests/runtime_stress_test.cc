@@ -1,0 +1,189 @@
+// Multithreaded stress for the runtime layer — the test the TSan CI job
+// runs. Many threads hammer many (query, document) pairs through the public
+// API, once with an ample cache budget (asserting single-flight: global
+// misses attributable to the stress documents == distinct pairs) and once
+// with a tiny budget (asserting correct results under constant eviction and
+// monotone eviction counters).
+
+#include "slpspan/slpspan.h"
+
+#include <atomic>
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+constexpr uint64_t kDefaultBudget = RuntimeOptions{}.cache_bytes;
+
+struct BudgetGuard {
+  ~BudgetGuard() { Runtime::SetCacheByteBudget(kDefaultBudget); }
+};
+
+/// Splitmix-style per-thread RNG; no shared state.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct Pair {
+  Query query;
+  DocumentPtr document;
+  // Ground truth, computed serially on throwaway wrappers.
+  bool nonempty = false;
+  uint64_t count = 0;
+  std::vector<SpanTuple> tuples;
+};
+
+std::vector<Pair> MakePairs() {
+  const std::vector<std::string> texts = {
+      [] {
+        std::string s;
+        for (int i = 0; i < 200; ++i) s += "abcca";
+        return s;
+      }(),
+      [] {
+        std::string s;
+        for (int i = 0; i < 150; ++i) s += (i % 2) ? "bca" : "accb";
+        return s;
+      }(),
+      "abccaabccaabcca",
+      [] {
+        std::string s;
+        for (int i = 0; i < 300; ++i) s += "cab";
+        return s;
+      }(),
+  };
+  const std::vector<std::string> patterns = {
+      ".*x{a}y{b?cc*}.*",
+      ".*x{ab}.*",
+      "(b|c)*x{a}.*y{cc*}.*",
+      ".*x{ca+}.*",
+  };
+
+  std::vector<Pair> pairs;
+  for (const std::string& text : texts) {
+    const DocumentPtr doc = *Document::FromText(text);
+    for (const std::string& pattern : patterns) {
+      Pair pair{*Query::Compile(pattern, "abc"), doc, false, 0, {}};
+      // Ground truth via a throwaway Document wrapper: same grammar,
+      // different cache identity, so the stress documents stay cold.
+      const Engine oracle(pair.query, Document::FromSlp(doc->slp()));
+      pair.nonempty = oracle.IsNonEmpty();
+      pair.count = oracle.Count()->value;
+      pair.tuples = oracle.ExtractAll();
+      pairs.push_back(std::move(pair));
+    }
+  }
+  return pairs;
+}
+
+/// `threads` workers × `iters` random (pair, op) evaluations; returns the
+/// number of mismatches against the serial ground truth (expected 0).
+uint64_t Hammer(const std::vector<Pair>& pairs, int threads, int iters) {
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> eviction_regressions{0};
+  std::latch start(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t rng = 0x1234 + static_cast<uint64_t>(t) * 7919;
+      uint64_t prev_evictions = 0;
+      start.arrive_and_wait();
+      for (int i = 0; i < iters; ++i) {
+        const Pair& pair = pairs[NextRand(&rng) % pairs.size()];
+        const Engine engine(pair.query, pair.document);
+        bool ok = true;
+        switch (NextRand(&rng) % 3) {
+          case 0:
+            ok = engine.IsNonEmpty() == pair.nonempty;
+            break;
+          case 1:
+            ok = engine.Count().ok() && engine.Count()->value == pair.count;
+            break;
+          case 2: {
+            const uint64_t limit = 1 + NextRand(&rng) % 4;
+            const std::vector<SpanTuple> got =
+                engine.ExtractAll({.limit = limit});
+            ok = got.size() == std::min<uint64_t>(limit, pair.tuples.size());
+            for (const SpanTuple& tuple : got) {
+              ok = ok && std::find(pair.tuples.begin(), pair.tuples.end(),
+                                   tuple) != pair.tuples.end();
+            }
+            break;
+          }
+        }
+        if (!ok) mismatches.fetch_add(1, std::memory_order_relaxed);
+
+        // The eviction counter must be monotone from every observer's view
+        // (nothing in the eviction/erase/budget paths may decrement it).
+        const uint64_t evictions = Runtime::cache_stats().evictions;
+        if (evictions < prev_evictions) {
+          eviction_regressions.fetch_add(1, std::memory_order_relaxed);
+        }
+        prev_evictions = evictions;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(0u, eviction_regressions.load());
+  return mismatches.load();
+}
+
+TEST(RuntimeStress, AmpleBudgetManyThreadsSingleFlight) {
+  BudgetGuard guard;
+  Runtime::SetCacheByteBudget(kDefaultBudget);
+  const std::vector<Pair> pairs = MakePairs();
+
+  // Captured after MakePairs: the oracle wrappers' preparations are done.
+  const Runtime::CacheStats before = Runtime::cache_stats();
+  EXPECT_EQ(0u, Hammer(pairs, /*threads=*/8, /*iters=*/60));
+
+  // Single-flight: under an ample budget every prepared (document, query)
+  // pair was built exactly once no matter how many threads raced for it —
+  // per document, misses == resident entries. (IsNonEmpty never touches the
+  // cache, so a pair that only ever saw IsNonEmpty ops contributes neither.)
+  uint64_t total_misses = 0;
+  for (size_t i = 0; i < pairs.size(); i += 4) {  // pairs share docs in 4s
+    const Document::CacheStats stats = pairs[i].document->cache_stats();
+    EXPECT_EQ(stats.misses, stats.entries)
+        << "more preparations than distinct pairs => single-flight broken";
+    EXPECT_EQ(0u, stats.evictions) << "ample budget must not evict";
+    total_misses += stats.misses;
+  }
+  EXPECT_LE(total_misses, pairs.size());
+
+  const Runtime::CacheStats after = Runtime::cache_stats();
+  EXPECT_EQ(after.misses - before.misses, total_misses);
+  EXPECT_GE(after.hits, before.hits);
+}
+
+TEST(RuntimeStress, TinyBudgetEvictsAndStaysCorrect) {
+  BudgetGuard guard;
+  const std::vector<Pair> pairs = MakePairs();
+
+  // Budget ≈ two average entries in total; per shard far less — the cache
+  // thrashes, which is exactly the point.
+  (void)Engine(pairs[0].query, pairs[0].document).Count();
+  const uint64_t one_entry = pairs[0].document->cache_stats().bytes;
+  Runtime::SetCacheByteBudget(one_entry > 0 ? one_entry * 2 : 1 << 16);
+
+  const Runtime::CacheStats before = Runtime::cache_stats();
+  EXPECT_EQ(0u, Hammer(pairs, /*threads=*/8, /*iters=*/60));
+  const Runtime::CacheStats after = Runtime::cache_stats();
+
+  EXPECT_GT(after.evictions, before.evictions)
+      << "a tiny budget must keep evicting";
+  EXPECT_GE(after.misses, before.misses);
+  EXPECT_LE(after.bytes, after.budget_bytes);
+}
+
+}  // namespace
+}  // namespace slpspan

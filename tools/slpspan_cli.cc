@@ -10,6 +10,7 @@
 //   slpspan count     <in.slp> <pattern> [--alphabet=...]
 //   slpspan sample    <in.slp> <pattern> <k> [--alphabet=...] [--seed=S]
 //   slpspan check     <in.slp> <pattern> (non-emptiness only)
+//   slpspan batch     <manifest> [--threads=N] [--cache-mb=M] [--alphabet=...]
 //
 // `extract` streams span-tuples through Engine::Extract with early exit at
 // --limit (Theorem 8.10; tuples past the limit are never computed), `count`
@@ -17,10 +18,20 @@
 // from the result set, `check` is Theorem 5.1(1). Patterns use the spanner
 // regex dialect (see README.md); the alphabet defaults to printable ASCII +
 // newline + tab.
+//
+// `batch` runs a whole request manifest through the runtime layer
+// (Session::EvalBatch): every line is `op<TAB>file.slp<TAB>pattern[<TAB>limit]`
+// with op in {check, count, extract} (spaces work as separators too when the
+// pattern contains none). Documents and queries are loaded/compiled once per
+// distinct path/pattern, requests run on a worker pool sharing the
+// byte-budgeted prepared-state cache, and identical requests are evaluated
+// once. `--cache-mb` bounds the cache, `--threads` sizes the pool.
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,7 +54,11 @@ int Usage() {
                "  slpspan extract <in.slp> <pattern> [--alphabet=CHARS] "
                "[--limit=N]\n"
                "  slpspan sample <in.slp> <pattern> <k> [--alphabet=CHARS] "
-               "[--seed=S]\n");
+               "[--seed=S]\n"
+               "  slpspan batch <manifest> [--threads=N] [--cache-mb=M] "
+               "[--alphabet=CHARS]\n"
+               "      manifest line: op<TAB>file.slp<TAB>pattern[<TAB>limit], "
+               "op in {check,count,extract}\n");
   return 2;
 }
 
@@ -52,6 +67,8 @@ struct Flags {
   std::string alphabet;
   uint64_t limit = 20;
   uint64_t seed = 42;
+  uint64_t threads = 0;   // 0 = hardware concurrency
+  uint64_t cache_mb = 0;  // 0 = library default
   bool rebalance = false;
   bool parse_error = false;
   std::vector<std::string> positional;
@@ -86,6 +103,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.parse_error |= !ParseUint(arg.substr(8), &flags.limit);
     } else if (arg.rfind("--seed=", 0) == 0) {
       flags.parse_error |= !ParseUint(arg.substr(7), &flags.seed);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      flags.parse_error |= !ParseUint(arg.substr(10), &flags.threads);
+    } else if (arg.rfind("--cache-mb=", 0) == 0) {
+      flags.parse_error |= !ParseUint(arg.substr(11), &flags.cache_mb);
     } else if (arg == "--rebalance") {
       flags.rebalance = true;
     } else {
@@ -108,15 +129,6 @@ int Fail(const Status& st) {
 
 int CmdCompress(const Flags& flags) {
   if (flags.positional.size() != 2) return Usage();
-  std::ifstream in(flags.positional[0], std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot read input %s\n", flags.positional[0].c_str());
-    return 1;
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string text = ss.str();
-
   Compression method = Compression::kRePair;
   if (flags.method == "lz77") method = Compression::kLz77;
   else if (flags.method == "lz78") method = Compression::kLz78;
@@ -124,7 +136,7 @@ int CmdCompress(const Flags& flags) {
   else if (flags.method != "repair") return Usage();
 
   const auto start = std::chrono::steady_clock::now();
-  Result<DocumentPtr> doc = Document::FromText(text, method);
+  Result<DocumentPtr> doc = Document::FromFile(flags.positional[0], method);
   if (!doc.ok()) return Fail(doc.status());
   if (flags.rebalance) *doc = Document::FromSlp(Rebalance((*doc)->slp()));
   const double ms = MillisSince(start);
@@ -261,6 +273,160 @@ int CmdSample(const Flags& flags) {
   return 0;
 }
 
+// ----------------------------------------------------------------- batch ----
+
+struct ManifestLine {
+  size_t lineno = 0;
+  std::string op;
+  std::string path;
+  std::string pattern;
+  std::optional<uint64_t> limit;
+};
+
+/// Splits a manifest line into fields: by tabs when any are present (allows
+/// patterns containing spaces), otherwise by runs of whitespace.
+std::vector<std::string> SplitManifestLine(const std::string& line) {
+  std::vector<std::string> fields;
+  if (line.find('\t') != std::string::npos) {
+    size_t start = 0;
+    while (start <= line.size()) {
+      const size_t tab = line.find('\t', start);
+      const size_t end = tab == std::string::npos ? line.size() : tab;
+      if (end > start) fields.push_back(line.substr(start, end - start));
+      if (tab == std::string::npos) break;
+      start = tab + 1;
+    }
+    return fields;
+  }
+  std::istringstream ss(line);
+  std::string field;
+  while (ss >> field) fields.push_back(std::move(field));
+  return fields;
+}
+
+int CmdBatch(const Flags& flags) {
+  if (flags.positional.size() != 1) return Usage();
+  std::ifstream in(flags.positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read manifest %s\n",
+                 flags.positional[0].c_str());
+    return 1;
+  }
+
+  std::vector<ManifestLine> lines;
+  std::string raw;
+  for (size_t lineno = 1; std::getline(in, raw); ++lineno) {
+    if (raw.empty() || raw[0] == '#') continue;
+    std::vector<std::string> fields = SplitManifestLine(raw);
+    if (fields.empty()) continue;
+    ManifestLine line;
+    line.lineno = lineno;
+    if (fields.size() < 3 || fields.size() > 4 ||
+        (fields[0] != "check" && fields[0] != "count" &&
+         fields[0] != "extract")) {
+      std::fprintf(stderr,
+                   "manifest line %zu: expected "
+                   "`check|count|extract <file.slp> <pattern> [limit]`\n",
+                   lineno);
+      return 2;
+    }
+    line.op = fields[0];
+    line.path = fields[1];
+    line.pattern = fields[2];
+    if (fields.size() == 4) {
+      uint64_t limit = 0;
+      if (!ParseUint(fields[3], &limit)) {
+        std::fprintf(stderr, "manifest line %zu: bad limit '%s'\n", lineno,
+                     fields[3].c_str());
+        return 2;
+      }
+      line.limit = limit;
+    } else if (line.op == "extract") {
+      line.limit = flags.limit;
+    }
+    lines.push_back(std::move(line));
+  }
+  if (lines.empty()) {
+    std::fprintf(stderr, "manifest has no requests\n");
+    return 2;
+  }
+
+  if (flags.cache_mb > 0) {
+    Runtime::SetCacheByteBudget(flags.cache_mb << 20);
+  }
+
+  // Load every distinct document and compile every distinct pattern once;
+  // requests then share handles (and therefore cache slots).
+  std::map<std::string, DocumentPtr> docs;
+  std::map<std::string, Query> queries;
+  for (const ManifestLine& line : lines) {
+    if (docs.find(line.path) == docs.end()) {
+      Result<DocumentPtr> doc = Document::FromSlpFile(line.path);
+      if (!doc.ok()) return Fail(doc.status());
+      docs.emplace(line.path, std::move(doc).value());
+    }
+    if (queries.find(line.pattern) == queries.end()) {
+      Result<Query> query = Query::Compile(line.pattern, flags.alphabet);
+      if (!query.ok()) return Fail(query.status());
+      queries.emplace(line.pattern, std::move(query).value());
+    }
+  }
+
+  std::vector<EngineRequest> requests;
+  requests.reserve(lines.size());
+  for (const ManifestLine& line : lines) {
+    EngineRequest::Op op = EngineRequest::Op::kCount;
+    if (line.op == "check") op = EngineRequest::Op::kIsNonEmpty;
+    if (line.op == "extract") op = EngineRequest::Op::kExtract;
+    requests.push_back(EngineRequest{.query = queries.at(line.pattern),
+                                     .document = docs.at(line.path),
+                                     .op = op,
+                                     .limit = line.limit});
+  }
+
+  Session session({.num_threads = static_cast<uint32_t>(flags.threads)});
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<Result<EngineOutput>> outputs =
+      session.EvalBatch(requests);
+  const double ms = MillisSince(start);
+
+  int exit_code = 0;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    const ManifestLine& line = lines[i];
+    std::printf("[%zu] %s %s '%s'", i, line.op.c_str(), line.path.c_str(),
+                line.pattern.c_str());
+    if (!outputs[i].ok()) {
+      std::printf(" -> error: %s\n", outputs[i].status().ToString().c_str());
+      exit_code = 1;
+      continue;
+    }
+    const EngineOutput& out = *outputs[i];
+    if (line.op == "check") {
+      std::printf(" -> %s\n", out.nonempty ? "non-empty" : "empty");
+    } else if (line.op == "count") {
+      std::printf(" -> %llu%s\n",
+                  static_cast<unsigned long long>(out.count.value),
+                  out.count.exact ? "" : "+ (overflowed; lower bound)");
+    } else {
+      std::printf(" -> %zu tuple(s)\n", out.tuples.size());
+      const Engine engine(queries.at(line.pattern), docs.at(line.path));
+      for (const SpanTuple& t : out.tuples) PrintTuple(engine, t);
+    }
+  }
+
+  const Runtime::CacheStats cache = Runtime::cache_stats();
+  std::printf(
+      "\n%zu requests in %.1f ms on %u thread(s); prepared-state cache: "
+      "%llu hit(s), %llu miss(es), %llu eviction(s), %.1f MiB / %.0f MiB\n",
+      outputs.size(), ms, session.num_threads(),
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.evictions),
+      static_cast<double>(cache.bytes) / (1 << 20),
+      static_cast<double>(cache.budget_bytes) / (1 << 20));
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -275,5 +441,6 @@ int main(int argc, char** argv) {
   if (cmd == "count") return CmdCount(flags);
   if (cmd == "extract") return CmdExtract(flags);
   if (cmd == "sample") return CmdSample(flags);
+  if (cmd == "batch") return CmdBatch(flags);
   return Usage();
 }
