@@ -20,6 +20,7 @@
 #ifndef SLPSPAN_PUBLIC_DOCUMENT_H_
 #define SLPSPAN_PUBLIC_DOCUMENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -73,6 +74,21 @@ class Document {
   /// Persists the grammar in the textual `.slp` format.
   Status Save(const std::string& path) const;
 
+  /// Exports the prepared state for `query` as a checksummed bundle file
+  /// (".prep"): the sentinel-extended grammar, the Lemma 6.5 tables and —
+  /// for determinized queries — the counting tables, ready for
+  /// LoadPrepared or a spill directory (Runtime::SpillBundleName). Pays the
+  /// O(|M| + size(S)·q³) preparation if it is not already cached.
+  Status SavePrepared(const Query& query, const std::string& path) const;
+
+  /// Imports a bundle written by SavePrepared into the process-wide cache,
+  /// so the first Engine operation on (this document, `query`) skips
+  /// preparation entirely. The bundle must match both sides: fails with
+  /// kInvalidArgument on a document/query fingerprint mismatch and with
+  /// kCorruption on a damaged, truncated or wrong-version file — never by
+  /// crashing.
+  Status LoadPrepared(const Query& query, const std::string& path) const;
+
   /// Evicts this Document's entries from the process-wide prepared-state
   /// cache (the bytes stop counting against the budget immediately).
   ~Document();
@@ -93,13 +109,19 @@ class Document {
   /// Query::id() it keys the process-wide prepared-state cache.
   uint64_t id() const { return id_; }
 
+  /// Content fingerprint of the grammar (never 0; computed once, lazily).
+  /// Unlike id(), this survives restarts and is shared by structurally
+  /// identical documents — it keys the disk spill tier and exported
+  /// bundles.
+  uint64_t fingerprint() const;
+
   Slp::Stats stats() const { return slp_.ComputeStats(); }
 
   /// This Document's view of the process-wide prepared-state cache (see
   /// Runtime::cache_stats() for the global picture).
   struct CacheStats {
     uint64_t hits = 0;
-    uint64_t misses = 0;     ///< == number of preparations paid for
+    uint64_t misses = 0;     ///< lookups that left RAM (bundle load or build)
     uint64_t evictions = 0;  ///< this document's entries dropped for budget
     uint64_t entries = 0;    ///< currently resident entries
     uint64_t bytes = 0;      ///< currently resident bytes
@@ -120,6 +142,7 @@ class Document {
   const Slp slp_;
   const uint64_t id_;
   const std::shared_ptr<runtime_internal::DocCacheCounters> counters_;
+  mutable std::atomic<uint64_t> fingerprint_{0};  // 0 = not yet computed
 };
 
 }  // namespace slpspan

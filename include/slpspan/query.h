@@ -78,6 +78,12 @@ class Query {
   /// compiled Queries never do.
   uint64_t id() const;
 
+  /// Content fingerprint of the compiled evaluation automaton and options
+  /// (never 0). Unlike id(), identical patterns compiled with identical
+  /// options — even across processes — fingerprint identically; it keys the
+  /// disk spill tier and exported bundles.
+  uint64_t fingerprint() const;
+
  private:
   friend class Document;
   friend class Engine;

@@ -1,17 +1,29 @@
 // Runtime layer — what turns the library into something a server can embed.
 //
-// Two facilities:
+// Three facilities:
 //
 //  * A process-wide, sharded, byte-budgeted LRU cache of prepared evaluation
 //    state. Every Document draws from it (keyed by (document-id, query-id)),
 //    so a host holding many corpora gets a real memory policy: entries are
-//    accounted in actual bytes (Slp::MemoryUsage + EvalTables::MemoryUsage),
-//    least-recently-used pairs are evicted when the budget is exceeded, and
-//    concurrent builders of the same pair are coalesced (single-flight) so
-//    the O(|M| + size(S)·q³) preparation is never paid twice. Configure the
-//    budget with Runtime::Configure / SetCacheByteBudget; observe globally
-//    with Runtime::cache_stats() and per document with
-//    Document::cache_stats().
+//    accounted in actual bytes (Slp::MemoryUsage + EvalTables::MemoryUsage,
+//    plus the counting tables re-charged when they materialize),
+//    least-recently-used pairs are evicted when the budget is exceeded, an
+//    entry larger than its shard's budget slice is rejected up front instead
+//    of thrashing the shard, and concurrent builders of the same pair are
+//    coalesced (single-flight) so the O(|M| + size(S)·q³) preparation is
+//    never paid twice. Configure the budget with Runtime::Configure /
+//    SetCacheByteBudget; observe globally with Runtime::cache_stats() and
+//    per document with Document::cache_stats().
+//
+//  * A disk spill tier under that cache (Runtime::ConfigureSpill). Evicted
+//    and admission-rejected entries are serialized behind (on a spill
+//    thread) into checksummed ".prep" bundles in a spill directory with its
+//    own byte budget and LRU reclamation; a later cache miss first tries the
+//    disk tier (mmap + strictly validated deserialization, with the
+//    counting tables materialized lazily) before falling back to full
+//    preparation. Bundles are keyed by *content* fingerprints, so spilled
+//    work survives process restarts, and bundles exported with
+//    Document::SavePrepared pre-warm whole fleets.
 //
 //  * Session — a thread-pool handle for cross-document batch evaluation.
 //    Session::EvalBatch runs IsNonEmpty/Count/Extract-with-limit jobs for
@@ -30,6 +42,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "slpspan/document.h"
@@ -57,6 +70,24 @@ struct RuntimeOptions {
   uint32_t cache_shards = 8;
 };
 
+/// Configuration for the disk spill tier under the prepared-state cache.
+struct SpillOptions {
+  /// Directory for spilled ".prep" bundles; empty disables the disk tier.
+  /// Created if missing; bundles already present (from a previous process,
+  /// or exported with Document::SavePrepared under
+  /// Runtime::SpillBundleName) are indexed and served.
+  std::string directory;
+
+  /// Byte budget for the spill directory; least-recently-used bundles are
+  /// deleted when it is exceeded.
+  uint64_t byte_budget = uint64_t{4} << 30;  // 4 GiB
+
+  /// Serialize and write spilled bundles inline at eviction instead of
+  /// behind on the spill thread. Deterministic — meant for tests,
+  /// benchmarks and shutdown-sensitive batch jobs.
+  bool synchronous = false;
+};
+
 /// Process-wide runtime configuration and observability.
 class Runtime {
  public:
@@ -68,17 +99,56 @@ class Runtime {
   /// Adjusts only the cache byte budget (thread-safe, takes effect now).
   static void SetCacheByteBudget(uint64_t bytes);
 
+  /// Enables (non-empty directory) or disables (empty) the disk spill tier.
+  /// May be called at any time; bundles already in the directory are
+  /// indexed. Fails with kInvalidArgument when the directory cannot be
+  /// created.
+  static Status ConfigureSpill(const SpillOptions& opts);
+
+  /// Writes every currently-resident cache entry that is not yet on disk to
+  /// the spill tier, without evicting anything — what a clean shutdown calls
+  /// (followed by FlushSpill) so the next process starts warm instead of
+  /// only inheriting what eviction happened to push out. No-op when
+  /// spilling is disabled.
+  static void SpillResident();
+
+  /// Blocks until all write-behind spill work queued so far is on disk.
+  /// No-op when spilling is disabled or synchronous.
+  static void FlushSpill();
+
+  /// Stable spill-store bundle file name for a (document, query) pair —
+  /// export with Document::SavePrepared into a fleet's spill directory to
+  /// pre-warm it from artifacts.
+  static std::string SpillBundleName(const Document& document,
+                                     const Query& query);
+
   struct CacheStats {
     uint64_t hits = 0;
-    uint64_t misses = 0;     ///< == preparations actually paid for
+    uint64_t misses = 0;     ///< lookups that left the RAM tier (disk or build)
     uint64_t evictions = 0;  ///< entries dropped to respect the budget
     uint64_t entries = 0;    ///< currently resident entries
     uint64_t bytes = 0;      ///< currently resident bytes
     uint64_t budget_bytes = 0;
     uint32_t shards = 0;
+
+    /// RAM-tier misses served by deserializing a spilled bundle instead of
+    /// paying the full O(size(S)·q³) preparation.
+    uint64_t disk_hits = 0;
+    uint64_t disk_misses = 0;    ///< spill lookups that fell through to build
+    uint64_t spilled_bytes = 0;  ///< cumulative bundle bytes written
+    uint64_t spill_entries = 0;  ///< bundles currently on disk
+    uint64_t spill_bytes = 0;    ///< bundle bytes currently on disk
+    uint64_t spill_reclaimed = 0;  ///< bundles deleted to respect the budget
+    uint64_t spill_budget_bytes = 0;
+
+    /// Entries larger than a shard's budget slice, rejected at admission
+    /// (routed to the disk tier instead of thrashing the whole shard). Also
+    /// counted in `evictions` — the entry was dropped for budget.
+    uint64_t admission_rejects = 0;
   };
-  /// Aggregate statistics across all shards (hits/misses/evictions are
-  /// cumulative since process start and monotone).
+  /// Aggregate statistics across all shards plus the spill tier
+  /// (hits/misses/evictions/disk_* are cumulative and monotone; the spill
+  /// counters reset when ConfigureSpill swaps the store).
   static CacheStats cache_stats();
 };
 

@@ -11,6 +11,8 @@
 #include "slp/lz78.h"
 #include "slp/repair.h"
 #include "slp/serialize.h"
+#include "storage/fingerprint.h"
+#include "storage/prepared_bundle.h"
 
 namespace slpspan {
 
@@ -109,6 +111,38 @@ Status Document::Save(const std::string& path) const {
   return SaveSlpToFile(slp_, path);
 }
 
+uint64_t Document::fingerprint() const {
+  uint64_t fp = fingerprint_.load(std::memory_order_relaxed);
+  if (fp == 0) {
+    // Benign race: FingerprintSlp is deterministic, so concurrent first
+    // callers store the same value.
+    fp = storage::FingerprintSlp(slp_);
+    fingerprint_.store(fp, std::memory_order_relaxed);
+  }
+  return fp;
+}
+
+Status Document::SavePrepared(const Query& query, const std::string& path) const {
+  std::shared_ptr<const api_internal::PreparedState> state = PreparedFor(query);
+  if (query.options().determinize) {
+    // Materialize the counting tables so the bundle warms Count/At/Sample
+    // too, not just IsNonEmpty/Extract.
+    (void)state->Counter(query.state_->evaluator);
+  }
+  return storage::WritePreparedBundleFile(path, *state, fingerprint(),
+                                          query.fingerprint());
+}
+
+Status Document::LoadPrepared(const Query& query, const std::string& path) const {
+  Result<storage::StatePtr> loaded = storage::LoadPreparedBundleFile(
+      path, fingerprint(), query.fingerprint(),
+      runtime_internal::PreparedCache::RechargeHookFor(id_, query.id()));
+  if (!loaded.ok()) return loaded.status();
+  runtime_internal::PreparedCache::Global().Insert(
+      id_, query.id(), fingerprint(), query.fingerprint(), counters_, *loaded);
+  return Status::OK();
+}
+
 Document::CacheStats Document::cache_stats() const {
   const runtime_internal::DocCacheCounters& c = *counters_;
   return CacheStats{c.hits.load(std::memory_order_relaxed),
@@ -121,9 +155,10 @@ Document::CacheStats Document::cache_stats() const {
 std::shared_ptr<const api_internal::PreparedState> Document::PreparedFor(
     const Query& query) const {
   return runtime_internal::PreparedCache::Global().GetOrBuild(
-      id_, query.id(), counters_, [&] {
+      id_, query.id(), fingerprint(), query.fingerprint(), counters_, [&] {
         return std::make_shared<const api_internal::PreparedState>(
-            query.state_->evaluator.Prepare(slp_));
+            query.state_->evaluator.Prepare(slp_),
+            runtime_internal::PreparedCache::RechargeHookFor(id_, query.id()));
       });
 }
 

@@ -4,9 +4,12 @@
 #ifndef SLPSPAN_API_INTERNAL_H_
 #define SLPSPAN_API_INTERNAL_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "core/count.h"
 #include "core/enumerate.h"
@@ -22,13 +25,15 @@ namespace api_internal {
 /// Compiled-query state shared by all copies of one Query.
 struct QueryState {
   uint64_t id = 0;
+  uint64_t fingerprint = 0;  ///< content hash of the evaluation automaton
   QueryOptions options;
   Spanner spanner;
   SpannerEvaluator evaluator;
 
-  QueryState(uint64_t id_in, QueryOptions options_in, Spanner spanner_in,
-             SpannerEvaluator evaluator_in)
+  QueryState(uint64_t id_in, uint64_t fingerprint_in, QueryOptions options_in,
+             Spanner spanner_in, SpannerEvaluator evaluator_in)
       : id(id_in),
+        fingerprint(fingerprint_in),
         options(options_in),
         spanner(std::move(spanner_in)),
         evaluator(std::move(evaluator_in)) {}
@@ -38,32 +43,81 @@ struct QueryState {
 /// grammar + Lemma 6.5 tables, plus lazily-built counting tables. Cached
 /// inside the Document and shared by every Engine/ResultStream that uses it.
 struct PreparedState {
-  explicit PreparedState(PreparedDocument prepared_in)
-      : prepared(std::move(prepared_in)) {}
+  /// Entry re-charging: invoked with the byte delta when the lazily-built
+  /// counting tables materialize after insertion (positive for the new
+  /// tables, net of any raw bundle section freed at the same time), so the
+  /// cache keeps this entry's residency charge honest. `self` identifies
+  /// the firing state: a hook outliving its eviction must not re-charge a
+  /// later entry under the same key.
+  using RechargeFn = std::function<void(const PreparedState* self,
+                                        int64_t delta_bytes)>;
+
+  /// Materializes counting tables from a persisted bundle's counter section
+  /// (storage layer). Returning nullopt (e.g. the section failed
+  /// validation) falls back to building them from scratch.
+  using CounterLoader = std::function<std::optional<CountTables>(
+      const Slp&, const Nfa&, const EvalTables&, const std::string& section)>;
+
+  explicit PreparedState(PreparedDocument prepared_in,
+                         RechargeFn recharge = nullptr,
+                         std::string counter_section = {},
+                         CounterLoader counter_loader = nullptr)
+      : prepared(std::move(prepared_in)),
+        recharge_(std::move(recharge)),
+        counter_section_(std::move(counter_section)),
+        counter_loader_(std::move(counter_loader)) {}
 
   const PreparedDocument prepared;
 
-  /// Bytes charged to the runtime prepared-state cache: the sentinel-extended
-  /// grammar plus the Lemma 6.5 bit-matrices — the dominant per-pair cost,
-  /// O(size(S)·q²/8). The lazily-built counting tables are deliberately not
-  /// re-charged (an entry's charge must stay constant while it is resident);
-  /// CountTables::MemoryUsage exists for observability.
+  /// Bytes charged to the runtime prepared-state cache at insertion: the
+  /// sentinel-extended grammar plus the Lemma 6.5 bit-matrices — the
+  /// dominant per-pair cost, O(size(S)·q²/8) — plus a loaded bundle's raw
+  /// counter section while it is still held. The lazily-built counting
+  /// tables are charged separately when they materialize, via recharge_.
   uint64_t MemoryUsage() const {
     return sizeof(*this) + prepared.slp().MemoryUsage() +
-           prepared.tables().MemoryUsage();
+           prepared.tables().MemoryUsage() + counter_section_.capacity();
   }
 
-  /// Counting tables for Count/At/Sample; built once on first use. The
-  /// caller must ensure the query is determinized (CountTables requires it).
+  /// Counting tables for Count/At/Sample; materialized once on first use —
+  /// from the bundle's counter section when one was loaded (the raw bytes
+  /// are released afterwards), else built in O(size(S)·q²) — then
+  /// re-charged to the cache entry. The caller must ensure the query is
+  /// determinized (CountTables requires it).
   const CountTables& Counter(const SpannerEvaluator& evaluator) const {
     std::call_once(counter_once_, [&] {
-      counter_.emplace(prepared.slp(), evaluator.eval_nfa(), prepared.tables());
+      if (counter_loader_ && !counter_section_.empty()) {
+        counter_ = counter_loader_(prepared.slp(), evaluator.eval_nfa(),
+                                   prepared.tables(), counter_section_);
+      }
+      if (!counter_) {
+        counter_.emplace(prepared.slp(), evaluator.eval_nfa(),
+                         prepared.tables());
+      }
+      const int64_t freed = static_cast<int64_t>(counter_section_.capacity());
+      counter_section_ = std::string();  // the parsed tables replace the bytes
+      counter_loader_ = nullptr;
+      counter_ready_.store(true, std::memory_order_release);
+      if (recharge_) {
+        recharge_(this, static_cast<int64_t>(counter_->MemoryUsage()) - freed);
+      }
     });
     return *counter_;
   }
 
+  /// The counting tables if they have already materialized, else null.
+  /// Never builds — this is the spill-time snapshot the serializer uses.
+  const CountTables* CounterIfReady() const {
+    return counter_ready_.load(std::memory_order_acquire) ? &*counter_
+                                                          : nullptr;
+  }
+
  private:
+  RechargeFn recharge_;
+  mutable std::string counter_section_;   // raw bundle section, until parsed
+  mutable CounterLoader counter_loader_;  // both released by Counter()
   mutable std::once_flag counter_once_;
+  mutable std::atomic<bool> counter_ready_{false};
   mutable std::optional<CountTables> counter_;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "api/internal.h"
+#include "storage/fingerprint.h"
 
 namespace slpspan {
 
@@ -20,8 +21,11 @@ Result<Query> Query::Wrap(Spanner spanner, QueryOptions opts) {
   Result<SpannerEvaluator> evaluator = SpannerEvaluator::Make(
       spanner, {.determinize = opts.determinize, .rebalance = opts.rebalance});
   if (!evaluator.ok()) return evaluator.status();
+  const uint64_t fingerprint = storage::FingerprintQuery(
+      evaluator->eval_nfa(), evaluator->num_vars(), opts);
   auto state = std::make_shared<api_internal::QueryState>(
-      NextQueryId(), opts, std::move(spanner), std::move(evaluator).value());
+      NextQueryId(), fingerprint, opts, std::move(spanner),
+      std::move(evaluator).value());
   return Query(std::move(state));
 }
 
@@ -53,5 +57,7 @@ uint32_t Query::num_states() const {
 const QueryOptions& Query::options() const { return state_->options; }
 
 uint64_t Query::id() const { return state_->id; }
+
+uint64_t Query::fingerprint() const { return state_->fingerprint; }
 
 }  // namespace slpspan

@@ -1,5 +1,8 @@
 #include "core/count.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 namespace slpspan {
 
 namespace {
@@ -35,10 +38,13 @@ CountTables::CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& table
   final_states_ = tables.AcceptingNonBot(slp, nfa);
 
   // Discover the reachable triples exactly like Theorem 7.1's computation.
+  // A hash map drives discovery and evaluation; the result is flattened
+  // into the sorted counts_ vector at the end.
+  std::unordered_map<uint64_t, uint64_t> counts;
   std::vector<uint64_t> worklist;
   auto require = [&](NtId nt, StateId i, StateId j) {
     const uint64_t key = PackTriple(nt, i, j);
-    if (counts_.emplace(key, 0).second) worklist.push_back(key);
+    if (counts.emplace(key, 0).second) worklist.push_back(key);
   };
   for (StateId j : final_states_) require(slp.root(), 0, j);
   for (size_t w = 0; w < worklist.size(); ++w) {
@@ -55,7 +61,7 @@ CountTables::CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& table
 
   // Evaluate bottom-up (children have smaller NtIds).
   std::vector<std::vector<uint32_t>> pairs_by_nt(slp.NumNonTerminals());
-  for (const auto& [key, unused] : counts_) {
+  for (const auto& [key, unused] : counts) {
     (void)unused;
     pairs_by_nt[key >> 32].push_back(static_cast<uint32_t>(key & 0xFFFFFFFF));
   }
@@ -75,25 +81,84 @@ CountTables::CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& table
             count = tables.LeafCell(nt, i, j).size();
           } else {
             tables.ForEachIntermediate(slp, nt, i, j, [&](StateId k) {
-              const uint64_t cb = counts_.at(PackTriple(slp.Left(nt), i, k));
-              const uint64_t cc = counts_.at(PackTriple(slp.Right(nt), k, j));
+              const uint64_t cb = counts.at(PackTriple(slp.Left(nt), i, k));
+              const uint64_t cc = counts.at(PackTriple(slp.Right(nt), k, j));
               count = SatAdd(count, SatMul(cb, cc, &overflow_), &overflow_);
             });
           }
           break;
       }
-      counts_[PackTriple(nt, i, j)] = count;
+      counts[PackTriple(nt, i, j)] = count;
     }
   }
 
   for (StateId j : final_states_) {
-    total_ = SatAdd(total_, counts_.at(PackTriple(slp.root(), 0, j)), &overflow_);
+    total_ = SatAdd(total_, counts.at(PackTriple(slp.root(), 0, j)), &overflow_);
   }
+
+  counts_.assign(counts.begin(), counts.end());
+  std::sort(counts_.begin(), counts_.end());
+}
+
+CountTables::Parts CountTables::ExportParts() const {
+  Parts parts;
+  parts.counts = counts_;  // already key-sorted
+  parts.final_states = final_states_;
+  parts.total = total_;
+  parts.overflow = overflow_;
+  return parts;
+}
+
+Result<CountTables> CountTables::FromParts(const Slp& slp, const Nfa& nfa,
+                                           const EvalTables& tables,
+                                           Parts parts) {
+  if (!nfa.IsDeterministic()) {
+    return Status::Corruption("count tables require a deterministic automaton");
+  }
+  const uint32_t q = tables.q();
+  if (q > 0xFFFF) return Status::Corruption("state count exceeds 16 bits");
+  uint64_t prev_key = 0;
+  bool first = true;
+  for (const auto& [key, count] : parts.counts) {
+    // CountOf binary-searches, so the keys must be strictly ascending.
+    if (!first && key <= prev_key) {
+      return Status::Corruption("count keys not strictly ascending");
+    }
+    prev_key = key;
+    first = false;
+    const uint64_t nt = key >> 32;
+    const uint32_t i = static_cast<uint32_t>((key >> 16) & 0xFFFF);
+    const uint32_t j = static_cast<uint32_t>(key & 0xFFFF);
+    if (nt >= slp.NumNonTerminals() || i >= q || j >= q) {
+      return Status::Corruption("count key out of range");
+    }
+    // Leaf counts index straight into the leaf cell in Select; cap them so a
+    // forged count can never read past the materialized M_Tx[i,j].
+    if (slp.IsLeaf(static_cast<NtId>(nt)) &&
+        count > tables.LeafCell(static_cast<NtId>(nt), i, j).size()) {
+      return Status::Corruption("leaf count exceeds cell size");
+    }
+  }
+  for (const StateId s : parts.final_states) {
+    if (s >= q) return Status::Corruption("final state out of range");
+  }
+  CountTables out;
+  out.slp_ = &slp;
+  out.nfa_ = &nfa;
+  out.tables_ = &tables;
+  out.counts_ = std::move(parts.counts);  // adopted wholesale — no rebuild
+  out.final_states_ = std::move(parts.final_states);
+  out.total_ = parts.total;
+  out.overflow_ = parts.overflow;
+  return out;
 }
 
 uint64_t CountTables::CountOf(NtId nt, StateId i, StateId j) const {
-  const auto it = counts_.find(PackTriple(nt, i, j));
-  SLPSPAN_CHECK(it != counts_.end());
+  const uint64_t key = PackTriple(nt, i, j);
+  const auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), key,
+      [](const std::pair<uint64_t, uint64_t>& e, uint64_t k) { return e.first < k; });
+  SLPSPAN_CHECK(it != counts_.end() && it->first == key);
   return it->second;
 }
 

@@ -20,7 +20,7 @@
 #ifndef SLPSPAN_CORE_COUNT_H_
 #define SLPSPAN_CORE_COUNT_H_
 
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/tables.h"
@@ -39,6 +39,23 @@ class CountTables {
   /// O(size(S) * q^2 * q/w) time over the reachable triples.
   CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& tables);
 
+  /// Pointer-free snapshot of the count tables for serialization; counts are
+  /// key-sorted so equal tables export byte-identical parts.
+  struct Parts {
+    std::vector<std::pair<uint64_t, uint64_t>> counts;  // packed (nt,i,j) key
+    std::vector<StateId> final_states;
+    uint64_t total = 0;
+    bool overflow = false;
+  };
+  Parts ExportParts() const;
+
+  /// Rebinds deserialized parts to a (grammar, automaton, tables) triple.
+  /// Bounds (key ranges, leaf-cell sizes, state ids) are validated with
+  /// kCorruption on mismatch; semantic integrity of the counts themselves is
+  /// the bundle checksum's job.
+  static Result<CountTables> FromParts(const Slp& slp, const Nfa& nfa,
+                                       const EvalTables& tables, Parts parts);
+
   /// |⟦M⟧(D)| (saturated at UINT64_MAX if overflowed()).
   uint64_t Total() const { return total_; }
 
@@ -49,18 +66,17 @@ class CountTables {
   /// !overflowed() required. O(depth(S) * q + |X|) per call.
   MarkerSeq Select(uint64_t idx) const;
 
-  /// Approximate heap bytes held by the count tables (hash-map buckets plus
-  /// nodes). Observability only: counting tables are built lazily and are
-  /// small next to the EvalTables bit-matrices.
+  /// Heap bytes held by the count tables. Charged to the runtime cache
+  /// entry when the tables materialize (entry re-charging).
   uint64_t MemoryUsage() const {
-    // Node = key/value pair + next pointer (libstdc++ layout estimate).
     return sizeof(*this) +
-           counts_.size() * (sizeof(std::pair<uint64_t, uint64_t>) + sizeof(void*)) +
-           counts_.bucket_count() * sizeof(void*) +
+           counts_.capacity() * sizeof(std::pair<uint64_t, uint64_t>) +
            final_states_.capacity() * sizeof(StateId);
   }
 
  private:
+  CountTables() = default;  // FromParts fills the members
+
   uint64_t CountOf(NtId nt, StateId i, StateId j) const;
   void SelectInto(NtId nt, StateId i, StateId j, uint64_t idx, uint64_t shift,
                   std::vector<PosMark>* out) const;
@@ -68,7 +84,12 @@ class CountTables {
   const Slp* slp_;
   const Nfa* nfa_;
   const EvalTables* tables_;
-  std::unordered_map<uint64_t, uint64_t> counts_;  // packed (nt,i,j) -> |M_A[i,j]|
+  /// (packed (nt,i,j) key, |M_A[i,j]|), sorted by key. A sorted vector
+  /// instead of a hash map: CountOf binary-searches (Select does O(depth·q)
+  /// lookups, the log factor is noise), memory is half, and — the reason it
+  /// matters — deserializing a bundle's counter section adopts the vector
+  /// wholesale instead of re-inserting every entry.
+  std::vector<std::pair<uint64_t, uint64_t>> counts_;
   std::vector<StateId> final_states_;
   uint64_t total_ = 0;
   bool overflow_ = false;

@@ -47,6 +47,13 @@ class PreparedDocument {
   const Slp& slp() const { return slp_; }
   const EvalTables& tables() const { return tables_; }
 
+  /// Reassembles a prepared document from deserialized parts (storage
+  /// layer). `tables` must have been built from (and validated against)
+  /// exactly `slp`.
+  static PreparedDocument FromParts(Slp slp, EvalTables tables) {
+    return PreparedDocument(std::move(slp), std::move(tables));
+  }
+
  private:
   friend class SpannerEvaluator;
   PreparedDocument(Slp slp, EvalTables tables)

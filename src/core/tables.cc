@@ -1,26 +1,66 @@
 #include "core/tables.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
 
 namespace slpspan {
+
+namespace {
+
+uint64_t HashMatrix(const BoolMatrix& m) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (uint32_t i = 0; i < m.n(); ++i) {
+    const uint64_t* row = m.Row(i);
+    for (uint32_t w = 0; w < m.words_per_row(); ++w) {
+      h ^= row[w];
+      h *= 0x100000001B3ull;
+    }
+  }
+  return h;
+}
+
+/// Hash-consing interner for the matrix pool (construction-time only).
+class MatrixInterner {
+ public:
+  explicit MatrixInterner(std::vector<BoolMatrix>* pool) : pool_(pool) {}
+
+  uint32_t Intern(BoolMatrix m) {
+    std::vector<uint32_t>& bucket = by_hash_[HashMatrix(m)];
+    for (const uint32_t idx : bucket) {
+      if ((*pool_)[idx] == m) return idx;
+    }
+    pool_->push_back(std::move(m));
+    bucket.push_back(static_cast<uint32_t>(pool_->size() - 1));
+    return bucket.back();
+  }
+
+ private:
+  std::vector<BoolMatrix>* pool_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash_;
+};
+
+}  // namespace
 
 EvalTables::EvalTables(const Slp& slp, const Nfa& nfa) {
   SLPSPAN_CHECK(!nfa.HasEpsArcs());
   q_ = nfa.NumStates();
   const uint32_t n = slp.NumNonTerminals();
-  u_.resize(n);
-  w_.resize(n);
+  u_idx_.resize(n);
+  w_idx_.resize(n);
   leaf_index_.assign(n, UINT32_MAX);
+  MatrixInterner interner(&pool_);
 
   for (NtId a = 0; a < n; ++a) {
     if (!slp.IsLeaf(a)) {
       // U_A = U_B·U_C ;  W_A = (U_B|W_B)·W_C ∨ W_B·U_C.
       const NtId b = slp.Left(a), c = slp.Right(a);
-      u_[a] = BoolMatrix::Multiply(u_[b], u_[c]);
-      BoolMatrix any_b = u_[b];
-      any_b.OrWith(w_[b]);
-      w_[a] = BoolMatrix::Multiply(any_b, w_[c]);
-      w_[a].OrWith(BoolMatrix::Multiply(w_[b], u_[c]));
+      u_idx_[a] = interner.Intern(BoolMatrix::Multiply(U(b), U(c)));
+      BoolMatrix any_b = U(b);
+      any_b.OrWith(W(b));
+      BoolMatrix w = BoolMatrix::Multiply(any_b, W(c));
+      w.OrWith(BoolMatrix::Multiply(W(b), U(c)));
+      w_idx_[a] = interner.Intern(std::move(w));
       continue;
     }
 
@@ -29,15 +69,15 @@ EvalTables::EvalTables(const Slp& slp, const Nfa& nfa) {
     leaf_index_[a] = static_cast<uint32_t>(leaf_cells_.size());
     leaf_cells_.emplace_back(static_cast<size_t>(q_) * q_);
     auto& cells = leaf_cells_.back();
-    u_[a] = BoolMatrix(q_);
-    w_[a] = BoolMatrix(q_);
+    BoolMatrix u(q_);
+    BoolMatrix w(q_);
 
     for (StateId i = 0; i < q_; ++i) {
       // Direct char arc: the unmarked word x, element ∅.
       for (const Nfa::CharArc& ca : nfa.CharArcsFrom(i)) {
         if (ca.sym == x) {
           cells[i * q_ + ca.to].push_back(0);
-          u_[a].Set(i, ca.to);
+          u.Set(i, ca.to);
         }
       }
       // Marker set then char: i --mask--> l --x--> j, element {(1, mask)}.
@@ -45,11 +85,13 @@ EvalTables::EvalTables(const Slp& slp, const Nfa& nfa) {
         for (const Nfa::CharArc& ca : nfa.CharArcsFrom(ma.to)) {
           if (ca.sym == x) {
             cells[i * q_ + ca.to].push_back(ma.mask);
-            w_[a].Set(i, ca.to);
+            w.Set(i, ca.to);
           }
         }
       }
     }
+    u_idx_[a] = interner.Intern(std::move(u));
+    w_idx_[a] = interner.Intern(std::move(w));
     // Sort every cell by the paper's ⪯ (non-empty masks first — the empty
     // set is a prefix of everything, hence largest) and deduplicate.
     for (auto& cell : cells) {
@@ -61,10 +103,54 @@ EvalTables::EvalTables(const Slp& slp, const Nfa& nfa) {
   }
 }
 
+Result<EvalTables> EvalTables::FromParts(
+    const Slp& slp, uint32_t q, std::vector<BoolMatrix> pool,
+    std::vector<uint32_t> u_idx, std::vector<uint32_t> w_idx,
+    std::vector<std::vector<std::vector<MarkerMask>>> leaf_cells) {
+  const uint32_t n = slp.NumNonTerminals();
+  if (pool.empty()) return Status::Corruption("empty matrix pool");
+  for (const BoolMatrix& m : pool) {
+    if (m.n() != q) {
+      return Status::Corruption("eval-table matrix has wrong dimension");
+    }
+  }
+  if (u_idx.size() != n || w_idx.size() != n) {
+    return Status::Corruption("matrix index count does not match grammar");
+  }
+  for (uint32_t a = 0; a < n; ++a) {
+    if (u_idx[a] >= pool.size() || w_idx[a] >= pool.size()) {
+      return Status::Corruption("matrix index out of range");
+    }
+  }
+  EvalTables tables;
+  tables.q_ = q;
+  tables.leaf_index_.assign(n, UINT32_MAX);
+  size_t next_leaf = 0;
+  for (NtId a = 0; a < n; ++a) {
+    if (!slp.IsLeaf(a)) continue;
+    if (next_leaf >= leaf_cells.size()) {
+      return Status::Corruption("missing leaf cells");
+    }
+    if (leaf_cells[next_leaf].size() != static_cast<size_t>(q) * q) {
+      return Status::Corruption("leaf cell grid has wrong dimension");
+    }
+    tables.leaf_index_[a] = static_cast<uint32_t>(next_leaf++);
+  }
+  if (next_leaf != leaf_cells.size()) {
+    return Status::Corruption("extra leaf cells");
+  }
+  tables.pool_ = std::move(pool);
+  tables.u_idx_ = std::move(u_idx);
+  tables.w_idx_ = std::move(w_idx);
+  tables.leaf_cells_ = std::move(leaf_cells);
+  return tables;
+}
+
 uint64_t EvalTables::MemoryUsage() const {
   uint64_t bytes = sizeof(*this);
-  for (const BoolMatrix& m : u_) bytes += m.MemoryUsage();
-  for (const BoolMatrix& m : w_) bytes += m.MemoryUsage();
+  for (const BoolMatrix& m : pool_) bytes += m.MemoryUsage();
+  bytes += u_idx_.capacity() * sizeof(uint32_t);
+  bytes += w_idx_.capacity() * sizeof(uint32_t);
   bytes += leaf_index_.capacity() * sizeof(uint32_t);
   bytes += leaf_cells_.capacity() * sizeof(std::vector<std::vector<MarkerMask>>);
   for (const auto& cells : leaf_cells_) {

@@ -45,29 +45,46 @@ class EvalTables {
   /// evaluator also applies the sentinel transform first). O(|M| + s·q³/w).
   EvalTables(const Slp& slp, const Nfa& nfa);
 
+  /// Reassembles tables from deserialized parts (storage layer). `slp` must
+  /// be the grammar the parts were built from; `u_idx`/`w_idx` map each
+  /// NtId into `pool`, and `leaf_cells` is ordered by ascending leaf NtId,
+  /// each grid q×q row-major. Shapes, index ranges and per-NtId alignment
+  /// are validated (kCorruption on mismatch); semantic integrity of the
+  /// bit-matrices is the bundle checksum's job.
+  static Result<EvalTables> FromParts(
+      const Slp& slp, uint32_t q, std::vector<BoolMatrix> pool,
+      std::vector<uint32_t> u_idx, std::vector<uint32_t> w_idx,
+      std::vector<std::vector<std::vector<MarkerMask>>> leaf_cells);
+
+  /// The hash-consed matrix pool and per-NtId indexes (storage layer; see
+  /// the private members for the representation rationale).
+  const std::vector<BoolMatrix>& pool() const { return pool_; }
+  const std::vector<uint32_t>& u_indexes() const { return u_idx_; }
+  const std::vector<uint32_t>& w_indexes() const { return w_idx_; }
+
   uint32_t q() const { return q_; }
 
   RVal R(NtId a, StateId i, StateId j) const {
-    if (w_[a].Get(i, j)) return RVal::kOne;
-    return u_[a].Get(i, j) ? RVal::kEmpty : RVal::kBot;
+    if (W(a).Get(i, j)) return RVal::kOne;
+    return U(a).Get(i, j) ? RVal::kEmpty : RVal::kBot;
   }
 
   /// R_A[i,j] ≠ ⊥.
   bool NonBot(NtId a, StateId i, StateId j) const {
-    return u_[a].Get(i, j) || w_[a].Get(i, j);
+    return U(a).Get(i, j) || W(a).Get(i, j);
   }
 
-  const BoolMatrix& U(NtId a) const { return u_[a]; }
-  const BoolMatrix& W(NtId a) const { return w_[a]; }
+  const BoolMatrix& U(NtId a) const { return pool_[u_idx_[a]]; }
+  const BoolMatrix& W(NtId a) const { return pool_[w_idx_[a]]; }
 
   /// Calls fn(k) for every k ∈ I_A[i,j], ascending (A must be inner).
   template <typename Fn>
   void ForEachIntermediate(const Slp& slp, NtId a, StateId i, StateId j,
                            Fn fn) const {
     const NtId b = slp.Left(a), c = slp.Right(a);
-    const uint64_t* ub = u_[b].Row(i);
-    const uint64_t* wb = w_[b].Row(i);
-    const uint32_t words = u_[b].words_per_row();
+    const uint64_t* ub = U(b).Row(i);
+    const uint64_t* wb = W(b).Row(i);
+    const uint32_t words = U(b).words_per_row();
     for (uint32_t w = 0; w < words; ++w) {
       uint64_t bits = ub[w] | wb[w];
       while (bits != 0) {
@@ -98,8 +115,18 @@ class EvalTables {
   uint64_t MemoryUsage() const;
 
  private:
+  EvalTables() = default;  // FromParts fills the members
+
   uint32_t q_ = 0;
-  std::vector<BoolMatrix> u_, w_;              // per NtId
+  /// U_A/W_A are stored hash-consed: real documents repeat the same
+  /// reachability matrices across tens of thousands of non-terminals (a few
+  /// dozen distinct matrices is typical), so per-NtId indexes into a pool
+  /// of distinct matrices cut resident memory by orders of magnitude and
+  /// let deserialized bundles adopt the pool without per-NtId copies. The
+  /// O(size(S)·q³/w) construction cost is unchanged — every product is
+  /// still computed, only its storage is deduplicated.
+  std::vector<BoolMatrix> pool_;               // distinct matrices
+  std::vector<uint32_t> u_idx_, w_idx_;        // per NtId -> pool index
   std::vector<uint32_t> leaf_index_;           // NtId -> index or UINT32_MAX
   std::vector<std::vector<std::vector<MarkerMask>>> leaf_cells_;  // [leaf][i*q+j]
 };

@@ -1,5 +1,6 @@
 // Process-wide sharded LRU cache of prepared evaluation state, keyed by
-// (document-id, query-id) and bounded by a byte budget.
+// (document-id, query-id) and bounded by a byte budget, with an optional
+// disk spill tier underneath.
 //
 // Design notes:
 //  * Sharded locking: the key hashes to one of N shards (N fixed at first
@@ -7,13 +8,24 @@
 //    and map, so unrelated (document, query) pairs never contend.
 //  * Byte budget: the global budget is split evenly across shards. Entries
 //    are charged their real bytes (PreparedState::MemoryUsage — grammar +
-//    Lemma 6.5 bit-matrices); when a shard exceeds its slice, entries are
-//    dropped from the LRU tail. Eviction only releases the cache's
-//    shared_ptr — in-use state stays alive with its current users.
+//    Lemma 6.5 bit-matrices; lazily-built counting tables are added via
+//    Recharge when they materialize); when a shard exceeds its slice,
+//    entries are dropped from the LRU tail. Eviction only releases the
+//    cache's shared_ptr — in-use state stays alive with its current users.
+//  * Size-aware admission: an entry bigger than its shard's budget slice
+//    can never stay resident, so inserting it would only evict the whole
+//    shard and thrash. It is rejected up front (counted as an eviction plus
+//    an admission reject) and handed to the disk tier instead.
 //  * Single-flight: concurrent builders of one pair rendezvous on a Build
-//    record; exactly one thread pays the O(|M| + size(S)·q³) preparation and
-//    the rest block on the shard's condition variable until it lands. The
-//    leader counts as the miss, waiters count as hits.
+//    record; exactly one thread pays the preparation — first trying the
+//    disk tier, then the full O(|M| + size(S)·q³) build — and the rest
+//    block on the shard's condition variable until it lands. The leader
+//    counts as the miss, waiters count as hits.
+//  * Disk spill tier: entries dropped for budget are serialized into
+//    fingerprint-keyed bundles (storage/spill_store.h), write-behind on a
+//    dedicated spill thread (or inline with SpillOptions::synchronous) and
+//    outside every shard lock. Keys are content fingerprints, so the tier
+//    survives restarts and is shared by structurally identical documents.
 //  * Per-document stats: each Document owns a shared DocCacheCounters that
 //    entries also reference, so hits/misses/evictions/bytes can be reported
 //    per document (Document::cache_stats()) even when eviction happens after
@@ -40,7 +52,13 @@ namespace api_internal {
 struct PreparedState;
 }  // namespace api_internal
 
+namespace storage {
+class SpillStore;
+}  // namespace storage
+
 namespace runtime_internal {
+
+class ThreadPool;
 
 /// Cache counters for one Document, shared_ptr-held by both the Document and
 /// every cache entry built for it — eviction after the Document died updates
@@ -74,20 +92,55 @@ class PreparedCache {
 
   PreparedCache(uint64_t budget_bytes, uint32_t shards);
 
-  /// Returns the cached state for (doc_id, query_id), building it via
-  /// `build` on a miss. Thread-safe; concurrent misses for one key build
-  /// once (single-flight). `build` runs outside every lock.
-  StatePtr GetOrBuild(uint64_t doc_id, uint64_t query_id,
+  /// Returns the cached state for (doc_id, query_id). On a RAM miss the
+  /// single-flight leader first tries the disk tier (keyed by the content
+  /// fingerprints) and only then pays `build`. Thread-safe; concurrent
+  /// misses for one key resolve once. `build` and all disk I/O run outside
+  /// every lock.
+  StatePtr GetOrBuild(uint64_t doc_id, uint64_t query_id, uint64_t doc_fp,
+                      uint64_t query_fp,
                       const std::shared_ptr<DocCacheCounters>& doc,
                       const Builder& build);
 
+  /// Inserts an externally loaded state (bundle import,
+  /// Document::LoadPrepared). Counts as neither hit nor miss; an existing
+  /// resident entry is kept. Subject to the same size-aware admission rule
+  /// as built entries.
+  void Insert(uint64_t doc_id, uint64_t query_id, uint64_t doc_fp,
+              uint64_t query_fp, const std::shared_ptr<DocCacheCounters>& doc,
+              const StatePtr& state);
+
+  /// Entry re-charging: applies `delta_bytes` (positive or negative — a
+  /// loaded bundle's raw counter section is released when the tables it
+  /// encodes materialize) to the residency charge of (doc_id, query_id),
+  /// provided the resident entry still holds exactly `state` (a hook fired
+  /// by an evicted state must not adjust a later same-key entry). No-op
+  /// otherwise. May evict (and spill).
+  void Recharge(uint64_t doc_id, uint64_t query_id,
+                const api_internal::PreparedState* state, int64_t delta_bytes);
+
+  /// The recharge hook PreparedState instances for this key should carry.
+  static std::function<void(const api_internal::PreparedState*, int64_t)>
+  RechargeHookFor(uint64_t doc_id, uint64_t query_id);
+
   /// Drops a dead Document's entries — the keys (doc_id, query_id) for the
   /// given query ids; see DocCacheCounters::query_ids. Not counted as
-  /// evictions.
+  /// evictions and not spilled (the grammar handle is gone; content-equal
+  /// documents re-spill on their own evictions).
   void EraseDocument(uint64_t doc_id, const std::vector<uint64_t>& query_ids);
 
-  /// Changes the byte budget; shrinking evicts immediately.
+  /// Changes the byte budget; shrinking evicts (and spills) immediately.
   void SetByteBudget(uint64_t bytes);
+
+  /// Swaps the disk tier (empty directory = disable). See
+  /// Runtime::ConfigureSpill.
+  Status ConfigureSpill(const SpillOptions& opts);
+
+  /// Spills every resident entry not already on disk (keeps them resident).
+  void SpillResident();
+
+  /// Blocks until queued write-behind spill work is on disk.
+  void FlushSpill();
 
   Runtime::CacheStats Stats() const;
 
@@ -111,6 +164,8 @@ class PreparedCache {
     StatePtr state;
     std::shared_ptr<DocCacheCounters> doc;
     uint64_t bytes = 0;
+    uint64_t doc_fp = 0;    // content fingerprints — the disk-tier key
+    uint64_t query_fp = 0;
   };
 
   /// Single-flight rendezvous for one in-progress preparation.
@@ -136,9 +191,17 @@ class PreparedCache {
     return budget_.load(std::memory_order_relaxed) / shards_.size();
   }
 
-  /// Drops LRU-tail entries until `shard` fits its budget slice. Caller
-  /// holds shard.mu.
-  void EvictOverBudgetLocked(Shard& shard);
+  /// Drops LRU-tail entries until `shard` fits its budget slice, moving the
+  /// victims into `spill_candidates` for the caller to hand to the disk
+  /// tier *after* releasing shard.mu. Caller holds shard.mu.
+  void EvictOverBudgetLocked(Shard& shard, std::vector<Entry>* spill_candidates);
+
+  /// Serializes and writes the victims to the disk tier — write-behind on
+  /// the spill thread unless configured synchronous. Must be called without
+  /// any shard lock held. No-op when spilling is disabled.
+  void SpillVictims(std::vector<Entry> victims);
+
+  std::shared_ptr<storage::SpillStore> SpillSnapshot() const;
 
   uint32_t shard_mask_ = 0;
   std::vector<Shard> shards_;
@@ -146,6 +209,12 @@ class PreparedCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> admission_rejects_{0};
+
+  mutable std::mutex spill_mu_;
+  std::shared_ptr<storage::SpillStore> spill_;     // null = disabled
+  std::unique_ptr<ThreadPool> spill_pool_;         // created on first enable
+  bool spill_synchronous_ = false;
 };
 
 }  // namespace runtime_internal

@@ -33,6 +33,12 @@ class ThreadPool {
   /// Enqueues a task. Thread-safe; never blocks on task execution.
   void Submit(std::function<void()> task);
 
+  /// Blocks until the queue is empty and no task is executing — the flush
+  /// point for write-behind work (e.g. spilled bundles) that must be on
+  /// disk before the caller proceeds. Tasks submitted concurrently with the
+  /// wait may or may not be covered.
+  void WaitIdle();
+
   uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
 
  private:
@@ -40,7 +46,9 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
+  uint32_t active_ = 0;  // tasks currently executing
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -42,6 +42,31 @@ Slp::Slp(std::vector<Rule> rules, NtId root, uint32_t num_inner)
   }
 }
 
+Result<Slp> Slp::FromRules(const std::vector<std::pair<uint32_t, NtId>>& raw,
+                           NtId root) {
+  if (raw.empty()) return Status::Corruption("empty rule set");
+  if (root >= raw.size()) return Status::Corruption("root out of range");
+  std::vector<Rule> rules;
+  rules.reserve(raw.size());
+  uint32_t num_inner = 0;
+  for (size_t a = 0; a < raw.size(); ++a) {
+    const auto& [left, right] = raw[a];
+    if (right != kInvalidNt) {
+      // The constructor CHECKs children < parent when filling the length and
+      // depth tables; pre-validate so corrupt input surfaces as a Status.
+      if (left >= a || right >= a) {
+        return Status::Corruption("rule not topologically numbered");
+      }
+      ++num_inner;
+    }
+    rules.push_back(Rule{left, right});
+  }
+  Slp slp(std::move(rules), root, num_inner);
+  Status valid = slp.Validate();
+  if (!valid.ok()) return valid;
+  return slp;
+}
+
 SymbolId Slp::SymbolAt(uint64_t pos) const {
   SLPSPAN_CHECK(pos >= 1 && pos <= DocumentLength());
   NtId a = root_;

@@ -25,6 +25,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -139,6 +140,16 @@ class Slp {
            lengths_.capacity() * sizeof(uint64_t) +
            depths_.capacity() * sizeof(uint32_t);
   }
+
+  /// Rebuilds an Slp from a binary rule listing *preserving non-terminal
+  /// ids* — unlike CnfAssembler::Finish there is no pruning or renumbering,
+  /// which deserialized evaluation tables require (their per-NtId entries
+  /// must stay aligned with the grammar they were built from). `rules[a]` is
+  /// (left, right); right == kInvalidNt marks a leaf, left then holds the
+  /// terminal symbol. Untrusted input is fully validated; returns
+  /// kCorruption instead of aborting on malformed listings.
+  static Result<Slp> FromRules(
+      const std::vector<std::pair<uint32_t, NtId>>& rules, NtId root);
 
   /// Structural validation: topological numbering, normal form (unique leaf
   /// per terminal), reachability, and length/depth table consistency.

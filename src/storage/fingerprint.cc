@@ -1,0 +1,53 @@
+#include "storage/fingerprint.h"
+
+#include "slp/slp.h"
+#include "slpspan/query.h"
+#include "spanner/nfa.h"
+
+namespace slpspan {
+namespace storage {
+
+uint64_t FingerprintSlp(const Slp& slp) {
+  Fingerprinter fp;
+  fp.Mix(0x534C5000u);  // domain tag "SLP"
+  fp.Mix(slp.NumNonTerminals());
+  fp.Mix(slp.root());
+  for (NtId a = 0; a < slp.NumNonTerminals(); ++a) {
+    if (slp.IsLeaf(a)) {
+      fp.Mix(1);
+      fp.Mix(slp.LeafSymbol(a));
+    } else {
+      fp.Mix(2);
+      fp.Mix((static_cast<uint64_t>(slp.Left(a)) << 32) | slp.Right(a));
+    }
+  }
+  const uint64_t digest = fp.Digest();
+  return digest == 0 ? 1 : digest;  // 0 is reserved for "not yet computed"
+}
+
+uint64_t FingerprintQuery(const Nfa& eval_nfa, uint32_t num_vars,
+                          const QueryOptions& options) {
+  Fingerprinter fp;
+  fp.Mix(0x4E464100u);  // domain tag "NFA"
+  fp.Mix((static_cast<uint64_t>(options.determinize) << 1) | options.rebalance);
+  fp.Mix(num_vars);
+  fp.Mix(eval_nfa.NumStates());
+  for (StateId s = 0; s < eval_nfa.NumStates(); ++s) {
+    fp.Mix(3);
+    fp.Mix(eval_nfa.IsAccepting(s));
+    for (const Nfa::CharArc& arc : eval_nfa.CharArcsFrom(s)) {
+      fp.Mix(4);
+      fp.Mix((static_cast<uint64_t>(arc.sym) << 32) | arc.to);
+    }
+    for (const Nfa::MarkArc& arc : eval_nfa.MarkArcsFrom(s)) {
+      fp.Mix(5);
+      fp.Mix(arc.to);
+      fp.Mix(arc.mask);
+    }
+  }
+  const uint64_t digest = fp.Digest();
+  return digest == 0 ? 1 : digest;
+}
+
+}  // namespace storage
+}  // namespace slpspan

@@ -1,0 +1,59 @@
+// Content fingerprints for the persistent prepared-state store.
+//
+// The runtime cache keys prepared state by process-local (document-id,
+// query-id) counters, which do not survive a restart. The disk tier and
+// exported bundles instead key on 64-bit *content* fingerprints: a hash of
+// the grammar's rule structure for documents, and a hash of the compiled
+// evaluation automaton (plus the options that shaped preparation) for
+// queries. Two Documents wrapping structurally identical grammars — or two
+// processes compiling the same pattern — therefore share spilled bundles.
+//
+// Fingerprints are identity hints, not a security boundary: bundles are
+// additionally checksummed, and deserialization bounds-checks everything.
+
+#ifndef SLPSPAN_STORAGE_FINGERPRINT_H_
+#define SLPSPAN_STORAGE_FINGERPRINT_H_
+
+#include <cstdint>
+
+namespace slpspan {
+
+class Slp;
+class Nfa;
+struct QueryOptions;
+
+namespace storage {
+
+/// FNV-1a-style streaming 64-bit hasher with a finalization mix.
+class Fingerprinter {
+ public:
+  void Mix(uint64_t v) {
+    h_ ^= v;
+    h_ *= 0x100000001B3ull;
+  }
+
+  uint64_t Digest() const {
+    uint64_t h = h_;
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return h;
+  }
+
+ private:
+  uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+/// Hash of the grammar's rule listing and root (never 0).
+uint64_t FingerprintSlp(const Slp& slp);
+
+/// Hash of the compiled evaluation automaton plus the preparation-shaping
+/// options (never 0). Identical patterns compiled with identical options
+/// fingerprint identically — the compilation pipeline is deterministic.
+uint64_t FingerprintQuery(const Nfa& eval_nfa, uint32_t num_vars,
+                          const QueryOptions& options);
+
+}  // namespace storage
+}  // namespace slpspan
+
+#endif  // SLPSPAN_STORAGE_FINGERPRINT_H_

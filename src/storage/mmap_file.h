@@ -1,0 +1,45 @@
+// Read-only memory-mapped file (POSIX). Bundles are opened through this so
+// a warm-from-disk load never copies the file through a userspace read
+// buffer: pages are faulted in on demand while the deserializer walks the
+// mapping, and the mapping is released as soon as the bundle's sections are
+// materialized.
+
+#ifndef SLPSPAN_STORAGE_MMAP_FILE_H_
+#define SLPSPAN_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace slpspan {
+namespace storage {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Missing/unreadable files are kInvalidArgument;
+  /// an empty file is kCorruption (no valid bundle is empty).
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MmapFile() = default;
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace storage
+}  // namespace slpspan
+
+#endif  // SLPSPAN_STORAGE_MMAP_FILE_H_

@@ -1,0 +1,538 @@
+#include "storage/prepared_bundle.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "core/count.h"
+#include "core/tables.h"
+#include "slp/slp.h"
+#include "storage/bundle_format.h"
+#include "storage/mmap_file.h"
+
+namespace slpspan {
+namespace storage {
+
+namespace {
+
+constexpr uint8_t kDense = 0;
+constexpr uint8_t kSparse = 1;
+
+// ------------------------------------------------------------- grammar ----
+
+void WriteGrammar(const Slp& slp, BundleWriter* w) {
+  w->U32(slp.NumNonTerminals());
+  w->U32(slp.root());
+  for (NtId a = 0; a < slp.NumNonTerminals(); ++a) {
+    if (slp.IsLeaf(a)) {
+      w->U32(slp.LeafSymbol(a));
+      w->U32(kInvalidNt);
+    } else {
+      w->U32(slp.Left(a));
+      w->U32(slp.Right(a));
+    }
+  }
+}
+
+Result<Slp> ReadGrammar(BundleReader* r) {
+  uint32_t num_nts = 0, root = 0;
+  Status st = r->U32(&num_nts);
+  if (st.ok()) st = r->U32(&root);
+  if (!st.ok()) return st;
+  if (num_nts == 0) return Status::Corruption("bundle grammar is empty");
+  if (r->remaining() < static_cast<size_t>(num_nts) * 8) {
+    return Status::Corruption("truncated bundle grammar");
+  }
+  std::vector<std::pair<uint32_t, NtId>> rules;
+  rules.reserve(num_nts);
+  for (uint32_t a = 0; a < num_nts; ++a) {
+    uint32_t left = 0, right = 0;
+    (void)r->U32(&left);
+    (void)r->U32(&right);
+    rules.emplace_back(left, right);
+  }
+  return Slp::FromRules(rules, root);
+}
+
+// ------------------------------------------------------------ matrices ----
+
+void WriteMatrix(const BoolMatrix& m, uint32_t q, BundleWriter* w) {
+  const uint32_t words = m.words_per_row();
+  const size_t total_words = static_cast<size_t>(q) * words;
+  size_t nonzero = 0;
+  for (uint32_t i = 0; i < q; ++i) {
+    const uint64_t* row = m.Row(i);
+    for (uint32_t k = 0; k < words; ++k) nonzero += row[k] != 0;
+  }
+  // Sparse entry = index u32 + bits u64; dense word = bits u64.
+  if (nonzero * 12 < total_words * 8) {
+    w->U8(kSparse);
+    w->U32(static_cast<uint32_t>(nonzero));
+    for (uint32_t i = 0; i < q; ++i) {
+      const uint64_t* row = m.Row(i);
+      for (uint32_t k = 0; k < words; ++k) {
+        if (row[k] == 0) continue;
+        w->U32(i * words + k);
+        w->U64(row[k]);
+      }
+    }
+  } else {
+    w->U8(kDense);
+    for (uint32_t i = 0; i < q; ++i) {
+      w->Bytes(m.Row(i), static_cast<size_t>(words) * 8);
+    }
+  }
+}
+
+Status ReadMatrix(BundleReader* r, uint32_t q, BoolMatrix* out) {
+  uint8_t format = 0;
+  Status st = r->U8(&format);
+  if (!st.ok()) return st;
+  const uint32_t words = (q + 63) / 64;
+  const size_t total_words = static_cast<size_t>(q) * words;
+  if (format == kDense) {
+    if (r->remaining() < total_words * 8) {
+      return Status::Corruption("truncated dense matrix");
+    }
+    *out = BoolMatrix(q);
+    for (uint32_t i = 0; i < q; ++i) {
+      (void)r->Bytes(out->MutableRow(i), static_cast<size_t>(words) * 8);
+    }
+    return Status::OK();
+  }
+  if (format != kSparse) return Status::Corruption("unknown matrix format");
+  uint32_t nonzero = 0;
+  st = r->U32(&nonzero);
+  if (!st.ok()) return st;
+  if (r->remaining() < static_cast<size_t>(nonzero) * 12) {
+    return Status::Corruption("truncated sparse matrix");
+  }
+  *out = BoolMatrix(q);
+  for (uint32_t e = 0; e < nonzero; ++e) {
+    uint32_t index = 0;
+    uint64_t bits = 0;
+    (void)r->U32(&index);
+    (void)r->U64(&bits);
+    if (index >= total_words) {
+      return Status::Corruption("sparse matrix word index out of range");
+    }
+    out->MutableRow(index / words)[index % words] = bits;
+  }
+  return Status::OK();
+}
+
+// The U/W matrices repeat massively across non-terminals, and EvalTables
+// already stores them hash-consed (a pool of distinct matrices plus two
+// per-nt indexes). The bundle mirrors that representation 1:1 — an
+// order-of-magnitude smaller file, and deserialization adopts the pool
+// without any per-nt matrix copies.
+
+void WriteMatrixPool(const EvalTables& tables, uint32_t q, BundleWriter* w) {
+  const std::vector<BoolMatrix>& pool = tables.pool();
+  w->U32(static_cast<uint32_t>(pool.size()));
+  for (const BoolMatrix& m : pool) WriteMatrix(m, q, w);
+  const bool narrow = pool.size() <= 0xFFFF;
+  for (const std::vector<uint32_t>* indexes :
+       {&tables.u_indexes(), &tables.w_indexes()}) {
+    for (const uint32_t idx : *indexes) {
+      if (narrow) {
+        w->U16(static_cast<uint16_t>(idx));
+      } else {
+        w->U32(idx);
+      }
+    }
+  }
+}
+
+Status ReadMatrixPool(BundleReader* r, uint32_t n, uint32_t q,
+                      std::vector<BoolMatrix>* pool,
+                      std::vector<uint32_t>* u_idx,
+                      std::vector<uint32_t>* w_idx) {
+  uint32_t num_unique = 0;
+  Status st = r->U32(&num_unique);
+  if (!st.ok()) return st;
+  if (num_unique == 0) return Status::Corruption("empty matrix pool");
+  if (num_unique > r->remaining()) {  // every matrix takes >= 1 byte
+    return Status::Corruption("truncated matrix pool");
+  }
+  pool->resize(num_unique);
+  for (uint32_t m = 0; m < num_unique; ++m) {
+    st = ReadMatrix(r, q, &(*pool)[m]);
+    if (!st.ok()) return st;
+  }
+  const bool narrow = num_unique <= 0xFFFF;
+  if (r->remaining() < static_cast<size_t>(n) * 2 * (narrow ? 2 : 4)) {
+    return Status::Corruption("truncated matrix index table");
+  }
+  for (std::vector<uint32_t>* dest : {u_idx, w_idx}) {
+    dest->resize(n);
+    for (uint32_t a = 0; a < n; ++a) {
+      uint32_t idx = 0;
+      if (narrow) {
+        uint16_t idx16 = 0;
+        (void)r->U16(&idx16);
+        idx = idx16;
+      } else {
+        (void)r->U32(&idx);
+      }
+      if (idx >= num_unique) {
+        return Status::Corruption("matrix index out of range");
+      }
+      (*dest)[a] = idx;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- leaf cells ----
+
+using LeafGrid = std::vector<std::vector<MarkerMask>>;
+
+void WriteLeafGrid(const Slp& slp, const EvalTables& tables, NtId leaf,
+                   uint32_t q, BundleWriter* w) {
+  (void)slp;
+  const size_t cells = static_cast<size_t>(q) * q;
+  size_t nonempty = 0, total_masks = 0;
+  for (StateId i = 0; i < q; ++i) {
+    for (StateId j = 0; j < q; ++j) {
+      const auto& cell = tables.LeafCell(leaf, i, j);
+      nonempty += !cell.empty();
+      total_masks += cell.size();
+    }
+  }
+  // Dense cost: len u32 per cell; sparse cost: cell-index u32 + len u32 per
+  // non-empty cell. The mask payload is identical either way.
+  if (nonempty * 8 < cells * 4) {
+    w->U8(kSparse);
+    w->U32(static_cast<uint32_t>(nonempty));
+    for (StateId i = 0; i < q; ++i) {
+      for (StateId j = 0; j < q; ++j) {
+        const auto& cell = tables.LeafCell(leaf, i, j);
+        if (cell.empty()) continue;
+        w->U32(i * q + j);
+        w->U32(static_cast<uint32_t>(cell.size()));
+        for (const MarkerMask mask : cell) w->U64(mask);
+      }
+    }
+  } else {
+    w->U8(kDense);
+    for (StateId i = 0; i < q; ++i) {
+      for (StateId j = 0; j < q; ++j) {
+        const auto& cell = tables.LeafCell(leaf, i, j);
+        w->U32(static_cast<uint32_t>(cell.size()));
+        for (const MarkerMask mask : cell) w->U64(mask);
+      }
+    }
+  }
+}
+
+Status ReadCellMasks(BundleReader* r, uint32_t len,
+                     std::vector<MarkerMask>* cell) {
+  if (r->remaining() < static_cast<size_t>(len) * 8) {
+    return Status::Corruption("truncated leaf cell");
+  }
+  cell->resize(len);
+  for (uint32_t m = 0; m < len; ++m) (void)r->U64(&(*cell)[m]);
+  return Status::OK();
+}
+
+Status ReadLeafGrid(BundleReader* r, uint32_t q, LeafGrid* grid) {
+  uint8_t format = 0;
+  Status st = r->U8(&format);
+  if (!st.ok()) return st;
+  const size_t cells = static_cast<size_t>(q) * q;
+  if (format == kDense) {
+    if (r->remaining() < cells * 4) {
+      return Status::Corruption("truncated dense leaf grid");
+    }
+    grid->resize(cells);
+    for (size_t c = 0; c < cells; ++c) {
+      uint32_t len = 0;
+      st = r->U32(&len);
+      if (st.ok()) st = ReadCellMasks(r, len, &(*grid)[c]);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+  if (format != kSparse) return Status::Corruption("unknown leaf grid format");
+  uint32_t nonempty = 0;
+  st = r->U32(&nonempty);
+  if (!st.ok()) return st;
+  if (r->remaining() < static_cast<size_t>(nonempty) * 8) {
+    return Status::Corruption("truncated sparse leaf grid");
+  }
+  // A sparse grid materializes q×q cell vectors from almost no payload, so
+  // cap the expansion factor: an honest bundle's other sections already
+  // cost bytes proportional to q, making a grid thousands of times larger
+  // than the whole remaining payload physically implausible — while a
+  // forged q near 2^16 would otherwise demand ~100 GiB of empty vectors.
+  if (cells / 1024 > r->remaining()) {
+    return Status::Corruption("implausible leaf grid dimension");
+  }
+  grid->resize(cells);
+  for (uint32_t e = 0; e < nonempty; ++e) {
+    uint32_t index = 0, len = 0;
+    (void)r->U32(&index);
+    st = r->U32(&len);
+    if (!st.ok()) return st;
+    if (index >= cells) {
+      return Status::Corruption("leaf cell index out of range");
+    }
+    st = ReadCellMasks(r, len, &(*grid)[index]);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- counter ----
+
+// Counts are key-sorted, so keys delta-encode into 1-2 varint bytes; counts
+// themselves are usually tiny. ~3 bytes per reachable triple instead of 16.
+void WriteCounter(const CountTables& counter, BundleWriter* w) {
+  const CountTables::Parts parts = counter.ExportParts();
+  w->U64(parts.counts.size());
+  uint64_t prev_key = 0;
+  for (const auto& [key, count] : parts.counts) {
+    w->Varint(key - prev_key);
+    w->Varint(count);
+    prev_key = key;
+  }
+  w->U32(static_cast<uint32_t>(parts.final_states.size()));
+  for (const StateId s : parts.final_states) w->U32(s);
+  w->U64(parts.total);
+  w->U8(parts.overflow ? 1 : 0);
+}
+
+Result<CountTables::Parts> ReadCounterParts(BundleReader* r) {
+  CountTables::Parts parts;
+  uint64_t num_counts = 0;
+  Status st = r->U64(&num_counts);
+  if (!st.ok()) return st;
+  if (num_counts > r->remaining() / 2) {  // every entry takes >= 2 bytes
+    return Status::Corruption("truncated counter section");
+  }
+  parts.counts.reserve(num_counts);
+  uint64_t key = 0;
+  for (uint64_t e = 0; e < num_counts; ++e) {
+    uint64_t delta = 0, count = 0;
+    st = r->Varint(&delta);
+    if (st.ok()) st = r->Varint(&count);
+    if (!st.ok()) return st;
+    key += delta;
+    parts.counts.emplace_back(key, count);
+  }
+  uint32_t num_final = 0;
+  st = r->U32(&num_final);
+  if (!st.ok()) return st;
+  if (r->remaining() < static_cast<size_t>(num_final) * 4) {
+    return Status::Corruption("truncated counter final states");
+  }
+  parts.final_states.resize(num_final);
+  for (uint32_t e = 0; e < num_final; ++e) (void)r->U32(&parts.final_states[e]);
+  uint8_t overflow = 0;
+  st = r->U64(&parts.total);
+  if (st.ok()) st = r->U8(&overflow);
+  if (!st.ok()) return st;
+  parts.overflow = overflow != 0;
+  return parts;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- top level ----
+
+std::string SerializePreparedState(const api_internal::PreparedState& state,
+                                   uint64_t doc_fp, uint64_t query_fp) {
+  const Slp& slp = state.prepared.slp();
+  const EvalTables& tables = state.prepared.tables();
+  const uint32_t q = tables.q();
+
+  BundleWriter payload;
+  WriteGrammar(slp, &payload);
+  payload.U32(q);
+  WriteMatrixPool(tables, q, &payload);
+  uint32_t num_leaves = 0;
+  for (NtId a = 0; a < slp.NumNonTerminals(); ++a) num_leaves += slp.IsLeaf(a);
+  payload.U32(num_leaves);
+  for (NtId a = 0; a < slp.NumNonTerminals(); ++a) {
+    if (slp.IsLeaf(a)) WriteLeafGrid(slp, tables, a, q, &payload);
+  }
+
+  uint32_t flags = 0;
+  if (const CountTables* counter = state.CounterIfReady()) {
+    flags |= kBundleFlagHasCounter;
+    WriteCounter(*counter, &payload);
+  }
+  return SealBundle(flags, doc_fp, query_fp, payload.TakeBuffer());
+}
+
+Result<StatePtr> DeserializePreparedState(
+    const uint8_t* data, size_t size, uint64_t expected_doc_fp,
+    uint64_t expected_query_fp,
+    api_internal::PreparedState::RechargeFn recharge) {
+  Result<BundleHeader> header = OpenBundle(data, size);
+  if (!header.ok()) return header.status();
+  if (header->doc_fp != expected_doc_fp) {
+    return Status::InvalidArgument(
+        "bundle was built for a different document (fingerprint mismatch)");
+  }
+  if (header->query_fp != expected_query_fp) {
+    return Status::InvalidArgument(
+        "bundle was built for a different query (fingerprint mismatch)");
+  }
+
+  BundleReader reader(data + kBundleHeaderSize, header->payload_size);
+
+  Result<Slp> slp = ReadGrammar(&reader);
+  if (!slp.ok()) return slp.status();
+
+  uint32_t q = 0;
+  Status st = reader.U32(&q);
+  if (!st.ok()) return st;
+  if (q == 0 || q > 0xFFFF) {
+    return Status::Corruption("bundle state count out of range");
+  }
+  const uint32_t n = slp->NumNonTerminals();
+  std::vector<BoolMatrix> pool;
+  std::vector<uint32_t> u_idx, w_idx;
+  st = ReadMatrixPool(&reader, n, q, &pool, &u_idx, &w_idx);
+  if (!st.ok()) return st;
+  uint32_t num_leaves = 0;
+  st = reader.U32(&num_leaves);
+  if (!st.ok()) return st;
+  if (num_leaves > reader.remaining()) {  // every grid takes >= 1 byte
+    return Status::Corruption("truncated leaf grids");
+  }
+  std::vector<LeafGrid> leaf_cells(num_leaves);
+  for (uint32_t l = 0; l < num_leaves; ++l) {
+    st = ReadLeafGrid(&reader, q, &leaf_cells[l]);
+    if (!st.ok()) return st;
+  }
+  Result<EvalTables> tables =
+      EvalTables::FromParts(*slp, q, std::move(pool), std::move(u_idx),
+                            std::move(w_idx), std::move(leaf_cells));
+  if (!tables.ok()) return tables.status();
+
+  // The counter section is kept as raw bytes on the PreparedState (charged
+  // to its MemoryUsage) and materialized lazily on the first
+  // Count/At/Sample — it needs the query's evaluation automaton, and
+  // check-only workloads never pay for it; the bytes are released once
+  // parsed. The section was covered by the bundle checksum above; one that
+  // still fails validation against the rebuilt tables falls back to a
+  // from-scratch build.
+  std::string counter_section;
+  api_internal::PreparedState::CounterLoader loader;
+  if ((header->flags & kBundleFlagHasCounter) != 0) {
+    counter_section.assign(reinterpret_cast<const char*>(reader.cursor()),
+                           reader.remaining());
+    loader = [](const Slp& bound_slp, const Nfa& nfa,
+                const EvalTables& bound_tables,
+                const std::string& section) -> std::optional<CountTables> {
+      BundleReader counter_reader(
+          reinterpret_cast<const uint8_t*>(section.data()), section.size());
+      Result<CountTables::Parts> parts = ReadCounterParts(&counter_reader);
+      if (!parts.ok()) return std::nullopt;
+      Result<CountTables> counter = CountTables::FromParts(
+          bound_slp, nfa, bound_tables, std::move(parts).value());
+      if (!counter.ok()) return std::nullopt;
+      return std::move(counter).value();
+    };
+  }
+
+  return std::make_shared<const api_internal::PreparedState>(
+      PreparedDocument::FromParts(std::move(slp).value(),
+                                  std::move(tables).value()),
+      std::move(recharge), std::move(counter_section), std::move(loader));
+}
+
+Result<std::string> WriteTempFile(const std::string& final_path,
+                                  const std::string& bytes) {
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = final_path + ".tmp." + std::to_string(::getpid()) +
+                          "." +
+                          std::to_string(counter.fetch_add(1,
+                                                           std::memory_order_relaxed));
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open for writing: " + tmp);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return Status::InvalidArgument("write failed: " + tmp);
+  }
+  return tmp;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  Result<std::string> tmp = WriteTempFile(path, bytes);
+  if (!tmp.ok()) return tmp.status();
+  std::error_code ec;
+  std::filesystem::rename(*tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(*tmp, ec);
+    return Status::InvalidArgument("cannot move file into place: " + path);
+  }
+  return Status::OK();
+}
+
+Status WritePreparedBundleFile(const std::string& path,
+                               const api_internal::PreparedState& state,
+                               uint64_t doc_fp, uint64_t query_fp) {
+  return WriteFileAtomic(path, SerializePreparedState(state, doc_fp, query_fp));
+}
+
+Result<StatePtr> LoadPreparedBundleFile(
+    const std::string& path, uint64_t expected_doc_fp,
+    uint64_t expected_query_fp,
+    api_internal::PreparedState::RechargeFn recharge) {
+  Result<MmapFile> file = MmapFile::Open(path);
+  if (!file.ok()) return file.status();
+  try {
+    return DeserializePreparedState(file->data(), file->size(),
+                                    expected_doc_fp, expected_query_fp,
+                                    std::move(recharge));
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("out of memory deserializing " + path);
+  }
+}
+
+std::string SpillFileName(uint64_t doc_fp, uint64_t query_fp) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "pb-%016" PRIx64 "-%016" PRIx64 ".prep",
+                doc_fp, query_fp);
+  return buf;
+}
+
+bool ParseSpillFileName(const std::string& name, uint64_t* doc_fp,
+                        uint64_t* query_fp) {
+  if (name.size() != 3 + 16 + 1 + 16 + 5) return false;
+  if (name.rfind("pb-", 0) != 0 || name[19] != '-' ||
+      name.compare(36, 5, ".prep") != 0) {
+    return false;
+  }
+  auto parse_hex = [](const std::string& s, size_t pos, uint64_t* out) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < 16; ++i) {
+      const char c = s[pos + i];
+      uint64_t digit;
+      if (c >= '0' && c <= '9') digit = static_cast<uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<uint64_t>(c - 'a') + 10;
+      else return false;
+      v = (v << 4) | digit;
+    }
+    *out = v;
+    return true;
+  };
+  return parse_hex(name, 3, doc_fp) && parse_hex(name, 20, query_fp);
+}
+
+}  // namespace storage
+}  // namespace slpspan

@@ -1,0 +1,171 @@
+#include "storage/spill_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace slpspan {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<SpillStore>> SpillStore::Open(Options opts) {
+  if (opts.directory.empty()) {
+    return Status::InvalidArgument("spill directory must not be empty");
+  }
+  std::error_code ec;
+  fs::create_directories(opts.directory, ec);
+  if (ec || !fs::is_directory(opts.directory)) {
+    return Status::InvalidArgument("cannot create spill directory " +
+                                   opts.directory);
+  }
+
+  std::unique_ptr<SpillStore> store(new SpillStore(std::move(opts)));
+
+  // Index what a previous process left behind, oldest-modified first, so the
+  // scan ends with the newest bundles at the LRU front.
+  struct Found {
+    fs::file_time_type mtime;
+    Key key;
+    uint64_t bytes = 0;
+  };
+  std::vector<Found> found;
+  for (const fs::directory_entry& entry : fs::directory_iterator(store->dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    Key key;
+    if (!ParseSpillFileName(entry.path().filename().string(), &key.doc_fp,
+                            &key.query_fp)) {
+      continue;  // not ours (tolerate stray files, in-flight .tmp writes)
+    }
+    std::error_code size_ec;
+    const uintmax_t size = entry.file_size(size_ec);
+    if (size_ec) continue;  // vanished mid-scan (shared dir); don't adopt a
+                            // bogus UINT64_MAX charge that would reclaim all
+    found.push_back({entry.last_write_time(ec), key, size});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
+  for (const Found& f : found) {
+    store->lru_.push_front(Entry{f.key, f.bytes, store->next_gen_++});
+    store->index_[f.key] = store->lru_.begin();
+    store->bytes_ += f.bytes;
+  }
+  {
+    std::lock_guard<std::mutex> lock(store->mu_);
+    store->ReclaimOverBudgetLocked();
+  }
+  return store;
+}
+
+std::string SpillStore::PathFor(const Key& key) const {
+  return dir_ + "/" + SpillFileName(key.doc_fp, key.query_fp);
+}
+
+Status SpillStore::Put(uint64_t doc_fp, uint64_t query_fp,
+                       const std::string& image) {
+  const Key key{doc_fp, query_fp};
+  const std::string path = PathFor(key);
+  Result<std::string> tmp = WriteTempFile(path, image);
+  if (!tmp.ok()) return tmp.status();
+
+  // The rename happens under mu_ so it serializes against reclamation: a
+  // concurrent eviction of this key's *old* bundle can then never delete
+  // the freshly-installed file.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code rename_ec;
+  fs::rename(*tmp, path, rename_ec);
+  if (rename_ec) {
+    fs::remove(*tmp, rename_ec);
+    return Status::InvalidArgument("cannot move bundle into place: " + path);
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) {  // overwrote an existing bundle
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, image.size(), next_gen_++});
+  index_[key] = lru_.begin();
+  bytes_ += image.size();
+  spilled_bytes_ += image.size();
+  ReclaimOverBudgetLocked();
+  return Status::OK();
+}
+
+StatePtr SpillStore::Get(uint64_t doc_fp, uint64_t query_fp,
+                         api_internal::PreparedState::RechargeFn recharge) {
+  const Key key{doc_fp, query_fp};
+  uint64_t seen_gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++disk_misses_;
+      return nullptr;
+    }
+    seen_gen = it->second->gen;
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  }
+
+  // mmap + deserialize outside the lock; reclamation racing us turns into a
+  // plain miss when the open fails.
+  Result<StatePtr> loaded = LoadPreparedBundleFile(PathFor(key), doc_fp,
+                                                   query_fp, std::move(recharge));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (loaded.ok()) {
+    ++disk_hits_;
+    return *loaded;
+  }
+  // A *corrupt* bundle is dropped so the slot stops poisoning lookups; any
+  // other failure (transient open/mmap error, allocation pressure) leaves
+  // the file alone — deleting a healthy bundle over a transient condition
+  // would permanently discard the prepared work it holds. The generation
+  // check keeps this from deleting a healthy bundle a concurrent Put
+  // installed for the same key while the lock was dropped.
+  if (loaded.status().code() == StatusCode::kCorruption) {
+    auto it = index_.find(key);
+    if (it != index_.end() && it->second->gen == seen_gen) {
+      std::error_code ec;
+      fs::remove(PathFor(key), ec);
+      bytes_ -= it->second->bytes;
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+  ++disk_misses_;
+  return nullptr;
+}
+
+bool SpillStore::Contains(uint64_t doc_fp, uint64_t query_fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(Key{doc_fp, query_fp}) != index_.end();
+}
+
+void SpillStore::ReclaimOverBudgetLocked() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    std::error_code ec;
+    fs::remove(PathFor(victim.key), ec);
+    bytes_ -= victim.bytes;
+    ++reclaimed_;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+SpillStore::Stats SpillStore::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.disk_hits = disk_hits_;
+  stats.disk_misses = disk_misses_;
+  stats.spilled_bytes = spilled_bytes_;
+  stats.entries = index_.size();
+  stats.bytes = bytes_;
+  stats.reclaimed = reclaimed_;
+  stats.budget_bytes = budget_;
+  return stats;
+}
+
+}  // namespace storage
+}  // namespace slpspan

@@ -1,0 +1,461 @@
+// Tests for the persistent prepared-state store (src/storage/ + its runtime
+// and API wiring): bundle round-trips (random SLPs × spanners must evaluate
+// identically after reload), strict rejection of corrupt/truncated/
+// mismatched bundles (Status, never a crash — this suite runs under
+// ASan+UBSan in CI), the disk spill tier (write-behind on eviction, disk
+// hits on later misses, restart survival, LRU reclamation, pre-warming),
+// size-aware admission and CountTables entry re-charging.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
+#include "storage/bundle_format.h"
+#include "storage/prepared_bundle.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace slpspan {
+namespace {
+
+namespace fs = std::filesystem;
+using testing_util::ExpectSameTupleSet;
+
+constexpr uint64_t kDefaultBudget = RuntimeOptions{}.cache_bytes;
+
+/// Restores the cache budget and disables the spill tier even when a test
+/// fails mid-way.
+struct RuntimeGuard {
+  ~RuntimeGuard() {
+    Runtime::SetCacheByteBudget(kDefaultBudget);
+    (void)Runtime::ConfigureSpill({});
+  }
+};
+
+Query MustCompile(const std::string& pattern, const std::string& alphabet) {
+  Result<Query> q = Query::Compile(pattern, alphabet);
+  SLPSPAN_CHECK(q.ok());
+  return *q;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = TempPath(name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string RandomText(Rng* rng, size_t min_len, size_t max_len) {
+  const size_t len = rng->Range(min_len, max_len);
+  std::string text;
+  text.reserve(len);
+  for (size_t i = 0; i < len; ++i) text += "abc"[rng->Below(3)];
+  return text;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+size_t CountBundles(const std::string& dir) {
+  size_t n = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    n += e.path().extension() == ".prep";
+  }
+  return n;
+}
+
+// ------------------------------------------------------------ round trip ----
+
+// Property test: random documents × spanners, every task must agree after a
+// bundle round-trip, and the reloaded document must never re-prepare.
+TEST(PreparedBundle, RoundTripPreservesAllTasks) {
+  const std::vector<Query> queries = {
+      MustCompile(".*x{a}y{b?cc*}.*", "abc"),
+      MustCompile("(b|c)*x{a}.*y{cc*}.*", "abc"),
+      MustCompile(".*x{ab|bc}.*", "abc"),
+  };
+  const Compression methods[] = {Compression::kRePair, Compression::kLz78,
+                                 Compression::kBalanced};
+  Rng rng(20260726);
+  for (int round = 0; round < 6; ++round) {
+    const std::string text = RandomText(&rng, 40, 400);
+    const Query& query = queries[round % queries.size()];
+    const DocumentPtr original =
+        *Document::FromText(text, methods[round % 3]);
+    const Engine engine(query, original);
+
+    const std::string path = TempPath("roundtrip.prep");
+    ASSERT_TRUE(original->SavePrepared(query, path).ok()) << "round " << round;
+
+    const DocumentPtr reloaded = Document::FromSlp(original->slp());
+    ASSERT_TRUE(reloaded->LoadPrepared(query, path).ok()) << "round " << round;
+    const Engine warm(query, reloaded);
+
+    EXPECT_EQ(engine.IsNonEmpty(), warm.IsNonEmpty());
+    EXPECT_EQ(engine.Count()->value, warm.Count()->value);
+    ExpectSameTupleSet(engine.ExtractAll(), warm.ExtractAll());
+    const uint64_t total = warm.Count()->value;
+    if (total > 0) {
+      EXPECT_EQ(*engine.At(0), *warm.At(0));
+      EXPECT_EQ(*engine.At(total - 1), *warm.At(total - 1));
+    }
+    // Every operation above must have been served from the imported bundle.
+    EXPECT_EQ(0u, reloaded->cache_stats().misses)
+        << "LoadPrepared must pre-warm the cache (round " << round << ")";
+    std::remove(path.c_str());
+  }
+}
+
+TEST(PreparedBundle, MemoryUsageParityAfterReload) {
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+  const DocumentPtr original =
+      *Document::FromText(GenerateLog({.lines = 50, .seed = 3}), Compression::kRePair);
+  (void)Engine(query, original).ExtractAll({.limit = 1});
+  const uint64_t original_bytes = original->cache_stats().bytes;
+  ASSERT_GT(original_bytes, 0u);
+
+  const std::string path = TempPath("parity.prep");
+  ASSERT_TRUE(original->SavePrepared(query, path).ok());
+  const DocumentPtr reloaded = Document::FromSlp(original->slp());
+  ASSERT_TRUE(reloaded->LoadPrepared(query, path).ok());
+  const uint64_t reloaded_bytes = reloaded->cache_stats().bytes;
+
+  // Reloaded vectors are exact-sized, so the charge may only shrink — and
+  // not by much (the bit-matrices dominate and round-trip 1:1). SavePrepared
+  // materialized the counter on `original`, re-charging it, so compare
+  // against the pre-counter charge.
+  EXPECT_GT(reloaded_bytes, 0u);
+  EXPECT_LE(reloaded_bytes, original->cache_stats().bytes);
+  EXPECT_GE(reloaded_bytes, original_bytes / 2);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- rejection ----
+
+TEST(PreparedBundle, CorruptTruncatedAndMismatchedBundlesAreStatusErrors) {
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+  const DocumentPtr doc = *Document::FromText("abccaabccaabcca");
+  const std::string path = TempPath("victim.prep");
+  ASSERT_TRUE(doc->SavePrepared(query, path).ok());
+  const std::string image = ReadFile(path);
+  ASSERT_GT(image.size(), storage::kBundleHeaderSize);
+
+  // Flipped payload bytes: the checksum must catch every one of them.
+  for (const size_t pos :
+       {storage::kBundleHeaderSize, image.size() / 2, image.size() - 1}) {
+    std::string bad = image;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x5A);
+    WriteFile(path, bad);
+    const Status st = doc->LoadPrepared(query, path);
+    ASSERT_FALSE(st.ok()) << "flipped byte at " << pos;
+    EXPECT_EQ(StatusCode::kCorruption, st.code());
+  }
+
+  // Truncations at every interesting boundary.
+  for (const size_t len : {size_t{0}, size_t{5}, storage::kBundleHeaderSize - 1,
+                           storage::kBundleHeaderSize, image.size() / 3,
+                           image.size() - 1}) {
+    WriteFile(path, image.substr(0, len));
+    const Status st = doc->LoadPrepared(query, path);
+    ASSERT_FALSE(st.ok()) << "truncated to " << len;
+    EXPECT_EQ(StatusCode::kCorruption, st.code()) << "truncated to " << len;
+  }
+
+  // Wrong magic and unsupported version.
+  {
+    std::string bad = image;
+    bad[0] = 'X';
+    WriteFile(path, bad);
+    EXPECT_EQ(StatusCode::kCorruption, doc->LoadPrepared(query, path).code());
+    bad = image;
+    bad[8] = 99;  // version field (little-endian low byte)
+    WriteFile(path, bad);
+    EXPECT_EQ(StatusCode::kCorruption, doc->LoadPrepared(query, path).code());
+  }
+
+  // Garbage that never was a bundle.
+  WriteFile(path, "slpspan-slp v1\nnts 1 root 0\nL 0 97\n");
+  EXPECT_EQ(StatusCode::kCorruption, doc->LoadPrepared(query, path).code());
+
+  // Intact bundle, wrong document / wrong query: fingerprint mismatch.
+  WriteFile(path, image);
+  const DocumentPtr other_doc = *Document::FromText("cbacbacba");
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            other_doc->LoadPrepared(query, path).code());
+  const Query other_query = MustCompile(".*x{b}.*", "abc");
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            doc->LoadPrepared(other_query, path).code());
+
+  // Missing file.
+  std::remove(path.c_str());
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            doc->LoadPrepared(query, path).code());
+}
+
+TEST(BundleFormat, ReaderIsBoundsChecked) {
+  const uint8_t bytes[3] = {1, 2, 3};
+  storage::BundleReader reader(bytes, sizeof(bytes));
+  uint32_t u32 = 0;
+  EXPECT_FALSE(reader.U32(&u32).ok());  // only 3 bytes left
+  uint8_t u8 = 0;
+  ASSERT_TRUE(reader.U8(&u8).ok());
+  EXPECT_EQ(1u, u8);
+  uint64_t u64 = 0;
+  EXPECT_FALSE(reader.U64(&u64).ok());
+  EXPECT_EQ(2u, reader.remaining());
+}
+
+// ------------------------------------------------------------ spill tier ----
+
+TEST(SpillTier, EvictionSpillsAndMissLoadsFromDisk) {
+  RuntimeGuard guard;
+  const std::string dir = FreshDir("spill_evict");
+  ASSERT_TRUE(Runtime::ConfigureSpill(
+                  {.directory = dir, .synchronous = true})
+                  .ok());
+
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+  const DocumentPtr doc = *Document::FromText("abccaabccaabcca");
+  const uint64_t count = Engine(query, doc).Count()->value;
+
+  // Evict everything: the entry must be written to the spill directory.
+  Runtime::SetCacheByteBudget(0);
+  EXPECT_EQ(0u, doc->cache_stats().entries);
+  Runtime::CacheStats stats = Runtime::cache_stats();
+  EXPECT_GE(stats.spill_entries, 1u);
+  EXPECT_GT(stats.spilled_bytes, 0u);
+  EXPECT_GE(CountBundles(dir), 1u);
+
+  // A miss (fresh wrapper of the same grammar — same content fingerprint)
+  // must be served from disk, not rebuilt.
+  Runtime::SetCacheByteBudget(kDefaultBudget);
+  const uint64_t disk_hits_before = stats.disk_hits;
+  const DocumentPtr again = Document::FromSlp(doc->slp());
+  EXPECT_EQ(count, Engine(query, again).Count()->value);
+  stats = Runtime::cache_stats();
+  EXPECT_EQ(disk_hits_before + 1, stats.disk_hits)
+      << "the RAM miss must hit the disk tier";
+  EXPECT_EQ(1u, again->cache_stats().misses)
+      << "a disk hit still counts as a RAM miss";
+}
+
+TEST(SpillTier, SurvivesStoreReopenLikeARestart) {
+  RuntimeGuard guard;
+  const std::string dir = FreshDir("spill_restart");
+  ASSERT_TRUE(Runtime::ConfigureSpill(
+                  {.directory = dir, .synchronous = true})
+                  .ok());
+
+  const Query query = MustCompile("(b|c)*x{a}.*y{cc*}.*", "abc");
+  const DocumentPtr doc = *Document::FromText("bcbcabccca");
+  const uint64_t count = Engine(query, doc).Count()->value;
+  Runtime::SetCacheByteBudget(0);  // spill it
+  ASSERT_GE(CountBundles(dir), 1u);
+  Runtime::SetCacheByteBudget(kDefaultBudget);
+
+  // Re-configuring rescans the directory — the moral equivalent of a new
+  // process adopting what the last one left behind.
+  ASSERT_TRUE(Runtime::ConfigureSpill(
+                  {.directory = dir, .synchronous = true})
+                  .ok());
+  EXPECT_GE(Runtime::cache_stats().spill_entries, 1u);
+  const DocumentPtr revived = Document::FromSlp(doc->slp());
+  EXPECT_EQ(count, Engine(query, revived).Count()->value);
+  EXPECT_GE(Runtime::cache_stats().disk_hits, 1u);
+}
+
+TEST(SpillTier, SpillResidentPersistsACleanShutdown) {
+  RuntimeGuard guard;
+  const std::string dir = FreshDir("spill_shutdown");
+  ASSERT_TRUE(Runtime::ConfigureSpill(
+                  {.directory = dir, .synchronous = true})
+                  .ok());
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+  const DocumentPtr doc = *Document::FromText("abccaabccaabcca");
+  const uint64_t count = Engine(query, doc).Count()->value;
+
+  // Ample budget: nothing evicts, so only the shutdown hook persists it.
+  ASSERT_EQ(1u, doc->cache_stats().entries);
+  ASSERT_EQ(0u, CountBundles(dir));
+  Runtime::SpillResident();
+  Runtime::FlushSpill();
+  EXPECT_GE(CountBundles(dir), 1u);
+  EXPECT_EQ(1u, doc->cache_stats().entries) << "spilling must not evict";
+  // Second SpillResident: everything already on disk, nothing rewritten.
+  const uint64_t written = Runtime::cache_stats().spilled_bytes;
+  Runtime::SpillResident();
+  EXPECT_EQ(written, Runtime::cache_stats().spilled_bytes);
+
+  // "Restart": rescan the directory, serve a fresh wrapper from disk.
+  ASSERT_TRUE(Runtime::ConfigureSpill(
+                  {.directory = dir, .synchronous = true})
+                  .ok());
+  const DocumentPtr revived = Document::FromSlp(doc->slp());
+  EXPECT_EQ(count, Engine(query, revived).Count()->value);
+  EXPECT_GE(Runtime::cache_stats().disk_hits, 1u);
+}
+
+TEST(SpillTier, SavePreparedUnderCanonicalNamePreWarms) {
+  RuntimeGuard guard;
+  const std::string dir = FreshDir("spill_prewarm");
+  const Query query = MustCompile(".*x{ab}.*", "abc");
+  const DocumentPtr doc = *Document::FromText("abcabcabab");
+
+  // Export under the canonical spill name *before* enabling the tier.
+  const std::string name = Runtime::SpillBundleName(*doc, query);
+  ASSERT_TRUE(doc->SavePrepared(query, dir + "/" + name).ok());
+  ASSERT_TRUE(Runtime::ConfigureSpill(
+                  {.directory = dir, .synchronous = true})
+                  .ok());
+
+  const DocumentPtr warm = Document::FromSlp(doc->slp());
+  const uint64_t expected = Engine(query, doc).Count()->value;
+  EXPECT_EQ(expected, Engine(query, warm).Count()->value);
+  EXPECT_GE(Runtime::cache_stats().disk_hits, 1u);
+}
+
+TEST(SpillTier, ByteBudgetReclaimsLeastRecentlyUsedBundles) {
+  RuntimeGuard guard;
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+
+  // Size one bundle, then budget the store for about two of them.
+  const std::string probe_dir = FreshDir("spill_probe");
+  ASSERT_TRUE(Runtime::ConfigureSpill(
+                  {.directory = probe_dir, .synchronous = true})
+                  .ok());
+  const DocumentPtr probe = *Document::FromText("abccaabccaabcca");
+  (void)Engine(query, probe).Count();
+  Runtime::SetCacheByteBudget(0);
+  const uint64_t bundle_bytes = Runtime::cache_stats().spill_bytes;
+  ASSERT_GT(bundle_bytes, 0u);
+  Runtime::SetCacheByteBudget(kDefaultBudget);
+
+  const std::string dir = FreshDir("spill_reclaim");
+  ASSERT_TRUE(Runtime::ConfigureSpill({.directory = dir,
+                                       .byte_budget = bundle_bytes * 5 / 2,
+                                       .synchronous = true})
+                  .ok());
+  // Spill four distinct documents (distinct texts => distinct fingerprints
+  // and similar bundle sizes).
+  Runtime::SetCacheByteBudget(0);
+  for (const char* text : {"abccaabccaabcca", "ccbaaccbaaccbaa",
+                           "bacbacbacbacbac", "cabbacabbacabba"}) {
+    const DocumentPtr doc = *Document::FromText(text);
+    (void)Engine(query, doc).Count();
+  }
+  const Runtime::CacheStats stats = Runtime::cache_stats();
+  EXPECT_GT(stats.spill_reclaimed, 0u) << "budget must delete old bundles";
+  EXPECT_LE(stats.spill_bytes, stats.spill_budget_bytes);
+  EXPECT_LT(CountBundles(dir), 4u) << "4 spilled, at least one reclaimed";
+  EXPECT_EQ(CountBundles(dir), stats.spill_entries);
+}
+
+TEST(SpillTier, CorruptSpilledBundleFallsBackToBuild) {
+  RuntimeGuard guard;
+  const std::string dir = FreshDir("spill_corrupt");
+  ASSERT_TRUE(Runtime::ConfigureSpill(
+                  {.directory = dir, .synchronous = true})
+                  .ok());
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+  const DocumentPtr doc = *Document::FromText("abccaabccaabcca");
+  const uint64_t count = Engine(query, doc).Count()->value;
+  Runtime::SetCacheByteBudget(0);
+  ASSERT_EQ(1u, CountBundles(dir));
+
+  // Damage the spilled bundle in place.
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    std::string bytes = ReadFile(e.path().string());
+    bytes[bytes.size() / 2] ^= 0x5A;
+    WriteFile(e.path().string(), bytes);
+  }
+  Runtime::SetCacheByteBudget(kDefaultBudget);
+
+  // The lookup must reject the bundle, delete it, and rebuild correctly.
+  const DocumentPtr again = Document::FromSlp(doc->slp());
+  EXPECT_EQ(count, Engine(query, again).Count()->value);
+  EXPECT_EQ(0u, CountBundles(dir)) << "corrupt bundles are deleted on sight";
+}
+
+// ------------------------------------------------- admission + recharge ----
+
+TEST(SizeAwareAdmission, OversizedEntryDoesNotThrashTheShard) {
+  RuntimeGuard guard;
+  const Query query = MustCompile(".*x{ab}.*", "ab");
+
+  // Measure a small entry (with its counter — Count re-charges it) and a
+  // big entry's *tables-only* size, which is what admission sees at insert
+  // time (the counter materializes later).
+  const DocumentPtr small = *Document::FromText("abababab");
+  (void)Engine(query, small).Count();
+  const uint64_t small_bytes = small->cache_stats().bytes;
+  const DocumentPtr big = *Document::FromText(
+      [] {
+        // Random (incompressible) text => a large grammar => big tables.
+        Rng rng(7);
+        std::string s;
+        for (int i = 0; i < 6000; ++i) s += "ab"[rng.Below(2)];
+        return s;
+      }(),
+      Compression::kLz78);
+  (void)Engine(query, big).ExtractAll({.limit = 1});
+  const uint64_t big_tables_bytes = big->cache_stats().bytes;
+  ASSERT_GT(big_tables_bytes, small_bytes * 2);
+
+  // Budget so a shard slice sits strictly between the two sizes.
+  const uint32_t shards = Runtime::cache_stats().shards;
+  Runtime::SetCacheByteBudget((small_bytes + big_tables_bytes) / 2 * shards);
+
+  const uint64_t rejects_before = Runtime::cache_stats().admission_rejects;
+  const DocumentPtr resident = Document::FromSlp(small->slp());
+  Result<CountInfo> small_count = Engine(query, resident).Count();
+  ASSERT_TRUE(small_count.ok());
+  EXPECT_EQ(1u, resident->cache_stats().entries) << "small entry fits a slice";
+
+  const DocumentPtr rejected = Document::FromSlp(big->slp());
+  Result<CountInfo> big_count = Engine(query, rejected).Count();
+  ASSERT_TRUE(big_count.ok());
+  EXPECT_EQ(Engine(query, big).Count()->value, big_count->value)
+      << "a rejected entry must still serve the caller";
+  EXPECT_EQ(0u, rejected->cache_stats().entries) << "too big to admit";
+  EXPECT_GT(rejected->cache_stats().evictions, 0u);
+  EXPECT_GT(Runtime::cache_stats().admission_rejects, rejects_before);
+  EXPECT_EQ(1u, resident->cache_stats().entries)
+      << "rejecting the oversized entry must not evict the resident one";
+}
+
+TEST(Recharge, LazyCountTablesAreChargedWhenMaterialized) {
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+  const DocumentPtr doc = *Document::FromText("abccaabccaabcca");
+  const Engine engine(query, doc);
+
+  (void)engine.ExtractAll({.limit = 1});  // builds tables, not the counter
+  const uint64_t before = doc->cache_stats().bytes;
+  ASSERT_GT(before, 0u);
+  ASSERT_TRUE(engine.Count().ok());  // materializes CountTables
+  const uint64_t after = doc->cache_stats().bytes;
+  EXPECT_GT(after, before)
+      << "materialized CountTables must be re-charged to the entry";
+  ASSERT_TRUE(engine.Count().ok());  // second Count: no double charge
+  EXPECT_EQ(after, doc->cache_stats().bytes);
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -10,7 +10,10 @@
 //   slpspan count     <in.slp> <pattern> [--alphabet=...]
 //   slpspan sample    <in.slp> <pattern> <k> [--alphabet=...] [--seed=S]
 //   slpspan check     <in.slp> <pattern> (non-emptiness only)
+//   slpspan prepare   <in.slp> <pattern> (-o bundle.prep | --spill-dir=DIR)
+//                     [--alphabet=...]
 //   slpspan batch     <manifest> [--threads=N] [--cache-mb=M] [--alphabet=...]
+//                     [--spill-dir=DIR] [--spill-mb=M]
 //
 // `extract` streams span-tuples through Engine::Extract with early exit at
 // --limit (Theorem 8.10; tuples past the limit are never computed), `count`
@@ -26,9 +29,19 @@
 // distinct path/pattern, requests run on a worker pool sharing the
 // byte-budgeted prepared-state cache, and identical requests are evaluated
 // once. `--cache-mb` bounds the cache, `--threads` sizes the pool.
+// `--spill-dir` enables the disk spill tier under the cache (budgeted by
+// `--spill-mb`): evicted prepared state is written behind as ".prep" bundles
+// and later misses load them back instead of re-preparing — across process
+// runs too, since bundles are keyed by content fingerprints.
+//
+// `prepare` exports the prepared state for one (document, pattern) pair as a
+// bundle: `-o file.prep` for an explicit artifact, `--spill-dir=DIR` to drop
+// it into a spill directory under its canonical name so a later batch run
+// (or a whole fleet sharing that directory) starts warm.
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -55,8 +68,10 @@ int Usage() {
                "[--limit=N]\n"
                "  slpspan sample <in.slp> <pattern> <k> [--alphabet=CHARS] "
                "[--seed=S]\n"
+               "  slpspan prepare <in.slp> <pattern> (-o out.prep | "
+               "--spill-dir=DIR) [--alphabet=CHARS]\n"
                "  slpspan batch <manifest> [--threads=N] [--cache-mb=M] "
-               "[--alphabet=CHARS]\n"
+               "[--alphabet=CHARS] [--spill-dir=DIR] [--spill-mb=M]\n"
                "      manifest line: op<TAB>file.slp<TAB>pattern[<TAB>limit], "
                "op in {check,count,extract}\n");
   return 2;
@@ -65,10 +80,13 @@ int Usage() {
 struct Flags {
   std::string method = "repair";
   std::string alphabet;
+  std::string out;        // prepare: explicit bundle path (-o / --out=)
+  std::string spill_dir;  // prepare/batch: spill directory
   uint64_t limit = 20;
   uint64_t seed = 42;
   uint64_t threads = 0;   // 0 = hardware concurrency
   uint64_t cache_mb = 0;  // 0 = library default
+  uint64_t spill_mb = 0;  // 0 = library default
   bool rebalance = false;
   bool parse_error = false;
   std::vector<std::string> positional;
@@ -107,6 +125,15 @@ Flags ParseFlags(int argc, char** argv) {
       flags.parse_error |= !ParseUint(arg.substr(10), &flags.threads);
     } else if (arg.rfind("--cache-mb=", 0) == 0) {
       flags.parse_error |= !ParseUint(arg.substr(11), &flags.cache_mb);
+    } else if (arg.rfind("--spill-mb=", 0) == 0) {
+      flags.parse_error |= !ParseUint(arg.substr(11), &flags.spill_mb);
+    } else if (arg.rfind("--spill-dir=", 0) == 0) {
+      flags.spill_dir = arg.substr(12);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      flags.out = arg.substr(6);
+    } else if (arg == "-o") {
+      if (i + 1 < argc) flags.out = argv[++i];
+      else flags.parse_error = true;
     } else if (arg == "--rebalance") {
       flags.rebalance = true;
     } else {
@@ -273,6 +300,48 @@ int CmdSample(const Flags& flags) {
   return 0;
 }
 
+// --------------------------------------------------------------- prepare ----
+
+int CmdPrepare(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  if (flags.out.empty() == flags.spill_dir.empty()) {
+    std::fprintf(stderr,
+                 "prepare needs exactly one destination: -o/--out=PATH or "
+                 "--spill-dir=DIR\n");
+    return 2;
+  }
+  Result<DocumentPtr> doc = Document::FromSlpFile(flags.positional[0]);
+  if (!doc.ok()) return Fail(doc.status());
+  Result<Query> query = Query::Compile(flags.positional[1], flags.alphabet);
+  if (!query.ok()) return Fail(query.status());
+
+  std::string path = flags.out;
+  if (path.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(flags.spill_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s\n", flags.spill_dir.c_str());
+      return 1;
+    }
+    // The canonical spill-store name: a later run with --spill-dir on this
+    // directory starts warm for this (document, pattern) pair.
+    path = flags.spill_dir + "/" + Runtime::SpillBundleName(**doc, *query);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  Status st = (*doc)->SavePrepared(*query, path);
+  if (!st.ok()) return Fail(st);
+  const double ms = MillisSince(start);
+
+  std::error_code ec;
+  const uint64_t bundle_bytes = std::filesystem::file_size(path, ec);
+  std::printf("%s: prepared q=%u over size(S)=%llu -> %llu bundle bytes, %.1f ms\n",
+              path.c_str(), query->num_states(),
+              static_cast<unsigned long long>((*doc)->stats().paper_size),
+              static_cast<unsigned long long>(ec ? 0 : bundle_bytes), ms);
+  return 0;
+}
+
 // ----------------------------------------------------------------- batch ----
 
 struct ManifestLine {
@@ -354,6 +423,12 @@ int CmdBatch(const Flags& flags) {
   if (flags.cache_mb > 0) {
     Runtime::SetCacheByteBudget(flags.cache_mb << 20);
   }
+  if (!flags.spill_dir.empty()) {
+    SpillOptions spill{.directory = flags.spill_dir};
+    if (flags.spill_mb > 0) spill.byte_budget = flags.spill_mb << 20;
+    Status st = Runtime::ConfigureSpill(spill);
+    if (!st.ok()) return Fail(st);
+  }
 
   // Load every distinct document and compile every distinct pattern once;
   // requests then share handles (and therefore cache slots).
@@ -414,6 +489,13 @@ int CmdBatch(const Flags& flags) {
     }
   }
 
+  if (!flags.spill_dir.empty()) {
+    // Clean shutdown: persist what is still resident (eviction only covers
+    // what was squeezed out mid-run) and wait for the write-behind queue,
+    // so the next run starts warm.
+    Runtime::SpillResident();
+    Runtime::FlushSpill();
+  }
   const Runtime::CacheStats cache = Runtime::cache_stats();
   std::printf(
       "\n%zu requests in %.1f ms on %u thread(s); prepared-state cache: "
@@ -424,6 +506,18 @@ int CmdBatch(const Flags& flags) {
       static_cast<unsigned long long>(cache.evictions),
       static_cast<double>(cache.bytes) / (1 << 20),
       static_cast<double>(cache.budget_bytes) / (1 << 20));
+  if (!flags.spill_dir.empty()) {
+    std::printf(
+        "spill tier (%s): %llu disk hit(s), %llu bundle(s) on disk "
+        "(%.1f MiB / %.0f MiB), %llu byte(s) written, %llu reclaimed\n",
+        flags.spill_dir.c_str(),
+        static_cast<unsigned long long>(cache.disk_hits),
+        static_cast<unsigned long long>(cache.spill_entries),
+        static_cast<double>(cache.spill_bytes) / (1 << 20),
+        static_cast<double>(cache.spill_budget_bytes) / (1 << 20),
+        static_cast<unsigned long long>(cache.spilled_bytes),
+        static_cast<unsigned long long>(cache.spill_reclaimed));
+  }
   return exit_code;
 }
 
@@ -441,6 +535,7 @@ int main(int argc, char** argv) {
   if (cmd == "count") return CmdCount(flags);
   if (cmd == "extract") return CmdExtract(flags);
   if (cmd == "sample") return CmdSample(flags);
+  if (cmd == "prepare") return CmdPrepare(flags);
   if (cmd == "batch") return CmdBatch(flags);
   return Usage();
 }
