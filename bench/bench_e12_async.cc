@@ -1,0 +1,171 @@
+// Experiment E12 — the async serving surface under a mixed-priority
+// open-loop workload.
+//
+// A saturated Session (few workers, a burst of open-loop arrivals — the
+// submitter never waits for completions) receives interleaved kInteractive /
+// kBatch / kBackground extraction requests, every one distinct (varying
+// limits defeat coalescing) but all sharing prepared state through the
+// runtime cache, so service times are uniform and the experiment isolates
+// *queueing*. Measured per class: p50/p99 queue latency (Ticket::
+// queue_latency — submission until evaluation start) and overall
+// throughput.
+//
+// The acceptance bar encodes the whole point of the strict priority queue:
+// under saturation, interactive p99 queue latency stays below batch p99
+// (and batch p99 below background p99) even though interactive requests
+// arrive *after* most of the backlog. The process exits non-zero when the
+// bar fails, and the JSON records it (e12_interactive_p99_lt_batch_p99).
+//
+// Emits one JSON document ("JSON: " line and --json=PATH) extending the
+// BENCH_*.json trajectory.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "slpspan/slpspan.h"
+
+namespace slpspan {
+namespace {
+
+struct ClassSample {
+  std::vector<uint64_t> queue_latency_us;
+};
+
+uint64_t Percentile(std::vector<uint64_t> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+const char* kClassNames[kNumPriorityClasses] = {"interactive", "batch",
+                                                "background"};
+
+bool MixedPrioritySaturation(bench::Json* json) {
+  // Three repetitive documents and one query with a large result set:
+  // every request extracts a distinct prefix (limit 2000 + i), so no two
+  // requests coalesce, but all 3 pairs prepare once and stay cached.
+  const std::string alphabet = "abc";
+  Result<Query> query = Query::Compile(".*x{a}y{b?cc*}.*", alphabet);
+  SLPSPAN_CHECK(query.ok());
+  std::vector<DocumentPtr> docs;
+  for (int d = 0; d < 3; ++d) {
+    std::string text;
+    for (int i = 0; i < 4000 + 500 * d; ++i) text += "abcca";
+    docs.push_back(*Document::FromText(text));
+  }
+  // Warm the prepared-state cache so the timed region measures queueing
+  // and extraction, not three preparations landing on arbitrary tickets.
+  for (const DocumentPtr& doc : docs) {
+    (void)Engine(*query, doc).Extract({.limit = 1});
+  }
+
+  constexpr uint32_t kThreads = 2;
+  constexpr int kRequests = 360;
+  const Session session({.num_threads = kThreads});
+
+  // Open-loop burst, interleaved 20% interactive / 40% batch / 40%
+  // background — interactive arrives *throughout* the backlog, so FIFO
+  // would bury most of it behind earlier bulk work.
+  std::vector<Ticket> tickets;
+  std::vector<Priority> classes;
+  tickets.reserve(kRequests);
+  classes.reserve(kRequests);
+  Stopwatch wall;
+  for (int i = 0; i < kRequests; ++i) {
+    Priority cls = Priority::kBatch;
+    if (i % 5 == 2) cls = Priority::kInteractive;
+    else if (i % 5 >= 3) cls = Priority::kBackground;
+    classes.push_back(cls);
+    tickets.push_back(session.Submit(
+        {.query = *query, .document = docs[i % docs.size()],
+         .op = EngineRequest::Op::kExtract,
+         .limit = 2000 + static_cast<uint64_t>(i)},
+        {.priority = cls}));
+  }
+  for (Ticket& t : tickets) SLPSPAN_CHECK(t.Wait().ok());
+  const double wall_s = wall.ElapsedSeconds();
+
+  ClassSample samples[kNumPriorityClasses];
+  for (int i = 0; i < kRequests; ++i) {
+    const auto waited = tickets[i].queue_latency();
+    SLPSPAN_CHECK(waited.has_value());
+    samples[static_cast<size_t>(classes[i])].queue_latency_us.push_back(
+        static_cast<uint64_t>(waited->count()));
+  }
+
+  bench::Table table(
+      "E12: mixed-priority open-loop saturation (" +
+          std::to_string(kThreads) + " workers, " +
+          std::to_string(kRequests) + " requests)",
+      {"class", "requests", "queue p50 (us)", "queue p99 (us)"});
+  uint64_t p99[kNumPriorityClasses];
+  std::vector<std::string> rows;
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    const uint64_t p50 = Percentile(samples[c].queue_latency_us, 0.50);
+    p99[c] = Percentile(samples[c].queue_latency_us, 0.99);
+    table.AddRow({kClassNames[c],
+                  bench::FmtCount(samples[c].queue_latency_us.size()),
+                  bench::FmtCount(p50), bench::FmtCount(p99[c])});
+    bench::Json row;
+    row.Put("class", std::string(kClassNames[c]));
+    row.Put("requests",
+            static_cast<uint64_t>(samples[c].queue_latency_us.size()));
+    row.Put("queue_p50_us", p50);
+    row.Put("queue_p99_us", p99[c]);
+    rows.push_back(row.Str());
+  }
+  table.Print();
+
+  const double throughput = static_cast<double>(kRequests) / wall_s;
+  std::printf("\nthroughput: %.0f req/s over %.2f s\n", throughput, wall_s);
+
+  const bool interactive_wins =
+      p99[0] < p99[1] && p99[1] <= p99[2];
+  json->Put("e12_threads", static_cast<uint64_t>(kThreads));
+  json->Put("e12_requests", static_cast<uint64_t>(kRequests));
+  json->Put("e12_throughput_rps", throughput);
+  json->PutRaw("e12_queue_latency_per_class", bench::Json::Array(rows));
+  json->PutRaw("e12_interactive_p99_lt_batch_p99",
+               p99[0] < p99[1] ? "true" : "false");
+  if (!interactive_wins) {
+    std::fprintf(stderr,
+                 "E12 FAILED: expected interactive p99 < batch p99 <= "
+                 "background p99, got %llu / %llu / %llu us\n",
+                 static_cast<unsigned long long>(p99[0]),
+                 static_cast<unsigned long long>(p99[1]),
+                 static_cast<unsigned long long>(p99[2]));
+  }
+  return interactive_wins;
+}
+
+}  // namespace
+}  // namespace slpspan
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  slpspan::bench::Json json;
+  json.Put("bench", std::string("e12_async"));
+  const bool ok = slpspan::MixedPrioritySaturation(&json);
+
+  const std::string out = json.Str();
+  std::printf("\nJSON: %s\n", out.c_str());
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << out << "\n";
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -45,6 +45,15 @@ struct ExtractOptions {
   /// Stop after emitting this many tuples. The stream performs early exit:
   /// tuples past the limit are never computed.
   std::optional<uint64_t> limit;
+
+  /// Cooperative cancellation checkpoint. When set, the predicate is polled
+  /// at every stream step — before the first-tuple search and before each
+  /// Next() — and the moment it returns true the stream terminates (Valid()
+  /// goes false; no further tuples are computed). This is what lets a
+  /// serving layer stop a mid-flight extraction at the next step instead of
+  /// waiting out a potentially astronomic result set; the async Session
+  /// threads its cancellation tokens and deadlines through here.
+  std::function<bool()> cancel;
 };
 
 /// Streaming view of ⟦M⟧(D) (RocksDB-iterator idiom):
@@ -71,6 +80,12 @@ class ResultStream {
 
   /// Tuples emitted so far (including the current one).
   uint64_t num_emitted() const;
+
+  /// True when the stream terminated because the ExtractOptions::cancel
+  /// checkpoint fired (as opposed to exhausting ⟦M⟧(D) or reaching the
+  /// limit) — including a cancellation observed before the stream started.
+  /// The consumer's signal that the tuple set is a truncated prefix.
+  bool cancelled() const;
 
   // -- range-for support (input iteration) --------------------------------
   struct Sentinel {};
@@ -103,8 +118,12 @@ class ResultStream {
  private:
   friend class Engine;
   explicit ResultStream(std::unique_ptr<api_internal::StreamState> state);
+  /// Stateless empty stream (limit == 0, or cancelled before the first
+  /// preparation/search step even ran).
+  ResultStream(std::nullptr_t, bool born_cancelled);
 
   std::unique_ptr<api_internal::StreamState> state_;
+  bool born_cancelled_ = false;
 };
 
 /// Exact-count result; `exact == false` means arithmetic saturated and

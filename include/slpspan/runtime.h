@@ -1,6 +1,9 @@
 // Runtime layer — what turns the library into something a server can embed.
 //
-// Three facilities:
+// The paper's two-phase shape (one expensive O(|M| + size(S)·q³) preparation
+// per (query, document) pair — Lemma 6.5 — then cheap per-request
+// evaluation) is exactly what a serving stack wants to exploit, so the
+// runtime provides four facilities:
 //
 //  * A process-wide, sharded, byte-budgeted LRU cache of prepared evaluation
 //    state. Every Document draws from it (keyed by (document-id, query-id)),
@@ -10,26 +13,49 @@
 //    least-recently-used pairs are evicted when the budget is exceeded, an
 //    entry larger than its shard's budget slice is rejected up front instead
 //    of thrashing the shard, and concurrent builders of the same pair are
-//    coalesced (single-flight) so the O(|M| + size(S)·q³) preparation is
-//    never paid twice. Configure the budget with Runtime::Configure /
-//    SetCacheByteBudget; observe globally with Runtime::cache_stats() and
-//    per document with Document::cache_stats().
+//    coalesced (single-flight) so the preparation is never paid twice.
+//    Configure with Runtime::Configure / SetCacheByteBudget; observe with
+//    Runtime::cache_stats() and Document::cache_stats().
 //
 //  * A disk spill tier under that cache (Runtime::ConfigureSpill). Evicted
 //    and admission-rejected entries are serialized behind (on a spill
 //    thread) into checksummed ".prep" bundles in a spill directory with its
 //    own byte budget and LRU reclamation; a later cache miss first tries the
-//    disk tier (mmap + strictly validated deserialization, with the
-//    counting tables materialized lazily) before falling back to full
-//    preparation. Bundles are keyed by *content* fingerprints, so spilled
-//    work survives process restarts, and bundles exported with
-//    Document::SavePrepared pre-warm whole fleets.
+//    disk tier before falling back to full preparation. Bundles are keyed by
+//    *content* fingerprints, so spilled work survives process restarts, and
+//    bundles exported with Document::SavePrepared pre-warm whole fleets.
 //
-//  * Session — a thread-pool handle for cross-document batch evaluation.
-//    Session::EvalBatch runs IsNonEmpty/Count/Extract-with-limit jobs for
-//    many (query, document) pairs concurrently, deduplicating identical
-//    requests (N requests against the same pair evaluate once) and returning
-//    one Result per request, in request order.
+//  * Session — the asynchronous serving surface. Session::Submit enqueues
+//    one EngineRequest and immediately returns a Ticket; the request flows
+//    submission → priority queue → coalesced preparation/evaluation →
+//    completion:
+//
+//      - SubmitOptions carries a priority class (kInteractive / kBatch /
+//        kBackground — a strict priority queue, so a saturated worker pool
+//        always runs interactive work next, FIFO within a class), an
+//        optional deadline, and an optional completion callback (invoked
+//        exactly once per ticket, on the delivering thread).
+//      - Ticket is a movable, cancellable handle: Wait() blocks for the
+//        result, TryGet() polls, done() observes, Cancel() withdraws. A
+//        cancelled or deadline-expired request that has not started is never
+//        prepared (zero cache misses); one that is mid-extraction stops at
+//        the next stream step via the cancellation checkpoints threaded
+//        through ResultStream. Dropping a Ticket detaches — the request
+//        still runs and its callback still fires.
+//      - Tickets submitted against an identical request (same query,
+//        document, op and limit) while one is still queued coalesce into a
+//        single in-flight evaluation instead of queuing N copies; the one
+//        result is fanned out to every ticket. Distinct requests against
+//        the same pair still share one preparation via the cache's
+//        single-flight path.
+//      - Session::stats() reports, per priority class, tickets submitted /
+//        queued / running / completed / cancelled / expired / coalesced and
+//        total queue latency — the observability a front-end needs for
+//        load shedding.
+//
+//  * Session::EvalBatch — the synchronous convenience: a thin wrapper that
+//    Submits every request at kBatch priority and Waits in order. One
+//    execution path; identical-request dedup falls out of coalescing.
 //
 // Eviction only drops the cache's reference: prepared state is shared_ptr-
 // held, so streams and engines that are still using an evicted entry keep it
@@ -38,7 +64,10 @@
 #ifndef SLPSPAN_PUBLIC_RUNTIME_H_
 #define SLPSPAN_PUBLIC_RUNTIME_H_
 
+#include <array>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -55,6 +84,8 @@ namespace slpspan {
 
 namespace runtime_internal {
 class ThreadPool;
+struct SessionShared;
+struct TicketState;
 }  // namespace runtime_internal
 
 struct RuntimeOptions {
@@ -176,14 +207,112 @@ struct EngineOutput {
   std::vector<SpanTuple> tuples;  ///< Op::kExtract
 };
 
+/// Traffic class of a submitted request. Strict priority: a saturated
+/// Session always dequeues the most urgent class first (FIFO within a
+/// class), so background sweeps never delay interactive lookups.
+enum class Priority : uint8_t {
+  kInteractive = 0,  ///< latency-sensitive foreground traffic — always first
+  kBatch = 1,        ///< default; bulk work that still has a caller waiting
+  kBackground = 2,   ///< best-effort (pre-warming, analytics, compaction)
+};
+
+/// Number of priority classes (for Stats::by_class indexing).
+inline constexpr size_t kNumPriorityClasses = 3;
+
+/// Per-submission options; everything is optional.
+struct SubmitOptions {
+  Priority priority = Priority::kBatch;
+
+  /// Absolute deadline. A request whose deadline passes before evaluation
+  /// starts is completed with kDeadlineExceeded without ever being
+  /// prepared; a coalesced evaluation mid-extraction stops at the next
+  /// stream step once every rider's deadline has passed, and a member
+  /// whose own deadline passes while the shared evaluation keeps running
+  /// for others receives kDeadlineExceeded instead of the late result.
+  /// Expiry is delivered when a worker observes it (dequeue, stream step,
+  /// or fan-out) or — bounded — by Wait(), which returns kDeadlineExceeded
+  /// no later than the deadline itself; callback-only consumers see the
+  /// worker-side (lazy) delivery. (For a relative timeout pass
+  /// `std::chrono::steady_clock::now() + timeout`.)
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// Completion callback, invoked exactly once per ticket — with the
+  /// result, a kCancelled status, or a kDeadlineExceeded status — on the
+  /// thread that completes the request. Keep it cheap and never call
+  /// Ticket::Wait from inside it. Fires even if the Ticket is dropped.
+  std::function<void(const Result<EngineOutput>&)> callback;
+};
+
+/// A movable, cancellable handle on one submitted request.
+///
+/// The result is delivered exactly once per ticket: via Wait()/TryGet(),
+/// and/or the SubmitOptions callback. Dropping a Ticket does NOT cancel the
+/// request — it detaches (the evaluation still runs, the callback still
+/// fires); call Cancel() to withdraw. All methods are safe to call
+/// concurrently with the Session's workers; a default-constructed or
+/// moved-from Ticket is invalid (valid() == false) and only done()/valid()
+/// may be called on it.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(Ticket&&) noexcept = default;
+  Ticket& operator=(Ticket&&) noexcept = default;
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+  ~Ticket();
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once a result (including kCancelled / kDeadlineExceeded) has been
+  /// delivered. False on an invalid ticket.
+  bool done() const;
+
+  /// Blocks until the request completes and returns its result. On a
+  /// ticket with a deadline, Wait returns kDeadlineExceeded no later than
+  /// that deadline (expiring the ticket itself if no worker has yet) — the
+  /// bound a serving layer relies on. The reference stays valid for the
+  /// lifetime of the ticket's shared state.
+  const Result<EngineOutput>& Wait() const;
+
+  /// Non-blocking: the result if done, nullptr otherwise.
+  const Result<EngineOutput>* TryGet() const;
+
+  /// Withdraws this ticket. Returns true when the cancellation won — the
+  /// ticket completes with kCancelled (callback included) and will never
+  /// receive the evaluation's result; false when the result had already
+  /// been delivered. When every ticket of a coalesced group cancels, the
+  /// underlying request is cancelled too: if it has not started it is never
+  /// prepared, and if it is mid-extraction it stops at the next stream
+  /// step.
+  bool Cancel();
+
+  /// The priority class this ticket was submitted under.
+  Priority priority() const;
+
+  /// Time this ticket spent in the priority queue — from submission until
+  /// its evaluation started (or until it was cancelled/expired while still
+  /// queued). Unset while the ticket is still waiting. The per-ticket view
+  /// of Stats::ClassStats::queue_latency_micros.
+  std::optional<std::chrono::microseconds> queue_latency() const;
+
+ private:
+  friend class Session;
+  explicit Ticket(std::shared_ptr<runtime_internal::TicketState> state);
+
+  std::shared_ptr<runtime_internal::TicketState> state_;
+};
+
 struct SessionOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency (at least 1).
   uint32_t num_threads = 0;
 };
 
-/// A batch-evaluation handle owning a worker pool. Create one per server (or
-/// per traffic class) and reuse it; construction spawns the threads.
-/// EvalBatch may be called concurrently from multiple threads.
+/// The serving handle: a worker pool draining a strict priority queue of
+/// submitted requests. Create one per server and reuse it; construction
+/// spawns the threads. Submit/EvalBatch/stats may be called concurrently
+/// from any number of threads. Destruction drains: every ticket already
+/// submitted is completed (evaluated, cancelled or expired) before the
+/// destructor returns.
 class Session {
  public:
   explicit Session(SessionOptions opts = {});
@@ -192,18 +321,54 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Evaluates every request and returns one Result per request, in request
-  /// order. Identical requests (same query, document, op and limit) are
-  /// evaluated once and share the output; distinct requests against the same
-  /// (query, document) pair share a single preparation via the process-wide
-  /// cache's single-flight path. Blocks until the whole batch is done.
+  /// Enqueues `request` and returns immediately. See SubmitOptions for
+  /// priorities, deadlines and callbacks, and Ticket for result delivery
+  /// and cancellation. A null document completes the ticket immediately
+  /// with kInvalidArgument. Identical requests (same query, document, op,
+  /// limit) submitted while one is still queued coalesce into a single
+  /// evaluation whose result is fanned out to every ticket; a
+  /// higher-priority joiner promotes the whole coalesced group.
+  Ticket Submit(EngineRequest request, SubmitOptions opts = {}) const;
+
+  /// Synchronous convenience wrapper over Submit + Wait: evaluates every
+  /// request at Priority::kBatch and returns one Result per request, in
+  /// request order. Identical requests are evaluated once and share the
+  /// output (coalescing); distinct requests against the same (query,
+  /// document) pair share a single preparation via the process-wide cache.
+  /// Blocks until the whole batch is done.
   std::vector<Result<EngineOutput>> EvalBatch(
       std::span<const EngineRequest> requests) const;
+
+  /// Serving statistics, per priority class. Gauges (queued/running) are
+  /// instantaneous; the other counters are cumulative and monotone over the
+  /// Session's lifetime.
+  struct Stats {
+    struct ClassStats {
+      uint64_t submitted = 0;  ///< tickets ever submitted in this class
+      uint64_t queued = 0;     ///< tickets waiting in the priority queue now
+      uint64_t running = 0;    ///< tickets whose request is evaluating now
+      uint64_t completed = 0;  ///< tickets delivered an evaluation result
+      uint64_t cancelled = 0;  ///< tickets withdrawn via Ticket::Cancel
+      uint64_t expired = 0;    ///< tickets completed with kDeadlineExceeded
+      uint64_t coalesced = 0;  ///< tickets that joined an in-flight request
+      /// Total time tickets of this class spent queued (submission until
+      /// evaluation start, cancellation or expiry) — divide by the terminal
+      /// counters for the mean queue latency.
+      uint64_t queue_latency_micros = 0;
+    };
+    std::array<ClassStats, kNumPriorityClasses> by_class;
+
+    const ClassStats& For(Priority p) const {
+      return by_class[static_cast<size_t>(p)];
+    }
+  };
+  Stats stats() const;
 
   uint32_t num_threads() const;
 
  private:
   std::unique_ptr<runtime_internal::ThreadPool> pool_;
+  std::shared_ptr<runtime_internal::SessionShared> shared_;
 };
 
 }  // namespace slpspan

@@ -12,6 +12,9 @@ namespace slpspan {
 ResultStream::ResultStream(std::unique_ptr<api_internal::StreamState> state)
     : state_(std::move(state)) {}
 
+ResultStream::ResultStream(std::nullptr_t, bool born_cancelled)
+    : born_cancelled_(born_cancelled) {}
+
 ResultStream::ResultStream(ResultStream&&) noexcept = default;
 ResultStream& ResultStream::operator=(ResultStream&&) noexcept = default;
 ResultStream::~ResultStream() = default;
@@ -30,6 +33,10 @@ const SpanTuple& ResultStream::Current() const {
 
 uint64_t ResultStream::num_emitted() const {
   return state_ == nullptr ? 0 : state_->emitted;
+}
+
+bool ResultStream::cancelled() const {
+  return state_ == nullptr ? born_cancelled_ : state_->cancelled;
 }
 
 // ------------------------------------------------------------------ Engine ---
@@ -75,11 +82,15 @@ ResultStream Engine::Extract(ExtractOptions opts) const {
     // Nothing may be emitted: skip the preparation and the first-tuple
     // search entirely (the stream contract says unneeded tuples are never
     // computed).
-    return ResultStream(nullptr);
+    return ResultStream(nullptr, /*born_cancelled=*/false);
+  }
+  if (opts.cancel && opts.cancel()) {
+    // Cancelled before the stream started: never prepare, never search.
+    return ResultStream(nullptr, /*born_cancelled=*/true);
   }
   auto state = std::make_unique<api_internal::StreamState>(
       query_, document_, Prepared(), &query_.state_->evaluator.eval_nfa(),
-      query_.num_vars(), opts.limit);
+      query_.num_vars(), opts.limit, std::move(opts.cancel));
   return ResultStream(std::move(state));
 }
 

@@ -130,19 +130,26 @@ struct StreamState {
   std::shared_ptr<const PreparedState> prep;
   CompressedEnumerator enumerator;
   std::optional<uint64_t> limit;
+  std::function<bool()> cancel;  ///< polled at every stream step; see below
   SpanTuple current;
   uint64_t emitted = 0;
   bool valid = false;
+  bool cancelled = false;  ///< the cancel checkpoint fired (vs exhaustion)
 
   StreamState(Query query_in, DocumentPtr document_in,
               std::shared_ptr<const PreparedState> prep_in, const Nfa* eval_nfa,
-              uint32_t num_vars, std::optional<uint64_t> limit_in)
+              uint32_t num_vars, std::optional<uint64_t> limit_in,
+              std::function<bool()> cancel_in)
       : query(std::move(query_in)),
         document(std::move(document_in)),
         prep(std::move(prep_in)),
         enumerator(&prep->prepared.slp(), eval_nfa, &prep->prepared.tables(),
                    num_vars),
-        limit(limit_in) {
+        limit(limit_in),
+        cancel(std::move(cancel_in)) {
+    // Checkpoint before the first tuple is surfaced (Engine::Extract checks
+    // once more before the enumerator's first-tuple search even starts).
+    if (ShouldCancel()) return;
     if (enumerator.Valid() && (!limit || *limit > 0)) {
       current = enumerator.Current();
       emitted = 1;
@@ -150,8 +157,20 @@ struct StreamState {
     }
   }
 
+  /// Cancellation checkpoint: a cancelled/expired request stops at the next
+  /// stream step — no tuple past the checkpoint is ever computed.
+  bool ShouldCancel() {
+    if (cancel && cancel()) {
+      cancelled = true;
+      valid = false;
+      return true;
+    }
+    return false;
+  }
+
   void Advance() {
     SLPSPAN_CHECK(valid);
+    if (ShouldCancel()) return;
     if (limit && emitted >= *limit) {
       valid = false;  // early exit: never compute tuples past the limit
       return;

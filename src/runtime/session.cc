@@ -1,19 +1,66 @@
+// The async serving surface (Session::Submit / Ticket) and its synchronous
+// EvalBatch wrapper. See include/slpspan/runtime.h for the contract.
+//
+// Request lifecycle:
+//
+//   Submit ── coalesce? ──> Group ──> priority queue ──> RunGroup (worker)
+//                                                            │
+//                    expiry check → evaluate (cancellation token threaded
+//                    through streaming extraction) → fan out one result to
+//                    every live ticket, exactly once each
+//
+// A Group is the unit of queued work: every ticket for one identical request
+// (same query, document, op and limit) joins the same Group while it is
+// still queued, so N submissions cost one evaluation. Cancellation empties
+// the Group's member list; an empty Group is skipped by the worker without
+// ever touching the prepared-state cache. Priority promotion re-pushes a
+// cheap queue node at the more urgent level and lets the stale node detect
+// `claimed` and return.
+//
+// Lock order: SessionShared::map_mu and Group::mu are never held together
+// with a TicketState::mu *acquired first*; the only nesting is
+// Group::mu -> TicketState::mu (expiry inside RunGroup, removal in Cancel).
+// Callbacks run outside every lock.
+
 #include "slpspan/runtime.h"
 
-#include <latch>
-#include <optional>
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "runtime/thread_pool.h"
+#include "util/check.h"
 
 namespace slpspan {
+namespace runtime_internal {
+
+using Clock = std::chrono::steady_clock;
 
 namespace {
 
+int64_t ToNanos(Clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+uint64_t MicrosSince(Clock::time_point start) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count();
+  return us > 0 ? static_cast<uint64_t>(us) : 0;
+}
+
+}  // namespace
+
 /// Canonical identity of a request: two requests with equal keys must
-/// produce identical outputs, so the batch evaluates one representative.
+/// produce identical outputs, so they may share one evaluation.
 struct RequestKey {
   uint64_t query_id = 0;
   uint64_t doc_id = 0;
@@ -32,7 +79,225 @@ struct RequestKeyHash {
   }
 };
 
-Result<EngineOutput> EvalOne(const EngineRequest& request) {
+struct Group;
+
+/// Shared state of one submitted ticket. Result delivery is exactly-once:
+/// whoever transitions `done` under `mu` delivers (and fires the callback,
+/// outside the lock).
+struct TicketState {
+  // Immutable after Submit().
+  Priority priority = Priority::kBatch;
+  std::optional<Clock::time_point> deadline;
+  std::function<void(const Result<EngineOutput>&)> callback;
+  Clock::time_point submit_time;
+  std::shared_ptr<SessionShared> shared;
+  std::shared_ptr<Group> group;  // null for immediately-completed tickets
+
+  enum class Phase { kQueued, kRunning, kTerminal };
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  Phase phase = Phase::kQueued;                // guarded by mu
+  std::optional<Result<EngineOutput>> result;  // written once, before `done`
+  std::atomic<bool> done{false};
+  // Microseconds spent queued; UINT64_MAX until the ticket leaves the
+  // queue (evaluation start, cancellation or expiry).
+  std::atomic<uint64_t> queue_latency_us{UINT64_MAX};
+};
+
+struct ClassCounters {
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> queued{0};
+  std::atomic<uint64_t> running{0};
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> cancelled{0};
+  std::atomic<uint64_t> expired{0};
+  std::atomic<uint64_t> coalesced{0};
+  std::atomic<uint64_t> queue_latency_micros{0};
+};
+
+/// Stats + the coalescing map, shared by the Session handle, every queued
+/// Group and every outstanding ticket — so tickets stay fully functional
+/// even after the Session is destroyed (destruction drains the queue first).
+struct SessionShared {
+  std::array<ClassCounters, kNumPriorityClasses> stats;
+
+  std::mutex map_mu;
+  std::unordered_map<RequestKey, std::shared_ptr<Group>, RequestKeyHash>
+      inflight;  // queued, unclaimed groups only
+
+  ClassCounters& For(Priority p) { return stats[static_cast<size_t>(p)]; }
+};
+
+/// One queued evaluation and the tickets riding it.
+struct Group {
+  Group(RequestKey key_in, EngineRequest request_in,
+        std::shared_ptr<SessionShared> shared_in, uint32_t level)
+      : key(key_in),
+        request(std::move(request_in)),
+        shared(std::move(shared_in)),
+        best_level(level) {}
+
+  const RequestKey key;
+  const EngineRequest request;  // representative (all members are identical)
+  const std::shared_ptr<SessionShared> shared;
+
+  std::mutex mu;
+  bool claimed = false;       // a worker started processing; no more joins
+  bool done = false;          // fan-out happened (or the group was skipped)
+  uint32_t best_level = 0;    // most urgent queue level ever pushed
+  std::vector<std::shared_ptr<TicketState>> members;  // live tickets
+
+  // Read lock-free by the evaluation's cancellation token.
+  std::atomic<bool> cancel_all{false};   // every member withdrew
+  std::atomic<int64_t> deadline_ns{0};   // 0 = none; see RecomputeDeadline
+};
+
+namespace {
+
+enum class Terminal { kCompleted, kCancelled, kExpired };
+
+/// Delivers `result` to `t` exactly once (updating the class gauges and
+/// terminal counters). The transition to Phase::kTerminal under t.mu is the
+/// exactly-once decision point; the callback then runs outside every lock,
+/// strictly BEFORE waiters are released — when Wait()/done() report
+/// completion, the callback has already fired. Returns false when the
+/// ticket already had a result.
+bool Finish(TicketState& t, Result<EngineOutput> result, Terminal kind) {
+  std::function<void(const Result<EngineOutput>&)> callback;
+  {
+    std::lock_guard<std::mutex> lock(t.mu);
+    if (t.phase == TicketState::Phase::kTerminal) return false;
+    ClassCounters& c = t.shared->For(t.priority);
+    if (t.phase == TicketState::Phase::kQueued) {
+      const uint64_t waited = MicrosSince(t.submit_time);
+      c.queued.fetch_sub(1, std::memory_order_relaxed);
+      c.queue_latency_micros.fetch_add(waited, std::memory_order_relaxed);
+      t.queue_latency_us.store(waited, std::memory_order_relaxed);
+    } else {
+      c.running.fetch_sub(1, std::memory_order_relaxed);
+    }
+    t.phase = TicketState::Phase::kTerminal;
+    switch (kind) {
+      case Terminal::kCompleted:
+        c.completed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Terminal::kCancelled:
+        c.cancelled.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Terminal::kExpired:
+        c.expired.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    t.result.emplace(std::move(result));
+    // Release everything a lingering Ticket handle would otherwise pin:
+    // the Group (whose EngineRequest holds the Document/Query handles) and
+    // the callback closure are never read again after this transition.
+    callback = std::move(t.callback);
+    t.group.reset();
+  }
+  if (callback) callback(*t.result);
+  {
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.done.store(true, std::memory_order_release);
+  }
+  t.cv.notify_all();
+  return true;
+}
+
+/// Queued -> running transition: charges the queue latency once.
+void MarkRunning(TicketState& t) {
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (t.phase != TicketState::Phase::kQueued) return;
+  const uint64_t waited = MicrosSince(t.submit_time);
+  ClassCounters& c = t.shared->For(t.priority);
+  c.queued.fetch_sub(1, std::memory_order_relaxed);
+  c.running.fetch_add(1, std::memory_order_relaxed);
+  c.queue_latency_micros.fetch_add(waited, std::memory_order_relaxed);
+  t.queue_latency_us.store(waited, std::memory_order_relaxed);
+  t.phase = TicketState::Phase::kRunning;
+}
+
+void RecomputeDeadlineLocked(Group& g);
+
+/// Drops the coalescing-map entry for `g` if it still points at `g`
+/// (another thread may have retired it, or a fresh group may have taken
+/// the key). Caller must NOT hold g->mu (Submit's order is map_mu before
+/// g->mu).
+void EraseInflightEntry(SessionShared& shared, const Group& g) {
+  std::lock_guard<std::mutex> lock(shared.map_mu);
+  auto it = shared.inflight.find(g.key);
+  if (it != shared.inflight.end() && it->second.get() == &g) {
+    shared.inflight.erase(it);
+  }
+}
+
+/// Withdraws `t` from its group — retiring a still-queued group whose last
+/// member leaves so no later Submit can join the husk, or arming the stop
+/// token of a running one — then delivers `result` with `kind` (exactly
+/// once; returns false if a concurrent delivery won). The shared tail of
+/// Ticket::Cancel and Wait-observed deadline expiry.
+bool WithdrawAndFinish(TicketState& t, Result<EngineOutput> result,
+                       Terminal kind) {
+  // Copy under t.mu: a concurrent Finish resets t.group at its terminal
+  // transition, and shared_ptr loads are not atomic.
+  std::shared_ptr<Group> g;
+  {
+    std::lock_guard<std::mutex> lock(t.mu);
+    g = t.group;
+  }
+  if (g) {
+    bool retire = false;
+    {
+      std::lock_guard<std::mutex> lock(g->mu);
+      if (!g->done) {
+        std::erase_if(g->members,
+                      [&t](const std::shared_ptr<TicketState>& m) {
+                        return m.get() == &t;
+                      });
+        RecomputeDeadlineLocked(*g);
+        if (g->members.empty()) {
+          // Last member gone: stop a running extraction at its next stream
+          // step; a still-queued group is closed outright (its node is
+          // skipped and the request is never prepared).
+          g->cancel_all.store(true, std::memory_order_release);
+          if (!g->claimed) {
+            g->done = true;
+            retire = true;
+          }
+        }
+      }
+    }
+    // Outside g->mu; RunGroup's stale node tolerates a missing entry.
+    if (retire) EraseInflightEntry(*g->shared, *g);
+  }
+  return Finish(t, std::move(result), kind);
+}
+
+/// The group's mid-evaluation deadline: the *latest* member deadline, set
+/// only when every member carries one — the evaluation may stop only when
+/// it can no longer serve anybody. Caller holds g.mu.
+void RecomputeDeadlineLocked(Group& g) {
+  int64_t eff = 0;
+  for (const auto& m : g.members) {
+    if (!m->deadline) {
+      eff = 0;
+      break;
+    }
+    eff = std::max(eff, ToNanos(*m->deadline));
+  }
+  g.deadline_ns.store(g.members.empty() ? 0 : eff,
+                      std::memory_order_relaxed);
+}
+
+/// Evaluates one request, threading `stop` through the streaming extraction
+/// path so a cancelled/expired request halts at the next stream step.
+/// `*aborted` is set only when the token actually cut the work short (the
+/// tuple set is a truncated prefix); a request that completed before the
+/// token fired keeps its full result.
+Result<EngineOutput> EvalOne(const EngineRequest& request,
+                             const std::function<bool()>& stop,
+                             bool* aborted) {
   const Engine engine(request.query, request.document);
   EngineOutput out;
   switch (request.op) {
@@ -45,75 +310,359 @@ Result<EngineOutput> EvalOne(const EngineRequest& request) {
       out.count = *count;
       return out;
     }
-    case EngineRequest::Op::kExtract:
-      out.tuples = engine.ExtractAll({.limit = request.limit});
+    case EngineRequest::Op::kExtract: {
+      ResultStream stream =
+          engine.Extract({.limit = request.limit, .cancel = stop});
+      for (; stream.Valid(); stream.Next()) {
+        out.tuples.push_back(stream.Current());
+      }
+      *aborted = stream.cancelled();
       return out;
+    }
   }
   return Status::InvalidArgument("unknown EngineRequest::Op");
 }
 
+/// The worker-side body of one queue node.
+void RunGroup(const std::shared_ptr<Group>& g) {
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    // Stale node: a promotion re-push already ran the group, or a full
+    // cancellation retired it while still queued.
+    if (g->claimed || g->done) return;
+    g->claimed = true;
+  }
+  // No more joins: drop the coalescing-map entry so late identical submits
+  // start their own group (and ride the prepared cache instead).
+  EraseInflightEntry(*g->shared, *g);
+
+  // Expire members whose deadline passed while queued; a group left with no
+  // live member is skipped — the request is never prepared. Expired tickets
+  // are collected under the lock but finished outside it (Finish fires user
+  // callbacks, which must never run under g->mu).
+  std::vector<std::shared_ptr<TicketState>> expired;
+  std::vector<std::shared_ptr<TicketState>> live;
+  bool skip = false;
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    const Clock::time_point now = Clock::now();
+    for (auto it = g->members.begin(); it != g->members.end();) {
+      if ((*it)->deadline && *(*it)->deadline <= now) {
+        expired.push_back(std::move(*it));
+        it = g->members.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    RecomputeDeadlineLocked(*g);
+    live = g->members;
+    if (live.empty()) {
+      g->done = true;
+      skip = true;
+    }
+  }
+  for (const auto& m : expired) {
+    Finish(*m, Status::DeadlineExceeded("deadline passed before evaluation"),
+           Terminal::kExpired);
+  }
+  if (skip) return;
+  for (const auto& m : live) MarkRunning(*m);
+
+  // Cancellation token: fires when every member withdrew, or when every
+  // member's deadline has passed (deadline_ns is the max, maintained under
+  // g->mu as members cancel). The cancel flag is read every step; the
+  // clock only every 64th (a clock_gettime per emitted tuple would
+  // dominate cheap stream steps), so a deadline stops the stream within
+  // 64 steps instead of exactly one — same contract, ~1/64 the cost.
+  const std::function<bool()> stop = [g, steps = uint32_t{0}]() mutable {
+    if (g->cancel_all.load(std::memory_order_relaxed)) return true;
+    const int64_t dl = g->deadline_ns.load(std::memory_order_relaxed);
+    if (dl == 0) return false;
+    if ((steps++ & 63u) != 0) return false;
+    return ToNanos(Clock::now()) >= dl;
+  };
+
+  // Exceptions (e.g. bad_alloc while building the O(size(S)·q³) tables)
+  // become this group's per-ticket error — they must not kill the worker.
+  // `aborted` is true only when the token actually truncated the work
+  // (ResultStream::cancelled) — a request that finished before its
+  // deadline keeps its full result; one the token stopped has a partial
+  // tuple set, so the expiry is delivered instead. (A fired token with
+  // live members can only mean the deadline: cancel_all implies an empty
+  // member list, and the fan-out below delivers to nobody.)
+  // Pre-evaluation checkpoint: every member may have cancelled or expired
+  // between the claim and here — kCount/kIsNonEmpty have no stream steps
+  // to notice it mid-way, so this is their last chance to skip the
+  // O(size(S)·q³) work nobody is waiting for.
+  bool aborted = stop();
+  Result<EngineOutput> result = [&]() -> Result<EngineOutput> {
+    if (aborted) return Status::DeadlineExceeded("never evaluated");
+    try {
+      return EvalOne(g->request, stop, &aborted);
+    } catch (const std::exception& e) {
+      return Status::ResourceExhausted(std::string("evaluation failed: ") +
+                                       e.what());
+    } catch (...) {
+      return Status::ResourceExhausted("evaluation failed: unknown exception");
+    }
+  }();
+
+  std::vector<std::shared_ptr<TicketState>> members;
+  {
+    std::lock_guard<std::mutex> lock(g->mu);
+    g->done = true;
+    members = std::move(g->members);
+    g->members.clear();
+  }
+  // Per-member expiry at fan-out: a coalesced member whose own deadline
+  // passed mid-evaluation must not receive a late success (the group-level
+  // stop token only fires when EVERY member's deadline has passed).
+  const Clock::time_point now = Clock::now();
+  for (size_t i = 0; i < members.size(); ++i) {
+    TicketState& m = *members[i];
+    if (aborted || (m.deadline && *m.deadline <= now)) {
+      Finish(m, Status::DeadlineExceeded("deadline passed during evaluation"),
+             Terminal::kExpired);
+    } else if (i + 1 == members.size()) {
+      Finish(m, std::move(result), Terminal::kCompleted);
+    } else {
+      Finish(m, result, Terminal::kCompleted);
+    }
+  }
+}
+
 }  // namespace
+}  // namespace runtime_internal
+
+// ------------------------------------------------------------------ Ticket ---
+
+Ticket::Ticket(std::shared_ptr<runtime_internal::TicketState> state)
+    : state_(std::move(state)) {}
+
+Ticket::~Ticket() = default;  // detach: the request still runs to completion
+
+bool Ticket::done() const {
+  return state_ != nullptr && state_->done.load(std::memory_order_acquire);
+}
+
+const Result<EngineOutput>& Ticket::Wait() const {
+  SLPSPAN_CHECK(state_ != nullptr);
+  runtime_internal::TicketState& t = *state_;
+  const auto is_done = [&t] {
+    return t.done.load(std::memory_order_relaxed);
+  };
+  if (!t.done.load(std::memory_order_acquire)) {
+    bool expire = false;
+    {
+      std::unique_lock<std::mutex> lock(t.mu);
+      if (t.deadline) {
+        // Deadline-aware wait: if the result has not landed by the ticket's
+        // deadline, this waiter expires the ticket itself — Wait() returns
+        // kDeadlineExceeded at the deadline even when every worker is
+        // pinned behind long-running work and nobody has dequeued us.
+        t.cv.wait_until(lock, *t.deadline, is_done);
+        expire = !is_done();
+      }
+      if (!expire) t.cv.wait(lock, is_done);
+    }
+    if (expire) {
+      runtime_internal::WithdrawAndFinish(
+          t, Status::DeadlineExceeded("deadline passed while awaited"),
+          runtime_internal::Terminal::kExpired);
+      // A concurrent delivery may have won the race; either way a result
+      // is (about to be) in place.
+      std::unique_lock<std::mutex> lock(t.mu);
+      t.cv.wait(lock, is_done);
+    }
+  }
+  return *t.result;
+}
+
+const Result<EngineOutput>* Ticket::TryGet() const {
+  if (state_ == nullptr || !state_->done.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  return &*state_->result;
+}
+
+bool Ticket::Cancel() {
+  if (state_ == nullptr) return false;
+  runtime_internal::TicketState& t = *state_;
+  if (t.done.load(std::memory_order_acquire)) return false;
+  return runtime_internal::WithdrawAndFinish(
+      t, Status::Cancelled("cancelled by caller"),
+      runtime_internal::Terminal::kCancelled);
+}
+
+Priority Ticket::priority() const {
+  SLPSPAN_CHECK(state_ != nullptr);
+  return state_->priority;
+}
+
+std::optional<std::chrono::microseconds> Ticket::queue_latency() const {
+  SLPSPAN_CHECK(state_ != nullptr);
+  const uint64_t us =
+      state_->queue_latency_us.load(std::memory_order_relaxed);
+  if (us == UINT64_MAX) return std::nullopt;
+  return std::chrono::microseconds(us);
+}
+
+// ----------------------------------------------------------------- Session ---
 
 Session::Session(SessionOptions opts)
     : pool_(std::make_unique<runtime_internal::ThreadPool>(
-          opts.num_threads > 0 ? opts.num_threads
-                               : std::max(1u, std::thread::hardware_concurrency()))) {}
+          opts.num_threads > 0
+              ? opts.num_threads
+              : std::max(1u, std::thread::hardware_concurrency()))),
+      shared_(std::make_shared<runtime_internal::SessionShared>()) {}
 
+// The pool destructor drains every queued node before joining, so all
+// outstanding tickets are completed when ~Session returns.
 Session::~Session() = default;
 
 uint32_t Session::num_threads() const { return pool_->size(); }
 
+Ticket Session::Submit(EngineRequest request, SubmitOptions opts) const {
+  using runtime_internal::Group;
+  using runtime_internal::RequestKey;
+  using runtime_internal::TicketState;
+
+  // Clamp before anything indexes stats by class (a wire-decoded priority
+  // must not write past the per-class arrays).
+  opts.priority = static_cast<Priority>(
+      std::min<size_t>(static_cast<size_t>(opts.priority),
+                       kNumPriorityClasses - 1));
+
+  auto t = std::make_shared<TicketState>();
+  t->priority = opts.priority;
+  t->deadline = opts.deadline;
+  t->callback = std::move(opts.callback);
+  t->submit_time = runtime_internal::Clock::now();
+  t->shared = shared_;
+  runtime_internal::ClassCounters& c = shared_->For(opts.priority);
+  c.submitted.fetch_add(1, std::memory_order_relaxed);
+  c.queued.fetch_add(1, std::memory_order_relaxed);
+
+  if (request.document == nullptr) {
+    runtime_internal::Finish(
+        *t, Status::InvalidArgument("EngineRequest.document is null"),
+        runtime_internal::Terminal::kCompleted);
+    return Ticket(std::move(t));
+  }
+
+  const RequestKey key{request.query.id(), request.document->id(), request.op,
+                       request.limit.value_or(UINT64_MAX)};
+  // Priority classes map 1:1 onto pool levels; adding a class without a
+  // matching level would silently merge it with the last one.
+  static_assert(kNumPriorityClasses == runtime_internal::ThreadPool::kNumLevels);
+  const uint32_t level = static_cast<uint32_t>(opts.priority);
+
+  for (;;) {
+    std::shared_ptr<Group> g;
+    bool created = false;
+    {
+      std::lock_guard<std::mutex> lock(shared_->map_mu);
+      auto it = shared_->inflight.find(key);
+      if (it != shared_->inflight.end()) {
+        g = it->second;
+      } else {
+        g = std::make_shared<Group>(key, request, shared_, level);
+        shared_->inflight.emplace(key, g);
+        created = true;
+      }
+    }
+
+    bool joined = false;
+    bool promote = false;
+    {
+      std::lock_guard<std::mutex> lock(g->mu);
+      if (!g->claimed && !g->done) {
+        t->group = g;
+        g->members.push_back(t);
+        runtime_internal::RecomputeDeadlineLocked(*g);
+        if (!created && level < g->best_level) {
+          g->best_level = level;
+          promote = true;  // re-push at the more urgent level; the stale
+                           // node will see `claimed` and fall through
+        }
+        joined = true;
+      }
+    }
+    if (joined) {
+      if (!created) c.coalesced.fetch_add(1, std::memory_order_relaxed);
+      if (created || promote) {
+        pool_->Submit(level, [g] { runtime_internal::RunGroup(g); });
+      }
+      return Ticket(std::move(t));
+    }
+
+    // The group was claimed between lookup and join; retire the stale map
+    // entry (RunGroup does too — whoever gets there first) and retry.
+    runtime_internal::EraseInflightEntry(*shared_, *g);
+  }
+}
+
 std::vector<Result<EngineOutput>> Session::EvalBatch(
     std::span<const EngineRequest> requests) const {
-  // Group identical requests: index -> representative's group. Null-document
-  // requests fail immediately and never reach a worker.
-  std::unordered_map<RequestKey, std::vector<size_t>, RequestKeyHash> groups;
-  std::vector<std::optional<Result<EngineOutput>>> slots(requests.size());
+  using runtime_internal::RequestKey;
+  using runtime_internal::RequestKeyHash;
+
+  // Dedup identical requests up front: one ticket per distinct request,
+  // duplicates share its result. Submit-side coalescing would catch most of
+  // these anyway, but only while the group is still queued — pre-grouping
+  // keeps the batch guarantee ("identical requests are evaluated once")
+  // deterministic however fast the workers dequeue.
+  std::vector<Ticket> tickets;
+  std::vector<size_t> owner(requests.size());
+  std::unordered_map<RequestKey, size_t, RequestKeyHash> seen;
   for (size_t i = 0; i < requests.size(); ++i) {
-    const EngineRequest& r = requests[i];
-    if (r.document == nullptr) {
-      slots[i] = Status::InvalidArgument("EngineRequest.document is null");
+    const EngineRequest& request = requests[i];
+    if (request.document == nullptr) {
+      owner[i] = tickets.size();  // per-request error, never grouped
+      tickets.push_back(Submit(request, {.priority = Priority::kBatch}));
       continue;
     }
-    groups[RequestKey{r.query.id(), r.document->id(), r.op,
-                      r.limit.value_or(UINT64_MAX)}]
-        .push_back(i);
-  }
-
-  if (!groups.empty()) {
-    std::latch done(static_cast<ptrdiff_t>(groups.size()));
-    for (auto& [key, members] : groups) {
-      (void)key;
-      const std::vector<size_t>* indices = &members;
-      pool_->Submit([&requests, &slots, indices, &done] {
-        // One evaluation per group; duplicates share (a copy of) the output.
-        // Exceptions (e.g. bad_alloc while building the O(size(S)·q³)
-        // tables) become this group's per-request error — they must neither
-        // kill the worker thread nor leave the latch hanging.
-        Result<EngineOutput> result = [&]() -> Result<EngineOutput> {
-          try {
-            return EvalOne(requests[indices->front()]);
-          } catch (const std::exception& e) {
-            return Status::ResourceExhausted(
-                std::string("batch evaluation failed: ") + e.what());
-          } catch (...) {
-            return Status::ResourceExhausted(
-                "batch evaluation failed: unknown exception");
-          }
-        }();
-        for (size_t i = 1; i < indices->size(); ++i) {
-          slots[(*indices)[i]] = result;
-        }
-        slots[indices->front()] = std::move(result);
-        done.count_down();
-      });
+    const RequestKey key{request.query.id(), request.document->id(),
+                         request.op, request.limit.value_or(UINT64_MAX)};
+    const auto [it, inserted] = seen.emplace(key, tickets.size());
+    if (inserted) {
+      tickets.push_back(Submit(request, {.priority = Priority::kBatch}));
     }
-    done.wait();
+    owner[i] = it->second;
   }
 
+  for (Ticket& ticket : tickets) ticket.Wait();
+  // Copy per duplicate slot, move on each ticket's last use.
+  std::vector<size_t> last_use(tickets.size());
+  for (size_t i = 0; i < requests.size(); ++i) last_use[owner[i]] = i;
   std::vector<Result<EngineOutput>> out;
   out.reserve(requests.size());
-  for (auto& slot : slots) out.push_back(std::move(*slot));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Result<EngineOutput>& result = *tickets[owner[i]].state_->result;
+    if (last_use[owner[i]] == i) {
+      out.push_back(std::move(result));
+    } else {
+      out.push_back(result);
+    }
+  }
+  return out;
+}
+
+Session::Stats Session::stats() const {
+  Stats out;
+  for (size_t i = 0; i < kNumPriorityClasses; ++i) {
+    const runtime_internal::ClassCounters& c = shared_->stats[i];
+    Stats::ClassStats& o = out.by_class[i];
+    o.submitted = c.submitted.load(std::memory_order_relaxed);
+    o.queued = c.queued.load(std::memory_order_relaxed);
+    o.running = c.running.load(std::memory_order_relaxed);
+    o.completed = c.completed.load(std::memory_order_relaxed);
+    o.cancelled = c.cancelled.load(std::memory_order_relaxed);
+    o.expired = c.expired.load(std::memory_order_relaxed);
+    o.coalesced = c.coalesced.load(std::memory_order_relaxed);
+    o.queue_latency_micros =
+        c.queue_latency_micros.load(std::memory_order_relaxed);
+  }
   return out;
 }
 

@@ -23,17 +23,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(uint32_t level, std::function<void()> task) {
+  level = std::min(level, kNumLevels - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queues_[level].push_back(std::move(task));
+    ++queued_;
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
@@ -41,17 +43,22 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and queue drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stop_ set and every level drained
+      for (auto& queue : queues_) {
+        if (queue.empty()) continue;
+        task = std::move(queue.front());
+        queue.pop_front();
+        break;
+      }
+      --queued_;
       ++active_;
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
     }
   }
 }

@@ -1,13 +1,23 @@
-// A small fixed-size worker pool for cross-document batch evaluation.
+// A small fixed-size worker pool draining a priority-leveled task queue.
 //
-// Deliberately minimal (submit-only, FIFO, no futures): Session::EvalBatch
-// tracks completion itself with a latch, and the pool's only job is to keep
-// `num_threads` workers draining the task queue. Tasks must not throw —
-// library failures travel as Status values inside the task's result slot.
+// Tasks are submitted at one of kNumLevels strict priority levels (0 is most
+// urgent); workers always pop the lowest non-empty level and FIFO within a
+// level, which is what lets the async Session reorder a saturated backlog —
+// an interactive request submitted after a pile of background work still
+// runs next. Level-less Submit() enqueues at level 0 (single-level users
+// like the spill thread keep plain FIFO semantics).
+//
+// Deliberately minimal beyond that (no futures, no cancellation): the
+// Session layers tickets, deadlines and cancellation tokens on top by making
+// its queue nodes cheap to skip — a node whose request group was already
+// claimed, cancelled or expired returns without evaluating. Tasks must not
+// throw — library failures travel as Status values inside the task's result
+// slot.
 
 #ifndef SLPSPAN_RUNTIME_THREAD_POOL_H_
 #define SLPSPAN_RUNTIME_THREAD_POOL_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -21,6 +31,9 @@ namespace runtime_internal {
 
 class ThreadPool {
  public:
+  /// Strict priority levels; level 0 is drained first.
+  static constexpr uint32_t kNumLevels = 3;
+
   /// Spawns `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(uint32_t num_threads);
 
@@ -30,10 +43,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Thread-safe; never blocks on task execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task at the most urgent level. Thread-safe; never blocks on
+  /// task execution.
+  void Submit(std::function<void()> task) { Submit(0, std::move(task)); }
 
-  /// Blocks until the queue is empty and no task is executing — the flush
+  /// Enqueues a task at `level` (clamped to kNumLevels - 1). Within a level
+  /// tasks run in submission order; across levels lower always wins.
+  void Submit(uint32_t level, std::function<void()> task);
+
+  /// Blocks until every queue is empty and no task is executing — the flush
   /// point for write-behind work (e.g. spilled bundles) that must be on
   /// disk before the caller proceeds. Tasks submitted concurrently with the
   /// wait may or may not be covered.
@@ -47,7 +65,8 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::array<std::deque<std::function<void()>>, kNumLevels> queues_;
+  uint64_t queued_ = 0;  // total tasks across all levels
   uint32_t active_ = 0;  // tasks currently executing
   bool stop_ = false;
   std::vector<std::thread> workers_;

@@ -25,6 +25,8 @@ enum class StatusCode {
   kOutOfRange,        ///< index/position beyond document bounds
   kCorruption,        ///< persisted SLP failed validation
   kResourceExhausted, ///< allocation/limit failure (e.g. preparation OOM)
+  kCancelled,         ///< request cancelled before a result was produced
+  kDeadlineExceeded,  ///< request deadline passed before completion
 };
 
 /// Lightweight status object; cheap to copy in the OK case.
@@ -51,6 +53,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +75,8 @@ class Status {
       case StatusCode::kOutOfRange: name = "out of range"; break;
       case StatusCode::kCorruption: name = "corruption"; break;
       case StatusCode::kResourceExhausted: name = "resource exhausted"; break;
+      case StatusCode::kCancelled: name = "cancelled"; break;
+      case StatusCode::kDeadlineExceeded: name = "deadline exceeded"; break;
     }
     return std::string(name) + ": " + message_;
   }

@@ -1,0 +1,544 @@
+// Tests for the asynchronous serving surface (Session::Submit / Ticket):
+// strict priority ordering under a saturated 1-thread pool, deadline expiry
+// before and during evaluation, Cancel() of queued / running / completed
+// tickets (a cancelled never-started request is never prepared — zero cache
+// misses), exactly-once callback delivery, in-flight coalescing, and a
+// multi-threaded Submit/Cancel/Wait stress that the TSan CI job runs.
+
+#include "slpspan/slpspan.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+Query MustCompile(const std::string& pattern, const std::string& alphabet) {
+  Result<Query> q = Query::Compile(pattern, alphabet);
+  SLPSPAN_CHECK(q.ok());
+  return *q;
+}
+
+/// A (query, document) pair whose full extraction is astronomically large —
+/// ~d²/2 tuples over a unary document — so an unlimited kExtract keeps a
+/// worker busy until it is cancelled or expires. Preparation itself stays
+/// fast (the grammar is tiny).
+struct Blocker {
+  Query query = MustCompile(".*x{aa*}.*", "a");
+  DocumentPtr document = *Document::FromText(std::string(1 << 18, 'a'),
+                                             Compression::kBalanced);
+
+  EngineRequest request() const {
+    return {.query = query, .document = document,
+            .op = EngineRequest::Op::kExtract, .limit = {}};
+  }
+};
+
+/// Spins until the session reports one running ticket in `cls` (i.e. the
+/// single worker is occupied and everything submitted after this queues).
+void AwaitRunning(const Session& session, Priority cls) {
+  for (int i = 0; i < 10000; ++i) {
+    if (session.stats().For(cls).running >= 1) return;
+    std::this_thread::sleep_for(1ms);
+  }
+  FAIL() << "worker never started the blocker request";
+}
+
+// ------------------------------------------------------ priority ordering ----
+
+// Acceptance bar: with 1 worker and a queued backlog, every kInteractive
+// ticket completes before any kBackground ticket (strict priority, FIFO
+// within a class).
+TEST(AsyncSession, PriorityOrderingUnderSaturatedPool) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  Ticket gate = session.Submit(blocker.request(),
+                               {.priority = Priority::kInteractive});
+  AwaitRunning(session, Priority::kInteractive);
+
+  // The worker is pinned: everything below lands in the queue, deliberately
+  // submitted most-urgent-last so FIFO order alone would invert it.
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+  struct Done {
+    std::mutex mu;
+    std::vector<Priority> order;
+  } done;
+  std::vector<Ticket> tickets;
+  const Priority classes[] = {Priority::kBackground, Priority::kBackground,
+                              Priority::kBatch, Priority::kBatch,
+                              Priority::kInteractive, Priority::kInteractive};
+  for (size_t i = 0; i < std::size(classes); ++i) {
+    // Distinct documents so no two requests coalesce or share cache slots.
+    const DocumentPtr doc =
+        *Document::FromText("abcca" + std::string(i + 1, 'b'));
+    const Priority cls = classes[i];
+    tickets.push_back(session.Submit(
+        {.query = query, .document = doc, .op = EngineRequest::Op::kCount,
+         .limit = {}},
+        {.priority = cls, .callback = [cls, &done](const auto&) {
+           std::lock_guard<std::mutex> lock(done.mu);
+           done.order.push_back(cls);
+         }}));
+  }
+
+  ASSERT_TRUE(gate.Cancel()) << "running blocker must be cancellable";
+  for (Ticket& t : tickets) ASSERT_TRUE(t.Wait().ok());
+
+  ASSERT_EQ(std::size(classes), done.order.size());
+  // Completion order must be: all interactive, then all batch, then all
+  // background — the exact reverse of submission order by class.
+  for (size_t i = 1; i < done.order.size(); ++i) {
+    EXPECT_LE(static_cast<int>(done.order[i - 1]),
+              static_cast<int>(done.order[i]))
+        << "priority inversion at completion index " << i;
+  }
+  EXPECT_EQ(Priority::kInteractive, done.order.front());
+  EXPECT_EQ(Priority::kBackground, done.order.back());
+
+  const Session::Stats stats = session.stats();
+  EXPECT_EQ(2u, stats.For(Priority::kBackground).completed);
+  EXPECT_EQ(2u, stats.For(Priority::kBatch).completed);
+  EXPECT_EQ(2u, stats.For(Priority::kInteractive).completed);
+  EXPECT_EQ(1u, stats.For(Priority::kInteractive).cancelled);
+  EXPECT_GT(stats.For(Priority::kBackground).queue_latency_micros, 0u);
+}
+
+// A joiner at a more urgent class promotes the whole coalesced group ahead
+// of work that was queued before it.
+TEST(AsyncSession, CoalescedGroupIsPromotedByUrgentJoiner) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  Ticket gate = session.Submit(blocker.request(),
+                               {.priority = Priority::kInteractive});
+  AwaitRunning(session, Priority::kInteractive);
+
+  const Query query = MustCompile(".*x{a}.*", "abc");
+  const DocumentPtr decoy = *Document::FromText("aabbcc");
+  const DocumentPtr shared_doc = *Document::FromText("abcabc");
+  struct Done {
+    std::mutex mu;
+    std::vector<std::string> order;
+  } done;
+  auto record = [&done](std::string tag) {
+    return [tag, &done](const Result<EngineOutput>&) {
+      std::lock_guard<std::mutex> lock(done.mu);
+      done.order.push_back(tag);
+    };
+  };
+
+  // A batch decoy queues first; then a background request, then an
+  // interactive duplicate of it — the join must drag the group in front of
+  // the decoy.
+  Ticket decoy_ticket = session.Submit(
+      {.query = query, .document = decoy, .op = EngineRequest::Op::kCount},
+      {.priority = Priority::kBatch, .callback = record("decoy")});
+  EngineRequest dup{.query = query, .document = shared_doc,
+                    .op = EngineRequest::Op::kCount, .limit = {}};
+  Ticket slow = session.Submit(dup, {.priority = Priority::kBackground,
+                                     .callback = record("dup")});
+  Ticket fast = session.Submit(dup, {.priority = Priority::kInteractive,
+                                     .callback = record("dup")});
+
+  ASSERT_TRUE(gate.Cancel());
+  ASSERT_TRUE(slow.Wait().ok());
+  ASSERT_TRUE(fast.Wait().ok());
+  ASSERT_TRUE(decoy_ticket.Wait().ok());
+
+  ASSERT_EQ(3u, done.order.size());
+  EXPECT_EQ("dup", done.order[0]);
+  EXPECT_EQ("dup", done.order[1]);
+  EXPECT_EQ("decoy", done.order[2]);
+  EXPECT_EQ(slow.Wait()->count.value, fast.Wait()->count.value);
+  // One evaluation for the coalesced pair: one cache miss, no hit.
+  EXPECT_EQ(1u, shared_doc->cache_stats().misses);
+  EXPECT_EQ(0u, shared_doc->cache_stats().hits);
+  EXPECT_EQ(1u, session.stats().For(Priority::kInteractive).coalesced);
+}
+
+// ----------------------------------------------------------- cancellation ----
+
+// Acceptance bar: a cancelled never-started ticket triggers zero
+// preparations — the (query, document) pair records no cache miss.
+TEST(AsyncSession, CancelledQueuedTicketIsNeverPrepared) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  Ticket gate = session.Submit(blocker.request(),
+                               {.priority = Priority::kInteractive});
+  AwaitRunning(session, Priority::kInteractive);
+
+  const Query query = MustCompile(".*x{ab}.*", "ab");
+  const DocumentPtr fresh = *Document::FromText("ababab");
+  Ticket doomed = session.Submit(
+      {.query = query, .document = fresh, .op = EngineRequest::Op::kCount},
+      {.priority = Priority::kBackground});
+  EXPECT_FALSE(doomed.done());
+  EXPECT_EQ(nullptr, doomed.TryGet());
+  EXPECT_TRUE(doomed.Cancel());
+  EXPECT_FALSE(doomed.Cancel()) << "second cancel must lose";
+
+  ASSERT_TRUE(doomed.done());
+  ASSERT_NE(nullptr, doomed.TryGet());
+  EXPECT_EQ(StatusCode::kCancelled, doomed.TryGet()->status().code());
+
+  // Drain the queue (the skipped group node included) before asserting.
+  ASSERT_TRUE(gate.Cancel());
+  Ticket sentinel = session.Submit(
+      {.query = query, .document = *Document::FromText("ba"),
+       .op = EngineRequest::Op::kIsNonEmpty},
+      {.priority = Priority::kBackground});
+  sentinel.Wait();
+
+  EXPECT_EQ(0u, fresh->cache_stats().misses)
+      << "cancelled never-started request must never be prepared";
+  EXPECT_EQ(0u, fresh->cache_stats().hits);
+  const Session::Stats stats = session.stats();
+  EXPECT_EQ(1u, stats.For(Priority::kBackground).cancelled);
+  EXPECT_EQ(0u, stats.For(Priority::kBackground).queued);
+}
+
+// Regression: a fully-cancelled still-queued group must be retired from the
+// coalescing map — a later identical Submit must start a fresh evaluation
+// and receive the real result, not join the cancelled husk.
+TEST(AsyncSession, ResubmitAfterFullCancelGetsRealResult) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  Ticket gate = session.Submit(blocker.request(),
+                               {.priority = Priority::kInteractive});
+  AwaitRunning(session, Priority::kInteractive);
+
+  const Query query = MustCompile(".*x{ab}.*", "ab");
+  const DocumentPtr doc = *Document::FromText("ababab");
+  EngineRequest request{.query = query, .document = doc,
+                        .op = EngineRequest::Op::kExtract, .limit = 5};
+  Ticket first = session.Submit(request, {.priority = Priority::kBatch});
+  ASSERT_TRUE(first.Cancel());
+
+  Ticket second = session.Submit(request, {.priority = Priority::kBatch});
+  ASSERT_TRUE(gate.Cancel());
+  const Result<EngineOutput>& result = second.Wait();
+  ASSERT_TRUE(result.ok())
+      << "resubmission after a full cancel must not inherit the "
+         "cancelled group: " << result.status().ToString();
+  EXPECT_EQ(Engine(query, doc).ExtractAll({.limit = 5}).size(),
+            result->tuples.size());
+}
+
+TEST(AsyncSession, CancelRunningTicketStopsExtractionMidStream) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  // Unlimited extraction over ~3.4e10 tuples: finishing naturally would
+  // take hours — completing promptly proves the mid-stream checkpoint.
+  Ticket t = session.Submit(blocker.request(),
+                            {.priority = Priority::kBatch});
+  AwaitRunning(session, Priority::kBatch);
+  EXPECT_TRUE(t.Cancel());
+  const Result<EngineOutput>& result = t.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(StatusCode::kCancelled, result.status().code());
+  const Session::Stats stats = session.stats();
+  EXPECT_EQ(1u, stats.For(Priority::kBatch).cancelled);
+  EXPECT_EQ(0u, stats.For(Priority::kBatch).running);
+}
+
+TEST(AsyncSession, CancelCompletedTicketLoses) {
+  const Session session({.num_threads = 2});
+  const Query query = MustCompile(".*x{a}.*", "ab");
+  const DocumentPtr doc = *Document::FromText("abab");
+  Ticket t = session.Submit(
+      {.query = query, .document = doc, .op = EngineRequest::Op::kCount}, {});
+  ASSERT_TRUE(t.Wait().ok());
+  EXPECT_FALSE(t.Cancel());
+  ASSERT_NE(nullptr, t.TryGet());
+  EXPECT_TRUE(t.TryGet()->ok()) << "result must survive a losing Cancel";
+  EXPECT_EQ(1u, session.stats().For(Priority::kBatch).completed);
+  EXPECT_EQ(0u, session.stats().For(Priority::kBatch).cancelled);
+}
+
+// --------------------------------------------------------------- deadlines ----
+
+TEST(AsyncSession, DeadlineExpiryBeforeEvaluationNeverPrepares) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  Ticket gate = session.Submit(blocker.request(),
+                               {.priority = Priority::kInteractive});
+  AwaitRunning(session, Priority::kInteractive);
+
+  const Query query = MustCompile(".*x{ab}.*", "ab");
+  const DocumentPtr fresh = *Document::FromText("abba");
+  Ticket doomed = session.Submit(
+      {.query = query, .document = fresh, .op = EngineRequest::Op::kCount},
+      {.priority = Priority::kBatch,
+       .deadline = Clock::now() + 5ms});
+  std::this_thread::sleep_for(20ms);  // expire while still queued
+  ASSERT_TRUE(gate.Cancel());
+
+  const Result<EngineOutput>& result = doomed.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, result.status().code());
+  EXPECT_EQ(0u, fresh->cache_stats().misses)
+      << "expired never-started request must never be prepared";
+  EXPECT_EQ(1u, session.stats().For(Priority::kBatch).expired);
+}
+
+TEST(AsyncSession, DeadlineExpiryDuringEvaluationStopsAtNextStep) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  const auto start = Clock::now();
+  Ticket t = session.Submit(blocker.request(),
+                            {.priority = Priority::kInteractive,
+                             .deadline = Clock::now() + 100ms});
+  const Result<EngineOutput>& result = t.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, result.status().code());
+  // The stream must stop at the next step after the deadline, not run the
+  // astronomic extraction to completion.
+  EXPECT_LT(Clock::now() - start, 30s);
+  EXPECT_EQ(1u, session.stats().For(Priority::kInteractive).expired);
+}
+
+// Wait() must return kDeadlineExceeded no later than the ticket's deadline
+// even when every worker is pinned and nothing ever dequeues the request —
+// the latency bound a load-shedding front-end relies on.
+TEST(AsyncSession, WaitIsDeadlineBoundedUnderPinnedWorkers) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  Ticket gate = session.Submit(blocker.request(),
+                               {.priority = Priority::kInteractive});
+  AwaitRunning(session, Priority::kInteractive);
+
+  const Query query = MustCompile(".*x{ab}.*", "ab");
+  const DocumentPtr fresh = *Document::FromText("abab");
+  const auto deadline = Clock::now() + 50ms;
+  Ticket doomed = session.Submit(
+      {.query = query, .document = fresh, .op = EngineRequest::Op::kCount},
+      {.priority = Priority::kBatch, .deadline = deadline});
+  // The worker stays pinned the whole time: only Wait's own deadline logic
+  // can complete this ticket.
+  const Result<EngineOutput>& result = doomed.Wait();
+  EXPECT_LT(Clock::now(), deadline + 10s) << "Wait must not ride out the "
+                                             "pinned worker";
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, result.status().code());
+  ASSERT_TRUE(gate.Cancel());
+  EXPECT_EQ(0u, fresh->cache_stats().misses);
+  EXPECT_EQ(1u, session.stats().For(Priority::kBatch).expired);
+}
+
+// A deadline-bearing rider on a coalesced group expires individually; the
+// no-deadline member still gets the real result.
+TEST(AsyncSession, CoalescedRiderExpiresIndividually) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  Ticket gate = session.Submit(blocker.request(),
+                               {.priority = Priority::kInteractive});
+  AwaitRunning(session, Priority::kInteractive);
+
+  const Query query = MustCompile(".*x{ab}.*", "ab");
+  const DocumentPtr doc = *Document::FromText("abababab");
+  EngineRequest request{.query = query, .document = doc,
+                        .op = EngineRequest::Op::kCount, .limit = {}};
+  Ticket patient = session.Submit(request, {.priority = Priority::kBatch});
+  Ticket hurried = session.Submit(
+      request,
+      {.priority = Priority::kBatch, .deadline = Clock::now() + 30ms});
+  EXPECT_EQ(1u, session.stats().For(Priority::kBatch).coalesced);
+
+  // The group stays queued past the rider's deadline; its Wait self-expires
+  // without tearing down the shared request.
+  const Result<EngineOutput>& hurried_result = hurried.Wait();
+  ASSERT_FALSE(hurried_result.ok());
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, hurried_result.status().code());
+
+  ASSERT_TRUE(gate.Cancel());
+  const Result<EngineOutput>& patient_result = patient.Wait();
+  ASSERT_TRUE(patient_result.ok()) << "the surviving member must still be "
+                                      "evaluated";
+  EXPECT_EQ(Engine(query, doc).Count()->value, patient_result->count.value);
+}
+
+// --------------------------------------------------------------- callbacks ----
+
+TEST(AsyncSession, CallbackFiresExactlyOncePerTicket) {
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+  const DocumentPtr doc = *Document::FromText("abccaabcca");
+
+  constexpr int kTickets = 24;
+  // Declared before the Session: if the drain-poll below ever times out,
+  // ~Session (which completes detached tickets) must run before these are
+  // destroyed — callbacks write into them.
+  std::vector<std::atomic<int>> fired(kTickets);
+  const Session session({.num_threads = 2});
+  {
+    std::vector<Ticket> keep;
+    for (int i = 0; i < kTickets; ++i) {
+      // Duplicates (coalesced), one-offs, and a null document; every third
+      // ticket is dropped immediately — its callback must still fire.
+      EngineRequest request{
+          .query = query,
+          .document = (i % 7 == 0) ? nullptr : doc,
+          .op = EngineRequest::Op::kExtract,
+          .limit = (i % 2 == 0) ? std::optional<uint64_t>(3) : std::nullopt};
+      Ticket t = session.Submit(
+          request, {.priority = Priority::kBatch,
+                    .callback = [i, &fired](const Result<EngineOutput>&) {
+                      fired[i].fetch_add(1);
+                    }});
+      if (i % 3 != 0) keep.push_back(std::move(t));
+    }
+    for (Ticket& t : keep) t.Wait();  // dropped tickets finish on their own
+  }
+  // Dropped tickets complete asynchronously (a sentinel request would only
+  // order the *dequeue*, not the completion, of groups another worker is
+  // still evaluating) — poll the ledger until every callback has fired.
+  for (int spin = 0; spin < 10000; ++spin) {
+    int total = 0;
+    for (int i = 0; i < kTickets; ++i) total += fired[i].load();
+    if (total >= kTickets) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  for (int i = 0; i < kTickets; ++i) {
+    EXPECT_EQ(1, fired[i].load()) << "ticket " << i;
+  }
+}
+
+// --------------------------------------------------------------- EvalBatch ----
+
+// EvalBatch is now a thin Submit+Wait wrapper; its dedup and ordering
+// guarantees must survive (runtime_test covers correctness vs serial — here
+// we check the wrapper's stats plumbing).
+TEST(AsyncSession, EvalBatchRidesTheAsyncPath) {
+  const Session session({.num_threads = 4});
+  const Query query = MustCompile(".*x{a}y{b?cc*}.*", "abc");
+  const DocumentPtr doc = *Document::FromText("abccaabccaabcca");
+
+  std::vector<EngineRequest> requests(
+      8, EngineRequest{.query = query, .document = doc,
+                       .op = EngineRequest::Op::kCount, .limit = {}});
+  const std::vector<Result<EngineOutput>> outputs = session.EvalBatch(requests);
+  ASSERT_EQ(8u, outputs.size());
+  for (const auto& out : outputs) {
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(outputs[0]->count.value, out->count.value);
+  }
+  const Session::Stats stats = session.stats();
+  // Identical requests are deduplicated before submission: one ticket, one
+  // evaluation, eight shared outputs.
+  EXPECT_EQ(1u, stats.For(Priority::kBatch).submitted);
+  EXPECT_EQ(1u, stats.For(Priority::kBatch).completed);
+  EXPECT_EQ(1u, doc->cache_stats().misses);
+  EXPECT_EQ(0u, doc->cache_stats().hits);
+  EXPECT_EQ(0u, stats.For(Priority::kBatch).queued);
+  EXPECT_EQ(0u, stats.For(Priority::kBatch).running);
+}
+
+// ------------------------------------------------------------------ stress ----
+
+// The TSan job's main course: 8 threads hammer Submit/Cancel/Wait/TryGet
+// against a shared Session with mixed priorities, deadlines and coalescing
+// opportunities, then the ledger must balance: every submitted ticket
+// reaches exactly one terminal state and the gauges return to zero.
+TEST(AsyncSession, StressSubmitCancelWaitFromManyThreads) {
+  // Callback target outlives the Session (see CallbackFiresExactlyOnce).
+  std::atomic<uint64_t> callbacks{0};
+  const Session session({.num_threads = 4});
+  const std::string alphabet = "abc";
+  const std::vector<Query> queries = {
+      MustCompile(".*x{a}y{b?cc*}.*", alphabet),
+      MustCompile(".*x{a}.*", alphabet),
+      MustCompile("(b|c)*x{a}.*y{cc*}.*", alphabet),
+  };
+  std::vector<DocumentPtr> docs;
+  for (int i = 0; i < 4; ++i) {
+    std::string text;
+    for (int j = 0; j < 40 + 13 * i; ++j) text += (j % 2) ? "abcca" : "bcab";
+    docs.push_back(*Document::FromText(text));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 120;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      uint64_t rng = 0x9E3779B97F4A7C15ull * (tid + 1);
+      auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      for (int i = 0; i < kIterations; ++i) {
+        EngineRequest request{
+            .query = queries[next() % queries.size()],
+            .document = (next() % 16 == 0) ? nullptr
+                                           : docs[next() % docs.size()],
+            .op = static_cast<EngineRequest::Op>(next() % 3),
+            .limit = (next() % 2) ? std::optional<uint64_t>(next() % 8)
+                                  : std::nullopt};
+        SubmitOptions opts;
+        opts.priority = static_cast<Priority>(next() % kNumPriorityClasses);
+        if (next() % 4 == 0) {
+          opts.deadline = Clock::now() + std::chrono::microseconds(next() % 3000);
+        }
+        opts.callback = [&callbacks](const Result<EngineOutput>&) {
+          callbacks.fetch_add(1);
+        };
+        Ticket ticket = session.Submit(request, opts);
+        switch (next() % 4) {
+          case 0:
+            ticket.Cancel();
+            break;
+          case 1:
+            ticket.Wait();
+            break;
+          case 2:
+            (void)ticket.TryGet();
+            ticket.Wait();
+            break;
+          default:
+            break;  // drop: detaches, callback still fires
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Drain: wait until every gauge returns to zero (dropped tickets may
+  // still be in flight right after join).
+  const uint64_t expected = uint64_t{kThreads} * kIterations;
+  for (int spin = 0; spin < 10000; ++spin) {
+    const Session::Stats stats = session.stats();
+    uint64_t queued = 0, running = 0;
+    for (const auto& c : stats.by_class) {
+      queued += c.queued;
+      running += c.running;
+    }
+    if (queued == 0 && running == 0 && callbacks.load() == expected) break;
+    std::this_thread::sleep_for(1ms);
+  }
+
+  const Session::Stats stats = session.stats();
+  uint64_t submitted = 0, terminal = 0;
+  for (const auto& c : stats.by_class) {
+    submitted += c.submitted;
+    terminal += c.completed + c.cancelled + c.expired;
+    EXPECT_EQ(0u, c.queued);
+    EXPECT_EQ(0u, c.running);
+  }
+  EXPECT_EQ(expected, submitted);
+  EXPECT_EQ(expected, terminal) << "every ticket must reach exactly one "
+                                   "terminal state";
+  EXPECT_EQ(expected, callbacks.load()) << "callbacks must fire exactly once";
+}
+
+}  // namespace
+}  // namespace slpspan

@@ -13,7 +13,8 @@
 //   slpspan prepare   <in.slp> <pattern> (-o bundle.prep | --spill-dir=DIR)
 //                     [--alphabet=...]
 //   slpspan batch     <manifest> [--threads=N] [--cache-mb=M] [--alphabet=...]
-//                     [--spill-dir=DIR] [--spill-mb=M]
+//                     [--spill-dir=DIR] [--spill-mb=M] [--async]
+//                     [--deadline-ms=T]
 //
 // `extract` streams span-tuples through Engine::Extract with early exit at
 // --limit (Theorem 8.10; tuples past the limit are never computed), `count`
@@ -22,23 +23,33 @@
 // regex dialect (see README.md); the alphabet defaults to printable ASCII +
 // newline + tab.
 //
-// `batch` runs a whole request manifest through the runtime layer
-// (Session::EvalBatch): every line is `op<TAB>file.slp<TAB>pattern[<TAB>limit]`
-// with op in {check, count, extract} (spaces work as separators too when the
-// pattern contains none). Documents and queries are loaded/compiled once per
-// distinct path/pattern, requests run on a worker pool sharing the
-// byte-budgeted prepared-state cache, and identical requests are evaluated
-// once. `--cache-mb` bounds the cache, `--threads` sizes the pool.
-// `--spill-dir` enables the disk spill tier under the cache (budgeted by
-// `--spill-mb`): evicted prepared state is written behind as ".prep" bundles
-// and later misses load them back instead of re-preparing — across process
-// runs too, since bundles are keyed by content fingerprints.
+// `batch` runs a whole request manifest through the runtime layer: every
+// line is `op<TAB>file.slp<TAB>pattern[<TAB>limit][<TAB>priority]` with op
+// in {check, count, extract} and priority in {interactive, batch,
+// background} (spaces work as separators too when the pattern contains
+// none). Documents and queries are loaded/compiled once per distinct
+// path/pattern, requests run on a worker pool sharing the byte-budgeted
+// prepared-state cache, and identical requests are evaluated once.
+// `--cache-mb` bounds the cache, `--threads` sizes the pool. `--spill-dir`
+// enables the disk spill tier under the cache (budgeted by `--spill-mb`):
+// evicted prepared state is written behind as ".prep" bundles and later
+// misses load them back instead of re-preparing — across process runs too,
+// since bundles are keyed by content fingerprints.
+//
+// With `--async` the manifest is driven through Session::Submit — every
+// line becomes a ticket at its priority class (default batch), optionally
+// bounded by `--deadline-ms` (relative; expired requests report `deadline
+// exceeded` instead of running late) — and the run ends with a
+// per-priority serving report: completed/cancelled/expired counts and mean
+// queue latency per class. Without `--async` the priority column is
+// accepted but ignored (EvalBatch runs everything at batch priority).
 //
 // `prepare` exports the prepared state for one (document, pattern) pair as a
 // bundle: `-o file.prep` for an explicit artifact, `--spill-dir=DIR` to drop
 // it into a spill directory under its canonical name so a later batch run
 // (or a whole fleet sharing that directory) starts warm.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -72,8 +83,11 @@ int Usage() {
                "--spill-dir=DIR) [--alphabet=CHARS]\n"
                "  slpspan batch <manifest> [--threads=N] [--cache-mb=M] "
                "[--alphabet=CHARS] [--spill-dir=DIR] [--spill-mb=M]\n"
-               "      manifest line: op<TAB>file.slp<TAB>pattern[<TAB>limit], "
-               "op in {check,count,extract}\n");
+               "                [--async] [--deadline-ms=T]\n"
+               "      manifest line: "
+               "op<TAB>file.slp<TAB>pattern[<TAB>limit][<TAB>priority]\n"
+               "      op in {check,count,extract}; priority in "
+               "{interactive,batch,background} (--async)\n");
   return 2;
 }
 
@@ -84,9 +98,11 @@ struct Flags {
   std::string spill_dir;  // prepare/batch: spill directory
   uint64_t limit = 20;
   uint64_t seed = 42;
-  uint64_t threads = 0;   // 0 = hardware concurrency
-  uint64_t cache_mb = 0;  // 0 = library default
-  uint64_t spill_mb = 0;  // 0 = library default
+  uint64_t threads = 0;      // 0 = hardware concurrency
+  uint64_t cache_mb = 0;     // 0 = library default
+  uint64_t spill_mb = 0;     // 0 = library default
+  uint64_t deadline_ms = 0;  // batch --async: per-request deadline; 0 = none
+  bool async = false;        // batch: Submit/Ticket path instead of EvalBatch
   bool rebalance = false;
   bool parse_error = false;
   std::vector<std::string> positional;
@@ -127,6 +143,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.parse_error |= !ParseUint(arg.substr(11), &flags.cache_mb);
     } else if (arg.rfind("--spill-mb=", 0) == 0) {
       flags.parse_error |= !ParseUint(arg.substr(11), &flags.spill_mb);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      flags.parse_error |= !ParseUint(arg.substr(14), &flags.deadline_ms);
+    } else if (arg == "--async") {
+      flags.async = true;
     } else if (arg.rfind("--spill-dir=", 0) == 0) {
       flags.spill_dir = arg.substr(12);
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -350,7 +370,25 @@ struct ManifestLine {
   std::string path;
   std::string pattern;
   std::optional<uint64_t> limit;
+  Priority priority = Priority::kBatch;  // optional trailing column (--async)
 };
+
+bool ParsePriority(const std::string& s, Priority* out) {
+  if (s == "interactive") *out = Priority::kInteractive;
+  else if (s == "batch") *out = Priority::kBatch;
+  else if (s == "background") *out = Priority::kBackground;
+  else return false;
+  return true;
+}
+
+const char* PriorityName(Priority p) {
+  switch (p) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+    case Priority::kBackground: return "background";
+  }
+  return "?";
+}
 
 /// Splits a manifest line into fields: by tabs when any are present (allows
 /// patterns containing spaces), otherwise by runs of whitespace.
@@ -390,29 +428,37 @@ int CmdBatch(const Flags& flags) {
     if (fields.empty()) continue;
     ManifestLine line;
     line.lineno = lineno;
-    if (fields.size() < 3 || fields.size() > 4 ||
+    if (fields.size() < 3 || fields.size() > 5 ||
         (fields[0] != "check" && fields[0] != "count" &&
          fields[0] != "extract")) {
       std::fprintf(stderr,
-                   "manifest line %zu: expected "
-                   "`check|count|extract <file.slp> <pattern> [limit]`\n",
+                   "manifest line %zu: expected `check|count|extract "
+                   "<file.slp> <pattern> [limit] [priority]`\n",
                    lineno);
       return 2;
     }
     line.op = fields[0];
     line.path = fields[1];
     line.pattern = fields[2];
-    if (fields.size() == 4) {
+    // Trailing columns: a numeric limit and/or a priority class, in either
+    // order (each at most once).
+    bool have_limit = false, have_priority = false;
+    for (size_t f = 3; f < fields.size(); ++f) {
       uint64_t limit = 0;
-      if (!ParseUint(fields[3], &limit)) {
-        std::fprintf(stderr, "manifest line %zu: bad limit '%s'\n", lineno,
-                     fields[3].c_str());
+      if (!have_limit && ParseUint(fields[f], &limit)) {
+        line.limit = limit;
+        have_limit = true;
+      } else if (!have_priority && ParsePriority(fields[f], &line.priority)) {
+        have_priority = true;
+      } else {
+        std::fprintf(stderr,
+                     "manifest line %zu: bad limit/priority '%s' (priority "
+                     "in {interactive,batch,background})\n",
+                     lineno, fields[f].c_str());
         return 2;
       }
-      line.limit = limit;
-    } else if (line.op == "extract") {
-      line.limit = flags.limit;
     }
+    if (!have_limit && line.op == "extract") line.limit = flags.limit;
     lines.push_back(std::move(line));
   }
   if (lines.empty()) {
@@ -461,21 +507,45 @@ int CmdBatch(const Flags& flags) {
 
   Session session({.num_threads = static_cast<uint32_t>(flags.threads)});
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<Result<EngineOutput>> outputs =
-      session.EvalBatch(requests);
+  std::vector<Result<EngineOutput>> outputs;  // sync path only
+  std::vector<Ticket> tickets;  // async path: results stay in the tickets
+  if (flags.async) {
+    // Asynchronous path: one ticket per line at its priority class, all
+    // submitted up front (late lines still coalesce with queued identical
+    // ones), then awaited in manifest order — results are printed straight
+    // out of the tickets, never copied.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (flags.deadline_ms > 0) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(flags.deadline_ms);
+    }
+    tickets.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      tickets.push_back(session.Submit(
+          requests[i],
+          {.priority = lines[i].priority, .deadline = deadline}));
+    }
+    for (Ticket& ticket : tickets) ticket.Wait();
+  } else {
+    outputs = session.EvalBatch(requests);
+  }
   const double ms = MillisSince(start);
+  const auto result_at = [&](size_t i) -> const Result<EngineOutput>& {
+    return flags.async ? tickets[i].Wait() : outputs[i];
+  };
 
   int exit_code = 0;
-  for (size_t i = 0; i < outputs.size(); ++i) {
+  for (size_t i = 0; i < requests.size(); ++i) {
     const ManifestLine& line = lines[i];
     std::printf("[%zu] %s %s '%s'", i, line.op.c_str(), line.path.c_str(),
                 line.pattern.c_str());
-    if (!outputs[i].ok()) {
-      std::printf(" -> error: %s\n", outputs[i].status().ToString().c_str());
+    if (!result_at(i).ok()) {
+      std::printf(" -> error: %s\n",
+                  result_at(i).status().ToString().c_str());
       exit_code = 1;
       continue;
     }
-    const EngineOutput& out = *outputs[i];
+    const EngineOutput& out = *result_at(i);
     if (line.op == "check") {
       std::printf(" -> %s\n", out.nonempty ? "non-empty" : "empty");
     } else if (line.op == "count") {
@@ -500,7 +570,7 @@ int CmdBatch(const Flags& flags) {
   std::printf(
       "\n%zu requests in %.1f ms on %u thread(s); prepared-state cache: "
       "%llu hit(s), %llu miss(es), %llu eviction(s), %.1f MiB / %.0f MiB\n",
-      outputs.size(), ms, session.num_threads(),
+      requests.size(), ms, session.num_threads(),
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.evictions),
@@ -517,6 +587,25 @@ int CmdBatch(const Flags& flags) {
         static_cast<double>(cache.spill_budget_bytes) / (1 << 20),
         static_cast<unsigned long long>(cache.spilled_bytes),
         static_cast<unsigned long long>(cache.spill_reclaimed));
+  }
+  if (flags.async) {
+    const Session::Stats stats = session.stats();
+    for (size_t i = 0; i < kNumPriorityClasses; ++i) {
+      const Session::Stats::ClassStats& c = stats.by_class[i];
+      if (c.submitted == 0) continue;
+      const uint64_t left_queue = c.completed + c.cancelled + c.expired;
+      std::printf(
+          "%-11s: %llu submitted, %llu completed, %llu cancelled, "
+          "%llu expired, %llu coalesced, mean queue latency %.2f ms\n",
+          PriorityName(static_cast<Priority>(i)),
+          static_cast<unsigned long long>(c.submitted),
+          static_cast<unsigned long long>(c.completed),
+          static_cast<unsigned long long>(c.cancelled),
+          static_cast<unsigned long long>(c.expired),
+          static_cast<unsigned long long>(c.coalesced),
+          static_cast<double>(c.queue_latency_micros) / 1000.0 /
+              static_cast<double>(std::max<uint64_t>(1, left_queue)));
+    }
   }
   return exit_code;
 }
