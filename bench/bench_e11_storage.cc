@@ -7,6 +7,14 @@
 //       disk-warm ≥ 10× faster than cold on the large document — the whole
 //       point of spilling is that deserialization is an order of magnitude
 //       cheaper than re-deriving the tables.
+//
+//       Re-baselined for PR 5: t_cold now runs the product-memoized
+//       preparation (the process default), so the large-document ratio
+//       shrank from ~19× to ~16× — memoization cheapens exactly the work a
+//       bundle load skips. These queries are small-q (the memo's win here
+//       is ~2×, vs ≥5× in bench E13's large-q regime), so the honest
+//       post-memoization ratio still clears the 10× bar with margin; the
+//       bar is unchanged rather than lowered.
 //   (b) The spill tier end to end: evict under a zero budget (synchronous
 //       spill), then time the next miss being served from the disk tier.
 //

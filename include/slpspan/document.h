@@ -27,6 +27,7 @@
 #include <string_view>
 
 #include "slp/slp.h"
+#include "slpspan/prepare.h"
 #include "slpspan/query.h"
 #include "slpspan/status.h"
 
@@ -78,8 +79,12 @@ class Document {
   /// (".prep"): the sentinel-extended grammar, the Lemma 6.5 tables and —
   /// for determinized queries — the counting tables, ready for
   /// LoadPrepared or a spill directory (Runtime::SpillBundleName). Pays the
-  /// O(|M| + size(S)·q³) preparation if it is not already cached.
-  Status SavePrepared(const Query& query, const std::string& path) const;
+  /// preparation at most once even when the state is too large for the
+  /// cache to retain (the built state is serialized directly); `stats`,
+  /// when non-null, receives the PrepareStats of the build the bundle was
+  /// serialized from (see PreparedFor for the loaded/cached semantics).
+  Status SavePrepared(const Query& query, const std::string& path,
+                      PrepareStats* stats = nullptr) const;
 
   /// Imports a bundle written by SavePrepared into the process-wide cache,
   /// so the first Engine operation on (this document, `query`) skips
@@ -128,16 +133,22 @@ class Document {
   };
   CacheStats cache_stats() const;
 
+  /// Returns the prepared state for `query` from the process-wide cache,
+  /// building it on first use with Runtime's default PrepareOptions (see
+  /// Runtime::SetPrepareOptions). Thread-safe; concurrent builds for the
+  /// same (document, query) pair are coalesced (single-flight). The handle
+  /// is opaque — this is the explicit pre-warming hook (an Engine operation
+  /// triggers the same path lazily). When `stats` is non-null it receives
+  /// the PrepareStats of the build that produced the state: a cache hit
+  /// reports the original build, a bundle-loaded state reports all zeros
+  /// (waves == 0).
+  std::shared_ptr<const api_internal::PreparedState> PreparedFor(
+      const Query& query, PrepareStats* stats = nullptr) const;
+
  private:
   friend class Engine;
 
   explicit Document(Slp slp);
-
-  /// Returns the prepared state for `query` from the process-wide cache,
-  /// building it on first use. Thread-safe; concurrent builds for the same
-  /// (document, query) pair are coalesced (single-flight).
-  std::shared_ptr<const api_internal::PreparedState> PreparedFor(
-      const Query& query) const;
 
   const Slp slp_;
   const uint64_t id_;

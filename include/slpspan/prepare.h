@@ -1,0 +1,67 @@
+// PrepareOptions / PrepareStats — knobs and observability for the per-
+// document preparation pass (the bottom-up Lemma 6.5 table construction,
+// the dominant O(|M| + size(S)·q³) cost the runtime and storage layers
+// exist to amortize).
+//
+// Both structs are plain value types with no ownership or thread-safety
+// concerns of their own: options are read once at the start of a
+// preparation, stats are filled by exactly one preparation and then only
+// read. They are deliberately dependency-free so every layer (core, api,
+// runtime, CLI) can pass them through without pulling in the core headers.
+//
+// The preparation itself is deterministic under every option combination:
+// naive, memoized and memoized+parallel builds produce bit-identical
+// tables (property-tested), so these knobs trade time for nothing but
+// time.
+
+#ifndef SLPSPAN_PUBLIC_PREPARE_H_
+#define SLPSPAN_PUBLIC_PREPARE_H_
+
+#include <cstdint>
+
+namespace slpspan {
+
+/// How to run a preparation (Lemma 6.5 table construction).
+struct PrepareOptions {
+  /// Worker threads for the wave-parallel bottom-up pass (non-terminals of
+  /// equal derivation depth are independent and run concurrently).
+  /// 1 = serial; 0 = std::thread::hardware_concurrency (at least 1).
+  uint32_t threads = 1;
+
+  /// Memoize matrix products by pool-index pair: every U/W matrix is
+  /// interned into the hash-consed pool *as it is produced*, and
+  /// Multiply(pool[i], pool[j]) / Or(pool[i], pool[j]) are cached per
+  /// (i, j), collapsing the O(size(S)·q³) pass to O(distinct-products·q³).
+  /// On the repetitive grammars RePair/LZ produce, almost all products are
+  /// duplicates (see docs/PREPARATION.md and bench E13). The counting-table
+  /// construction applies the analogous memo keyed by subtree count
+  /// signatures. Off = the historical naive pass (kept for benchmarking
+  /// and differential testing; results are bit-identical either way).
+  bool memoize = true;
+};
+
+/// What one preparation did — the out-param of Document::PreparedFor /
+/// SpannerEvaluator::Prepare, surfaced by `slpspan prepare --verbose`.
+/// All counters refer to the evaluation-table construction; a state loaded
+/// from a ".prep" bundle reports all-zero stats (waves == 0 distinguishes
+/// "loaded or cache-inherited" from "built here").
+struct PrepareStats {
+  uint64_t rules = 0;              ///< non-terminals processed (size of S#)
+  uint64_t products = 0;           ///< memoizable matrix ops requested
+  uint64_t distinct_products = 0;  ///< ops actually computed (memo misses)
+  uint64_t memo_hits = 0;          ///< ops served from the product memo
+  uint64_t pool_matrices = 0;      ///< distinct matrices in the final pool
+  uint32_t waves = 0;              ///< depth levels scheduled (== depth(S#))
+  uint32_t threads = 0;            ///< workers that ran the pass
+
+  /// Fraction of matrix ops served from the product memo (0 when naive).
+  double hit_rate() const {
+    return products == 0
+               ? 0.0
+               : static_cast<double>(memo_hits) / static_cast<double>(products);
+  }
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_PUBLIC_PREPARE_H_

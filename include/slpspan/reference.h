@@ -2,6 +2,10 @@
 // baseline that evaluates a spanner directly on the plain text. Exposed for
 // crossover benchmarks and differential testing against the compressed
 // engine; production callers want slpspan/engine.h.
+//
+// The reference functions are pure: they borrow the text and automaton for
+// the duration of the call, own nothing afterwards, and are safe to call
+// concurrently from any number of threads.
 
 #ifndef SLPSPAN_PUBLIC_REFERENCE_H_
 #define SLPSPAN_PUBLIC_REFERENCE_H_

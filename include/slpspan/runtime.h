@@ -76,14 +76,18 @@
 
 #include "slpspan/document.h"
 #include "slpspan/engine.h"
+#include "slpspan/prepare.h"
 #include "slpspan/query.h"
 #include "slpspan/status.h"
 #include "slpspan/types.h"
 
 namespace slpspan {
 
-namespace runtime_internal {
+namespace util {
 class ThreadPool;
+}  // namespace util
+
+namespace runtime_internal {
 struct SessionShared;
 struct TicketState;
 }  // namespace runtime_internal
@@ -129,6 +133,16 @@ class Runtime {
 
   /// Adjusts only the cache byte budget (thread-safe, takes effect now).
   static void SetCacheByteBudget(uint64_t bytes);
+
+  /// Process-wide default PrepareOptions (product memoization on, serial by
+  /// default) applied whenever a Document builds prepared state — cache
+  /// misses, Document::PreparedFor, SavePrepared. Thread-safe; takes effect
+  /// for preparations that start after the call. Raising `threads` lets one
+  /// giant document's O(size(S)·q³) preparation fan out wave-parallel
+  /// instead of serializing on one core; results are bit-identical under
+  /// every setting (see slpspan/prepare.h and docs/PREPARATION.md).
+  static void SetPrepareOptions(const PrepareOptions& opts);
+  static PrepareOptions prepare_options();
 
   /// Enables (non-empty directory) or disables (empty) the disk spill tier.
   /// May be called at any time; bundles already in the directory are
@@ -367,7 +381,7 @@ class Session {
   uint32_t num_threads() const;
 
  private:
-  std::unique_ptr<runtime_internal::ThreadPool> pool_;
+  std::unique_ptr<util::ThreadPool> pool_;
   std::shared_ptr<runtime_internal::SessionShared> shared_;
 };
 

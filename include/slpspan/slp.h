@@ -7,6 +7,11 @@
 // cover the compress-and-load paths. It exists for programmatic grammar
 // construction (Document::FromSlp) and direct inspection via
 // Document::slp().
+//
+// Slp is an immutable value type — once built it is safe to read from any
+// number of threads, and Document::FromSlp takes it by value (move it in).
+// CnfAssembler is the one mutable type here: it owns its rules until
+// Finish() and must be confined to a single thread.
 
 #ifndef SLPSPAN_PUBLIC_SLP_H_
 #define SLPSPAN_PUBLIC_SLP_H_

@@ -5,6 +5,10 @@
 // Document, model checking a candidate tuple, random access into the result
 // set) returns Status or Result<T>; malformed user input never aborts the
 // process. Internal invariant violations still use SLPSPAN_CHECK.
+//
+// Status and Result<T> are plain value types: they own their message (and
+// payload), copy/move freely, and have no thread-affinity — distinct
+// instances may be used from distinct threads without synchronization.
 
 #ifndef SLPSPAN_PUBLIC_STATUS_H_
 #define SLPSPAN_PUBLIC_STATUS_H_

@@ -2,6 +2,10 @@
 // planted motifs, versioned-document chains, random/repeated strings) used
 // by the examples and benchmarks. All generators are seeded and
 // platform-stable.
+//
+// Generators are free functions returning owned std::strings; they keep no
+// global state (each call seeds its own RNG), so concurrent calls from any
+// number of threads are safe and reproducible.
 
 #ifndef SLPSPAN_PUBLIC_TEXTGEN_H_
 #define SLPSPAN_PUBLIC_TEXTGEN_H_

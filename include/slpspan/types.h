@@ -5,7 +5,10 @@
 //   * slpspan::VarId.
 //
 // These are the types streamed out of Engine::Extract and accepted by
-// Engine::Matches.
+// Engine::Matches. All of them are self-contained value types (no views
+// into engine or document state): copy/move them freely, keep them past
+// every handle they came from, and share immutable instances across
+// threads without synchronization.
 
 #ifndef SLPSPAN_PUBLIC_TYPES_H_
 #define SLPSPAN_PUBLIC_TYPES_H_

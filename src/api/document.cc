@@ -122,8 +122,10 @@ uint64_t Document::fingerprint() const {
   return fp;
 }
 
-Status Document::SavePrepared(const Query& query, const std::string& path) const {
-  std::shared_ptr<const api_internal::PreparedState> state = PreparedFor(query);
+Status Document::SavePrepared(const Query& query, const std::string& path,
+                              PrepareStats* stats) const {
+  std::shared_ptr<const api_internal::PreparedState> state =
+      PreparedFor(query, stats);
   if (query.options().determinize) {
     // Materialize the counting tables so the bundle warms Count/At/Sample
     // too, not just IsNonEmpty/Extract.
@@ -153,13 +155,21 @@ Document::CacheStats Document::cache_stats() const {
 }
 
 std::shared_ptr<const api_internal::PreparedState> Document::PreparedFor(
-    const Query& query) const {
-  return runtime_internal::PreparedCache::Global().GetOrBuild(
-      id_, query.id(), fingerprint(), query.fingerprint(), counters_, [&] {
-        return std::make_shared<const api_internal::PreparedState>(
-            query.state_->evaluator.Prepare(slp_),
-            runtime_internal::PreparedCache::RechargeHookFor(id_, query.id()));
-      });
+    const Query& query, PrepareStats* stats) const {
+  std::shared_ptr<const api_internal::PreparedState> state =
+      runtime_internal::PreparedCache::Global().GetOrBuild(
+          id_, query.id(), fingerprint(), query.fingerprint(), counters_, [&] {
+            PrepareStats build_stats;
+            PreparedDocument prepared = query.state_->evaluator.Prepare(
+                slp_, Runtime::prepare_options(), &build_stats);
+            return std::make_shared<const api_internal::PreparedState>(
+                std::move(prepared),
+                runtime_internal::PreparedCache::RechargeHookFor(id_,
+                                                                 query.id()),
+                std::string(), nullptr, build_stats);
+          });
+  if (stats != nullptr) *stats = state->prepare_stats;
+  return state;
 }
 
 }  // namespace slpspan

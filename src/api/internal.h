@@ -61,13 +61,21 @@ struct PreparedState {
   explicit PreparedState(PreparedDocument prepared_in,
                          RechargeFn recharge = nullptr,
                          std::string counter_section = {},
-                         CounterLoader counter_loader = nullptr)
+                         CounterLoader counter_loader = nullptr,
+                         PrepareStats stats = {})
       : prepared(std::move(prepared_in)),
+        prepare_stats(stats),
         recharge_(std::move(recharge)),
         counter_section_(std::move(counter_section)),
         counter_loader_(std::move(counter_loader)) {}
 
   const PreparedDocument prepared;
+
+  /// What the preparation that built this state did (all-zero — waves == 0
+  /// — for state deserialized from a bundle, which never ran the pass).
+  /// Reported by Document::PreparedFor for cache hits and misses alike: the
+  /// stats describe the build that produced the cached state.
+  const PrepareStats prepare_stats;
 
   /// Bytes charged to the runtime prepared-state cache at insertion: the
   /// sentinel-extended grammar plus the Lemma 6.5 bit-matrices — the

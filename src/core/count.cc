@@ -1,6 +1,7 @@
 #include "core/count.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
 
 namespace slpspan {
@@ -29,9 +30,51 @@ uint64_t SatMul(uint64_t a, uint64_t b, bool* overflow) {
   return a * b;
 }
 
+/// Count signatures: a per-non-terminal id such that equal signatures imply
+/// equal count grids |M_A[·,·]| (the counting analogue of the preparation's
+/// product memo). Leaves are keyed exactly by (U index, W index, cell-size
+/// grid) — the pool indices identify the matrices, the sizes pin the leaf
+/// counts; inner rules by the interned pair of child signatures, which by
+/// induction determines both children's matrices and count grids, hence the
+/// parent's. Interning is exact (full keys, no lossy hashing), so a shared
+/// signature can never conflate different grids.
+std::vector<uint32_t> ComputeCountSignatures(const Slp& slp,
+                                             const EvalTables& tables) {
+  const uint32_t n = slp.NumNonTerminals();
+  const uint32_t q = tables.q();
+  std::vector<uint32_t> sig(n);
+  std::map<std::vector<uint64_t>, uint32_t> leaf_sigs;
+  std::unordered_map<uint64_t, uint32_t> pair_sigs;
+  uint32_t next_sig = 0;
+  for (NtId a = 0; a < n; ++a) {
+    if (slp.IsLeaf(a)) {
+      std::vector<uint64_t> key;
+      key.reserve(2 + static_cast<size_t>(q) * q);
+      key.push_back(tables.u_indexes()[a]);
+      key.push_back(tables.w_indexes()[a]);
+      for (StateId i = 0; i < q; ++i) {
+        for (StateId j = 0; j < q; ++j) {
+          key.push_back(tables.LeafCell(a, i, j).size());
+        }
+      }
+      const auto [it, fresh] = leaf_sigs.emplace(std::move(key), next_sig);
+      if (fresh) ++next_sig;
+      sig[a] = it->second;
+    } else {
+      const uint64_t key = (static_cast<uint64_t>(sig[slp.Left(a)]) << 32) |
+                           sig[slp.Right(a)];
+      const auto [it, fresh] = pair_sigs.emplace(key, next_sig);
+      if (fresh) ++next_sig;
+      sig[a] = it->second;
+    }
+  }
+  return sig;
+}
+
 }  // namespace
 
-CountTables::CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& tables)
+CountTables::CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& tables,
+                         const PrepareOptions& opts)
     : slp_(&slp), nfa_(&nfa), tables_(&tables) {
   SLPSPAN_CHECK(nfa.IsDeterministic());  // Lemma 8.7 disjointness needs a DFA
   SLPSPAN_CHECK(tables.q() <= 0xFFFF);
@@ -59,7 +102,12 @@ CountTables::CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& table
     });
   }
 
-  // Evaluate bottom-up (children have smaller NtIds).
+  // Evaluate bottom-up (children have smaller NtIds). With memoization the
+  // Lemma 6.9 sum runs once per (count signature, i, j): a repeated subtree
+  // reuses the value computed for its first occurrence.
+  std::vector<uint32_t> sig;
+  if (opts.memoize) sig = ComputeCountSignatures(slp, tables);
+  std::unordered_map<uint64_t, uint64_t> sum_memo;  // (sig, i, j) -> count
   std::vector<std::vector<uint32_t>> pairs_by_nt(slp.NumNonTerminals());
   for (const auto& [key, unused] : counts) {
     (void)unused;
@@ -80,11 +128,24 @@ CountTables::CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& table
           if (slp.IsLeaf(nt)) {
             count = tables.LeafCell(nt, i, j).size();
           } else {
+            ++build_stats_.triples;
+            const uint64_t memo_key =
+                opts.memoize
+                    ? (static_cast<uint64_t>(sig[nt]) << 32) | packed
+                    : 0;
+            const auto memo_it =
+                opts.memoize ? sum_memo.find(memo_key) : sum_memo.end();
+            if (opts.memoize && memo_it != sum_memo.end()) {
+              ++build_stats_.memo_hits;
+              count = memo_it->second;
+              break;
+            }
             tables.ForEachIntermediate(slp, nt, i, j, [&](StateId k) {
               const uint64_t cb = counts.at(PackTriple(slp.Left(nt), i, k));
               const uint64_t cc = counts.at(PackTriple(slp.Right(nt), k, j));
               count = SatAdd(count, SatMul(cb, cc, &overflow_), &overflow_);
             });
+            if (opts.memoize) sum_memo.emplace(memo_key, count);
           }
           break;
       }

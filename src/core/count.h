@@ -37,7 +37,30 @@ class CountTables {
  public:
   /// `slp`/`nfa` carry the sentinel; `tables` built from exactly this pair.
   /// O(size(S) * q^2 * q/w) time over the reachable triples.
-  CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& tables);
+  ///
+  /// With `opts.memoize` (the default) the per-triple evaluation gets the
+  /// counting analogue of the preparation's product memo: every
+  /// non-terminal is assigned a *count signature* — leaves by their exact
+  /// (U, W, cell-size grid), inner rules by the interned pair of child
+  /// signatures — such that equal signatures imply equal count grids, and
+  /// the Lemma 6.9 sum for a triple is computed once per (signature, i, j)
+  /// instead of once per (non-terminal, i, j). Grammars with repeated
+  /// subtrees (non-deduplicating constructions, spliced SLPs) skip the
+  /// whole sum for every repeat; the resulting counts are bit-identical to
+  /// the naive evaluation either way. Only `opts.memoize` is consulted —
+  /// counter construction is cheap relative to preparation and stays
+  /// serial.
+  CountTables(const Slp& slp, const Nfa& nfa, const EvalTables& tables,
+              const PrepareOptions& opts = {});
+
+  /// What the memoized evaluation did (zeros for FromParts-restored
+  /// tables): `triples` sums the kOne triples whose product sum ran or was
+  /// memo-served, `memo_hits` the ones served from the signature memo.
+  struct BuildStats {
+    uint64_t triples = 0;
+    uint64_t memo_hits = 0;
+  };
+  const BuildStats& build_stats() const { return build_stats_; }
 
   /// Pointer-free snapshot of the count tables for serialization; counts are
   /// key-sorted so equal tables export byte-identical parts.
@@ -93,6 +116,7 @@ class CountTables {
   std::vector<StateId> final_states_;
   uint64_t total_ = 0;
   bool overflow_ = false;
+  BuildStats build_stats_;
 };
 
 }  // namespace slpspan

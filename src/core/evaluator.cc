@@ -50,9 +50,15 @@ bool SpannerEvaluator::CheckModel(const Slp& slp, const SpanTuple& t) const {
 }
 
 PreparedDocument SpannerEvaluator::Prepare(const Slp& slp) const {
+  return Prepare(slp, opts_.prepare, nullptr);
+}
+
+PreparedDocument SpannerEvaluator::Prepare(const Slp& slp,
+                                           const PrepareOptions& opts,
+                                           PrepareStats* stats) const {
   Slp doc = SlpAppendSymbol(slp, kSentinelSymbol);
   if (opts_.rebalance) doc = Rebalance(doc);
-  EvalTables tables(doc, eval_nfa_);
+  EvalTables tables(doc, eval_nfa_, opts, stats);
   return PreparedDocument(std::move(doc), std::move(tables));
 }
 
@@ -80,7 +86,7 @@ CompressedEnumerator SpannerEvaluator::Enumerate(const PreparedDocument& prep) c
 }
 
 CountTables SpannerEvaluator::BuildCounter(const PreparedDocument& prep) const {
-  return CountTables(prep.slp(), eval_nfa_, prep.tables());
+  return CountTables(prep.slp(), eval_nfa_, prep.tables(), opts_.prepare);
 }
 
 SpanTuple SpannerEvaluator::TupleOf(const MarkerSeq& markers) const {

@@ -38,6 +38,11 @@ struct EvaluatorOptions {
   /// Prepare, guaranteeing O(log d · |X|) enumeration delay regardless of
   /// the input SLP's shape.
   bool rebalance = false;
+
+  /// Default preparation knobs (product memoization, wave-parallel
+  /// threads) for the Prepare(slp) overload; see slpspan/prepare.h. The
+  /// explicit Prepare overload overrides per call.
+  PrepareOptions prepare;
 };
 
 /// Per-document state: the sentinel-extended SLP plus the Lemma 6.5 tables.
@@ -80,8 +85,16 @@ class SpannerEvaluator {
   /// t ∈ ⟦M⟧(D) — Theorem 5.1(2), O((size(S) + |X|·depth(S))·q³).
   bool CheckModel(const Slp& slp, const SpanTuple& t) const;
 
-  /// Per-document preprocessing shared by ComputeAll and Enumerate.
+  /// Per-document preprocessing shared by ComputeAll and Enumerate, run
+  /// with EvaluatorOptions::prepare.
   PreparedDocument Prepare(const Slp& slp) const;
+
+  /// Same, with explicit preparation options and optional stats out-param
+  /// (what the wave-parallel, product-memoized pass did; see
+  /// slpspan/prepare.h). All option combinations produce bit-identical
+  /// prepared state.
+  PreparedDocument Prepare(const Slp& slp, const PrepareOptions& opts,
+                           PrepareStats* stats = nullptr) const;
 
   /// ⟦M⟧(D) — Theorem 7.1.
   std::vector<MarkerSeq> ComputeAllMarkers(const PreparedDocument& prep) const;

@@ -1,8 +1,15 @@
 #include "core/tables.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <utility>
+
+#include "util/thread_pool.h"
 
 namespace slpspan {
 
@@ -20,69 +27,312 @@ uint64_t HashMatrix(const BoolMatrix& m) {
   return h;
 }
 
-/// Hash-consing interner for the matrix pool (construction-time only).
-class MatrixInterner {
+/// Append-only matrix arena with stable addresses: storage is a chain of
+/// fixed-size blocks whose pointer vector is reserved up front, so workers
+/// may read any already-published slot while another thread appends — no
+/// reallocation ever moves a matrix. Indices are published to other threads
+/// only through the builder's mutex (memo/interner inserts) or through a
+/// wave barrier, which provides the happens-before edge for the contents.
+class MatrixArena {
  public:
-  explicit MatrixInterner(std::vector<BoolMatrix>* pool) : pool_(pool) {}
+  explicit MatrixArena(size_t capacity) : capacity_(capacity) {
+    blocks_.reserve(capacity / kBlock + 2);
+  }
 
-  uint32_t Intern(BoolMatrix m) {
-    std::vector<uint32_t>& bucket = by_hash_[HashMatrix(m)];
-    for (const uint32_t idx : bucket) {
-      if ((*pool_)[idx] == m) return idx;
+  const BoolMatrix& at(uint32_t i) const {
+    return (*blocks_[i >> kShift])[i & (kBlock - 1)];
+  }
+  BoolMatrix& mutable_at(uint32_t i) {
+    return (*blocks_[i >> kShift])[i & (kBlock - 1)];
+  }
+
+  /// Appends `m` and returns its index. Caller serializes appends (the
+  /// builder's mutex in parallel mode).
+  uint32_t Append(BoolMatrix m) {
+    SLPSPAN_CHECK(size_ < capacity_);  // reserve() bound — never reallocates
+    if (size_ == blocks_.size() * kBlock) {
+      blocks_.push_back(std::make_unique<std::array<BoolMatrix, kBlock>>());
     }
-    pool_->push_back(std::move(m));
-    bucket.push_back(static_cast<uint32_t>(pool_->size() - 1));
-    return bucket.back();
+    const uint32_t idx = static_cast<uint32_t>(size_++);
+    mutable_at(idx) = std::move(m);
+    return idx;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static constexpr uint32_t kShift = 9;
+  static constexpr uint32_t kBlock = 1u << kShift;
+
+  size_t capacity_;
+  size_t size_ = 0;
+  std::vector<std::unique_ptr<std::array<BoolMatrix, kBlock>>> blocks_;
+};
+
+/// One bottom-up preparation pass (Lemma 6.5), scheduled wave-by-wave over
+/// derivation depth. Non-terminals within a wave only read results of
+/// earlier waves, so they are processed concurrently when opts.threads > 1;
+/// waves are separated by a ThreadPool::WaitIdle barrier.
+///
+/// All produced matrices are interned into a shared arena. With
+/// opts.memoize, Multiply and Or are additionally cached by operand index
+/// pair: on repetitive grammars the same rule shape — the same pair of
+/// child-matrix indices — recurs thousands of times, and every recurrence
+/// is a hash lookup instead of an O(q³/w) product. The memo, interner and
+/// arena share one mutex (taken only in parallel mode); the expensive
+/// multiplications always run outside it, so distinct products still
+/// parallelize. Two workers racing on the same missing product both compute
+/// it — the interner deduplicates the result and the memo insert is
+/// idempotent, so the race costs duplicate work, never correctness.
+class TableBuilder {
+ public:
+  TableBuilder(const Slp& slp, const Nfa& nfa, const PrepareOptions& opts,
+               std::vector<uint32_t>* u_idx, std::vector<uint32_t>* w_idx,
+               std::vector<uint32_t>* leaf_index,
+               std::vector<std::vector<std::vector<MarkerMask>>>* leaf_cells)
+      : slp_(slp),
+        nfa_(nfa),
+        memoize_(opts.memoize),
+        q_(nfa.NumStates()),
+        u_idx_(u_idx),
+        w_idx_(w_idx),
+        leaf_cells_(leaf_cells),
+        // Upper bound on arena slots: 2 per leaf (U, W) and — memoized —
+        // up to 5 per inner rule (U, U|W, two partial products, W).
+        arena_(2ull * (slp.NumNonTerminals() - slp.NumInnerNonTerminals()) +
+               5ull * slp.NumInnerNonTerminals() + 1) {
+    uint32_t threads = opts.threads;
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    // Never oversubscribe: extra workers on a core-starved host only add
+    // scheduler and lock-handoff overhead (bench E13 measures the pass, not
+    // the scheduler). Requested vs effective shows up in PrepareStats.
+    threads_ = std::max(
+        1u, std::min(threads, std::max(1u, std::thread::hardware_concurrency())));
+    parallel_ = threads_ > 1;
+
+    const uint32_t n = slp.NumNonTerminals();
+    leaf_index->assign(n, UINT32_MAX);
+    for (NtId a = 0; a < n; ++a) {
+      if (slp.IsLeaf(a)) {
+        (*leaf_index)[a] = static_cast<uint32_t>(leaf_cells->size());
+        leaf_cells->emplace_back(static_cast<size_t>(q_) * q_);
+      }
+    }
+    leaf_index_ = leaf_index;
+    if (memoize_) {
+      // One entry per inner rule worst-case; reserving up front keeps the
+      // hit path free of rehash passes (which would re-walk the whole table
+      // log(n) times over a large grammar).
+      rule_memo_.reserve(slp.NumInnerNonTerminals());
+    }
+  }
+
+  void Run() {
+    // Wave t holds the non-terminals of derivation depth t + 1; every level
+    // 1..depth(S) is populated (each inner rule has a child one level down).
+    std::vector<std::vector<NtId>> waves(slp_.depth());
+    for (NtId a = 0; a < slp_.NumNonTerminals(); ++a) {
+      waves[slp_.Depth(a) - 1].push_back(a);
+    }
+
+    std::unique_ptr<util::ThreadPool> pool;
+    if (parallel_) pool = std::make_unique<util::ThreadPool>(threads_ - 1);
+
+    for (const std::vector<NtId>& wave : waves) {
+      // Small waves run inline: fanning out work that is cheaper than the
+      // task handoff only adds overhead (and most waves near the root hold
+      // a handful of rules).
+      if (!pool || wave.size() < 2 * kGrain) {
+        for (const NtId a : wave) Process(a);
+        continue;
+      }
+      std::atomic<size_t> next{0};
+      const uint32_t helpers = static_cast<uint32_t>(std::min<size_t>(
+          threads_ - 1, wave.size() / kGrain - 1));
+      for (uint32_t t = 0; t < helpers; ++t) {
+        pool->Submit([this, &wave, &next] { Drain(wave, &next); });
+      }
+      Drain(wave, &next);
+      pool->WaitIdle();  // wave barrier: publishes this wave's u/w indices
+    }
+  }
+
+  void FillStats(PrepareStats* stats) const {
+    stats->rules = slp_.NumNonTerminals();
+    // A rule-shape hit stands for the per-operation memo hits the slow path
+    // would have recorded for that shape (3-5 ops; see Process).
+    const uint64_t rule_ops = rule_hit_ops_.load(std::memory_order_relaxed);
+    stats->products = products_.load(std::memory_order_relaxed) + rule_ops;
+    stats->memo_hits = memo_hits_.load(std::memory_order_relaxed) + rule_ops;
+    stats->distinct_products = stats->products - stats->memo_hits;
+    stats->waves = slp_.depth();
+    stats->threads = threads_;
+  }
+
+  /// Moves the matrices actually referenced by u_idx/w_idx into `pool` in
+  /// first-reference order — exactly the order the historical serial-naive
+  /// interner produced — and rewrites the indices. Intermediates (partial
+  /// products that no non-terminal references) are dropped, so the final
+  /// tables are bit-identical across naive, memoized and parallel builds.
+  void CompactInto(std::vector<BoolMatrix>* pool) {
+    std::vector<uint32_t> remap(arena_.size(), UINT32_MAX);
+    for (NtId a = 0; a < slp_.NumNonTerminals(); ++a) {
+      for (uint32_t* slot : {&(*u_idx_)[a], &(*w_idx_)[a]}) {
+        uint32_t& target = remap[*slot];
+        if (target == UINT32_MAX) {
+          target = static_cast<uint32_t>(pool->size());
+          pool->push_back(std::move(arena_.mutable_at(*slot)));
+        }
+        *slot = target;
+      }
+    }
   }
 
  private:
-  std::vector<BoolMatrix>* pool_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash_;
-};
+  static constexpr size_t kGrain = 16;  // rules claimed per atomic fetch
 
-}  // namespace
+  std::unique_lock<std::mutex> Lock() {
+    return parallel_ ? std::unique_lock<std::mutex>(mu_)
+                     : std::unique_lock<std::mutex>();
+  }
 
-EvalTables::EvalTables(const Slp& slp, const Nfa& nfa) {
-  SLPSPAN_CHECK(!nfa.HasEpsArcs());
-  q_ = nfa.NumStates();
-  const uint32_t n = slp.NumNonTerminals();
-  u_idx_.resize(n);
-  w_idx_.resize(n);
-  leaf_index_.assign(n, UINT32_MAX);
-  MatrixInterner interner(&pool_);
-
-  for (NtId a = 0; a < n; ++a) {
-    if (!slp.IsLeaf(a)) {
-      // U_A = U_B·U_C ;  W_A = (U_B|W_B)·W_C ∨ W_B·U_C.
-      const NtId b = slp.Left(a), c = slp.Right(a);
-      u_idx_[a] = interner.Intern(BoolMatrix::Multiply(U(b), U(c)));
-      BoolMatrix any_b = U(b);
-      any_b.OrWith(W(b));
-      BoolMatrix w = BoolMatrix::Multiply(any_b, W(c));
-      w.OrWith(BoolMatrix::Multiply(W(b), U(c)));
-      w_idx_[a] = interner.Intern(std::move(w));
-      continue;
+  /// Interns `m`: returns the index of an equal arena matrix or appends.
+  /// Caller holds the lock in parallel mode.
+  uint32_t InternLocked(BoolMatrix m) {
+    std::vector<uint32_t>& bucket = by_hash_[HashMatrix(m)];
+    for (const uint32_t idx : bucket) {
+      if (arena_.at(idx) == m) return idx;
     }
+    bucket.push_back(arena_.Append(std::move(m)));
+    return bucket.back();
+  }
 
+  static uint64_t PackPair(uint32_t i, uint32_t j) {
+    return (static_cast<uint64_t>(i) << 32) | j;
+  }
+
+  /// Memoized boolean product arena[i] · arena[j].
+  uint32_t Mul(uint32_t i, uint32_t j) {
+    products_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t key = PackPair(i, j);
+    {
+      auto lock = Lock();
+      const auto it = mul_memo_.find(key);
+      if (it != mul_memo_.end()) {
+        memo_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    BoolMatrix m = BoolMatrix::Multiply(arena_.at(i), arena_.at(j));
+    auto lock = Lock();
+    const uint32_t k = InternLocked(std::move(m));
+    mul_memo_.emplace(key, k);
+    return k;
+  }
+
+  /// Memoized boolean sum arena[i] | arena[j] (commutative — key
+  /// normalized; i == j is the identity and costs nothing).
+  uint32_t OrOf(uint32_t i, uint32_t j) {
+    if (i == j) return i;
+    products_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t key = PackPair(std::min(i, j), std::max(i, j));
+    {
+      auto lock = Lock();
+      const auto it = or_memo_.find(key);
+      if (it != or_memo_.end()) {
+        memo_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    BoolMatrix m = arena_.at(i);
+    m.OrWith(arena_.at(j));
+    auto lock = Lock();
+    const uint32_t k = InternLocked(std::move(m));
+    or_memo_.emplace(key, k);
+    return k;
+  }
+
+  void Drain(const std::vector<NtId>& wave, std::atomic<size_t>* next) {
+    for (;;) {
+      const size_t begin = next->fetch_add(kGrain, std::memory_order_relaxed);
+      if (begin >= wave.size()) return;
+      const size_t end = std::min(begin + kGrain, wave.size());
+      for (size_t i = begin; i < end; ++i) Process(wave[i]);
+    }
+  }
+
+  void Process(NtId a) {
+    if (slp_.IsLeaf(a)) {
+      ProcessLeaf(a);
+      return;
+    }
+    // U_A = U_B·U_C ;  W_A = (U_B|W_B)·W_C ∨ W_B·U_C.
+    const NtId b = slp_.Left(a), c = slp_.Right(a);
+    const uint32_t ub = (*u_idx_)[b], wb = (*w_idx_)[b];
+    const uint32_t uc = (*u_idx_)[c], wc = (*w_idx_)[c];
+    if (!memoize_) {
+      // Naive reference pass (kept for benchmarking and differential
+      // testing): every product is computed; only the final U/W land in the
+      // interner, exactly like the pre-memoization builder.
+      products_.fetch_add(5, std::memory_order_relaxed);
+      BoolMatrix u = BoolMatrix::Multiply(arena_.at(ub), arena_.at(uc));
+      BoolMatrix any_b = arena_.at(ub);
+      any_b.OrWith(arena_.at(wb));
+      BoolMatrix w = BoolMatrix::Multiply(any_b, arena_.at(wc));
+      w.OrWith(BoolMatrix::Multiply(arena_.at(wb), arena_.at(uc)));
+      auto lock = Lock();
+      (*u_idx_)[a] = InternLocked(std::move(u));
+      (*w_idx_)[a] = InternLocked(std::move(w));
+      return;
+    }
+    // Rule-shape fast path: on repetitive grammars the same child-matrix
+    // quadruple recurs thousands of times, and one lookup replaces the five
+    // per-operation memo probes (the difference between ~5 and ~1 hash
+    // walks per rule dominates when q is small enough that even a computed
+    // product is cheap).
+    const RuleKey rule_key{PackPair(ub, wb), PackPair(uc, wc)};
+    {
+      auto lock = Lock();
+      const auto it = rule_memo_.find(rule_key);
+      if (it != rule_memo_.end()) {
+        rule_hit_ops_.fetch_add(it->second.ops, std::memory_order_relaxed);
+        (*u_idx_)[a] = it->second.u;
+        (*w_idx_)[a] = it->second.w;
+        return;
+      }
+    }
+    const uint32_t u = Mul(ub, uc);
+    const uint32_t any_b = OrOf(ub, wb);
+    const uint32_t w_marked_right = Mul(any_b, wc);
+    const uint32_t w_marked_left = Mul(wb, uc);
+    const uint32_t w = OrOf(w_marked_right, w_marked_left);
+    (*u_idx_)[a] = u;
+    (*w_idx_)[a] = w;
+    // Ops this shape actually records per evaluation: three products plus
+    // each Or that is not an i == j identity — a hit must credit the same
+    // count, or products/hit-rate would overstate the work memoized.
+    const uint32_t ops = 3 + (ub != wb) + (w_marked_right != w_marked_left);
+    auto lock = Lock();
+    rule_memo_.emplace(rule_key, RuleValue{u, w, ops});
+  }
+
+  void ProcessLeaf(NtId a) {
     // Leaf tables (Lemma 6.5): M_Tx[i,j] = { p(A1 x) : i --A1 x--> j }.
-    const SymbolId x = slp.LeafSymbol(a);
-    leaf_index_[a] = static_cast<uint32_t>(leaf_cells_.size());
-    leaf_cells_.emplace_back(static_cast<size_t>(q_) * q_);
-    auto& cells = leaf_cells_.back();
+    const SymbolId x = slp_.LeafSymbol(a);
+    auto& cells = (*leaf_cells_)[(*leaf_index_)[a]];
     BoolMatrix u(q_);
     BoolMatrix w(q_);
-
     for (StateId i = 0; i < q_; ++i) {
       // Direct char arc: the unmarked word x, element ∅.
-      for (const Nfa::CharArc& ca : nfa.CharArcsFrom(i)) {
+      for (const Nfa::CharArc& ca : nfa_.CharArcsFrom(i)) {
         if (ca.sym == x) {
           cells[i * q_ + ca.to].push_back(0);
           u.Set(i, ca.to);
         }
       }
       // Marker set then char: i --mask--> l --x--> j, element {(1, mask)}.
-      for (const Nfa::MarkArc& ma : nfa.MarkArcsFrom(i)) {
-        for (const Nfa::CharArc& ca : nfa.CharArcsFrom(ma.to)) {
+      for (const Nfa::MarkArc& ma : nfa_.MarkArcsFrom(i)) {
+        for (const Nfa::CharArc& ca : nfa_.CharArcsFrom(ma.to)) {
           if (ca.sym == x) {
             cells[i * q_ + ca.to].push_back(ma.mask);
             w.Set(i, ca.to);
@@ -90,8 +340,11 @@ EvalTables::EvalTables(const Slp& slp, const Nfa& nfa) {
         }
       }
     }
-    u_idx_[a] = interner.Intern(std::move(u));
-    w_idx_[a] = interner.Intern(std::move(w));
+    {
+      auto lock = Lock();
+      (*u_idx_)[a] = InternLocked(std::move(u));
+      (*w_idx_)[a] = InternLocked(std::move(w));
+    }
     // Sort every cell by the paper's ⪯ (non-empty masks first — the empty
     // set is a prefix of everything, hence largest) and deduplicate.
     for (auto& cell : cells) {
@@ -100,6 +353,65 @@ EvalTables::EvalTables(const Slp& slp, const Nfa& nfa) {
       });
       cell.erase(std::unique(cell.begin(), cell.end()), cell.end());
     }
+  }
+
+  const Slp& slp_;
+  const Nfa& nfa_;
+  const bool memoize_;
+  const uint32_t q_;
+  uint32_t threads_ = 1;
+  bool parallel_ = false;
+
+  std::vector<uint32_t>* u_idx_;
+  std::vector<uint32_t>* w_idx_;
+  std::vector<uint32_t>* leaf_index_ = nullptr;
+  std::vector<std::vector<std::vector<MarkerMask>>>* leaf_cells_;
+
+  struct RuleKey {
+    uint64_t left, right;  // (U_B, W_B) and (U_C, W_C) pool-index pairs
+    bool operator==(const RuleKey&) const = default;
+  };
+  struct RuleValue {
+    uint32_t u, w;  // resulting U_A/W_A arena indices
+    uint32_t ops;   // memoizable ops one evaluation of this shape records
+  };
+  struct RuleKeyHash {
+    size_t operator()(const RuleKey& k) const {
+      const uint64_t h = k.left * 0x9E3779B97F4A7C15ull ^
+                         k.right * 0xC2B2AE3D27D4EB4Full;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  std::mutex mu_;  // guards arena_, by_hash_ and all memos (parallel mode)
+  MatrixArena arena_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash_;
+  std::unordered_map<uint64_t, uint32_t> mul_memo_;
+  std::unordered_map<uint64_t, uint32_t> or_memo_;
+  std::unordered_map<RuleKey, RuleValue, RuleKeyHash> rule_memo_;
+
+  std::atomic<uint64_t> products_{0};
+  std::atomic<uint64_t> memo_hits_{0};
+  std::atomic<uint64_t> rule_hit_ops_{0};
+};
+
+}  // namespace
+
+EvalTables::EvalTables(const Slp& slp, const Nfa& nfa,
+                       const PrepareOptions& opts, PrepareStats* stats) {
+  SLPSPAN_CHECK(!nfa.HasEpsArcs());
+  q_ = nfa.NumStates();
+  const uint32_t n = slp.NumNonTerminals();
+  u_idx_.resize(n);
+  w_idx_.resize(n);
+
+  TableBuilder builder(slp, nfa, opts, &u_idx_, &w_idx_, &leaf_index_,
+                       &leaf_cells_);
+  builder.Run();
+  builder.CompactInto(&pool_);
+  if (stats != nullptr) {
+    builder.FillStats(stats);
+    stats->pool_matrices = pool_.size();
   }
 }
 

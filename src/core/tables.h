@@ -26,6 +26,7 @@
 
 #include "core/bool_matrix.h"
 #include "slp/slp.h"
+#include "slpspan/prepare.h"
 #include "spanner/nfa.h"
 #include "spanner/symbol_table.h"
 #include "spanner/variables.h"
@@ -42,8 +43,24 @@ enum class RVal : uint8_t {
 class EvalTables {
  public:
   /// Builds all tables bottom-up. `nfa` must be eps-free (normalized; the
-  /// evaluator also applies the sentinel transform first). O(|M| + s·q³/w).
-  EvalTables(const Slp& slp, const Nfa& nfa);
+  /// evaluator also applies the sentinel transform first).
+  ///
+  /// The pass is scheduled wave-by-wave: non-terminals grouped by derivation
+  /// depth are independent within a wave, so with `opts.threads > 1` each
+  /// wave fans out across a worker pool (waves are barrier-separated). With
+  /// `opts.memoize` (the default) every produced matrix is interned into the
+  /// hash-consed pool immediately and Multiply/Or are cached by pool-index
+  /// pair, collapsing the naive O(|M| + size(S)·q³/w) cost to
+  /// O(|M| + distinct-products·q³/w) — on repetitive grammars almost all
+  /// rule shapes repeat, so this is the difference between the system's
+  /// bottleneck and a near-linear pass (bench E13, docs/PREPARATION.md).
+  /// Every option combination yields bit-identical tables: the pool is
+  /// compacted to first-reference order at the end, so even serialized
+  /// bundles agree byte-for-byte. `stats`, when non-null, receives what the
+  /// pass did.
+  explicit EvalTables(const Slp& slp, const Nfa& nfa,
+                      const PrepareOptions& opts = {},
+                      PrepareStats* stats = nullptr);
 
   /// Reassembles tables from deserialized parts (storage layer). `slp` must
   /// be the grammar the parts were built from; `u_idx`/`w_idx` map each
@@ -123,8 +140,12 @@ class EvalTables {
   /// dozen distinct matrices is typical), so per-NtId indexes into a pool
   /// of distinct matrices cut resident memory by orders of magnitude and
   /// let deserialized bundles adopt the pool without per-NtId copies. The
-  /// O(size(S)·q³/w) construction cost is unchanged — every product is
-  /// still computed, only its storage is deduplicated.
+  /// construction exploits the same sharing: with PrepareOptions::memoize,
+  /// products of already-pooled matrices are looked up by index pair
+  /// instead of recomputed, so only distinct products pay the q³/w cost.
+  /// The pool is compacted to first-reference order after construction
+  /// (intermediates dropped), making it identical across naive, memoized
+  /// and parallel builds.
   std::vector<BoolMatrix> pool_;               // distinct matrices
   std::vector<uint32_t> u_idx_, w_idx_;        // per NtId -> pool index
   std::vector<uint32_t> leaf_index_;           // NtId -> index or UINT32_MAX

@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "api/internal.h"
-#include "runtime/thread_pool.h"
+#include "util/thread_pool.h"
 #include "storage/prepared_bundle.h"
 #include "storage/spill_store.h"
 
@@ -259,7 +259,7 @@ void PreparedCache::EvictOverBudgetLocked(Shard& shard,
 void PreparedCache::SpillVictims(std::vector<Entry> victims) {
   if (victims.empty()) return;
   std::shared_ptr<storage::SpillStore> spill;
-  ThreadPool* pool = nullptr;
+  util::ThreadPool* pool = nullptr;
   bool synchronous = false;
   {
     std::lock_guard<std::mutex> lock(spill_mu_);
@@ -305,7 +305,7 @@ Status PreparedCache::ConfigureSpill(const SpillOptions& opts) {
   spill_ = std::shared_ptr<storage::SpillStore>(std::move(store).value());
   spill_synchronous_ = opts.synchronous;
   if (!opts.synchronous && spill_pool_ == nullptr) {
-    spill_pool_ = std::make_unique<ThreadPool>(1);
+    spill_pool_ = std::make_unique<util::ThreadPool>(1);
   }
   return Status::OK();
 }
@@ -323,7 +323,7 @@ void PreparedCache::SpillResident() {
 }
 
 void PreparedCache::FlushSpill() {
-  ThreadPool* pool = nullptr;
+  util::ThreadPool* pool = nullptr;
   {
     std::lock_guard<std::mutex> lock(spill_mu_);
     pool = spill_pool_.get();
@@ -397,6 +397,25 @@ void Runtime::Configure(const RuntimeOptions& opts) {
 
 void Runtime::SetCacheByteBudget(uint64_t bytes) {
   runtime_internal::PreparedCache::SetGlobalBudget(bytes);
+}
+
+namespace {
+
+/// Process-wide default PrepareOptions. A tiny copy under a mutex instead
+/// of atomics: preparations read it once at start, never on a hot path.
+std::mutex g_prepare_opts_mu;
+PrepareOptions g_prepare_opts;
+
+}  // namespace
+
+void Runtime::SetPrepareOptions(const PrepareOptions& opts) {
+  std::lock_guard<std::mutex> lock(g_prepare_opts_mu);
+  g_prepare_opts = opts;
+}
+
+PrepareOptions Runtime::prepare_options() {
+  std::lock_guard<std::mutex> lock(g_prepare_opts_mu);
+  return g_prepare_opts;
 }
 
 Status Runtime::ConfigureSpill(const SpillOptions& opts) {

@@ -56,9 +56,11 @@ namespace storage {
 class SpillStore;
 }  // namespace storage
 
-namespace runtime_internal {
-
+namespace util {
 class ThreadPool;
+}  // namespace util
+
+namespace runtime_internal {
 
 /// Cache counters for one Document, shared_ptr-held by both the Document and
 /// every cache entry built for it — eviction after the Document died updates
@@ -213,7 +215,7 @@ class PreparedCache {
 
   mutable std::mutex spill_mu_;
   std::shared_ptr<storage::SpillStore> spill_;     // null = disabled
-  std::unique_ptr<ThreadPool> spill_pool_;         // created on first enable
+  std::unique_ptr<util::ThreadPool> spill_pool_;         // created on first enable
   bool spill_synchronous_ = false;
 };
 

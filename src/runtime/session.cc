@@ -33,7 +33,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "runtime/thread_pool.h"
+#include "util/thread_pool.h"
 #include "util/check.h"
 
 namespace slpspan {
@@ -510,7 +510,7 @@ std::optional<std::chrono::microseconds> Ticket::queue_latency() const {
 // ----------------------------------------------------------------- Session ---
 
 Session::Session(SessionOptions opts)
-    : pool_(std::make_unique<runtime_internal::ThreadPool>(
+    : pool_(std::make_unique<util::ThreadPool>(
           opts.num_threads > 0
               ? opts.num_threads
               : std::max(1u, std::thread::hardware_concurrency()))),
@@ -554,7 +554,7 @@ Ticket Session::Submit(EngineRequest request, SubmitOptions opts) const {
                        request.limit.value_or(UINT64_MAX)};
   // Priority classes map 1:1 onto pool levels; adding a class without a
   // matching level would silently merge it with the last one.
-  static_assert(kNumPriorityClasses == runtime_internal::ThreadPool::kNumLevels);
+  static_assert(kNumPriorityClasses == util::ThreadPool::kNumLevels);
   const uint32_t level = static_cast<uint32_t>(opts.priority);
 
   for (;;) {

@@ -1,10 +1,10 @@
-#include "runtime/thread_pool.h"
+#include "util/thread_pool.h"
 
 #include <algorithm>
 #include <utility>
 
 namespace slpspan {
-namespace runtime_internal {
+namespace util {
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
   const uint32_t n = std::max<uint32_t>(1, num_threads);
@@ -63,5 +63,5 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace runtime_internal
+}  // namespace util
 }  // namespace slpspan

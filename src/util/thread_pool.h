@@ -1,4 +1,7 @@
 // A small fixed-size worker pool draining a priority-leveled task queue.
+// Layer-neutral (src/util): the runtime layer builds the async Session and
+// the write-behind spill thread on it, and the core preparation pass borrows
+// it for wave-parallel table construction (core/tables.cc).
 //
 // Tasks are submitted at one of kNumLevels strict priority levels (0 is most
 // urgent); workers always pop the lowest non-empty level and FIFO within a
@@ -14,8 +17,8 @@
 // throw — library failures travel as Status values inside the task's result
 // slot.
 
-#ifndef SLPSPAN_RUNTIME_THREAD_POOL_H_
-#define SLPSPAN_RUNTIME_THREAD_POOL_H_
+#ifndef SLPSPAN_UTIL_THREAD_POOL_H_
+#define SLPSPAN_UTIL_THREAD_POOL_H_
 
 #include <array>
 #include <condition_variable>
@@ -27,7 +30,7 @@
 #include <vector>
 
 namespace slpspan {
-namespace runtime_internal {
+namespace util {
 
 class ThreadPool {
  public:
@@ -72,7 +75,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-}  // namespace runtime_internal
+}  // namespace util
 }  // namespace slpspan
 
-#endif  // SLPSPAN_RUNTIME_THREAD_POOL_H_
+#endif  // SLPSPAN_UTIL_THREAD_POOL_H_

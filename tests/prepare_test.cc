@@ -1,0 +1,359 @@
+// Tests for the product-memoized, wave-parallel preparation pipeline
+// (core/tables.cc, core/count.cc, the PrepareOptions/PrepareStats plumbing
+// and the Runtime defaults):
+//
+//   * bit-identity: naive, memoized and parallel builds must produce
+//     byte-for-byte identical EvalTables (pool, indices, leaf cells) and
+//     CountTables over random SLPs × spanners — the cheap pass is the same
+//     pass, only faster;
+//   * bundle byte-identity: .prep exports must not depend on how the
+//     tables were built;
+//   * PrepareStats plumbing through Document::PreparedFor and the Runtime
+//     prepare-options default;
+//   * deeply repetitive grammars (Fibonacci SLP): distinct products ≪
+//     rules, memo hit rate > 90%, extraction/count equivalence;
+//   * multi-threaded preparation: repeated 4-thread builds against the
+//     serial reference — this suite runs in the CI ThreadSanitizer job,
+//     which is what makes the shared product memo's locking contract
+//     enforceable rather than aspirational.
+
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/count.h"
+#include "core/evaluator.h"
+#include "gtest/gtest.h"
+#include "slpspan/slpspan.h"
+#include "spanner/spanner.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace slpspan {
+namespace {
+
+using testing_util::AllSlpKinds;
+using testing_util::MakeSlp;
+using testing_util::SlpKind;
+using testing_util::SlpKindName;
+
+std::string RandomText(Rng* rng, size_t min_len, size_t max_len) {
+  const size_t len = rng->Range(min_len, max_len);
+  std::string text;
+  text.reserve(len);
+  for (size_t i = 0; i < len; ++i) text += "abc"[rng->Below(3)];
+  return text;
+}
+
+SpannerEvaluator MustMakeEvaluator(const std::string& pattern) {
+  Result<Spanner> sp = Spanner::Compile(pattern, "abc");
+  SLPSPAN_CHECK(sp.ok());
+  Result<SpannerEvaluator> ev = SpannerEvaluator::Make(*sp);
+  SLPSPAN_CHECK(ev.ok());
+  return *std::move(ev);
+}
+
+/// Asserts both prepared documents carry byte-identical evaluation tables:
+/// same matrix pool (content and order), same per-nt indices, same leaf
+/// cells.
+void ExpectIdenticalTables(const PreparedDocument& a,
+                           const PreparedDocument& b) {
+  const EvalTables& ta = a.tables();
+  const EvalTables& tb = b.tables();
+  ASSERT_EQ(ta.q(), tb.q());
+  ASSERT_EQ(ta.pool().size(), tb.pool().size());
+  for (size_t m = 0; m < ta.pool().size(); ++m) {
+    EXPECT_TRUE(ta.pool()[m] == tb.pool()[m]) << "pool matrix #" << m;
+  }
+  EXPECT_EQ(ta.u_indexes(), tb.u_indexes());
+  EXPECT_EQ(ta.w_indexes(), tb.w_indexes());
+  const Slp& slp = a.slp();
+  for (NtId nt = 0; nt < slp.NumNonTerminals(); ++nt) {
+    if (!slp.IsLeaf(nt)) continue;
+    for (StateId i = 0; i < ta.q(); ++i) {
+      for (StateId j = 0; j < ta.q(); ++j) {
+        EXPECT_EQ(ta.LeafCell(nt, i, j), tb.LeafCell(nt, i, j))
+            << "leaf " << nt << " cell (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+void ExpectIdenticalCounts(const CountTables& a, const CountTables& b) {
+  const CountTables::Parts pa = a.ExportParts();
+  const CountTables::Parts pb = b.ExportParts();
+  EXPECT_EQ(pa.counts, pb.counts);
+  EXPECT_EQ(pa.final_states, pb.final_states);
+  EXPECT_EQ(pa.total, pb.total);
+  EXPECT_EQ(pa.overflow, pb.overflow);
+}
+
+// Property test: over random documents × spanners × grammar constructions,
+// every PrepareOptions combination yields bit-identical tables and counts.
+TEST(PrepareModes, BitIdenticalTablesAndCountsAcrossModes) {
+  const std::vector<std::string> patterns = {
+      ".*x{a}y{b?cc*}.*",
+      "(b|c)*x{a}.*y{cc*}.*",
+      ".*x{ab|bc}.*",
+  };
+  Rng rng(20260726);
+  int round = 0;
+  for (const SlpKind kind : AllSlpKinds()) {
+    const std::string text = RandomText(&rng, 40, 400);
+    const Slp slp = MakeSlp(kind, text);
+    const SpannerEvaluator ev =
+        MustMakeEvaluator(patterns[round++ % patterns.size()]);
+
+    PrepareStats st_naive, st_memo, st_par;
+    const PreparedDocument naive =
+        ev.Prepare(slp, {.threads = 1, .memoize = false}, &st_naive);
+    const PreparedDocument memo =
+        ev.Prepare(slp, {.threads = 1, .memoize = true}, &st_memo);
+    const PreparedDocument par =
+        ev.Prepare(slp, {.threads = 4, .memoize = true}, &st_par);
+
+    SCOPED_TRACE(SlpKindName(kind));
+    ExpectIdenticalTables(naive, memo);
+    ExpectIdenticalTables(naive, par);
+    EXPECT_EQ(st_naive.memo_hits, 0u);
+    EXPECT_EQ(st_naive.distinct_products, st_naive.products);
+    EXPECT_EQ(st_memo.waves, naive.slp().depth());
+    EXPECT_EQ(st_memo.rules, naive.slp().NumNonTerminals());
+    EXPECT_LE(st_memo.distinct_products, st_memo.products);
+    EXPECT_EQ(st_memo.pool_matrices, memo.tables().pool().size());
+
+    const CountTables counts_naive(naive.slp(), ev.eval_nfa(), naive.tables(),
+                                   {.memoize = false});
+    const CountTables counts_memo(memo.slp(), ev.eval_nfa(), memo.tables(),
+                                  {.memoize = true});
+    ExpectIdenticalCounts(counts_naive, counts_memo);
+  }
+}
+
+// The signature memo must fire on grammars with repeated subtrees (a
+// non-deduplicating construction names equal sub-derivations apart) and
+// still produce identical counts. SpannerEvaluator::Prepare's sentinel
+// append hash-conses the grammar, so the sentinel-extended document is
+// assembled here without deduplication — the shape a non-deduplicating
+// pipeline (cf. the spliced SLPs of model checking) produces.
+TEST(CounterMemo, RepeatedSubtreesHitTheSignatureMemo) {
+  const std::string text = "abcabcabcabcabcabcabcabcabcabcabcabc";
+  CnfAssembler assembler(/*dedup_pairs=*/false);
+  const NtId body = assembler.Import(MakeSlp(SlpKind::kBalancedNoDedup, text));
+  const NtId sentinel = assembler.Leaf(kSentinelSymbol);
+  const Slp doc = assembler.Finish(assembler.Pair(body, sentinel));
+
+  const SpannerEvaluator ev = MustMakeEvaluator(".*x{abc}.*");
+  const EvalTables tables(doc, ev.eval_nfa());
+  const CountTables naive(doc, ev.eval_nfa(), tables, {.memoize = false});
+  const CountTables memo(doc, ev.eval_nfa(), tables, {.memoize = true});
+  ExpectIdenticalCounts(naive, memo);
+  EXPECT_EQ(naive.build_stats().memo_hits, 0u);
+  EXPECT_GT(memo.build_stats().memo_hits, 0u);
+  EXPECT_EQ(memo.Total(), naive.Total());
+  EXPECT_GT(memo.Total(), 0u);
+}
+
+/// Fibonacci-style SLP: F_1 = "b", F_2 = "a", F_k = F_{k-1} F_{k-2} —
+/// `k - 2` inner rules deriving a document of length Fib(k). The U/W
+/// matrix trajectory enters a cycle after a few levels, so almost every
+/// rule shape repeats: the canonical distinct-products ≪ rules grammar.
+Slp FibonacciSlp(uint32_t k) {
+  CnfAssembler a;
+  NtId prev = a.Leaf('b');  // F_1
+  NtId cur = a.Leaf('a');   // F_2
+  for (uint32_t level = 3; level <= k; ++level) {
+    const NtId next = a.Pair(cur, prev);
+    prev = cur;
+    cur = next;
+  }
+  return a.Finish(cur);
+}
+
+// Extraction and counting must agree between naive and memoized
+// preparation on a moderate Fibonacci document (results fully compared).
+TEST(FibonacciGrammar, ExtractionAndCountEquivalence) {
+  const Slp slp = FibonacciSlp(18);  // |D| = Fib(18) = 2584
+  const SpannerEvaluator ev = MustMakeEvaluator(".*x{ab?a}.*");
+
+  const PreparedDocument naive =
+      ev.Prepare(slp, {.threads = 1, .memoize = false}, nullptr);
+  const PreparedDocument memo =
+      ev.Prepare(slp, {.threads = 1, .memoize = true}, nullptr);
+  ExpectIdenticalTables(naive, memo);
+
+  const std::vector<SpanTuple> from_naive = ev.ComputeAll(naive);
+  const std::vector<SpanTuple> from_memo = ev.ComputeAll(memo);
+  testing_util::ExpectSameTupleSet(from_naive, from_memo);
+  ASSERT_FALSE(from_naive.empty());
+
+  const CountTables counts_naive(naive.slp(), ev.eval_nfa(), naive.tables(),
+                                 {.memoize = false});
+  const CountTables counts_memo(memo.slp(), ev.eval_nfa(), memo.tables(),
+                                {.memoize = true});
+  ExpectIdenticalCounts(counts_naive, counts_memo);
+  EXPECT_EQ(counts_memo.Total(), from_naive.size());
+}
+
+// On a deep Fibonacci grammar the memo hit rate must exceed 90%: the
+// distinct products stay bounded by the matrix-trajectory preperiod while
+// the rule count grows, which is exactly the collapse the tentpole claims.
+TEST(FibonacciGrammar, DeepGrammarMemoHitRateAbove90Percent) {
+  const Slp slp = FibonacciSlp(80);  // |D| = Fib(80) ≈ 2.3e16, 80 rules
+  const SpannerEvaluator ev = MustMakeEvaluator(".*x{ab?a}.*");
+
+  PrepareStats stats;
+  const PreparedDocument memo =
+      ev.Prepare(slp, {.threads = 1, .memoize = true}, &stats);
+  EXPECT_GT(stats.hit_rate(), 0.9) << "hits " << stats.memo_hits << " of "
+                                   << stats.products;
+  EXPECT_LT(stats.distinct_products, stats.rules);
+
+  // Counting still works at this scale (extraction would enumerate ~1e16
+  // results; the count is exact and instant).
+  const PreparedDocument naive =
+      ev.Prepare(slp, {.threads = 1, .memoize = false}, nullptr);
+  const CountTables counts_naive(naive.slp(), ev.eval_nfa(), naive.tables(),
+                                 {.memoize = false});
+  const CountTables counts_memo(memo.slp(), ev.eval_nfa(), memo.tables(),
+                                {.memoize = true});
+  ExpectIdenticalCounts(counts_naive, counts_memo);
+  EXPECT_GT(counts_memo.Total(), uint64_t{1} << 40);
+}
+
+// Repeated multi-threaded builds against the serial reference. The CI TSan
+// job runs this test: it exercises the shared arena/memo mutex, the wave
+// barrier and the duplicate-compute race (two workers missing on the same
+// product) under the race detector. On a single-core host the builder
+// clamps to one worker and the test degrades to a determinism check.
+TEST(ParallelPreparation, RepeatedBuildsMatchSerialReference) {
+  // A balanced grammar over a longer text gives wide waves (hundreds of
+  // same-depth rules), which is what actually fans out across workers.
+  Rng rng(77);
+  const std::string text = RandomText(&rng, 6000, 8000);
+  const Slp slp = MakeSlp(SlpKind::kBalanced, text);
+  const SpannerEvaluator ev = MustMakeEvaluator("(b|c)*x{a}.*y{cc*}.*");
+
+  const PreparedDocument reference =
+      ev.Prepare(slp, {.threads = 1, .memoize = true}, nullptr);
+  for (int round = 0; round < 4; ++round) {
+    PrepareStats stats;
+    const PreparedDocument parallel =
+        ev.Prepare(slp, {.threads = 4, .memoize = true}, &stats);
+    ExpectIdenticalTables(reference, parallel);
+    EXPECT_GE(stats.threads, 1u);
+    EXPECT_LE(stats.threads, 4u);
+  }
+  // threads = 0 resolves to hardware concurrency.
+  const PreparedDocument hw =
+      ev.Prepare(slp, {.threads = 0, .memoize = true}, nullptr);
+  ExpectIdenticalTables(reference, hw);
+}
+
+// Concurrent preparations from application threads (distinct builders, no
+// shared state) — the outer-concurrency counterpart of the test above,
+// also run under TSan.
+TEST(ParallelPreparation, ConcurrentIndependentBuilds) {
+  Rng rng(78);
+  const std::string text = RandomText(&rng, 2000, 3000);
+  const Slp slp = MakeSlp(SlpKind::kRePair, text);
+  const SpannerEvaluator ev = MustMakeEvaluator(".*x{ab|bc}.*");
+  const PreparedDocument reference = ev.Prepare(slp);
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const PreparedDocument built =
+          ev.Prepare(slp, {.threads = 2, .memoize = true}, nullptr);
+      ok[t] = built.tables().u_indexes() == reference.tables().u_indexes() &&
+              built.tables().w_indexes() == reference.tables().w_indexes();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_TRUE(ok[t]) << "thread " << t;
+}
+
+// ------------------------------------------------- public API / bundles ----
+
+constexpr uint64_t kDefaultBudget = RuntimeOptions{}.cache_bytes;
+
+/// Restores the Runtime prepare options and cache budget even when a test
+/// fails mid-way.
+struct PrepareOptionsGuard {
+  ~PrepareOptionsGuard() {
+    Runtime::SetPrepareOptions({});
+    Runtime::SetCacheByteBudget(kDefaultBudget);
+  }
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// Exported bundles must not depend on how the tables were built: a fleet
+// pre-warmed from a parallel builder must serve hosts that would have
+// prepared serially, byte for byte.
+TEST(PrepareModes, BundleBytesIdenticalAcrossModes) {
+  PrepareOptionsGuard guard;
+  Result<Query> query = Query::Compile(".*x{a}y{b?cc*}.*", "abc");
+  ASSERT_TRUE(query.ok());
+  Rng rng(99);
+  const std::string text = RandomText(&rng, 300, 500);
+  const Slp slp = MakeSlp(SlpKind::kRePair, text);
+
+  const std::string dir = ::testing::TempDir();
+  const PrepareOptions modes[] = {{.threads = 1, .memoize = false},
+                                  {.threads = 1, .memoize = true},
+                                  {.threads = 4, .memoize = true}};
+  std::vector<std::string> images;
+  for (const PrepareOptions& mode : modes) {
+    Runtime::SetPrepareOptions(mode);
+    // A fresh Document per mode: same fingerprint, un-cached preparation.
+    const DocumentPtr doc = Document::FromSlp(slp);
+    const std::string path = dir + "/prep_mode.prep";
+    ASSERT_TRUE(doc->SavePrepared(*query, path).ok());
+    images.push_back(ReadFile(path));
+    ASSERT_FALSE(images.back().empty());
+  }
+  EXPECT_EQ(images[0], images[1]);
+  EXPECT_EQ(images[0], images[2]);
+}
+
+TEST(PrepareStatsPlumbing, ReportedThroughPreparedFor) {
+  PrepareOptionsGuard guard;
+  Result<Query> query = Query::Compile(".*x{a}y{b?cc*}.*", "abc");
+  ASSERT_TRUE(query.ok());
+  const DocumentPtr doc = *Document::FromText("abccaabccaabccaabcca");
+
+  Runtime::SetPrepareOptions({.threads = 1, .memoize = true});
+  PrepareStats first;
+  auto state = doc->PreparedFor(*query, &first);
+  ASSERT_NE(state, nullptr);
+  EXPECT_GT(first.rules, 0u);
+  EXPECT_GT(first.waves, 0u);
+  EXPECT_GT(first.products, 0u);
+  EXPECT_EQ(first.threads, 1u);
+
+  // A cache hit reports the stats of the build that produced the state.
+  PrepareStats second;
+  auto again = doc->PreparedFor(*query, &second);
+  EXPECT_EQ(state.get(), again.get());
+  EXPECT_EQ(second.products, first.products);
+  EXPECT_EQ(second.memo_hits, first.memo_hits);
+
+  // Naive builds report a zero hit rate (fresh document, fresh build).
+  Runtime::SetPrepareOptions({.threads = 1, .memoize = false});
+  const DocumentPtr fresh = Document::FromSlp(doc->slp());
+  PrepareStats naive;
+  (void)fresh->PreparedFor(*query, &naive);
+  EXPECT_EQ(naive.memo_hits, 0u);
+  EXPECT_EQ(naive.hit_rate(), 0.0);
+  EXPECT_EQ(naive.products, naive.distinct_products);
+}
+
+}  // namespace
+}  // namespace slpspan

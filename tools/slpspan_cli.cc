@@ -11,7 +11,7 @@
 //   slpspan sample    <in.slp> <pattern> <k> [--alphabet=...] [--seed=S]
 //   slpspan check     <in.slp> <pattern> (non-emptiness only)
 //   slpspan prepare   <in.slp> <pattern> (-o bundle.prep | --spill-dir=DIR)
-//                     [--alphabet=...]
+//                     [--alphabet=...] [--threads=N] [--verbose] [--naive]
 //   slpspan batch     <manifest> [--threads=N] [--cache-mb=M] [--alphabet=...]
 //                     [--spill-dir=DIR] [--spill-mb=M] [--async]
 //                     [--deadline-ms=T]
@@ -47,7 +47,11 @@
 // `prepare` exports the prepared state for one (document, pattern) pair as a
 // bundle: `-o file.prep` for an explicit artifact, `--spill-dir=DIR` to drop
 // it into a spill directory under its canonical name so a later batch run
-// (or a whole fleet sharing that directory) starts warm.
+// (or a whole fleet sharing that directory) starts warm. `--threads=N` runs
+// the wave-parallel preparation on N workers, `--naive` disables the
+// product memo (benchmark/debug baseline; tables are bit-identical either
+// way), and `--verbose` prints the PrepareStats — waves, matrix ops,
+// distinct products, memo hit rate.
 
 #include <algorithm>
 #include <chrono>
@@ -81,6 +85,7 @@ int Usage() {
                "[--seed=S]\n"
                "  slpspan prepare <in.slp> <pattern> (-o out.prep | "
                "--spill-dir=DIR) [--alphabet=CHARS]\n"
+               "                  [--threads=N] [--verbose] [--naive]\n"
                "  slpspan batch <manifest> [--threads=N] [--cache-mb=M] "
                "[--alphabet=CHARS] [--spill-dir=DIR] [--spill-mb=M]\n"
                "                [--async] [--deadline-ms=T]\n"
@@ -104,6 +109,8 @@ struct Flags {
   uint64_t deadline_ms = 0;  // batch --async: per-request deadline; 0 = none
   bool async = false;        // batch: Submit/Ticket path instead of EvalBatch
   bool rebalance = false;
+  bool verbose = false;      // prepare: print PrepareStats
+  bool naive = false;        // prepare: disable product memoization
   bool parse_error = false;
   std::vector<std::string> positional;
 };
@@ -156,6 +163,10 @@ Flags ParseFlags(int argc, char** argv) {
       else flags.parse_error = true;
     } else if (arg == "--rebalance") {
       flags.rebalance = true;
+    } else if (arg == "--verbose") {
+      flags.verbose = true;
+    } else if (arg == "--naive") {
+      flags.naive = true;
     } else {
       flags.positional.push_back(arg);
     }
@@ -335,6 +346,13 @@ int CmdPrepare(const Flags& flags) {
   Result<Query> query = Query::Compile(flags.positional[1], flags.alphabet);
   if (!query.ok()) return Fail(query.status());
 
+  // Preparation knobs: wave-parallel across --threads workers, product
+  // memoization unless --naive. Results are bit-identical either way.
+  Runtime::SetPrepareOptions(
+      {.threads = flags.threads == 0 ? 1
+                                     : static_cast<uint32_t>(flags.threads),
+       .memoize = !flags.naive});
+
   std::string path = flags.out;
   if (path.empty()) {
     std::error_code ec;
@@ -349,7 +367,10 @@ int CmdPrepare(const Flags& flags) {
   }
 
   const auto start = std::chrono::steady_clock::now();
-  Status st = (*doc)->SavePrepared(*query, path);
+  // One preparation, observable stats: SavePrepared serializes exactly the
+  // state it builds, even when the cache declines to retain it.
+  PrepareStats stats;
+  Status st = (*doc)->SavePrepared(*query, path, &stats);
   if (!st.ok()) return Fail(st);
   const double ms = MillisSince(start);
 
@@ -359,6 +380,18 @@ int CmdPrepare(const Flags& flags) {
               path.c_str(), query->num_states(),
               static_cast<unsigned long long>((*doc)->stats().paper_size),
               static_cast<unsigned long long>(ec ? 0 : bundle_bytes), ms);
+  if (flags.verbose) {
+    std::printf(
+        "preparation: %llu rule(s) in %u wave(s) on %u thread(s); "
+        "%llu matrix op(s), %llu distinct (%llu memo hit(s), %.1f%% hit "
+        "rate), %llu pooled matrice(s)\n",
+        static_cast<unsigned long long>(stats.rules), stats.waves,
+        stats.threads, static_cast<unsigned long long>(stats.products),
+        static_cast<unsigned long long>(stats.distinct_products),
+        static_cast<unsigned long long>(stats.memo_hits),
+        stats.hit_rate() * 100.0,
+        static_cast<unsigned long long>(stats.pool_matrices));
+  }
   return 0;
 }
 
