@@ -112,7 +112,7 @@ void EarlyExitSweep(bench::Json* json) {
 void EngineConstruction(bench::Json* json) {
   Result<Query> query = Query::Compile(".*x{ab}.*", "ab");
   SLPSPAN_CHECK(query.ok());
-  const DocumentPtr doc = Document::FromSlp(SlpRepeat("ab", 1 << 12));
+  const DocumentPtr doc = Document::FromSlp(SlpRepeat("ab", 1 << 12).value());
   const int reps = 100000;
   Stopwatch sw;
   for (int i = 0; i < reps; ++i) {

@@ -31,7 +31,7 @@ void RunE1() {
       {"k", "d", "size(S)", "t_slp (us)", "t_scan (us)", "t_scan/t_slp"});
 
   for (uint32_t k = 8; k <= 24; k += 2) {
-    const DocumentPtr doc = Document::FromSlp(SlpRepeat("ab", uint64_t{1} << k));
+    const DocumentPtr doc = Document::FromSlp(SlpRepeat("ab", uint64_t{1} << k).value());
     const uint64_t d = doc->length();
     const Engine engine(*query, doc);
 

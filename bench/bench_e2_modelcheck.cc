@@ -35,9 +35,9 @@ void DepthSweep() {
       const char* name;
       DocumentPtr doc;
     };
-    Shape shapes[] = {{"balanced", Document::FromSlp(SlpFromString(doc))},
-                      {"chain", Document::FromSlp(SlpChainFromString(doc))},
-                      {"repeat-rule", Document::FromSlp(SlpRepeat("ab", m))}};
+    Shape shapes[] = {{"balanced", Document::FromSlp(SlpFromString(doc).value())},
+                      {"chain", Document::FromSlp(SlpChainFromString(doc).value())},
+                      {"repeat-rule", Document::FromSlp(SlpRepeat("ab", m).value())}};
     for (const Shape& shape : shapes) {
       // Model-check a positive mid-document tuple; begin must be odd for
       // "ab" at that offset.
@@ -61,7 +61,7 @@ void DepthSweep() {
 void VarSweep() {
   bench::Table table("E2b: model checking — |X| term (fixed document)",
                      {"|X|", "q", "t_check (us)"});
-  const DocumentPtr doc = Document::FromSlp(SlpRepeat("ab", 1 << 12));
+  const DocumentPtr doc = Document::FromSlp(SlpRepeat("ab", 1 << 12).value());
   for (uint32_t nvars = 1; nvars <= 6; ++nvars) {
     // Pattern: .* v1{ab} .* v2{ab} .* ... — nvars disjoint captures.
     std::string pattern = ".*";

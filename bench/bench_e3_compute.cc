@@ -22,7 +22,7 @@ void RunE3() {
                      {"m", "size(S)", "r", "t_compute (us)", "t/(s*r) (ns)"});
   for (uint32_t logm = 7; logm <= 14; ++logm) {
     const uint64_t m = uint64_t{1} << logm;
-    const Slp slp = SlpRepeat("ab", m);  // r = m matches, s = O(log m)
+    const Slp slp = SlpRepeat("ab", m).value();  // r = m matches, s = O(log m)
     uint64_t r = 0;
     const double secs = bench::TimeSeconds([&] {
       const Engine engine(*query, Document::FromSlp(slp));
@@ -45,9 +45,9 @@ void RunE3() {
     const char* name;
     Slp slp;
   };
-  const Shape shapes[] = {{"repeat-rule", SlpRepeat("ab", m)},
-                          {"balanced", SlpFromString(doc)},
-                          {"chain", SlpChainFromString(doc)}};
+  const Shape shapes[] = {{"repeat-rule", SlpRepeat("ab", m).value()},
+                          {"balanced", SlpFromString(doc).value()},
+                          {"chain", SlpChainFromString(doc).value()}};
   for (const Shape& shape : shapes) {
     uint64_t r = 0;
     const double secs = bench::TimeSeconds([&] {

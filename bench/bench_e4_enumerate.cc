@@ -60,8 +60,8 @@ void PreprocessingSweep() {
       Slp slp;
     };
     const Shape shapes[] = {
-        {"repeat 2^" + std::to_string(logm), SlpRepeat("ab", m)},
-        {"chain 2^" + std::to_string(logm), SlpChainFromString(doc)}};
+        {"repeat 2^" + std::to_string(logm), SlpRepeat("ab", m).value()},
+        {"chain 2^" + std::to_string(logm), SlpChainFromString(doc).value()}};
     for (const Shape& shape : shapes) {
       const double secs =
           bench::TimeSeconds([&] { PreparedDocument prep = ev.Prepare(shape.slp); },
@@ -87,10 +87,10 @@ void DelaySweep() {
     const char* name;
     Slp slp;
   };
-  const Shape shapes[] = {{"chain (depth=d)", SlpChainFromString(doc)},
-                          {"balanced (log d)", SlpFromString(doc)},
-                          {"rebalanced chain", Rebalance(SlpChainFromString(doc))},
-                          {"repeat-rule", SlpRepeat("ab", m)}};
+  const Shape shapes[] = {{"chain (depth=d)", SlpChainFromString(doc).value()},
+                          {"balanced (log d)", SlpFromString(doc).value()},
+                          {"rebalanced chain", Rebalance(SlpChainFromString(doc).value())},
+                          {"repeat-rule", SlpRepeat("ab", m).value()}};
   for (const Shape& shape : shapes) {
     const PreparedDocument prep = ev.Prepare(shape.slp);
     const DelayStats stats = MeasureDelays(ev, prep, 4096);

@@ -34,7 +34,7 @@ void RunE5() {
 
   for (uint64_t copies : {1ull, 4ull, 16ull, 64ull, 256ull, 1024ull, 4096ull,
                           16384ull}) {
-    const Slp slp = SlpRepeat(block, copies);
+    const Slp slp = SlpRepeat(block, copies).value();
     const uint64_t d = slp.DocumentLength();
     const std::string doc = GenerateRepeated(block, copies);
 

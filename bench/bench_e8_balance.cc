@@ -35,9 +35,9 @@ void RunE8() {
   const uint64_t m = uint64_t{1} << 12;
   const std::string doc = GenerateRepeated("ab", m);
   std::vector<Input> inputs;
-  inputs.push_back({"chain d=8192", SlpChainFromString(doc)});
+  inputs.push_back({"chain d=8192", SlpChainFromString(doc).value()});
   inputs.push_back({"lz78(a^65536)", Lz78Compress(std::string(65536, 'a'))});
-  inputs.push_back({"repeat-rule", SlpRepeat("ab", m)});
+  inputs.push_back({"repeat-rule", SlpRepeat("ab", m).value()});
 
   auto max_delay_ns = [&](const Slp& slp) {
     const PreparedDocument prep = ev.Prepare(slp);

@@ -104,7 +104,7 @@ void BM_EvalTablesBuild(benchmark::State& state) {
   const Nfa nfa = AppendSentinel(Determinize(sp->normalized()));
   const Slp slp =
       SlpAppendSymbol(SlpRepeat("ab", uint64_t{1} << static_cast<uint32_t>(
-                                          state.range(0))),
+                                          state.range(0))).value(),
                       kSentinelSymbol);
   for (auto _ : state) {
     EvalTables tables(slp, nfa);

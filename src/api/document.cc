@@ -1,3 +1,6 @@
+// Document — public handle implementation: compression factories, SLP
+// (de)serialization entry points, fingerprinting, prepared-state save/load,
+// and per-document cache accounting (see slpspan/document.h).
 #include "slpspan/document.h"
 
 #include <atomic>
@@ -33,7 +36,7 @@ Document::Document(Slp slp)
 Document::~Document() {
   std::vector<uint64_t> query_ids;
   {
-    std::lock_guard<std::mutex> lock(counters_->mu);
+    util::MutexLock lock(&counters_->mu);
     query_ids = counters_->query_ids;
   }
   // Only touch the global cache if this document ever put something in it
@@ -57,8 +60,11 @@ Result<DocumentPtr> Document::FromText(std::string_view text,
       return FromSlp(Lz78Compress(text));
     case Compression::kLz77:
       return FromSlp(Lz77Compress(text));
-    case Compression::kBalanced:
-      return FromSlp(SlpFromString(text));
+    case Compression::kBalanced: {
+      Result<Slp> slp = SlpFromString(text);
+      if (!slp.ok()) return slp.status();  // unreachable: text is non-empty
+      return FromSlp(std::move(slp).value());
+    }
   }
   return Status::InvalidArgument("unknown compression method");
 }

@@ -1,3 +1,5 @@
+// Engine and ResultStream — the public query-execution surface: runs a
+// compiled Query over a Document's prepared state and streams span tuples.
 #include "slpspan/engine.h"
 
 #include <utility>
@@ -22,12 +24,15 @@ ResultStream::~ResultStream() = default;
 bool ResultStream::Valid() const { return state_ != nullptr && state_->valid; }
 
 void ResultStream::Next() {
-  SLPSPAN_CHECK(state_ != nullptr);
+  // Programmer contract (documented on ResultStream), not user input: a
+  // default-constructed or moved-from stream must not be advanced.
+  SLPSPAN_CHECK(state_ != nullptr);  // repo-lint: allow(check-in-library)
   state_->Advance();
 }
 
 const SpanTuple& ResultStream::Current() const {
-  SLPSPAN_CHECK(Valid());
+  // Programmer contract: Current() on an exhausted stream is API misuse.
+  SLPSPAN_CHECK(Valid());  // repo-lint: allow(check-in-library)
   return state_->current;
 }
 
@@ -43,7 +48,9 @@ bool ResultStream::cancelled() const {
 
 Engine::Engine(Query query, DocumentPtr document)
     : query_(std::move(query)), document_(std::move(document)) {
-  SLPSPAN_CHECK(document_ != nullptr);
+  // Programmer contract: constructing an Engine over a null DocumentPtr is
+  // API misuse (Document factories never return null on success).
+  SLPSPAN_CHECK(document_ != nullptr);  // repo-lint: allow(check-in-library)
 }
 
 std::shared_ptr<const api_internal::PreparedState> Engine::Prepared() const {

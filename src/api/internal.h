@@ -177,7 +177,8 @@ struct StreamState {
   }
 
   void Advance() {
-    SLPSPAN_CHECK(valid);
+    // Programmer contract, mirrored by ResultStream::Next's public CHECK.
+    SLPSPAN_CHECK(valid);  // repo-lint: allow(check-in-library)
     if (ShouldCancel()) return;
     if (limit && emitted >= *limit) {
       valid = false;  // early exit: never compute tuples past the limit

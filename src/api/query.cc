@@ -1,3 +1,5 @@
+// Query — public handle implementation: compiles a pattern once, assigns a
+// process-unique id and a stable fingerprint for cache/bundle identity.
 #include "slpspan/query.h"
 
 #include <atomic>

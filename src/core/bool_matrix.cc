@@ -1,3 +1,5 @@
+// BoolMatrix — bit-packed q×q Boolean matrix: multiply, or, transpose and
+// printing, the arithmetic under every transition-matrix table.
 #include "core/bool_matrix.h"
 
 #include <sstream>

@@ -1,3 +1,5 @@
+// Computes the full result set ⟦M⟧(D) over an SLP-compressed document by
+// the recursive decomposition of paper Theorem 7.1 (see core/compute.h).
 #include "core/compute.h"
 
 #include <unordered_map>

@@ -1,3 +1,5 @@
+// Counting and random access over the compressed result set: per-rule run
+// counts without enumeration (see core/count.h).
 #include "core/count.h"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// CompressedEnumerator — nested-cursor enumeration of ⟦M⟧(D) per paper
+// Theorem 8.10 (see core/enumerate.h for the cursor structure).
 #include "core/enumerate.h"
 
 namespace slpspan {

@@ -1,3 +1,5 @@
+// SpannerEvaluator — facade tying preparation, nonemptiness, model checking,
+// counting and enumeration together behind one object (see core/evaluator.h).
 #include "core/evaluator.h"
 
 #include "core/compute.h"

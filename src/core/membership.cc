@@ -1,3 +1,5 @@
+// Leaf transition matrices: per-symbol NFA reachability matrices, the base
+// case of the table construction over the SLP's terminal rules.
 #include "core/membership.h"
 
 namespace slpspan {

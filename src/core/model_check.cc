@@ -1,3 +1,5 @@
+// Model checking t ∈ ⟦M⟧(D) over an SLP-compressed document — paper
+// Theorem 5.1(2): splice marker symbols into the SLP, then run membership.
 #include "core/model_check.h"
 
 #include <functional>

@@ -1,3 +1,5 @@
+// (M,S)-trees and their enumeration — paper Section 8 / Algorithm 1
+// (see core/mtree.h for the node-label structure).
 #include "core/mtree.h"
 
 #include <sstream>

@@ -1,3 +1,5 @@
+// Non-emptiness of ⟦M⟧(D) over an SLP-compressed document — paper
+// Theorem 5.1(1), via the root transition matrix of the marked product.
 #include "core/nonemptiness.h"
 
 #include "core/membership.h"

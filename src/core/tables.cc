@@ -1,14 +1,16 @@
+// EvalTables construction: interned per-rule transition matrices, built
+// serially or wave-parallel over the SLP's dependency levels.
 #include "core/tables.h"
 
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace slpspan {
@@ -191,14 +193,10 @@ class TableBuilder {
  private:
   static constexpr size_t kGrain = 16;  // rules claimed per atomic fetch
 
-  std::unique_lock<std::mutex> Lock() {
-    return parallel_ ? std::unique_lock<std::mutex>(mu_)
-                     : std::unique_lock<std::mutex>();
-  }
-
   /// Interns `m`: returns the index of an equal arena matrix or appends.
-  /// Caller holds the lock in parallel mode.
-  uint32_t InternLocked(BoolMatrix m) {
+  /// Caller holds the lock in parallel mode (OptionalMutexLock claims the
+  /// capability on both paths, so the analysis checks serial mode too).
+  uint32_t InternLocked(BoolMatrix m) REQUIRES(mu_) {
     std::vector<uint32_t>& bucket = by_hash_[HashMatrix(m)];
     for (const uint32_t idx : bucket) {
       if (arena_.at(idx) == m) return idx;
@@ -216,7 +214,7 @@ class TableBuilder {
     products_.fetch_add(1, std::memory_order_relaxed);
     const uint64_t key = PackPair(i, j);
     {
-      auto lock = Lock();
+      util::OptionalMutexLock lock(&mu_, parallel_);
       const auto it = mul_memo_.find(key);
       if (it != mul_memo_.end()) {
         memo_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -224,7 +222,7 @@ class TableBuilder {
       }
     }
     BoolMatrix m = BoolMatrix::Multiply(arena_.at(i), arena_.at(j));
-    auto lock = Lock();
+    util::OptionalMutexLock lock(&mu_, parallel_);
     const uint32_t k = InternLocked(std::move(m));
     mul_memo_.emplace(key, k);
     return k;
@@ -237,7 +235,7 @@ class TableBuilder {
     products_.fetch_add(1, std::memory_order_relaxed);
     const uint64_t key = PackPair(std::min(i, j), std::max(i, j));
     {
-      auto lock = Lock();
+      util::OptionalMutexLock lock(&mu_, parallel_);
       const auto it = or_memo_.find(key);
       if (it != or_memo_.end()) {
         memo_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -246,7 +244,7 @@ class TableBuilder {
     }
     BoolMatrix m = arena_.at(i);
     m.OrWith(arena_.at(j));
-    auto lock = Lock();
+    util::OptionalMutexLock lock(&mu_, parallel_);
     const uint32_t k = InternLocked(std::move(m));
     or_memo_.emplace(key, k);
     return k;
@@ -280,7 +278,7 @@ class TableBuilder {
       any_b.OrWith(arena_.at(wb));
       BoolMatrix w = BoolMatrix::Multiply(any_b, arena_.at(wc));
       w.OrWith(BoolMatrix::Multiply(arena_.at(wb), arena_.at(uc)));
-      auto lock = Lock();
+      util::OptionalMutexLock lock(&mu_, parallel_);
       (*u_idx_)[a] = InternLocked(std::move(u));
       (*w_idx_)[a] = InternLocked(std::move(w));
       return;
@@ -292,7 +290,7 @@ class TableBuilder {
     // product is cheap).
     const RuleKey rule_key{PackPair(ub, wb), PackPair(uc, wc)};
     {
-      auto lock = Lock();
+      util::OptionalMutexLock lock(&mu_, parallel_);
       const auto it = rule_memo_.find(rule_key);
       if (it != rule_memo_.end()) {
         rule_hit_ops_.fetch_add(it->second.ops, std::memory_order_relaxed);
@@ -312,7 +310,7 @@ class TableBuilder {
     // each Or that is not an i == j identity — a hit must credit the same
     // count, or products/hit-rate would overstate the work memoized.
     const uint32_t ops = 3 + (ub != wb) + (w_marked_right != w_marked_left);
-    auto lock = Lock();
+    util::OptionalMutexLock lock(&mu_, parallel_);
     rule_memo_.emplace(rule_key, RuleValue{u, w, ops});
   }
 
@@ -341,7 +339,7 @@ class TableBuilder {
       }
     }
     {
-      auto lock = Lock();
+      util::OptionalMutexLock lock(&mu_, parallel_);
       (*u_idx_)[a] = InternLocked(std::move(u));
       (*w_idx_)[a] = InternLocked(std::move(w));
     }
@@ -383,12 +381,19 @@ class TableBuilder {
     }
   };
 
-  std::mutex mu_;  // guards arena_, by_hash_ and all memos (parallel mode)
+  // mu_ also guards arena_ *appends* (parallel mode); arena_ itself stays
+  // unannotated because already-published slots are deliberately read
+  // lock-free — indices only travel between threads through the memo maps
+  // below or a wave barrier, either of which provides the happens-before
+  // edge for the matrix contents (see MatrixArena's comment).
+  util::Mutex mu_;
   MatrixArena arena_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash_;
-  std::unordered_map<uint64_t, uint32_t> mul_memo_;
-  std::unordered_map<uint64_t, uint32_t> or_memo_;
-  std::unordered_map<RuleKey, RuleValue, RuleKeyHash> rule_memo_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash_
+      GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, uint32_t> mul_memo_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, uint32_t> or_memo_ GUARDED_BY(mu_);
+  std::unordered_map<RuleKey, RuleValue, RuleKeyHash> rule_memo_
+      GUARDED_BY(mu_);
 
   std::atomic<uint64_t> products_{0};
   std::atomic<uint64_t> memo_hits_{0};

@@ -1,3 +1,5 @@
+// PreparedCache — process-wide sharded LRU over prepared states with
+// single-flight builds, per-document counters and an optional disk spill tier.
 #include "runtime/prepared_cache.h"
 
 #include <algorithm>
@@ -19,9 +21,11 @@ namespace {
 // g_config_mu orders configuration against singleton creation, so a budget
 // configured concurrently with the first lookup is never lost; the atomic
 // pointer keeps the created-cache fast path lock-free.
-std::mutex g_config_mu;
-uint64_t g_staged_budget = RuntimeOptions{}.cache_bytes;
-uint32_t g_staged_shards = RuntimeOptions{}.cache_shards;
+util::Mutex g_config_mu;
+uint64_t g_staged_budget GUARDED_BY(g_config_mu) =
+    RuntimeOptions{}.cache_bytes;
+uint32_t g_staged_shards GUARDED_BY(g_config_mu) =
+    RuntimeOptions{}.cache_shards;
 std::atomic<PreparedCache*> g_cache{nullptr};
 
 }  // namespace
@@ -29,7 +33,7 @@ std::atomic<PreparedCache*> g_cache{nullptr};
 PreparedCache& PreparedCache::Global() {
   PreparedCache* cache = g_cache.load(std::memory_order_acquire);
   if (cache != nullptr) return *cache;
-  std::lock_guard<std::mutex> lock(g_config_mu);
+  util::MutexLock lock(&g_config_mu);
   cache = g_cache.load(std::memory_order_relaxed);
   if (cache == nullptr) {
     // Leaked singleton: prepared state may be referenced from static-duration
@@ -41,7 +45,7 @@ PreparedCache& PreparedCache::Global() {
 }
 
 void PreparedCache::ConfigureGlobal(uint64_t budget_bytes, uint32_t shards) {
-  std::lock_guard<std::mutex> lock(g_config_mu);
+  util::MutexLock lock(&g_config_mu);
   g_staged_budget = budget_bytes;
   if (shards > 0) g_staged_shards = shards;
   if (PreparedCache* cache = g_cache.load(std::memory_order_relaxed)) {
@@ -50,7 +54,7 @@ void PreparedCache::ConfigureGlobal(uint64_t budget_bytes, uint32_t shards) {
 }
 
 void PreparedCache::SetGlobalBudget(uint64_t budget_bytes) {
-  std::lock_guard<std::mutex> lock(g_config_mu);
+  util::MutexLock lock(&g_config_mu);
   g_staged_budget = budget_bytes;
   if (PreparedCache* cache = g_cache.load(std::memory_order_relaxed)) {
     cache->SetByteBudget(budget_bytes);
@@ -62,40 +66,51 @@ PreparedCache::PreparedCache(uint64_t budget_bytes, uint32_t shards)
   shard_mask_ = static_cast<uint32_t>(shards_.size()) - 1;
 }
 
+void PreparedCache::RecordQueryId(
+    const std::shared_ptr<DocCacheCounters>& doc, uint64_t query_id) {
+  util::MutexLock lock(&doc->mu);
+  if (std::find(doc->query_ids.begin(), doc->query_ids.end(), query_id) ==
+      doc->query_ids.end()) {
+    doc->query_ids.push_back(query_id);
+  }
+}
+
 PreparedCache::StatePtr PreparedCache::GetOrBuild(
     uint64_t doc_id, uint64_t query_id, uint64_t doc_fp, uint64_t query_fp,
     const std::shared_ptr<DocCacheCounters>& doc, const Builder& build) {
   const Key key{doc_id, query_id};
   Shard& shard = ShardFor(key);
-  std::unique_lock<std::mutex> lock(shard.mu);
+  std::shared_ptr<Build> pending;
 
-  for (;;) {
-    auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  {
+    util::MutexLock lock(&shard.mu);
+    for (;;) {
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        doc->hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second->state;
+      }
+
+      auto inflight_it = shard.inflight.find(key);
+      if (inflight_it == shard.inflight.end()) break;  // we lead the build
+      // Single-flight: another thread is already paying the preparation;
+      // wait for it instead of duplicating O(|M| + size(S)·q³) work.
+      std::shared_ptr<Build> in_flight = inflight_it->second;
+      while (!in_flight->done) shard.cv.Wait(shard.mu);
+      if (in_flight->result == nullptr) continue;  // leader threw; re-race
       hits_.fetch_add(1, std::memory_order_relaxed);
       doc->hits.fetch_add(1, std::memory_order_relaxed);
-      return it->second->state;
+      return in_flight->result;
     }
 
-    auto inflight_it = shard.inflight.find(key);
-    if (inflight_it == shard.inflight.end()) break;  // we lead the build
-    // Single-flight: another thread is already paying the preparation; wait
-    // for it instead of duplicating O(|M| + size(S)·q³) work.
-    std::shared_ptr<Build> pending = inflight_it->second;
-    shard.cv.wait(lock, [&] { return pending->done; });
-    if (pending->result == nullptr) continue;  // leader's build threw; re-race
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    doc->hits.fetch_add(1, std::memory_order_relaxed);
-    return pending->result;
+    // Miss: this thread is the build leader.
+    pending = std::make_shared<Build>();
+    shard.inflight.emplace(key, pending);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    doc->misses.fetch_add(1, std::memory_order_relaxed);
   }
-
-  // Miss: this thread is the build leader.
-  auto pending = std::make_shared<Build>();
-  shard.inflight.emplace(key, pending);
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  doc->misses.fetch_add(1, std::memory_order_relaxed);
-  lock.unlock();
 
   // Two-tier lookup: a spilled bundle (mmap + validated deserialization) is
   // an order of magnitude cheaper than re-running the O(size(S)·q³)
@@ -113,51 +128,47 @@ PreparedCache::StatePtr PreparedCache::GetOrBuild(
   } catch (...) {
     // Unwind the rendezvous (done with a null result) so waiters re-race
     // for leadership instead of blocking on a key that will never land.
-    lock.lock();
-    pending->done = true;
-    shard.inflight.erase(key);
-    lock.unlock();
-    shard.cv.notify_all();
+    {
+      util::MutexLock lock(&shard.mu);
+      pending->done = true;
+      shard.inflight.erase(key);
+    }
+    shard.cv.NotifyAll();
     throw;
   }
   const uint64_t bytes = state->MemoryUsage();
 
   std::vector<Entry> victims;
-  lock.lock();
-  pending->done = true;
-  pending->result = state;
-  shard.inflight.erase(key);
-  if (bytes > PerShardBudget()) {
-    // Size-aware admission: an entry bigger than its shard's budget slice
-    // can never stay resident — inserting it would evict the whole shard
-    // and thrash. Reject it up front (the drop still counts as an eviction)
-    // and route it straight to the disk tier.
-    admission_rejects_.fetch_add(1, std::memory_order_relaxed);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-    doc->evictions.fetch_add(1, std::memory_order_relaxed);
-    victims.push_back(Entry{key, state, doc, bytes, doc_fp, query_fp});
-  } else if (shard.map.find(key) == shard.map.end()) {
-    shard.lru.push_front(Entry{key, state, doc, bytes, doc_fp, query_fp});
-    shard.map.emplace(key, shard.lru.begin());
-    shard.bytes += bytes;
-    doc->entries.fetch_add(1, std::memory_order_relaxed);
-    doc->bytes.fetch_add(bytes, std::memory_order_relaxed);
-    EvictOverBudgetLocked(shard, &victims);
+  {
+    util::MutexLock lock(&shard.mu);
+    pending->done = true;
+    pending->result = state;
+    shard.inflight.erase(key);
+    if (bytes > PerShardBudget()) {
+      // Size-aware admission: an entry bigger than its shard's budget slice
+      // can never stay resident — inserting it would evict the whole shard
+      // and thrash. Reject it up front (the drop still counts as an
+      // eviction) and route it straight to the disk tier.
+      admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      doc->evictions.fetch_add(1, std::memory_order_relaxed);
+      victims.push_back(Entry{key, state, doc, bytes, doc_fp, query_fp});
+    } else if (shard.map.find(key) == shard.map.end()) {
+      shard.lru.push_front(Entry{key, state, doc, bytes, doc_fp, query_fp});
+      shard.map.emplace(key, shard.lru.begin());
+      shard.bytes += bytes;
+      doc->entries.fetch_add(1, std::memory_order_relaxed);
+      doc->bytes.fetch_add(bytes, std::memory_order_relaxed);
+      EvictOverBudgetLocked(shard, &victims);
+    }
+    // else: a concurrent Insert (bundle import) landed this key while the
+    // build ran outside the lock; keep the resident entry — a blind
+    // push_front would orphan an LRU node and double-charge the accounting.
   }
-  // else: a concurrent Insert (bundle import) landed this key while the
-  // build ran outside the lock; keep the resident entry — a blind
-  // push_front would orphan an LRU node and double-charge the accounting.
-  lock.unlock();
-  shard.cv.notify_all();
+  shard.cv.NotifyAll();
   SpillVictims(std::move(victims));
 
-  {
-    std::lock_guard<std::mutex> doc_lock(doc->mu);
-    if (std::find(doc->query_ids.begin(), doc->query_ids.end(), query_id) ==
-        doc->query_ids.end()) {
-      doc->query_ids.push_back(query_id);
-    }
-  }
+  RecordQueryId(doc, query_id);
   return state;
 }
 
@@ -170,7 +181,7 @@ void PreparedCache::Insert(uint64_t doc_id, uint64_t query_id, uint64_t doc_fp,
   Shard& shard = ShardFor(key);
   std::vector<Entry> victims;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     if (shard.map.find(key) != shard.map.end()) return;  // already resident
     if (bytes > PerShardBudget()) {
       // Same admission rule as built entries. Route the state to the disk
@@ -191,11 +202,7 @@ void PreparedCache::Insert(uint64_t doc_id, uint64_t query_id, uint64_t doc_fp,
   }
   SpillVictims(std::move(victims));
 
-  std::lock_guard<std::mutex> doc_lock(doc->mu);
-  if (std::find(doc->query_ids.begin(), doc->query_ids.end(), query_id) ==
-      doc->query_ids.end()) {
-    doc->query_ids.push_back(query_id);
-  }
+  RecordQueryId(doc, query_id);
 }
 
 void PreparedCache::Recharge(uint64_t doc_id, uint64_t query_id,
@@ -206,7 +213,7 @@ void PreparedCache::Recharge(uint64_t doc_id, uint64_t query_id,
   Shard& shard = ShardFor(key);
   std::vector<Entry> victims;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return;  // not resident; nothing was charged
     Entry& entry = *it->second;
@@ -242,6 +249,7 @@ PreparedCache::RechargeHookFor(uint64_t doc_id, uint64_t query_id) {
 
 void PreparedCache::EvictOverBudgetLocked(Shard& shard,
                                           std::vector<Entry>* spill_candidates) {
+  shard.mu.AssertHeld();
   const uint64_t slice = PerShardBudget();
   while (shard.bytes > slice && !shard.lru.empty()) {
     Entry& victim = shard.lru.back();
@@ -262,7 +270,7 @@ void PreparedCache::SpillVictims(std::vector<Entry> victims) {
   util::ThreadPool* pool = nullptr;
   bool synchronous = false;
   {
-    std::lock_guard<std::mutex> lock(spill_mu_);
+    util::MutexLock lock(&spill_mu_);
     spill = spill_;
     pool = spill_pool_.get();  // never destroyed once created (leaked cache)
     synchronous = spill_synchronous_;
@@ -275,6 +283,9 @@ void PreparedCache::SpillVictims(std::vector<Entry> victims) {
     // a later eviction nor a ConfigureSpill swap invalidates it mid-write.
     auto write = [spill, state = victim.state, doc_fp = victim.doc_fp,
                   query_fp = victim.query_fp] {
+      // Best-effort write-behind: a full disk or unwritable directory must
+      // not fail the eviction that triggered it (the entry is gone from RAM
+      // either way); the next miss simply rebuilds.
       (void)spill->Put(
           doc_fp, query_fp,
           storage::SerializePreparedState(*state, doc_fp, query_fp));
@@ -288,20 +299,20 @@ void PreparedCache::SpillVictims(std::vector<Entry> victims) {
 }
 
 std::shared_ptr<storage::SpillStore> PreparedCache::SpillSnapshot() const {
-  std::lock_guard<std::mutex> lock(spill_mu_);
+  util::MutexLock lock(&spill_mu_);
   return spill_;
 }
 
 Status PreparedCache::ConfigureSpill(const SpillOptions& opts) {
   if (opts.directory.empty()) {
-    std::lock_guard<std::mutex> lock(spill_mu_);
+    util::MutexLock lock(&spill_mu_);
     spill_.reset();
     return Status::OK();
   }
   Result<std::unique_ptr<storage::SpillStore>> store =
       storage::SpillStore::Open({opts.directory, opts.byte_budget});
   if (!store.ok()) return store.status();
-  std::lock_guard<std::mutex> lock(spill_mu_);
+  util::MutexLock lock(&spill_mu_);
   spill_ = std::shared_ptr<storage::SpillStore>(std::move(store).value());
   spill_synchronous_ = opts.synchronous;
   if (!opts.synchronous && spill_pool_ == nullptr) {
@@ -316,7 +327,7 @@ void PreparedCache::SpillResident() {
   // writes without them (and skips anything already on disk).
   std::vector<Entry> copies;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     for (const Entry& entry : shard.lru) copies.push_back(entry);
   }
   SpillVictims(std::move(copies));
@@ -325,7 +336,7 @@ void PreparedCache::SpillResident() {
 void PreparedCache::FlushSpill() {
   util::ThreadPool* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(spill_mu_);
+    util::MutexLock lock(&spill_mu_);
     pool = spill_pool_.get();
   }
   if (pool != nullptr) pool->WaitIdle();
@@ -336,7 +347,7 @@ void PreparedCache::EraseDocument(uint64_t doc_id,
   for (const uint64_t query_id : query_ids) {
     const Key key{doc_id, query_id};
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) continue;  // already evicted
     const Entry& entry = *it->second;
@@ -353,7 +364,7 @@ void PreparedCache::SetByteBudget(uint64_t bytes) {
   for (Shard& shard : shards_) {
     std::vector<Entry> victims;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(&shard.mu);
       EvictOverBudgetLocked(shard, &victims);
     }
     SpillVictims(std::move(victims));
@@ -369,7 +380,7 @@ Runtime::CacheStats PreparedCache::Stats() const {
   stats.budget_bytes = budget_.load(std::memory_order_relaxed);
   stats.shards = static_cast<uint32_t>(shards_.size());
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     stats.entries += shard.map.size();
     stats.bytes += shard.bytes;
   }
@@ -403,18 +414,18 @@ namespace {
 
 /// Process-wide default PrepareOptions. A tiny copy under a mutex instead
 /// of atomics: preparations read it once at start, never on a hot path.
-std::mutex g_prepare_opts_mu;
-PrepareOptions g_prepare_opts;
+util::Mutex g_prepare_opts_mu;
+PrepareOptions g_prepare_opts GUARDED_BY(g_prepare_opts_mu);
 
 }  // namespace
 
 void Runtime::SetPrepareOptions(const PrepareOptions& opts) {
-  std::lock_guard<std::mutex> lock(g_prepare_opts_mu);
+  util::MutexLock lock(&g_prepare_opts_mu);
   g_prepare_opts = opts;
 }
 
 PrepareOptions Runtime::prepare_options() {
-  std::lock_guard<std::mutex> lock(g_prepare_opts_mu);
+  util::MutexLock lock(&g_prepare_opts_mu);
   return g_prepare_opts;
 }
 

@@ -35,16 +35,15 @@
 #define SLPSPAN_RUNTIME_PREPARED_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "slpspan/runtime.h"
+#include "util/mutex.h"
 
 namespace slpspan {
 
@@ -74,8 +73,8 @@ struct DocCacheCounters {
 
   /// Distinct query ids ever inserted for this document. Lets ~Document
   /// erase exactly its keys instead of scanning every shard's entries.
-  std::mutex mu;
-  std::vector<uint64_t> query_ids;
+  util::Mutex mu;
+  std::vector<uint64_t> query_ids GUARDED_BY(mu);
 };
 
 class PreparedCache {
@@ -170,19 +169,23 @@ class PreparedCache {
     uint64_t query_fp = 0;
   };
 
-  /// Single-flight rendezvous for one in-progress preparation.
+  /// Single-flight rendezvous for one in-progress preparation. Both fields
+  /// are written under the owning shard's mu (a Build cannot carry a
+  /// GUARDED_BY naming it — the shard owns the mutex, not the Build).
   struct Build {
     bool done = false;
     StatePtr result;
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;  // notified when any in-flight build lands
-    std::list<Entry> lru;        // front = most recently used
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
-    std::unordered_map<Key, std::shared_ptr<Build>, KeyHash> inflight;
-    uint64_t bytes = 0;
+    mutable util::Mutex mu;
+    util::CondVar cv;  // notified when any in-flight build lands
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map
+        GUARDED_BY(mu);
+    std::unordered_map<Key, std::shared_ptr<Build>, KeyHash> inflight
+        GUARDED_BY(mu);
+    uint64_t bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& key) {
@@ -195,15 +198,23 @@ class PreparedCache {
 
   /// Drops LRU-tail entries until `shard` fits its budget slice, moving the
   /// victims into `spill_candidates` for the caller to hand to the disk
-  /// tier *after* releasing shard.mu. Caller holds shard.mu.
-  void EvictOverBudgetLocked(Shard& shard, std::vector<Entry>* spill_candidates);
+  /// tier *after* releasing shard.mu.
+  void EvictOverBudgetLocked(Shard& shard, std::vector<Entry>* spill_candidates)
+      REQUIRES(shard.mu);
+
+  /// Records `query_id` in the document's erase list (see
+  /// DocCacheCounters::query_ids). Takes doc->mu; call with no shard lock
+  /// held (lock order: shard.mu before doc.mu never holds).
+  static void RecordQueryId(const std::shared_ptr<DocCacheCounters>& doc,
+                            uint64_t query_id);
 
   /// Serializes and writes the victims to the disk tier — write-behind on
   /// the spill thread unless configured synchronous. Must be called without
   /// any shard lock held. No-op when spilling is disabled.
-  void SpillVictims(std::vector<Entry> victims);
+  void SpillVictims(std::vector<Entry> victims) EXCLUDES(spill_mu_);
 
-  std::shared_ptr<storage::SpillStore> SpillSnapshot() const;
+  std::shared_ptr<storage::SpillStore> SpillSnapshot() const
+      EXCLUDES(spill_mu_);
 
   uint32_t shard_mask_ = 0;
   std::vector<Shard> shards_;
@@ -213,10 +224,12 @@ class PreparedCache {
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> admission_rejects_{0};
 
-  mutable std::mutex spill_mu_;
-  std::shared_ptr<storage::SpillStore> spill_;     // null = disabled
-  std::unique_ptr<util::ThreadPool> spill_pool_;         // created on first enable
-  bool spill_synchronous_ = false;
+  mutable util::Mutex spill_mu_;
+  std::shared_ptr<storage::SpillStore> spill_
+      GUARDED_BY(spill_mu_);  // null = disabled
+  std::unique_ptr<util::ThreadPool> spill_pool_
+      GUARDED_BY(spill_mu_);  // created on first enable, never destroyed
+  bool spill_synchronous_ GUARDED_BY(spill_mu_) = false;
 };
 
 }  // namespace runtime_internal

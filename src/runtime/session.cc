@@ -27,12 +27,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 #include "util/check.h"
 
@@ -95,10 +94,14 @@ struct TicketState {
 
   enum class Phase { kQueued, kRunning, kTerminal };
 
-  mutable std::mutex mu;
-  mutable std::condition_variable cv;
-  Phase phase = Phase::kQueued;                // guarded by mu
-  std::optional<Result<EngineOutput>> result;  // written once, before `done`
+  mutable util::Mutex mu;
+  mutable util::CondVar cv;
+  Phase phase GUARDED_BY(mu) = Phase::kQueued;
+  // Written exactly once under `mu` and published by the release store to
+  // `done`; read lock-free after done (Wait/TryGet/EvalBatch), so it is
+  // deliberately NOT GUARDED_BY(mu) — the release/acquire pair on `done` is
+  // the synchronization, not the mutex.
+  std::optional<Result<EngineOutput>> result;
   std::atomic<bool> done{false};
   // Microseconds spent queued; UINT64_MAX until the ticket leaves the
   // queue (evaluation start, cancellation or expiry).
@@ -122,9 +125,9 @@ struct ClassCounters {
 struct SessionShared {
   std::array<ClassCounters, kNumPriorityClasses> stats;
 
-  std::mutex map_mu;
+  util::Mutex map_mu;
   std::unordered_map<RequestKey, std::shared_ptr<Group>, RequestKeyHash>
-      inflight;  // queued, unclaimed groups only
+      inflight GUARDED_BY(map_mu);  // queued, unclaimed groups only
 
   ClassCounters& For(Priority p) { return stats[static_cast<size_t>(p)]; }
 };
@@ -142,11 +145,14 @@ struct Group {
   const EngineRequest request;  // representative (all members are identical)
   const std::shared_ptr<SessionShared> shared;
 
-  std::mutex mu;
-  bool claimed = false;       // a worker started processing; no more joins
-  bool done = false;          // fan-out happened (or the group was skipped)
-  uint32_t best_level = 0;    // most urgent queue level ever pushed
-  std::vector<std::shared_ptr<TicketState>> members;  // live tickets
+  util::Mutex mu;
+  // claimed: a worker started processing; no more joins.
+  // done: fan-out happened (or the group was skipped).
+  bool claimed GUARDED_BY(mu) = false;
+  bool done GUARDED_BY(mu) = false;
+  uint32_t best_level GUARDED_BY(mu) = 0;  // most urgent level ever pushed
+  std::vector<std::shared_ptr<TicketState>> members
+      GUARDED_BY(mu);  // live tickets
 
   // Read lock-free by the evaluation's cancellation token.
   std::atomic<bool> cancel_all{false};   // every member withdrew
@@ -166,7 +172,7 @@ enum class Terminal { kCompleted, kCancelled, kExpired };
 bool Finish(TicketState& t, Result<EngineOutput> result, Terminal kind) {
   std::function<void(const Result<EngineOutput>&)> callback;
   {
-    std::lock_guard<std::mutex> lock(t.mu);
+    util::MutexLock lock(&t.mu);
     if (t.phase == TicketState::Phase::kTerminal) return false;
     ClassCounters& c = t.shared->For(t.priority);
     if (t.phase == TicketState::Phase::kQueued) {
@@ -198,16 +204,16 @@ bool Finish(TicketState& t, Result<EngineOutput> result, Terminal kind) {
   }
   if (callback) callback(*t.result);
   {
-    std::lock_guard<std::mutex> lock(t.mu);
+    util::MutexLock lock(&t.mu);
     t.done.store(true, std::memory_order_release);
   }
-  t.cv.notify_all();
+  t.cv.NotifyAll();
   return true;
 }
 
 /// Queued -> running transition: charges the queue latency once.
 void MarkRunning(TicketState& t) {
-  std::lock_guard<std::mutex> lock(t.mu);
+  util::MutexLock lock(&t.mu);
   if (t.phase != TicketState::Phase::kQueued) return;
   const uint64_t waited = MicrosSince(t.submit_time);
   ClassCounters& c = t.shared->For(t.priority);
@@ -218,14 +224,15 @@ void MarkRunning(TicketState& t) {
   t.phase = TicketState::Phase::kRunning;
 }
 
-void RecomputeDeadlineLocked(Group& g);
+void RecomputeDeadlineLocked(Group& g) REQUIRES(g.mu);
 
 /// Drops the coalescing-map entry for `g` if it still points at `g`
 /// (another thread may have retired it, or a fresh group may have taken
 /// the key). Caller must NOT hold g->mu (Submit's order is map_mu before
 /// g->mu).
-void EraseInflightEntry(SessionShared& shared, const Group& g) {
-  std::lock_guard<std::mutex> lock(shared.map_mu);
+void EraseInflightEntry(SessionShared& shared, const Group& g)
+    EXCLUDES(shared.map_mu) {
+  util::MutexLock lock(&shared.map_mu);
   auto it = shared.inflight.find(g.key);
   if (it != shared.inflight.end() && it->second.get() == &g) {
     shared.inflight.erase(it);
@@ -243,13 +250,13 @@ bool WithdrawAndFinish(TicketState& t, Result<EngineOutput> result,
   // transition, and shared_ptr loads are not atomic.
   std::shared_ptr<Group> g;
   {
-    std::lock_guard<std::mutex> lock(t.mu);
+    util::MutexLock lock(&t.mu);
     g = t.group;
   }
   if (g) {
     bool retire = false;
     {
-      std::lock_guard<std::mutex> lock(g->mu);
+      util::MutexLock lock(&g->mu);
       if (!g->done) {
         std::erase_if(g->members,
                       [&t](const std::shared_ptr<TicketState>& m) {
@@ -278,6 +285,7 @@ bool WithdrawAndFinish(TicketState& t, Result<EngineOutput> result,
 /// only when every member carries one — the evaluation may stop only when
 /// it can no longer serve anybody. Caller holds g.mu.
 void RecomputeDeadlineLocked(Group& g) {
+  g.mu.AssertHeld();
   int64_t eff = 0;
   for (const auto& m : g.members) {
     if (!m->deadline) {
@@ -326,7 +334,7 @@ Result<EngineOutput> EvalOne(const EngineRequest& request,
 /// The worker-side body of one queue node.
 void RunGroup(const std::shared_ptr<Group>& g) {
   {
-    std::lock_guard<std::mutex> lock(g->mu);
+    util::MutexLock lock(&g->mu);
     // Stale node: a promotion re-push already ran the group, or a full
     // cancellation retired it while still queued.
     if (g->claimed || g->done) return;
@@ -344,7 +352,7 @@ void RunGroup(const std::shared_ptr<Group>& g) {
   std::vector<std::shared_ptr<TicketState>> live;
   bool skip = false;
   {
-    std::lock_guard<std::mutex> lock(g->mu);
+    util::MutexLock lock(&g->mu);
     const Clock::time_point now = Clock::now();
     for (auto it = g->members.begin(); it != g->members.end();) {
       if ((*it)->deadline && *(*it)->deadline <= now) {
@@ -409,7 +417,7 @@ void RunGroup(const std::shared_ptr<Group>& g) {
 
   std::vector<std::shared_ptr<TicketState>> members;
   {
-    std::lock_guard<std::mutex> lock(g->mu);
+    util::MutexLock lock(&g->mu);
     g->done = true;
     members = std::move(g->members);
     g->members.clear();
@@ -454,16 +462,20 @@ const Result<EngineOutput>& Ticket::Wait() const {
   if (!t.done.load(std::memory_order_acquire)) {
     bool expire = false;
     {
-      std::unique_lock<std::mutex> lock(t.mu);
+      util::MutexLock lock(&t.mu);
       if (t.deadline) {
         // Deadline-aware wait: if the result has not landed by the ticket's
         // deadline, this waiter expires the ticket itself — Wait() returns
         // kDeadlineExceeded at the deadline even when every worker is
         // pinned behind long-running work and nobody has dequeued us.
-        t.cv.wait_until(lock, *t.deadline, is_done);
+        while (!is_done() &&
+               t.cv.WaitUntil(t.mu, *t.deadline) != std::cv_status::timeout) {
+        }
         expire = !is_done();
       }
-      if (!expire) t.cv.wait(lock, is_done);
+      if (!expire) {
+        while (!is_done()) t.cv.Wait(t.mu);
+      }
     }
     if (expire) {
       runtime_internal::WithdrawAndFinish(
@@ -471,8 +483,8 @@ const Result<EngineOutput>& Ticket::Wait() const {
           runtime_internal::Terminal::kExpired);
       // A concurrent delivery may have won the race; either way a result
       // is (about to be) in place.
-      std::unique_lock<std::mutex> lock(t.mu);
-      t.cv.wait(lock, is_done);
+      util::MutexLock lock(&t.mu);
+      while (!is_done()) t.cv.Wait(t.mu);
     }
   }
   return *t.result;
@@ -561,7 +573,7 @@ Ticket Session::Submit(EngineRequest request, SubmitOptions opts) const {
     std::shared_ptr<Group> g;
     bool created = false;
     {
-      std::lock_guard<std::mutex> lock(shared_->map_mu);
+      util::MutexLock lock(&shared_->map_mu);
       auto it = shared_->inflight.find(key);
       if (it != shared_->inflight.end()) {
         g = it->second;
@@ -575,7 +587,7 @@ Ticket Session::Submit(EngineRequest request, SubmitOptions opts) const {
     bool joined = false;
     bool promote = false;
     {
-      std::lock_guard<std::mutex> lock(g->mu);
+      util::MutexLock lock(&g->mu);
       if (!g->claimed && !g->done) {
         t->group = g;
         g->members.push_back(t);

@@ -1,3 +1,5 @@
+// Rebalance — converts an arbitrary SLP into an equivalent one of
+// logarithmic depth via AVL-grammar concatenation (paper Section 4.2).
 #include "slp/balance.h"
 
 #include <cmath>

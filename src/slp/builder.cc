@@ -1,3 +1,5 @@
+// SlpBuilder — general grammar front-end: normalizes arbitrary SLP-style
+// rules into the binary, deduplicated internal form (see slp/builder.h).
 #include "slp/builder.h"
 
 #include <string>

@@ -1,9 +1,14 @@
+// SLP factory functions: content-dependent constructions (balanced,
+// chain, repeat, Fibonacci) and total synthetic families (see slp/factory.h).
 #include "slp/factory.h"
 
 namespace slpspan {
 
-Slp SlpFromSymbols(const std::vector<SymbolId>& symbols, bool dedup) {
-  SLPSPAN_CHECK(!symbols.empty());
+Result<Slp> SlpFromSymbols(const std::vector<SymbolId>& symbols, bool dedup) {
+  if (symbols.empty()) {
+    return Status::InvalidArgument(
+        "SlpFromSymbols: an SLP derives exactly one non-empty string");
+  }
   CnfAssembler a(dedup);
   std::vector<NtId> level;
   level.reserve(symbols.size());
@@ -11,12 +16,15 @@ Slp SlpFromSymbols(const std::vector<SymbolId>& symbols, bool dedup) {
   return a.Finish(a.Balanced(level));
 }
 
-Slp SlpFromString(std::string_view text, bool dedup) {
+Result<Slp> SlpFromString(std::string_view text, bool dedup) {
   return SlpFromSymbols(ToSymbols(text), dedup);
 }
 
-Slp SlpChainFromString(std::string_view text) {
-  SLPSPAN_CHECK(!text.empty());
+Result<Slp> SlpChainFromString(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument(
+        "SlpChainFromString: an SLP derives exactly one non-empty string");
+  }
   CnfAssembler a(/*dedup_pairs=*/false);
   NtId cur = a.Leaf(static_cast<unsigned char>(text[0]));
   for (size_t i = 1; i < text.size(); ++i) {
@@ -32,8 +40,11 @@ Slp SlpPowerString(SymbolId sym, uint32_t k) {
   return a.Finish(cur);
 }
 
-Slp SlpRepeat(std::string_view block, uint64_t times) {
-  SLPSPAN_CHECK(!block.empty() && times >= 1);
+Result<Slp> SlpRepeat(std::string_view block, uint64_t times) {
+  if (block.empty() || times < 1) {
+    return Status::InvalidArgument(
+        "SlpRepeat: block must be non-empty and times >= 1");
+  }
   CnfAssembler a;
   std::vector<NtId> leaves;
   leaves.reserve(block.size());
@@ -55,8 +66,10 @@ Slp SlpRepeat(std::string_view block, uint64_t times) {
   return a.Finish(cur);
 }
 
-Slp SlpFibonacci(uint32_t k, SymbolId a_sym, SymbolId b_sym) {
-  SLPSPAN_CHECK(k >= 1);
+Result<Slp> SlpFibonacci(uint32_t k, SymbolId a_sym, SymbolId b_sym) {
+  if (k < 1) {
+    return Status::InvalidArgument("SlpFibonacci: k must be >= 1");
+  }
   CnfAssembler a;
   NtId f1 = a.Leaf(b_sym);   // F(1) = b
   if (k == 1) return a.Finish(f1);

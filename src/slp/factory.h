@@ -9,31 +9,44 @@
 #include <vector>
 
 #include "slp/slp.h"
+#include "util/status.h"
 
 namespace slpspan {
 
+// Factories whose preconditions depend on caller-supplied content (an SLP
+// derives exactly one non-empty string, so empty inputs are unrepresentable)
+// return Result<Slp> and reject bad input with kInvalidArgument — they are
+// reachable from user input via Document::FromText and must never abort.
+// Closed-form families with total parameter domains (SlpPowerString,
+// SlpThueMorse, SlpConcat, SlpAppendSymbol) stay plain Slp.
+
 /// Perfectly balanced SLP for an explicit symbol sequence. With `dedup` on
 /// (the default), identical subtrees are hash-consed, so periodic inputs
-/// compress; depth is always ceil(log2 n) + 1. O(n) time.
-Slp SlpFromSymbols(const std::vector<SymbolId>& symbols, bool dedup = true);
+/// compress; depth is always ceil(log2 n) + 1. O(n) time. Rejects an empty
+/// sequence.
+Result<Slp> SlpFromSymbols(const std::vector<SymbolId>& symbols,
+                           bool dedup = true);
 
-/// Convenience overload for byte strings.
-Slp SlpFromString(std::string_view text, bool dedup = true);
+/// Convenience overload for byte strings. Rejects an empty string.
+Result<Slp> SlpFromString(std::string_view text, bool dedup = true);
 
 /// A deliberately *unbalanced* (left-leaning chain) SLP for the same content:
 /// depth = n. Used by tests and the balancing ablation (experiment E8).
-Slp SlpChainFromString(std::string_view text);
+/// Rejects an empty string.
+Result<Slp> SlpChainFromString(std::string_view text);
 
 /// SLP of size O(k) for the string sym^(2^k) — the paper's canonical
 /// "exponentially compressible" family (Section 4.2).
 Slp SlpPowerString(SymbolId sym, uint32_t k);
 
 /// SLP for block^times, size O(|block| + log times), via binary powering.
-Slp SlpRepeat(std::string_view block, uint64_t times);
+/// Rejects an empty block and times == 0 (the empty repetition).
+Result<Slp> SlpRepeat(std::string_view block, uint64_t times);
 
 /// SLP for the k-th Fibonacci word over {a, b}:
 /// F(1) = "b", F(2) = "a", F(k) = F(k-1) F(k-2). Size O(k), length fib(k).
-Slp SlpFibonacci(uint32_t k, SymbolId a = 'a', SymbolId b = 'b');
+/// Rejects k == 0 (F(0) would be the empty word).
+Result<Slp> SlpFibonacci(uint32_t k, SymbolId a = 'a', SymbolId b = 'b');
 
 /// SLP for the Thue–Morse word of order k (length 2^k) over {a, b}.
 Slp SlpThueMorse(uint32_t k, SymbolId a = 'a', SymbolId b = 'b');

@@ -1,3 +1,5 @@
+// LZ77 compression to an SLP: greedy longest-previous-factor parse, then
+// AVL-grammar concatenation of the factors.
 #include "slp/lz77.h"
 
 #include <unordered_map>

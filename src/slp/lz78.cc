@@ -1,3 +1,5 @@
+// LZ78 compression to an SLP: trie-based parse with one grammar rule per
+// dictionary phrase.
 #include "slp/lz78.h"
 
 #include <unordered_map>

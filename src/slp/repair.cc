@@ -1,3 +1,5 @@
+// RePair compression: repeatedly replaces the most frequent digram with a
+// fresh non-terminal until no digram repeats.
 #include "slp/repair.h"
 
 #include <unordered_map>

@@ -1,3 +1,5 @@
+// SLP (de)serialization: versioned, checksummed byte format with strict
+// bounds- and invariant-checking on load (untrusted input).
 #include "slp/serialize.h"
 
 #include <fstream>

@@ -1,3 +1,5 @@
+// Slp core type: rule storage, expansion lengths, validation, expansion
+// and debug printing (see slp/slp.h).
 #include "slp/slp.h"
 
 #include <algorithm>

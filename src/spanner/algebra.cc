@@ -1,3 +1,5 @@
+// Spanner algebra on regular spanners — union and projection over compiled
+// automata (see spanner/algebra.h).
 #include "spanner/algebra.h"
 
 #include <bit>

@@ -1,3 +1,5 @@
+// Variable markers: open/close marker encoding, marker-set masks and their
+// ordering/printing helpers.
 #include "spanner/marker.h"
 
 #include <algorithm>

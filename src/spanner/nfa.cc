@@ -1,3 +1,5 @@
+// Nfa storage plus normalization (eps-removal, marker-arc merging) and
+// trimming to the useful states.
 #include "spanner/nfa.h"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// RefEvaluator — naive evaluation over the *uncompressed* text; the
+// differential-testing oracle for every compressed algorithm.
 #include "spanner/ref_eval.h"
 
 #include <algorithm>

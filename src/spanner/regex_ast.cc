@@ -1,3 +1,5 @@
+// Regex AST nodes: construction helpers, variable-usage validation and
+// debug printing.
 #include "spanner/regex_ast.h"
 
 #include <sstream>

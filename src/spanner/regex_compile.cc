@@ -1,3 +1,5 @@
+// Thompson construction from the regex AST to a raw NFA, plus the
+// Spanner::Compile / Spanner::FromAutomaton entry points that normalize it.
 #include "spanner/regex_parser.h"
 #include "spanner/spanner.h"
 
@@ -16,11 +18,14 @@ class ThompsonBuilder {
  public:
   explicit ThompsonBuilder(Nfa* nfa) : nfa_(nfa) {}
 
-  Fragment Build(const RegexNode& node) {
+  // Returns Result instead of aborting on an unknown node kind: the AST
+  // comes from ParseRegex over user input, and a decoder bug or future Kind
+  // must surface as a compile error the caller can report, not a crash.
+  Result<Fragment> Build(const RegexNode& node) {
     switch (node.kind) {
       case RegexNode::Kind::kEpsilon: {
         const StateId s = nfa_->AddState();
-        return {s, s};
+        return Fragment{s, s};
       }
       case RegexNode::Kind::kCharClass: {
         const StateId s = nfa_->AddState();
@@ -28,64 +33,71 @@ class ThompsonBuilder {
         for (int c = 0; c < 256; ++c) {
           if (node.cls.test(c)) nfa_->AddCharArc(s, static_cast<SymbolId>(c), t);
         }
-        return {s, t};
+        return Fragment{s, t};
       }
       case RegexNode::Kind::kConcat: {
-        Fragment acc = Build(*node.children[0]);
+        Result<Fragment> acc = Build(*node.children[0]);
+        if (!acc.ok()) return acc;
+        Fragment frag = *acc;
         for (size_t i = 1; i < node.children.size(); ++i) {
-          Fragment next = Build(*node.children[i]);
-          nfa_->AddEpsArc(acc.exit, next.entry);
-          acc.exit = next.exit;
+          Result<Fragment> next = Build(*node.children[i]);
+          if (!next.ok()) return next;
+          nfa_->AddEpsArc(frag.exit, next->entry);
+          frag.exit = next->exit;
         }
-        return acc;
+        return frag;
       }
       case RegexNode::Kind::kUnion: {
         const StateId s = nfa_->AddState();
         const StateId t = nfa_->AddState();
         for (const RegexPtr& child : node.children) {
-          Fragment f = Build(*child);
-          nfa_->AddEpsArc(s, f.entry);
-          nfa_->AddEpsArc(f.exit, t);
+          Result<Fragment> f = Build(*child);
+          if (!f.ok()) return f;
+          nfa_->AddEpsArc(s, f->entry);
+          nfa_->AddEpsArc(f->exit, t);
         }
-        return {s, t};
+        return Fragment{s, t};
       }
       case RegexNode::Kind::kStar: {
         const StateId s = nfa_->AddState();
         const StateId t = nfa_->AddState();
-        Fragment f = Build(*node.children[0]);
+        Result<Fragment> f = Build(*node.children[0]);
+        if (!f.ok()) return f;
         nfa_->AddEpsArc(s, t);
-        nfa_->AddEpsArc(s, f.entry);
-        nfa_->AddEpsArc(f.exit, f.entry);
-        nfa_->AddEpsArc(f.exit, t);
-        return {s, t};
+        nfa_->AddEpsArc(s, f->entry);
+        nfa_->AddEpsArc(f->exit, f->entry);
+        nfa_->AddEpsArc(f->exit, t);
+        return Fragment{s, t};
       }
       case RegexNode::Kind::kPlus: {
-        Fragment f = Build(*node.children[0]);
+        Result<Fragment> f = Build(*node.children[0]);
+        if (!f.ok()) return f;
         const StateId t = nfa_->AddState();
-        nfa_->AddEpsArc(f.exit, f.entry);
-        nfa_->AddEpsArc(f.exit, t);
-        return {f.entry, t};
+        nfa_->AddEpsArc(f->exit, f->entry);
+        nfa_->AddEpsArc(f->exit, t);
+        return Fragment{f->entry, t};
       }
       case RegexNode::Kind::kOptional: {
         const StateId s = nfa_->AddState();
         const StateId t = nfa_->AddState();
-        Fragment f = Build(*node.children[0]);
+        Result<Fragment> f = Build(*node.children[0]);
+        if (!f.ok()) return f;
         nfa_->AddEpsArc(s, t);
-        nfa_->AddEpsArc(s, f.entry);
-        nfa_->AddEpsArc(f.exit, t);
-        return {s, t};
+        nfa_->AddEpsArc(s, f->entry);
+        nfa_->AddEpsArc(f->exit, t);
+        return Fragment{s, t};
       }
       case RegexNode::Kind::kCapture: {
         const StateId s = nfa_->AddState();
         const StateId t = nfa_->AddState();
-        Fragment f = Build(*node.children[0]);
-        nfa_->AddMarkArc(s, OpenMarker(node.var), f.entry);
-        nfa_->AddMarkArc(f.exit, CloseMarker(node.var), t);
-        return {s, t};
+        Result<Fragment> f = Build(*node.children[0]);
+        if (!f.ok()) return f;
+        nfa_->AddMarkArc(s, OpenMarker(node.var), f->entry);
+        nfa_->AddMarkArc(f->exit, CloseMarker(node.var), t);
+        return Fragment{s, t};
       }
     }
-    SLPSPAN_CHECK(false);
-    return {0, 0};
+    return Status::InvalidArgument("regex AST contains an unknown node kind");
   }
 
  private:
@@ -94,12 +106,13 @@ class ThompsonBuilder {
 
 }  // namespace
 
-Nfa CompileRegexToNfa(const RegexNode& root) {
+Result<Nfa> CompileRegexToNfa(const RegexNode& root) {
   Nfa nfa;  // state 0 = start
   ThompsonBuilder builder(&nfa);
-  Fragment f = builder.Build(root);
-  nfa.AddEpsArc(0, f.entry);
-  nfa.SetAccepting(f.exit, true);
+  Result<Fragment> f = builder.Build(root);
+  if (!f.ok()) return f.status();
+  nfa.AddEpsArc(0, f->entry);
+  nfa.SetAccepting(f->exit, true);
   return nfa;
 }
 
@@ -112,7 +125,9 @@ Result<Spanner> Spanner::Compile(std::string_view pattern, std::string_view alph
   VarUsage usage = 0;
   Status st = ValidateVariableUsage(**ast, &usage);
   if (!st.ok()) return st;
-  sp.raw_ = CompileRegexToNfa(**ast);
+  Result<Nfa> raw = CompileRegexToNfa(**ast);
+  if (!raw.ok()) return raw.status();
+  sp.raw_ = std::move(raw).value();
   sp.normalized_ = Trim(Normalize(sp.raw_));
   return sp;
 }

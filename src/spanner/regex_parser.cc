@@ -1,3 +1,5 @@
+// Recursive-descent parser for the spanner regex dialect; all failures on
+// user-supplied patterns surface as Status, never aborts.
 #include "spanner/regex_parser.h"
 
 #include <cctype>

@@ -1,3 +1,5 @@
+// Span and SpanTuple: the extracted-relation value types, their comparisons
+// and printing.
 #include "spanner/span.h"
 
 #include <sstream>

@@ -50,8 +50,10 @@ class Spanner {
 };
 
 /// Thompson construction: compiles a validated regex AST into a raw NFA with
-/// eps arcs and single-marker mark arcs. Exposed for tests.
-Nfa CompileRegexToNfa(const RegexNode& root);
+/// eps arcs and single-marker mark arcs. Fails with kInvalidArgument on an
+/// AST with an unknown node kind (never aborts: the AST derives from user
+/// input). Exposed for tests.
+Result<Nfa> CompileRegexToNfa(const RegexNode& root);
 
 }  // namespace slpspan
 

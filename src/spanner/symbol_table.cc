@@ -1,3 +1,5 @@
+// SymbolTable — interning of marker-set symbols over Sigma ∪ P(Gamma_X)
+// (see spanner/symbol_table.h).
 #include "spanner/symbol_table.h"
 
 namespace slpspan {

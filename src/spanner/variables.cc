@@ -1,3 +1,5 @@
+// VariableSet — named capture variables, their dense VarId mapping and the
+// marker alphabet Gamma_X derived from them.
 #include "spanner/variables.h"
 
 #include <bit>

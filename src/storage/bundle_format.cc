@@ -1,3 +1,5 @@
+// Prepared-bundle binary format: header encode/decode with checksums; the
+// reader treats every input byte as untrusted and bounds-checks throughout.
 #include "storage/bundle_format.h"
 
 namespace slpspan {
@@ -61,7 +63,9 @@ std::string SealBundle(uint32_t flags, uint64_t doc_fp, uint64_t query_fp,
   header.U64(Checksum64(reinterpret_cast<const uint8_t*>(payload.data()),
                         payload.size()));
   std::string out = header.TakeBuffer();
-  SLPSPAN_DCHECK(out.size() == kBundleHeaderSize);
+  // Writer-side invariant on bytes this function just produced — not
+  // untrusted input (the reader path is strictly bounds-checked instead).
+  SLPSPAN_DCHECK(out.size() == kBundleHeaderSize);  // repo-lint: allow(check-in-library)
   out += payload;
   return out;
 }

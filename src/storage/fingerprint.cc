@@ -1,3 +1,5 @@
+// Stable 64-bit fingerprints of SLPs and queries — the identity keys for
+// the prepared cache and on-disk bundles.
 #include "storage/fingerprint.h"
 
 #include "slp/slp.h"

@@ -1,3 +1,5 @@
+// Read-only memory-mapped file wrapper (POSIX mmap) backing zero-copy
+// prepared-bundle loads.
 #include "storage/mmap_file.h"
 
 #include <fcntl.h>

@@ -1,3 +1,5 @@
+// Prepared-state bundles: write a PreparedState to disk and load it back,
+// optionally mmap-backed, with document/query fingerprint verification.
 #include "storage/prepared_bundle.h"
 
 #include <unistd.h>

@@ -21,12 +21,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "storage/prepared_bundle.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace slpspan {
@@ -94,22 +94,22 @@ class SpillStore {
 
   std::string PathFor(const Key& key) const;
 
-  /// Deletes LRU-tail bundles until the directory fits the budget. Caller
-  /// holds mu_.
-  void ReclaimOverBudgetLocked();
+  /// Deletes LRU-tail bundles until the directory fits the budget.
+  void ReclaimOverBudgetLocked() REQUIRES(mu_);
 
   const std::string dir_;
   const uint64_t budget_;
 
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  uint64_t next_gen_ = 1;
-  uint64_t bytes_ = 0;
-  uint64_t disk_hits_ = 0;
-  uint64_t disk_misses_ = 0;
-  uint64_t spilled_bytes_ = 0;
-  uint64_t reclaimed_ = 0;
+  mutable util::Mutex mu_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      GUARDED_BY(mu_);
+  uint64_t next_gen_ GUARDED_BY(mu_) = 1;
+  uint64_t bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t disk_hits_ GUARDED_BY(mu_) = 0;
+  uint64_t disk_misses_ GUARDED_BY(mu_) = 0;
+  uint64_t spilled_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t reclaimed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace storage

@@ -1,3 +1,5 @@
+// Deterministic workload generators for examples, tests and benchmarks
+// (document families of the experiment suite, see textgen/textgen.h).
 #include "textgen/textgen.h"
 
 #include <string_view>

@@ -29,8 +29,11 @@ enum class StatusCode {
   kDeadlineExceeded,  ///< request deadline passed before completion
 };
 
-/// Lightweight status object; cheap to copy in the OK case.
-class Status {
+/// Lightweight status object; cheap to copy in the OK case. Class-level
+/// [[nodiscard]]: every function returning a Status (or Result, below) gets
+/// unused-result diagnostics without per-declaration annotations — silently
+/// dropping an error is a compile error under -Werror.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -90,7 +93,7 @@ class Status {
 
 /// Result<T> = value or Status. `value()` asserts ok().
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}          // NOLINT implicit
   Result(Status status) : status_(std::move(status)) {   // NOLINT implicit

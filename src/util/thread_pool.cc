@@ -1,3 +1,5 @@
+// ThreadPool — fixed-size worker pool with a locked deque, used by
+// wave-parallel preparation and background spill writes.
 #include "util/thread_pool.h"
 
 #include <algorithm>
@@ -16,49 +18,56 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(uint32_t level, std::function<void()> task) {
   level = std::min(level, kNumLevels - 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queues_[level].push_back(std::move(task));
     ++queued_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queued_ == 0 && active_ == 0)) idle_cv_.Wait(mu_);
+}
+
+std::function<void()> ThreadPool::PopTaskLocked() {
+  mu_.AssertHeld();
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    std::function<void()> task = std::move(queue.front());
+    queue.pop_front();
+    --queued_;
+    return task;
+  }
+  SLPSPAN_CHECK(false && "PopTaskLocked with every level empty");
+  return nullptr;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      MutexLock lock(&mu_);
+      while (!stop_ && queued_ == 0) cv_.Wait(mu_);
       if (queued_ == 0) return;  // stop_ set and every level drained
-      for (auto& queue : queues_) {
-        if (queue.empty()) continue;
-        task = std::move(queue.front());
-        queue.pop_front();
-        break;
-      }
-      --queued_;
+      task = PopTaskLocked();
       ++active_;
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
+      if (queued_ == 0 && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -21,13 +21,13 @@
 #define SLPSPAN_UTIL_THREAD_POOL_H_
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace slpspan {
 namespace util {
@@ -52,27 +52,31 @@ class ThreadPool {
 
   /// Enqueues a task at `level` (clamped to kNumLevels - 1). Within a level
   /// tasks run in submission order; across levels lower always wins.
-  void Submit(uint32_t level, std::function<void()> task);
+  void Submit(uint32_t level, std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every queue is empty and no task is executing — the flush
   /// point for write-behind work (e.g. spilled bundles) that must be on
   /// disk before the caller proceeds. Tasks submitted concurrently with the
   /// wait may or may not be covered.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   uint32_t size() const { return static_cast<uint32_t>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::array<std::deque<std::function<void()>>, kNumLevels> queues_;
-  uint64_t queued_ = 0;  // total tasks across all levels
-  uint32_t active_ = 0;  // tasks currently executing
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  /// Pops the front task of the lowest non-empty level. Requires queued_ > 0.
+  std::function<void()> PopTaskLocked() REQUIRES(mu_);
+
+  Mutex mu_;
+  CondVar cv_;       // signalled on Submit and on stop
+  CondVar idle_cv_;  // signalled when the pool drains fully
+  std::array<std::deque<std::function<void()>>, kNumLevels> queues_
+      GUARDED_BY(mu_);
+  uint64_t queued_ GUARDED_BY(mu_) = 0;  // total tasks across all levels
+  uint32_t active_ GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only during construction
 };
 
 }  // namespace util

@@ -53,7 +53,7 @@ TEST(SpannerUnion, DisjointVariables) {
   ExpectSameTupleSet(expected, ref_u.ComputeAll(doc));
 
   SpannerEvaluator ev(*u);
-  ExpectSameTupleSet(expected, ev.ComputeAll(SlpFromString(doc)));
+  ExpectSameTupleSet(expected, ev.ComputeAll(SlpFromString(doc).value()));
 }
 
 TEST(SpannerUnion, SharedVariableMergesByName) {
@@ -78,7 +78,7 @@ TEST(SpannerUnion, OverlappingResultsDeduplicate) {
   Result<Spanner> u = SpannerUnion(*a, *b);
   ASSERT_TRUE(u.ok());
   SpannerEvaluator ev(*u);
-  ExpectSameTupleSet({Tup({Span{1, 2}})}, ev.ComputeAll(SlpFromString("aa")));
+  ExpectSameTupleSet({Tup({Span{1, 2}})}, ev.ComputeAll(SlpFromString("aa").value()));
 }
 
 TEST(SpannerUnion, AgreesOnCompressedAndReference) {
@@ -91,7 +91,7 @@ TEST(SpannerUnion, AgreesOnCompressedAndReference) {
   RefEvaluator ref(*u);
   SpannerEvaluator ev(*u);
   for (const std::string doc : {"abcca", "aabccaabaa", "bac"}) {
-    ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc)));
+    ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc).value()));
   }
 }
 
@@ -109,7 +109,7 @@ TEST(SpannerProject, DropsAVariable) {
 
   SpannerEvaluator ev(*px);
   ExpectSameTupleSet(Restrict(ref_full.ComputeAll(doc), {0}),
-                     ev.ComputeAll(SlpFromString(doc)));
+                     ev.ComputeAll(SlpFromString(doc).value()));
 }
 
 TEST(SpannerProject, ProjectionCollapsesDuplicates) {
@@ -122,7 +122,7 @@ TEST(SpannerProject, ProjectionCollapsesDuplicates) {
   SpannerEvaluator ev(*px);
   const std::string doc = "abbbb";
   EXPECT_EQ(ref_full.ComputeAll(doc).size(), 5u);  // y = [2,2>..[2,6>
-  ExpectSameTupleSet({Tup({Span{1, 2}})}, ev.ComputeAll(SlpFromString(doc)));
+  ExpectSameTupleSet({Tup({Span{1, 2}})}, ev.ComputeAll(SlpFromString(doc).value()));
 }
 
 TEST(SpannerProject, ReordersVariables) {
@@ -144,8 +144,8 @@ TEST(SpannerProject, ProjectionToNothingGivesBooleanSpanner) {
   EXPECT_EQ(p->num_vars(), 0u);
   SpannerEvaluator ev(*p);
   // Exactly the empty tuple iff the document contains "ab".
-  EXPECT_EQ(ev.ComputeAll(SlpFromString("aab")).size(), 1u);
-  EXPECT_TRUE(ev.ComputeAll(SlpFromString("bba")).empty());
+  EXPECT_EQ(ev.ComputeAll(SlpFromString("aab").value()).size(), 1u);
+  EXPECT_TRUE(ev.ComputeAll(SlpFromString("bba").value()).empty());
 }
 
 TEST(SpannerProject, UnknownVariableFails) {

@@ -43,7 +43,7 @@ TEST(ComputeAll, PaperIntroductionExample) {
           Tup({Span{1, 2}, Span{4, 5}}),
           Tup({Span{1, 2}, Span{3, 5}}),
       },
-      ev.ComputeAll(SlpFromString("abcca")));
+      ev.ComputeAll(SlpFromString("abcca").value()));
 }
 
 TEST(ComputeAll, Figure2OnExample42AllSlpKinds) {
@@ -69,7 +69,7 @@ TEST(ComputeAll, AgreesWithReferenceOnManyDocs) {
     SpannerEvaluator ev(sp);
     RefEvaluator ref(sp);
     for (const std::string& doc : docs) {
-      ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc)));
+      ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc).value()));
     }
   }
 }
@@ -77,7 +77,7 @@ TEST(ComputeAll, AgreesWithReferenceOnManyDocs) {
 TEST(ComputeAll, MarkersAreSortedUnique) {
   const Spanner sp = MakeFigure2Spanner();
   SpannerEvaluator ev(sp);
-  const PreparedDocument prep = ev.Prepare(SlpFromString("aabccaabaa"));
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aabccaabaa").value());
   EXPECT_TRUE(IsSortedUnique(ev.ComputeAllMarkers(prep)));
 }
 
@@ -87,7 +87,7 @@ TEST(ComputeAll, NondeterministicAutomatonStillDeduplicates) {
   const Spanner sp = MakeFigure2Spanner();
   SpannerEvaluator nondet(sp, {.determinize = false});
   SpannerEvaluator det(sp, {.determinize = true});
-  const Slp slp = SlpFromString("aabccaabaa");
+  const Slp slp = SlpFromString("aabccaabaa").value();
   ExpectSameTupleSet(det.ComputeAll(slp), nondet.ComputeAll(slp));
 }
 
@@ -95,14 +95,14 @@ TEST(ComputeAll, EmptyResultSet) {
   Result<Spanner> sp = Spanner::Compile(".*x{b}.*", "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  EXPECT_TRUE(ev.ComputeAll(SlpFromString("aaaa")).empty());
+  EXPECT_TRUE(ev.ComputeAll(SlpFromString("aaaa").value()).empty());
 }
 
 TEST(ComputeAll, EmptyTupleOnly) {
   Result<Spanner> sp = Spanner::Compile("(x{b})?a+", "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const std::vector<SpanTuple> all = ev.ComputeAll(SlpFromString("aaa"));
+  const std::vector<SpanTuple> all = ev.ComputeAll(SlpFromString("aaa").value());
   ASSERT_EQ(all.size(), 1u);
   EXPECT_TRUE(all[0] == Tup({std::nullopt}));
 }
@@ -112,7 +112,7 @@ TEST(ComputeAll, RepetitiveDocumentLinearInResults) {
   Result<Spanner> sp = Spanner::Compile("(ab)*x{ab}(ab)*", "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const std::vector<SpanTuple> all = ev.ComputeAll(SlpRepeat("ab", 32));
+  const std::vector<SpanTuple> all = ev.ComputeAll(SlpRepeat("ab", 32).value());
   ASSERT_EQ(all.size(), 32u);
   for (const SpanTuple& t : all) {
     ASSERT_TRUE(t.Get(0).has_value());
@@ -127,7 +127,7 @@ TEST(ComputeAll, ThreeVariables) {
   SpannerEvaluator ev(*sp);
   RefEvaluator ref(*sp);
   for (const std::string doc : {"b", "ab", "aba", "aabaa"}) {
-    ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc)));
+    ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc).value()));
   }
 }
 
@@ -137,7 +137,7 @@ TEST(ComputeAll, ChainSlpDeepRecursionSafe) {
   Result<Spanner> sp = Spanner::Compile("a*x{aa}a*", "a");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  EXPECT_EQ(ev.ComputeAll(SlpChainFromString(doc)).size(), 1999u);
+  EXPECT_EQ(ev.ComputeAll(SlpChainFromString(doc).value()).size(), 1999u);
 }
 
 }  // namespace

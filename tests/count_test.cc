@@ -29,7 +29,7 @@ TEST(CountTables, MatchesEnumerationOnFixtures) {
   for (const Spanner& sp : spanners) {
     SpannerEvaluator ev(sp);
     for (const std::string& doc : docs) {
-      const Slp slp = SlpFromString(doc);
+      const Slp slp = SlpFromString(doc).value();
       const PreparedDocument prep = ev.Prepare(slp);
       const CountTables counter = ev.BuildCounter(prep);
       EXPECT_FALSE(counter.overflowed());
@@ -120,7 +120,7 @@ TEST(CountTables, EmptyResultSet) {
   Result<Spanner> sp = Spanner::Compile(".*x{b}.*", "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa"));
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa").value());
   const CountTables counter = ev.BuildCounter(prep);
   EXPECT_EQ(counter.Total(), 0u);
   EXPECT_FALSE(counter.overflowed());
@@ -130,7 +130,7 @@ TEST(CountTables, EmptyTupleCountsOnce) {
   Result<Spanner> sp = Spanner::Compile("(x{b})?a+", "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa"));
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa").value());
   const CountTables counter = ev.BuildCounter(prep);
   ASSERT_EQ(counter.Total(), 1u);
   const SpanTuple t = ev.TupleOf(counter.Select(0));

@@ -291,7 +291,7 @@ TEST(EngineApi, RebalanceOptionMatchesPlain) {
   Result<Query> plain = Query::Compile(".*x{ab}.*", "ab");
   Result<Query> rebal = Query::Compile(".*x{ab}.*", "ab", {.rebalance = true});
   ASSERT_TRUE(plain.ok() && rebal.ok());
-  DocumentPtr doc = Document::FromSlp(SlpChainFromString("abababab"));
+  DocumentPtr doc = Document::FromSlp(SlpChainFromString("abababab").value());
   ExpectSameTupleSet(Engine(*plain, doc).ExtractAll(),
                      Engine(*rebal, doc).ExtractAll());
 }

@@ -74,7 +74,7 @@ TEST(Enumerate, NfaEnumerationCoversSetPossiblyWithDuplicates) {
   const Spanner sp = MakeIntroSpanner();
   SpannerEvaluator nondet(sp, {.determinize = false});
   RefEvaluator ref(sp);
-  const PreparedDocument prep = nondet.Prepare(SlpFromString("abcca"));
+  const PreparedDocument prep = nondet.Prepare(SlpFromString("abcca").value());
   std::vector<SpanTuple> tuples = Drain(nondet, prep);
   ASSERT_GE(tuples.size(), 3u);
   std::vector<SpanTuple> dedup = testing_util::Sorted(std::move(tuples));
@@ -91,7 +91,7 @@ TEST(Enumerate, MatchesComputeOnManyDocs) {
   for (const Spanner& sp : spanners) {
     SpannerEvaluator ev(sp);
     for (const std::string& doc : docs) {
-      const PreparedDocument prep = ev.Prepare(SlpFromString(doc));
+      const PreparedDocument prep = ev.Prepare(SlpFromString(doc).value());
       ExpectSameTupleSet(ev.ComputeAll(prep), Drain(ev, prep));
     }
   }
@@ -101,7 +101,7 @@ TEST(Enumerate, EmptyResultSetIsInvalidImmediately) {
   Result<Spanner> sp = Spanner::Compile(".*x{b}.*", "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa"));
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa").value());
   CompressedEnumerator e = ev.Enumerate(prep);
   EXPECT_FALSE(e.Valid());
 }
@@ -110,7 +110,7 @@ TEST(Enumerate, EmptyTupleOnly) {
   Result<Spanner> sp = Spanner::Compile("(x{b})?a+", "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa"));
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aaa").value());
   CompressedEnumerator e = ev.Enumerate(prep);
   ASSERT_TRUE(e.Valid());
   EXPECT_TRUE(e.Current() == Tup({std::nullopt}));
@@ -145,7 +145,7 @@ TEST(Enumerate, RebalanceOptionPreservesResults) {
   SpannerEvaluator plain(sp, {.rebalance = false});
   SpannerEvaluator rebal(sp, {.rebalance = true});
   const std::string doc = GenerateRepeated("aabcc", 50);
-  const Slp chain = SlpChainFromString(doc);
+  const Slp chain = SlpChainFromString(doc).value();
   const PreparedDocument prep_plain = plain.Prepare(chain);
   const PreparedDocument prep_rebal = rebal.Prepare(chain);
   EXPECT_LT(prep_rebal.slp().depth(), prep_plain.slp().depth() / 4);

@@ -21,7 +21,7 @@ using testing_util::Tup;
 TEST(SpannerEvaluator, PaperIntroductionEndToEnd) {
   const Spanner sp = MakeIntroSpanner();
   SpannerEvaluator ev(sp);
-  const Slp slp = SlpFromString("abcca");
+  const Slp slp = SlpFromString("abcca").value();
 
   EXPECT_TRUE(ev.CheckNonEmptiness(slp));
   EXPECT_EQ(ev.CountAll(slp), 3u);
@@ -56,7 +56,7 @@ TEST(SpannerEvaluator, NonEmptinessConsistentWithCount) {
   const Spanner sp = MakeIntroSpanner();
   SpannerEvaluator ev(sp);
   for (const std::string doc : {"abcca", "ac", "ca", "bbb", "a", "c", "acacac"}) {
-    const Slp slp = SlpFromString(doc);
+    const Slp slp = SlpFromString(doc).value();
     EXPECT_EQ(ev.CheckNonEmptiness(slp), ev.CountAll(slp) > 0) << doc;
   }
 }
@@ -73,7 +73,7 @@ TEST(SpannerEvaluator, VariablesAccessor) {
 TEST(SpannerEvaluator, PreparedDocumentReuse) {
   const Spanner sp = MakeFigure2Spanner();
   SpannerEvaluator ev(sp);
-  const PreparedDocument prep = ev.Prepare(SlpFromString("aabccaabaa"));
+  const PreparedDocument prep = ev.Prepare(SlpFromString("aabccaabaa").value());
   // Compute twice and enumerate twice off the same preparation.
   const auto first = ev.ComputeAll(prep);
   const auto second = ev.ComputeAll(prep);
@@ -88,7 +88,7 @@ TEST(SpannerEvaluator, SentinelIsInvisibleToResults) {
   Result<Spanner> sp = Spanner::Compile(".*x{a+}", "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const Slp slp = SlpFromString("bbaa");
+  const Slp slp = SlpFromString("bbaa").value();
   for (const SpanTuple& t : ev.ComputeAll(slp)) {
     ASSERT_TRUE(t.Get(0).has_value());
     EXPECT_LE(t.Get(0)->end, slp.DocumentLength() + 1);
@@ -103,13 +103,13 @@ TEST(SpannerEvaluator, AgreesWithReferenceOnVersionedDocs) {
   SpannerEvaluator ev(*sp);
   RefEvaluator ref(*sp);
   const std::string doc = "aqq qqa zqqz";
-  ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc)));
+  ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(SlpFromString(doc).value()));
 }
 
 TEST(SpannerEvaluator, ChecksVariableCountOnModelCheck) {
   const Spanner sp = MakeFigure2Spanner();
   SpannerEvaluator ev(sp);
-  EXPECT_TRUE(ev.CheckModel(SlpFromString("ab"), Tup({Span{1, 2}, std::nullopt})));
+  EXPECT_TRUE(ev.CheckModel(SlpFromString("ab").value(), Tup({Span{1, 2}, std::nullopt})));
 }
 
 TEST(SpannerEvaluator, EvalNfaIsDeterministicByDefault) {
@@ -126,7 +126,7 @@ TEST(SpannerEvaluator, EmptySpannerLanguage) {
   Result<Spanner> sp = Spanner::Compile("x{a}b", "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const Slp slp = SlpFromString("ba");  // 'ab' never occurs
+  const Slp slp = SlpFromString("ba").value();  // 'ab' never occurs
   EXPECT_FALSE(ev.CheckNonEmptiness(slp));
   EXPECT_TRUE(ev.ComputeAll(slp).empty());
   EXPECT_EQ(ev.CountAll(slp), 0u);

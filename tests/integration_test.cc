@@ -135,7 +135,7 @@ TEST(Integration, FibonacciDocumentFactorSpans) {
   // All occurrences of "ab" in the 18th Fibonacci word, compressed natively.
   Result<Query> query = Query::Compile(".*x{ab}.*", "ab");
   ASSERT_TRUE(query.ok());
-  const DocumentPtr fib = Document::FromSlp(SlpFibonacci(18));
+  const DocumentPtr fib = Document::FromSlp(SlpFibonacci(18).value());
   ASSERT_EQ(fib->length(), 2584u);  // fib(18)
   Result<Spanner> sp = Spanner::Compile(".*x{ab}.*", "ab");
   ASSERT_TRUE(sp.ok());

@@ -79,10 +79,10 @@ TEST(SlpInLanguage, FibonacciWordsAvoidBB) {
   Result<Spanner> has_bb = Spanner::Compile(".*bb.*", "ab");
   ASSERT_TRUE(has_bb.ok());
   for (uint32_t k = 3; k <= 25; ++k) {
-    EXPECT_FALSE(SlpInLanguage(SlpFibonacci(k), has_bb->normalized())) << k;
+    EXPECT_FALSE(SlpInLanguage(SlpFibonacci(k).value(), has_bb->normalized())) << k;
   }
   // Sanity: the language itself is recognizable.
-  EXPECT_TRUE(SlpInLanguage(SlpFromString("abba"), has_bb->normalized()));
+  EXPECT_TRUE(SlpInLanguage(SlpFromString("abba").value(), has_bb->normalized()));
 }
 
 TEST(SlpInLanguage, ThueMorseIsCubeFree) {
@@ -92,13 +92,13 @@ TEST(SlpInLanguage, ThueMorseIsCubeFree) {
   for (uint32_t k = 2; k <= 14; ++k) {
     EXPECT_FALSE(SlpInLanguage(SlpThueMorse(k), cube->normalized())) << k;
   }
-  EXPECT_TRUE(SlpInLanguage(SlpFromString("abaaab"), cube->normalized()));
+  EXPECT_TRUE(SlpInLanguage(SlpFromString("abaaab").value(), cube->normalized()));
 }
 
 TEST(NtTransitionMatrices, RootRowMatchesAcceptance) {
   Result<Spanner> sp = Spanner::Compile("(ab)*", "ab");
   ASSERT_TRUE(sp.ok());
-  const Slp slp = SlpRepeat("ab", 64);
+  const Slp slp = SlpRepeat("ab", 64).value();
   const std::vector<BoolMatrix> mats = NtTransitionMatrices(slp, sp->normalized(),
                                                             nullptr);
   ASSERT_EQ(mats.size(), slp.NumNonTerminals());

@@ -36,7 +36,7 @@ TEST(SpliceMarkers, ProducesExactlyTheMarkedWord) {
 
 TEST(SpliceMarkers, EmptyMarkerSetIsIdentityOnContent) {
   SymbolTable table;
-  const Slp slp = SlpFromString("hello");
+  const Slp slp = SlpFromString("hello").value();
   const Slp spliced = SpliceMarkers(slp, MarkerSeq(), &table);
   EXPECT_EQ(spliced.ExpandToString(), "hello");
 }
@@ -82,7 +82,7 @@ TEST(CheckModel, Figure2AllMembersAndNonMembers) {
 
 TEST(CheckModel, IntroExample) {
   const Spanner sp = MakeIntroSpanner();
-  const Slp slp = SlpFromString("abcca");
+  const Slp slp = SlpFromString("abcca").value();
   EXPECT_TRUE(CheckModel(slp, sp, Tup({Span{1, 2}, Span{3, 4}})));
   EXPECT_TRUE(CheckModel(slp, sp, Tup({Span{1, 2}, Span{4, 5}})));
   EXPECT_TRUE(CheckModel(slp, sp, Tup({Span{1, 2}, Span{3, 5}})));
@@ -101,7 +101,7 @@ TEST(CheckModel, SpanTouchingDocumentEnd) {
 
 TEST(CheckModel, RejectsOutOfRangeSpans) {
   const Spanner sp = MakeFigure2Spanner();
-  const Slp slp = SlpFromString("ab");
+  const Slp slp = SlpFromString("ab").value();
   EXPECT_FALSE(CheckModel(slp, sp, Tup({Span{1, 9}, std::nullopt})));
 }
 
@@ -119,7 +119,7 @@ TEST(CheckModel, HugeCompressedDocument) {
 
 TEST(CheckModelPrepared, MatchesSelfContainedVariant) {
   const Spanner sp = MakeFigure2Spanner();
-  const Slp slp = SlpFromString("abcab");
+  const Slp slp = SlpFromString("abcab").value();
   const Slp with_sentinel = SlpAppendSymbol(slp, kSentinelSymbol);
   const Nfa nfa = AppendSentinel(sp.normalized());
   const SpanTuple t = Tup({Span{1, 3}, std::nullopt});

@@ -146,7 +146,7 @@ TEST(MTreeCursor, BaseCaseSingletonTree) {
   Result<Spanner> sp = Spanner::Compile("a*", "a");
   ASSERT_TRUE(sp.ok());
   Nfa nfa = AppendSentinel(sp->normalized());
-  Slp slp = SlpAppendSymbol(SlpFromString("aaaa"), kSentinelSymbol);
+  Slp slp = SlpAppendSymbol(SlpFromString("aaaa").value(), kSentinelSymbol);
   EvalTables tables(slp, nfa);
   MTreeCursor cursor(&slp, &tables);
   const std::vector<StateId> fprime = tables.AcceptingNonBot(slp, nfa);

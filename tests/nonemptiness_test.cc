@@ -22,17 +22,17 @@ using testing_util::SlpKind;
 TEST(NonEmptiness, Figure2Fixture) {
   const Spanner sp = MakeFigure2Spanner();
   EXPECT_TRUE(CheckNonEmptiness(testing_util::MakeExample42Slp(), sp));
-  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("a"), sp));
-  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("ccc"), sp));
+  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("a").value(), sp));
+  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("ccc").value(), sp));
 }
 
 TEST(NonEmptiness, IntroSpannerNeedsAnAThenC) {
   const Spanner sp = MakeIntroSpanner();
-  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("abcca"), sp));
-  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("ac"), sp));
-  EXPECT_FALSE(CheckNonEmptiness(SlpFromString("ca"), sp));   // c before a only
-  EXPECT_FALSE(CheckNonEmptiness(SlpFromString("bbb"), sp));  // no 'a'
-  EXPECT_FALSE(CheckNonEmptiness(SlpFromString("aaa"), sp));  // no 'c' after
+  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("abcca").value(), sp));
+  EXPECT_TRUE(CheckNonEmptiness(SlpFromString("ac").value(), sp));
+  EXPECT_FALSE(CheckNonEmptiness(SlpFromString("ca").value(), sp));   // c before a only
+  EXPECT_FALSE(CheckNonEmptiness(SlpFromString("bbb").value(), sp));  // no 'a'
+  EXPECT_FALSE(CheckNonEmptiness(SlpFromString("aaa").value(), sp));  // no 'c' after
 }
 
 TEST(NonEmptiness, AgreesWithReferenceAcrossDocsAndKinds) {
@@ -69,7 +69,7 @@ TEST(NonEmptiness, ExponentiallyCompressedNegative) {
 TEST(NonEmptiness, ProjectedEntryPointMatches) {
   const Spanner sp = MakeIntroSpanner();
   const Nfa projected = Normalize(ProjectMarkersToEps(sp.normalized()));
-  const Slp slp = SlpFromString("abcca");
+  const Slp slp = SlpFromString("abcca").value();
   EXPECT_EQ(CheckNonEmptinessProjected(slp, projected), CheckNonEmptiness(slp, sp));
 }
 

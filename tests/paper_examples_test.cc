@@ -34,7 +34,7 @@ TEST(Paper, Section1IntroductionSpanner) {
   testing_util::ExpectSameTupleSet(
       {Tup({Span{1, 2}, Span{3, 4}}), Tup({Span{1, 2}, Span{4, 5}}),
        Tup({Span{1, 2}, Span{3, 5}})},
-      ev.ComputeAll(SlpFromString("abcca")));
+      ev.ComputeAll(SlpFromString("abcca").value()));
 }
 
 // --- Example 3.2 -----------------------------------------------------------
@@ -133,7 +133,7 @@ TEST(Paper, Section42ExponentialCompression) {
 // Balancing yields depth O(log d) while preserving the document.
 TEST(Paper, Theorem43BalancingSubstitute) {
   const std::string doc = testing_util::MakeExample42Slp().ExpandToString();
-  const Slp chain = SlpChainFromString(doc + doc + doc);
+  const Slp chain = SlpChainFromString(doc + doc + doc).value();
   const Slp balanced = Rebalance(chain);
   EXPECT_EQ(balanced.ExpandToString(), doc + doc + doc);
   EXPECT_TRUE(IsBalanced(balanced));

@@ -100,7 +100,9 @@ TEST_P(GeneratedSpannerTest, CompressedMatchesReference) {
     VarUsage usage = 0;
     ASSERT_TRUE(ValidateVariableUsage(*ast, &usage).ok())
         << RegexToString(*ast, vars);  // by-construction validity
-    Nfa raw = CompileRegexToNfa(*ast);
+    Result<Nfa> raw_result = CompileRegexToNfa(*ast);
+    ASSERT_TRUE(raw_result.ok()) << raw_result.status().ToString();
+    Nfa raw = std::move(raw_result).value();
     Result<Spanner> sp = Spanner::FromAutomaton(std::move(raw), std::move(vars));
     ASSERT_TRUE(sp.ok());
 
@@ -114,7 +116,7 @@ TEST_P(GeneratedSpannerTest, CompressedMatchesReference) {
       const std::vector<SpanTuple> expected =
           testing_util::Sorted(ref.ComputeAll(doc));
       const std::vector<SpanTuple> compressed =
-          testing_util::Sorted(ev.ComputeAll(SlpFromString(doc)));
+          testing_util::Sorted(ev.ComputeAll(SlpFromString(doc).value()));
       ASSERT_EQ(expected.size(), compressed.size())
           << RegexToString(*ast, sp->vars()) << " on " << doc;
       for (size_t i = 0; i < expected.size(); ++i) {
@@ -122,7 +124,7 @@ TEST_P(GeneratedSpannerTest, CompressedMatchesReference) {
             << RegexToString(*ast, sp->vars()) << " on " << doc;
       }
       // Enumeration agrees too (duplicate-free; evaluator determinizes).
-      const PreparedDocument prep = ev.Prepare(SlpFromString(doc));
+      const PreparedDocument prep = ev.Prepare(SlpFromString(doc).value());
       std::vector<SpanTuple> enumerated;
       for (CompressedEnumerator e = ev.Enumerate(prep); e.Valid(); e.Next()) {
         enumerated.push_back(e.Current());

@@ -6,6 +6,7 @@
 
 #include "gtest/gtest.h"
 #include "core/evaluator.h"
+#include "slpspan/document.h"
 #include "slp/factory.h"
 #include "slp/lz77.h"
 #include "slp/lz78.h"
@@ -27,7 +28,7 @@ class SerializeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SerializeFuzzTest, MutatedFilesNeverBreakInvariants) {
   Rng rng(GetParam() * 2654435761ull + 9);
-  const Slp original = SlpFromString("fuzzing the serializer layer");
+  const Slp original = SlpFromString("fuzzing the serializer layer").value();
   const std::string good = SaveSlpToString(original);
 
   for (int trial = 0; trial < 200; ++trial) {
@@ -63,7 +64,9 @@ TEST(SerializeFuzz, TruncationsAtEveryBoundary) {
   const std::string good = SaveSlpToString(testing_util::MakeExample42Slp());
   for (size_t len = 0; len < good.size(); len += 3) {
     Result<Slp> loaded = LoadSlpFromString(good.substr(0, len));
-    if (loaded.ok()) EXPECT_TRUE(loaded->Validate().ok());
+    if (loaded.ok()) {
+      EXPECT_TRUE(loaded->Validate().ok());
+    }
   }
 }
 
@@ -84,7 +87,7 @@ TEST_P(RegexFuzzTest, RandomPatternsNeverCrash) {
     if (sp.ok()) {
       // Compiled spanners must be evaluable end to end.
       SpannerEvaluator ev(*sp);
-      (void)ev.CheckNonEmptiness(SlpFromString("abab"));
+      (void)ev.CheckNonEmptiness(SlpFromString("abab").value());
     }
   }
 }
@@ -99,7 +102,7 @@ TEST(Robustness, SingleSymbolDocumentAllTasks) {
   Result<Spanner> sp = Spanner::Compile("x{a}|a", "a");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const Slp slp = SlpFromString("a");
+  const Slp slp = SlpFromString("a").value();
   EXPECT_TRUE(ev.CheckNonEmptiness(slp));
   const std::vector<SpanTuple> all = ev.ComputeAll(slp);
   // Two results: x = [1,2> and x undefined (the bare-'a' branch).
@@ -115,7 +118,7 @@ TEST(Robustness, BinaryAlphabetExtremes) {
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
   RefEvaluator ref(*sp);
-  for (const Slp& slp : {SlpFromString(doc), RePairCompress(doc), Lz78Compress(doc)}) {
+  for (const Slp& slp : {SlpFromString(doc).value(), RePairCompress(doc), Lz78Compress(doc)}) {
     testing_util::ExpectSameTupleSet(ref.ComputeAll(doc), ev.ComputeAll(slp));
   }
 }
@@ -131,7 +134,7 @@ TEST(Robustness, MaxVariableCount) {
   Result<Spanner> sp = Spanner::Compile(pattern, "a");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  const std::vector<SpanTuple> all = ev.ComputeAll(SlpFromString(doc));
+  const std::vector<SpanTuple> all = ev.ComputeAll(SlpFromString(doc).value());
   ASSERT_EQ(all.size(), 1u);
   for (VarId v = 0; v < 32; ++v) {
     ASSERT_TRUE(all[0].Get(v).has_value());
@@ -151,7 +154,7 @@ TEST(Robustness, VeryDeepGrammarsDoNotOverflowTheStack) {
   // 30k-deep chain grammars exercise every recursive path that descends the
   // derivation (splice, enumeration tree build, AVL rebalance).
   const std::string doc(30000, 'a');
-  const Slp chain = SlpChainFromString(doc);
+  const Slp chain = SlpChainFromString(doc).value();
   Result<Spanner> sp = Spanner::Compile("a*x{aa}a*", "a");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
@@ -171,9 +174,9 @@ TEST(Robustness, PathologicalAlternationFanout) {
   Result<Spanner> sp = Spanner::Compile(pattern, "ab");
   ASSERT_TRUE(sp.ok());
   SpannerEvaluator ev(*sp);
-  EXPECT_EQ(ev.ComputeAll(SlpFromString("ab")).size(), 1u);
-  EXPECT_EQ(ev.ComputeAll(SlpFromString("a")).size(), 1u);
-  EXPECT_TRUE(ev.ComputeAll(SlpFromString("b")).empty());
+  EXPECT_EQ(ev.ComputeAll(SlpFromString("ab").value()).size(), 1u);
+  EXPECT_EQ(ev.ComputeAll(SlpFromString("a").value()).size(), 1u);
+  EXPECT_TRUE(ev.ComputeAll(SlpFromString("b").value()).empty());
 }
 
 TEST(Robustness, RepeatedPreparationIsDeterministic) {
@@ -186,6 +189,45 @@ TEST(Robustness, RepeatedPreparationIsDeterministic) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Factory preconditions: bad caller input returns Status, never aborts.
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, FactoryRejectsEmptyInputsWithStatus) {
+  // An SLP derives exactly one non-empty string, so every content-dependent
+  // factory must reject emptiness as kInvalidArgument (these used to abort).
+  EXPECT_EQ(SlpFromString("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SlpFromSymbols({}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SlpChainFromString("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SlpRepeat("", 3).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SlpRepeat("ab", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SlpFibonacci(0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Robustness, FactoryAcceptsMinimalInputs) {
+  // The smallest legal instance of each rejecting factory still works.
+  EXPECT_EQ(SlpFromString("a").value().ExpandToString(), "a");
+  EXPECT_EQ(SlpFromSymbols({'z'}).value().ExpandToString(), "z");
+  EXPECT_EQ(SlpChainFromString("q").value().ExpandToString(), "q");
+  EXPECT_EQ(SlpRepeat("ab", 1).value().ExpandToString(), "ab");
+  EXPECT_EQ(SlpFibonacci(1).value().ExpandToString(), "b");
+}
+
+TEST(Robustness, EmptyDocumentRejectedThroughPublicApi) {
+  // Document::FromText routes through the same factory path; the error must
+  // surface as a Status at the API boundary for every compression method.
+  for (const Compression method :
+       {Compression::kBalanced, Compression::kRePair, Compression::kLz78,
+        Compression::kLz77}) {
+    Result<DocumentPtr> doc = Document::FromText("", method);
+    ASSERT_FALSE(doc.ok());
+    EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(Robustness, CompressorsOnAllByteValues) {
   std::string doc;
   for (int rep = 0; rep < 4; ++rep) {
@@ -194,7 +236,7 @@ TEST(Robustness, CompressorsOnAllByteValues) {
   EXPECT_EQ(RePairCompress(doc).ExpandToString(), doc);
   EXPECT_EQ(Lz78Compress(doc).ExpandToString(), doc);
   EXPECT_EQ(Lz77Compress(doc).ExpandToString(), doc);
-  EXPECT_EQ(SlpFromString(doc).ExpandToString(), doc);
+  EXPECT_EQ(SlpFromString(doc).value().ExpandToString(), doc);
 }
 
 }  // namespace

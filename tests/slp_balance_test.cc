@@ -37,7 +37,7 @@ void ExpectBalancedAndEqual(const Slp& original) {
 
 TEST(Rebalance, ChainBecomesLogDepth) {
   const std::string text = GenerateRandom(4096, "ab", 9);
-  const Slp chain = SlpChainFromString(text);
+  const Slp chain = SlpChainFromString(text).value();
   ASSERT_EQ(chain.depth(), 4096u);
   const Slp balanced = Rebalance(chain);
   EXPECT_EQ(balanced.ExpandToString(), text);
@@ -47,14 +47,14 @@ TEST(Rebalance, ChainBecomesLogDepth) {
 
 TEST(Rebalance, PreservesTinyDocuments) {
   for (const std::string text : {"a", "ab", "abc", "abcd"}) {
-    ExpectBalancedAndEqual(SlpChainFromString(text));
+    ExpectBalancedAndEqual(SlpChainFromString(text).value());
   }
 }
 
 TEST(Rebalance, PowerString) { ExpectBalancedAndEqual(SlpPowerString('a', 24)); }
 
 TEST(Rebalance, FibonacciSlpStaysSmall) {
-  const Slp fib = SlpFibonacci(30);
+  const Slp fib = SlpFibonacci(30).value();
   const Slp balanced = Rebalance(fib);
   ExpectBalancedAndEqual(fib);
   // Size may grow by the documented O(log d) factor but must stay far below
@@ -78,7 +78,7 @@ TEST(Rebalance, RePairOutputs) {
 }
 
 TEST(Rebalance, IdempotentOnBalancedInput) {
-  const Slp balanced = Rebalance(SlpChainFromString(GenerateRandom(1000, "abc", 3)));
+  const Slp balanced = Rebalance(SlpChainFromString(GenerateRandom(1000, "abc", 3)).value());
   const Slp again = Rebalance(balanced);
   EXPECT_EQ(again.Expand(), balanced.Expand());
   EXPECT_LE(again.depth(), balanced.depth() + 1);
@@ -94,7 +94,7 @@ TEST_P(BalancePropertyTest, RandomChainSlps) {
   for (uint64_t i = 0; i < len; ++i) {
     text += static_cast<char>('a' + rng.Below(sigma));
   }
-  ExpectBalancedAndEqual(SlpChainFromString(text));
+  ExpectBalancedAndEqual(SlpChainFromString(text).value());
 }
 
 TEST_P(BalancePropertyTest, RandomLz78Slps) {

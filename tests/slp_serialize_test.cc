@@ -31,7 +31,7 @@ TEST(SlpSerialize, RoundTripPowerString) {
 }
 
 TEST(SlpSerialize, RoundTripThroughFile) {
-  const Slp slp = SlpFromString("serialize me to disk");
+  const Slp slp = SlpFromString("serialize me to disk").value();
   const std::string path = ::testing::TempDir() + "/slpspan_roundtrip.slp";
   ASSERT_TRUE(SaveSlpToFile(slp, path).ok());
   Result<Slp> loaded = LoadSlpFromFile(path);

@@ -20,7 +20,7 @@ TEST(SymbolConversion, RoundTrip) {
 TEST(SlpFromString, ExpandsBack) {
   for (const std::string text : {"a", "ab", "abc", "abca", "mississippi",
                                  "aaaaaaaaaaaaaaaa", "xyxyxyxyxyxyxyxyxyxz"}) {
-    const Slp slp = SlpFromString(text);
+    const Slp slp = SlpFromString(text).value();
     EXPECT_EQ(slp.ExpandToString(), text) << text;
     EXPECT_TRUE(slp.Validate().ok()) << slp.Validate().ToString();
     EXPECT_EQ(slp.DocumentLength(), text.size());
@@ -29,8 +29,8 @@ TEST(SlpFromString, ExpandsBack) {
 
 TEST(SlpFromString, DedupCompressesPeriodicInput) {
   const std::string periodic(1 << 12, 'a');
-  const Slp with_dedup = SlpFromString(periodic, /*dedup=*/true);
-  const Slp without = SlpFromString(periodic, /*dedup=*/false);
+  const Slp with_dedup = SlpFromString(periodic, /*dedup=*/true).value();
+  const Slp without = SlpFromString(periodic, /*dedup=*/false).value();
   // a^(2^12) hash-conses to a 13-rule power chain.
   EXPECT_EQ(with_dedup.NumNonTerminals(), 13u);
   EXPECT_GT(without.NumNonTerminals(), 4000u);
@@ -40,13 +40,13 @@ TEST(SlpFromString, DedupCompressesPeriodicInput) {
 TEST(SlpFromString, DepthIsLogarithmic) {
   std::string text;
   for (int i = 0; i < 1000; ++i) text += static_cast<char>('a' + (i * 7 + i / 13) % 5);
-  const Slp slp = SlpFromString(text);
+  const Slp slp = SlpFromString(text).value();
   EXPECT_LE(slp.depth(), 12u);  // ceil(log2(1000)) + 1 levels
 }
 
 TEST(SlpChain, MaximallyDeep) {
   const std::string text = "abcabcabc";
-  const Slp slp = SlpChainFromString(text);
+  const Slp slp = SlpChainFromString(text).value();
   EXPECT_EQ(slp.ExpandToString(), text);
   EXPECT_EQ(slp.depth(), text.size());  // left-leaning chain
   EXPECT_TRUE(slp.Validate().ok());
@@ -73,7 +73,7 @@ TEST(SlpPowerString, PaperSizeDefinition) {
 
 TEST(SlpRepeat, MatchesExplicitRepetition) {
   for (uint64_t times : {1ull, 2ull, 3ull, 7ull, 8ull, 13ull, 100ull}) {
-    const Slp slp = SlpRepeat("abc", times);
+    const Slp slp = SlpRepeat("abc", times).value();
     std::string expected;
     for (uint64_t i = 0; i < times; ++i) expected += "abc";
     EXPECT_EQ(slp.ExpandToString(), expected) << "times=" << times;
@@ -82,23 +82,23 @@ TEST(SlpRepeat, MatchesExplicitRepetition) {
 }
 
 TEST(SlpRepeat, LogarithmicSize) {
-  const Slp slp = SlpRepeat("ab", 1'000'000);
+  const Slp slp = SlpRepeat("ab", 1'000'000).value();
   EXPECT_EQ(slp.DocumentLength(), 2'000'000u);
   EXPECT_LT(slp.NumNonTerminals(), 64u);
 }
 
 TEST(SlpFibonacci, FirstWords) {
   // F(1)=b, F(2)=a, F(3)=ab, F(4)=aba, F(5)=abaab, F(6)=abaababa.
-  EXPECT_EQ(SlpFibonacci(1).ExpandToString(), "b");
-  EXPECT_EQ(SlpFibonacci(2).ExpandToString(), "a");
-  EXPECT_EQ(SlpFibonacci(3).ExpandToString(), "ab");
-  EXPECT_EQ(SlpFibonacci(4).ExpandToString(), "aba");
-  EXPECT_EQ(SlpFibonacci(5).ExpandToString(), "abaab");
-  EXPECT_EQ(SlpFibonacci(6).ExpandToString(), "abaababa");
+  EXPECT_EQ(SlpFibonacci(1).value().ExpandToString(), "b");
+  EXPECT_EQ(SlpFibonacci(2).value().ExpandToString(), "a");
+  EXPECT_EQ(SlpFibonacci(3).value().ExpandToString(), "ab");
+  EXPECT_EQ(SlpFibonacci(4).value().ExpandToString(), "aba");
+  EXPECT_EQ(SlpFibonacci(5).value().ExpandToString(), "abaab");
+  EXPECT_EQ(SlpFibonacci(6).value().ExpandToString(), "abaababa");
 }
 
 TEST(SlpFibonacci, LinearRulesExponentialLength) {
-  const Slp slp = SlpFibonacci(40);
+  const Slp slp = SlpFibonacci(40).value();
   EXPECT_EQ(slp.DocumentLength(), 102334155u);  // fib(40)
   EXPECT_LE(slp.NumNonTerminals(), 40u);
 }
@@ -112,13 +112,13 @@ TEST(SlpThueMorse, FirstWords) {
 }
 
 TEST(SlpConcat, JoinsDocuments) {
-  const Slp left = SlpFromString("hello ");
-  const Slp right = SlpFromString("world");
+  const Slp left = SlpFromString("hello ").value();
+  const Slp right = SlpFromString("world").value();
   EXPECT_EQ(SlpConcat(left, right).ExpandToString(), "hello world");
 }
 
 TEST(SlpAppendSymbol, AddsSentinel) {
-  const Slp slp = SlpFromString("doc");
+  const Slp slp = SlpFromString("doc").value();
   const Slp with = SlpAppendSymbol(slp, kSentinelSymbol);
   const std::vector<SymbolId> expanded = with.Expand();
   ASSERT_EQ(expanded.size(), 4u);
@@ -179,7 +179,7 @@ TEST(SlpStats, ConsistentWithAccessors) {
 }
 
 TEST(SlpDebugString, MentionsRootAndLength) {
-  const Slp slp = SlpFromString("ab");
+  const Slp slp = SlpFromString("ab").value();
   const std::string dbg = slp.DebugString();
   EXPECT_NE(dbg.find("d=2"), std::string::npos);
 }

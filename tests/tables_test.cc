@@ -109,7 +109,7 @@ TEST(EvalTables, RMatchesBruteForceOnAllPairs) {
   const Spanner sp = MakeFigure2Spanner();
   const Nfa norm = Normalize(sp.raw());
   // Small document so the brute force stays cheap; SLP for "aabc".
-  const Slp slp = SlpFromString("aabc");
+  const Slp slp = SlpFromString("aabc").value();
   EvalTables tables(slp, norm);
   for (NtId a = 0; a < slp.NumNonTerminals(); ++a) {
     std::vector<SymbolId> expansion;
@@ -184,7 +184,7 @@ TEST(EvalTables, UWRecurrenceSpotCheck) {
   nfa.AddMarkArc(0, OpenMarker(0) | CloseMarker(0), s1);
   nfa.AddCharArc(s1, 'a', 0);
   nfa.SetAccepting(0);
-  const Slp slp = SlpFromString("aa");  // root -> T_a T_a
+  const Slp slp = SlpFromString("aa").value();  // root -> T_a T_a
   EvalTables tables(slp, nfa);
   EXPECT_EQ(tables.R(slp.root(), 0, 0), RVal::kOne);   // marked run exists
   EXPECT_TRUE(tables.U(slp.root()).Get(0, 0));         // and the unmarked one

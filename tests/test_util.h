@@ -110,15 +110,15 @@ inline const char* SlpKindName(SlpKind k) {
 
 inline Slp MakeSlp(SlpKind kind, const std::string& text) {
   switch (kind) {
-    case SlpKind::kBalanced: return SlpFromString(text);
-    case SlpKind::kBalancedNoDedup: return SlpFromString(text, /*dedup=*/false);
-    case SlpKind::kChain: return SlpChainFromString(text);
+    case SlpKind::kBalanced: return SlpFromString(text).value();
+    case SlpKind::kBalancedNoDedup: return SlpFromString(text, /*dedup=*/false).value();
+    case SlpKind::kChain: return SlpChainFromString(text).value();
     case SlpKind::kRePair: return RePairCompress(text);
     case SlpKind::kLz78: return Lz78Compress(text);
     case SlpKind::kRebalancedLz78: return Rebalance(Lz78Compress(text));
   }
   SLPSPAN_CHECK(false);
-  return SlpFromString(text);
+  return SlpFromString(text).value();
 }
 
 inline std::vector<SlpKind> AllSlpKinds() {

@@ -1,0 +1,25 @@
+// Negative control for run_test.sh: Add() writes the GUARDED_BY member
+// WITHOUT holding the mutex. -Wthread-safety -Werror must reject this file;
+// if it compiles, the analysis is not running and the test fails.
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    total_ += d;  // error: requires holding mu_
+  }
+
+ private:
+  slpspan::util::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(2);
+  return 0;
+}

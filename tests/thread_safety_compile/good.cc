@@ -1,0 +1,31 @@
+// Positive control for run_test.sh: every access to the GUARDED_BY member
+// holds the mutex, so this file must compile cleanly under
+// -Wthread-safety -Werror.
+#include "util/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(int d) {
+    slpspan::util::MutexLock lock(&mu_);
+    total_ += d;
+  }
+
+  int Total() const {
+    slpspan::util::MutexLock lock(&mu_);
+    return total_;
+  }
+
+ private:
+  mutable slpspan::util::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(2);
+  return c.Total() == 2 ? 0 : 1;
+}

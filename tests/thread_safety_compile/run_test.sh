@@ -1,0 +1,35 @@
+#!/bin/sh
+# Negative-compilation test for Clang Thread Safety Analysis.
+#
+# good.cc must compile cleanly under -Wthread-safety -Werror (positive
+# control: the annotations in src/util/mutex.h are well-formed), and bad.cc
+# — which writes a GUARDED_BY member without holding its mutex — must be
+# rejected. Exits 77 (ctest SKIP_RETURN_CODE) when clang++ is unavailable:
+# GCC parses the annotation attributes but performs no analysis, so only
+# Clang can run this check. Override the compiler with $CLANGXX.
+set -u
+
+ROOT="${1:?usage: run_test.sh <repo-root>}"
+HERE="$(dirname "$0")"
+CLANGXX="${CLANGXX:-clang++}"
+
+if ! command -v "$CLANGXX" >/dev/null 2>&1; then
+  echo "SKIP: $CLANGXX not available; thread-safety analysis needs Clang" >&2
+  exit 77
+fi
+
+FLAGS="-std=c++20 -fsyntax-only -Wthread-safety -Werror"
+
+if ! "$CLANGXX" $FLAGS -I"$ROOT/src" -I"$ROOT/include" "$HERE/good.cc"; then
+  echo "FAIL: good.cc must compile cleanly under -Wthread-safety -Werror" >&2
+  exit 1
+fi
+
+if "$CLANGXX" $FLAGS -I"$ROOT/src" -I"$ROOT/include" "$HERE/bad.cc" 2>/dev/null; then
+  echo "FAIL: bad.cc compiled — -Wthread-safety did not reject an unlocked" \
+       "GUARDED_BY access" >&2
+  exit 1
+fi
+
+echo "PASS: analysis accepts locked access and rejects unlocked access"
+exit 0
