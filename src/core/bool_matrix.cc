@@ -1,58 +1,89 @@
-// BoolMatrix — bit-packed q×q Boolean matrix: multiply, or, transpose and
-// printing, the arithmetic under every transition-matrix table.
+// BoolMatrix — bit-packed q×q Boolean matrix: multiply, or, closure and
+// printing, the arithmetic under every transition-matrix table. All word
+// loops route through the dispatched kernel table (core/kernels/).
 #include "core/bool_matrix.h"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace slpspan {
 
 void BoolMatrix::OrWith(const BoolMatrix& other) {
   SLPSPAN_CHECK(n_ == other.n_);
-  for (size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  if (bits_.empty()) return;
+  row_pop_.clear();
+  kernels::ActiveKernel().or_words(bits_.data(), other.bits_.data(),
+                                   bits_.size());
 }
 
 bool BoolMatrix::AnySet() const {
-  for (uint64_t w : bits_) {
-    if (w != 0) return true;
-  }
-  return false;
+  if (bits_.empty()) return false;
+  return kernels::ActiveKernel().any_words(bits_.data(), bits_.size());
 }
 
 bool BoolMatrix::RowAny(uint32_t i) const {
-  const uint64_t* row = Row(i);
-  for (uint32_t w = 0; w < words_; ++w) {
-    if (row[w] != 0) return true;
-  }
-  return false;
+  return kernels::ActiveKernel().any_words(Row(i), words_);
+}
+
+bool BoolMatrix::operator==(const BoolMatrix& o) const {
+  if (n_ != o.n_) return false;
+  if (bits_.empty()) return true;
+  return kernels::ActiveKernel().equal_words(bits_.data(), o.bits_.data(),
+                                             bits_.size());
+}
+
+void BoolMatrix::CacheRowPopcounts() {
+  row_pop_.resize(n_);
+  for (uint32_t i = 0; i < n_; ++i) row_pop_[i] = ComputeRowPopcount(i);
+}
+
+void BoolMatrix::Clear() {
+  row_pop_.clear();
+  std::fill(bits_.begin(), bits_.end(), uint64_t{0});
 }
 
 BoolMatrix BoolMatrix::Identity(uint32_t n) {
   BoolMatrix m(n);
   for (uint32_t i = 0; i < n; ++i) m.Set(i, i);
+  m.CacheRowPopcounts();
   return m;
 }
 
 BoolMatrix BoolMatrix::Multiply(const BoolMatrix& a, const BoolMatrix& b) {
-  SLPSPAN_CHECK(a.n_ == b.n_);
   BoolMatrix out(a.n_);
-  for (uint32_t i = 0; i < a.n_; ++i) {
-    uint64_t* out_row = out.MutableRow(i);
-    a.ForEachInRow(i, [&](uint32_t k) {
-      const uint64_t* b_row = b.Row(k);
-      for (uint32_t w = 0; w < out.words_; ++w) out_row[w] |= b_row[w];
-    });
-  }
+  MultiplyInto(a, b, &out);
   return out;
+}
+
+void BoolMatrix::MultiplyInto(const BoolMatrix& a, const BoolMatrix& b,
+                              BoolMatrix* out) {
+  SLPSPAN_CHECK(a.n_ == b.n_ && out->n_ == a.n_);
+  SLPSPAN_CHECK(out != &a && out != &b);
+  out->row_pop_.clear();  // kernel overwrites every row; no pre-clearing
+  if (a.bits_.empty()) return;
+  kernels::ActiveKernel().multiply(
+      out->bits_.data(), a.bits_.data(), b.bits_.data(),
+      a.row_pop_.empty() ? nullptr : a.row_pop_.data(), a.n_, a.words_);
+  // No popcount caching of the result here: RowPopcount computes on the fly
+  // (a pure read, so concurrent readers are safe) and the publication points
+  // that retain products — pool intern, bundle load — freeze the cache
+  // explicitly. Caching unconditionally would tax every multiply whose
+  // result is never used as an operand again.
 }
 
 BoolMatrix BoolMatrix::Closure(const BoolMatrix& a) {
   BoolMatrix cur = Identity(a.n_);
   cur.OrWith(a);
-  // Repeated squaring until fixpoint: ceil(log2 n) products.
+  cur.CacheRowPopcounts();
+  // Repeated squaring until fixpoint: ceil(log2 n) products into one reused
+  // scratch matrix; the fixpoint test is the kernel equality path, which
+  // early-exits on the first differing 256-bit strip.
+  BoolMatrix next(a.n_);
   while (true) {
-    BoolMatrix next = Multiply(cur, cur);
+    MultiplyInto(cur, cur, &next);
     if (next == cur) return cur;
-    cur = std::move(next);
+    std::swap(cur, next);
   }
 }
 

@@ -1,7 +1,11 @@
 // Word-packed Boolean q x q matrices — the kernel behind Lemma 4.5 and the
 // Lemma 6.5 preprocessing. Rows are bitsets, so the Boolean product runs in
 // O(q^3 / w) ("combinatorial" algorithm; the paper notes fast matrix
-// multiplication could lower the exponent, which we do not pursue).
+// multiplication could lower the exponent, which we do not pursue). The
+// per-word arithmetic is delegated to the dispatched SIMD kernel layer
+// (src/core/kernels/): rows are padded to a 32-byte stride and allocated
+// 32-byte aligned, so the AVX2 kernel runs the inner loops 256 bits at a
+// time with aligned loads.
 
 #ifndef SLPSPAN_CORE_BOOL_MATRIX_H_
 #define SLPSPAN_CORE_BOOL_MATRIX_H_
@@ -10,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernels/kernels.h"
 #include "util/check.h"
 
 namespace slpspan {
@@ -17,35 +22,68 @@ namespace slpspan {
 class BoolMatrix {
  public:
   BoolMatrix() = default;
-  explicit BoolMatrix(uint32_t n) : n_(n), words_((n + 63) / 64), bits_(n_ * words_) {}
+  explicit BoolMatrix(uint32_t n)
+      : n_(n),
+        words_(PaddedWords(n)),
+        bits_(static_cast<size_t>(n) * words_) {}
 
   uint32_t n() const { return n_; }
 
   bool Get(uint32_t i, uint32_t j) const {
     SLPSPAN_DCHECK(i < n_ && j < n_);
-    return (bits_[i * words_ + (j >> 6)] >> (j & 63)) & 1;
+    return (bits_[static_cast<size_t>(i) * words_ + (j >> 6)] >> (j & 63)) & 1;
   }
 
   void Set(uint32_t i, uint32_t j, bool value = true) {
     SLPSPAN_DCHECK(i < n_ && j < n_);
+    row_pop_.clear();  // mutation invalidates the cached density profile
     const uint64_t mask = uint64_t{1} << (j & 63);
     if (value) {
-      bits_[i * words_ + (j >> 6)] |= mask;
+      bits_[static_cast<size_t>(i) * words_ + (j >> 6)] |= mask;
     } else {
-      bits_[i * words_ + (j >> 6)] &= ~mask;
+      bits_[static_cast<size_t>(i) * words_ + (j >> 6)] &= ~mask;
     }
   }
 
-  /// Raw row access (words_ words per row).
-  const uint64_t* Row(uint32_t i) const { return bits_.data() + i * words_; }
-  uint64_t* MutableRow(uint32_t i) { return bits_.data() + i * words_; }
+  /// Raw row access: words_per_row() words per row, 32-byte aligned. Words
+  /// beyond logical_words_per_row() are zero padding (kernel contract).
+  const uint64_t* Row(uint32_t i) const {
+    return bits_.data() + static_cast<size_t>(i) * words_;
+  }
+  uint64_t* MutableRow(uint32_t i) {
+    row_pop_.clear();  // caller may mutate through the pointer
+    return bits_.data() + static_cast<size_t>(i) * words_;
+  }
+
+  /// Padded row stride in words — a multiple of kernels::kWordsPerAlign.
   uint32_t words_per_row() const { return words_; }
+
+  /// Words actually needed for n columns: (n + 63) / 64. Serialization
+  /// iterates these (the .prep byte format is padding-independent).
+  uint32_t logical_words_per_row() const { return (n_ + 63) / 64; }
 
   /// this |= other.
   void OrWith(const BoolMatrix& other);
 
   bool AnySet() const;
   bool RowAny(uint32_t i) const;
+
+  /// Set-bit count of row i: the cached value when CacheRowPopcounts() ran
+  /// since the last mutation, else computed on the fly.
+  uint32_t RowPopcount(uint32_t i) const {
+    if (!row_pop_.empty()) return row_pop_[i];
+    return ComputeRowPopcount(i);
+  }
+
+  /// Precomputes every row popcount so repeated multiplies pick the
+  /// sparse/dense kernel path without rescanning rows. Call only while the
+  /// matrix is exclusively owned (publication makes the cache immutable —
+  /// concurrent readers never mutate it); any later mutation drops it.
+  void CacheRowPopcounts();
+  bool has_row_popcounts() const { return !row_pop_.empty(); }
+
+  /// Zeroes every bit (keeps the allocation — scratch reuse in Closure).
+  void Clear();
 
   /// Iterates the set bits of row i, calling fn(j) in ascending j.
   template <typename Fn>
@@ -61,28 +99,55 @@ class BoolMatrix {
     }
   }
 
-  bool operator==(const BoolMatrix& o) const { return n_ == o.n_ && bits_ == o.bits_; }
+  /// Bit equality (kernel path, early-exits on the first differing strip).
+  bool operator==(const BoolMatrix& o) const;
 
   /// Heap + object bytes held by this matrix (drives cache eviction).
+  /// Charges the actual padded/aligned row capacity plus the popcount
+  /// cache, so runtime byte-accounting stays honest about the layout.
   uint64_t MemoryUsage() const {
-    return sizeof(*this) + bits_.capacity() * sizeof(uint64_t);
+    return sizeof(*this) + bits_.capacity() * sizeof(uint64_t) +
+           row_pop_.capacity() * sizeof(uint32_t);
   }
 
   static BoolMatrix Identity(uint32_t n);
 
   /// Boolean product a * b (row-oriented: out.row(i) = OR of b.row(k) for
-  /// every k set in a.row(i)).
+  /// every k set in a.row(i)). The whole row loop runs inside the
+  /// dispatched kernel; a's cached row popcounts are used when present.
   static BoolMatrix Multiply(const BoolMatrix& a, const BoolMatrix& b);
 
-  /// Reflexive-transitive closure (repeated squaring).
+  /// out = a * b into preallocated storage (out must be a distinct matrix
+  /// of the same dimension; prior contents are discarded).
+  static void MultiplyInto(const BoolMatrix& a, const BoolMatrix& b,
+                           BoolMatrix* out);
+
+  /// Reflexive-transitive closure (repeated squaring; one reused scratch
+  /// matrix, fixpoint detected via the kernel equality path).
   static BoolMatrix Closure(const BoolMatrix& a);
 
   std::string DebugString() const;
 
  private:
+  static constexpr uint32_t PaddedWords(uint32_t n) {
+    const uint32_t logical = (n + 63) / 64;
+    return (logical + kernels::kWordsPerAlign - 1) &
+           ~(kernels::kWordsPerAlign - 1);
+  }
+
+  uint32_t ComputeRowPopcount(uint32_t i) const {
+    const uint64_t* row = Row(i);
+    uint32_t pop = 0;
+    for (uint32_t w = 0; w < words_; ++w) {
+      pop += static_cast<uint32_t>(__builtin_popcountll(row[w]));
+    }
+    return pop;
+  }
+
   uint32_t n_ = 0;
-  uint32_t words_ = 0;
-  std::vector<uint64_t> bits_;
+  uint32_t words_ = 0;  // padded row stride (multiple of kWordsPerAlign)
+  kernels::AlignedWordBuffer bits_;
+  std::vector<uint32_t> row_pop_;  // per-row popcounts; empty = not cached
 };
 
 }  // namespace slpspan

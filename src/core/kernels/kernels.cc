@@ -1,0 +1,70 @@
+// Kernel runtime dispatch: resolve the active BoolMatrix kernel once, from
+// the SLPSPAN_KERNEL override (scalar|avx2) or CPUID, with a testing hook
+// for in-process kernel swaps (differential tests, bench E14).
+#include "core/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace slpspan {
+namespace kernels {
+namespace {
+
+std::atomic<const KernelOps*> g_active{nullptr};
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelOps* Resolve() {
+  const char* env = std::getenv("SLPSPAN_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    if (const KernelOps* k = KernelByName(env)) return k;
+    std::fprintf(stderr,
+                 "slpspan: SLPSPAN_KERNEL='%s' unknown or unavailable on "
+                 "this host (want scalar|avx2); auto-selecting\n",
+                 env);
+  }
+  if (const KernelOps* avx2 = Avx2Kernel()) return avx2;
+  return &ScalarKernel();
+}
+
+}  // namespace
+
+const KernelOps* Avx2Kernel() {
+  if (!CpuHasAvx2()) return nullptr;
+  return Avx2KernelImpl();  // nullptr when the build lacks -mavx2 support
+}
+
+const KernelOps* KernelByName(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return &ScalarKernel();
+  if (std::strcmp(name, "avx2") == 0) return Avx2Kernel();
+  return nullptr;
+}
+
+const KernelOps& ActiveKernel() {
+  const KernelOps* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // Benign race: concurrent first calls resolve deterministically (env
+    // and CPUID are fixed for the process) and store the same pointer.
+    k = Resolve();
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+bool SetActiveKernelForTesting(const char* name) {
+  const KernelOps* k = KernelByName(name);
+  if (k == nullptr) return false;
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+}  // namespace kernels
+}  // namespace slpspan

@@ -1,0 +1,135 @@
+// SIMD kernel layer under BoolMatrix: one function table per instruction
+// set (scalar baseline, AVX2), selected once at startup by CPUID with an
+// SLPSPAN_KERNEL=scalar|avx2 environment override for testing and CI.
+// Every table build, closure and model-check bottoms out in these four
+// operations, so they are the q³ inner loop of the whole system.
+//
+// Alignment contract (see docs/KERNELS.md): a row is `words` 64-bit words
+// with words % kWordsPerAlign == 0 (rows padded to a 32-byte boundary) and
+// the storage base allocated through RowAllocator, so every row supports
+// *aligned* 256-bit loads and stores. Padding words — and the tail bits
+// beyond column n in the last logical word — are always zero; kernels may
+// read and OR them freely without changing any result. BoolMatrix is the
+// layer that maintains this invariant; raw AVX2 intrinsics live in
+// kernels_avx2.cc only (enforced by the repo_lint avx2-outside-kernels
+// rule).
+
+#ifndef SLPSPAN_CORE_KERNELS_KERNELS_H_
+#define SLPSPAN_CORE_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace slpspan {
+namespace kernels {
+
+/// Rows are padded to this boundary and row storage is aligned to it.
+inline constexpr size_t kRowAlignBytes = 32;
+
+/// 64-bit words per alignment unit (4 × 64 = 256 bits, one AVX2 vector).
+inline constexpr uint32_t kWordsPerAlign =
+    static_cast<uint32_t>(kRowAlignBytes / sizeof(uint64_t));
+
+/// Allocator that over-aligns row storage to kRowAlignBytes so the padded
+/// row stride starts every row on a 32-byte boundary.
+template <typename T>
+class RowAllocator {
+ public:
+  using value_type = T;
+
+  RowAllocator() noexcept = default;
+  template <typename U>
+  RowAllocator(const RowAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kRowAlignBytes}));
+  }
+  void deallocate(T* p, size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kRowAlignBytes});
+  }
+
+  template <typename U>
+  bool operator==(const RowAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const RowAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// The aligned backing store BoolMatrix uses for its bit rows.
+using AlignedWordBuffer = std::vector<uint64_t, RowAllocator<uint64_t>>;
+
+/// Density heuristic for the multiply inner loop: a sparse a-row iterates
+/// its set bits and ORs the matching b-rows through memory; a dense a-row
+/// switches to strip-mined accumulation that holds each 256-bit strip of
+/// the output row in registers across all contributing b-rows (one store
+/// per strip instead of one per set bit). The near-diagonal matrices of
+/// chain grammars stay on the sparse path; the saturated closures of
+/// repetitive logs take the dense one.
+inline constexpr uint32_t kDenseMinPopcount = 8;
+inline bool UseDensePath(uint32_t popcount, uint32_t n) {
+  return popcount >= kDenseMinPopcount && popcount * 8 >= n;
+}
+
+/// One instruction-set implementation of the BoolMatrix hot loops. All
+/// pointers obey the alignment contract above; `words` arguments are
+/// multiples of kWordsPerAlign.
+struct KernelOps {
+  const char* name;
+
+  /// dst[w] |= src[w] for w < words.
+  void (*or_words)(uint64_t* dst, const uint64_t* src, size_t words);
+
+  /// Any non-zero word in p[0..words)?
+  bool (*any_words)(const uint64_t* p, size_t words);
+
+  /// a[0..words) == b[0..words) (early-exits on the first difference).
+  bool (*equal_words)(const uint64_t* a, const uint64_t* b, size_t words);
+
+  /// The multiply hot loop: for every i, out-row i = OR of b-row k over
+  /// the set bits k of a-row i. All three matrices are row-major with
+  /// stride `words`; `out` is fully overwritten (rows whose a-row is empty
+  /// are zeroed by the kernel — no pre-clearing by the caller, which would
+  /// cost a full-matrix memset per product) and aliases neither input.
+  /// `a_pops`, when non-null, is the cached per-row set-bit count of `a`
+  /// (drives the per-row sparse/dense path choice); a null pointer makes
+  /// the kernel count each row on the fly. The whole row loop lives inside
+  /// the kernel so the per-row accumulation inlines — an indirect call per
+  /// row costs ~15% at q = 128.
+  void (*multiply)(uint64_t* out, const uint64_t* a, const uint64_t* b,
+                   const uint32_t* a_pops, uint32_t n, uint32_t words);
+};
+
+/// The portable baseline (always available).
+const KernelOps& ScalarKernel();
+
+/// The AVX2 table, or nullptr when the build or the CPU lacks AVX2.
+const KernelOps* Avx2Kernel();
+
+/// The dispatched kernel: resolved once from SLPSPAN_KERNEL (scalar|avx2)
+/// or, absent an override, the best table the CPU supports.
+const KernelOps& ActiveKernel();
+
+/// Looks a kernel up by name ("scalar"/"avx2"); nullptr when unknown or
+/// unavailable on this host.
+const KernelOps* KernelByName(const char* name);
+
+/// Replaces the dispatched kernel (differential tests and benchmarks).
+/// Returns false — leaving the dispatch untouched — when `name` is unknown
+/// or unavailable. Not for concurrent use with in-flight evaluations.
+bool SetActiveKernelForTesting(const char* name);
+
+/// Internal hook for the -mavx2 translation unit: the raw AVX2 table when
+/// compiled in, else nullptr. Callers must go through Avx2Kernel(), which
+/// adds the CPUID check.
+const KernelOps* Avx2KernelImpl();
+
+}  // namespace kernels
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_KERNELS_KERNELS_H_

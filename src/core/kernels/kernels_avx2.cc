@@ -1,0 +1,376 @@
+// AVX2 kernels: 256-bit row operations. The only translation unit allowed
+// to use AVX2 intrinsics (repo_lint avx2-outside-kernels); CMake compiles
+// it with -mavx2 when the compiler supports the flag, and the #else branch
+// stubs it out elsewhere so the library builds on any ISA. Runtime CPU
+// detection lives in kernels.cc — nothing here executes unless
+// __builtin_cpu_supports("avx2") said yes.
+#include "core/kernels/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace slpspan {
+namespace kernels {
+namespace {
+
+// All loads/stores are aligned (_mm256_load/store_si256): the alignment
+// contract in kernels.h guarantees 32-byte row bases and strides.
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; w += kWordsPerAlign) {
+    const __m256i v = _mm256_or_si256(
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + w)),
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + w)));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + w), v);
+  }
+}
+
+bool AnyWords(const uint64_t* p, size_t words) {
+  for (size_t w = 0; w < words; w += kWordsPerAlign) {
+    const __m256i v =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(p + w));
+    if (_mm256_testz_si256(v, v) == 0) return true;
+  }
+  return false;
+}
+
+bool EqualWords(const uint64_t* a, const uint64_t* b, size_t words) {
+  for (size_t w = 0; w < words; w += kWordsPerAlign) {
+    const __m256i diff = _mm256_xor_si256(
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(a + w)),
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(b + w)));
+    if (_mm256_testz_si256(diff, diff) == 0) return false;
+  }
+  return true;
+}
+
+// Saturated full-width one-vector rows (words == 4, n in [193, 256], half
+// the bits or more set): four a-words as four independent bit streams with
+// a counted inner loop — min(popcount) iterations retire four set bits
+// each on a single loop branch, then the residual streams drain pairwise.
+// Kept out of line so its register pressure (four ymm accumulators plus
+// four live bit streams) does not spill the two-stream loop that shorter
+// rows run instead.
+__attribute__((noinline)) void AccumulateRowQuad(uint64_t* out_row,
+                                                 const uint64_t* a_row,
+                                                 const uint64_t* b,
+                                                 uint32_t a_words) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256();
+  __m256i acc3 = _mm256_setzero_si256();
+  uint32_t w = 0;
+  for (; w + 4 <= a_words; w += 4) {
+    uint64_t bits0 = a_row[w];
+    uint64_t bits1 = a_row[w + 1];
+    uint64_t bits2 = a_row[w + 2];
+    uint64_t bits3 = a_row[w + 3];
+    const uint64_t* bw0 = b + (static_cast<size_t>(w) << 8);
+    const uint64_t* bw1 = bw0 + 256;
+    const uint64_t* bw2 = bw0 + 512;
+    const uint64_t* bw3 = bw0 + 768;
+    uint32_t cnt = std::min(
+        std::min(static_cast<uint32_t>(__builtin_popcountll(bits0)),
+                 static_cast<uint32_t>(__builtin_popcountll(bits1))),
+        std::min(static_cast<uint32_t>(__builtin_popcountll(bits2)),
+                 static_cast<uint32_t>(__builtin_popcountll(bits3))));
+    for (; cnt != 0; --cnt) {
+      const uint32_t k0 = static_cast<uint32_t>(__builtin_ctzll(bits0));
+      const uint32_t k1 = static_cast<uint32_t>(__builtin_ctzll(bits1));
+      const uint32_t k2 = static_cast<uint32_t>(__builtin_ctzll(bits2));
+      const uint32_t k3 = static_cast<uint32_t>(__builtin_ctzll(bits3));
+      bits0 &= bits0 - 1;
+      bits1 &= bits1 - 1;
+      bits2 &= bits2 - 1;
+      bits3 &= bits3 - 1;
+      acc0 = _mm256_or_si256(
+          acc0, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                    bw0 + (static_cast<size_t>(k0) << 2))));
+      acc1 = _mm256_or_si256(
+          acc1, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                    bw1 + (static_cast<size_t>(k1) << 2))));
+      acc2 = _mm256_or_si256(
+          acc2, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                    bw2 + (static_cast<size_t>(k2) << 2))));
+      acc3 = _mm256_or_si256(
+          acc3, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                    bw3 + (static_cast<size_t>(k3) << 2))));
+    }
+    const uint64_t* bws[4] = {bw0, bw1, bw2, bw3};
+    const uint64_t res[4] = {bits0, bits1, bits2, bits3};
+    for (int s = 0; s < 4; ++s) {
+      uint64_t bits = res[s];
+      const uint64_t* bw = bws[s];
+      while (bits != 0) {
+        const uint32_t k0 = static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        acc0 = _mm256_or_si256(
+            acc0, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                      bw + (static_cast<size_t>(k0) << 2))));
+        if (bits == 0) break;
+        const uint32_t k1 = static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        acc1 = _mm256_or_si256(
+            acc1, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                      bw + (static_cast<size_t>(k1) << 2))));
+      }
+    }
+  }
+  for (; w < a_words; ++w) {
+    uint64_t bits = a_row[w];
+    const uint64_t* bw = b + (static_cast<size_t>(w) << 8);
+    while (bits != 0) {
+      const uint32_t k0 = static_cast<uint32_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      acc0 = _mm256_or_si256(
+          acc0, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                    bw + (static_cast<size_t>(k0) << 2))));
+      if (bits == 0) break;
+      const uint32_t k1 = static_cast<uint32_t>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      acc1 = _mm256_or_si256(
+          acc1, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                    bw + (static_cast<size_t>(k1) << 2))));
+    }
+  }
+  acc0 = _mm256_or_si256(acc0, acc2);
+  acc1 = _mm256_or_si256(acc1, acc3);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(out_row),
+                     _mm256_or_si256(acc0, acc1));
+}
+
+inline void AccumulateRow(uint64_t* out_row, const uint64_t* a_row,
+                          const uint64_t* b, uint32_t n, uint32_t words,
+                          uint32_t a_popcount) {
+  const uint32_t a_words = (n + 63) / 64;
+  if (!UseDensePath(a_popcount, n)) {
+    // Sparse a-row: one pass over the set bits, 256-bit OR per b-row. The
+    // first set bit copies its b-row (the output row is overwritten, never
+    // pre-zeroed), later bits OR theirs in.
+    bool first = true;
+    for (uint32_t w = 0; w < a_words; ++w) {
+      uint64_t bits = a_row[w];
+      while (bits != 0) {
+        const uint32_t k =
+            (w << 6) + static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* src = b + static_cast<size_t>(k) * words;
+        if (first) {
+          for (uint32_t c = 0; c < words; c += kWordsPerAlign) {
+            _mm256_store_si256(
+                reinterpret_cast<__m256i*>(out_row + c),
+                _mm256_load_si256(
+                    reinterpret_cast<const __m256i*>(src + c)));
+          }
+          first = false;
+        } else {
+          OrWords(out_row, src, words);
+        }
+      }
+    }
+    return;
+  }
+  // Dense a-row: keep the output row in 256-bit register accumulators
+  // across every contributing b-row, and extract TWO set bits per
+  // iteration into independent accumulator sets. The interleave matters:
+  // with one stream, the ctz/blsr bookkeeping per set bit costs more than
+  // the single vpor it feeds, and the kernel degenerates to extraction
+  // speed; two streams halve the per-bit loop overhead and let both vpor
+  // chains retire in parallel. Rows of 4 and 8 words (q <= 256 and
+  // q <= 512) get dedicated loops with shift addressing; wider rows
+  // strip-mine 4 words at a time, rescanning a_row per strip. Saturated
+  // full-width one-vector rows escalate to the out-of-line four-stream
+  // loop above.
+  if (words == kWordsPerAlign) {
+    if (a_words >= 4 && a_popcount * 2 >= n) {
+      AccumulateRowQuad(out_row, a_row, b, a_words);
+      return;
+    }
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    if (a_words >= 2 && a_popcount * 2 >= n) {
+      // Saturated rows (half the bits or more set): walk two a-words as
+      // independent bit streams. Both streams stay non-empty for most of
+      // the row at this density, so each loop iteration retires two set
+      // bits with a single loop branch and no inter-stream dependency.
+      uint32_t w = 0;
+      for (; w + 2 <= a_words; w += 2) {
+        uint64_t bits0 = a_row[w];
+        uint64_t bits1 = a_row[w + 1];
+        const uint64_t* bw0 = b + (static_cast<size_t>(w) << 8);
+        const uint64_t* bw1 = bw0 + 256;
+        while (bits0 != 0 && bits1 != 0) {
+          const uint32_t k0 = static_cast<uint32_t>(__builtin_ctzll(bits0));
+          const uint32_t k1 = static_cast<uint32_t>(__builtin_ctzll(bits1));
+          bits0 &= bits0 - 1;
+          bits1 &= bits1 - 1;
+          acc0 = _mm256_or_si256(
+              acc0, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                        bw0 + (static_cast<size_t>(k0) << 2))));
+          acc1 = _mm256_or_si256(
+              acc1, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                        bw1 + (static_cast<size_t>(k1) << 2))));
+        }
+        const uint64_t* bwr = bits0 != 0 ? bw0 : bw1;
+        uint64_t rest = bits0 | bits1;
+        while (rest != 0) {
+          const uint32_t k = static_cast<uint32_t>(__builtin_ctzll(rest));
+          rest &= rest - 1;
+          acc0 = _mm256_or_si256(
+              acc0, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                        bwr + (static_cast<size_t>(k) << 2))));
+        }
+      }
+      for (; w < a_words; ++w) {
+        uint64_t bits = a_row[w];
+        const uint64_t* bw = b + (static_cast<size_t>(w) << 8);
+        while (bits != 0) {
+          const uint32_t k0 = static_cast<uint32_t>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          acc0 = _mm256_or_si256(
+              acc0, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                        bw + (static_cast<size_t>(k0) << 2))));
+          if (bits == 0) break;
+          const uint32_t k1 = static_cast<uint32_t>(__builtin_ctzll(bits));
+          bits &= bits - 1;
+          acc1 = _mm256_or_si256(
+              acc1, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                        bw + (static_cast<size_t>(k1) << 2))));
+        }
+      }
+      _mm256_store_si256(reinterpret_cast<__m256i*>(out_row),
+                         _mm256_or_si256(acc0, acc1));
+      return;
+    }
+    for (uint32_t w = 0; w < a_words; ++w) {
+      uint64_t bits = a_row[w];
+      const uint64_t* bw = b + (static_cast<size_t>(w) << 8);
+      while (bits != 0) {
+        const uint32_t k0 = static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        acc0 = _mm256_or_si256(
+            acc0, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                      bw + (static_cast<size_t>(k0) << 2))));
+        if (bits == 0) break;
+        const uint32_t k1 = static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        acc1 = _mm256_or_si256(
+            acc1, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                      bw + (static_cast<size_t>(k1) << 2))));
+      }
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out_row),
+                       _mm256_or_si256(acc0, acc1));
+    return;
+  }
+  if (words == 2 * kWordsPerAlign) {
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acd0 = _mm256_setzero_si256();
+    __m256i acd1 = _mm256_setzero_si256();
+    for (uint32_t w = 0; w < a_words; ++w) {
+      uint64_t bits = a_row[w];
+      const uint64_t* bw = b + (static_cast<size_t>(w) << 9);
+      while (bits != 0) {
+        const uint32_t k0 = static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* bk0 = bw + (static_cast<size_t>(k0) << 3);
+        acc0 = _mm256_or_si256(
+            acc0, _mm256_load_si256(reinterpret_cast<const __m256i*>(bk0)));
+        acc1 = _mm256_or_si256(
+            acc1,
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(bk0 + 4)));
+        if (bits == 0) break;
+        const uint32_t k1 = static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* bk1 = bw + (static_cast<size_t>(k1) << 3);
+        acd0 = _mm256_or_si256(
+            acd0, _mm256_load_si256(reinterpret_cast<const __m256i*>(bk1)));
+        acd1 = _mm256_or_si256(
+            acd1,
+            _mm256_load_si256(reinterpret_cast<const __m256i*>(bk1 + 4)));
+      }
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out_row),
+                       _mm256_or_si256(acc0, acd0));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out_row + 4),
+                       _mm256_or_si256(acc1, acd1));
+    return;
+  }
+  for (uint32_t c = 0; c < words; c += kWordsPerAlign) {
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    for (uint32_t w = 0; w < a_words; ++w) {
+      uint64_t bits = a_row[w];
+      const uint32_t base = w << 6;
+      while (bits != 0) {
+        const uint32_t k0 =
+            base + static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        acc0 = _mm256_or_si256(
+            acc0, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                      b + static_cast<size_t>(k0) * words + c)));
+        if (bits == 0) break;
+        const uint32_t k1 =
+            base + static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        acc1 = _mm256_or_si256(
+            acc1, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                      b + static_cast<size_t>(k1) * words + c)));
+      }
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(out_row + c),
+                       _mm256_or_si256(acc0, acc1));
+  }
+}
+
+void MultiplyRows(uint64_t* out, const uint64_t* a, const uint64_t* b,
+                  const uint32_t* a_pops, uint32_t n, uint32_t words) {
+  const uint32_t a_words = (n + 63) / 64;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t* a_row = a + static_cast<size_t>(i) * words;
+    uint32_t pop;
+    if (a_pops != nullptr) {
+      pop = a_pops[i];
+    } else {
+      pop = 0;
+      for (uint32_t w = 0; w < a_words; ++w) {
+        pop += static_cast<uint32_t>(__builtin_popcountll(a_row[w]));
+      }
+    }
+    uint64_t* out_row = out + static_cast<size_t>(i) * words;
+    if (pop == 0) {
+      const __m256i zero = _mm256_setzero_si256();
+      for (uint32_t w = 0; w < words; w += kWordsPerAlign) {
+        _mm256_store_si256(reinterpret_cast<__m256i*>(out_row + w), zero);
+      }
+      continue;
+    }
+    AccumulateRow(out_row, a_row, b, n, words, pop);
+  }
+}
+
+constexpr KernelOps kAvx2 = {"avx2", &OrWords, &AnyWords, &EqualWords,
+                             &MultiplyRows};
+
+}  // namespace
+
+const KernelOps* Avx2KernelImpl() { return &kAvx2; }
+
+}  // namespace kernels
+}  // namespace slpspan
+
+#else  // !defined(__AVX2__)
+
+namespace slpspan {
+namespace kernels {
+
+const KernelOps* Avx2KernelImpl() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace slpspan
+
+#endif  // defined(__AVX2__)

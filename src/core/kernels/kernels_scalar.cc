@@ -1,0 +1,149 @@
+// Scalar baseline kernels: one 64-bit word at a time. This is the portable
+// reference every other kernel is differential-tested against, and the
+// floor bench E14 measures speedups from.
+//
+// The build pins this TU at true 64-bit semantics (-fno-tree-vectorize
+// -fno-tree-slp-vectorize under GCC; the Clang spellings in CMakeLists):
+// GCC >= 12 otherwise auto-vectorizes these exact loops to 128-bit SSE at
+// -O2, at which point "scalar" measures the compiler's whim instead of the
+// 64-bit baseline the SIMD kernels are defined against. Hosts that want
+// vector arithmetic get it from a dedicated kernel via runtime dispatch,
+// not from what the optimizer happens to do to the reference.
+#include "core/kernels/kernels.h"
+
+namespace slpspan {
+namespace kernels {
+namespace {
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+bool AnyWords(const uint64_t* p, size_t words) {
+  for (size_t w = 0; w < words; ++w) {
+    if (p[w] != 0) return true;
+  }
+  return false;
+}
+
+bool EqualWords(const uint64_t* a, const uint64_t* b, size_t words) {
+  for (size_t w = 0; w < words; ++w) {
+    if (a[w] != b[w]) return false;
+  }
+  return true;
+}
+
+inline void AccumulateRow(uint64_t* out_row, const uint64_t* a_row,
+                          const uint64_t* b, uint32_t n, uint32_t words,
+                          uint32_t a_popcount) {
+  const uint32_t a_words = (n + 63) / 64;
+  if (!UseDensePath(a_popcount, n)) {
+    // Sparse a-row: the first set bit copies its b-row into out (the row is
+    // overwritten, never pre-zeroed), each later set bit ORs its b-row in.
+    bool first = true;
+    for (uint32_t w = 0; w < a_words; ++w) {
+      uint64_t bits = a_row[w];
+      while (bits != 0) {
+        const uint32_t k =
+            (w << 6) + static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* src = b + static_cast<size_t>(k) * words;
+        if (first) {
+          for (uint32_t c = 0; c < words; ++c) out_row[c] = src[c];
+          first = false;
+        } else {
+          OrWords(out_row, src, words);
+        }
+      }
+    }
+    return;
+  }
+  // Dense a-row: keep the output row in register accumulators across every
+  // contributing b-row — one store per strip instead of a load/or/store per
+  // set bit. Rows of up to 8 words (q <= 512) get a single extraction pass
+  // with 8 accumulators; wider rows strip-mine 4 words at a time, rescanning
+  // a_row per strip (cheap relative to the ORs once the row is dense).
+  if (words == 2 * kWordsPerAlign) {
+    uint64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0, acc4 = 0, acc5 = 0,
+             acc6 = 0, acc7 = 0;
+    for (uint32_t w = 0; w < a_words; ++w) {
+      uint64_t bits = a_row[w];
+      while (bits != 0) {
+        const uint32_t k =
+            (w << 6) + static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* bk = b + (static_cast<size_t>(k) << 3);
+        acc0 |= bk[0];
+        acc1 |= bk[1];
+        acc2 |= bk[2];
+        acc3 |= bk[3];
+        acc4 |= bk[4];
+        acc5 |= bk[5];
+        acc6 |= bk[6];
+        acc7 |= bk[7];
+      }
+    }
+    out_row[0] = acc0;
+    out_row[1] = acc1;
+    out_row[2] = acc2;
+    out_row[3] = acc3;
+    out_row[4] = acc4;
+    out_row[5] = acc5;
+    out_row[6] = acc6;
+    out_row[7] = acc7;
+    return;
+  }
+  for (uint32_t c = 0; c < words; c += kWordsPerAlign) {
+    uint64_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+    for (uint32_t w = 0; w < a_words; ++w) {
+      uint64_t bits = a_row[w];
+      while (bits != 0) {
+        const uint32_t k =
+            (w << 6) + static_cast<uint32_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        const uint64_t* bk = b + static_cast<size_t>(k) * words + c;
+        acc0 |= bk[0];
+        acc1 |= bk[1];
+        acc2 |= bk[2];
+        acc3 |= bk[3];
+      }
+    }
+    out_row[c] = acc0;
+    out_row[c + 1] = acc1;
+    out_row[c + 2] = acc2;
+    out_row[c + 3] = acc3;
+  }
+}
+
+void MultiplyRows(uint64_t* out, const uint64_t* a, const uint64_t* b,
+                  const uint32_t* a_pops, uint32_t n, uint32_t words) {
+  const uint32_t a_words = (n + 63) / 64;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t* a_row = a + static_cast<size_t>(i) * words;
+    uint32_t pop;
+    if (a_pops != nullptr) {
+      pop = a_pops[i];
+    } else {
+      pop = 0;
+      for (uint32_t w = 0; w < a_words; ++w) {
+        pop += static_cast<uint32_t>(__builtin_popcountll(a_row[w]));
+      }
+    }
+    uint64_t* out_row = out + static_cast<size_t>(i) * words;
+    if (pop == 0) {
+      for (uint32_t w = 0; w < words; ++w) out_row[w] = 0;
+      continue;
+    }
+    AccumulateRow(out_row, a_row, b, n, words, pop);
+  }
+}
+
+constexpr KernelOps kScalar = {"scalar", &OrWords, &AnyWords, &EqualWords,
+                               &MultiplyRows};
+
+}  // namespace
+
+const KernelOps& ScalarKernel() { return kScalar; }
+
+}  // namespace kernels
+}  // namespace slpspan

@@ -35,6 +35,11 @@ uint64_t HashMatrix(const BoolMatrix& m) {
 /// reallocation ever moves a matrix. Indices are published to other threads
 /// only through the builder's mutex (memo/interner inserts) or through a
 /// wave barrier, which provides the happens-before edge for the contents.
+/// Every slot holds a BoolMatrix and therefore obeys the kernel layer's
+/// alignment contract (32-byte aligned, padded rows) — arena-built and
+/// bundle-adopted matrices hit the same SIMD fast path. Interned matrices
+/// additionally carry cached row popcounts (density profile for the
+/// adaptive multiply), frozen before publication so readers never race.
 class MatrixArena {
  public:
   explicit MatrixArena(size_t capacity) : capacity_(capacity) {
@@ -201,6 +206,9 @@ class TableBuilder {
     for (const uint32_t idx : bucket) {
       if (arena_.at(idx) == m) return idx;
     }
+    // Pool matrices are multiply operands from here on: freeze the density
+    // profile now, while this thread still owns the matrix exclusively.
+    if (!m.has_row_popcounts()) m.CacheRowPopcounts();
     bucket.push_back(arena_.Append(std::move(m)));
     return bucket.back();
   }
@@ -433,6 +441,12 @@ Result<EvalTables> EvalTables::FromParts(
   }
   if (u_idx.size() != n || w_idx.size() != n) {
     return Status::Corruption("matrix index count does not match grammar");
+  }
+  // Adopted pool matrices serve as multiply operands (model checking builds
+  // on top of loaded tables): give them the same frozen density profile a
+  // built pool carries. The bundle loader already cached most of them.
+  for (BoolMatrix& m : pool) {
+    if (!m.has_row_popcounts()) m.CacheRowPopcounts();
   }
   for (uint32_t a = 0; a < n; ++a) {
     if (u_idx[a] >= pool.size() || w_idx[a] >= pool.size()) {

@@ -65,8 +65,12 @@ Result<Slp> ReadGrammar(BundleReader* r) {
 
 // ------------------------------------------------------------ matrices ----
 
+// Serialization iterates logical words only: the in-memory rows are padded
+// to the kernel layer's 32-byte stride, but the .prep byte format stays
+// padding-independent (bundles written before and after the SIMD layout
+// change are byte-identical).
 void WriteMatrix(const BoolMatrix& m, uint32_t q, BundleWriter* w) {
-  const uint32_t words = m.words_per_row();
+  const uint32_t words = m.logical_words_per_row();
   const size_t total_words = static_cast<size_t>(q) * words;
   size_t nonzero = 0;
   for (uint32_t i = 0; i < q; ++i) {
@@ -107,6 +111,9 @@ Status ReadMatrix(BundleReader* r, uint32_t q, BoolMatrix* out) {
     for (uint32_t i = 0; i < q; ++i) {
       (void)r->Bytes(out->MutableRow(i), static_cast<size_t>(words) * 8);
     }
+    // Pool adoption: loaded matrices join the multiply fast path with the
+    // same aligned layout and frozen density profile as built ones.
+    out->CacheRowPopcounts();
     return Status::OK();
   }
   if (format != kSparse) return Status::Corruption("unknown matrix format");
@@ -127,6 +134,7 @@ Status ReadMatrix(BundleReader* r, uint32_t q, BoolMatrix* out) {
     }
     out->MutableRow(index / words)[index % words] = bits;
   }
+  out->CacheRowPopcounts();
   return Status::OK();
 }
 

@@ -1,8 +1,16 @@
-// Tests for the word-packed Boolean matrix kernel (core/bool_matrix.h).
+// Tests for the word-packed Boolean matrix kernel (core/bool_matrix.h),
+// including differential tests pinning every dispatched SIMD kernel
+// (core/kernels/) to the scalar baseline.
 
 #include "core/bool_matrix.h"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/kernels/kernels.h"
 #include "gtest/gtest.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace slpspan {
@@ -108,6 +116,168 @@ TEST(BoolMatrix, OrWith) {
   a.OrWith(b);
   EXPECT_TRUE(a.Get(1, 2));
   EXPECT_TRUE(a.Get(3, 4));
+}
+
+// ------------------------------------------------- layout & popcounts ----
+
+TEST(BoolMatrix, RowsArePaddedAndAligned) {
+  for (uint32_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 257u}) {
+    BoolMatrix m(n);
+    const uint32_t logical = (n + 63) / 64;
+    EXPECT_EQ(m.logical_words_per_row(), logical);
+    EXPECT_EQ(m.words_per_row() % kernels::kWordsPerAlign, 0u) << n;
+    EXPECT_GE(m.words_per_row(), logical);
+    EXPECT_LT(m.words_per_row(), logical + kernels::kWordsPerAlign);
+    for (uint32_t i = 0; i < n; ++i) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Row(i)) %
+                    kernels::kRowAlignBytes,
+                0u)
+          << "row " << i << " of n=" << n;
+    }
+  }
+}
+
+TEST(BoolMatrix, PaddingWordsStayZeroThroughOps) {
+  // Fill every logical bit, multiply and OR: the padding words past
+  // logical_words_per_row() must stay zero (the kernel contract — AnySet
+  // and equality scan full padded rows).
+  const uint32_t n = 65;  // logical 2 words, padded 4
+  BoolMatrix a(n), b(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      a.Set(i, j);
+      b.Set(i, j);
+    }
+  }
+  a.OrWith(b);
+  const BoolMatrix p = BoolMatrix::Multiply(a, b);
+  const BoolMatrix* mats[] = {&a, &p};
+  for (const BoolMatrix* m : mats) {
+    ASSERT_GT(m->words_per_row(), m->logical_words_per_row());
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t* row = m->Row(i);
+      for (uint32_t w = m->logical_words_per_row(); w < m->words_per_row();
+           ++w) {
+        EXPECT_EQ(row[w], 0u) << "padding word " << w << " of row " << i;
+      }
+    }
+  }
+  // The top (unused) bits of the last logical word must also be zero, or
+  // equality/popcounts would see phantom columns.
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(p.Row(i)[1] >> 1, 0u) << "tail bits of row " << i;
+  }
+}
+
+TEST(BoolMatrix, RowPopcountCacheCoherence) {
+  Rng rng(11);
+  BoolMatrix m = RandomMatrix(70, &rng, 30);
+  EXPECT_FALSE(m.has_row_popcounts());
+  std::vector<uint32_t> fresh(m.n());
+  for (uint32_t i = 0; i < m.n(); ++i) fresh[i] = m.RowPopcount(i);
+  m.CacheRowPopcounts();
+  EXPECT_TRUE(m.has_row_popcounts());
+  for (uint32_t i = 0; i < m.n(); ++i) EXPECT_EQ(m.RowPopcount(i), fresh[i]);
+  // Any mutation drops the cache; recomputed values follow the new bits.
+  m.Set(3, 5, !m.Get(3, 5));
+  EXPECT_FALSE(m.has_row_popcounts());
+  uint32_t recount = 0;
+  m.ForEachInRow(3, [&](uint32_t) { ++recount; });
+  EXPECT_EQ(m.RowPopcount(3), recount);
+  (void)m.MutableRow(0);
+  EXPECT_FALSE(m.has_row_popcounts());
+  // Multiply results stay lazy — popcounts compute on the fly and the
+  // publication points (pool intern, bundle load) freeze the cache; an
+  // unconditional pass in MultiplyInto would tax every product.
+  const BoolMatrix p = BoolMatrix::Multiply(m, m);
+  EXPECT_FALSE(p.has_row_popcounts());
+  uint32_t pop0 = 0;
+  p.ForEachInRow(0, [&](uint32_t) { ++pop0; });
+  EXPECT_EQ(p.RowPopcount(0), pop0);
+}
+
+// ------------------------------------------------- differential kernels ----
+
+// Every available kernel must agree bit-for-bit with the scalar baseline on
+// every operation, across dimensions chosen to hit word and alignment
+// boundaries (1, 63..65, 127..128, 257) and densities from near-empty to
+// near-full (exercising both the sparse set-bit path and the dense
+// strip-mined path of AccumulateRow).
+struct KernelCase {
+  uint32_t n;
+  uint32_t density;
+};
+
+class KernelDifferentialTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelDifferentialTest, AllKernelsMatchScalar) {
+  const uint32_t n = GetParam().n;
+  const uint32_t density = GetParam().density;
+
+  // Reference results under the forced scalar kernel.
+  BoolMatrix product, ored, closure;
+  bool any = false, row0 = false;
+  {
+    testing_util::KernelGuard guard("scalar");
+    ASSERT_TRUE(guard.ok());
+    Rng rng(1000 * n + density);
+    const BoolMatrix a = RandomMatrix(n, &rng, density);
+    const BoolMatrix b = RandomMatrix(n, &rng, density);
+    product = BoolMatrix::Multiply(a, b);
+    ored = a;
+    ored.OrWith(b);
+    closure = BoolMatrix::Closure(a);
+    any = a.AnySet();
+    row0 = a.RowAny(0);
+  }
+
+  for (const char* name : testing_util::AvailableKernels()) {
+    SCOPED_TRACE(name);
+    testing_util::KernelGuard guard(name);
+    ASSERT_TRUE(guard.ok());
+    Rng rng(1000 * n + density);  // same seed -> same inputs
+    const BoolMatrix a = RandomMatrix(n, &rng, density);
+    const BoolMatrix b = RandomMatrix(n, &rng, density);
+    EXPECT_TRUE(BoolMatrix::Multiply(a, b) == product);
+    BoolMatrix o = a;
+    o.OrWith(b);
+    EXPECT_TRUE(o == ored);
+    EXPECT_TRUE(BoolMatrix::Closure(a) == closure);
+    EXPECT_EQ(a.AnySet(), any);
+    EXPECT_EQ(a.RowAny(0), row0);
+    EXPECT_TRUE(a == a);
+    if (n > 1 && product.AnySet()) {
+      BoolMatrix tweaked = product;
+      tweaked.Set(0, n - 1, !tweaked.Get(0, n - 1));
+      EXPECT_FALSE(tweaked == product);
+    }
+  }
+}
+
+std::vector<KernelCase> AllKernelCases() {
+  std::vector<KernelCase> cases;
+  for (uint32_t n : {1u, 63u, 64u, 65u, 127u, 128u, 257u}) {
+    for (uint32_t density : {2u, 25u, 85u}) {
+      cases.push_back({n, density});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelDifferentialTest, ::testing::ValuesIn(AllKernelCases()),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return "n" + std::to_string(info.param.n) + "_d" +
+             std::to_string(info.param.density);
+    });
+
+TEST(Kernels, DispatchReportsKnownKernel) {
+  const std::string name = kernels::ActiveKernel().name;
+  EXPECT_TRUE(name == "scalar" || name == "avx2") << name;
+  EXPECT_EQ(kernels::KernelByName("scalar"), &kernels::ScalarKernel());
+  EXPECT_EQ(kernels::KernelByName("nope"), nullptr);
+  // The avx2 entry resolves iff the host supports it.
+  EXPECT_EQ(kernels::KernelByName("avx2"), kernels::Avx2Kernel());
 }
 
 }  // namespace

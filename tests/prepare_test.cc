@@ -323,6 +323,47 @@ TEST(PrepareModes, BundleBytesIdenticalAcrossModes) {
   EXPECT_EQ(images[0], images[2]);
 }
 
+// The SIMD kernel must be a pure speed knob: tables built under the avx2
+// kernel are bit-identical to the scalar build, and exported .prep bundles
+// are byte-identical (a bundle written on an AVX2 fleet loads bit-for-bit
+// on a scalar host and vice versa). Skips on hosts with only one kernel.
+TEST(KernelParity, TablesAndBundlesIdenticalAcrossKernels) {
+  const std::vector<const char*> kernel_names = testing_util::AvailableKernels();
+  if (kernel_names.size() < 2) {
+    GTEST_SKIP() << "only the scalar kernel is available on this host";
+  }
+  PrepareOptionsGuard guard;
+  Runtime::SetPrepareOptions({.threads = 1, .memoize = true});
+  Result<Query> query = Query::Compile(".*x{a}y{b?cc*}.*", "abc");
+  ASSERT_TRUE(query.ok());
+  const SpannerEvaluator ev = MustMakeEvaluator(".*x{a}y{b?cc*}.*");
+  Rng rng(4242);
+  const std::string text = RandomText(&rng, 300, 500);
+  const Slp slp = MakeSlp(SlpKind::kRePair, text);
+  const std::string dir = ::testing::TempDir();
+
+  std::vector<PreparedDocument> prepared;
+  std::vector<std::string> images;
+  for (const char* name : kernel_names) {
+    SCOPED_TRACE(name);
+    testing_util::KernelGuard kernel(name);
+    ASSERT_TRUE(kernel.ok());
+    PrepareStats st;
+    prepared.push_back(ev.Prepare(slp, {.threads = 1, .memoize = true}, &st));
+    // A fresh Document per kernel: same fingerprint, un-cached preparation.
+    const DocumentPtr doc = Document::FromSlp(slp);
+    const std::string path = dir + "/prep_kernel.prep";
+    ASSERT_TRUE(doc->SavePrepared(*query, path).ok());
+    images.push_back(ReadFile(path));
+    ASSERT_FALSE(images.back().empty());
+  }
+  for (size_t k = 1; k < kernel_names.size(); ++k) {
+    SCOPED_TRACE(kernel_names[k]);
+    ExpectIdenticalTables(prepared[0], prepared[k]);
+    EXPECT_EQ(images[0], images[k]) << "bundle bytes differ from scalar";
+  }
+}
+
 TEST(PrepareStatsPlumbing, ReportedThroughPreparedFor) {
   PrepareOptionsGuard guard;
   Result<Query> query = Query::Compile(".*x{a}y{b?cc*}.*", "abc");

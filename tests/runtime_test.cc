@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/bool_matrix.h"
 #include "gtest/gtest.h"
 #include "slpspan/textgen.h"
 #include "test_util.h"
@@ -251,6 +252,23 @@ TEST(RuntimeCache, MemoryAccountingIsVisible) {
   EXPECT_EQ(1u, stats.entries);
   // The entry must be charged at least the grammar + one bit-matrix pair.
   EXPECT_GT(stats.bytes, doc->slp().MemoryUsage());
+}
+
+// Satellite regression: BoolMatrix::MemoryUsage() used to charge the
+// logical (n+63)/64 words per row, under-reporting once rows were padded
+// to the kernel layer's 32-byte stride — cache eviction would then run
+// over budget. It must charge the real padded capacity plus the popcount
+// cache.
+TEST(RuntimeCache, BoolMatrixMemoryUsageChargesPaddedCapacity) {
+  BoolMatrix m(65);  // logical 2 words/row, padded to 4
+  ASSERT_EQ(m.logical_words_per_row(), 2u);
+  ASSERT_EQ(m.words_per_row(), 4u);
+  const uint64_t base = m.MemoryUsage();
+  // 65 rows x 4 padded words x 8 bytes of heap, plus the object itself.
+  EXPECT_GE(base, sizeof(BoolMatrix) + uint64_t{65} * 4 * 8);
+  // The popcount cache is heap too: caching must grow the reported bytes.
+  m.CacheRowPopcounts();
+  EXPECT_GE(m.MemoryUsage(), base + uint64_t{65} * sizeof(uint32_t));
 }
 
 // ------------------------------------------------------ Document::FromFile ----

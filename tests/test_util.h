@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernels/kernels.h"
 #include "gtest/gtest.h"
 #include "slp/balance.h"
 #include "slp/factory.h"
@@ -66,6 +67,35 @@ inline Slp MakeExample42Slp() {
   const NtId aa = a.Pair(c, d);
   const NtId b = a.Pair(c, e);
   return a.Finish(a.Pair(aa, b));
+}
+
+/// RAII kernel override for differential tests: switches the active
+/// BoolMatrix kernel in-process and restores the previous one on scope
+/// exit, so a failing test cannot leak its override into later tests.
+class KernelGuard {
+ public:
+  explicit KernelGuard(const char* name)
+      : previous_(kernels::ActiveKernel().name),
+        ok_(kernels::SetActiveKernelForTesting(name)) {}
+  ~KernelGuard() { kernels::SetActiveKernelForTesting(previous_); }
+  KernelGuard(const KernelGuard&) = delete;
+  KernelGuard& operator=(const KernelGuard&) = delete;
+
+  /// False when the requested kernel is unavailable on this host (the
+  /// active kernel is unchanged); callers should GTEST_SKIP.
+  bool ok() const { return ok_; }
+
+ private:
+  const char* previous_;
+  bool ok_;
+};
+
+/// Kernel names available on this host ("scalar" always; "avx2" when the
+/// build and CPU support it) — the axis for differential kernel tests.
+inline std::vector<const char*> AvailableKernels() {
+  std::vector<const char*> names = {"scalar"};
+  if (kernels::Avx2Kernel() != nullptr) names.push_back("avx2");
+  return names;
 }
 
 /// Span-tuple literal: Tup({{1,3}, std::nullopt}) etc.

@@ -38,9 +38,16 @@ unchecked-result-value
         Result<X> r = F();
         Use(*r);              // <- flagged: no r.ok() first
 
+avx2-outside-kernels
+    AVX2 intrinsics (immintrin.h, _mm256_*, __m256i) may appear only under
+    src/core/kernels/ — the one layer compiled with -mavx2 and guarded by
+    runtime CPUID dispatch. An intrinsic anywhere else either fails to
+    compile (no -mavx2 on that TU) or, worse, compiles and faults on
+    non-AVX2 hosts because it bypasses the dispatcher.
+
 docs-presence
-    docs/ARCHITECTURE.md, docs/PREPARATION.md and docs/STATIC_ANALYSIS.md
-    exist and are non-empty.
+    docs/ARCHITECTURE.md, docs/PREPARATION.md, docs/STATIC_ANALYSIS.md and
+    docs/KERNELS.md exist and are non-empty.
 
 Suppressions
 ------------
@@ -81,10 +88,13 @@ OK_CHECK_TMPL = r"\b{name}\s*\.\s*ok\s*\(\)"
 ACCESS_TMPL = (r"\b{name}\s*\.\s*value\s*\(\)|\*\s*{name}\b|"
                r"\b{name}\s*->")
 
+AVX2_RE = re.compile(r"\b_mm256_\w+|\b__m256i?\b|immintrin\.h")
+
 REQUIRED_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/PREPARATION.md",
     "docs/STATIC_ANALYSIS.md",
+    "docs/KERNELS.md",
 ]
 
 
@@ -199,6 +209,25 @@ def check_unchecked_result_value(root, findings):
                     tracked[name] = (tracked[name][0], True)
 
 
+def check_avx2_outside_kernels(root, findings):
+    rule = "avx2-outside-kernels"
+    for path in list_source_files(root):
+        rel = relpath(root, path)
+        if rel.startswith("src/core/kernels/"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if allowed(line, rule):
+                    continue
+                m = AVX2_RE.search(strip_comment(line))
+                if m:
+                    findings.append(
+                        (rel, lineno, rule,
+                         f"AVX2 intrinsic '{m.group(0)}' outside "
+                         "src/core/kernels/; only that layer is compiled "
+                         "with -mavx2 behind runtime dispatch"))
+
+
 def check_docs_presence(root, findings):
     rule = "docs-presence"
     for doc in REQUIRED_DOCS:
@@ -212,6 +241,7 @@ CHECKS = [
     check_naked_mutex,
     check_file_doc_comment,
     check_unchecked_result_value,
+    check_avx2_outside_kernels,
     check_docs_presence,
 ]
 
@@ -240,6 +270,9 @@ SEEDED = {
         "src/slp/seeded_result.cc",
         "// seeded self-test file\n"
         "int F() { Result<int> r = G(); return *r; }\n"),
+    "avx2-outside-kernels": (
+        "src/api/seeded_avx2.cc",
+        "// seeded self-test file\n#include <immintrin.h>\n"),
     "docs-presence": (None, None),  # tested by simply omitting the docs
 }
 
