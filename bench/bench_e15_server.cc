@@ -1,0 +1,231 @@
+// Experiment E15 — the framed-TCP server under open-loop network load.
+//
+// An in-process Server (2 Session workers) serves 1200 concurrent client
+// connections driven by the epoll load driver (src/net/load_driver.h). The
+// schedule offers thousands of mixed requests open-loop — 20% interactive
+// counts interleaved through 80% batch/background extracts — so queueing
+// delay appears as measured latency instead of throttling the offered load
+// (no coordinated omission). Latency is request-send to kDone-received,
+// over the wire: it includes framing, the event loop, the priority queue,
+// evaluation, paging and the trip back.
+//
+// Acceptance bars, asserted by exit code and recorded in the JSON:
+//   * peak simultaneously-open connections >= 1000 (the "thousands of
+//     sockets on one event loop" claim), and
+//   * interactive wire p99 < batch wire p99 under saturation (the strict
+//     priority queue survives the network front-end end to end).
+//
+// The process raises RLIMIT_NOFILE to its hard limit first: 1200
+// connections cost ~2400 descriptors and CI runners default to a 1024
+// soft cap.
+//
+// Emits one JSON document ("JSON: " line and --json=PATH) extending the
+// BENCH_*.json trajectory.
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "net/load_driver.h"
+#include "slp/factory.h"
+#include "slp/serialize.h"
+#include "slpspan/server.h"
+#include "slpspan/slpspan.h"
+
+namespace slpspan {
+namespace {
+
+using namespace std::chrono_literals;
+
+const char* kClassNames[kNumPriorityClasses] = {"interactive", "batch",
+                                                "background"};
+
+uint64_t Percentile(std::vector<uint64_t> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+void RaiseFdLimit() {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  lim.rlim_cur = lim.rlim_max;
+  (void)setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+std::string MakeDocumentRoot() {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "slpspan_e15_root").string();
+  std::filesystem::create_directories(dir);
+  std::string corpus;
+  for (int i = 0; i < 3000; ++i) corpus += "ab";
+  SLPSPAN_CHECK(
+      SaveSlpToFile(SlpFromString(corpus).value(), dir + "/corpus.slp").ok());
+  return dir;
+}
+
+bool OpenLoopServing(bench::Json* json) {
+  RaiseFdLimit();
+
+  constexpr uint32_t kConnections = 1200;
+  constexpr int kRequests = 3000;
+  constexpr uint64_t kSpacingUs = 800;  // 1250 req/s offered
+
+  ServerOptions opts;
+  opts.port = 0;
+  opts.threads = 2;
+  opts.max_connections = 4096;
+  opts.document_root = MakeDocumentRoot();
+  opts.alphabet = "ab";
+  Server server(opts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "E15 FAILED to start server: %s\n",
+                 started.message().c_str());
+    return false;
+  }
+
+  // The e12 mix, now over the wire: i%5==2 -> interactive count; i%5>=3 ->
+  // background extract; else batch extract. Varying limits defeat
+  // coalescing, so every request occupies a worker. Bulk extracts are an
+  // order of magnitude heavier than an interactive count, so the p99
+  // contrast is structural (service time + backlog), not scheduler luck.
+  std::vector<net::LoadSpec> schedule;
+  schedule.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    net::LoadSpec spec;
+    spec.conn = static_cast<uint32_t>(i) % kConnections;
+    spec.document = "corpus";
+    spec.pattern = ".*x{ab}.*";
+    spec.send_at_us = static_cast<uint64_t>(i) * kSpacingUs;
+    if (i % 5 == 2) {
+      spec.op = net::WireOp::kCount;
+      spec.priority = 0;  // interactive
+    } else {
+      spec.op = net::WireOp::kExtract;
+      spec.priority = static_cast<uint8_t>(i % 5 >= 3 ? 2 : 1);
+      spec.limit = 800 + static_cast<uint64_t>(i % 400);
+    }
+    schedule.push_back(std::move(spec));
+  }
+
+  Stopwatch wall;
+  Result<net::LoadReport> run = net::RunOpenLoop(
+      "127.0.0.1", server.port(), kConnections, schedule, 120000ms);
+  const double wall_s = wall.ElapsedSeconds();
+  if (!run.ok()) {
+    std::fprintf(stderr, "E15 FAILED driver: %s\n",
+                 run.status().message().c_str());
+    return false;
+  }
+  const net::LoadReport& report = run.value();
+  const Server::Stats stats = server.stats();
+  server.Stop();
+
+  bench::Table table("E15: open-loop network serving (" +
+                         std::to_string(kConnections) + " connections, " +
+                         std::to_string(kRequests) + " requests)",
+                     {"class", "requests", "wire p50 (us)", "wire p99 (us)"});
+  uint64_t p99[kNumPriorityClasses];
+  std::vector<std::string> rows;
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    const uint64_t p50 = Percentile(report.latency_us[c], 0.50);
+    p99[c] = Percentile(report.latency_us[c], 0.99);
+    table.AddRow({kClassNames[c], bench::FmtCount(report.latency_us[c].size()),
+                  bench::FmtCount(p50), bench::FmtCount(p99[c])});
+    bench::Json row;
+    row.Put("class", std::string(kClassNames[c]));
+    row.Put("requests", static_cast<uint64_t>(report.latency_us[c].size()));
+    row.Put("wire_p50_us", p50);
+    row.Put("wire_p99_us", p99[c]);
+    rows.push_back(row.Str());
+  }
+  table.Print();
+
+  const double throughput = static_cast<double>(report.completed) / wall_s;
+  std::printf(
+      "\npeak open connections: %llu; %llu completed (%llu failed, %llu "
+      "wire errors) in %.2f s -> %.0f req/s; %llu pages, %llu tuples\n",
+      static_cast<unsigned long long>(report.peak_open),
+      static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.failed_requests),
+      static_cast<unsigned long long>(report.wire_errors), wall_s, throughput,
+      static_cast<unsigned long long>(report.pages),
+      static_cast<unsigned long long>(report.tuples));
+
+  const bool peak_ok = report.peak_open >= 1000;
+  const bool all_served =
+      report.completed == static_cast<uint64_t>(kRequests) &&
+      report.failed_requests == 0 && report.wire_errors == 0;
+  const bool interactive_wins = p99[0] < p99[1];
+
+  json->Put("e15_connections", static_cast<uint64_t>(kConnections));
+  json->Put("e15_peak_open", report.peak_open);
+  json->Put("e15_requests", static_cast<uint64_t>(kRequests));
+  json->Put("e15_completed", report.completed);
+  json->Put("e15_failed_requests", report.failed_requests);
+  json->Put("e15_wire_errors", report.wire_errors);
+  json->Put("e15_throughput_rps", throughput);
+  json->Put("e15_server_backpressure_pauses", stats.backpressure_pauses);
+  json->Put("e15_server_max_write_queue_bytes", stats.max_write_queue_bytes);
+  json->PutRaw("e15_wire_latency_per_class", bench::Json::Array(rows));
+  json->PutRaw("e15_peak_open_ge_1000", peak_ok ? "true" : "false");
+  json->PutRaw("e15_interactive_p99_lt_batch_p99",
+               interactive_wins ? "true" : "false");
+
+  if (!peak_ok) {
+    std::fprintf(stderr, "E15 FAILED: peak open %llu < 1000 connections\n",
+                 static_cast<unsigned long long>(report.peak_open));
+  }
+  if (!all_served) {
+    std::fprintf(stderr,
+                 "E15 FAILED: %llu/%d completed, %llu failed, %llu wire "
+                 "errors\n",
+                 static_cast<unsigned long long>(report.completed), kRequests,
+                 static_cast<unsigned long long>(report.failed_requests),
+                 static_cast<unsigned long long>(report.wire_errors));
+  }
+  if (!interactive_wins) {
+    std::fprintf(stderr,
+                 "E15 FAILED: expected interactive wire p99 < batch wire "
+                 "p99, got %llu vs %llu us\n",
+                 static_cast<unsigned long long>(p99[0]),
+                 static_cast<unsigned long long>(p99[1]));
+  }
+  return peak_ok && all_served && interactive_wins;
+}
+
+}  // namespace
+}  // namespace slpspan
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  slpspan::bench::Json json;
+  json.Put("bench", std::string("e15_server"));
+  const bool ok = slpspan::OpenLoopServing(&json);
+
+  const std::string out = json.Str();
+  std::printf("\nJSON: %s\n", out.c_str());
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << out << "\n";
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

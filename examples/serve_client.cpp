@@ -1,0 +1,111 @@
+// Serving over the network, end to end in one process: start a framed-TCP
+// Server (include/slpspan/server.h) over a small document root, connect
+// the in-repo client (src/net/client.h — the same code behind
+// `slpspan query --connect`), and run the three wire operations:
+//
+//   * check   — non-emptiness over the wire,
+//   * count   — the span count without materializing anything,
+//   * extract — result tuples streamed back in pages; the page callback
+//               sees each page as it arrives, so client-side memory is
+//               one page, not the result set.
+//
+// Then fetch the serving statistics over the wire and drain: in a real
+// deployment the server runs in its own process (`slpspan serve`) and any
+// client that speaks docs/WIRE_PROTOCOL.md connects over TCP.
+//
+// Build & run:  ./build/examples/serve_client
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "net/client.h"
+#include "slp/factory.h"
+#include "slp/serialize.h"
+#include "slpspan/server.h"
+#include "slpspan/slpspan.h"
+
+int main() {
+  using namespace slpspan;
+
+  // A document root with one compressed document: "ab" repeated 2000
+  // times, saved as <root>/demo.slp (what `slpspan compress` produces).
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "slpspan_serve_demo").string();
+  std::filesystem::create_directories(root);
+  std::string text;
+  for (int i = 0; i < 2000; ++i) text += "ab";
+  Result<Slp> slp = SlpFromString(text);
+  if (!slp.ok() ||
+      !SaveSlpToFile(slp.value(), root + "/demo.slp").ok()) {
+    std::fprintf(stderr, "cannot build the demo document\n");
+    return 1;
+  }
+
+  // Serve it. Port 0 picks an ephemeral port; Server::port() reads it back.
+  ServerOptions options;
+  options.port = 0;
+  options.threads = 2;
+  options.document_root = root;
+  options.alphabet = "ab";
+  Server server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %s on 127.0.0.1:%u\n", root.c_str(), server.port());
+
+  Result<net::Client> client = net::Client::Connect("127.0.0.1", server.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  const std::string pattern = ".*x{ab}.*";
+
+  // check: does the pattern match anywhere in the document?
+  Result<net::CallResult> check =
+      client->Call(net::WireOp::kCheck, "demo", pattern);
+  if (!check.ok() || !check->ok()) return 1;
+  std::printf("check     : %s\n", check->nonempty ? "non-empty" : "empty");
+
+  // count: how many result tuples, without materializing any.
+  Result<net::CallResult> count =
+      client->Call(net::WireOp::kCount, "demo", pattern);
+  if (!count.ok() || !count->ok()) return 1;
+  std::printf("count     : %llu (%s)\n",
+              static_cast<unsigned long long>(count->count_value),
+              count->count_exact ? "exact" : "lower bound");
+
+  // extract: tuples stream back in pages; the callback runs per page.
+  net::CallOptions streaming;
+  streaming.limit = 1000;
+  streaming.priority = 0;  // interactive
+  uint64_t pages = 0, tuples = 0;
+  streaming.on_page = [&](const std::vector<SpanTuple>& page) {
+    ++pages;
+    tuples += page.size();
+  };
+  Result<net::CallResult> extract =
+      client->Call(net::WireOp::kExtract, "demo", pattern, streaming);
+  if (!extract.ok() || !extract->ok()) return 1;
+  std::printf("extract   : %llu tuples in %llu pages (limit 1000)\n",
+              static_cast<unsigned long long>(tuples),
+              static_cast<unsigned long long>(pages));
+
+  // Serving statistics over the wire (the same numbers `slpspan serve`
+  // prints when it exits).
+  Result<net::StatsFrame> stats = client->Stats();
+  if (!stats.ok()) return 1;
+  std::printf("server    : %llu requests, %llu pages, %llu tuples sent\n",
+              static_cast<unsigned long long>(stats->requests),
+              static_cast<unsigned long long>(stats->pages_sent),
+              static_cast<unsigned long long>(stats->tuples_sent));
+  std::printf("interactive queue p99: %llu us\n",
+              static_cast<unsigned long long>(stats->by_class[0].queue_p99_us));
+
+  const bool clean = server.Drain();
+  server.Stop();
+  std::printf("drained   : %s\n", clean ? "clean" : "stragglers cancelled");
+  return clean ? 0 : 1;
+}

@@ -218,7 +218,12 @@ struct EngineRequest {
 struct EngineOutput {
   bool nonempty = false;          ///< Op::kIsNonEmpty
   CountInfo count;                ///< Op::kCount
-  std::vector<SpanTuple> tuples;  ///< Op::kExtract
+  std::vector<SpanTuple> tuples;  ///< Op::kExtract (empty when streamed)
+  /// Op::kExtract: tuples emitted in total. Equals tuples.size() for a
+  /// materialized extract; for a streamed one (SubmitOptions::on_page) it is
+  /// the only record of the result size — the tuples themselves went to the
+  /// page sink and were never retained.
+  uint64_t tuples_streamed = 0;
 };
 
 /// Traffic class of a submitted request. Strict priority: a saturated
@@ -255,6 +260,30 @@ struct SubmitOptions {
   /// thread that completes the request. Keep it cheap and never call
   /// Ticket::Wait from inside it. Fires even if the Ticket is dropped.
   std::function<void(const Result<EngineOutput>&)> callback;
+
+  /// Streaming result delivery for Op::kExtract. When set, result tuples are
+  /// handed to this sink in pages of at most `page_tuples`, from the
+  /// evaluating worker thread, as the extraction produces them — and they
+  /// are NOT accumulated into EngineOutput::tuples, so the request's
+  /// server-side memory stays bounded by one page no matter how large
+  /// ⟦M⟧(D) is. The sink may BLOCK: the extraction then pauses at its next
+  /// checkpoint (between stream steps, holding only the current page) until
+  /// the sink returns — this is the hook a network front-end uses for
+  /// connection-level backpressure, pausing the ResultStream while the
+  /// client's socket is full and resuming when it drains. Returning false
+  /// stops the stream; the ticket completes with kCancelled.
+  ///
+  /// A streamed request never coalesces with any other request (pages go to
+  /// exactly one sink), and on_page with an op other than kExtract completes
+  /// the ticket with kInvalidArgument. The completion callback (and
+  /// Wait/TryGet) still fire after the final page; EngineOutput then carries
+  /// only tuples_streamed.
+  std::function<bool(std::span<const SpanTuple>)> on_page;
+
+  /// Maximum tuples per on_page call (clamped to >= 1). The page is also
+  /// the flush unit: a blocked sink holds the stream with at most this many
+  /// tuples buffered.
+  uint32_t page_tuples = 256;
 };
 
 /// A movable, cancellable handle on one submitted request.
@@ -369,6 +398,15 @@ class Session {
       /// evaluation start, cancellation or expiry) — divide by the terminal
       /// counters for the mean queue latency.
       uint64_t queue_latency_micros = 0;
+      /// Queue-latency percentiles over the Session's lifetime, from a
+      /// power-of-two histogram: each value is the upper bound of the bucket
+      /// containing the percentile, so it overstates the true percentile by
+      /// at most 2x and is monotone (p50 <= p99). Zero until a ticket of
+      /// this class has left the queue. This is what a serving front-end
+      /// reports as real tail latency (stats frames, bench E15) — means hide
+      /// exactly the tail that priority scheduling is supposed to protect.
+      uint64_t queue_latency_p50_micros = 0;
+      uint64_t queue_latency_p99_micros = 0;
     };
     std::array<ClassStats, kNumPriorityClasses> by_class;
 

@@ -1,0 +1,155 @@
+// Network front-end — a framed-TCP server over Session (ROADMAP item 1:
+// the piece that turns the library into a service).
+//
+// The server speaks the length-prefixed binary protocol of
+// docs/WIRE_PROTOCOL.md: a client submits (op, document, pattern, limit,
+// priority, deadline) requests and receives result tuples streamed back in
+// chunked pages, so the paper's bounded-delay enumeration guarantee survives
+// all the way to the wire — result sets are never materialized server-side.
+//
+// Three properties define the serving behaviour:
+//
+//  * Backpressure, end to end. Each connection owns a bounded write queue
+//    (ServerOptions::write_buffer_bytes). When a client stops reading, the
+//    queue fills and the evaluating worker blocks in the page sink — which
+//    pauses the underlying ResultStream at its next checkpoint
+//    (SubmitOptions::on_page). Server memory per connection is bounded by
+//    the queue budget plus one page regardless of result size or client
+//    speed; the stream resumes when EPOLLOUT drains the queue.
+//
+//  * Graceful drain. Drain() stops accepting, lets in-flight requests
+//    finish and their replies flush for up to drain_timeout, then cancels
+//    stragglers mid-stream (cooperative cancellation) and closes. Stop()
+//    drains and joins everything; the destructor calls Stop().
+//
+//  * Strict input validation. Oversized, malformed or truncated frames get
+//    one error frame and a close — never a crash, never unbounded buffering
+//    (inbound frames are capped too).
+//
+// Lifecycle: construct → Start() → serve → Drain()/Stop(). One event-loop
+// thread handles all sockets; ServerOptions::threads Session workers
+// evaluate. Documents are loaded lazily from document_root ("<name>.slp",
+// validated against path escapes) and cached; queries are compiled once per
+// distinct pattern and cached.
+
+#ifndef SLPSPAN_PUBLIC_SERVER_H_
+#define SLPSPAN_PUBLIC_SERVER_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "slpspan/runtime.h"
+#include "slpspan/status.h"
+
+namespace slpspan {
+
+namespace net {
+class ServerImpl;
+}  // namespace net
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back with
+  /// Server::port() — what tests and single-machine benches use).
+  uint16_t port = 0;
+
+  /// Listen address (IPv4 dotted quad or "localhost").
+  std::string bind_address = "127.0.0.1";
+
+  /// Session worker threads; 0 = hardware concurrency.
+  uint32_t threads = 0;
+
+  /// Accepted-connection cap; further connects get an error frame + close.
+  uint32_t max_connections = 1024;
+
+  /// Per-connection outbound queue budget — the backpressure bound. A
+  /// worker streaming pages to a connection whose queue is over budget
+  /// blocks (pausing its ResultStream) until the client reads.
+  size_t write_buffer_bytes = size_t{1} << 20;  // 1 MiB
+
+  /// SO_SNDBUF for accepted sockets; 0 keeps the kernel default
+  /// (autotuned). Setting it pins kernel-side buffering per connection,
+  /// so write_buffer_bytes + sndbuf bounds total server memory behind a
+  /// slow client instead of letting autotune absorb multi-megabyte
+  /// streams before backpressure engages.
+  int socket_sndbuf_bytes = 0;
+
+  /// How long Drain()/Stop() waits for in-flight requests to finish and
+  /// their replies to flush before cancelling stragglers.
+  std::chrono::milliseconds drain_timeout = std::chrono::milliseconds(5000);
+
+  /// Directory resolved against client document refs: request document "x"
+  /// loads "<document_root>/x.slp". Refs with path separators or ".." are
+  /// rejected per-request.
+  std::string document_root = ".";
+
+  /// Alphabet queries are compiled over; empty = printable ASCII + '\n'
+  /// (the CLI default).
+  std::string alphabet;
+
+  /// Tuples per page frame streamed back to clients.
+  uint32_t page_tuples = 256;
+};
+
+class Server {
+ public:
+  Server();
+  explicit Server(ServerOptions opts);
+  ~Server();  // calls Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the event loop + Session workers. Fails
+  /// (kInvalidArgument) when the address/port cannot be bound; the Server
+  /// is then inert and Start may be retried with different options via a
+  /// fresh Server.
+  Status Start();
+
+  /// The bound port (resolves port 0); 0 before Start.
+  uint16_t port() const;
+
+  /// Graceful shutdown, phase 1: stop accepting, answer new requests on
+  /// live connections with an error, wait up to drain_timeout for in-flight
+  /// requests to complete and their replies to reach the sockets, then
+  /// cancel what remains. Idempotent. Returns true when everything finished
+  /// inside the timeout (false = stragglers were cancelled).
+  bool Drain();
+
+  /// Drain + tear down: closes every connection, stops the event loop and
+  /// joins all threads. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Serving statistics (cumulative since Start unless noted).
+  struct Stats {
+    uint64_t active_connections = 0;  ///< gauge
+    uint64_t total_accepted = 0;
+    uint64_t rejected_full = 0;  ///< closed at accept: max_connections
+    uint64_t requests = 0;
+    uint64_t pages_sent = 0;
+    uint64_t tuples_sent = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    /// Times a worker blocked in a page sink because a connection's write
+    /// queue was over budget — each one is a paused ResultStream.
+    uint64_t backpressure_pauses = 0;
+    uint64_t bad_frames = 0;  ///< protocol violations that closed a connection
+    uint64_t cancelled_on_disconnect = 0;  ///< tickets cancelled by peer loss
+    /// High-water mark of any connection's write queue — the observable
+    /// proof that backpressure bounds server-side buffering.
+    uint64_t max_write_queue_bytes = 0;
+    /// The underlying Session's per-class stats (queue latency percentiles
+    /// included) — what the wire-level stats frame reports.
+    Session::Stats session;
+  };
+  Stats stats() const;
+
+ private:
+  std::unique_ptr<net::ServerImpl> impl_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_PUBLIC_SERVER_H_

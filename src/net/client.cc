@@ -1,0 +1,186 @@
+// Blocking protocol client — see client.h.
+
+#include "net/client.h"
+
+#include <utility>
+
+namespace slpspan {
+namespace net {
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  Result<OwnedFd> fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  Client client(std::move(fd).value());
+  uint8_t type = 0;
+  std::string payload;
+  Status st = client.ReadFrame(&type, &payload);
+  if (!st.ok()) return st;
+  if (type == static_cast<uint8_t>(FrameType::kError)) {
+    Result<std::string> msg = DecodeError(
+        reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+    return Status::ResourceExhausted(msg.ok() ? msg.value()
+                                              : "server rejected connection");
+  }
+  if (type != static_cast<uint8_t>(FrameType::kHello)) {
+    return Status::Corruption("expected hello frame");
+  }
+  Result<HelloFrame> hello = DecodeHello(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  if (!hello.ok()) return hello.status();
+  return client;
+}
+
+Result<CallResult> Client::Call(WireOp op, const std::string& document,
+                                const std::string& pattern,
+                                CallOptions opts) {
+  Result<uint64_t> id = Send(op, document, pattern, std::move(opts));
+  if (!id.ok()) return id.status();
+  return Receive(id.value());
+}
+
+Result<uint64_t> Client::Send(WireOp op, const std::string& document,
+                              const std::string& pattern, CallOptions opts) {
+  if (!fd_.valid()) return Status::InvalidArgument("client not connected");
+  RequestFrame req;
+  req.id = next_id_++;
+  req.op = op;
+  req.priority = opts.priority;
+  req.deadline_ms = opts.deadline_ms;
+  req.limit = opts.limit;
+  req.document = document;
+  req.pattern = pattern;
+  std::string wire;
+  AppendRequest(req, &wire);
+  Status st = SendAll(fd_.get(), wire.data(), wire.size());
+  if (!st.ok()) return st;
+  PendingCall pending;
+  pending.opts = std::move(opts);
+  pending_.emplace(req.id, std::move(pending));
+  return req.id;
+}
+
+Result<CallResult> Client::Receive(uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return Status::InvalidArgument("unknown call id");
+  while (!it->second.done) {
+    uint8_t type = 0;
+    std::string payload;
+    Status st = ReadFrame(&type, &payload);
+    if (!st.ok()) return st;
+    uint64_t done_id = 0;
+    st = HandleFrame(type, payload, &done_id);
+    if (!st.ok()) return st;
+  }
+  CallResult result = std::move(it->second.result);
+  pending_.erase(it);
+  return result;
+}
+
+Status Client::Cancel(uint64_t id) {
+  if (!fd_.valid()) return Status::InvalidArgument("client not connected");
+  std::string wire;
+  AppendCancel(id, &wire);
+  return SendAll(fd_.get(), wire.data(), wire.size());
+}
+
+Result<StatsFrame> Client::Stats() {
+  if (!fd_.valid()) return Status::InvalidArgument("client not connected");
+  std::string wire;
+  AppendStatsRequest(&wire);
+  Status st = SendAll(fd_.get(), wire.data(), wire.size());
+  if (!st.ok()) return st;
+  // Stats frames are answered in order relative to other replies on this
+  // connection; demux everything else until one arrives.
+  for (;;) {
+    uint8_t type = 0;
+    std::string payload;
+    st = ReadFrame(&type, &payload);
+    if (!st.ok()) return st;
+    if (type == static_cast<uint8_t>(FrameType::kStats)) {
+      return DecodeStats(reinterpret_cast<const uint8_t*>(payload.data()),
+                         payload.size());
+    }
+    uint64_t done_id = 0;
+    st = HandleFrame(type, payload, &done_id);
+    if (!st.ok()) return st;
+  }
+}
+
+Status Client::ReadFrame(uint8_t* type, std::string* payload) {
+  if (!fd_.valid()) return Status::InvalidArgument("client not connected");
+  char buf[16384];
+  for (;;) {
+    if (read_buffer_.size() >= kFrameHeaderBytes) {
+      FrameHeader h =
+          DecodeHeader(reinterpret_cast<const uint8_t*>(read_buffer_.data()));
+      if (h.payload_size > kMaxOutboundPayload) {
+        return Status::Corruption("oversized frame from server");
+      }
+      if (read_buffer_.size() >= kFrameHeaderBytes + h.payload_size) {
+        *type = h.type;
+        payload->assign(read_buffer_, kFrameHeaderBytes, h.payload_size);
+        read_buffer_.erase(0, kFrameHeaderBytes + h.payload_size);
+        return Status::OK();
+      }
+    }
+    bool would_block = false;
+    Result<size_t> n = RecvSome(fd_.get(), buf, sizeof(buf), &would_block);
+    if (!n.ok()) return n.status();
+    if (n.value() == 0 && !would_block) {
+      return Status::Corruption("connection closed by server");
+    }
+    read_buffer_.append(buf, n.value());
+  }
+}
+
+Status Client::HandleFrame(uint8_t type, const std::string& payload,
+                           uint64_t* done_id) {
+  *done_id = 0;
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kPage: {
+      Result<PageFrame> page = DecodePage(data, payload.size());
+      if (!page.ok()) return page.status();
+      auto it = pending_.find(page.value().id);
+      if (it == pending_.end()) return Status::OK();  // cancelled / unknown
+      it->second.result.pages++;
+      if (it->second.opts.on_page) {
+        it->second.opts.on_page(page.value().tuples);
+      } else {
+        auto& dst = it->second.result.tuples;
+        auto& src = page.value().tuples;
+        dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                   std::make_move_iterator(src.end()));
+      }
+      return Status::OK();
+    }
+    case FrameType::kDone: {
+      Result<DoneFrame> done = DecodeDone(data, payload.size());
+      if (!done.ok()) return done.status();
+      const DoneFrame& d = done.value();
+      auto it = pending_.find(d.id);
+      if (it == pending_.end()) return Status::OK();
+      it->second.result.code = d.code;
+      it->second.result.message = d.message;
+      it->second.result.nonempty = d.nonempty;
+      it->second.result.count_value = d.count_value;
+      it->second.result.count_exact = d.count_exact;
+      it->second.result.tuples_streamed = d.tuples_streamed;
+      it->second.done = true;
+      *done_id = d.id;
+      return Status::OK();
+    }
+    case FrameType::kError: {
+      Result<std::string> msg = DecodeError(data, payload.size());
+      return Status::InvalidArgument(
+          "server error: " + (msg.ok() ? msg.value() : "<undecodable>"));
+    }
+    case FrameType::kStats:
+      return Status::OK();  // unrequested snapshot; ignore
+    default:
+      return Status::Corruption("unexpected frame type from server");
+  }
+}
+
+}  // namespace net
+}  // namespace slpspan

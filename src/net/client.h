@@ -1,0 +1,114 @@
+// Blocking client for the framed-TCP protocol (docs/WIRE_PROTOCOL.md) —
+// what the CLI's `query --connect`, examples/serve_client.cpp and the
+// server tests speak. Internal header (not part of include/slpspan): the
+// protocol surface for embedders is the Server; this client exists so every
+// in-repo consumer shares one well-tested implementation instead of
+// hand-rolling sockets (repo_lint confines socket syscalls to src/net/).
+//
+// Usage is synchronous and single-threaded: Connect, then either the
+// one-shot Call() or the split-phase Send()/Receive() pair (the latter is
+// how a test stalls its read side while the server backpressures). Frames
+// for other in-flight ids that arrive while Receive(id) waits are demuxed
+// and buffered, so interleaved requests on one connection work.
+
+#ifndef SLPSPAN_NET_CLIENT_H_
+#define SLPSPAN_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace slpspan {
+namespace net {
+
+/// Outcome of one request as observed over the wire.
+struct CallResult {
+  uint8_t code = 0;  ///< StatusCode value from the kDone frame; 0 = OK
+  std::string message;
+  bool nonempty = false;
+  uint64_t count_value = 0;
+  bool count_exact = true;
+  uint64_t tuples_streamed = 0;
+  uint64_t pages = 0;
+  /// Extract tuples, accumulated across pages (empty when `on_page` below
+  /// consumed them instead).
+  std::vector<SpanTuple> tuples;
+
+  bool ok() const { return code == 0; }
+};
+
+struct CallOptions {
+  uint64_t limit = UINT64_MAX;  ///< UINT64_MAX = no limit
+  uint8_t priority = 1;         ///< Priority enum value (1 = kBatch)
+  uint32_t deadline_ms = 0;     ///< relative; 0 = none
+  /// When set, each received page is handed here instead of being
+  /// accumulated into CallResult::tuples.
+  std::function<void(const std::vector<SpanTuple>&)> on_page;
+};
+
+class Client {
+ public:
+  /// Connects and validates the server's hello frame.
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Send + Receive in one call.
+  Result<CallResult> Call(WireOp op, const std::string& document,
+                          const std::string& pattern, CallOptions opts = {});
+
+  /// Submits a request and returns its id without reading any reply —
+  /// pair with Receive. Multiple Sends may be outstanding.
+  Result<uint64_t> Send(WireOp op, const std::string& document,
+                        const std::string& pattern, CallOptions opts = {});
+
+  /// Blocks until the kDone frame for `id` arrives (demuxing and buffering
+  /// frames of other outstanding ids on the way).
+  Result<CallResult> Receive(uint64_t id);
+
+  /// Requests cancellation of an in-flight id (fire and forget; the
+  /// request still terminates with a kDone frame).
+  Status Cancel(uint64_t id);
+
+  /// Fetches a server statistics snapshot.
+  Result<StatsFrame> Stats();
+
+  /// Abrupt close (no protocol goodbye) — simulates a dying client.
+  void Abort() { fd_.Reset(); }
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  explicit Client(OwnedFd fd) : fd_(std::move(fd)) {}
+
+  /// Reads exactly one frame into *type / *payload.
+  Status ReadFrame(uint8_t* type, std::string* payload);
+
+  /// Routes one received frame into `pending_`. *done_id reports the id a
+  /// kDone frame completed (0 = none).
+  Status HandleFrame(uint8_t type, const std::string& payload,
+                     uint64_t* done_id);
+
+  struct PendingCall {
+    CallOptions opts;
+    CallResult result;
+    bool done = false;
+  };
+
+  OwnedFd fd_;
+  std::string read_buffer_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, PendingCall> pending_;
+};
+
+}  // namespace net
+}  // namespace slpspan
+
+#endif  // SLPSPAN_NET_CLIENT_H_

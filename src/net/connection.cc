@@ -1,0 +1,146 @@
+// Connection write queue, backpressure and request table — see connection.h.
+
+#include "net/connection.h"
+
+#include <errno.h>
+#include <cstring>
+#include <sys/socket.h>
+
+#include <algorithm>
+
+namespace slpspan {
+namespace net {
+
+bool Connection::EnqueuePage(std::string frame) {
+  util::MutexLock lock(&mu_);
+  // Block while over budget. A frame bigger than the whole budget would
+  // never fit, so it is admitted as soon as the queue is empty — the queue
+  // then briefly holds one oversized frame, keeping the bound at
+  // write_budget_ + max frame size while guaranteeing progress.
+  bool paused = false;
+  while (!closed_ && write_queue_bytes_ + frame.size() > write_budget_ &&
+         write_queue_bytes_ > 0) {
+    if (!paused) {
+      paused = true;
+      backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+    }
+    writable_cv_.Wait(mu_);
+  }
+  if (closed_) return false;
+  write_queue_bytes_ += frame.size();
+  write_queue_.push_back(std::move(frame));
+  NoteQueueDepthLocked();
+  return true;
+}
+
+bool Connection::EnqueueControl(std::string frame) {
+  util::MutexLock lock(&mu_);
+  if (closed_) return false;
+  write_queue_bytes_ += frame.size();
+  write_queue_.push_back(std::move(frame));
+  NoteQueueDepthLocked();
+  return true;
+}
+
+bool Connection::FlushWrites(bool* want_writable) {
+  util::MutexLock lock(&mu_);
+  *want_writable = false;
+  while (!write_queue_.empty()) {
+    const std::string& front = write_queue_.front();
+    ssize_t n = ::send(fd_.get(), front.data() + write_offset_,
+                       front.size() - write_offset_,
+                       MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *want_writable = true;
+        break;
+      }
+      return false;  // peer reset — caller closes the connection
+    }
+    bytes_out.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+    write_offset_ += static_cast<size_t>(n);
+    if (write_offset_ == front.size()) {
+      write_queue_bytes_ -= front.size();
+      write_offset_ = 0;
+      write_queue_.pop_front();
+    }
+  }
+  // Wake paused page producers once the queue has real headroom (half the
+  // budget) — hysteresis so a stalled client does not make workers
+  // thrash between one-page sends and pauses.
+  if (write_queue_bytes_ <= write_budget_ / 2) writable_cv_.NotifyAll();
+  return true;
+}
+
+bool Connection::WriteQueueEmpty() {
+  util::MutexLock lock(&mu_);
+  return write_queue_.empty();
+}
+
+bool Connection::RegisterTicket(uint64_t request_id, Ticket ticket) {
+  util::MutexLock lock(&mu_);
+  if (done_early_.erase(request_id) > 0) return false;  // already completed
+  if (closed_) return false;  // drop; MarkClosed already ran
+  inflight_.emplace(request_id, std::move(ticket));
+  return true;
+}
+
+bool Connection::IdInUse(uint64_t request_id) {
+  util::MutexLock lock(&mu_);
+  return inflight_.count(request_id) > 0 || done_early_.count(request_id) > 0;
+}
+
+void Connection::CompleteRequest(uint64_t request_id, std::string done_frame) {
+  util::MutexLock lock(&mu_);
+  if (inflight_.erase(request_id) == 0) {
+    // Completed before RegisterTicket stored the ticket; remember the id so
+    // the register drops its (already-dead) ticket.
+    done_early_.insert(request_id);
+  }
+  if (closed_) return;  // peer is gone; nothing to deliver
+  write_queue_bytes_ += done_frame.size();
+  write_queue_.push_back(std::move(done_frame));
+  NoteQueueDepthLocked();
+}
+
+Ticket Connection::TakeTicket(uint64_t request_id) {
+  util::MutexLock lock(&mu_);
+  auto it = inflight_.find(request_id);
+  if (it == inflight_.end()) return Ticket();
+  Ticket t = std::move(it->second);
+  inflight_.erase(it);
+  return t;
+}
+
+std::vector<Ticket> Connection::MarkClosed() {
+  util::MutexLock lock(&mu_);
+  closed_ = true;
+  writable_cv_.NotifyAll();  // unblock every paused EnqueuePage
+  std::vector<Ticket> orphans;
+  orphans.reserve(inflight_.size());
+  for (auto& [id, ticket] : inflight_) orphans.push_back(std::move(ticket));
+  inflight_.clear();
+  return orphans;
+}
+
+bool Connection::closed() {
+  util::MutexLock lock(&mu_);
+  return closed_;
+}
+
+size_t Connection::InflightCount() {
+  util::MutexLock lock(&mu_);
+  return inflight_.size();
+}
+
+void Connection::NoteQueueDepthLocked() {
+  uint64_t depth = write_queue_bytes_;
+  uint64_t seen = max_write_queue_bytes.load(std::memory_order_relaxed);
+  while (depth > seen && !max_write_queue_bytes.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace net
+}  // namespace slpspan

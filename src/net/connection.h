@@ -1,0 +1,146 @@
+// Per-client connection state: inbound frame reassembly, the bounded
+// outbound write queue that implements connection-level backpressure, and
+// the in-flight request table.
+//
+// Threading model. Three kinds of threads touch a Connection:
+//   * the server's event-loop thread (reads, flushes, closes),
+//   * Session worker threads delivering pages (EnqueuePage) and terminal
+//     results (CompleteRequest),
+//   * the drain/stop path (MarkClosed).
+// Everything mutable is guarded by `mu`. The backpressure contract is the
+// one piece of blocking: EnqueuePage BLOCKS the calling worker while the
+// write queue is over budget — which, through SubmitOptions::on_page, is
+// exactly what pauses the underlying ResultStream at its next checkpoint.
+// The event-loop thread never blocks on the queue: FlushWrites sends with
+// MSG_DONTWAIT and notifies `writable_cv` as the queue drains, waking any
+// paused worker. Server-side memory per connection is therefore bounded by
+// write_budget + one frame, no matter how slow the client reads.
+//
+// Lock order: Connection::mu is a leaf — no other lock is ever taken while
+// holding it. In particular, Ticket::Cancel (which can re-enter
+// CompleteRequest through the completion callback) is always called with
+// `mu` released, on tickets moved out of the table under the lock.
+
+#ifndef SLPSPAN_NET_CONNECTION_H_
+#define SLPSPAN_NET_CONNECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/socket.h"
+#include "slpspan/runtime.h"
+#include "util/mutex.h"
+
+namespace slpspan {
+namespace net {
+
+class Connection {
+ public:
+  Connection(OwnedFd fd, uint64_t id, size_t write_budget)
+      : fd_(std::move(fd)), id_(id), write_budget_(write_budget) {}
+
+  int fd() const { return fd_.get(); }
+  uint64_t id() const { return id_; }
+
+  /// Inbound reassembly buffer — only the event-loop thread touches it, so
+  /// it needs no lock.
+  std::string& read_buffer() { return read_buffer_; }
+
+  // ------------------------------------------------------- write path ------
+
+  /// Queues one encoded page frame, BLOCKING while the queue is over
+  /// budget (this is the stream pause). A frame larger than the whole
+  /// budget is admitted once the queue is empty, so oversized pages make
+  /// progress instead of deadlocking. Returns false when the connection
+  /// closed while waiting — the caller (the on_page sink) then returns
+  /// false to stop the ResultStream. Must NOT be called from the event-loop
+  /// thread.
+  bool EnqueuePage(std::string frame) EXCLUDES(mu_);
+
+  /// Queues a small control frame (kDone / kError / kStats / kHello)
+  /// without blocking — control frames are bounded and must not deadlock
+  /// the completion path. Returns false when the connection is closed (the
+  /// frame is dropped; the peer is gone).
+  bool EnqueueControl(std::string frame) EXCLUDES(mu_);
+
+  /// Sends as much queued data as the socket accepts (MSG_DONTWAIT), from
+  /// the event-loop thread. Notifies writers when the queue drains below
+  /// half budget. Returns false on a dead socket (caller tears the
+  /// connection down); *want_writable is set when residual data needs an
+  /// EPOLLOUT wakeup.
+  bool FlushWrites(bool* want_writable) EXCLUDES(mu_);
+
+  /// True when nothing is queued (drain uses this to know the last reply
+  /// actually left the process).
+  bool WriteQueueEmpty() EXCLUDES(mu_);
+
+  // --------------------------------------------------- request table ------
+
+  /// Records an in-flight ticket under the client's request id — unless the
+  /// request already completed (callbacks can fire before Submit returns),
+  /// in which case the ticket is dropped and false is returned.
+  bool RegisterTicket(uint64_t request_id, Ticket ticket) EXCLUDES(mu_);
+
+  /// True if `request_id` is currently in flight or completed early —
+  /// i.e. the id is not free for a new request.
+  bool IdInUse(uint64_t request_id) EXCLUDES(mu_);
+
+  /// Terminal delivery for one request: removes it from the in-flight
+  /// table (or records an early completion) and queues `done_frame`.
+  void CompleteRequest(uint64_t request_id, std::string done_frame)
+      EXCLUDES(mu_);
+
+  /// Withdraws one request: moves its ticket out of the table (cancel
+  /// happens at the call site, outside the lock). Invalid ticket when the
+  /// id is unknown.
+  Ticket TakeTicket(uint64_t request_id) EXCLUDES(mu_);
+
+  /// Closes the connection for writers: wakes every worker blocked in
+  /// EnqueuePage (their streams stop at the next page) and moves all
+  /// in-flight tickets out for the caller to Cancel outside the lock.
+  std::vector<Ticket> MarkClosed() EXCLUDES(mu_);
+
+  bool closed() EXCLUDES(mu_);
+  size_t InflightCount() EXCLUDES(mu_);
+
+  // ------------------------------------------------------------ stats ------
+
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> pages_sent{0};
+  std::atomic<uint64_t> tuples_sent{0};
+  std::atomic<uint64_t> backpressure_pauses{0};
+  std::atomic<uint64_t> max_write_queue_bytes{0};
+
+ private:
+  void NoteQueueDepthLocked() REQUIRES(mu_);
+
+  const OwnedFd fd_;
+  const uint64_t id_;
+  const size_t write_budget_;
+
+  std::string read_buffer_;  // event-loop thread only
+
+  util::Mutex mu_;
+  util::CondVar writable_cv_;
+  std::deque<std::string> write_queue_ GUARDED_BY(mu_);
+  size_t write_queue_bytes_ GUARDED_BY(mu_) = 0;
+  size_t write_offset_ GUARDED_BY(mu_) = 0;  // sent bytes of queue front
+  bool closed_ GUARDED_BY(mu_) = false;
+  std::unordered_map<uint64_t, Ticket> inflight_ GUARDED_BY(mu_);
+  /// Request ids whose completion callback ran before RegisterTicket — the
+  /// register/complete race of Session callbacks firing on the submitting
+  /// thread's timeline.
+  std::unordered_set<uint64_t> done_early_ GUARDED_BY(mu_);
+};
+
+}  // namespace net
+}  // namespace slpspan
+
+#endif  // SLPSPAN_NET_CONNECTION_H_

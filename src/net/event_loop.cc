@@ -1,0 +1,85 @@
+// Epoll wrapper — see event_loop.h.
+
+#include "net/event_loop.h"
+
+#include <errno.h>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace slpspan {
+namespace net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::InvalidArgument(std::string(what) + ": " +
+                                 std::strerror(errno));
+}
+
+}  // namespace
+
+Status EventLoop::Init() {
+  int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) return Errno("epoll_create1");
+  epoll_fd_ = OwnedFd(ep);
+  int ev = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (ev < 0) return Errno("eventfd");
+  wake_fd_ = OwnedFd(ev);
+  return Add(wake_fd_.get(), EPOLLIN, kWakeTag);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(ADD)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Mod(int fd, uint32_t events, uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Errno("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Del(int fd) {
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Wait(int timeout_ms, std::vector<Event>* out) {
+  out->clear();
+  epoll_event events[128];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_.get(), events, 128, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Errno("epoll_wait");
+  out->reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (events[i].data.u64 == kWakeTag) {
+      uint64_t drain = 0;
+      // Non-blocking eventfd: EAGAIN just means another Wake already drained.
+      (void)!::read(wake_fd_.get(), &drain, sizeof(drain));
+    }
+    out->push_back(Event{events[i].data.u64, events[i].events});
+  }
+  return Status::OK();
+}
+
+void EventLoop::Wake() {
+  uint64_t one = 1;
+  (void)!::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+}  // namespace net
+}  // namespace slpspan

@@ -1,0 +1,53 @@
+// Minimal epoll wrapper used by the server and the load driver: register
+// fds with a caller-chosen u64 tag, wait for readiness, and wake the waiter
+// from another thread through an eventfd. Single-consumer — exactly one
+// thread calls Wait; Add/Mod/Del/Wake may be called from any thread (epoll
+// itself is thread-safe for that split).
+
+#ifndef SLPSPAN_NET_EVENT_LOOP_H_
+#define SLPSPAN_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace slpspan {
+namespace net {
+
+/// Tag the wake eventfd reports readiness under. Callers must not register
+/// their own fds with this tag.
+inline constexpr uint64_t kWakeTag = ~uint64_t{0};
+
+class EventLoop {
+ public:
+  struct Event {
+    uint64_t tag = 0;
+    uint32_t events = 0;  // EPOLLIN / EPOLLOUT / EPOLLHUP / EPOLLERR bits
+  };
+
+  /// Creates the epoll instance and the wake eventfd; Status on failure.
+  Status Init();
+
+  Status Add(int fd, uint32_t events, uint64_t tag);
+  Status Mod(int fd, uint32_t events, uint64_t tag);
+  Status Del(int fd);
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready events to
+  /// *out (cleared first). A Wake() shows up as an Event with tag kWakeTag,
+  /// already drained.
+  Status Wait(int timeout_ms, std::vector<Event>* out);
+
+  /// Makes a concurrent (or the next) Wait return. Safe from any thread.
+  void Wake();
+
+ private:
+  OwnedFd epoll_fd_;
+  OwnedFd wake_fd_;
+};
+
+}  // namespace net
+}  // namespace slpspan
+
+#endif  // SLPSPAN_NET_EVENT_LOOP_H_

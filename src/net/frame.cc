@@ -1,0 +1,328 @@
+// Frame codec implementation — see frame.h and docs/WIRE_PROTOCOL.md.
+
+#include "net/frame.h"
+
+#include <limits>
+
+#include "storage/bundle_format.h"
+
+namespace slpspan {
+namespace net {
+namespace {
+
+using storage::BundleReader;
+using storage::BundleWriter;
+
+/// Seals `payload` into a complete frame appended to *out.
+void AppendFrame(FrameType type, const std::string& payload,
+                 std::string* out) {
+  BundleWriter header;
+  header.U32(static_cast<uint32_t>(payload.size()));
+  header.U8(static_cast<uint8_t>(type));
+  out->append(header.buffer());
+  out->append(payload);
+}
+
+Status ReadString(BundleReader& r, size_t max_bytes, const char* what,
+                  std::string* out) {
+  uint64_t len = 0;
+  Status st = r.Varint(&len);
+  if (!st.ok()) return st;
+  if (len > max_bytes) {
+    return Status::InvalidArgument(std::string(what) + " too long");
+  }
+  if (len > r.remaining()) return Status::Corruption("truncated frame");
+  out->resize(static_cast<size_t>(len));
+  return r.Bytes(out->data(), out->size());
+}
+
+/// Fails decoding when payload bytes remain after the last field — trailing
+/// garbage means the sender and receiver disagree about the format.
+Status ExpectEnd(const BundleReader& r) {
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in frame");
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendHello(std::string* out) {
+  BundleWriter w;
+  w.U32(kProtocolMagic);
+  w.U16(kProtocolVersion);
+  AppendFrame(FrameType::kHello, w.buffer(), out);
+}
+
+void AppendRequest(const RequestFrame& request, std::string* out) {
+  BundleWriter w;
+  w.U64(request.id);
+  w.U8(static_cast<uint8_t>(request.op));
+  w.U8(request.priority);
+  w.U32(request.deadline_ms);
+  w.U64(request.limit);
+  w.Varint(request.document.size());
+  w.Bytes(request.document.data(), request.document.size());
+  w.Varint(request.pattern.size());
+  w.Bytes(request.pattern.data(), request.pattern.size());
+  AppendFrame(FrameType::kRequest, w.buffer(), out);
+}
+
+void AppendCancel(uint64_t id, std::string* out) {
+  BundleWriter w;
+  w.U64(id);
+  AppendFrame(FrameType::kCancel, w.buffer(), out);
+}
+
+void AppendPage(uint64_t id, std::span<const SpanTuple> tuples,
+                std::string* out) {
+  BundleWriter w;
+  w.U64(id);
+  w.U32(static_cast<uint32_t>(tuples.size()));
+  for (const SpanTuple& t : tuples) {
+    w.U16(static_cast<uint16_t>(t.num_vars()));
+    for (VarId v = 0; v < t.num_vars(); ++v) {
+      const std::optional<Span>& s = t.Get(v);
+      w.U8(s.has_value() ? 1 : 0);
+      if (s.has_value()) {
+        w.Varint(s->begin);
+        w.Varint(s->end);
+      }
+    }
+  }
+  AppendFrame(FrameType::kPage, w.buffer(), out);
+}
+
+void AppendDone(const DoneFrame& done, std::string* out) {
+  BundleWriter w;
+  w.U64(done.id);
+  w.U8(done.code);
+  w.U8(done.nonempty ? 1 : 0);
+  w.U64(done.count_value);
+  w.U8(done.count_exact ? 1 : 0);
+  w.U64(done.tuples_streamed);
+  size_t n = std::min(done.message.size(), kMaxMessageBytes);
+  w.Varint(n);
+  w.Bytes(done.message.data(), n);
+  AppendFrame(FrameType::kDone, w.buffer(), out);
+}
+
+void AppendStatsRequest(std::string* out) {
+  AppendFrame(FrameType::kStatsRequest, std::string(), out);
+}
+
+void AppendStats(const StatsFrame& stats, std::string* out) {
+  BundleWriter w;
+  w.U64(stats.active_connections);
+  w.U64(stats.total_accepted);
+  w.U64(stats.rejected_full);
+  w.U64(stats.requests);
+  w.U64(stats.pages_sent);
+  w.U64(stats.tuples_sent);
+  w.U64(stats.bytes_in);
+  w.U64(stats.bytes_out);
+  w.U64(stats.backpressure_pauses);
+  w.U64(stats.bad_frames);
+  w.U64(stats.cancelled_on_disconnect);
+  w.U64(stats.max_write_queue_bytes);
+  w.U8(static_cast<uint8_t>(stats.by_class.size()));
+  for (const StatsFrame::ClassStats& c : stats.by_class) {
+    w.U64(c.submitted);
+    w.U64(c.completed);
+    w.U64(c.cancelled);
+    w.U64(c.expired);
+    w.U64(c.queue_p50_us);
+    w.U64(c.queue_p99_us);
+  }
+  AppendFrame(FrameType::kStats, w.buffer(), out);
+}
+
+void AppendError(const std::string& message, std::string* out) {
+  BundleWriter w;
+  size_t n = std::min(message.size(), kMaxMessageBytes);
+  w.Varint(n);
+  w.Bytes(message.data(), n);
+  AppendFrame(FrameType::kError, w.buffer(), out);
+}
+
+DoneFrame MakeDone(uint64_t id, const Result<EngineOutput>& result) {
+  DoneFrame d;
+  d.id = id;
+  if (result.ok()) {
+    const EngineOutput& out = result.value();
+    d.code = 0;
+    d.nonempty = out.nonempty;
+    d.count_value = out.count.value;
+    d.count_exact = out.count.exact;
+    d.tuples_streamed = out.tuples_streamed;
+  } else {
+    d.code = static_cast<uint8_t>(result.status().code());
+    d.message = result.status().message();
+  }
+  return d;
+}
+
+FrameHeader DecodeHeader(const uint8_t* data) {
+  FrameHeader h;
+  h.payload_size = static_cast<uint32_t>(data[0]) |
+                   static_cast<uint32_t>(data[1]) << 8 |
+                   static_cast<uint32_t>(data[2]) << 16 |
+                   static_cast<uint32_t>(data[3]) << 24;
+  h.type = data[4];
+  return h;
+}
+
+Result<HelloFrame> DecodeHello(const uint8_t* payload, size_t size) {
+  BundleReader r(payload, size);
+  HelloFrame h;
+  Status st = r.U32(&h.magic);
+  if (st.ok()) st = r.U16(&h.version);
+  if (st.ok()) st = ExpectEnd(r);
+  if (!st.ok()) return st;
+  if (h.magic != kProtocolMagic) {
+    return Status::InvalidArgument("bad protocol magic");
+  }
+  if (h.version != kProtocolVersion) {
+    return Status::NotSupported("unsupported protocol version");
+  }
+  return h;
+}
+
+Result<RequestFrame> DecodeRequest(const uint8_t* payload, size_t size) {
+  BundleReader r(payload, size);
+  RequestFrame req;
+  uint8_t op = 0;
+  Status st = r.U64(&req.id);
+  if (st.ok()) st = r.U8(&op);
+  if (st.ok()) st = r.U8(&req.priority);
+  if (st.ok()) st = r.U32(&req.deadline_ms);
+  if (st.ok()) st = r.U64(&req.limit);
+  if (st.ok()) {
+    st = ReadString(r, kMaxDocumentNameBytes, "document name", &req.document);
+  }
+  if (st.ok()) st = ReadString(r, kMaxPatternBytes, "pattern", &req.pattern);
+  if (st.ok()) st = ExpectEnd(r);
+  if (!st.ok()) return st;
+  if (op > static_cast<uint8_t>(WireOp::kExtract)) {
+    return Status::InvalidArgument("unknown wire op");
+  }
+  req.op = static_cast<WireOp>(op);
+  return req;
+}
+
+Result<uint64_t> DecodeCancel(const uint8_t* payload, size_t size) {
+  BundleReader r(payload, size);
+  uint64_t id = 0;
+  Status st = r.U64(&id);
+  if (st.ok()) st = ExpectEnd(r);
+  if (!st.ok()) return st;
+  return id;
+}
+
+Result<PageFrame> DecodePage(const uint8_t* payload, size_t size) {
+  BundleReader r(payload, size);
+  PageFrame page;
+  uint32_t n = 0;
+  Status st = r.U64(&page.id);
+  if (st.ok()) st = r.U32(&n);
+  if (!st.ok()) return st;
+  // Each tuple is at least 2 bytes (its var count), so a count that cannot
+  // fit in the remaining payload is corruption — checked before reserving.
+  if (static_cast<uint64_t>(n) * 2 > r.remaining()) {
+    return Status::Corruption("page tuple count exceeds payload");
+  }
+  page.tuples.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint16_t num_vars = 0;
+    st = r.U16(&num_vars);
+    if (!st.ok()) return st;
+    if (num_vars > kMaxTupleVars) {
+      return Status::Corruption("tuple variable count too large");
+    }
+    SpanTuple t(num_vars);
+    for (VarId v = 0; v < num_vars; ++v) {
+      uint8_t present = 0;
+      st = r.U8(&present);
+      if (!st.ok()) return st;
+      if (present > 1) return Status::Corruption("bad span presence byte");
+      if (present) {
+        Span s;
+        st = r.Varint(&s.begin);
+        if (st.ok()) st = r.Varint(&s.end);
+        if (!st.ok()) return st;
+        if (s.begin < 1 || s.begin > s.end) {
+          return Status::Corruption("invalid span bounds");
+        }
+        t.Set(v, s);
+      }
+    }
+    page.tuples.push_back(std::move(t));
+  }
+  st = ExpectEnd(r);
+  if (!st.ok()) return st;
+  return page;
+}
+
+Result<DoneFrame> DecodeDone(const uint8_t* payload, size_t size) {
+  BundleReader r(payload, size);
+  DoneFrame d;
+  uint8_t nonempty = 0;
+  uint8_t exact = 0;
+  Status st = r.U64(&d.id);
+  if (st.ok()) st = r.U8(&d.code);
+  if (st.ok()) st = r.U8(&nonempty);
+  if (st.ok()) st = r.U64(&d.count_value);
+  if (st.ok()) st = r.U8(&exact);
+  if (st.ok()) st = r.U64(&d.tuples_streamed);
+  if (st.ok()) st = ReadString(r, kMaxMessageBytes, "message", &d.message);
+  if (st.ok()) st = ExpectEnd(r);
+  if (!st.ok()) return st;
+  d.nonempty = nonempty != 0;
+  d.count_exact = exact != 0;
+  return d;
+}
+
+Result<StatsFrame> DecodeStats(const uint8_t* payload, size_t size) {
+  BundleReader r(payload, size);
+  StatsFrame s;
+  uint8_t classes = 0;
+  Status st = r.U64(&s.active_connections);
+  if (st.ok()) st = r.U64(&s.total_accepted);
+  if (st.ok()) st = r.U64(&s.rejected_full);
+  if (st.ok()) st = r.U64(&s.requests);
+  if (st.ok()) st = r.U64(&s.pages_sent);
+  if (st.ok()) st = r.U64(&s.tuples_sent);
+  if (st.ok()) st = r.U64(&s.bytes_in);
+  if (st.ok()) st = r.U64(&s.bytes_out);
+  if (st.ok()) st = r.U64(&s.backpressure_pauses);
+  if (st.ok()) st = r.U64(&s.bad_frames);
+  if (st.ok()) st = r.U64(&s.cancelled_on_disconnect);
+  if (st.ok()) st = r.U64(&s.max_write_queue_bytes);
+  if (st.ok()) st = r.U8(&classes);
+  if (!st.ok()) return st;
+  if (classes != s.by_class.size()) {
+    return Status::NotSupported("priority class count mismatch");
+  }
+  for (StatsFrame::ClassStats& c : s.by_class) {
+    st = r.U64(&c.submitted);
+    if (st.ok()) st = r.U64(&c.completed);
+    if (st.ok()) st = r.U64(&c.cancelled);
+    if (st.ok()) st = r.U64(&c.expired);
+    if (st.ok()) st = r.U64(&c.queue_p50_us);
+    if (st.ok()) st = r.U64(&c.queue_p99_us);
+    if (!st.ok()) return st;
+  }
+  st = ExpectEnd(r);
+  if (!st.ok()) return st;
+  return s;
+}
+
+Result<std::string> DecodeError(const uint8_t* payload, size_t size) {
+  BundleReader r(payload, size);
+  std::string message;
+  Status st = ReadString(r, kMaxMessageBytes, "message", &message);
+  if (st.ok()) st = ExpectEnd(r);
+  if (!st.ok()) return st;
+  return message;
+}
+
+}  // namespace net
+}  // namespace slpspan

@@ -1,0 +1,164 @@
+// Wire format of the framed-TCP front-end — the codec shared by the server,
+// the client and the load driver. docs/WIRE_PROTOCOL.md is the normative
+// description; this header is its one implementation.
+//
+// Every frame is `u32 payload_length (LE) | u8 type | payload`. Integers are
+// little-endian fixed width; variable-length fields are LEB128 varints. The
+// codec reuses the storage layer's BundleWriter/BundleReader, so decoding
+// inherits the .prep discipline: every primitive read is bounds-checked
+// against the remaining payload, and truncated, oversized or garbage input
+// surfaces as a Status (kCorruption / kInvalidArgument) — never out-of-bounds
+// access, never an abort. Allocation sizes decoded from the wire (page tuple
+// counts, string lengths) are validated against both a hard cap and the
+// bytes actually remaining before any buffer is sized from them.
+
+#ifndef SLPSPAN_NET_FRAME_H_
+#define SLPSPAN_NET_FRAME_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "slpspan/runtime.h"
+#include "slpspan/types.h"
+#include "util/status.h"
+
+namespace slpspan {
+namespace net {
+
+inline constexpr uint32_t kProtocolMagic = 0x53504C53;  // "SLPS" little-endian
+inline constexpr uint16_t kProtocolVersion = 1;
+
+/// `u32 length | u8 type` — length counts payload bytes only.
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+/// Hard cap on a client->server payload. A request frame is a few hundred
+/// bytes of identifiers plus a pattern; anything near this cap is abuse and
+/// is answered with one kError frame followed by connection close.
+inline constexpr uint32_t kMaxInboundPayload = 64u << 10;  // 64 KiB
+
+/// Hard cap on a server->client payload (pages are sized by page_tuples, so
+/// well under this; the cap is the client's corruption guard).
+inline constexpr uint32_t kMaxOutboundPayload = 4u << 20;  // 4 MiB
+
+/// Field caps enforced by the decoder, independent of payload bounds.
+inline constexpr size_t kMaxDocumentNameBytes = 4096;
+inline constexpr size_t kMaxPatternBytes = 16u << 10;
+inline constexpr size_t kMaxMessageBytes = 4096;
+inline constexpr uint32_t kMaxTupleVars = 4096;
+
+enum class FrameType : uint8_t {
+  kHello = 1,         ///< server -> client, once per connection on accept
+  kRequest = 2,       ///< client -> server: submit one evaluation
+  kCancel = 3,        ///< client -> server: withdraw a submitted request
+  kPage = 4,          ///< server -> client: one page of result tuples
+  kDone = 5,          ///< server -> client: terminal status of a request
+  kStatsRequest = 6,  ///< client -> server: ask for a kStats frame
+  kStats = 7,         ///< server -> client: serving statistics
+  kError = 8,         ///< either direction: connection-level error, then close
+};
+
+/// Operation requested over the wire; maps 1:1 onto EngineRequest::Op.
+enum class WireOp : uint8_t { kCheck = 0, kCount = 1, kExtract = 2 };
+
+struct FrameHeader {
+  uint32_t payload_size = 0;
+  uint8_t type = 0;  // raw: validation against FrameType is the dispatcher's
+};
+
+struct HelloFrame {
+  uint32_t magic = kProtocolMagic;
+  uint16_t version = kProtocolVersion;
+};
+
+struct RequestFrame {
+  uint64_t id = 0;           ///< client-chosen, echoed on every reply frame
+  WireOp op = WireOp::kCount;
+  uint8_t priority = 1;      ///< Priority enum value; clamped server-side
+  uint32_t deadline_ms = 0;  ///< relative deadline; 0 = none
+  uint64_t limit = UINT64_MAX;  ///< extract tuple cap; UINT64_MAX = none
+  std::string document;      ///< document ref, resolved under the server root
+  std::string pattern;       ///< spanner regex
+};
+
+struct PageFrame {
+  uint64_t id = 0;
+  std::vector<SpanTuple> tuples;
+};
+
+/// Terminal reply for one request: the status (StatusCode value) plus the
+/// op-dependent result fields.
+struct DoneFrame {
+  uint64_t id = 0;
+  uint8_t code = 0;  ///< StatusCode; 0 = OK
+  std::string message;
+  bool nonempty = false;
+  uint64_t count_value = 0;
+  bool count_exact = true;
+  uint64_t tuples_streamed = 0;
+};
+
+/// Serving statistics snapshot (kStats payload).
+struct StatsFrame {
+  struct ClassStats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t cancelled = 0;
+    uint64_t expired = 0;
+    uint64_t queue_p50_us = 0;
+    uint64_t queue_p99_us = 0;
+  };
+  uint64_t active_connections = 0;
+  uint64_t total_accepted = 0;
+  uint64_t rejected_full = 0;
+  uint64_t requests = 0;
+  uint64_t pages_sent = 0;
+  uint64_t tuples_sent = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t backpressure_pauses = 0;
+  uint64_t bad_frames = 0;
+  uint64_t cancelled_on_disconnect = 0;
+  uint64_t max_write_queue_bytes = 0;
+  std::array<ClassStats, kNumPriorityClasses> by_class{};
+};
+
+// ----------------------------------------------------------- encoding ------
+// Encoders append one complete frame (header + payload) to *out, so a caller
+// can batch several frames into one send buffer.
+
+void AppendHello(std::string* out);
+void AppendRequest(const RequestFrame& request, std::string* out);
+void AppendCancel(uint64_t id, std::string* out);
+void AppendPage(uint64_t id, std::span<const SpanTuple> tuples,
+                std::string* out);
+void AppendDone(const DoneFrame& done, std::string* out);
+void AppendStatsRequest(std::string* out);
+void AppendStats(const StatsFrame& stats, std::string* out);
+void AppendError(const std::string& message, std::string* out);
+
+/// Builds a DoneFrame from a request's terminal Result (status code, message
+/// and the op-dependent payload fields).
+DoneFrame MakeDone(uint64_t id, const Result<EngineOutput>& result);
+
+// ----------------------------------------------------------- decoding ------
+
+/// Parses the fixed header from `data` (which must hold at least
+/// kFrameHeaderBytes). Never fails; payload_size validation against the
+/// direction's cap is the caller's (the cap differs client/server).
+FrameHeader DecodeHeader(const uint8_t* data);
+
+Result<HelloFrame> DecodeHello(const uint8_t* payload, size_t size);
+Result<RequestFrame> DecodeRequest(const uint8_t* payload, size_t size);
+Result<uint64_t> DecodeCancel(const uint8_t* payload, size_t size);
+Result<PageFrame> DecodePage(const uint8_t* payload, size_t size);
+Result<DoneFrame> DecodeDone(const uint8_t* payload, size_t size);
+Result<StatsFrame> DecodeStats(const uint8_t* payload, size_t size);
+Result<std::string> DecodeError(const uint8_t* payload, size_t size);
+
+}  // namespace net
+}  // namespace slpspan
+
+#endif  // SLPSPAN_NET_FRAME_H_

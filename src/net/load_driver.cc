@@ -1,0 +1,284 @@
+// Open-loop epoll load driver — see load_driver.h.
+
+#include "net/load_driver.h"
+
+#include <errno.h>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+
+namespace slpspan {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ConnState {
+  OwnedFd fd;
+  bool connected = false;
+  bool dead = false;
+  bool write_armed = false;
+  std::string inbox;
+  std::string outbox;
+  size_t out_off = 0;
+};
+
+struct PendingRequest {
+  uint8_t priority = 0;
+  Clock::time_point sent_at;
+};
+
+struct Driver {
+  std::vector<ConnState> conns;
+  // Request ids are globally unique across the run, so one map demuxes all
+  // kDone frames regardless of connection.
+  std::unordered_map<uint64_t, PendingRequest> pending;
+  EventLoop loop;
+  LoadReport report;
+  uint64_t open_now = 0;
+
+  void NoteOpen() {
+    ++open_now;
+    ++report.connections_opened;
+    report.peak_open = std::max(report.peak_open, open_now);
+  }
+
+  void KillConn(uint32_t idx) {
+    ConnState& c = conns[idx];
+    if (c.dead) return;
+    if (c.fd.valid()) (void)loop.Del(c.fd.get());
+    if (c.connected) --open_now;
+    c.dead = true;
+    c.fd.Reset();
+    ++report.wire_errors;
+  }
+
+  /// Sends as much of the outbox as the socket takes; arms EPOLLOUT for
+  /// the rest.
+  void FlushOut(uint32_t idx) {
+    ConnState& c = conns[idx];
+    if (c.dead || !c.connected) return;
+    while (c.out_off < c.outbox.size()) {
+      ssize_t n = ::send(c.fd.get(), c.outbox.data() + c.out_off,
+                         c.outbox.size() - c.out_off,
+                         MSG_DONTWAIT | MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        KillConn(idx);
+        return;
+      }
+      c.out_off += static_cast<size_t>(n);
+    }
+    if (c.out_off == c.outbox.size()) {
+      c.outbox.clear();
+      c.out_off = 0;
+    }
+    const bool want = !c.outbox.empty();
+    if (want != c.write_armed) {
+      Status st = loop.Mod(c.fd.get(), want ? (EPOLLIN | EPOLLOUT) : EPOLLIN,
+                           idx);
+      if (!st.ok()) {
+        KillConn(idx);
+        return;
+      }
+      c.write_armed = want;
+    }
+  }
+
+  /// Drains readable bytes and processes complete frames.
+  void HandleRead(uint32_t idx) {
+    ConnState& c = conns[idx];
+    if (c.dead || !c.connected) return;
+    char buf[16384];
+    for (;;) {
+      bool would_block = false;
+      Result<size_t> n = RecvSome(c.fd.get(), buf, sizeof(buf), &would_block);
+      if (!n.ok()) {
+        KillConn(idx);
+        return;
+      }
+      if (would_block) break;
+      if (n.value() == 0) {
+        KillConn(idx);
+        return;
+      }
+      c.inbox.append(buf, n.value());
+    }
+    size_t off = 0;
+    while (c.inbox.size() - off >= kFrameHeaderBytes) {
+      FrameHeader h =
+          DecodeHeader(reinterpret_cast<const uint8_t*>(c.inbox.data() + off));
+      if (h.payload_size > kMaxOutboundPayload) {
+        KillConn(idx);
+        return;
+      }
+      if (c.inbox.size() - off < kFrameHeaderBytes + h.payload_size) break;
+      const uint8_t* payload = reinterpret_cast<const uint8_t*>(
+          c.inbox.data() + off + kFrameHeaderBytes);
+      HandleFrame(h.type, payload, h.payload_size, idx);
+      if (c.dead) return;
+      off += kFrameHeaderBytes + h.payload_size;
+    }
+    c.inbox.erase(0, off);
+  }
+
+  void HandleFrame(uint8_t type, const uint8_t* payload, size_t size,
+                   uint32_t idx) {
+    switch (static_cast<FrameType>(type)) {
+      case FrameType::kHello:
+        return;  // handshake banner; nothing to record
+      case FrameType::kPage: {
+        Result<PageFrame> page = DecodePage(payload, size);
+        if (!page.ok()) {
+          KillConn(idx);
+          return;
+        }
+        ++report.pages;
+        report.tuples += page.value().tuples.size();
+        return;
+      }
+      case FrameType::kDone: {
+        Result<DoneFrame> done = DecodeDone(payload, size);
+        if (!done.ok()) {
+          KillConn(idx);
+          return;
+        }
+        auto it = pending.find(done.value().id);
+        if (it == pending.end()) return;
+        ++report.completed;
+        if (done.value().code != 0) ++report.failed_requests;
+        const uint64_t us =
+            static_cast<uint64_t>(std::chrono::duration_cast<
+                                      std::chrono::microseconds>(
+                                      Clock::now() - it->second.sent_at)
+                                      .count());
+        report.latency_us[std::min<size_t>(it->second.priority,
+                                           kNumPriorityClasses - 1)]
+            .push_back(us);
+        pending.erase(it);
+        return;
+      }
+      default:
+        KillConn(idx);  // kError or garbage: this connection is done
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+Result<LoadReport> RunOpenLoop(const std::string& host, uint16_t port,
+                               uint32_t num_connections,
+                               std::span<const LoadSpec> schedule,
+                               std::chrono::milliseconds timeout) {
+  Driver d;
+  Status st = d.loop.Init();
+  if (!st.ok()) return st;
+  d.conns.resize(num_connections);
+  for (uint32_t i = 0; i < num_connections; ++i) {
+    Result<OwnedFd> fd = StartConnectTcp(host, port);
+    if (!fd.ok()) {
+      d.conns[i].dead = true;
+      ++d.report.wire_errors;
+      continue;
+    }
+    d.conns[i].fd = std::move(fd).value();
+    // EPOLLOUT signals the handshake completing; EPOLLIN the hello frame.
+    st = d.loop.Add(d.conns[i].fd.get(), EPOLLIN | EPOLLOUT, i);
+    if (!st.ok()) return st;
+    d.conns[i].write_armed = true;
+  }
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline = start + timeout;
+  size_t next_spec = 0;
+  uint64_t next_request_id = 1;
+  std::vector<EventLoop::Event> events;
+
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    // Fire every request whose scheduled time has arrived — regardless of
+    // outstanding work (open loop).
+    while (next_spec < schedule.size()) {
+      const LoadSpec& spec = schedule[next_spec];
+      if (start + std::chrono::microseconds(spec.send_at_us) > now) break;
+      ++next_spec;
+      if (spec.conn >= num_connections || d.conns[spec.conn].dead) {
+        ++d.report.wire_errors;
+        continue;
+      }
+      RequestFrame req;
+      req.id = next_request_id++;
+      req.op = spec.op;
+      req.priority = spec.priority;
+      req.limit = spec.limit;
+      req.document = spec.document;
+      req.pattern = spec.pattern;
+      AppendRequest(req, &d.conns[spec.conn].outbox);
+      d.pending.emplace(req.id,
+                        PendingRequest{spec.priority, Clock::now()});
+      d.FlushOut(spec.conn);
+    }
+
+    const bool work_left = next_spec < schedule.size() || !d.pending.empty();
+    if (!work_left || now >= deadline) break;
+
+    // Sleep until the next scheduled send (or 50ms) so firing stays timely.
+    int wait_ms = 50;
+    if (next_spec < schedule.size()) {
+      const auto until = start +
+                         std::chrono::microseconds(
+                             schedule[next_spec].send_at_us) -
+                         now;
+      const auto ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(until).count();
+      wait_ms = static_cast<int>(std::clamp<long long>(ms, 0, 50));
+    }
+    st = d.loop.Wait(wait_ms, &events);
+    if (!st.ok()) return st;
+    for (const EventLoop::Event& ev : events) {
+      if (ev.tag == kWakeTag) continue;
+      const uint32_t idx = static_cast<uint32_t>(ev.tag);
+      ConnState& c = d.conns[idx];
+      if (c.dead) continue;
+      if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0 && !c.connected) {
+        d.KillConn(idx);
+        continue;
+      }
+      if (!c.connected && (ev.events & EPOLLOUT) != 0) {
+        Status ok = ConnectFinished(c.fd.get());
+        if (!ok.ok()) {
+          d.KillConn(idx);
+          continue;
+        }
+        c.connected = true;
+        d.NoteOpen();
+        c.write_armed = false;
+        Status mod = d.loop.Mod(c.fd.get(), EPOLLIN, idx);
+        if (!mod.ok()) {
+          d.KillConn(idx);
+          continue;
+        }
+        d.FlushOut(idx);  // anything queued while the handshake ran
+        continue;
+      }
+      if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0) {
+        d.KillConn(idx);
+        continue;
+      }
+      if ((ev.events & EPOLLIN) != 0) d.HandleRead(idx);
+      if (!c.dead && (ev.events & EPOLLOUT) != 0) d.FlushOut(idx);
+    }
+  }
+  return std::move(d.report);
+}
+
+}  // namespace net
+}  // namespace slpspan

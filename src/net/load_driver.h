@@ -1,0 +1,64 @@
+// Open-loop load driver for the framed-TCP server — the measurement engine
+// behind bench E15. One thread multiplexes thousands of non-blocking client
+// connections over epoll and fires requests at their *scheduled* times,
+// independent of when earlier responses arrive (open-loop: queueing delay
+// shows up as measured latency instead of silently throttling the offered
+// load, the classic closed-loop coordinated-omission trap).
+//
+// Latency is measured request-send to kDone-received, over the wire, and
+// bucketed by priority class — so a bench can assert that interactive tail
+// latency beats batch tail latency end to end, not just inside Session.
+
+#ifndef SLPSPAN_NET_LOAD_DRIVER_H_
+#define SLPSPAN_NET_LOAD_DRIVER_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace slpspan {
+namespace net {
+
+/// One scheduled request of the open-loop plan.
+struct LoadSpec {
+  uint32_t conn = 0;    ///< connection index in [0, num_connections)
+  WireOp op = WireOp::kCount;
+  uint8_t priority = 1;
+  std::string document;
+  std::string pattern;
+  uint64_t limit = UINT64_MAX;
+  uint64_t send_at_us = 0;  ///< offset from the run's start
+};
+
+struct LoadReport {
+  uint64_t connections_opened = 0;  ///< handshakes completed
+  uint64_t peak_open = 0;           ///< max simultaneously open connections
+  uint64_t completed = 0;           ///< kDone frames received (any code)
+  uint64_t wire_errors = 0;         ///< dead connections / undecodable frames
+  uint64_t failed_requests = 0;     ///< kDone frames with a non-OK code
+  uint64_t pages = 0;
+  uint64_t tuples = 0;
+  /// Wire latency samples (micros), request sent -> kDone received, per
+  /// priority class.
+  std::array<std::vector<uint64_t>, kNumPriorityClasses> latency_us;
+};
+
+/// Opens `num_connections` to host:port, plays `schedule` (must be sorted
+/// by send_at_us), and collects latencies until every request completed or
+/// `timeout` elapsed. Specs naming a connection that failed to open are
+/// counted as wire_errors.
+Result<LoadReport> RunOpenLoop(const std::string& host, uint16_t port,
+                               uint32_t num_connections,
+                               std::span<const LoadSpec> schedule,
+                               std::chrono::milliseconds timeout);
+
+}  // namespace net
+}  // namespace slpspan
+
+#endif  // SLPSPAN_NET_LOAD_DRIVER_H_

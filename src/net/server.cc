@@ -1,0 +1,680 @@
+// Server implementation: one epoll event-loop thread accepting and parsing
+// framed requests, a Session worker pool evaluating them, and the
+// Connection write queues coupling the two with backpressure.
+//
+// Thread roles (see connection.h for the per-connection contract):
+//   * loop thread  — accept, read + frame parse, dispatch (Submit), flush
+//     write queues, tear down connections. The only thread that touches
+//     epoll state, the connection fd read side, and the doc/query caches.
+//   * workers      — run evaluations; deliver pages (EnqueuePage, which
+//     blocks for backpressure) and terminal results (CompleteRequest);
+//     request a flush via the pending list + loop wake.
+//   * control      — Start/Drain/Stop/stats from the embedding application.
+//
+// Lock order: ServerImpl::mu_ and Connection::mu_ are both leaves and are
+// never held together. Ticket::Cancel is only ever invoked on tickets moved
+// out of a connection's table, with no lock held, because its completion
+// callback re-enters CompleteRequest and the flush path.
+
+#include "slpspan/server.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "util/mutex.h"
+
+namespace slpspan {
+namespace net {
+namespace {
+
+/// Event tag of the listening socket; connection ids start at 1.
+constexpr uint64_t kListenerTag = 0;
+
+/// A client-supplied document ref may only name a file directly under the
+/// document root: no separators, no "..", no hidden/empty names.
+bool ValidDocumentRef(const std::string& name) {
+  if (name.empty() || name.size() > kMaxDocumentNameBytes) return false;
+  if (name.front() == '.') return false;
+  for (char c : name) {
+    if (c == '/' || c == '\\' || c == '\0') return false;
+  }
+  return name.find("..") == std::string::npos;
+}
+
+std::string DefaultAlphabet() {
+  std::string a;
+  for (char c = 32; c < 127; ++c) a += c;
+  a += '\n';
+  return a;
+}
+
+}  // namespace
+
+class ServerImpl {
+ public:
+  explicit ServerImpl(ServerOptions opts) : opts_(std::move(opts)) {
+    if (opts_.alphabet.empty()) opts_.alphabet = DefaultAlphabet();
+    if (opts_.page_tuples == 0) opts_.page_tuples = 1;
+  }
+
+  ~ServerImpl() { Stop(); }
+
+  Status Start() {
+    if (started_) return Status::InvalidArgument("server already started");
+    Status st = loop_.Init();
+    if (!st.ok()) return st;
+    Result<OwnedFd> listener =
+        ListenTcp(opts_.bind_address, opts_.port, /*backlog=*/512);
+    if (!listener.ok()) return listener.status();
+    listener_ = std::move(listener).value();
+    Result<uint16_t> port = LocalPort(listener_.get());
+    if (!port.ok()) return port.status();
+    port_ = port.value();
+    st = loop_.Add(listener_.get(), EPOLLIN, kListenerTag);
+    if (!st.ok()) return st;
+    session_ = std::make_unique<Session>(SessionOptions{opts_.threads});
+    started_ = true;
+    loop_thread_ = std::thread([this] { LoopMain(); });
+    return Status::OK();
+  }
+
+  uint16_t port() const { return port_; }
+
+  bool Drain() {
+    if (!started_) return true;
+    {
+      util::MutexLock lock(&mu_);
+      draining_ = true;
+    }
+    loop_.Wake();  // the loop closes the listener when it sees draining_
+    const auto deadline = std::chrono::steady_clock::now() + opts_.drain_timeout;
+    bool clean = false;
+    {
+      util::MutexLock lock(&mu_);
+      for (;;) {
+        if (inflight_total_ == 0 && AllQueuesEmptyLocked()) {
+          clean = true;
+          break;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        // Re-check at least every 10ms: queue-empty transitions have no
+        // dedicated notification (the cv covers inflight completions).
+        (void)drained_cv_.WaitUntil(
+            mu_, std::min(deadline, now + std::chrono::milliseconds(10)));
+      }
+    }
+    if (!clean) {
+      close_stragglers_.store(true, std::memory_order_release);
+      loop_.Wake();
+      // Force-close cancels every straggler's ticket synchronously on the
+      // loop thread; wait (bounded) for those completions to land.
+      const auto grace =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      util::MutexLock lock(&mu_);
+      while (inflight_total_ > 0 &&
+             std::chrono::steady_clock::now() < grace) {
+        (void)drained_cv_.WaitUntil(
+            mu_, std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(10));
+      }
+    }
+    return clean;
+  }
+
+  void Stop() {
+    if (!started_ || stopped_) return;
+    (void)Drain();
+    stop_.store(true, std::memory_order_release);
+    loop_.Wake();
+    loop_thread_.join();
+    // Workers may still be finishing detached evaluations; Session's
+    // destructor completes every submitted ticket before returning.
+    session_.reset();
+    stopped_ = true;
+  }
+
+  Server::Stats stats() const {
+    Server::Stats s;
+    {
+      util::MutexLock lock(&mu_);
+      s = retired_;
+      s.active_connections = connections_.size();
+      for (const auto& [id, conn] : connections_) FoldConnStats(*conn, &s);
+    }
+    s.total_accepted = total_accepted_.load(std::memory_order_relaxed);
+    s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+    s.cancelled_on_disconnect =
+        cancelled_on_disconnect_.load(std::memory_order_relaxed);
+    s.pages_sent = pages_sent_.load(std::memory_order_relaxed);
+    s.tuples_sent = tuples_sent_.load(std::memory_order_relaxed);
+    if (session_ != nullptr) s.session = session_->stats();
+    return s;
+  }
+
+ private:
+  // ------------------------------------------------------- event loop ------
+
+  void LoopMain() {
+    std::vector<EventLoop::Event> events;
+    bool listener_open = true;
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (listener_open) {
+        util::MutexLock lock(&mu_);
+        if (draining_) listener_open = false;
+      }
+      if (!listener_open && listener_.valid()) {
+        (void)loop_.Del(listener_.get());
+        listener_.Reset();
+      }
+      if (close_stragglers_.exchange(false, std::memory_order_acq_rel)) {
+        CloseStragglers();
+      }
+      Status st = loop_.Wait(/*timeout_ms=*/200, &events);
+      if (!st.ok()) continue;  // EINTR-class hiccup; state is intact
+      for (const EventLoop::Event& ev : events) {
+        if (ev.tag == kWakeTag) {
+          FlushPending();
+        } else if (ev.tag == kListenerTag) {
+          if (listener_open) HandleAccept();
+        } else {
+          HandleConnEvent(ev);
+        }
+      }
+    }
+    // Teardown: close every connection (cancelling its tickets) so Session
+    // workers blocked in page sinks unblock and the pool can drain.
+    std::vector<uint64_t> ids;
+    {
+      util::MutexLock lock(&mu_);
+      ids.reserve(connections_.size());
+      for (const auto& [id, conn] : connections_) ids.push_back(id);
+    }
+    for (uint64_t id : ids) CloseConnection(id);
+  }
+
+  void HandleAccept() {
+    for (;;) {
+      bool would_block = false;
+      Result<OwnedFd> accepted = AcceptConnection(listener_.get(), &would_block);
+      if (!accepted.ok() || would_block) return;
+      OwnedFd fd = std::move(accepted).value();
+      if (!fd.valid()) return;
+      size_t active;
+      {
+        util::MutexLock lock(&mu_);
+        active = connections_.size();
+      }
+      if (active >= opts_.max_connections) {
+        rejected_full_.fetch_add(1, std::memory_order_relaxed);
+        std::string err;
+        AppendError("server at max_connections", &err);
+        (void)SendAll(fd.get(), err.data(), err.size());  // best effort
+        continue;
+      }
+      total_accepted_.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t id = next_conn_id_++;
+      int raw_fd = fd.get();
+      if (opts_.socket_sndbuf_bytes > 0) {
+        (void)::setsockopt(raw_fd, SOL_SOCKET, SO_SNDBUF,
+                           &opts_.socket_sndbuf_bytes,
+                           sizeof(opts_.socket_sndbuf_bytes));
+      }
+      auto conn = std::make_shared<Connection>(std::move(fd), id,
+                                               opts_.write_buffer_bytes);
+      std::string hello;
+      AppendHello(&hello);
+      (void)conn->EnqueueControl(std::move(hello));
+      {
+        util::MutexLock lock(&mu_);
+        connections_.emplace(id, conn);
+      }
+      Status st = loop_.Add(raw_fd, EPOLLIN, id);
+      if (!st.ok()) {
+        CloseConnection(id);
+        continue;
+      }
+      FlushConn(conn);
+    }
+  }
+
+  void HandleConnEvent(const EventLoop::Event& ev) {
+    std::shared_ptr<Connection> conn = FindConnection(ev.tag);
+    if (conn == nullptr) return;
+    if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0) {
+      CloseConnection(ev.tag);
+      return;
+    }
+    if ((ev.events & EPOLLIN) != 0) {
+      if (!HandleReadable(conn)) return;  // connection closed
+    }
+    if ((ev.events & EPOLLOUT) != 0) FlushConn(conn);
+  }
+
+  /// Reads everything available and processes complete frames. Returns
+  /// false when the connection was torn down.
+  bool HandleReadable(const std::shared_ptr<Connection>& conn) {
+    char buf[16384];
+    for (;;) {
+      bool would_block = false;
+      Result<size_t> n = RecvSome(conn->fd(), buf, sizeof(buf), &would_block);
+      if (!n.ok()) {
+        CloseConnection(conn->id());
+        return false;
+      }
+      if (would_block) break;
+      if (n.value() == 0) {  // orderly EOF from the client
+        CloseConnection(conn->id());
+        return false;
+      }
+      conn->bytes_in.fetch_add(n.value(), std::memory_order_relaxed);
+      conn->read_buffer().append(buf, n.value());
+    }
+    std::string& rb = conn->read_buffer();
+    size_t off = 0;
+    while (rb.size() - off >= kFrameHeaderBytes) {
+      FrameHeader h =
+          DecodeHeader(reinterpret_cast<const uint8_t*>(rb.data() + off));
+      if (h.payload_size > kMaxInboundPayload) {
+        ProtocolError(conn, "frame exceeds inbound payload cap");
+        return false;
+      }
+      if (rb.size() - off < kFrameHeaderBytes + h.payload_size) break;
+      const uint8_t* payload =
+          reinterpret_cast<const uint8_t*>(rb.data() + off + kFrameHeaderBytes);
+      if (!ProcessFrame(conn, h.type, payload, h.payload_size)) return false;
+      off += kFrameHeaderBytes + h.payload_size;
+    }
+    rb.erase(0, off);
+    FlushConn(conn);
+    return true;
+  }
+
+  /// Dispatches one complete inbound frame. Returns false when the
+  /// connection was torn down (protocol violation).
+  bool ProcessFrame(const std::shared_ptr<Connection>& conn, uint8_t type,
+                    const uint8_t* payload, size_t size) {
+    switch (static_cast<FrameType>(type)) {
+      case FrameType::kRequest: {
+        Result<RequestFrame> req = DecodeRequest(payload, size);
+        if (!req.ok()) {
+          ProtocolError(conn, "malformed request frame: " +
+                                  req.status().message());
+          return false;
+        }
+        DispatchRequest(conn, std::move(req).value());
+        return true;
+      }
+      case FrameType::kCancel: {
+        Result<uint64_t> id = DecodeCancel(payload, size);
+        if (!id.ok()) {
+          ProtocolError(conn, "malformed cancel frame");
+          return false;
+        }
+        // Cancel outside every lock: the completion callback re-enters
+        // CompleteRequest and the flush path.
+        Ticket t = conn->TakeTicket(id.value());
+        if (t.valid()) (void)t.Cancel();
+        return true;
+      }
+      case FrameType::kStatsRequest: {
+        std::string frame;
+        AppendStats(BuildStatsFrame(), &frame);
+        (void)conn->EnqueueControl(std::move(frame));
+        return true;
+      }
+      case FrameType::kError:
+        // Peer-reported fatal error: close without a reply.
+        CloseConnection(conn->id());
+        return false;
+      default:
+        ProtocolError(conn, "unexpected frame type");
+        return false;
+    }
+  }
+
+  void DispatchRequest(const std::shared_ptr<Connection>& conn,
+                       RequestFrame req) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    {
+      util::MutexLock lock(&mu_);
+      if (draining_) {
+        lock.Unlock();
+        RejectRequest(conn, req.id, Status::Cancelled("server draining"));
+        return;
+      }
+    }
+    if (conn->IdInUse(req.id)) {
+      RejectRequest(conn, req.id,
+                    Status::InvalidArgument("duplicate request id"));
+      return;
+    }
+    if (!ValidDocumentRef(req.document)) {
+      RejectRequest(conn, req.id,
+                    Status::InvalidArgument("invalid document ref"));
+      return;
+    }
+    Result<DocumentPtr> doc = LookupDocument(req.document);
+    if (!doc.ok()) {
+      RejectRequest(conn, req.id, doc.status());
+      return;
+    }
+    Result<Query> query = LookupQuery(req.pattern);
+    if (!query.ok()) {
+      RejectRequest(conn, req.id, query.status());
+      return;
+    }
+
+    EngineRequest er{std::move(query).value(), std::move(doc).value(),
+                     EngineRequest::Op::kCount, std::nullopt};
+    switch (req.op) {
+      case WireOp::kCheck:
+        er.op = EngineRequest::Op::kIsNonEmpty;
+        break;
+      case WireOp::kCount:
+        er.op = EngineRequest::Op::kCount;
+        break;
+      case WireOp::kExtract:
+        er.op = EngineRequest::Op::kExtract;
+        break;
+    }
+    if (req.limit != UINT64_MAX) er.limit = req.limit;
+
+    SubmitOptions opts;
+    opts.priority = static_cast<Priority>(
+        std::min<uint8_t>(req.priority, kNumPriorityClasses - 1));
+    if (req.deadline_ms != 0) {
+      opts.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(req.deadline_ms);
+    }
+    const uint64_t rid = req.id;
+    opts.callback = [this, conn, rid](const Result<EngineOutput>& result) {
+      std::string frame;
+      AppendDone(MakeDone(rid, result), &frame);
+      conn->CompleteRequest(rid, std::move(frame));
+      RequestFlush(conn->id());
+      util::MutexLock lock(&mu_);
+      --inflight_total_;
+      drained_cv_.NotifyAll();
+    };
+    if (er.op == EngineRequest::Op::kExtract) {
+      opts.page_tuples = opts_.page_tuples;
+      opts.on_page = [this, conn, rid](std::span<const SpanTuple> page) {
+        std::string frame;
+        AppendPage(rid, page, &frame);
+        pages_sent_.fetch_add(1, std::memory_order_relaxed);
+        tuples_sent_.fetch_add(page.size(), std::memory_order_relaxed);
+        conn->pages_sent.fetch_add(1, std::memory_order_relaxed);
+        conn->tuples_sent.fetch_add(page.size(), std::memory_order_relaxed);
+        // May block — this pause is what backpressures the ResultStream.
+        if (!conn->EnqueuePage(std::move(frame))) return false;
+        RequestFlush(conn->id());
+        return true;
+      };
+    }
+    {
+      util::MutexLock lock(&mu_);
+      ++inflight_total_;
+    }
+    Ticket t = session_->Submit(std::move(er), std::move(opts));
+    if (!conn->RegisterTicket(rid, std::move(t))) {
+      // Completed before registration (or the connection closed) — the
+      // callback already delivered; nothing to track.
+    }
+    FlushConn(conn);
+  }
+
+  /// Per-request failure on a healthy connection: a kDone error frame; the
+  /// connection stays usable.
+  void RejectRequest(const std::shared_ptr<Connection>& conn, uint64_t rid,
+                     const Status& status) {
+    DoneFrame d;
+    d.id = rid;
+    d.code = static_cast<uint8_t>(status.code());
+    d.message = status.message();
+    std::string frame;
+    AppendDone(d, &frame);
+    (void)conn->EnqueueControl(std::move(frame));
+    FlushConn(conn);
+  }
+
+  /// Connection-level failure: count it, best-effort error frame, close.
+  void ProtocolError(const std::shared_ptr<Connection>& conn,
+                     const std::string& message) {
+    bad_frames_.fetch_add(1, std::memory_order_relaxed);
+    std::string frame;
+    AppendError(message, &frame);
+    (void)conn->EnqueueControl(std::move(frame));
+    FlushConn(conn);
+    CloseConnection(conn->id());
+  }
+
+  // ------------------------------------------------ connection registry ----
+
+  std::shared_ptr<Connection> FindConnection(uint64_t id) {
+    util::MutexLock lock(&mu_);
+    auto it = connections_.find(id);
+    return it == connections_.end() ? nullptr : it->second;
+  }
+
+  void CloseConnection(uint64_t id) {
+    std::shared_ptr<Connection> conn;
+    {
+      util::MutexLock lock(&mu_);
+      auto it = connections_.find(id);
+      if (it == connections_.end()) return;
+      conn = std::move(it->second);
+      connections_.erase(it);
+      FoldConnStats(*conn, &retired_);
+    }
+    (void)loop_.Del(conn->fd());
+    epollout_armed_.erase(id);
+    std::vector<Ticket> orphans = conn->MarkClosed();
+    for (Ticket& t : orphans) {
+      if (t.valid() && t.Cancel()) {
+        cancelled_on_disconnect_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    {
+      util::MutexLock lock(&mu_);
+      drained_cv_.NotifyAll();
+    }
+  }
+
+  void CloseStragglers() {
+    std::vector<uint64_t> ids;
+    {
+      util::MutexLock lock(&mu_);
+      for (const auto& [id, conn] : connections_) {
+        if (conn->InflightCount() > 0 || !conn->WriteQueueEmpty()) {
+          ids.push_back(id);
+        }
+      }
+    }
+    for (uint64_t id : ids) CloseConnection(id);
+  }
+
+  // -------------------------------------------------------- write path -----
+
+  /// Worker-side: schedule a flush of `conn_id` on the loop thread.
+  void RequestFlush(uint64_t conn_id) {
+    {
+      util::MutexLock lock(&mu_);
+      flush_pending_.push_back(conn_id);
+    }
+    loop_.Wake();
+  }
+
+  void FlushPending() {
+    std::vector<uint64_t> pending;
+    {
+      util::MutexLock lock(&mu_);
+      pending.swap(flush_pending_);
+    }
+    std::unordered_set<uint64_t> seen;
+    for (uint64_t id : pending) {
+      if (!seen.insert(id).second) continue;
+      std::shared_ptr<Connection> conn = FindConnection(id);
+      if (conn != nullptr) FlushConn(conn);
+    }
+  }
+
+  /// Loop-thread-only: send queued data, (dis)arm EPOLLOUT as needed.
+  void FlushConn(const std::shared_ptr<Connection>& conn) {
+    bool want_writable = false;
+    if (!conn->FlushWrites(&want_writable)) {
+      CloseConnection(conn->id());
+      return;
+    }
+    const bool armed = epollout_armed_.count(conn->id()) > 0;
+    if (want_writable && !armed) {
+      Status st = loop_.Mod(conn->fd(), EPOLLIN | EPOLLOUT, conn->id());
+      if (!st.ok()) {
+        CloseConnection(conn->id());
+        return;
+      }
+      epollout_armed_.insert(conn->id());
+    } else if (!want_writable && armed) {
+      Status st = loop_.Mod(conn->fd(), EPOLLIN, conn->id());
+      if (!st.ok()) {
+        CloseConnection(conn->id());
+        return;
+      }
+      epollout_armed_.erase(conn->id());
+    }
+  }
+
+  bool AllQueuesEmptyLocked() REQUIRES(mu_) {
+    for (const auto& [id, conn] : connections_) {
+      if (!conn->WriteQueueEmpty()) return false;
+    }
+    return true;
+  }
+
+  // ----------------------------------------------------- doc/query cache ---
+
+  /// Loop-thread-only lazy caches: a served document/pattern is loaded or
+  /// compiled once and reused for every later request.
+  Result<DocumentPtr> LookupDocument(const std::string& name) {
+    auto it = documents_.find(name);
+    if (it != documents_.end()) return it->second;
+    Result<DocumentPtr> doc =
+        Document::FromSlpFile(opts_.document_root + "/" + name + ".slp");
+    if (doc.ok()) documents_.emplace(name, doc.value());
+    return doc;
+  }
+
+  Result<Query> LookupQuery(const std::string& pattern) {
+    auto it = queries_.find(pattern);
+    if (it != queries_.end()) return it->second;
+    Result<Query> query = Query::Compile(pattern, opts_.alphabet);
+    if (query.ok()) queries_.emplace(pattern, query.value());
+    return query;
+  }
+
+  // ------------------------------------------------------------- stats -----
+
+  static void FoldConnStats(const Connection& c, Server::Stats* s) {
+    s->bytes_in += c.bytes_in.load(std::memory_order_relaxed);
+    s->bytes_out += c.bytes_out.load(std::memory_order_relaxed);
+    s->backpressure_pauses +=
+        c.backpressure_pauses.load(std::memory_order_relaxed);
+    s->max_write_queue_bytes =
+        std::max(s->max_write_queue_bytes,
+                 c.max_write_queue_bytes.load(std::memory_order_relaxed));
+  }
+
+  StatsFrame BuildStatsFrame() const {
+    Server::Stats s = stats();
+    StatsFrame f;
+    f.active_connections = s.active_connections;
+    f.total_accepted = s.total_accepted;
+    f.rejected_full = s.rejected_full;
+    f.requests = s.requests;
+    f.pages_sent = s.pages_sent;
+    f.tuples_sent = s.tuples_sent;
+    f.bytes_in = s.bytes_in;
+    f.bytes_out = s.bytes_out;
+    f.backpressure_pauses = s.backpressure_pauses;
+    f.bad_frames = s.bad_frames;
+    f.cancelled_on_disconnect = s.cancelled_on_disconnect;
+    f.max_write_queue_bytes = s.max_write_queue_bytes;
+    for (size_t i = 0; i < kNumPriorityClasses; ++i) {
+      const Session::Stats::ClassStats& c = s.session.by_class[i];
+      f.by_class[i].submitted = c.submitted;
+      f.by_class[i].completed = c.completed;
+      f.by_class[i].cancelled = c.cancelled;
+      f.by_class[i].expired = c.expired;
+      f.by_class[i].queue_p50_us = c.queue_latency_p50_micros;
+      f.by_class[i].queue_p99_us = c.queue_latency_p99_micros;
+    }
+    return f;
+  }
+
+  // ------------------------------------------------------------ members ----
+
+  ServerOptions opts_;
+  EventLoop loop_;
+  OwnedFd listener_;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::unique_ptr<Session> session_;
+  std::thread loop_thread_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> close_stragglers_{false};
+
+  mutable util::Mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> connections_
+      GUARDED_BY(mu_);
+  std::vector<uint64_t> flush_pending_ GUARDED_BY(mu_);
+  bool draining_ GUARDED_BY(mu_) = false;
+  uint64_t inflight_total_ GUARDED_BY(mu_) = 0;
+  Server::Stats retired_ GUARDED_BY(mu_);
+  util::CondVar drained_cv_;
+
+  // Loop-thread-only state (no lock): epoll arming, lazy caches, conn ids.
+  std::unordered_set<uint64_t> epollout_armed_;
+  std::unordered_map<std::string, DocumentPtr> documents_;
+  std::unordered_map<std::string, Query> queries_;
+  uint64_t next_conn_id_ = 1;
+
+  std::atomic<uint64_t> total_accepted_{0};
+  std::atomic<uint64_t> rejected_full_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint64_t> cancelled_on_disconnect_{0};
+  std::atomic<uint64_t> pages_sent_{0};
+  std::atomic<uint64_t> tuples_sent_{0};
+};
+
+}  // namespace net
+
+Server::Server() : Server(ServerOptions{}) {}
+Server::Server(ServerOptions opts)
+    : impl_(std::make_unique<net::ServerImpl>(std::move(opts))) {}
+Server::~Server() { impl_->Stop(); }
+
+Status Server::Start() { return impl_->Start(); }
+uint16_t Server::port() const { return impl_->port(); }
+bool Server::Drain() { return impl_->Drain(); }
+void Server::Stop() { impl_->Stop(); }
+Server::Stats Server::stats() const { return impl_->stats(); }
+
+}  // namespace slpspan

@@ -1,0 +1,189 @@
+// POSIX socket wrappers — see socket.h.
+
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace slpspan {
+namespace net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::InvalidArgument(std::string(what) + ": " +
+                                 std::strerror(errno));
+}
+
+/// Parses an IPv4 listen/connect address; "localhost" maps to 127.0.0.1.
+Status ParseAddress(const std::string& address, uint16_t port,
+                    sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  const std::string& host = address == "localhost" ? "127.0.0.1" : address;
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable IPv4 address: " + address);
+  }
+  return Status::OK();
+}
+
+Result<OwnedFd> NewTcpSocket() {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  return OwnedFd(fd);
+}
+
+}  // namespace
+
+void OwnedFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<OwnedFd> ListenTcp(const std::string& address, uint16_t port,
+                          int backlog) {
+  sockaddr_in addr;
+  Status st = ParseAddress(address, port, &addr);
+  if (!st.ok()) return st;
+  Result<OwnedFd> sock = NewTcpSocket();
+  if (!sock.ok()) return sock;
+  OwnedFd fd = std::move(sock).value();
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) return Errno("listen");
+  st = SetNonBlocking(fd.get());
+  if (!st.ok()) return st;
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<OwnedFd> ConnectTcp(const std::string& address, uint16_t port) {
+  sockaddr_in addr;
+  Status st = ParseAddress(address, port, &addr);
+  if (!st.ok()) return st;
+  Result<OwnedFd> sock = NewTcpSocket();
+  if (!sock.ok()) return sock;
+  OwnedFd fd = std::move(sock).value();
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("connect");
+  int one = 1;
+  // Best effort: latency tuning, not correctness.
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<OwnedFd> StartConnectTcp(const std::string& address, uint16_t port) {
+  sockaddr_in addr;
+  Status st = ParseAddress(address, port, &addr);
+  if (!st.ok()) return st;
+  Result<OwnedFd> sock = NewTcpSocket();
+  if (!sock.ok()) return sock;
+  OwnedFd fd = std::move(sock).value();
+  st = SetNonBlocking(fd.get());
+  if (!st.ok()) return st;
+  int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) return Errno("connect");
+  return fd;
+}
+
+Status ConnectFinished(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return Errno("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    return Status::InvalidArgument(std::string("connect: ") +
+                                   std::strerror(err));
+  }
+  return Status::OK();
+}
+
+Result<OwnedFd> AcceptConnection(int listen_fd, bool* would_block) {
+  *would_block = false;
+  for (;;) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return OwnedFd(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return OwnedFd();
+    }
+    return Errno("accept4");
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Status SendAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, void* buf, size_t cap, bool* would_block) {
+  *would_block = false;
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *would_block = true;
+        return size_t{0};
+      }
+      return Errno("recv");
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+}  // namespace net
+}  // namespace slpspan

@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <thread>
 #include <unordered_map>
@@ -108,6 +109,11 @@ struct TicketState {
   std::atomic<uint64_t> queue_latency_us{UINT64_MAX};
 };
 
+/// Power-of-two queue-latency histogram: bucket b counts latencies with
+/// bit_width(us) == b, i.e. [2^(b-1), 2^b); bucket 0 is exactly 0 us. 48
+/// buckets cover every representable microsecond count a queue could see.
+inline constexpr size_t kLatencyBuckets = 48;
+
 struct ClassCounters {
   std::atomic<uint64_t> submitted{0};
   std::atomic<uint64_t> queued{0};
@@ -117,7 +123,38 @@ struct ClassCounters {
   std::atomic<uint64_t> expired{0};
   std::atomic<uint64_t> coalesced{0};
   std::atomic<uint64_t> queue_latency_micros{0};
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_hist{};
+
+  /// Called at the single point a ticket's queue latency is determined
+  /// (queued -> running/terminal), so hist totals match the terminal
+  /// counters.
+  void RecordLatency(uint64_t us) {
+    size_t b = us == 0 ? 0 : static_cast<size_t>(std::bit_width(us));
+    if (b >= kLatencyBuckets) b = kLatencyBuckets - 1;
+    latency_hist[b].fetch_add(1, std::memory_order_relaxed);
+  }
 };
+
+/// Upper bound of the histogram bucket holding quantile `q` (0 when the
+/// histogram is empty) — overstates the true percentile by at most 2x.
+uint64_t HistPercentile(const std::array<std::atomic<uint64_t>, kLatencyBuckets>& hist,
+                        double q) {
+  uint64_t counts[kLatencyBuckets];
+  uint64_t total = 0;
+  for (size_t b = 0; b < kLatencyBuckets; ++b) {
+    counts[b] = hist[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0;
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t cum = 0;
+  for (size_t b = 0; b < kLatencyBuckets; ++b) {
+    cum += counts[b];
+    if (cum >= rank) return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+  }
+  return (uint64_t{1} << (kLatencyBuckets - 1)) - 1;
+}
 
 /// Stats + the coalescing map, shared by the Session handle, every queued
 /// Group and every outstanding ticket — so tickets stay fully functional
@@ -135,15 +172,24 @@ struct SessionShared {
 /// One queued evaluation and the tickets riding it.
 struct Group {
   Group(RequestKey key_in, EngineRequest request_in,
-        std::shared_ptr<SessionShared> shared_in, uint32_t level)
+        std::shared_ptr<SessionShared> shared_in, uint32_t level,
+        std::function<bool(std::span<const SpanTuple>)> on_page_in = nullptr,
+        uint32_t page_tuples_in = 0)
       : key(key_in),
         request(std::move(request_in)),
         shared(std::move(shared_in)),
+        on_page(std::move(on_page_in)),
+        page_tuples(page_tuples_in),
         best_level(level) {}
 
   const RequestKey key;
   const EngineRequest request;  // representative (all members are identical)
   const std::shared_ptr<SessionShared> shared;
+  // Streaming delivery (see SubmitOptions::on_page). Non-null only for
+  // single-member groups: a streamed request never joins the coalescing map,
+  // so the sink has exactly one producer and one consumer.
+  const std::function<bool(std::span<const SpanTuple>)> on_page;
+  const uint32_t page_tuples;
 
   util::Mutex mu;
   // claimed: a worker started processing; no more joins.
@@ -179,6 +225,7 @@ bool Finish(TicketState& t, Result<EngineOutput> result, Terminal kind) {
       const uint64_t waited = MicrosSince(t.submit_time);
       c.queued.fetch_sub(1, std::memory_order_relaxed);
       c.queue_latency_micros.fetch_add(waited, std::memory_order_relaxed);
+      c.RecordLatency(waited);
       t.queue_latency_us.store(waited, std::memory_order_relaxed);
     } else {
       c.running.fetch_sub(1, std::memory_order_relaxed);
@@ -220,6 +267,7 @@ void MarkRunning(TicketState& t) {
   c.queued.fetch_sub(1, std::memory_order_relaxed);
   c.running.fetch_add(1, std::memory_order_relaxed);
   c.queue_latency_micros.fetch_add(waited, std::memory_order_relaxed);
+  c.RecordLatency(waited);
   t.queue_latency_us.store(waited, std::memory_order_relaxed);
   t.phase = TicketState::Phase::kRunning;
 }
@@ -302,10 +350,15 @@ void RecomputeDeadlineLocked(Group& g) {
 /// path so a cancelled/expired request halts at the next stream step.
 /// `*aborted` is set only when the token actually cut the work short (the
 /// tuple set is a truncated prefix); a request that completed before the
-/// token fired keeps its full result.
-Result<EngineOutput> EvalOne(const EngineRequest& request,
-                             const std::function<bool()>& stop,
-                             bool* aborted) {
+/// token fired keeps its full result. With a page sink (`g.on_page`) the
+/// extract path delivers pages instead of materializing: the sink call is
+/// the pause point — a blocked sink holds the ResultStream at this
+/// checkpoint with one page buffered, nothing more. `*sink_stopped` is set
+/// when the sink returned false (consumer gone); the caller then delivers
+/// kCancelled.
+Result<EngineOutput> EvalOne(const Group& g, const std::function<bool()>& stop,
+                             bool* aborted, bool* sink_stopped) {
+  const EngineRequest& request = g.request;
   const Engine engine(request.query, request.document);
   EngineOutput out;
   switch (request.op) {
@@ -321,8 +374,29 @@ Result<EngineOutput> EvalOne(const EngineRequest& request,
     case EngineRequest::Op::kExtract: {
       ResultStream stream =
           engine.Extract({.limit = request.limit, .cancel = stop});
-      for (; stream.Valid(); stream.Next()) {
-        out.tuples.push_back(stream.Current());
+      if (g.on_page) {
+        const size_t page_cap = std::max<uint32_t>(1, g.page_tuples);
+        std::vector<SpanTuple> page;
+        page.reserve(page_cap);
+        for (; stream.Valid(); stream.Next()) {
+          page.push_back(stream.Current());
+          ++out.tuples_streamed;
+          if (page.size() >= page_cap) {
+            if (!g.on_page(page)) {
+              *sink_stopped = true;
+              break;
+            }
+            page.clear();
+          }
+        }
+        if (!*sink_stopped && !page.empty() && !g.on_page(page)) {
+          *sink_stopped = true;
+        }
+      } else {
+        for (; stream.Valid(); stream.Next()) {
+          out.tuples.push_back(stream.Current());
+        }
+        out.tuples_streamed = out.tuples.size();
       }
       *aborted = stream.cancelled();
       return out;
@@ -403,10 +477,11 @@ void RunGroup(const std::shared_ptr<Group>& g) {
   // to notice it mid-way, so this is their last chance to skip the
   // O(size(S)·q³) work nobody is waiting for.
   bool aborted = stop();
+  bool sink_stopped = false;
   Result<EngineOutput> result = [&]() -> Result<EngineOutput> {
     if (aborted) return Status::DeadlineExceeded("never evaluated");
     try {
-      return EvalOne(g->request, stop, &aborted);
+      return EvalOne(*g, stop, &aborted, &sink_stopped);
     } catch (const std::exception& e) {
       return Status::ResourceExhausted(std::string("evaluation failed: ") +
                                        e.what());
@@ -424,11 +499,18 @@ void RunGroup(const std::shared_ptr<Group>& g) {
   }
   // Per-member expiry at fan-out: a coalesced member whose own deadline
   // passed mid-evaluation must not receive a late success (the group-level
-  // stop token only fires when EVERY member's deadline has passed).
+  // stop token only fires when EVERY member's deadline has passed). A
+  // sink-stopped stream (the page consumer withdrew — e.g. the client's
+  // connection closed mid-stream) is a cancellation, not a result: the
+  // tuple prefix already left through the sink and must not be re-reported
+  // as a completed extraction.
   const Clock::time_point now = Clock::now();
   for (size_t i = 0; i < members.size(); ++i) {
     TicketState& m = *members[i];
-    if (aborted || (m.deadline && *m.deadline <= now)) {
+    if (sink_stopped) {
+      Finish(m, Status::Cancelled("page sink stopped the stream"),
+             Terminal::kCancelled);
+    } else if (aborted || (m.deadline && *m.deadline <= now)) {
       Finish(m, Status::DeadlineExceeded("deadline passed during evaluation"),
              Terminal::kExpired);
     } else if (i + 1 == members.size()) {
@@ -561,6 +643,12 @@ Ticket Session::Submit(EngineRequest request, SubmitOptions opts) const {
         runtime_internal::Terminal::kCompleted);
     return Ticket(std::move(t));
   }
+  if (opts.on_page && request.op != EngineRequest::Op::kExtract) {
+    runtime_internal::Finish(
+        *t, Status::InvalidArgument("on_page requires Op::kExtract"),
+        runtime_internal::Terminal::kCompleted);
+    return Ticket(std::move(t));
+  }
 
   const RequestKey key{request.query.id(), request.document->id(), request.op,
                        request.limit.value_or(UINT64_MAX)};
@@ -568,6 +656,24 @@ Ticket Session::Submit(EngineRequest request, SubmitOptions opts) const {
   // matching level would silently merge it with the last one.
   static_assert(kNumPriorityClasses == util::ThreadPool::kNumLevels);
   const uint32_t level = static_cast<uint32_t>(opts.priority);
+
+  if (opts.on_page) {
+    // Streamed request: pages flow to exactly one sink, so the group never
+    // enters the coalescing map (and never serves riders). Identical
+    // streamed requests still share one preparation via the cache's
+    // single-flight path — only the enumeration itself runs per sink.
+    auto g = std::make_shared<Group>(key, std::move(request), shared_, level,
+                                     std::move(opts.on_page),
+                                     std::max<uint32_t>(1, opts.page_tuples));
+    {
+      util::MutexLock lock(&g->mu);
+      t->group = g;
+      g->members.push_back(t);
+      runtime_internal::RecomputeDeadlineLocked(*g);
+    }
+    pool_->Submit(level, [g] { runtime_internal::RunGroup(g); });
+    return Ticket(std::move(t));
+  }
 
   for (;;) {
     std::shared_ptr<Group> g;
@@ -674,6 +780,10 @@ Session::Stats Session::stats() const {
     o.coalesced = c.coalesced.load(std::memory_order_relaxed);
     o.queue_latency_micros =
         c.queue_latency_micros.load(std::memory_order_relaxed);
+    o.queue_latency_p50_micros =
+        runtime_internal::HistPercentile(c.latency_hist, 0.50);
+    o.queue_latency_p99_micros =
+        runtime_internal::HistPercentile(c.latency_hist, 0.99);
   }
   return out;
 }

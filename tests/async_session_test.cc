@@ -540,5 +540,145 @@ TEST(AsyncSession, StressSubmitCancelWaitFromManyThreads) {
   EXPECT_EQ(expected, callbacks.load()) << "callbacks must fire exactly once";
 }
 
+// ------------------------------------------- streaming delivery (on_page) ----
+
+TEST(AsyncSession, StreamedExtractPagesEveryTupleExactlyOnce) {
+  const Session session({.num_threads = 1});
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "ab";
+  const DocumentPtr doc = *Document::FromText(text);
+  const Query query = MustCompile(".*x{ab}.*", "ab");
+
+  std::vector<SpanTuple> streamed;
+  size_t max_page = 0;
+  SubmitOptions opts;
+  opts.page_tuples = 7;
+  opts.on_page = [&](std::span<const SpanTuple> page) {
+    max_page = std::max(max_page, page.size());
+    streamed.insert(streamed.end(), page.begin(), page.end());
+    return true;
+  };
+  Ticket t = session.Submit(
+      {.query = query, .document = doc, .op = EngineRequest::Op::kExtract,
+       .limit = {}},
+      std::move(opts));
+  const Result<EngineOutput>& out = t.Wait();
+  ASSERT_TRUE(out.ok()) << out.status().message();
+  EXPECT_EQ(100u, out->tuples_streamed);
+  EXPECT_TRUE(out->tuples.empty()) << "streamed extract must not materialize";
+  EXPECT_EQ(100u, streamed.size());
+  EXPECT_LE(max_page, 7u);
+
+  // The pages carry the same result set a materialized extract returns.
+  Ticket m = session.Submit({.query = query, .document = doc,
+                             .op = EngineRequest::Op::kExtract, .limit = {}});
+  const Result<EngineOutput>& direct = m.Wait();
+  ASSERT_TRUE(direct.ok());
+  testing_util::ExpectSameTupleSet(direct->tuples, streamed);
+}
+
+TEST(AsyncSession, StreamingSinkReturningFalseCancelsTheTicket) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;  // effectively unbounded extract: must stop via the sink
+  std::atomic<uint64_t> pages{0};
+  SubmitOptions opts;
+  opts.on_page = [&](std::span<const SpanTuple>) {
+    return ++pages < 3;  // accept two pages, then stop the stream
+  };
+  Ticket t = session.Submit(blocker.request(), std::move(opts));
+  const Result<EngineOutput>& out = t.Wait();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(StatusCode::kCancelled, out.status().code());
+  EXPECT_EQ(3u, pages.load());
+}
+
+TEST(AsyncSession, StreamingSinkWithNonExtractOpIsInvalid) {
+  const Session session({.num_threads = 1});
+  const DocumentPtr doc = *Document::FromText("abab");
+  const Query query = MustCompile(".*x{ab}.*", "ab");
+  SubmitOptions opts;
+  opts.on_page = [](std::span<const SpanTuple>) { return true; };
+  Ticket t = session.Submit(
+      {.query = query, .document = doc, .op = EngineRequest::Op::kCount,
+       .limit = {}},
+      std::move(opts));
+  const Result<EngineOutput>& out = t.Wait();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, out.status().code());
+}
+
+TEST(AsyncSession, StreamedRequestsNeverCoalesce) {
+  // Two identical streamed submissions: coalescing would deliver pages to
+  // only one sink, so both sinks seeing the full result proves they ran
+  // as separate evaluations.
+  const Session session({.num_threads = 2});
+  std::string text;
+  for (int i = 0; i < 50; ++i) text += "ab";
+  const DocumentPtr doc = *Document::FromText(text);
+  const Query query = MustCompile(".*x{ab}.*", "ab");
+
+  std::atomic<uint64_t> sink_a{0}, sink_b{0};
+  SubmitOptions a, b;
+  a.on_page = [&](std::span<const SpanTuple> page) {
+    sink_a += page.size();
+    return true;
+  };
+  b.on_page = [&](std::span<const SpanTuple> page) {
+    sink_b += page.size();
+    return true;
+  };
+  EngineRequest req{.query = query, .document = doc,
+                    .op = EngineRequest::Op::kExtract, .limit = {}};
+  Ticket ta = session.Submit(req, std::move(a));
+  Ticket tb = session.Submit(req, std::move(b));
+  ASSERT_TRUE(ta.Wait().ok());
+  ASSERT_TRUE(tb.Wait().ok());
+  EXPECT_EQ(50u, sink_a.load());
+  EXPECT_EQ(50u, sink_b.load());
+}
+
+// -------------------------------------------- queue-latency percentiles -----
+
+// Regression for Stats::ClassStats::queue_latency_p50/p99_micros: after a
+// class has completions that measurably queued (a pinned worker holds them
+// back), both percentiles are populated, ordered (p50 <= p99), and p99 is
+// at least the bucket floor of the longest observed wait — the serving
+// layer's wire-stats depend on these fields staying sane.
+TEST(AsyncSession, QueueLatencyPercentilesArePopulatedAndOrdered) {
+  const Session session({.num_threads = 1});
+  Blocker blocker;
+  Ticket gate = session.Submit(blocker.request(),
+                               {.priority = Priority::kInteractive});
+  AwaitRunning(session, Priority::kInteractive);
+
+  // These queue behind the gate for >= 20ms, so their queue latencies are
+  // real (tens of thousands of microseconds, not bucket-0 zeros).
+  const Query query = MustCompile(".*x{a}.*", "ab");
+  std::vector<Ticket> queued;
+  for (int i = 0; i < 4; ++i) {
+    const DocumentPtr doc = *Document::FromText("ab" + std::string(i + 1, 'a'));
+    queued.push_back(session.Submit(
+        {.query = query, .document = doc, .op = EngineRequest::Op::kCount,
+         .limit = {}},
+        {.priority = Priority::kBatch}));
+  }
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(gate.Cancel());
+  for (Ticket& t : queued) ASSERT_TRUE(t.Wait().ok());
+
+  const Session::Stats stats = session.stats();
+  const auto& batch = stats.For(Priority::kBatch);
+  ASSERT_EQ(4u, batch.completed);
+  EXPECT_GT(batch.queue_latency_p50_micros, 0u);
+  EXPECT_LE(batch.queue_latency_p50_micros, batch.queue_latency_p99_micros);
+  // Every request waited >= ~20ms, so the p99 bucket bound must not be
+  // below ~2^14 us (the histogram may overstate, never understate by more
+  // than its bucket width).
+  EXPECT_GE(batch.queue_latency_p99_micros, uint64_t{1} << 14);
+  // A class with no completions reports zeroed percentiles.
+  EXPECT_EQ(0u, stats.For(Priority::kBackground).queue_latency_p50_micros);
+  EXPECT_EQ(0u, stats.For(Priority::kBackground).queue_latency_p99_micros);
+}
+
 }  // namespace
 }  // namespace slpspan

@@ -1,0 +1,332 @@
+// Unit tests for the wire-frame codec (src/net/frame.h): encode/decode
+// round-trips for every frame type, strict rejection of truncated payloads
+// (every prefix), field-cap enforcement (document/pattern/message/tuple-var
+// limits), trailing-garbage rejection, and a deterministic garbage fuzz pass
+// asserting the decoders never crash on arbitrary bytes.
+
+#include "net/frame.h"
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace slpspan {
+namespace net {
+namespace {
+
+using testing_util::Tup;
+
+/// Splits one encoded frame into (header, payload) and checks the header's
+/// length matches the bytes actually present.
+struct SplitFrame {
+  FrameHeader header;
+  std::vector<uint8_t> payload;
+};
+
+SplitFrame Split(const std::string& buf) {
+  EXPECT_GE(buf.size(), kFrameHeaderBytes);
+  SplitFrame out;
+  out.header = DecodeHeader(reinterpret_cast<const uint8_t*>(buf.data()));
+  EXPECT_EQ(buf.size() - kFrameHeaderBytes, out.header.payload_size);
+  out.payload.assign(buf.begin() + kFrameHeaderBytes, buf.end());
+  return out;
+}
+
+// ----------------------------------------------------------- round-trips ----
+
+TEST(FrameCodec, HelloRoundTrip) {
+  std::string buf;
+  AppendHello(&buf);
+  SplitFrame f = Split(buf);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kHello), f.header.type);
+  Result<HelloFrame> hello = DecodeHello(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(hello.ok()) << hello.status().message();
+  EXPECT_EQ(kProtocolMagic, hello->magic);
+  EXPECT_EQ(kProtocolVersion, hello->version);
+}
+
+TEST(FrameCodec, RequestRoundTrip) {
+  RequestFrame req;
+  req.id = 0x1234567890abcdefULL;
+  req.op = WireOp::kExtract;
+  req.priority = 2;
+  req.deadline_ms = 1500;
+  req.limit = 42;
+  req.document = "corpus/shard-07";
+  req.pattern = ".*x{ab}.*";
+  std::string buf;
+  AppendRequest(req, &buf);
+  SplitFrame f = Split(buf);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kRequest), f.header.type);
+  Result<RequestFrame> got = DecodeRequest(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_EQ(req.id, got->id);
+  EXPECT_EQ(req.op, got->op);
+  EXPECT_EQ(req.priority, got->priority);
+  EXPECT_EQ(req.deadline_ms, got->deadline_ms);
+  EXPECT_EQ(req.limit, got->limit);
+  EXPECT_EQ(req.document, got->document);
+  EXPECT_EQ(req.pattern, got->pattern);
+}
+
+TEST(FrameCodec, RequestNoLimitRoundTrip) {
+  RequestFrame req;
+  req.id = 7;
+  req.document = "d";
+  req.pattern = "a";
+  ASSERT_EQ(UINT64_MAX, req.limit);
+  std::string buf;
+  AppendRequest(req, &buf);
+  SplitFrame f = Split(buf);
+  Result<RequestFrame> got = DecodeRequest(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(UINT64_MAX, got->limit);
+}
+
+TEST(FrameCodec, CancelRoundTrip) {
+  std::string buf;
+  AppendCancel(99, &buf);
+  SplitFrame f = Split(buf);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kCancel), f.header.type);
+  Result<uint64_t> id = DecodeCancel(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(99u, id.value());
+}
+
+TEST(FrameCodec, PageRoundTripWithAbsentVars) {
+  std::vector<SpanTuple> tuples = {
+      Tup({Span{1, 4}, std::nullopt}),
+      Tup({std::nullopt, Span{2, 2}}),
+      Tup({Span{10, 20}, Span{1, 1}}),
+  };
+  std::string buf;
+  AppendPage(5, tuples, &buf);
+  SplitFrame f = Split(buf);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kPage), f.header.type);
+  Result<PageFrame> page = DecodePage(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(page.ok()) << page.status().message();
+  EXPECT_EQ(5u, page->id);
+  testing_util::ExpectSameTupleSet(tuples, page->tuples);
+}
+
+TEST(FrameCodec, EmptyPageRoundTrip) {
+  std::string buf;
+  AppendPage(1, {}, &buf);
+  SplitFrame f = Split(buf);
+  Result<PageFrame> page = DecodePage(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->tuples.empty());
+}
+
+TEST(FrameCodec, DoneRoundTrip) {
+  DoneFrame done;
+  done.id = 11;
+  done.code = static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
+  done.message = "expired in queue";
+  done.nonempty = true;
+  done.count_value = 1234;
+  done.count_exact = false;
+  done.tuples_streamed = 17;
+  std::string buf;
+  AppendDone(done, &buf);
+  SplitFrame f = Split(buf);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kDone), f.header.type);
+  Result<DoneFrame> got = DecodeDone(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_EQ(done.id, got->id);
+  EXPECT_EQ(done.code, got->code);
+  EXPECT_EQ(done.message, got->message);
+  EXPECT_EQ(done.nonempty, got->nonempty);
+  EXPECT_EQ(done.count_value, got->count_value);
+  EXPECT_EQ(done.count_exact, got->count_exact);
+  EXPECT_EQ(done.tuples_streamed, got->tuples_streamed);
+}
+
+TEST(FrameCodec, DoneMessageTruncatedToCap) {
+  DoneFrame done;
+  done.message = std::string(2 * kMaxMessageBytes, 'm');
+  std::string buf;
+  AppendDone(done, &buf);
+  SplitFrame f = Split(buf);
+  Result<DoneFrame> got = DecodeDone(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(kMaxMessageBytes, got->message.size());
+}
+
+TEST(FrameCodec, StatsRoundTrip) {
+  StatsFrame stats;
+  stats.active_connections = 3;
+  stats.total_accepted = 100;
+  stats.rejected_full = 2;
+  stats.requests = 500;
+  stats.pages_sent = 50;
+  stats.tuples_sent = 5000;
+  stats.bytes_in = 123456;
+  stats.bytes_out = 654321;
+  stats.backpressure_pauses = 7;
+  stats.bad_frames = 1;
+  stats.cancelled_on_disconnect = 4;
+  stats.max_write_queue_bytes = 1 << 20;
+  for (size_t i = 0; i < stats.by_class.size(); ++i) {
+    stats.by_class[i] = {10 * i, 9 * i, i, i / 2, 100 * i, 900 * i};
+  }
+  std::string buf;
+  AppendStats(stats, &buf);
+  SplitFrame f = Split(buf);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kStats), f.header.type);
+  Result<StatsFrame> got = DecodeStats(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(got.ok()) << got.status().message();
+  EXPECT_EQ(stats.requests, got->requests);
+  EXPECT_EQ(stats.bytes_out, got->bytes_out);
+  EXPECT_EQ(stats.backpressure_pauses, got->backpressure_pauses);
+  EXPECT_EQ(stats.max_write_queue_bytes, got->max_write_queue_bytes);
+  for (size_t i = 0; i < stats.by_class.size(); ++i) {
+    EXPECT_EQ(stats.by_class[i].submitted, got->by_class[i].submitted);
+    EXPECT_EQ(stats.by_class[i].queue_p99_us, got->by_class[i].queue_p99_us);
+  }
+}
+
+TEST(FrameCodec, ErrorRoundTrip) {
+  std::string buf;
+  AppendError("malformed frame", &buf);
+  SplitFrame f = Split(buf);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kError), f.header.type);
+  Result<std::string> msg = DecodeError(f.payload.data(), f.payload.size());
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ("malformed frame", msg.value());
+}
+
+// ------------------------------------------------------ strict validation ----
+
+TEST(FrameCodec, HelloRejectsBadMagic) {
+  std::string buf;
+  AppendHello(&buf);
+  buf[kFrameHeaderBytes] ^= 0xff;  // corrupt the first magic byte
+  SplitFrame f = Split(buf);
+  Result<HelloFrame> hello = DecodeHello(f.payload.data(), f.payload.size());
+  EXPECT_FALSE(hello.ok());
+}
+
+TEST(FrameCodec, RequestRejectsOversizedDocumentName) {
+  RequestFrame req;
+  req.document = std::string(kMaxDocumentNameBytes + 1, 'd');
+  req.pattern = "a";
+  std::string buf;
+  AppendRequest(req, &buf);
+  SplitFrame f = Split(buf);
+  Result<RequestFrame> got = DecodeRequest(f.payload.data(), f.payload.size());
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, got.status().code());
+}
+
+TEST(FrameCodec, RequestRejectsOversizedPattern) {
+  RequestFrame req;
+  req.document = "d";
+  req.pattern = std::string(kMaxPatternBytes + 1, 'p');
+  std::string buf;
+  AppendRequest(req, &buf);
+  SplitFrame f = Split(buf);
+  Result<RequestFrame> got = DecodeRequest(f.payload.data(), f.payload.size());
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, got.status().code());
+}
+
+TEST(FrameCodec, RequestRejectsEveryTruncatedPrefix) {
+  RequestFrame req;
+  req.id = 123;
+  req.op = WireOp::kExtract;
+  req.document = "corpus";
+  req.pattern = ".*x{ab}.*";
+  std::string buf;
+  AppendRequest(req, &buf);
+  SplitFrame f = Split(buf);
+  for (size_t n = 0; n < f.payload.size(); ++n) {
+    Result<RequestFrame> got = DecodeRequest(f.payload.data(), n);
+    EXPECT_FALSE(got.ok()) << "prefix of " << n << " bytes decoded";
+  }
+}
+
+TEST(FrameCodec, RequestRejectsTrailingGarbage) {
+  RequestFrame req;
+  req.document = "d";
+  req.pattern = "a";
+  std::string buf;
+  AppendRequest(req, &buf);
+  buf += '\0';  // one byte past the encoded payload
+  std::vector<uint8_t> payload(buf.begin() + kFrameHeaderBytes, buf.end());
+  Result<RequestFrame> got = DecodeRequest(payload.data(), payload.size());
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(StatusCode::kCorruption, got.status().code());
+}
+
+TEST(FrameCodec, PageRejectsEveryTruncatedPrefix) {
+  std::vector<SpanTuple> tuples = {Tup({Span{1, 3}}), Tup({Span{2, 5}})};
+  std::string buf;
+  AppendPage(9, tuples, &buf);
+  SplitFrame f = Split(buf);
+  for (size_t n = 0; n < f.payload.size(); ++n) {
+    Result<PageFrame> got = DecodePage(f.payload.data(), n);
+    EXPECT_FALSE(got.ok()) << "prefix of " << n << " bytes decoded";
+  }
+}
+
+TEST(FrameCodec, PageRejectsInvalidSpanBounds) {
+  // Hand-build a page whose single 1-var tuple has begin > end.
+  std::string buf;
+  const std::vector<SpanTuple> one = {Tup({Span{5, 7}})};
+  AppendPage(1, one, &buf);
+  SplitFrame good = Split(buf);
+  // The span payload ends with varint(begin)=5, varint(end)=7; both are
+  // single-byte varints, so patch them directly.
+  std::vector<uint8_t> bad = good.payload;
+  bad[bad.size() - 2] = 9;  // begin = 9 > end = 7
+  Result<PageFrame> got = DecodePage(bad.data(), bad.size());
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(StatusCode::kCorruption, got.status().code());
+}
+
+TEST(FrameCodec, PageRejectsHugeDeclaredTupleCount) {
+  // varint id=1, then varint tuple count = 2^40 with no tuple bytes behind
+  // it: the decoder must reject before sizing any buffer from the count.
+  std::vector<uint8_t> payload = {1};
+  uint64_t count = uint64_t{1} << 40;
+  while (count >= 0x80) {
+    payload.push_back(static_cast<uint8_t>(count) | 0x80);
+    count >>= 7;
+  }
+  payload.push_back(static_cast<uint8_t>(count));
+  Result<PageFrame> got = DecodePage(payload.data(), payload.size());
+  EXPECT_FALSE(got.ok());
+}
+
+TEST(FrameCodec, GarbageNeverCrashesAnyDecoder) {
+  std::mt19937_64 rng(20260808);
+  std::vector<uint8_t> buf;
+  for (int round = 0; round < 2000; ++round) {
+    buf.resize(rng() % 256);
+    for (uint8_t& b : buf) b = static_cast<uint8_t>(rng());
+    // Every decoder must return a Status, never crash, on arbitrary bytes.
+    (void)DecodeHello(buf.data(), buf.size());
+    (void)DecodeRequest(buf.data(), buf.size());
+    (void)DecodeCancel(buf.data(), buf.size());
+    (void)DecodePage(buf.data(), buf.size());
+    (void)DecodeDone(buf.data(), buf.size());
+    (void)DecodeStats(buf.data(), buf.size());
+    (void)DecodeError(buf.data(), buf.size());
+  }
+}
+
+TEST(FrameCodec, DecodeHeaderReadsLittleEndian) {
+  const uint8_t raw[kFrameHeaderBytes] = {0x02, 0x01, 0x00, 0x00, 0x04};
+  FrameHeader h = DecodeHeader(raw);
+  EXPECT_EQ(0x0102u, h.payload_size);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kPage), h.type);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace slpspan

@@ -45,9 +45,16 @@ avx2-outside-kernels
     compile (no -mavx2 on that TU) or, worse, compiles and faults on
     non-AVX2 hosts because it bypasses the dispatcher.
 
+raw-socket-outside-net
+    Socket and epoll system interfaces (<sys/socket.h>, <sys/epoll.h>,
+    <netinet/*>, <arpa/inet.h>, <sys/eventfd.h>, epoll_*/eventfd/accept4/
+    ::socket calls) may appear only under src/net/. Everything else talks
+    to the network through the net:: wrappers so fd lifetimes, EINTR
+    retries and nonblocking setup live in one audited layer.
+
 docs-presence
-    docs/ARCHITECTURE.md, docs/PREPARATION.md, docs/STATIC_ANALYSIS.md and
-    docs/KERNELS.md exist and are non-empty.
+    docs/ARCHITECTURE.md, docs/PREPARATION.md, docs/STATIC_ANALYSIS.md,
+    docs/KERNELS.md and docs/WIRE_PROTOCOL.md exist and are non-empty.
 
 Suppressions
 ------------
@@ -90,11 +97,17 @@ ACCESS_TMPL = (r"\b{name}\s*\.\s*value\s*\(\)|\*\s*{name}\b|"
 
 AVX2_RE = re.compile(r"\b_mm256_\w+|\b__m256i?\b|immintrin\.h")
 
+RAW_SOCKET_RE = re.compile(
+    r"<sys/socket\.h>|<sys/epoll\.h>|<netinet/|<arpa/inet\.h>|"
+    r"<sys/eventfd\.h>|\bepoll_(create1?|ctl|wait)\s*\(|\beventfd\s*\(|"
+    r"\baccept4\s*\(|::socket\s*\(")
+
 REQUIRED_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/PREPARATION.md",
     "docs/STATIC_ANALYSIS.md",
     "docs/KERNELS.md",
+    "docs/WIRE_PROTOCOL.md",
 ]
 
 
@@ -228,6 +241,25 @@ def check_avx2_outside_kernels(root, findings):
                          "with -mavx2 behind runtime dispatch"))
 
 
+def check_raw_socket_outside_net(root, findings):
+    rule = "raw-socket-outside-net"
+    for path in list_source_files(root):
+        rel = relpath(root, path)
+        if rel.startswith("src/net/"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if allowed(line, rule):
+                    continue
+                m = RAW_SOCKET_RE.search(strip_comment(line))
+                if m:
+                    findings.append(
+                        (rel, lineno, rule,
+                         f"raw socket/epoll use '{m.group(0)}' outside "
+                         "src/net/; go through the net:: wrappers so fd "
+                         "handling stays in one audited layer"))
+
+
 def check_docs_presence(root, findings):
     rule = "docs-presence"
     for doc in REQUIRED_DOCS:
@@ -242,6 +274,7 @@ CHECKS = [
     check_file_doc_comment,
     check_unchecked_result_value,
     check_avx2_outside_kernels,
+    check_raw_socket_outside_net,
     check_docs_presence,
 ]
 
@@ -273,6 +306,9 @@ SEEDED = {
     "avx2-outside-kernels": (
         "src/api/seeded_avx2.cc",
         "// seeded self-test file\n#include <immintrin.h>\n"),
+    "raw-socket-outside-net": (
+        "src/runtime/seeded_socket.cc",
+        "// seeded self-test file\n#include <sys/socket.h>\n"),
     "docs-presence": (None, None),  # tested by simply omitting the docs
 }
 

@@ -15,6 +15,13 @@
 //   slpspan batch     <manifest> [--threads=N] [--cache-mb=M] [--alphabet=...]
 //                     [--spill-dir=DIR] [--spill-mb=M] [--async]
 //                     [--deadline-ms=T]
+//   slpspan serve     --root=DIR [--port=P] [--threads=N] [--alphabet=...]
+//                     [--max-conns=N] [--write-buffer-kb=K] [--drain-ms=T]
+//                     [--duration-ms=T]
+//   slpspan query     --connect=HOST:PORT <document> <pattern>
+//                     [--op=check|count|extract] [--limit=N]
+//                     [--priority=interactive|batch|background]
+//                     [--deadline-ms=T]
 //
 // `extract` streams span-tuples through Engine::Extract with early exit at
 // --limit (Theorem 8.10; tuples past the limit are never computed), `count`
@@ -44,6 +51,15 @@
 // queue latency per class. Without `--async` the priority column is
 // accepted but ignored (EvalBatch runs everything at batch priority).
 //
+// `serve` runs the framed-TCP network front-end (docs/WIRE_PROTOCOL.md) over
+// a directory of .slp documents: clients name documents relative to --root
+// ("corpus" loads "<root>/corpus.slp") and stream extraction results back in
+// pages with end-to-end backpressure. The server stops after --duration-ms
+// (when non-zero) or on stdin EOF, drains gracefully, and prints a serving
+// report. `query` is the matching client: one request against a running
+// server, results printed as span lists (document text is not echoed — the
+// client only has spans, by design).
+//
 // `prepare` exports the prepared state for one (document, pattern) pair as a
 // bundle: `-o file.prep` for an explicit artifact, `--spill-dir=DIR` to drop
 // it into a spill directory under its canonical name so a later batch run
@@ -57,6 +73,8 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <iostream>
+#include <thread>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -64,6 +82,8 @@
 #include <string>
 #include <vector>
 
+#include "net/client.h"
+#include "slpspan/server.h"
 #include "slpspan/slpspan.h"
 
 namespace {
@@ -92,7 +112,15 @@ int Usage() {
                "      manifest line: "
                "op<TAB>file.slp<TAB>pattern[<TAB>limit][<TAB>priority]\n"
                "      op in {check,count,extract}; priority in "
-               "{interactive,batch,background} (--async)\n");
+               "{interactive,batch,background} (--async)\n"
+               "  slpspan serve --root=DIR [--port=P] [--threads=N] "
+               "[--alphabet=CHARS] [--max-conns=N]\n"
+               "                [--write-buffer-kb=K] [--drain-ms=T] "
+               "[--duration-ms=T]\n"
+               "  slpspan query --connect=HOST:PORT <document> <pattern> "
+               "[--op=check|count|extract]\n"
+               "                [--limit=N] [--priority=interactive|batch|"
+               "background] [--deadline-ms=T]\n");
   return 2;
 }
 
@@ -107,6 +135,15 @@ struct Flags {
   uint64_t cache_mb = 0;     // 0 = library default
   uint64_t spill_mb = 0;     // 0 = library default
   uint64_t deadline_ms = 0;  // batch --async: per-request deadline; 0 = none
+  std::string root;          // serve: document directory
+  std::string connect;       // query: HOST:PORT of a running server
+  std::string op = "extract";         // query: wire operation
+  std::string priority = "batch";     // query: priority class
+  uint64_t port = 0;                  // serve: 0 = ephemeral
+  uint64_t max_conns = 1024;          // serve
+  uint64_t write_buffer_kb = 1024;    // serve: per-connection queue budget
+  uint64_t drain_ms = 5000;           // serve: graceful-drain timeout
+  uint64_t duration_ms = 0;           // serve: 0 = run until stdin EOF
   bool async = false;        // batch: Submit/Ticket path instead of EvalBatch
   bool rebalance = false;
   bool verbose = false;      // prepare: print PrepareStats
@@ -152,6 +189,24 @@ Flags ParseFlags(int argc, char** argv) {
       flags.parse_error |= !ParseUint(arg.substr(11), &flags.spill_mb);
     } else if (arg.rfind("--deadline-ms=", 0) == 0) {
       flags.parse_error |= !ParseUint(arg.substr(14), &flags.deadline_ms);
+    } else if (arg.rfind("--root=", 0) == 0) {
+      flags.root = arg.substr(7);
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      flags.connect = arg.substr(10);
+    } else if (arg.rfind("--op=", 0) == 0) {
+      flags.op = arg.substr(5);
+    } else if (arg.rfind("--priority=", 0) == 0) {
+      flags.priority = arg.substr(11);
+    } else if (arg.rfind("--port=", 0) == 0) {
+      flags.parse_error |= !ParseUint(arg.substr(7), &flags.port);
+    } else if (arg.rfind("--max-conns=", 0) == 0) {
+      flags.parse_error |= !ParseUint(arg.substr(12), &flags.max_conns);
+    } else if (arg.rfind("--write-buffer-kb=", 0) == 0) {
+      flags.parse_error |= !ParseUint(arg.substr(18), &flags.write_buffer_kb);
+    } else if (arg.rfind("--drain-ms=", 0) == 0) {
+      flags.parse_error |= !ParseUint(arg.substr(11), &flags.drain_ms);
+    } else if (arg.rfind("--duration-ms=", 0) == 0) {
+      flags.parse_error |= !ParseUint(arg.substr(14), &flags.duration_ms);
     } else if (arg == "--async") {
       flags.async = true;
     } else if (arg.rfind("--spill-dir=", 0) == 0) {
@@ -643,6 +698,136 @@ int CmdBatch(const Flags& flags) {
   return exit_code;
 }
 
+// ----------------------------------------------------------------- serve ----
+
+int CmdServe(const Flags& flags) {
+  if (!flags.positional.empty() || flags.root.empty()) return Usage();
+  ServerOptions opts;
+  opts.port = static_cast<uint16_t>(flags.port);
+  opts.threads = static_cast<uint32_t>(flags.threads);
+  opts.max_connections = static_cast<uint32_t>(flags.max_conns);
+  opts.write_buffer_bytes = static_cast<size_t>(flags.write_buffer_kb) << 10;
+  opts.drain_timeout = std::chrono::milliseconds(flags.drain_ms);
+  opts.document_root = flags.root;
+  opts.alphabet = flags.alphabet;
+  Server server(std::move(opts));
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+  std::printf("listening on 127.0.0.1:%u (root %s)\n", server.port(),
+              flags.root.c_str());
+  std::fflush(stdout);
+
+  if (flags.duration_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(flags.duration_ms));
+  } else {
+    // Run until stdin closes — `slpspan serve < /some/fifo`, or interactive
+    // ctrl-D. Any input line is ignored except "quit".
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line == "quit") break;
+    }
+  }
+
+  const bool clean = server.Drain();
+  const Server::Stats stats = server.stats();
+  server.Stop();
+  std::printf(
+      "served %llu request(s) over %llu connection(s): %llu page(s), %llu "
+      "tuple(s), %llu backpressure pause(s), %llu bad frame(s), drain %s\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.total_accepted),
+      static_cast<unsigned long long>(stats.pages_sent),
+      static_cast<unsigned long long>(stats.tuples_sent),
+      static_cast<unsigned long long>(stats.backpressure_pauses),
+      static_cast<unsigned long long>(stats.bad_frames),
+      clean ? "clean" : "forced");
+  for (size_t i = 0; i < kNumPriorityClasses; ++i) {
+    const Session::Stats::ClassStats& c = stats.session.by_class[i];
+    if (c.submitted == 0) continue;
+    std::printf("%-11s: %llu submitted, queue latency p50 %llu us, p99 %llu "
+                "us\n",
+                PriorityName(static_cast<Priority>(i)),
+                static_cast<unsigned long long>(c.submitted),
+                static_cast<unsigned long long>(c.queue_latency_p50_micros),
+                static_cast<unsigned long long>(c.queue_latency_p99_micros));
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- query ----
+
+/// Splits --connect=HOST:PORT.
+bool ParseHostPort(const std::string& s, std::string* host, uint16_t* port) {
+  const size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  uint64_t p = 0;
+  if (!ParseUint(s.substr(colon + 1), &p) || p == 0 || p > 65535) return false;
+  *host = s.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+int CmdQuery(const Flags& flags) {
+  if (flags.positional.size() != 2 || flags.connect.empty()) return Usage();
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(flags.connect, &host, &port)) {
+    std::fprintf(stderr, "--connect expects HOST:PORT\n");
+    return 2;
+  }
+  net::WireOp op;
+  if (flags.op == "check") op = net::WireOp::kCheck;
+  else if (flags.op == "count") op = net::WireOp::kCount;
+  else if (flags.op == "extract") op = net::WireOp::kExtract;
+  else return Usage();
+  Priority priority = Priority::kBatch;
+  if (!ParsePriority(flags.priority, &priority)) return Usage();
+
+  Result<net::Client> client = net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  net::CallOptions opts;
+  opts.limit = op == net::WireOp::kExtract ? flags.limit : UINT64_MAX;
+  opts.priority = static_cast<uint8_t>(priority);
+  opts.deadline_ms = static_cast<uint32_t>(flags.deadline_ms);
+  Result<net::CallResult> result =
+      client->Call(op, flags.positional[0], flags.positional[1], opts);
+  if (!result.ok()) return Fail(result.status());
+  if (!result->ok()) {
+    std::fprintf(stderr, "server: error %u: %s\n", result->code,
+                 result->message.c_str());
+    return 1;
+  }
+  if (op == net::WireOp::kCheck) {
+    std::printf("%s\n", result->nonempty ? "non-empty" : "empty");
+    return result->nonempty ? 0 : 3;
+  }
+  if (op == net::WireOp::kCount) {
+    std::printf("%llu%s\n",
+                static_cast<unsigned long long>(result->count_value),
+                result->count_exact ? "" : "+ (overflowed; lower bound)");
+    return 0;
+  }
+  // Extract: the client has spans, not document text — print positions.
+  for (const SpanTuple& t : result->tuples) {
+    std::printf("(");
+    for (VarId v = 0; v < t.num_vars(); ++v) {
+      if (v > 0) std::printf(", ");
+      if (!t.Get(v).has_value()) {
+        std::printf("x%u=_", v);
+        continue;
+      }
+      std::printf("x%u=[%llu,%llu>", v,
+                  static_cast<unsigned long long>(t.Get(v)->begin),
+                  static_cast<unsigned long long>(t.Get(v)->end));
+    }
+    std::printf(")\n");
+  }
+  std::printf("(%llu tuple(s) in %llu page(s))\n",
+              static_cast<unsigned long long>(result->tuples_streamed),
+              static_cast<unsigned long long>(result->pages));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -659,5 +844,7 @@ int main(int argc, char** argv) {
   if (cmd == "sample") return CmdSample(flags);
   if (cmd == "prepare") return CmdPrepare(flags);
   if (cmd == "batch") return CmdBatch(flags);
+  if (cmd == "serve") return CmdServe(flags);
+  if (cmd == "query") return CmdQuery(flags);
   return Usage();
 }
