@@ -1,0 +1,303 @@
+// Experiment E16 — one query over a generated 10k-document corpus.
+//
+// Two claims of the corpus layer, each asserted by exit code:
+//
+//   1. Pre-filter selectivity AND soundness. Over 10,000 small documents
+//      (10% contain the literal "needle", 10% contain its letters but not
+//      the digram "ne", 80% lack required letters entirely), the
+//      summary pre-filter must skip >= 50% of the non-matching documents —
+//      and produce results bit-identical to a run with the filter (and the
+//      shared memo) disabled: zero false skips, identical per-document
+//      counts.
+//
+//   2. Cross-document memo reuse. Preparing one query across 48 documents
+//      that share most of their text (a common log prefix, unique tails)
+//      through one shared product memo must beat 48 isolated preparations
+//      by >= 1.15x wall-clock (best of 3 each; the shared arena serves
+//      most products from the memo instead of recomputing q^3 work).
+//
+// Emits one JSON document ("JSON: " line and --json=PATH) extending the
+// BENCH_*.json trajectory.
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/query_context.h"
+#include "harness.h"
+#include "slp/factory.h"
+#include "slp/serialize.h"
+#include "slpspan/slpspan.h"
+#include "textgen/textgen.h"
+
+namespace slpspan {
+namespace {
+
+constexpr int kFilterDocs = 10000;
+constexpr int kMemoDocs = 48;
+constexpr double kMinSkipFraction = 0.5;
+constexpr double kMinSharedSpeedup = 1.15;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void SaveDoc(const std::string& dir, int i, const std::string& text) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "doc%05d.slp", i);
+  SLPSPAN_CHECK(
+      SaveSlpToFile(SlpFromString(text).value(), dir + "/" + name).ok());
+}
+
+/// 10k tiny documents in three deterministic families. Only the i%10==0
+/// family contains "needle"; the i%10==1 family contains every letter of
+/// it (n, e, d, l) but never the digram "ne", so it is skippable only by
+/// the digram condition; the rest lack 'n' entirely (required-symbol
+/// skip). Fillers avoid 'e' after an 'n' can occur, so family membership
+/// is exact by construction.
+std::string MakeFilterCorpus() {
+  const std::string dir = FreshDir("slpspan_e16_filter");
+  for (int i = 0; i < kFilterDocs; ++i) {
+    const uint64_t seed = 1000 + static_cast<uint64_t>(i);
+    std::string text;
+    if (i % 10 == 0) {
+      text = GenerateRandom(60, "abcdf", seed) + "needle" +
+             GenerateRandom(60, "abcdf", seed + 1);
+    } else if (i % 10 == 1) {
+      text = "ldeen" + GenerateRandom(115, "abcdf", seed);
+    } else {
+      text = GenerateRandom(120, "abcdef", seed);
+    }
+    SaveDoc(dir, i, text);
+  }
+  return dir;
+}
+
+/// 48 medium documents sharing one long log prefix with a short unique
+/// tail: distinct fingerprints, overwhelmingly shared grammar structure —
+/// the workload the cross-document memo exists for.
+std::string MakeMemoCorpus() {
+  const std::string dir = FreshDir("slpspan_e16_memo");
+  const std::string base =
+      GenerateLog({.lines = 600, .distinct_users = 6, .seed = 5});
+  for (int i = 0; i < kMemoDocs; ++i) {
+    SaveDoc(dir, i, base + "tail=t" + std::to_string(i) + "\n");
+  }
+  return dir;
+}
+
+struct EvalOutcome {
+  CorpusEvalStats stats;
+  std::map<std::string, uint64_t> counts;  ///< name -> count, matched only
+};
+
+bool RunCount(const Corpus& corpus, const Query& query, bool prefilter,
+              bool share, EvalOutcome* out) {
+  CorpusEvalOptions opts;
+  opts.threads = 2;
+  opts.prefilter = prefilter;
+  opts.share_memo = share;
+  const Status st = corpus.Eval(
+      query, EngineRequest::Op::kCount, opts,
+      [&](const CorpusDocResult& r) {
+        if (r.output.ok() && r.output->count.value > 0) {
+          out->counts[r.name] = r.output->count.value;
+        }
+        return true;
+      },
+      &out->stats);
+  if (!st.ok() || out->stats.docs_failed != 0) {
+    std::fprintf(stderr, "E16 FAILED eval: %s (%llu failed docs)\n",
+                 st.ToString().c_str(),
+                 static_cast<unsigned long long>(out->stats.docs_failed));
+    return false;
+  }
+  return true;
+}
+
+bool PreFilterBar(bench::Json* json) {
+  const std::string dir = MakeFilterCorpus();
+  Stopwatch build;
+  Result<std::unique_ptr<Corpus>> corpus = Corpus::Open(dir);
+  const double build_s = build.ElapsedSeconds();
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "E16 FAILED open: %s\n",
+                 corpus.status().ToString().c_str());
+    return false;
+  }
+  Result<Query> query = Query::Compile(".*x{needle}.*", "abcdefnl");
+  SLPSPAN_CHECK(query.ok());
+
+  EvalOutcome filtered, baseline;
+  if (!RunCount(**corpus, *query, /*prefilter=*/true, /*share=*/true,
+                &filtered) ||
+      !RunCount(**corpus, *query, /*prefilter=*/false, /*share=*/false,
+                &baseline)) {
+    return false;
+  }
+
+  // Soundness + bit-identity: the filtered run (filter AND shared memo on)
+  // must report exactly the baseline's matches, count for count.
+  const bool identical = filtered.counts == baseline.counts;
+  const uint64_t matched = baseline.stats.docs_matched;
+  const uint64_t nonmatching = baseline.stats.docs_scanned - matched;
+  const double skip_fraction =
+      nonmatching == 0 ? 0.0
+                       : static_cast<double>(filtered.stats.docs_skipped) /
+                             static_cast<double>(nonmatching);
+  const bool selective = skip_fraction >= kMinSkipFraction;
+
+  bench::Table table(
+      "E16a: pre-filter over " + std::to_string(kFilterDocs) + " documents",
+      {"run", "scanned", "skipped", "evaluated", "matched"});
+  const auto add = [&](const char* name, const EvalOutcome& o) {
+    table.AddRow({name, bench::FmtCount(o.stats.docs_scanned),
+                  bench::FmtCount(o.stats.docs_skipped),
+                  bench::FmtCount(o.stats.docs_evaluated),
+                  bench::FmtCount(o.stats.docs_matched)});
+  };
+  add("pre-filter + shared memo", filtered);
+  add("baseline (both off)", baseline);
+  table.Print();
+  std::printf("catalog build: %.2f s; skipped %.1f%% of %llu non-matching "
+              "documents; results %s\n",
+              build_s, 100.0 * skip_fraction,
+              static_cast<unsigned long long>(nonmatching),
+              identical ? "bit-identical" : "DIVERGED");
+
+  json->Put("e16_filter_docs", static_cast<uint64_t>(kFilterDocs));
+  json->Put("e16_catalog_build_s", build_s);
+  json->Put("e16_docs_matched", matched);
+  json->Put("e16_docs_skipped", filtered.stats.docs_skipped);
+  json->Put("e16_skip_fraction_nonmatching", skip_fraction);
+  json->PutRaw("e16_results_identical", identical ? "true" : "false");
+  json->PutRaw("e16_skip_ge_50pct", selective ? "true" : "false");
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "E16 FAILED: filtered run diverged from baseline "
+                 "(%zu vs %zu matched docs) — unsound skip or memo bug\n",
+                 filtered.counts.size(), baseline.counts.size());
+  }
+  if (!selective) {
+    std::fprintf(stderr,
+                 "E16 FAILED: pre-filter skipped %.1f%% of non-matching "
+                 "documents, bar is %.0f%%\n",
+                 100.0 * skip_fraction, 100.0 * kMinSkipFraction);
+  }
+  return identical && selective;
+}
+
+/// One prepare sweep: fresh Document handles (so every table is rebuilt),
+/// one CorpusQueryContext for the whole leg. Returns seconds.
+double PrepareLeg(const std::vector<std::string>& paths, const Query& query,
+                  bool share, PrepareStats* agg) {
+  corpus::CorpusQueryContext ctx(query.fingerprint(), share);
+  Stopwatch sw;
+  for (const std::string& path : paths) {
+    Result<DocumentPtr> doc = Document::FromSlpFile(path);
+    SLPSPAN_CHECK(doc.ok());
+    PrepareStats ps;
+    (*doc)->PreparedFor(query, &ps);
+    agg->products += ps.products;
+    agg->memo_hits += ps.memo_hits;
+  }
+  return sw.ElapsedSeconds();
+}
+
+bool SharedMemoBar(bench::Json* json) {
+  const std::string dir = MakeMemoCorpus();
+  std::vector<std::string> paths;
+  for (int i = 0; i < kMemoDocs; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "doc%05d.slp", i);
+    paths.push_back(dir + "/" + name);
+  }
+  // The long literal drives q up, so every memo miss costs a full q^3
+  // product — the regime where cross-document reuse pays most.
+  Result<Query> query =
+      Query::Compile(".*x{user=u3 action=GET status=200}.*",
+                     "abcdefghijklmnopqrstuvwxyz0123456789=_ \nGEPOST");
+  SLPSPAN_CHECK(query.ok());
+
+  PrepareStats isolated_stats, shared_stats;
+  double isolated_s = 1e300, shared_s = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    PrepareStats i_stats, s_stats;
+    isolated_s =
+        std::min(isolated_s, PrepareLeg(paths, *query, false, &i_stats));
+    shared_s = std::min(shared_s, PrepareLeg(paths, *query, true, &s_stats));
+    isolated_stats = i_stats;
+    shared_stats = s_stats;
+  }
+  const double speedup = shared_s > 0 ? isolated_s / shared_s : 0.0;
+  const double isolated_rate =
+      static_cast<double>(isolated_stats.memo_hits) /
+      static_cast<double>(isolated_stats.products);
+  const double shared_rate = static_cast<double>(shared_stats.memo_hits) /
+                             static_cast<double>(shared_stats.products);
+  const bool faster = speedup >= kMinSharedSpeedup;
+
+  bench::Table table("E16b: preparing " + std::to_string(kMemoDocs) +
+                         " near-identical documents",
+                     {"memo", "wall (ms)", "matrix ops", "hit rate"});
+  table.AddRow({"isolated per-document", bench::FmtDouble(isolated_s * 1e3, 1),
+                bench::FmtCount(isolated_stats.products),
+                bench::FmtDouble(100.0 * isolated_rate, 1) + "%"});
+  table.AddRow({"shared across corpus", bench::FmtDouble(shared_s * 1e3, 1),
+                bench::FmtCount(shared_stats.products),
+                bench::FmtDouble(100.0 * shared_rate, 1) + "%"});
+  table.Print();
+  std::printf("shared-memo speedup: %.2fx (bar %.2fx)\n", speedup,
+              kMinSharedSpeedup);
+
+  json->Put("e16_memo_docs", static_cast<uint64_t>(kMemoDocs));
+  json->Put("e16_prepare_isolated_ms", isolated_s * 1e3);
+  json->Put("e16_prepare_shared_ms", shared_s * 1e3);
+  json->Put("e16_shared_speedup", speedup);
+  json->Put("e16_isolated_hit_rate", isolated_rate);
+  json->Put("e16_shared_hit_rate", shared_rate);
+  json->PutRaw("e16_shared_beats_isolated", faster ? "true" : "false");
+
+  if (!faster) {
+    std::fprintf(stderr,
+                 "E16 FAILED: shared-memo prepare speedup %.2fx below the "
+                 "%.2fx bar\n",
+                 speedup, kMinSharedSpeedup);
+  }
+  return faster;
+}
+
+}  // namespace
+}  // namespace slpspan
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  slpspan::bench::Json json;
+  json.Put("bench", std::string("e16_corpus"));
+  const bool filter_ok = slpspan::PreFilterBar(&json);
+  const bool memo_ok = slpspan::SharedMemoBar(&json);
+
+  const std::string out = json.Str();
+  std::printf("\nJSON: %s\n", out.c_str());
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << out << "\n";
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return filter_ok && memo_ok ? 0 : 1;
+}

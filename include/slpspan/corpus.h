@@ -1,0 +1,154 @@
+// Corpus — one query over a directory of SLP-compressed documents.
+//
+// Corpus::Open ingests (or re-adopts) a versioned, checksummed catalog of
+// every ".slp" file under a directory: per-document fingerprint, sizes and
+// a grammar-derived summary (alphabet bitmap + digram sketch). Eval then
+// runs one compiled Query across the whole corpus:
+//
+//   - a sound pre-filter derived from the query refutes documents whose
+//     summary proves they cannot match — those are skipped before any
+//     O(size(S)·q³) preparation (never a possible match: results are
+//     bit-identical with the filter off);
+//   - the documents that survive are evaluated through Session::Submit
+//     with bounded parallelism, streaming (document, result) pairs to the
+//     caller's sink in catalog order;
+//   - all their preparations share one cross-document product memo keyed
+//     by the query fingerprint (the PR 5 memo, extended across documents),
+//     with the per-(doc, query) cache and spill tier layered underneath.
+//
+// See docs/CORPUS.md for the catalog format, the pre-filter soundness
+// argument and the shared-memo design.
+
+#ifndef SLPSPAN_PUBLIC_CORPUS_H_
+#define SLPSPAN_PUBLIC_CORPUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "slpspan/query.h"
+#include "slpspan/runtime.h"
+#include "slpspan/status.h"
+
+namespace slpspan {
+
+/// How Corpus::Open treats an existing catalog file.
+struct CorpusOptions {
+  /// Re-ingest every document even when the stored catalog matches the
+  /// directory listing (use after in-place file edits that kept sizes).
+  bool rebuild = false;
+};
+
+/// How one corpus evaluation runs. The two feature toggles exist for
+/// benchmarking and differential testing — results are bit-identical
+/// either way, only the work done changes.
+struct CorpusEvalOptions {
+  /// Session worker threads; 0 = hardware concurrency.
+  uint32_t threads = 0;
+
+  /// Op::kExtract only: per-document cap on materialized tuples.
+  std::optional<uint64_t> limit;
+
+  /// Skip documents whose summary refutes the query (sound — a skipped
+  /// document provably has no match).
+  bool prefilter = true;
+
+  /// Share one product memo across every preparation of this run.
+  bool share_memo = true;
+};
+
+/// One streamed (document, result) pair: the document's primary file name
+/// and fingerprint plus its evaluation output (or the per-document error —
+/// a missing/corrupt file fails that document, not the run).
+struct CorpusDocResult {
+  std::string name;
+  uint64_t fingerprint = 0;
+  Result<EngineOutput> output;
+};
+
+/// What one corpus evaluation did.
+struct CorpusEvalStats {
+  uint64_t docs_scanned = 0;    ///< catalog entries considered
+  uint64_t docs_skipped = 0;    ///< refuted by the pre-filter
+  uint64_t docs_evaluated = 0;  ///< evaluated and streamed a result
+  uint64_t docs_failed = 0;     ///< streamed a per-document error
+  uint64_t docs_matched = 0;    ///< evaluated with a non-empty result
+  /// Documents whose Lemma 6.5 tables were built during this run (count
+  /// and extract ops; the non-emptiness op never builds tables).
+  uint64_t docs_prepared = 0;
+  uint64_t prepare_products = 0;   ///< matrix ops requested across the run
+  uint64_t prepare_memo_hits = 0;  ///< ops served from a memo
+  /// Preparations admitted to / refused by the shared memo (0 when
+  /// sharing is off).
+  uint64_t memo_shared_preparations = 0;
+  uint64_t memo_fallbacks = 0;
+
+  /// Fraction of matrix ops served from a memo across the whole run — the
+  /// corpus-level hit rate the shared memo exists to raise.
+  double memo_hit_rate() const {
+    return prepare_products == 0 ? 0.0
+                                 : static_cast<double>(prepare_memo_hits) /
+                                       static_cast<double>(prepare_products);
+  }
+};
+
+/// A catalogued directory of compressed documents. Open once, evaluate
+/// many queries. Thread-compatible: concurrent Eval calls on one Corpus
+/// are safe (the object is read-only after Open).
+class Corpus {
+ public:
+  /// One distinct document of the corpus (identical-fingerprint files
+  /// share an entry; `aliases` holds the other names, if any).
+  struct DocumentInfo {
+    std::string name;  ///< primary file name, relative to the directory
+    std::vector<std::string> aliases;
+    uint64_t fingerprint = 0;
+    uint64_t length = 0;     ///< decompressed |D|
+    uint64_t slp_rules = 0;  ///< size(S)
+  };
+
+  /// Scans `directory` for ".slp" files and loads or (re)builds its
+  /// catalog file ("corpus.catalog"): an existing catalog is adopted when
+  /// it is intact and matches the directory listing (names + sizes), else
+  /// every document is ingested and the catalog rewritten atomically.
+  static Result<std::unique_ptr<Corpus>> Open(const std::string& directory,
+                                              const CorpusOptions& opts = {});
+
+  ~Corpus();
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  const std::string& directory() const;
+  /// Distinct documents, in catalog (streaming) order.
+  const std::vector<DocumentInfo>& documents() const;
+  /// True when Open ingested the directory (vs adopting the stored
+  /// catalog unchanged).
+  bool rebuilt_catalog() const;
+
+  /// Called once per scanned document that was not skipped, in catalog
+  /// order; return false to stop the run early (in-flight evaluations are
+  /// cancelled).
+  using ResultSink = std::function<bool(const CorpusDocResult&)>;
+
+  /// Evaluates `query` over every document, streaming one result per
+  /// non-skipped document to `sink` in catalog order. Per-document
+  /// failures (unreadable file, evaluation error) are streamed as that
+  /// document's result; the returned Status is only non-OK for run-level
+  /// problems (invalid arguments).
+  Status Eval(const Query& query, EngineRequest::Op op,
+              const CorpusEvalOptions& opts, const ResultSink& sink,
+              CorpusEvalStats* stats = nullptr) const;
+
+ private:
+  Corpus();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_PUBLIC_CORPUS_H_

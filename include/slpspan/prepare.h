@@ -6,8 +6,10 @@
 // Both structs are plain value types with no ownership or thread-safety
 // concerns of their own: options are read once at the start of a
 // preparation, stats are filled by exactly one preparation and then only
-// read. They are deliberately dependency-free so every layer (core, api,
-// runtime, CLI) can pass them through without pulling in the core headers.
+// read. They stay dependency-light so every layer (core, api, runtime,
+// CLI) can pass them through without pulling in the core headers — the one
+// cross-layer handle, the shared product memo, is carried as a
+// forward-declared shared_ptr.
 //
 // The preparation itself is deterministic under every option combination:
 // naive, memoized and memoized+parallel builds produce bit-identical
@@ -18,8 +20,13 @@
 #define SLPSPAN_PUBLIC_PREPARE_H_
 
 #include <cstdint>
+#include <memory>
 
 namespace slpspan {
+
+namespace core_internal {
+struct SharedPrepareMemo;
+}  // namespace core_internal
 
 /// How to run a preparation (Lemma 6.5 table construction).
 struct PrepareOptions {
@@ -38,6 +45,19 @@ struct PrepareOptions {
   /// signatures. Off = the historical naive pass (kept for benchmarking
   /// and differential testing; results are bit-identical either way).
   bool memoize = true;
+
+  /// Optional cross-document product memo (corpus runs). When set — and
+  /// memoize is on and the preparation's worst-case slot reservation is
+  /// admitted — the builder interns matrices into this shared arena and
+  /// consults/extends its product and rule-shape memos, so documents
+  /// prepared later against the same query skip every product an earlier
+  /// document already paid for. A memo is only valid for one evaluation
+  /// automaton (the runtime registry keys memos by query fingerprint);
+  /// admission failure silently falls back to a private memo. Null (the
+  /// default) keeps every preparation private. The resulting tables are
+  /// bit-identical with and without sharing. See src/core/prepare_memo.h
+  /// and docs/CORPUS.md.
+  std::shared_ptr<core_internal::SharedPrepareMemo> shared_memo;
 };
 
 /// What one preparation did — the out-param of Document::PreparedFor /

@@ -87,6 +87,7 @@ class Query {
  private:
   friend class Document;
   friend class Engine;
+  friend class Corpus;
 
   static Result<Query> Wrap(Spanner spanner, QueryOptions opts);
 

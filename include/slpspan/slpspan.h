@@ -11,7 +11,9 @@
 //
 // Plus the runtime layer (slpspan/runtime.h): the process-wide byte-budgeted
 // prepared-state cache (Runtime) and thread-pooled cross-document batch
-// evaluation (Session::EvalBatch).
+// evaluation (Session::EvalBatch). And the corpus layer (slpspan/corpus.h):
+// one query over a catalogued directory of documents, with a sound
+// summary-based pre-filter and a cross-document preparation memo.
 //
 // Quickstart:
 //
@@ -26,6 +28,7 @@
 #ifndef SLPSPAN_PUBLIC_SLPSPAN_H_
 #define SLPSPAN_PUBLIC_SLPSPAN_H_
 
+#include "slpspan/corpus.h"
 #include "slpspan/document.h"
 #include "slpspan/engine.h"
 #include "slpspan/query.h"

@@ -9,6 +9,7 @@
 
 #include "api/internal.h"
 #include "runtime/prepared_cache.h"
+#include "runtime/shared_memo_registry.h"
 #include "slp/factory.h"
 #include "slp/lz77.h"
 #include "slp/lz78.h"
@@ -166,8 +167,18 @@ std::shared_ptr<const api_internal::PreparedState> Document::PreparedFor(
       runtime_internal::PreparedCache::Global().GetOrBuild(
           id_, query.id(), fingerprint(), query.fingerprint(), counters_, [&] {
             PrepareStats build_stats;
-            PreparedDocument prepared = query.state_->evaluator.Prepare(
-                slp_, Runtime::prepare_options(), &build_stats);
+            PrepareOptions opts = Runtime::prepare_options();
+            if (opts.shared_memo == nullptr) {
+              // A live corpus run over this query shares one product memo
+              // across every document it prepares (src/corpus/): pick it
+              // up here so preparations reached through the cache and
+              // Session workers join the run without any API change.
+              opts.shared_memo =
+                  runtime_internal::SharedMemoRegistry::Global().Lookup(
+                      query.fingerprint());
+            }
+            PreparedDocument prepared =
+                query.state_->evaluator.Prepare(slp_, opts, &build_stats);
             return std::make_shared<const api_internal::PreparedState>(
                 std::move(prepared),
                 runtime_internal::PreparedCache::RechargeHookFor(id_,

@@ -1,0 +1,48 @@
+// SharedPrepareMemo reservation accounting (see prepare_memo.h for the
+// sharing discipline and docs/CORPUS.md for the cross-document design).
+#include "core/prepare_memo.h"
+
+namespace slpspan {
+namespace core_internal {
+
+uint64_t HashBoolMatrix(const BoolMatrix& m) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (uint32_t i = 0; i < m.n(); ++i) {
+    const uint64_t* row = m.Row(i);
+    for (uint32_t w = 0; w < m.words_per_row(); ++w) {
+      h ^= row[w];
+      h *= 0x100000001B3ull;
+    }
+  }
+  return h;
+}
+
+bool SharedPrepareMemo::TryReserve(size_t slots, uint32_t q_states) {
+  util::MutexLock lock(&mu);
+  // Memo entries assert identities between arena indices; they only hold
+  // for one evaluation automaton. The registry keys memos by query
+  // fingerprint, so a mismatch here is defensive, not expected.
+  const bool fits = (q == 0 || q == q_states) &&
+                    arena.size() + reserved + slots <= arena.capacity();
+  if (!fits) {
+    fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  q = q_states;
+  reserved += slots;
+  preparations.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SharedPrepareMemo::Release(size_t slots) {
+  util::MutexLock lock(&mu);
+  // `reserved` counts whole reservations until release, so admitted-but-
+  // already-appended slots are double-counted against capacity while a
+  // preparation is in flight. That over-counting is deliberate: it is
+  // conservative (admission can only refuse, never overflow the arena)
+  // and it makes release trivially balanced.
+  reserved -= slots;
+}
+
+}  // namespace core_internal
+}  // namespace slpspan

@@ -1,0 +1,151 @@
+// Cross-preparation product memo: the hash-consed matrix arena and the
+// product/rule-shape memo tables of the Lemma 6.5 table builder, factored
+// out of core/tables.cc so one instance can be *shared* across the
+// preparations of many documents against the same query. The distinct
+// matrix products of one query repeat heavily across a corpus — later
+// documents hit the memo where the first document paid the O(q³/w)
+// product — which is the corpus layer's cross-document reuse (see
+// docs/CORPUS.md). A private instance per preparation reproduces the
+// historical single-document behavior exactly.
+
+#ifndef SLPSPAN_CORE_PREPARE_MEMO_H_
+#define SLPSPAN_CORE_PREPARE_MEMO_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bool_matrix.h"
+#include "util/mutex.h"
+
+namespace slpspan {
+namespace core_internal {
+
+/// Content hash of a matrix (FNV-1a over the row words) — the interner's
+/// bucket key. Collisions are resolved by full equality comparison.
+uint64_t HashBoolMatrix(const BoolMatrix& m);
+
+/// Append-only matrix arena with stable addresses: storage is a chain of
+/// fixed-size blocks whose pointer vector is reserved up front, so workers
+/// may read any already-published slot while another thread appends — no
+/// reallocation ever moves a matrix. Indices are published to other threads
+/// only through the owning memo's mutex (memo/interner inserts) or through
+/// a wave barrier, which provides the happens-before edge for the contents.
+/// Every slot holds a BoolMatrix and therefore obeys the kernel layer's
+/// alignment contract (32-byte aligned, padded rows) — arena-built and
+/// bundle-adopted matrices hit the same SIMD fast path. Interned matrices
+/// additionally carry cached row popcounts (density profile for the
+/// adaptive multiply), frozen before publication so readers never race.
+class MatrixArena {
+ public:
+  explicit MatrixArena(size_t capacity) : capacity_(capacity) {
+    blocks_.reserve(capacity / kBlock + 2);
+  }
+
+  const BoolMatrix& at(uint32_t i) const {
+    return (*blocks_[i >> kShift])[i & (kBlock - 1)];
+  }
+  BoolMatrix& mutable_at(uint32_t i) {
+    return (*blocks_[i >> kShift])[i & (kBlock - 1)];
+  }
+
+  /// Appends `m` and returns its index. Caller serializes appends (the
+  /// owning memo's mutex when any concurrency is possible).
+  uint32_t Append(BoolMatrix m) {
+    SLPSPAN_CHECK(size_ < capacity_);  // reserve() bound — never reallocates
+    if (size_ == blocks_.size() * kBlock) {
+      blocks_.push_back(std::make_unique<std::array<BoolMatrix, kBlock>>());
+    }
+    const uint32_t idx = static_cast<uint32_t>(size_++);
+    mutable_at(idx) = std::move(m);
+    return idx;
+  }
+
+  /// Slots appended so far. Only meaningful to a caller that serializes
+  /// with appends (the owning memo's mutex).
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr uint32_t kShift = 9;
+  static constexpr uint32_t kBlock = 1u << kShift;
+
+  size_t capacity_;
+  size_t size_ = 0;
+  std::vector<std::unique_ptr<std::array<BoolMatrix, kBlock>>> blocks_;
+};
+
+/// The interner + product memo a table build runs against. One preparation
+/// owns a private instance sized to its exact worst case; a corpus run
+/// hands the same instance to every preparation of one query so products
+/// computed for an earlier document are memo hits for later ones.
+///
+/// Sharing discipline: all maps, the `q`/`reserved` fields and arena
+/// *appends* are guarded by `mu`; already-published arena slots are
+/// deliberately read lock-free (see MatrixArena). Admission is
+/// reservation-based — a builder reserves its worst-case slot count up
+/// front via TryReserve and releases it again when it finishes, so the
+/// arena's no-reallocation CHECK stays unreachable. When the reservation
+/// does not fit (or the automaton size differs), the builder falls back to
+/// a private memo and the preparation proceeds unshared, never fails.
+struct SharedPrepareMemo {
+  struct RuleKey {
+    uint64_t left, right;  // (U_B, W_B) and (U_C, W_C) arena-index pairs
+    bool operator==(const RuleKey&) const = default;
+  };
+  struct RuleValue {
+    uint32_t u, w;  // resulting U_A/W_A arena indices
+    uint32_t ops;   // memoizable ops one evaluation of this shape records
+  };
+  struct RuleKeyHash {
+    size_t operator()(const RuleKey& k) const {
+      const uint64_t h = k.left * 0x9E3779B97F4A7C15ull ^
+                         k.right * 0xC2B2AE3D27D4EB4Full;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  /// Default shared-arena capacity. Bounds how many *distinct* matrices one
+  /// corpus run can intern (block pointers for the bound are reserved up
+  /// front — 64 KiB of pointers; matrix storage itself is allocated on
+  /// demand). Preparations whose worst case no longer fits fall back to
+  /// private memos.
+  static constexpr size_t kDefaultSharedCapacity = size_t{1} << 22;
+
+  explicit SharedPrepareMemo(size_t capacity = kDefaultSharedCapacity)
+      : arena(capacity) {}
+
+  /// Admits a preparation that may append up to `slots` matrices for an
+  /// automaton with `q_states` states. The first reservation pins the
+  /// automaton size; mismatching or over-capacity reservations are refused
+  /// (counted in `fallbacks`).
+  bool TryReserve(size_t slots, uint32_t q_states) EXCLUDES(mu);
+
+  /// Returns a reservation when its preparation is done. The builder's
+  /// appends stay in the arena (that is the point); only the admission
+  /// head-room is given back.
+  void Release(size_t slots) EXCLUDES(mu);
+
+  util::Mutex mu;
+  /// Appends under `mu`; published slots are read lock-free (class doc).
+  MatrixArena arena;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash GUARDED_BY(mu);
+  std::unordered_map<uint64_t, uint32_t> mul_memo GUARDED_BY(mu);
+  std::unordered_map<uint64_t, uint32_t> or_memo GUARDED_BY(mu);
+  std::unordered_map<RuleKey, RuleValue, RuleKeyHash> rule_memo GUARDED_BY(mu);
+
+  uint32_t q GUARDED_BY(mu) = 0;       ///< pinned by the first reservation
+  size_t reserved GUARDED_BY(mu) = 0;  ///< outstanding admission head-room
+
+  std::atomic<uint64_t> preparations{0};  ///< builders admitted
+  std::atomic<uint64_t> fallbacks{0};     ///< reservations refused
+};
+
+}  // namespace core_internal
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORE_PREPARE_MEMO_H_

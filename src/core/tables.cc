@@ -1,15 +1,16 @@
 // EvalTables construction: interned per-rule transition matrices, built
-// serially or wave-parallel over the SLP's dependency levels.
+// serially or wave-parallel over the SLP's dependency levels, against a
+// private or cross-document-shared product memo (core/prepare_memo.h).
 #include "core/tables.h"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <memory>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "core/prepare_memo.h"
 #include "util/mutex.h"
 #include "util/thread_pool.h"
 
@@ -17,80 +18,28 @@ namespace slpspan {
 
 namespace {
 
-uint64_t HashMatrix(const BoolMatrix& m) {
-  uint64_t h = 0xCBF29CE484222325ull;
-  for (uint32_t i = 0; i < m.n(); ++i) {
-    const uint64_t* row = m.Row(i);
-    for (uint32_t w = 0; w < m.words_per_row(); ++w) {
-      h ^= row[w];
-      h *= 0x100000001B3ull;
-    }
-  }
-  return h;
-}
-
-/// Append-only matrix arena with stable addresses: storage is a chain of
-/// fixed-size blocks whose pointer vector is reserved up front, so workers
-/// may read any already-published slot while another thread appends — no
-/// reallocation ever moves a matrix. Indices are published to other threads
-/// only through the builder's mutex (memo/interner inserts) or through a
-/// wave barrier, which provides the happens-before edge for the contents.
-/// Every slot holds a BoolMatrix and therefore obeys the kernel layer's
-/// alignment contract (32-byte aligned, padded rows) — arena-built and
-/// bundle-adopted matrices hit the same SIMD fast path. Interned matrices
-/// additionally carry cached row popcounts (density profile for the
-/// adaptive multiply), frozen before publication so readers never race.
-class MatrixArena {
- public:
-  explicit MatrixArena(size_t capacity) : capacity_(capacity) {
-    blocks_.reserve(capacity / kBlock + 2);
-  }
-
-  const BoolMatrix& at(uint32_t i) const {
-    return (*blocks_[i >> kShift])[i & (kBlock - 1)];
-  }
-  BoolMatrix& mutable_at(uint32_t i) {
-    return (*blocks_[i >> kShift])[i & (kBlock - 1)];
-  }
-
-  /// Appends `m` and returns its index. Caller serializes appends (the
-  /// builder's mutex in parallel mode).
-  uint32_t Append(BoolMatrix m) {
-    SLPSPAN_CHECK(size_ < capacity_);  // reserve() bound — never reallocates
-    if (size_ == blocks_.size() * kBlock) {
-      blocks_.push_back(std::make_unique<std::array<BoolMatrix, kBlock>>());
-    }
-    const uint32_t idx = static_cast<uint32_t>(size_++);
-    mutable_at(idx) = std::move(m);
-    return idx;
-  }
-
-  size_t size() const { return size_; }
-
- private:
-  static constexpr uint32_t kShift = 9;
-  static constexpr uint32_t kBlock = 1u << kShift;
-
-  size_t capacity_;
-  size_t size_ = 0;
-  std::vector<std::unique_ptr<std::array<BoolMatrix, kBlock>>> blocks_;
-};
+using core_internal::HashBoolMatrix;
+using core_internal::SharedPrepareMemo;
 
 /// One bottom-up preparation pass (Lemma 6.5), scheduled wave-by-wave over
 /// derivation depth. Non-terminals within a wave only read results of
 /// earlier waves, so they are processed concurrently when opts.threads > 1;
 /// waves are separated by a ThreadPool::WaitIdle barrier.
 ///
-/// All produced matrices are interned into a shared arena. With
-/// opts.memoize, Multiply and Or are additionally cached by operand index
-/// pair: on repetitive grammars the same rule shape — the same pair of
-/// child-matrix indices — recurs thousands of times, and every recurrence
-/// is a hash lookup instead of an O(q³/w) product. The memo, interner and
-/// arena share one mutex (taken only in parallel mode); the expensive
+/// All produced matrices are interned into an arena. With opts.memoize,
+/// Multiply and Or are additionally cached by operand index pair: on
+/// repetitive grammars the same rule shape — the same pair of child-matrix
+/// indices — recurs thousands of times, and every recurrence is a hash
+/// lookup instead of an O(q³/w) product. The memo, interner and arena live
+/// in a SharedPrepareMemo: private to this build by default, or — corpus
+/// runs — supplied by the caller and shared across the preparations of
+/// many documents, so products an earlier document computed are memo hits
+/// here. The memo's one mutex is taken only when anything can run
+/// concurrently (parallel build or shared memo); the expensive
 /// multiplications always run outside it, so distinct products still
-/// parallelize. Two workers racing on the same missing product both compute
-/// it — the interner deduplicates the result and the memo insert is
-/// idempotent, so the race costs duplicate work, never correctness.
+/// parallelize. Two workers racing on the same missing product both
+/// compute it — the interner deduplicates the result and the memo insert
+/// is idempotent, so the race costs duplicate work, never correctness.
 class TableBuilder {
  public:
   TableBuilder(const Slp& slp, const Nfa& nfa, const PrepareOptions& opts,
@@ -101,13 +50,16 @@ class TableBuilder {
         nfa_(nfa),
         memoize_(opts.memoize),
         q_(nfa.NumStates()),
-        u_idx_(u_idx),
-        w_idx_(w_idx),
-        leaf_cells_(leaf_cells),
         // Upper bound on arena slots: 2 per leaf (U, W) and — memoized —
         // up to 5 per inner rule (U, U|W, two partial products, W).
-        arena_(2ull * (slp.NumNonTerminals() - slp.NumInnerNonTerminals()) +
-               5ull * slp.NumInnerNonTerminals() + 1) {
+        slots_(2ull * (slp.NumNonTerminals() - slp.NumInnerNonTerminals()) +
+               5ull * slp.NumInnerNonTerminals() + 1),
+        shared_(AttachShared(opts, slots_, q_)),
+        local_(shared_ ? nullptr : std::make_unique<SharedPrepareMemo>(slots_)),
+        memo_(shared_ ? shared_.get() : local_.get()),
+        u_idx_(u_idx),
+        w_idx_(w_idx),
+        leaf_cells_(leaf_cells) {
     uint32_t threads = opts.threads;
     if (threads == 0) threads = std::thread::hardware_concurrency();
     // Never oversubscribe: extra workers on a core-starved host only add
@@ -116,6 +68,9 @@ class TableBuilder {
     threads_ = std::max(
         1u, std::min(threads, std::max(1u, std::thread::hardware_concurrency())));
     parallel_ = threads_ > 1;
+    // A shared memo is touched by other documents' builders concurrently,
+    // so locking is unconditional there even for a serial wave schedule.
+    lock_ = parallel_ || shared_ != nullptr;
 
     const uint32_t n = slp.NumNonTerminals();
     leaf_index->assign(n, UINT32_MAX);
@@ -126,13 +81,22 @@ class TableBuilder {
       }
     }
     leaf_index_ = leaf_index;
-    if (memoize_) {
+    if (memoize_ && !shared_) {
       // One entry per inner rule worst-case; reserving up front keeps the
       // hit path free of rehash passes (which would re-walk the whole table
-      // log(n) times over a large grammar).
-      rule_memo_.reserve(slp.NumInnerNonTerminals());
+      // log(n) times over a large grammar). A shared memo persists across
+      // preparations and sizes itself as it grows.
+      util::MutexLock lock(&memo_->mu);
+      memo_->rule_memo.reserve(slp.NumInnerNonTerminals());
     }
   }
+
+  ~TableBuilder() {
+    if (shared_) memo_->Release(slots_);
+  }
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
 
   void Run() {
     // Wave t holds the non-terminals of derivation depth t + 1; every level
@@ -176,21 +140,31 @@ class TableBuilder {
     stats->threads = threads_;
   }
 
-  /// Moves the matrices actually referenced by u_idx/w_idx into `pool` in
-  /// first-reference order — exactly the order the historical serial-naive
-  /// interner produced — and rewrites the indices. Intermediates (partial
-  /// products that no non-terminal references) are dropped, so the final
-  /// tables are bit-identical across naive, memoized and parallel builds.
+  /// Materializes the matrices actually referenced by u_idx/w_idx into
+  /// `pool` in first-reference order — exactly the order the historical
+  /// serial-naive interner produced — and rewrites the indices.
+  /// Intermediates (partial products no non-terminal references) are
+  /// dropped, so the final tables are bit-identical across naive, memoized,
+  /// parallel and shared-memo builds. A private arena is moved from; a
+  /// shared arena is copied from (its matrices stay live for the other
+  /// documents of the corpus run).
   void CompactInto(std::vector<BoolMatrix>* pool) {
-    std::vector<uint32_t> remap(arena_.size(), UINT32_MAX);
+    // Keyed remap rather than a dense one: a shared arena's size can grow
+    // concurrently (other documents appending), so it cannot be read here.
+    std::unordered_map<uint32_t, uint32_t> remap;
+    remap.reserve(2 * slp_.NumNonTerminals());
     for (NtId a = 0; a < slp_.NumNonTerminals(); ++a) {
       for (uint32_t* slot : {&(*u_idx_)[a], &(*w_idx_)[a]}) {
-        uint32_t& target = remap[*slot];
-        if (target == UINT32_MAX) {
-          target = static_cast<uint32_t>(pool->size());
-          pool->push_back(std::move(arena_.mutable_at(*slot)));
+        const auto [it, inserted] =
+            remap.emplace(*slot, static_cast<uint32_t>(pool->size()));
+        if (inserted) {
+          if (shared_) {
+            pool->push_back(memo_->arena.at(*slot));
+          } else {
+            pool->push_back(std::move(memo_->arena.mutable_at(*slot)));
+          }
         }
-        *slot = target;
+        *slot = it->second;
       }
     }
   }
@@ -198,18 +172,30 @@ class TableBuilder {
  private:
   static constexpr size_t kGrain = 16;  // rules claimed per atomic fetch
 
+  /// Admission: attach to the caller's shared memo when sharing is on and
+  /// the worst case fits, else run against a private memo. Sharing without
+  /// memoization is pointless (the naive pass interns only final tables and
+  /// consults no memo), so it is treated as unshared, not as a fallback.
+  static std::shared_ptr<SharedPrepareMemo> AttachShared(
+      const PrepareOptions& opts, size_t slots, uint32_t q) {
+    if (!opts.shared_memo || !opts.memoize) return nullptr;
+    if (!opts.shared_memo->TryReserve(slots, q)) return nullptr;
+    return opts.shared_memo;
+  }
+
   /// Interns `m`: returns the index of an equal arena matrix or appends.
-  /// Caller holds the lock in parallel mode (OptionalMutexLock claims the
-  /// capability on both paths, so the analysis checks serial mode too).
-  uint32_t InternLocked(BoolMatrix m) REQUIRES(mu_) {
-    std::vector<uint32_t>& bucket = by_hash_[HashMatrix(m)];
+  /// Caller holds the lock whenever concurrency is possible
+  /// (OptionalMutexLock claims the capability on both paths, so the
+  /// analysis checks serial mode too).
+  uint32_t InternLocked(BoolMatrix m) REQUIRES(memo_->mu) {
+    std::vector<uint32_t>& bucket = memo_->by_hash[HashBoolMatrix(m)];
     for (const uint32_t idx : bucket) {
-      if (arena_.at(idx) == m) return idx;
+      if (memo_->arena.at(idx) == m) return idx;
     }
     // Pool matrices are multiply operands from here on: freeze the density
     // profile now, while this thread still owns the matrix exclusively.
     if (!m.has_row_popcounts()) m.CacheRowPopcounts();
-    bucket.push_back(arena_.Append(std::move(m)));
+    bucket.push_back(memo_->arena.Append(std::move(m)));
     return bucket.back();
   }
 
@@ -222,17 +208,17 @@ class TableBuilder {
     products_.fetch_add(1, std::memory_order_relaxed);
     const uint64_t key = PackPair(i, j);
     {
-      util::OptionalMutexLock lock(&mu_, parallel_);
-      const auto it = mul_memo_.find(key);
-      if (it != mul_memo_.end()) {
+      util::OptionalMutexLock lock(&memo_->mu, lock_);
+      const auto it = memo_->mul_memo.find(key);
+      if (it != memo_->mul_memo.end()) {
         memo_hits_.fetch_add(1, std::memory_order_relaxed);
         return it->second;
       }
     }
-    BoolMatrix m = BoolMatrix::Multiply(arena_.at(i), arena_.at(j));
-    util::OptionalMutexLock lock(&mu_, parallel_);
+    BoolMatrix m = BoolMatrix::Multiply(memo_->arena.at(i), memo_->arena.at(j));
+    util::OptionalMutexLock lock(&memo_->mu, lock_);
     const uint32_t k = InternLocked(std::move(m));
-    mul_memo_.emplace(key, k);
+    memo_->mul_memo.emplace(key, k);
     return k;
   }
 
@@ -243,18 +229,18 @@ class TableBuilder {
     products_.fetch_add(1, std::memory_order_relaxed);
     const uint64_t key = PackPair(std::min(i, j), std::max(i, j));
     {
-      util::OptionalMutexLock lock(&mu_, parallel_);
-      const auto it = or_memo_.find(key);
-      if (it != or_memo_.end()) {
+      util::OptionalMutexLock lock(&memo_->mu, lock_);
+      const auto it = memo_->or_memo.find(key);
+      if (it != memo_->or_memo.end()) {
         memo_hits_.fetch_add(1, std::memory_order_relaxed);
         return it->second;
       }
     }
-    BoolMatrix m = arena_.at(i);
-    m.OrWith(arena_.at(j));
-    util::OptionalMutexLock lock(&mu_, parallel_);
+    BoolMatrix m = memo_->arena.at(i);
+    m.OrWith(memo_->arena.at(j));
+    util::OptionalMutexLock lock(&memo_->mu, lock_);
     const uint32_t k = InternLocked(std::move(m));
-    or_memo_.emplace(key, k);
+    memo_->or_memo.emplace(key, k);
     return k;
   }
 
@@ -281,26 +267,29 @@ class TableBuilder {
       // testing): every product is computed; only the final U/W land in the
       // interner, exactly like the pre-memoization builder.
       products_.fetch_add(5, std::memory_order_relaxed);
-      BoolMatrix u = BoolMatrix::Multiply(arena_.at(ub), arena_.at(uc));
-      BoolMatrix any_b = arena_.at(ub);
-      any_b.OrWith(arena_.at(wb));
-      BoolMatrix w = BoolMatrix::Multiply(any_b, arena_.at(wc));
-      w.OrWith(BoolMatrix::Multiply(arena_.at(wb), arena_.at(uc)));
-      util::OptionalMutexLock lock(&mu_, parallel_);
+      BoolMatrix u =
+          BoolMatrix::Multiply(memo_->arena.at(ub), memo_->arena.at(uc));
+      BoolMatrix any_b = memo_->arena.at(ub);
+      any_b.OrWith(memo_->arena.at(wb));
+      BoolMatrix w = BoolMatrix::Multiply(any_b, memo_->arena.at(wc));
+      w.OrWith(BoolMatrix::Multiply(memo_->arena.at(wb), memo_->arena.at(uc)));
+      util::OptionalMutexLock lock(&memo_->mu, lock_);
       (*u_idx_)[a] = InternLocked(std::move(u));
       (*w_idx_)[a] = InternLocked(std::move(w));
       return;
     }
     // Rule-shape fast path: on repetitive grammars the same child-matrix
-    // quadruple recurs thousands of times, and one lookup replaces the five
+    // quadruple recurs thousands of times — across documents of a corpus
+    // run as well as within one — and one lookup replaces the five
     // per-operation memo probes (the difference between ~5 and ~1 hash
     // walks per rule dominates when q is small enough that even a computed
     // product is cheap).
-    const RuleKey rule_key{PackPair(ub, wb), PackPair(uc, wc)};
+    const SharedPrepareMemo::RuleKey rule_key{PackPair(ub, wb),
+                                              PackPair(uc, wc)};
     {
-      util::OptionalMutexLock lock(&mu_, parallel_);
-      const auto it = rule_memo_.find(rule_key);
-      if (it != rule_memo_.end()) {
+      util::OptionalMutexLock lock(&memo_->mu, lock_);
+      const auto it = memo_->rule_memo.find(rule_key);
+      if (it != memo_->rule_memo.end()) {
         rule_hit_ops_.fetch_add(it->second.ops, std::memory_order_relaxed);
         (*u_idx_)[a] = it->second.u;
         (*w_idx_)[a] = it->second.w;
@@ -318,8 +307,9 @@ class TableBuilder {
     // each Or that is not an i == j identity — a hit must credit the same
     // count, or products/hit-rate would overstate the work memoized.
     const uint32_t ops = 3 + (ub != wb) + (w_marked_right != w_marked_left);
-    util::OptionalMutexLock lock(&mu_, parallel_);
-    rule_memo_.emplace(rule_key, RuleValue{u, w, ops});
+    util::OptionalMutexLock lock(&memo_->mu, lock_);
+    memo_->rule_memo.emplace(rule_key,
+                             SharedPrepareMemo::RuleValue{u, w, ops});
   }
 
   void ProcessLeaf(NtId a) {
@@ -347,7 +337,7 @@ class TableBuilder {
       }
     }
     {
-      util::OptionalMutexLock lock(&mu_, parallel_);
+      util::OptionalMutexLock lock(&memo_->mu, lock_);
       (*u_idx_)[a] = InternLocked(std::move(u));
       (*w_idx_)[a] = InternLocked(std::move(w));
     }
@@ -365,43 +355,24 @@ class TableBuilder {
   const Nfa& nfa_;
   const bool memoize_;
   const uint32_t q_;
+  const size_t slots_;  // worst-case arena appends of this preparation
+
+  // The memo this build runs against: the caller's shared instance when
+  // admission succeeded (shared_ keeps it alive), else a private one sized
+  // to this preparation's exact worst case. memo_ is the single access
+  // path for both (const so the analysis can track memo_->mu).
+  const std::shared_ptr<SharedPrepareMemo> shared_;
+  const std::unique_ptr<SharedPrepareMemo> local_;
+  SharedPrepareMemo* const memo_;
+
   uint32_t threads_ = 1;
   bool parallel_ = false;
+  bool lock_ = false;  // take memo_->mu (parallel build or shared memo)
 
   std::vector<uint32_t>* u_idx_;
   std::vector<uint32_t>* w_idx_;
   std::vector<uint32_t>* leaf_index_ = nullptr;
   std::vector<std::vector<std::vector<MarkerMask>>>* leaf_cells_;
-
-  struct RuleKey {
-    uint64_t left, right;  // (U_B, W_B) and (U_C, W_C) pool-index pairs
-    bool operator==(const RuleKey&) const = default;
-  };
-  struct RuleValue {
-    uint32_t u, w;  // resulting U_A/W_A arena indices
-    uint32_t ops;   // memoizable ops one evaluation of this shape records
-  };
-  struct RuleKeyHash {
-    size_t operator()(const RuleKey& k) const {
-      const uint64_t h = k.left * 0x9E3779B97F4A7C15ull ^
-                         k.right * 0xC2B2AE3D27D4EB4Full;
-      return static_cast<size_t>(h ^ (h >> 32));
-    }
-  };
-
-  // mu_ also guards arena_ *appends* (parallel mode); arena_ itself stays
-  // unannotated because already-published slots are deliberately read
-  // lock-free — indices only travel between threads through the memo maps
-  // below or a wave barrier, either of which provides the happens-before
-  // edge for the matrix contents (see MatrixArena's comment).
-  util::Mutex mu_;
-  MatrixArena arena_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash_
-      GUARDED_BY(mu_);
-  std::unordered_map<uint64_t, uint32_t> mul_memo_ GUARDED_BY(mu_);
-  std::unordered_map<uint64_t, uint32_t> or_memo_ GUARDED_BY(mu_);
-  std::unordered_map<RuleKey, RuleValue, RuleKeyHash> rule_memo_
-      GUARDED_BY(mu_);
 
   std::atomic<uint64_t> products_{0};
   std::atomic<uint64_t> memo_hits_{0};

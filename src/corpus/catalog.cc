@@ -1,0 +1,213 @@
+// Catalog (de)serialization and directory ingest (format in catalog.h).
+#include "corpus/catalog.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "slp/serialize.h"
+#include "storage/bundle_format.h"
+#include "storage/fingerprint.h"
+#include "util/safe_join.h"
+
+namespace slpspan {
+namespace corpus {
+
+std::string Catalog::Serialize() const {
+  storage::BundleWriter payload;
+  payload.Varint(entries.size());
+  for (const CatalogEntry& e : entries) {
+    payload.U64(e.fingerprint);
+    payload.Varint(e.length);
+    payload.Varint(e.rules);
+    payload.U8(e.summary.wide ? kSummaryFlagWide : 0);
+    for (const uint64_t w : e.summary.alphabet) payload.U64(w);
+    for (const uint64_t w : e.summary.digrams) payload.U64(w);
+    payload.Varint(e.files.size());
+    for (const CatalogFile& f : e.files) {
+      payload.Varint(f.name.size());
+      payload.Bytes(f.name.data(), f.name.size());
+      payload.Varint(f.file_size);
+    }
+  }
+  const std::string body = payload.TakeBuffer();
+
+  storage::BundleWriter out;
+  out.Bytes(kCatalogMagic, sizeof(kCatalogMagic));
+  out.U32(kCatalogVersion);
+  out.U32(0);  // flags, reserved
+  out.U64(body.size());
+  out.U64(storage::Checksum64(
+      reinterpret_cast<const uint8_t*>(body.data()), body.size()));
+  out.Bytes(body.data(), body.size());
+  return out.TakeBuffer();
+}
+
+Result<Catalog> Catalog::Deserialize(const std::string& bytes) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  if (bytes.size() < kCatalogHeaderSize) {
+    return Status::Corruption("catalog file shorter than its header");
+  }
+  if (std::memcmp(data, kCatalogMagic, sizeof(kCatalogMagic)) != 0) {
+    return Status::Corruption("bad catalog magic");
+  }
+  storage::BundleReader header(data + sizeof(kCatalogMagic),
+                               kCatalogHeaderSize - sizeof(kCatalogMagic));
+  uint32_t version = 0, flags = 0;
+  uint64_t payload_size = 0, checksum = 0;
+  Status st = header.U32(&version);
+  if (st.ok()) st = header.U32(&flags);
+  if (st.ok()) st = header.U64(&payload_size);
+  if (st.ok()) st = header.U64(&checksum);
+  if (!st.ok()) return st;
+  if (version != kCatalogVersion) {
+    return Status::Corruption("unsupported catalog version " +
+                              std::to_string(version));
+  }
+  // v1 defines no flags; any set bit means a writer we don't understand.
+  if (flags != 0) {
+    return Status::Corruption("unknown catalog flags");
+  }
+  if (payload_size != bytes.size() - kCatalogHeaderSize) {
+    return Status::Corruption("catalog payload size mismatch");
+  }
+  const uint8_t* payload = data + kCatalogHeaderSize;
+  if (storage::Checksum64(payload, payload_size) != checksum) {
+    return Status::Corruption("catalog checksum mismatch");
+  }
+
+  storage::BundleReader r(payload, payload_size);
+  uint64_t count = 0;
+  st = r.Varint(&count);
+  if (!st.ok()) return st;
+  // A count that cannot fit even one-byte entries in the remaining payload
+  // is corrupt; checking before reserve keeps allocation honest.
+  if (count > r.remaining()) {
+    return Status::Corruption("catalog entry count exceeds payload");
+  }
+  Catalog catalog;
+  catalog.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CatalogEntry e;
+    uint8_t summary_flags = 0;
+    st = r.U64(&e.fingerprint);
+    if (st.ok()) st = r.Varint(&e.length);
+    if (st.ok()) st = r.Varint(&e.rules);
+    if (st.ok()) st = r.U8(&summary_flags);
+    if (!st.ok()) return st;
+    e.summary.wide = (summary_flags & kSummaryFlagWide) != 0;
+    e.summary.length = e.length;
+    for (uint64_t& w : e.summary.alphabet) {
+      st = r.U64(&w);
+      if (!st.ok()) return st;
+    }
+    for (uint64_t& w : e.summary.digrams) {
+      st = r.U64(&w);
+      if (!st.ok()) return st;
+    }
+    uint64_t file_count = 0;
+    st = r.Varint(&file_count);
+    if (!st.ok()) return st;
+    if (file_count == 0) {
+      return Status::Corruption("catalog entry with no files");
+    }
+    if (file_count > r.remaining()) {
+      return Status::Corruption("catalog file count exceeds payload");
+    }
+    e.files.reserve(file_count);
+    for (uint64_t k = 0; k < file_count; ++k) {
+      uint64_t name_len = 0;
+      st = r.Varint(&name_len);
+      if (!st.ok()) return st;
+      if (name_len > r.remaining()) {
+        return Status::Corruption("catalog name exceeds payload");
+      }
+      CatalogFile f;
+      f.name.resize(name_len);
+      st = r.Bytes(f.name.data(), name_len);
+      if (st.ok()) st = r.Varint(&f.file_size);
+      if (!st.ok()) return st;
+      // Catalog names are resolved against the corpus directory later;
+      // reject unresolvable ones here so a tampered catalog cannot even
+      // *name* a path outside the root.
+      if (!util::SafePathComponent(f.name)) {
+        return Status::Corruption("catalog names unsafe path: " + f.name);
+      }
+      e.files.push_back(std::move(f));
+    }
+    catalog.entries.push_back(std::move(e));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after catalog");
+  return catalog;
+}
+
+Result<std::vector<CatalogFile>> ListSlpFiles(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<CatalogFile> files;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot list corpus directory " + dir +
+                                   ": " + ec.message());
+  }
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.compare(name.size() - 4, 4, ".slp") != 0) {
+      continue;
+    }
+    if (!util::SafePathComponent(name)) continue;  // dot-files etc.
+    const uint64_t size = entry.file_size(ec);
+    if (ec) continue;
+    files.push_back({name, size});
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool CatalogMatches(const Catalog& catalog,
+                    const std::vector<CatalogFile>& listing) {
+  std::vector<CatalogFile> recorded;
+  for (const CatalogEntry& e : catalog.entries) {
+    recorded.insert(recorded.end(), e.files.begin(), e.files.end());
+  }
+  std::sort(recorded.begin(), recorded.end());
+  return recorded == listing;
+}
+
+Result<Catalog> IngestDirectory(const std::string& dir,
+                                const std::vector<CatalogFile>& listing) {
+  Catalog catalog;
+  std::unordered_map<uint64_t, size_t> by_fingerprint;
+  for (const CatalogFile& file : listing) {
+    const std::optional<std::string> path = util::SafeJoin(dir, file.name);
+    if (!path) {
+      return Status::InvalidArgument("unsafe document name: " + file.name);
+    }
+    Result<Slp> slp = LoadSlpFromFile(*path);
+    if (!slp.ok()) return slp.status();
+    const uint64_t fp = storage::FingerprintSlp(slp.value());
+    const auto [it, inserted] =
+        by_fingerprint.emplace(fp, catalog.entries.size());
+    if (!inserted) {
+      // Identical grammar under another name: alias the existing entry —
+      // it is prepared and evaluated once, reported under its primary name.
+      catalog.entries[it->second].files.push_back(file);
+      continue;
+    }
+    CatalogEntry e;
+    e.fingerprint = fp;
+    e.length = slp.value().DocumentLength();
+    e.rules = slp.value().NumNonTerminals();
+    e.summary = DocumentSummary::FromSlp(slp.value());
+    e.files.push_back(file);
+    catalog.entries.push_back(std::move(e));
+  }
+  return catalog;
+}
+
+}  // namespace corpus
+}  // namespace slpspan

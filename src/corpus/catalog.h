@@ -1,0 +1,101 @@
+// Corpus catalog: the versioned, checksummed index of a directory of
+// ".slp" documents that Corpus::Open builds and reuses. One entry per
+// *distinct* document fingerprint (identical files alias one entry), each
+// carrying the exact length, grammar size and the pre-filter summary, so a
+// corpus query touches no grammar file before the pre-filter has had the
+// chance to refute it.
+//
+// File layout ("corpus.catalog", all integers little-endian):
+//
+//   magic      8   "SLPCATL\n"
+//   version    u32 (kCatalogVersion)
+//   flags      u32 (reserved, 0)
+//   payload    u64 byte length of everything after the header
+//   checksum   u64 Checksum64 of the payload bytes
+//   <payload>      varint entry count, then per entry:
+//                    u64 fingerprint, varint length, varint rules,
+//                    u8 flags (bit 0: wide summary),
+//                    32 B alphabet bitmap, 64 B digram bloom,
+//                    varint file count, then per file:
+//                      varint name length + bytes, varint file size
+//
+// Reads are strictly bounds-checked (storage::BundleReader) and the
+// checksum is verified before any field is trusted; any mismatch surfaces
+// as kCorruption and Open falls back to re-ingesting the directory.
+
+#ifndef SLPSPAN_CORPUS_CATALOG_H_
+#define SLPSPAN_CORPUS_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/summary.h"
+#include "util/status.h"
+
+namespace slpspan {
+namespace corpus {
+
+inline constexpr char kCatalogMagic[8] = {'S', 'L', 'P', 'C', 'A', 'T',
+                                          'L', '\n'};
+inline constexpr uint32_t kCatalogVersion = 1;
+inline constexpr size_t kCatalogHeaderSize = 8 + 4 + 4 + 8 + 8;
+inline constexpr char kCatalogFileName[] = "corpus.catalog";
+inline constexpr uint8_t kSummaryFlagWide = 1u << 0;
+
+/// One ".slp" file on disk: its directory-relative name and byte size (the
+/// staleness signal — a changed file changes size or disappears; content
+/// edits at identical size are caught at load time by the grammar
+/// revalidation, not here).
+struct CatalogFile {
+  std::string name;
+  uint64_t file_size = 0;
+
+  bool operator==(const CatalogFile&) const = default;
+  bool operator<(const CatalogFile& other) const {
+    return name < other.name || (name == other.name && file_size < other.file_size);
+  }
+};
+
+/// One distinct document (by grammar fingerprint) and every file that
+/// carries it. files is non-empty; files[0] — the lexicographically first
+/// name — is the alias Eval loads and reports.
+struct CatalogEntry {
+  uint64_t fingerprint = 0;
+  uint64_t length = 0;  ///< decompressed |D|
+  uint64_t rules = 0;   ///< size(S): non-terminals in the grammar
+  DocumentSummary summary;
+  std::vector<CatalogFile> files;
+};
+
+struct Catalog {
+  /// Ingest order (lexicographic by primary name) — also the order
+  /// Corpus::Eval streams results in.
+  std::vector<CatalogEntry> entries;
+
+  /// Complete catalog file image (header + payload + checksum).
+  std::string Serialize() const;
+
+  /// Parses and validates a catalog file image.
+  static Result<Catalog> Deserialize(const std::string& bytes);
+};
+
+/// Sorted (name, size) listing of the "*.slp" files directly under `dir`.
+Result<std::vector<CatalogFile>> ListSlpFiles(const std::string& dir);
+
+/// True when the catalog records exactly `listing` (same names, same
+/// sizes) — the freshness test Corpus::Open uses to adopt a catalog
+/// without touching any grammar file. `listing` must be sorted.
+bool CatalogMatches(const Catalog& catalog,
+                    const std::vector<CatalogFile>& listing);
+
+/// Loads every listed grammar and builds a fresh catalog: fingerprints,
+/// dedup by fingerprint, summaries from the grammar. `listing` must be
+/// sorted; names are resolved under `dir` via util::SafeJoin.
+Result<Catalog> IngestDirectory(const std::string& dir,
+                                const std::vector<CatalogFile>& listing);
+
+}  // namespace corpus
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORPUS_CATALOG_H_

@@ -1,0 +1,248 @@
+// Corpus::Open / Corpus::Eval — the corpus layer's public surface.
+//
+// Open is pure catalog work: list the directory, adopt the stored catalog
+// when it is intact and matches the listing, else ingest every grammar and
+// rewrite the catalog atomically. Eval is a bounded-window pump over the
+// catalog entries: the pre-filter refutes what it can from summaries
+// alone, survivors are loaded and submitted to a Session, and results are
+// delivered to the sink strictly in catalog order while up to
+// 2·threads + 1 evaluations are in flight.
+#include "slpspan/corpus.h"
+
+#include <deque>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "api/internal.h"
+#include "corpus/catalog.h"
+#include "corpus/prefilter.h"
+#include "corpus/query_context.h"
+#include "slpspan/document.h"
+#include "slpspan/prepare.h"
+#include "storage/prepared_bundle.h"
+#include "util/safe_join.h"
+
+namespace slpspan {
+
+namespace {
+
+/// Reads a whole file into a string; empty optional when unreadable. Used
+/// only for the catalog file — a missing or unreadable catalog is not an
+/// error, it just means Open re-ingests the directory.
+std::optional<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+struct Corpus::Impl {
+  std::string directory;
+  corpus::Catalog catalog;
+  std::vector<DocumentInfo> documents;
+  bool rebuilt = false;
+};
+
+Corpus::Corpus() : impl_(std::make_unique<Impl>()) {}
+Corpus::~Corpus() = default;
+
+Result<std::unique_ptr<Corpus>> Corpus::Open(const std::string& directory,
+                                             const CorpusOptions& opts) {
+  Result<std::vector<corpus::CatalogFile>> listing =
+      corpus::ListSlpFiles(directory);
+  if (!listing.ok()) return listing.status();
+
+  std::unique_ptr<Corpus> c(new Corpus());
+  Corpus::Impl& impl = *c->impl_;
+  impl.directory = directory;
+
+  const std::string catalog_path =
+      directory + "/" + corpus::kCatalogFileName;
+  bool adopted = false;
+  if (!opts.rebuild) {
+    // Adopt the stored catalog only when it deserializes cleanly (magic,
+    // version, checksum, bounds) AND still describes the directory. Any
+    // corruption or staleness silently falls through to re-ingest.
+    const std::optional<std::string> bytes = ReadFileToString(catalog_path);
+    if (bytes) {
+      Result<corpus::Catalog> stored = corpus::Catalog::Deserialize(*bytes);
+      if (stored.ok() &&
+          corpus::CatalogMatches(stored.value(), listing.value())) {
+        impl.catalog = std::move(stored).value();
+        adopted = true;
+      }
+    }
+  }
+  if (!adopted) {
+    Result<corpus::Catalog> built =
+        corpus::IngestDirectory(directory, listing.value());
+    if (!built.ok()) return built.status();
+    impl.catalog = std::move(built).value();
+    impl.rebuilt = true;
+    Status write =
+        storage::WriteFileAtomic(catalog_path, impl.catalog.Serialize());
+    if (!write.ok()) return write;
+  }
+
+  impl.documents.reserve(impl.catalog.entries.size());
+  for (const corpus::CatalogEntry& e : impl.catalog.entries) {
+    DocumentInfo info;
+    info.name = e.files[0].name;
+    for (size_t i = 1; i < e.files.size(); ++i) {
+      info.aliases.push_back(e.files[i].name);
+    }
+    info.fingerprint = e.fingerprint;
+    info.length = e.length;
+    info.slp_rules = e.rules;
+    impl.documents.push_back(std::move(info));
+  }
+  return c;
+}
+
+const std::string& Corpus::directory() const { return impl_->directory; }
+
+const std::vector<Corpus::DocumentInfo>& Corpus::documents() const {
+  return impl_->documents;
+}
+
+bool Corpus::rebuilt_catalog() const { return impl_->rebuilt; }
+
+Status Corpus::Eval(const Query& query, EngineRequest::Op op,
+                    const CorpusEvalOptions& opts, const ResultSink& sink,
+                    CorpusEvalStats* stats) const {
+  if (!sink) return Status::InvalidArgument("corpus eval needs a sink");
+
+  CorpusEvalStats st;
+
+  // The pre-filter reads the same automaton the non-emptiness check runs
+  // on, so "refuted" is exactly "no substring of D is accepted".
+  std::optional<corpus::QueryPreFilter> filter;
+  if (opts.prefilter) {
+    filter = corpus::QueryPreFilter::Derive(
+        query.state_->evaluator.nonemptiness_nfa());
+  }
+
+  // Publishing the shared memo in the registry is what lets Session
+  // workers (which only see Runtime's PrepareOptions) join this run's
+  // cross-document arena.
+  corpus::CorpusQueryContext ctx(query.fingerprint(), opts.share_memo);
+
+  SessionOptions sopts;
+  sopts.num_threads = opts.threads;
+  Session session(sopts);
+  const size_t window = 2 * static_cast<size_t>(session.num_threads()) + 1;
+
+  // One catalog entry either failed to load (error) or is in flight
+  // (ticket); the DocumentPtr pins the grammar until delivery.
+  struct InFlight {
+    const corpus::CatalogEntry* entry = nullptr;
+    DocumentPtr doc;
+    Ticket ticket;
+    Status error;
+  };
+  std::deque<InFlight> inflight;
+  const std::vector<corpus::CatalogEntry>& entries = impl_->catalog.entries;
+  size_t next = 0;
+  bool stopped = false;
+
+  const auto pump = [&] {
+    while (!stopped && next < entries.size() && inflight.size() < window) {
+      const corpus::CatalogEntry& e = entries[next++];
+      ++st.docs_scanned;
+      if (filter && filter->Refutes(e.summary)) {
+        ++st.docs_skipped;
+        continue;
+      }
+      InFlight f;
+      f.entry = &e;
+      const std::optional<std::string> path =
+          util::SafeJoin(impl_->directory, e.files[0].name);
+      if (!path) {
+        f.error = Status::InvalidArgument("unsafe document name: " +
+                                          e.files[0].name);
+        inflight.push_back(std::move(f));
+        continue;
+      }
+      Result<DocumentPtr> doc = Document::FromSlpFile(*path);
+      if (!doc.ok()) {
+        f.error = doc.status();
+        inflight.push_back(std::move(f));
+        continue;
+      }
+      f.doc = std::move(doc).value();
+      f.ticket = session.Submit(
+          EngineRequest{.query = query,
+                        .document = f.doc,
+                        .op = op,
+                        .limit = op == EngineRequest::Op::kExtract
+                                     ? opts.limit
+                                     : std::nullopt},
+          SubmitOptions{.priority = Priority::kBatch});
+      inflight.push_back(std::move(f));
+    }
+  };
+
+  pump();
+  while (!inflight.empty()) {
+    InFlight f = std::move(inflight.front());
+    inflight.pop_front();
+    Result<EngineOutput> output =
+        f.error.ok() ? f.ticket.Wait() : Result<EngineOutput>(f.error);
+    if (output.ok()) {
+      ++st.docs_evaluated;
+      bool matched = false;
+      switch (op) {
+        case EngineRequest::Op::kIsNonEmpty:
+          matched = output->nonempty;
+          break;
+        case EngineRequest::Op::kCount:
+          matched = output->count.value > 0;
+          break;
+        case EngineRequest::Op::kExtract:
+          matched = output->tuples_streamed > 0 || !output->tuples.empty();
+          break;
+      }
+      if (matched) ++st.docs_matched;
+      if (op != EngineRequest::Op::kIsNonEmpty && f.doc != nullptr) {
+        // The evaluation above populated the per-(doc, query) cache, so
+        // this lookup is a hit that reports the stats of the build the
+        // engine just did (waves == 0 means it was loaded, not built —
+        // the non-emptiness op never takes this path at all).
+        PrepareStats ps;
+        f.doc->PreparedFor(query, &ps);
+        if (ps.waves > 0) ++st.docs_prepared;
+        st.prepare_products += ps.products;
+        st.prepare_memo_hits += ps.memo_hits;
+      }
+    } else {
+      ++st.docs_failed;
+    }
+    const CorpusDocResult result{f.entry->files[0].name, f.entry->fingerprint,
+                                 std::move(output)};
+    if (!sink(result)) {
+      stopped = true;
+      for (InFlight& rest : inflight) {
+        if (rest.ticket.valid()) rest.ticket.Cancel();
+      }
+      inflight.clear();
+      break;
+    }
+    pump();
+  }
+
+  if (ctx.memo() != nullptr) {
+    st.memo_shared_preparations =
+        ctx.memo()->preparations.load(std::memory_order_relaxed);
+    st.memo_fallbacks = ctx.memo()->fallbacks.load(std::memory_order_relaxed);
+  }
+  if (stats != nullptr) *stats = st;
+  return Status::OK();
+}
+
+}  // namespace slpspan

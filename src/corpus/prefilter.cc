@@ -1,0 +1,266 @@
+// QueryPreFilter derivation: automaton analyses over the non-emptiness
+// NFA. Every analysis here must produce *necessary* conditions only — a
+// condition that some accepted word violates would cause false skips; the
+// property test in tests/corpus_test.cc guards that invariant.
+#include "corpus/prefilter.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+namespace slpspan {
+namespace corpus {
+
+namespace {
+
+/// Zero-length moves: eps arcs plus mark arcs (a mark consumes no document
+/// symbol, so for symbol-level analysis it is exactly an eps move). The
+/// evaluator's non-emptiness automaton carries neither, but tolerating
+/// them keeps every analysis sound on any eps-normal form.
+template <typename Fn>
+void ForEachZeroArc(const Nfa& nfa, StateId s, Fn&& fn) {
+  for (const StateId t : nfa.EpsArcsFrom(s)) fn(t);
+  for (const Nfa::MarkArc& ma : nfa.MarkArcsFrom(s)) fn(ma.to);
+}
+
+/// States reachable from `start` over char arcs not labeled `banned_sym`
+/// (pass one past the max symbol to ban nothing) plus zero-length moves.
+std::vector<bool> ReachableWithout(const Nfa& nfa, uint32_t banned_sym) {
+  std::vector<bool> seen(nfa.NumStates(), false);
+  std::vector<StateId> stack;
+  seen[0] = true;
+  stack.push_back(0);
+  while (!stack.empty()) {
+    const StateId s = stack.back();
+    stack.pop_back();
+    const auto visit = [&](StateId t) {
+      if (!seen[t]) {
+        seen[t] = true;
+        stack.push_back(t);
+      }
+    };
+    for (const Nfa::CharArc& ca : nfa.CharArcsFrom(s)) {
+      if (ca.sym != banned_sym) visit(ca.to);
+    }
+    ForEachZeroArc(nfa, s, visit);
+  }
+  return seen;
+}
+
+bool AnyAccepting(const Nfa& nfa, const std::vector<bool>& states) {
+  for (StateId s = 0; s < nfa.NumStates(); ++s) {
+    if (states[s] && nfa.IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+constexpr uint32_t kNoSymbol = 0xFFFFFFFFu;  // bans nothing
+
+/// Shortest accepted word via 0-1 BFS (char arcs cost 1, zero arcs 0).
+/// Empty optional when L(N) = ∅; an accepted ε yields an empty word.
+std::optional<std::vector<uint32_t>> ShortestAcceptedWord(const Nfa& nfa) {
+  const uint32_t q = nfa.NumStates();
+  constexpr uint64_t kInf = ~uint64_t{0};
+  std::vector<uint64_t> dist(q, kInf);
+  struct Via {
+    StateId from = 0;
+    uint32_t sym = kNoSymbol;  // kNoSymbol for a zero-length move
+  };
+  std::vector<Via> via(q);
+  std::deque<StateId> queue;
+  dist[0] = 0;
+  queue.push_back(0);
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    const uint64_t d = dist[s];
+    ForEachZeroArc(nfa, s, [&](StateId t) {
+      if (d < dist[t]) {
+        dist[t] = d;
+        via[t] = {s, kNoSymbol};
+        queue.push_front(t);
+      }
+    });
+    for (const Nfa::CharArc& ca : nfa.CharArcsFrom(s)) {
+      if (d + 1 < dist[ca.to]) {
+        dist[ca.to] = d + 1;
+        via[ca.to] = {s, ca.sym};
+        queue.push_back(ca.to);
+      }
+    }
+  }
+  StateId best = q;
+  for (StateId s = 0; s < q; ++s) {
+    if (nfa.IsAccepting(s) && dist[s] != kInf &&
+        (best == q || dist[s] < dist[best])) {
+      best = s;
+    }
+  }
+  if (best == q) return std::nullopt;
+  // Walk the predecessor tree back to the start. Every `via` entry was
+  // written by a strict dist improvement, so the chains are acyclic and
+  // state 0 (whose dist never improves) is the unique root.
+  std::vector<uint32_t> word;
+  for (StateId s = best; s != 0; s = via[s].from) {
+    if (via[s].sym != kNoSymbol) word.push_back(via[s].sym);
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+/// True when every word of L(N) contains the factor "ab": the product of N
+/// with the 2-state avoid-"ab" automaton accepts nothing. Node (s, t)
+/// means N in state s with t = 1 iff the previous symbol was `a`; reading
+/// `b` from t = 1 would complete the factor and is forbidden (no edge).
+bool DigramRequired(const Nfa& nfa, uint32_t a, uint32_t b) {
+  const uint32_t q = nfa.NumStates();
+  std::vector<bool> seen(static_cast<size_t>(q) * 2, false);
+  std::vector<uint32_t> stack;
+  const auto visit = [&](StateId s, uint32_t t, auto&& push) {
+    const uint32_t node = s * 2 + t;
+    if (!seen[node]) {
+      seen[node] = true;
+      push(node);
+    }
+  };
+  const auto push = [&](uint32_t node) { stack.push_back(node); };
+  visit(0, 0, push);
+  while (!stack.empty()) {
+    const uint32_t node = stack.back();
+    stack.pop_back();
+    const StateId s = node / 2;
+    const uint32_t t = node % 2;
+    ForEachZeroArc(nfa, s, [&](StateId to) { visit(to, t, push); });
+    for (const Nfa::CharArc& ca : nfa.CharArcsFrom(s)) {
+      if (t == 1 && ca.sym == b) continue;  // would complete "ab"
+      visit(ca.to, ca.sym == a ? 1 : 0, push);
+    }
+  }
+  for (StateId s = 0; s < q; ++s) {
+    if (nfa.IsAccepting(s) && (seen[s * 2] || seen[s * 2 + 1])) return false;
+  }
+  return true;  // no word avoids the factor
+}
+
+}  // namespace
+
+QueryPreFilter QueryPreFilter::Derive(const Nfa& nfa) {
+  QueryPreFilter f;
+  const uint32_t q = nfa.NumStates();
+
+  // Useful states: reachable from the start and able to reach acceptance.
+  const std::vector<bool> fwd = ReachableWithout(nfa, kNoSymbol);
+  if (!AnyAccepting(nfa, fwd)) {
+    f.never_matches_ = true;
+    return f;
+  }
+  std::vector<bool> bwd(q, false);
+  {
+    // Reverse adjacency over char + zero arcs, seeded from accepting states.
+    std::vector<std::vector<StateId>> rev(q);
+    for (StateId s = 0; s < q; ++s) {
+      for (const Nfa::CharArc& ca : nfa.CharArcsFrom(s)) {
+        rev[ca.to].push_back(s);
+      }
+      ForEachZeroArc(nfa, s, [&](StateId t) { rev[t].push_back(s); });
+    }
+    std::vector<StateId> stack;
+    for (StateId s = 0; s < q; ++s) {
+      if (nfa.IsAccepting(s)) {
+        bwd[s] = true;
+        stack.push_back(s);
+      }
+    }
+    while (!stack.empty()) {
+      const StateId s = stack.back();
+      stack.pop_back();
+      for (const StateId p : rev[s]) {
+        if (!bwd[p]) {
+          bwd[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+  }
+
+  // Allowed symbols: labels of char arcs between useful states. A document
+  // containing any other byte forces N off every accepting path.
+  std::vector<uint32_t> alphabet;
+  for (StateId s = 0; s < q; ++s) {
+    if (!fwd[s] || !bwd[s]) continue;
+    for (const Nfa::CharArc& ca : nfa.CharArcsFrom(s)) {
+      if (ca.sym >= 256 || !fwd[ca.to] || !bwd[ca.to]) continue;
+      const uint32_t word = ca.sym >> 6;
+      const uint64_t bit = uint64_t{1} << (ca.sym & 63);
+      if ((f.allowed_[word] & bit) == 0) {
+        f.allowed_[word] |= bit;
+        alphabet.push_back(ca.sym);
+      }
+    }
+  }
+
+  // Minimum accepted length, plus one witness word for digram candidates.
+  const std::optional<std::vector<uint32_t>> shortest =
+      ShortestAcceptedWord(nfa);
+  if (!shortest) {
+    f.never_matches_ = true;  // unreachable given the fwd check; defensive
+    return f;
+  }
+  f.min_length_ = shortest->size();
+
+  // Required symbols: σ such that removing every σ-arc empties the
+  // language — then every accepted word contains σ.
+  for (const uint32_t sym : alphabet) {
+    if (!AnyAccepting(nfa, ReachableWithout(nfa, sym))) {
+      f.required_symbols_.push_back(sym);
+    }
+  }
+  std::sort(f.required_symbols_.begin(), f.required_symbols_.end());
+
+  // Required digrams: a factor of *every* accepted word is in particular a
+  // factor of the shortest one, so its adjacent pairs are a complete
+  // candidate set; each candidate is then proven by product emptiness.
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;
+  for (size_t i = 0; i + 1 < shortest->size(); ++i) {
+    const std::pair<uint32_t, uint32_t> d{(*shortest)[i], (*shortest)[i + 1]};
+    if (d.first >= 256 || d.second >= 256) continue;
+    if (std::find(candidates.begin(), candidates.end(), d) ==
+        candidates.end()) {
+      candidates.push_back(d);
+    }
+    if (candidates.size() >= kMaxDigramCandidates) break;
+  }
+  for (const auto& [a, b] : candidates) {
+    if (DigramRequired(nfa, a, b)) f.required_digrams_.emplace_back(a, b);
+  }
+  return f;
+}
+
+bool QueryPreFilter::Refutes(const DocumentSummary& s) const {
+  if (never_matches_) return true;
+  if (s.length < min_length_) return true;
+  if (!s.wide) {
+    for (size_t w = 0; w < allowed_.size(); ++w) {
+      // The document contains a symbol no accepted word may contain.
+      if ((s.alphabet[w] & ~allowed_[w]) != 0) return true;
+    }
+  }
+  for (const uint32_t sym : required_symbols_) {
+    if (!s.HasSymbol(sym)) return true;
+  }
+  for (const auto& [a, b] : required_digrams_) {
+    if (!s.MayContainDigram(a, b)) return true;
+  }
+  return false;
+}
+
+uint32_t QueryPreFilter::num_allowed_symbols() const {
+  uint32_t count = 0;
+  for (const uint64_t w : allowed_) {
+    count += static_cast<uint32_t>(__builtin_popcountll(w));
+  }
+  return count;
+}
+
+}  // namespace corpus
+}  // namespace slpspan

@@ -1,0 +1,69 @@
+// Query pre-filter: necessary conditions on a *whole document* D for the
+// query to have any match, derived once per corpus run from the query's
+// non-emptiness automaton N (the char-only projection the Theorem 5.1(1)
+// check runs — D has a match iff D ∈ L(N), and N reads exactly D, no
+// sentinel). Each condition is a fact every word of L(N) satisfies, tested
+// against the per-document summary; when the summary refutes one, D cannot
+// be in L(N) and the whole O(size(S)·q³) preparation is skipped. Soundness
+// argument per condition in docs/CORPUS.md; the property test in
+// tests/corpus_test.cc cross-checks refutations against full evaluation.
+
+#ifndef SLPSPAN_CORPUS_PREFILTER_H_
+#define SLPSPAN_CORPUS_PREFILTER_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "corpus/summary.h"
+#include "spanner/nfa.h"
+
+namespace slpspan {
+namespace corpus {
+
+class QueryPreFilter {
+ public:
+  /// Analyzes `nonempty_nfa` (the evaluator's non-emptiness automaton;
+  /// eps/mark arcs are tolerated and modeled as zero-length moves) and
+  /// derives, over its trimmed useful-state core:
+  ///   - the allowed-symbol set (symbols on any useful char arc),
+  ///   - the minimum accepted length,
+  ///   - required symbols (removing all σ-arcs empties the language),
+  ///   - required digrams (forbidding factor "ab" empties the language;
+  ///     candidates are the digrams of one shortest accepted word, capped).
+  static QueryPreFilter Derive(const Nfa& nonempty_nfa);
+
+  /// True when the summary refutes every accepted word — the document
+  /// cannot match and may be skipped without evaluating it.
+  bool Refutes(const DocumentSummary& s) const;
+
+  // Observability (CLI --verbose, docs, tests).
+  bool never_matches() const { return never_matches_; }
+  uint64_t min_length() const { return min_length_; }
+  const std::vector<uint32_t>& required_symbols() const {
+    return required_symbols_;
+  }
+  const std::vector<std::pair<uint32_t, uint32_t>>& required_digrams() const {
+    return required_digrams_;
+  }
+  uint32_t num_allowed_symbols() const;
+
+  /// Candidate cap for the required-digram analysis (each candidate costs
+  /// one product-emptiness pass over the automaton).
+  static constexpr size_t kMaxDigramCandidates = 32;
+
+ private:
+  QueryPreFilter() = default;
+
+  bool never_matches_ = false;  ///< L(N) = ∅: nothing can ever match
+  uint64_t min_length_ = 0;
+  std::array<uint64_t, DocumentSummary::kAlphabetWords> allowed_{};
+  std::vector<uint32_t> required_symbols_;
+  std::vector<std::pair<uint32_t, uint32_t>> required_digrams_;
+};
+
+}  // namespace corpus
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORPUS_PREFILTER_H_

@@ -1,0 +1,59 @@
+// CorpusQueryContext — the cross-document preparation scope of one corpus
+// run. Constructing one (with sharing on) allocates a SharedPrepareMemo
+// and publishes it in the process-wide SharedMemoRegistry under the query
+// fingerprint; every preparation of that query for the lifetime of the
+// context — including ones reached lazily through Session workers and the
+// per-(doc, query) cache — then interns its matrices in one arena and
+// reuses each other's products. Destruction unpublishes the memo; the
+// context owns it, so in-flight preparations finish safely on their
+// shared_ptr and the arena dies with the last of them.
+
+#ifndef SLPSPAN_CORPUS_QUERY_CONTEXT_H_
+#define SLPSPAN_CORPUS_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/prepare_memo.h"
+#include "runtime/shared_memo_registry.h"
+
+namespace slpspan {
+namespace corpus {
+
+class CorpusQueryContext {
+ public:
+  /// With `share` false the context is inert (memo() == nullptr) and every
+  /// preparation stays isolated — the differential-testing baseline.
+  CorpusQueryContext(uint64_t query_fingerprint, bool share)
+      : fingerprint_(query_fingerprint),
+        memo_(share ? std::make_shared<core_internal::SharedPrepareMemo>()
+                    : nullptr) {
+    if (memo_ != nullptr) {
+      runtime_internal::SharedMemoRegistry::Global().Register(fingerprint_,
+                                                              memo_);
+    }
+  }
+
+  ~CorpusQueryContext() {
+    if (memo_ != nullptr) {
+      runtime_internal::SharedMemoRegistry::Global().Unregister(fingerprint_,
+                                                                memo_);
+    }
+  }
+
+  CorpusQueryContext(const CorpusQueryContext&) = delete;
+  CorpusQueryContext& operator=(const CorpusQueryContext&) = delete;
+
+  const std::shared_ptr<core_internal::SharedPrepareMemo>& memo() const {
+    return memo_;
+  }
+
+ private:
+  const uint64_t fingerprint_;
+  const std::shared_ptr<core_internal::SharedPrepareMemo> memo_;
+};
+
+}  // namespace corpus
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORPUS_QUERY_CONTEXT_H_

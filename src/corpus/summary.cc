@@ -1,0 +1,80 @@
+// DocumentSummary extraction: one O(size(S)) pass over the grammar — no
+// decompression (see header for the soundness contract).
+#include "corpus/summary.h"
+
+#include <vector>
+
+namespace slpspan {
+namespace corpus {
+
+DocumentSummary DocumentSummary::FromSlp(const Slp& slp) {
+  DocumentSummary s;
+  s.length = slp.DocumentLength();
+  const uint32_t n = slp.NumNonTerminals();
+
+  // Root-reachability: unreachable rules are not part of the document, and
+  // including their symbols would make the alphabet an over-statement in
+  // the wrong direction (the allowed-symbol test refutes on symbols the
+  // document *has* — claiming extras could cause a false skip).
+  std::vector<bool> reach(n, false);
+  std::vector<NtId> stack;
+  stack.push_back(slp.root());
+  reach[slp.root()] = true;
+  while (!stack.empty()) {
+    const NtId a = stack.back();
+    stack.pop_back();
+    if (slp.IsLeaf(a)) continue;
+    for (const NtId child : {slp.Left(a), slp.Right(a)}) {
+      if (!reach[child]) {
+        reach[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+
+  // First/last expanded symbol per non-terminal, bottom-up by derivation
+  // depth (children are strictly shallower, so depth order is topological).
+  std::vector<std::vector<NtId>> waves(slp.depth());
+  for (NtId a = 0; a < n; ++a) {
+    if (reach[a]) waves[slp.Depth(a) - 1].push_back(a);
+  }
+  std::vector<SymbolId> first(n, 0), last(n, 0);
+  const auto add_symbol = [&s](SymbolId sym) {
+    if (sym >= 256) {
+      s.wide = true;
+      return;
+    }
+    s.alphabet[sym >> 6] |= uint64_t{1} << (sym & 63);
+  };
+  const auto add_digram = [&s](SymbolId a, SymbolId b) {
+    if (a >= 256 || b >= 256) {
+      s.wide = true;
+      return;
+    }
+    uint32_t bit1 = 0, bit2 = 0;
+    DigramBits(a, b, &bit1, &bit2);
+    s.digrams[bit1 >> 6] |= uint64_t{1} << (bit1 & 63);
+    s.digrams[bit2 >> 6] |= uint64_t{1} << (bit2 & 63);
+  };
+  for (const std::vector<NtId>& wave : waves) {
+    for (const NtId a : wave) {
+      if (slp.IsLeaf(a)) {
+        first[a] = last[a] = slp.LeafSymbol(a);
+        add_symbol(first[a]);
+        continue;
+      }
+      const NtId b = slp.Left(a), c = slp.Right(a);
+      first[a] = first[b];
+      last[a] = last[c];
+      // Every adjacent position pair (i, i+1) of D is split by exactly one
+      // application of an inner rule — the lowest one whose expansion
+      // covers both — as the boundary between its children. The rule-level
+      // set {(last(B), first(C))} therefore equals D's digram set.
+      add_digram(last[b], first[c]);
+    }
+  }
+  return s;
+}
+
+}  // namespace corpus
+}  // namespace slpspan

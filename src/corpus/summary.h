@@ -1,0 +1,79 @@
+// Per-document summary for the corpus pre-filter: a compact sketch of the
+// document extracted from its *grammar* (never the decompressed text) that
+// soundly over-approximates the facts the pre-filter tests — the exact
+// symbol set, a bloom filter over the adjacent-symbol pairs (digrams), and
+// the exact length. "Soundly" means one-sided: the summary may claim a
+// digram the document lacks (bloom false positive, `wide` escape hatch),
+// which only prevents a skip; it never denies a symbol/digram the document
+// has, so a refutation by the pre-filter is always genuine. The encoding
+// is part of the catalog file format (docs/CORPUS.md) — keep it stable.
+
+#ifndef SLPSPAN_CORPUS_SUMMARY_H_
+#define SLPSPAN_CORPUS_SUMMARY_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "slp/slp.h"
+
+namespace slpspan {
+namespace corpus {
+
+struct DocumentSummary {
+  static constexpr size_t kAlphabetWords = 4;  // 256-bit symbol bitmap
+  static constexpr size_t kDigramWords = 8;    // 512-bit digram bloom
+  static constexpr uint32_t kDigramBits = kDigramWords * 64;
+
+  /// Exact set of byte symbols the document contains (bit = symbol).
+  std::array<uint64_t, kAlphabetWords> alphabet{};
+  /// Bloom filter (two hash probes) over the document's digram set.
+  std::array<uint64_t, kDigramWords> digrams{};
+  /// Exact decompressed length |D|.
+  uint64_t length = 0;
+  /// Set when the grammar holds a symbol outside the byte range — the
+  /// bitmap/bloom cannot represent it, so the pre-filter must not refute
+  /// anything from them (length remains usable).
+  bool wide = false;
+
+  /// Extracts the summary from the grammar in O(size(S)): symbols from the
+  /// root-reachable leaves; digrams as {(last(B), first(C)) : A -> BC}
+  /// over root-reachable inner rules, which is exactly the document's
+  /// digram set — every adjacent position pair of D is split by the
+  /// lowest rule application covering both (see docs/CORPUS.md).
+  static DocumentSummary FromSlp(const Slp& slp);
+
+  bool HasSymbol(uint32_t sym) const {
+    if (sym >= 256) return wide;  // unrepresentable: only `wide` docs may
+    return (alphabet[sym >> 6] >> (sym & 63)) & 1;
+  }
+
+  /// Bloom membership: false = the document certainly lacks the digram;
+  /// true = it may contain it.
+  bool MayContainDigram(uint32_t a, uint32_t b) const {
+    if (wide) return true;
+    if (a >= 256 || b >= 256) return false;  // byte docs never contain these
+    uint32_t bit1 = 0, bit2 = 0;
+    DigramBits(a, b, &bit1, &bit2);
+    return ((digrams[bit1 >> 6] >> (bit1 & 63)) & 1) &&
+           ((digrams[bit2 >> 6] >> (bit2 & 63)) & 1);
+  }
+
+  /// The two bloom probe positions for digram (a, b). Deterministic — part
+  /// of the catalog format.
+  static void DigramBits(uint32_t a, uint32_t b, uint32_t* bit1,
+                         uint32_t* bit2) {
+    const uint64_t key = (static_cast<uint64_t>(a) << 8) | b;
+    uint64_t h = (key + 1) * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    *bit1 = static_cast<uint32_t>(h) % kDigramBits;
+    *bit2 = static_cast<uint32_t>(h >> 32) % kDigramBits;
+  }
+};
+
+}  // namespace corpus
+}  // namespace slpspan
+
+#endif  // SLPSPAN_CORPUS_SUMMARY_H_

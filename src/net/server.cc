@@ -35,6 +35,7 @@
 #include "net/frame.h"
 #include "net/socket.h"
 #include "util/mutex.h"
+#include "util/safe_join.h"
 
 namespace slpspan {
 namespace net {
@@ -44,14 +45,10 @@ namespace {
 constexpr uint64_t kListenerTag = 0;
 
 /// A client-supplied document ref may only name a file directly under the
-/// document root: no separators, no "..", no hidden/empty names.
+/// document root: no separators, no "..", no hidden/empty names. The
+/// policy lives in util::SafePathComponent, shared with the corpus layer.
 bool ValidDocumentRef(const std::string& name) {
-  if (name.empty() || name.size() > kMaxDocumentNameBytes) return false;
-  if (name.front() == '.') return false;
-  for (char c : name) {
-    if (c == '/' || c == '\\' || c == '\0') return false;
-  }
-  return name.find("..") == std::string::npos;
+  return util::SafePathComponent(name, kMaxDocumentNameBytes);
 }
 
 std::string DefaultAlphabet() {
@@ -573,8 +570,12 @@ class ServerImpl {
   Result<DocumentPtr> LookupDocument(const std::string& name) {
     auto it = documents_.find(name);
     if (it != documents_.end()) return it->second;
-    Result<DocumentPtr> doc =
-        Document::FromSlpFile(opts_.document_root + "/" + name + ".slp");
+    // Re-joined through the shared escape-safe join even though the ref was
+    // validated at request admission — the path policy has one owner.
+    std::optional<std::string> path =
+        util::SafeJoin(opts_.document_root, name, kMaxDocumentNameBytes);
+    if (!path) return Status::InvalidArgument("invalid document name");
+    Result<DocumentPtr> doc = Document::FromSlpFile(*path + ".slp");
     if (doc.ok()) documents_.emplace(name, doc.value());
     return doc;
   }

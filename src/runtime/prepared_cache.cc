@@ -340,6 +340,12 @@ void PreparedCache::FlushSpill() {
     pool = spill_pool_.get();
   }
   if (pool != nullptr) pool->WaitIdle();
+  // The cache is a leaked singleton, so the store destructor (which also
+  // flushes) only runs on replacement — persist the warm-start index on
+  // every clean shutdown too.
+  if (std::shared_ptr<storage::SpillStore> spill = SpillSnapshot()) {
+    spill->WriteIndex();
+  }
 }
 
 void PreparedCache::EraseDocument(uint64_t doc_id,

@@ -1,0 +1,43 @@
+// SharedMemoRegistry — fingerprint-keyed weak registry of cross-document
+// prepare memos (see header for the ownership discipline).
+#include "runtime/shared_memo_registry.h"
+
+#include "core/prepare_memo.h"
+
+namespace slpspan {
+namespace runtime_internal {
+
+SharedMemoRegistry& SharedMemoRegistry::Global() {
+  static SharedMemoRegistry* registry = new SharedMemoRegistry();
+  return *registry;
+}
+
+void SharedMemoRegistry::Register(
+    uint64_t query_fp,
+    const std::shared_ptr<core_internal::SharedPrepareMemo>& memo) {
+  util::MutexLock lock(&mu_);
+  memos_[query_fp] = memo;
+}
+
+void SharedMemoRegistry::Unregister(
+    uint64_t query_fp,
+    const std::shared_ptr<core_internal::SharedPrepareMemo>& memo) {
+  util::MutexLock lock(&mu_);
+  const auto it = memos_.find(query_fp);
+  if (it == memos_.end()) return;
+  const auto current = it->second.lock();
+  if (current == nullptr || current == memo) memos_.erase(it);
+}
+
+std::shared_ptr<core_internal::SharedPrepareMemo> SharedMemoRegistry::Lookup(
+    uint64_t query_fp) {
+  util::MutexLock lock(&mu_);
+  const auto it = memos_.find(query_fp);
+  if (it == memos_.end()) return nullptr;
+  std::shared_ptr<core_internal::SharedPrepareMemo> memo = it->second.lock();
+  if (memo == nullptr) memos_.erase(it);  // prune the dead entry
+  return memo;
+}
+
+}  // namespace runtime_internal
+}  // namespace slpspan

@@ -1,0 +1,62 @@
+// Process-wide registry mapping a query fingerprint to the live
+// cross-document product memo for that query. A corpus run registers its
+// memo for the duration of the run (see src/corpus/), and
+// Document::PreparedFor consults the registry when Runtime's
+// PrepareOptions carry no explicit memo — so every preparation triggered
+// through the per-(doc, query) cache during the run, including ones
+// reached via Session workers, shares one arena and product memo without
+// any Session/Engine API change.
+
+#ifndef SLPSPAN_RUNTIME_SHARED_MEMO_REGISTRY_H_
+#define SLPSPAN_RUNTIME_SHARED_MEMO_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "util/mutex.h"
+
+namespace slpspan {
+
+namespace core_internal {
+struct SharedPrepareMemo;
+}  // namespace core_internal
+
+namespace runtime_internal {
+
+/// Fingerprint-keyed weak registry of shared prepare memos. Entries hold
+/// weak_ptrs: the registering context owns the memo, so an unbalanced
+/// Unregister (or a context destroyed without one) can never keep a
+/// corpus-sized arena alive, only leave a dead entry that the next lookup
+/// or registration prunes.
+class SharedMemoRegistry {
+ public:
+  static SharedMemoRegistry& Global();
+
+  /// Publishes `memo` for `query_fp`, replacing any dead or older entry
+  /// (latest registration wins — concurrent corpus runs over one query
+  /// then share the newer memo, which is correct for either).
+  void Register(uint64_t query_fp,
+                const std::shared_ptr<core_internal::SharedPrepareMemo>& memo)
+      EXCLUDES(mu_);
+
+  /// Removes the entry for `query_fp` if it still refers to `memo`;
+  /// another context's later registration is left in place.
+  void Unregister(uint64_t query_fp,
+                  const std::shared_ptr<core_internal::SharedPrepareMemo>& memo)
+      EXCLUDES(mu_);
+
+  /// The live memo registered for `query_fp`, or null.
+  std::shared_ptr<core_internal::SharedPrepareMemo> Lookup(uint64_t query_fp)
+      EXCLUDES(mu_);
+
+ private:
+  util::Mutex mu_;
+  std::unordered_map<uint64_t, std::weak_ptr<core_internal::SharedPrepareMemo>>
+      memos_ GUARDED_BY(mu_);
+};
+
+}  // namespace runtime_internal
+}  // namespace slpspan
+
+#endif  // SLPSPAN_RUNTIME_SHARED_MEMO_REGISTRY_H_

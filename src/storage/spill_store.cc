@@ -3,14 +3,86 @@
 #include "storage/spill_store.h"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
 #include <vector>
+
+#include "storage/bundle_format.h"
 
 namespace slpspan {
 namespace storage {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// spill.index: a checksummed snapshot of the store's LRU, MRU first.
+//
+//   magic     8   "SLPSPIX\n"
+//   version   u32
+//   flags     u32 (reserved, 0)
+//   payload   u64 byte length
+//   checksum  u64 Checksum64 of the payload
+//   <payload>     varint entry count, then per entry:
+//                   u64 doc_fp, u64 query_fp, varint bundle bytes
+constexpr char kIndexMagic[8] = {'S', 'L', 'P', 'S', 'P', 'I', 'X', '\n'};
+constexpr uint32_t kIndexVersion = 1;
+constexpr size_t kIndexHeaderSize = 8 + 4 + 4 + 8 + 8;
+
+/// Puts between index flushes. Amortizes the O(entries) rewrite: the index
+/// only saves a restart stat walk, so a slightly stale one (caught by the
+/// name comparison at Open) costs nothing but that fallback walk.
+constexpr uint64_t kIndexFlushInterval = 64;
+
+struct IndexEntry {
+  uint64_t doc_fp = 0;
+  uint64_t query_fp = 0;
+  uint64_t bytes = 0;
+};
+
+/// Strictly-validated parse; nullopt on any corruption (the caller then
+/// falls back to the stat walk — a bad index is never an error).
+std::optional<std::vector<IndexEntry>> ParseIndex(const std::string& bytes) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  if (bytes.size() < kIndexHeaderSize) return std::nullopt;
+  if (std::memcmp(data, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return std::nullopt;
+  }
+  BundleReader header(data + sizeof(kIndexMagic),
+                      kIndexHeaderSize - sizeof(kIndexMagic));
+  uint32_t version = 0, flags = 0;
+  uint64_t payload_size = 0, checksum = 0;
+  Status st = header.U32(&version);
+  if (st.ok()) st = header.U32(&flags);
+  if (st.ok()) st = header.U64(&payload_size);
+  if (st.ok()) st = header.U64(&checksum);
+  if (!st.ok() || version != kIndexVersion) return std::nullopt;
+  if (payload_size != bytes.size() - kIndexHeaderSize) return std::nullopt;
+  const uint8_t* payload = data + kIndexHeaderSize;
+  if (Checksum64(payload, payload_size) != checksum) return std::nullopt;
+
+  BundleReader r(payload, payload_size);
+  uint64_t count = 0;
+  if (!r.Varint(&count).ok() || count > r.remaining()) return std::nullopt;
+  std::vector<IndexEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    IndexEntry e;
+    st = r.U64(&e.doc_fp);
+    if (st.ok()) st = r.U64(&e.query_fp);
+    if (st.ok()) st = r.Varint(&e.bytes);
+    if (!st.ok()) return std::nullopt;
+    entries.push_back(e);
+  }
+  if (!r.AtEnd()) return std::nullopt;
+  return entries;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<SpillStore>> SpillStore::Open(Options opts) {
   if (opts.directory.empty()) {
@@ -24,6 +96,60 @@ Result<std::unique_ptr<SpillStore>> SpillStore::Open(Options opts) {
   }
 
   std::unique_ptr<SpillStore> store(new SpillStore(std::move(opts)));
+
+  // Fast path: a previous process left a spill.index. Validate it against
+  // the directory's *names* (one readdir, no per-file stat — the point of
+  // the index on a 10k-bundle directory) and adopt its LRU order and
+  // sizes on an exact match.
+  {
+    std::unordered_set<std::string> on_disk;
+    bool listed = true;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(store->dir_, ec)) {
+      uint64_t doc_fp = 0, query_fp = 0;
+      const std::string name = entry.path().filename().string();
+      if (ParseSpillFileName(name, &doc_fp, &query_fp)) on_disk.insert(name);
+    }
+    if (ec) listed = false;
+
+    std::optional<std::vector<IndexEntry>> index;
+    {
+      std::ifstream in(store->dir_ + "/" + kSpillIndexFileName,
+                       std::ios::binary);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (!in.bad()) index = ParseIndex(std::move(buf).str());
+      }
+    }
+    bool matches = listed && index && index->size() == on_disk.size();
+    if (matches) {
+      std::unordered_set<std::string> recorded;
+      recorded.reserve(index->size());
+      for (const IndexEntry& e : *index) {
+        const std::string name = SpillFileName(e.doc_fp, e.query_fp);
+        // A duplicate key or a name the directory lacks means the index
+        // is stale (crash between a delete and the next flush): walk.
+        if (!recorded.insert(name).second || on_disk.count(name) == 0) {
+          matches = false;
+          break;
+        }
+      }
+    }
+    if (matches) {
+      util::MutexLock lock(&store->mu_);
+      // Index order is MRU-first; append to keep front = most recent.
+      for (const IndexEntry& e : *index) {
+        store->lru_.push_back(
+            Entry{Key{e.doc_fp, e.query_fp}, e.bytes, store->next_gen_++});
+        store->index_[Key{e.doc_fp, e.query_fp}] = std::prev(store->lru_.end());
+        store->bytes_ += e.bytes;
+      }
+      store->warmed_from_index_ = true;
+      store->ReclaimOverBudgetLocked();
+      return store;
+    }
+  }
 
   // Index what a previous process left behind, oldest-modified first, so the
   // scan ends with the newest bundles at the LRU front.
@@ -62,8 +188,45 @@ Result<std::unique_ptr<SpillStore>> SpillStore::Open(Options opts) {
   return store;
 }
 
+SpillStore::~SpillStore() {
+  util::MutexLock lock(&mu_);
+  WriteIndexLocked();
+}
+
+void SpillStore::WriteIndex() {
+  util::MutexLock lock(&mu_);
+  WriteIndexLocked();
+}
+
 std::string SpillStore::PathFor(const Key& key) const {
   return dir_ + "/" + SpillFileName(key.doc_fp, key.query_fp);
+}
+
+void SpillStore::WriteIndexLocked() {
+  mu_.AssertHeld();
+  BundleWriter payload;
+  payload.Varint(lru_.size());
+  for (const Entry& e : lru_) {  // front = MRU, serialized first
+    payload.U64(e.key.doc_fp);
+    payload.U64(e.key.query_fp);
+    payload.Varint(e.bytes);
+  }
+  const std::string body = payload.TakeBuffer();
+  BundleWriter out;
+  out.Bytes(kIndexMagic, sizeof(kIndexMagic));
+  out.U32(kIndexVersion);
+  out.U32(0);
+  out.U64(body.size());
+  out.U64(Checksum64(reinterpret_cast<const uint8_t*>(body.data()),
+                     body.size()));
+  out.Bytes(body.data(), body.size());
+  // Best-effort: a failed write leaves the old (or no) index, and the next
+  // Open just pays the stat walk.
+  const Status ignored =
+      WriteFileAtomic(dir_ + "/" + kSpillIndexFileName, out.TakeBuffer());
+  (void)ignored;
+  dirty_puts_ = 0;
+  ++index_writes_;
 }
 
 Status SpillStore::Put(uint64_t doc_fp, uint64_t query_fp,
@@ -94,6 +257,7 @@ Status SpillStore::Put(uint64_t doc_fp, uint64_t query_fp,
   bytes_ += image.size();
   spilled_bytes_ += image.size();
   ReclaimOverBudgetLocked();
+  if (++dirty_puts_ >= kIndexFlushInterval) WriteIndexLocked();
   return Status::OK();
 }
 
@@ -169,6 +333,8 @@ SpillStore::Stats SpillStore::GetStats() const {
   stats.bytes = bytes_;
   stats.reclaimed = reclaimed_;
   stats.budget_bytes = budget_;
+  stats.warmed_from_index = warmed_from_index_;
+  stats.index_writes = index_writes_;
   return stats;
 }
 

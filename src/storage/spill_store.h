@@ -8,6 +8,16 @@
 // bundles exported with Document::SavePrepared under the canonical name
 // pre-warm a fleet.
 //
+// To keep restarts cheap on large directories, the store periodically
+// writes a checksummed "spill.index" file recording its LRU order and
+// sizes. Open validates the index against the directory's *names* only —
+// one readdir, no per-file stat — and adopts it on an exact match; a
+// missing, corrupt, or stale index falls back to the full stat walk
+// (mtimes approximate the lost LRU order). The index is a warm-start
+// hint, never a source of truth: every divergence is detected by the name
+// comparison except a same-name overwrite after the last flush, which can
+// leave a stale byte size until the entry is next written or reclaimed.
+//
 // Thread-safe. Lookups copy the entry's path and run the mmap + deserialize
 // outside the store lock, so concurrent misses on different keys do not
 // serialize; a file reclaimed mid-lookup simply degrades into a miss.
@@ -44,6 +54,14 @@ class SpillStore {
   /// when the directory cannot be created.
   static Result<std::unique_ptr<SpillStore>> Open(Options opts);
 
+  /// Flushes a final index so the next Open warms without a stat walk.
+  ~SpillStore();
+
+  /// Writes the warm-start index now. Called by the runtime's clean
+  /// shutdown hook (Runtime::FlushSpill) — the cache is a leaked
+  /// singleton, so the destructor flush only covers store replacement.
+  void WriteIndex();
+
   /// Writes a sealed bundle image for (doc_fp, query_fp) — atomic
   /// temp+rename — then reclaims least-recently-used bundles until the
   /// directory fits the budget again (which may reclaim the new bundle
@@ -65,6 +83,8 @@ class SpillStore {
     uint64_t bytes = 0;          ///< bundle bytes currently on disk
     uint64_t reclaimed = 0;      ///< bundles deleted to respect the budget
     uint64_t budget_bytes = 0;
+    bool warmed_from_index = false;  ///< Open adopted spill.index (no stats)
+    uint64_t index_writes = 0;       ///< spill.index flushes so far
   };
   Stats GetStats() const;
 
@@ -97,6 +117,9 @@ class SpillStore {
   /// Deletes LRU-tail bundles until the directory fits the budget.
   void ReclaimOverBudgetLocked() REQUIRES(mu_);
 
+  /// Serializes the LRU (MRU first) into spill.index, atomically.
+  void WriteIndexLocked() REQUIRES(mu_);
+
   const std::string dir_;
   const uint64_t budget_;
 
@@ -110,7 +133,13 @@ class SpillStore {
   uint64_t disk_misses_ GUARDED_BY(mu_) = 0;
   uint64_t spilled_bytes_ GUARDED_BY(mu_) = 0;
   uint64_t reclaimed_ GUARDED_BY(mu_) = 0;
+  uint64_t dirty_puts_ GUARDED_BY(mu_) = 0;  ///< Puts since last index flush
+  uint64_t index_writes_ GUARDED_BY(mu_) = 0;
+  bool warmed_from_index_ GUARDED_BY(mu_) = false;
 };
+
+/// Name of the warm-start index file inside a spill directory.
+inline constexpr char kSpillIndexFileName[] = "spill.index";
 
 }  // namespace storage
 }  // namespace slpspan

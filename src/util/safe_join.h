@@ -1,0 +1,55 @@
+// Path-escape rejection shared by every layer that resolves an untrusted
+// name under a content root (the net server's document refs, the corpus
+// layer's catalog entries). One copy of the policy: a name is usable only
+// as a single path component — no separators, no leading dot, no "..",
+// no NULs — so `root + "/" + name` can never escape `root`.
+
+#ifndef SLPSPAN_UTIL_SAFE_JOIN_H_
+#define SLPSPAN_UTIL_SAFE_JOIN_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace slpspan {
+namespace util {
+
+/// Default cap on the byte length of a single path component (matches the
+/// net wire protocol's document-name bound).
+inline constexpr size_t kMaxPathComponentBytes = 255;
+
+/// True when `name` is safe to resolve as a single path component under a
+/// content root: non-empty, within `max_bytes`, no leading '.' (also
+/// rejects "." / ".." and dot-files), no '/' or '\\' separators, no NULs,
+/// and no ".." anywhere (defense in depth — already unreachable past the
+/// other checks on sane inputs, kept so the policy reads as intended).
+inline bool SafePathComponent(std::string_view name,
+                              size_t max_bytes = kMaxPathComponentBytes) {
+  if (name.empty() || name.size() > max_bytes) return false;
+  if (name.front() == '.') return false;
+  for (char c : name) {
+    if (c == '/' || c == '\\' || c == '\0') return false;
+  }
+  return name.find("..") == std::string_view::npos;
+}
+
+/// Joins `root`/`name` when `name` passes SafePathComponent; nullopt
+/// otherwise. The caller appends any fixed suffix (e.g. ".slp") itself —
+/// the suffix is trusted, the name is not.
+inline std::optional<std::string> SafeJoin(
+    std::string_view root, std::string_view name,
+    size_t max_bytes = kMaxPathComponentBytes) {
+  if (!SafePathComponent(name, max_bytes)) return std::nullopt;
+  std::string path;
+  path.reserve(root.size() + 1 + name.size());
+  path.append(root);
+  if (!path.empty() && path.back() != '/') path.push_back('/');
+  path.append(name);
+  return path;
+}
+
+}  // namespace util
+}  // namespace slpspan
+
+#endif  // SLPSPAN_UTIL_SAFE_JOIN_H_

@@ -1,0 +1,542 @@
+// Corpus layer tests: summary exactness, pre-filter soundness (the
+// property the whole layer leans on — a refuted document NEVER matches),
+// catalog round-trip and corruption handling, Corpus::Open adopt/rebuild
+// semantics, Eval bit-identity across the pre-filter and shared-memo
+// toggles, and the util::SafeJoin path discipline the corpus shares with
+// the network server.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/evaluator.h"
+#include "corpus/catalog.h"
+#include "corpus/prefilter.h"
+#include "corpus/summary.h"
+#include "slp/serialize.h"
+#include "slpspan/slpspan.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/safe_join.h"
+
+namespace slpspan {
+namespace {
+
+namespace fs = std::filesystem;
+
+using corpus::Catalog;
+using corpus::CatalogEntry;
+using corpus::CatalogFile;
+using corpus::DocumentSummary;
+using corpus::QueryPreFilter;
+using testing_util::AllSlpKinds;
+using testing_util::MakeSlp;
+using testing_util::SlpKind;
+
+// ----------------------------------------------------------- summaries ----
+
+TEST(DocumentSummary, AlphabetIsExact) {
+  for (const SlpKind kind : AllSlpKinds()) {
+    const std::string text = "abcabcxyxy";
+    const DocumentSummary s = DocumentSummary::FromSlp(MakeSlp(kind, text));
+    EXPECT_EQ(s.length, text.size());
+    EXPECT_FALSE(s.wide);
+    for (int c = 0; c < 256; ++c) {
+      const bool present = text.find(static_cast<char>(c)) != std::string::npos;
+      EXPECT_EQ(s.HasSymbol(static_cast<uint32_t>(c)), present)
+          << "symbol " << c;
+    }
+  }
+}
+
+TEST(DocumentSummary, ContainsEveryAdjacentDigram) {
+  // The bloom must answer "maybe" for every digram that actually occurs —
+  // a false negative here would be an unsound skip.
+  for (const SlpKind kind : AllSlpKinds()) {
+    const std::string text = "the quick brown fox jumps over the lazy dog";
+    const DocumentSummary s = DocumentSummary::FromSlp(MakeSlp(kind, text));
+    for (size_t i = 0; i + 1 < text.size(); ++i) {
+      EXPECT_TRUE(s.MayContainDigram(static_cast<uint8_t>(text[i]),
+                                     static_cast<uint8_t>(text[i + 1])))
+          << "digram '" << text.substr(i, 2) << "'";
+    }
+  }
+}
+
+TEST(DocumentSummary, RefutesAbsentDigramOnRepetitiveText) {
+  // "ab" repeated: digrams are exactly {ab, ba}. With only two occupied
+  // digram slots the bloom has essentially no false positives, so "aa"
+  // must be refutable.
+  const DocumentSummary s =
+      DocumentSummary::FromSlp(MakeSlp(SlpKind::kRePair, "abababababab"));
+  EXPECT_TRUE(s.MayContainDigram('a', 'b'));
+  EXPECT_TRUE(s.MayContainDigram('b', 'a'));
+  EXPECT_FALSE(s.MayContainDigram('a', 'a'));
+  EXPECT_FALSE(s.MayContainDigram('b', 'b'));
+}
+
+// ---------------------------------------------------- pre-filter basics ----
+
+const Nfa& NonEmptinessNfa(const SpannerEvaluator& ev) {
+  return ev.nonemptiness_nfa();
+}
+
+QueryPreFilter FilterFor(const std::string& pattern,
+                         const std::string& alphabet) {
+  Result<Spanner> sp = Spanner::Compile(pattern, alphabet);
+  SLPSPAN_CHECK(sp.ok());
+  const SpannerEvaluator ev(*sp);
+  return QueryPreFilter::Derive(NonEmptinessNfa(ev));
+}
+
+TEST(QueryPreFilter, DerivesRequiredSymbolsAndDigrams) {
+  const QueryPreFilter f = FilterFor(".*x{needle}.*", "abcdefnl");
+  EXPECT_FALSE(f.never_matches());
+  EXPECT_EQ(f.min_length(), 6u);  // |needle|
+  // Every match contains each letter of the literal.
+  const std::vector<uint32_t> expected = {'d', 'e', 'l', 'n'};
+  EXPECT_EQ(f.required_symbols(), expected);
+  // ...and its digrams, including "ne".
+  const auto& digrams = f.required_digrams();
+  EXPECT_TRUE(std::find(digrams.begin(), digrams.end(),
+                        std::make_pair(uint32_t{'n'}, uint32_t{'e'})) !=
+              digrams.end());
+}
+
+TEST(QueryPreFilter, RefutesByEachCondition) {
+  const QueryPreFilter f = FilterFor(".*x{needle}.*", "abcdefnl");
+  const auto summary_of = [](const std::string& text) {
+    return DocumentSummary::FromSlp(MakeSlp(SlpKind::kBalanced, text));
+  };
+  // Missing required symbol ('n').
+  EXPECT_TRUE(f.Refutes(summary_of("abcdefabcdef")));
+  // All letters present but no "ne" digram.
+  EXPECT_TRUE(f.Refutes(summary_of("ldeenabcdfabcdf")));
+  // Too short.
+  EXPECT_TRUE(f.Refutes(summary_of("nee")));
+  // An actual match must never be refuted.
+  EXPECT_FALSE(f.Refutes(summary_of("abcneedlefabc")));
+}
+
+TEST(QueryPreFilter, AllowedAlphabetRefutesForeignSymbols) {
+  // Accepted words use only {a, b}; a document containing 'z' cannot match
+  // anywhere (the spanner must match the whole document).
+  const QueryPreFilter f = FilterFor("(a|b)*x{ab}(a|b)*", "ab");
+  const DocumentSummary with_z =
+      DocumentSummary::FromSlp(MakeSlp(SlpKind::kBalanced, "abzab"));
+  EXPECT_TRUE(f.Refutes(with_z));
+  const DocumentSummary clean =
+      DocumentSummary::FromSlp(MakeSlp(SlpKind::kBalanced, "abab"));
+  EXPECT_FALSE(f.Refutes(clean));
+}
+
+// ------------------------------------------- pre-filter soundness sweep ----
+
+struct SpannerCase {
+  const char* name;
+  const char* pattern;
+  const char* alphabet;
+};
+
+const SpannerCase kSpannerPool[] = {
+    {"factor_ab", ".*x{ab}.*", "ab"},
+    {"runs", "(c|b)*x{a+}(b|c|a)*", "abc"},
+    {"two_vars", ".*x{a+}b+y{c+}.*", "abc"},
+    {"optional", "(x{aa})?(a|b)*", "ab"},
+    {"union_var", "x{a}.*|x{b}.*", "ab"},
+    {"empty_span", "a*x{}b*", "ab"},
+    {"literal", ".*x{abcab}.*", "abc"},
+    {"anchored", "x{.}.*y{.}", "abc"},
+};
+
+std::string RandomDoc(Rng* rng, uint32_t sigma, uint64_t max_len) {
+  const uint64_t len = 1 + rng->Below(max_len);
+  std::string doc;
+  for (uint64_t i = 0; i < len; ++i) {
+    doc += static_cast<char>('a' + rng->Below(sigma));
+  }
+  return doc;
+}
+
+class PreFilterSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+// THE invariant: a document the filter refutes is truly non-matching under
+// the full Theorem 5.1(1) evaluation — across random documents, every SLP
+// construction, and a diverse spanner pool. (The converse — documents the
+// filter keeps — needs no check: keeping a non-matching document is only
+// a missed optimization, never an error.)
+TEST_P(PreFilterSoundness, RefutedImpliesEmpty) {
+  Rng rng(GetParam() * 6151 + 11);
+  for (const SpannerCase& pc : kSpannerPool) {
+    Result<Spanner> sp = Spanner::Compile(pc.pattern, pc.alphabet);
+    ASSERT_TRUE(sp.ok()) << pc.name << ": " << sp.status().ToString();
+    const SpannerEvaluator ev(*sp);
+    const QueryPreFilter filter = QueryPreFilter::Derive(NonEmptinessNfa(ev));
+    const uint32_t sigma =
+        static_cast<uint32_t>(std::string(pc.alphabet).size());
+    for (int doc_i = 0; doc_i < 24; ++doc_i) {
+      // Half the documents draw from a slightly larger alphabet than the
+      // spanner's, exercising the allowed-symbol condition.
+      const uint32_t doc_sigma = (doc_i % 2 == 0) ? sigma : sigma + 1;
+      const std::string doc = RandomDoc(&rng, doc_sigma, 40);
+      for (const SlpKind kind : AllSlpKinds()) {
+        const Slp slp = MakeSlp(kind, doc);
+        const DocumentSummary summary = DocumentSummary::FromSlp(slp);
+        if (filter.Refutes(summary)) {
+          EXPECT_FALSE(ev.CheckNonEmptiness(slp))
+              << pc.name << " falsely refuted doc \"" << doc << "\"";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PreFilterSoundness, ::testing::Range<uint64_t>(0, 6));
+
+// -------------------------------------------------------------- catalog ----
+
+Catalog SampleCatalog() {
+  Catalog c;
+  CatalogEntry e1;
+  e1.fingerprint = 0x1122334455667788ull;
+  e1.length = 10;
+  e1.rules = 7;
+  e1.summary = DocumentSummary::FromSlp(
+      MakeSlp(SlpKind::kBalanced, "aabbccddee"));
+  e1.files = {{"a.slp", 123}, {"a_copy.slp", 123}};
+  CatalogEntry e2;
+  e2.fingerprint = 0x99aabbccddeeff00ull;
+  e2.length = 4;
+  e2.rules = 3;
+  e2.summary = DocumentSummary::FromSlp(MakeSlp(SlpKind::kBalanced, "wxyz"));
+  e2.files = {{"b.slp", 456}};
+  c.entries = {e1, e2};
+  return c;
+}
+
+TEST(Catalog, RoundTrips) {
+  const Catalog original = SampleCatalog();
+  const std::string bytes = original.Serialize();
+  Result<Catalog> parsed = Catalog::Deserialize(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->entries.size(), original.entries.size());
+  for (size_t i = 0; i < original.entries.size(); ++i) {
+    const CatalogEntry& a = original.entries[i];
+    const CatalogEntry& b = parsed->entries[i];
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.length, b.length);
+    EXPECT_EQ(a.rules, b.rules);
+    EXPECT_EQ(a.summary.alphabet, b.summary.alphabet);
+    EXPECT_EQ(a.summary.digrams, b.summary.digrams);
+    EXPECT_EQ(a.summary.length, b.summary.length);
+    EXPECT_EQ(a.summary.wide, b.summary.wide);
+    EXPECT_EQ(a.files, b.files);
+  }
+}
+
+TEST(Catalog, RejectsEveryCorruption) {
+  const std::string good = SampleCatalog().Serialize();
+
+  // Truncation at any point must fail cleanly (short header, short
+  // payload, or payload-size mismatch — never a crash or a bogus parse).
+  for (const size_t len : {size_t{0}, size_t{7}, size_t{31},
+                           good.size() / 2, good.size() - 1}) {
+    EXPECT_FALSE(Catalog::Deserialize(good.substr(0, len)).ok())
+        << "truncated to " << len;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(Catalog::Deserialize(good + "x").ok());
+  // Any single corrupted byte: either the checksum catches it, or — for
+  // bytes inside the header — magic/version/size validation does.
+  for (size_t i = 0; i < good.size(); i += 7) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x41);
+    EXPECT_FALSE(Catalog::Deserialize(bad).ok()) << "flipped byte " << i;
+  }
+}
+
+TEST(Catalog, RejectsUnsafeNames) {
+  Catalog c = SampleCatalog();
+  c.entries[0].files[0].name = "../escape.slp";
+  Result<Catalog> parsed = Catalog::Deserialize(c.Serialize());
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(Catalog, MatchesComparesNamesAndSizes) {
+  const Catalog c = SampleCatalog();
+  std::vector<CatalogFile> listing = {
+      {"a.slp", 123}, {"a_copy.slp", 123}, {"b.slp", 456}};
+  EXPECT_TRUE(corpus::CatalogMatches(c, listing));
+  listing[2].file_size = 457;  // size drift = stale
+  EXPECT_FALSE(corpus::CatalogMatches(c, listing));
+  listing.pop_back();  // missing file = stale
+  EXPECT_FALSE(corpus::CatalogMatches(c, listing));
+}
+
+// ----------------------------------------------------------- end-to-end ----
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("slpspan_corpus_test_" +
+             std::to_string(
+                 reinterpret_cast<uintptr_t>(this) ^
+                 static_cast<uintptr_t>(::testing::UnitTest::GetInstance()
+                                            ->random_seed()))))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void AddDoc(const std::string& name, const std::string& text) {
+    ASSERT_TRUE(
+        SaveSlpToFile(MakeSlp(SlpKind::kRePair, text), dir_ + "/" + name)
+            .ok());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CorpusTest, OpenIngestsThenAdoptsThenRebuildsOnChange) {
+  AddDoc("one.slp", "abcabcabc");
+  AddDoc("two.slp", "xyzxyz");
+  Result<std::unique_ptr<Corpus>> first = Corpus::Open(dir_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE((*first)->rebuilt_catalog());
+  EXPECT_EQ((*first)->documents().size(), 2u);
+
+  // Unchanged directory: the stored catalog is adopted, not re-ingested.
+  Result<std::unique_ptr<Corpus>> second = Corpus::Open(dir_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE((*second)->rebuilt_catalog());
+
+  // A new file changes the listing: re-ingest.
+  AddDoc("three.slp", "mnmnmn");
+  Result<std::unique_ptr<Corpus>> third = Corpus::Open(dir_);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE((*third)->rebuilt_catalog());
+  EXPECT_EQ((*third)->documents().size(), 3u);
+}
+
+TEST_F(CorpusTest, CorruptCatalogFallsBackToIngest) {
+  AddDoc("one.slp", "abcabc");
+  ASSERT_TRUE(Corpus::Open(dir_).ok());
+  {
+    std::ofstream f(dir_ + "/" + corpus::kCatalogFileName,
+                    std::ios::binary | std::ios::trunc);
+    f << "garbage, not a catalog";
+  }
+  Result<std::unique_ptr<Corpus>> reopened = Corpus::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->rebuilt_catalog());
+  EXPECT_EQ((*reopened)->documents().size(), 1u);
+}
+
+TEST_F(CorpusTest, IdenticalDocumentsShareOneEntry) {
+  AddDoc("dup_b.slp", "samesamesame");
+  AddDoc("dup_a.slp", "samesamesame");
+  AddDoc("other.slp", "different");
+  Result<std::unique_ptr<Corpus>> corpus = Corpus::Open(dir_);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_EQ((*corpus)->documents().size(), 2u);
+  // Catalog order is lexicographic by primary name; the duplicate pair's
+  // primary is its lexicographically first alias.
+  const Corpus::DocumentInfo& dup = (*corpus)->documents()[0];
+  EXPECT_EQ(dup.name, "dup_a.slp");
+  ASSERT_EQ(dup.aliases.size(), 1u);
+  EXPECT_EQ(dup.aliases[0], "dup_b.slp");
+}
+
+struct DocOutcome {
+  uint64_t count = 0;
+  bool ok = true;
+};
+
+std::vector<std::pair<std::string, DocOutcome>> RunEval(
+    const Corpus& corpus, const Query& query, bool prefilter, bool share,
+    CorpusEvalStats* stats) {
+  CorpusEvalOptions opts;
+  opts.threads = 2;
+  opts.prefilter = prefilter;
+  opts.share_memo = share;
+  std::vector<std::pair<std::string, DocOutcome>> results;
+  const Status st = corpus.Eval(
+      query, EngineRequest::Op::kCount, opts,
+      [&](const CorpusDocResult& r) {
+        DocOutcome o;
+        o.ok = r.output.ok();
+        if (o.ok) o.count = r.output->count.value;
+        results.emplace_back(r.name, o);
+        return true;
+      },
+      stats);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return results;
+}
+
+TEST_F(CorpusTest, EvalIsBitIdenticalAcrossAllModeCombinations) {
+  AddDoc("match1.slp", "xxneedlexx");
+  AddDoc("match2.slp", "needleneedle");
+  AddDoc("miss1.slp", "abcdefabcdef");  // no 'n': required-symbol skip
+  AddDoc("miss2.slp", "ldeenldeen");    // letters but no "ne": digram skip
+  Result<std::unique_ptr<Corpus>> corpus = Corpus::Open(dir_);
+  ASSERT_TRUE(corpus.ok());
+  Result<Query> query = Query::Compile(".*x{needle}.*", "abcdefnlx");
+  ASSERT_TRUE(query.ok());
+
+  CorpusEvalStats baseline_stats;
+  const auto baseline =
+      RunEval(**corpus, *query, false, false, &baseline_stats);
+  EXPECT_EQ(baseline_stats.docs_skipped, 0u);
+  EXPECT_EQ(baseline_stats.docs_evaluated, 4u);
+  EXPECT_EQ(baseline_stats.docs_matched, 2u);
+
+  for (const bool prefilter : {false, true}) {
+    for (const bool share : {false, true}) {
+      CorpusEvalStats stats;
+      const auto results =
+          RunEval(**corpus, *query, prefilter, share, &stats);
+      EXPECT_EQ(stats.docs_matched, 2u);
+      // Matched documents and their exact counts never change; only
+      // whether the misses were evaluated or skipped does.
+      std::map<std::string, uint64_t> matched, baseline_matched;
+      for (const auto& [name, o] : results) {
+        if (o.count > 0) matched[name] = o.count;
+      }
+      for (const auto& [name, o] : baseline) {
+        if (o.count > 0) baseline_matched[name] = o.count;
+      }
+      EXPECT_EQ(matched, baseline_matched)
+          << "prefilter=" << prefilter << " share=" << share;
+      if (prefilter) {
+        EXPECT_EQ(stats.docs_skipped, 2u);  // both misses, no false skips
+      }
+      if (share) {
+        EXPECT_EQ(stats.memo_fallbacks, 0u);
+        EXPECT_EQ(stats.memo_shared_preparations, stats.docs_prepared);
+      }
+    }
+  }
+}
+
+TEST_F(CorpusTest, EvalStreamsInCatalogOrderAndStopsEarly) {
+  AddDoc("a.slp", "needle one");
+  AddDoc("b.slp", "needle two two");
+  AddDoc("c.slp", "needle three");
+  Result<std::unique_ptr<Corpus>> corpus = Corpus::Open(dir_);
+  ASSERT_TRUE(corpus.ok());
+  Result<Query> query = Query::Compile(".*x{needle}.*", "abcdehlnortw ");
+  ASSERT_TRUE(query.ok());
+
+  CorpusEvalStats stats;
+  std::vector<std::string> order;
+  const Status full = (*corpus)->Eval(
+      *query, EngineRequest::Op::kIsNonEmpty, {},
+      [&](const CorpusDocResult& r) {
+        order.push_back(r.name);
+        return true;
+      },
+      &stats);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"a.slp", "b.slp", "c.slp"}));
+  EXPECT_EQ(stats.docs_matched, 3u);
+  // The non-emptiness op never builds Lemma 6.5 tables.
+  EXPECT_EQ(stats.docs_prepared, 0u);
+
+  order.clear();
+  const Status stopped = (*corpus)->Eval(
+      *query, EngineRequest::Op::kIsNonEmpty, {},
+      [&](const CorpusDocResult& r) {
+        order.push_back(r.name);
+        return false;  // stop after the first document
+      },
+      nullptr);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_EQ(order, (std::vector<std::string>{"a.slp"}));
+}
+
+TEST_F(CorpusTest, UnreadableDocumentFailsAloneNotTheRun) {
+  // Distinct contents: identical bytes would dedup into one catalog entry.
+  AddDoc("good.slp", "xneedlex");
+  AddDoc("bad.slp", "needleneedle");
+  Result<std::unique_ptr<Corpus>> corpus = Corpus::Open(dir_);
+  ASSERT_TRUE(corpus.ok());
+  // Corrupt bad.slp in place *after* Open; the catalog is already built,
+  // so Eval discovers the damage at load time and streams it as that
+  // document's error.
+  {
+    std::fstream f(dir_ + "/bad.slp",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    f << "XXXXXXXX";
+  }
+  Result<Query> query = Query::Compile(".*x{needle}.*", "delnx");
+  ASSERT_TRUE(query.ok());
+
+  CorpusEvalStats stats;
+  const auto results = RunEval(**corpus, *query, false, true, &stats);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].second.ok);  // bad.slp sorts first
+  EXPECT_TRUE(results[1].second.ok);
+  EXPECT_EQ(stats.docs_failed, 1u);
+  EXPECT_EQ(stats.docs_evaluated, 1u);
+}
+
+TEST_F(CorpusTest, SharedMemoRaisesCorpusHitRate) {
+  // Near-identical documents: the second preparation should find nearly
+  // every product already in the shared arena.
+  const std::string base = "user=u1 action=get user=u2 action=put ";
+  for (int i = 0; i < 6; ++i) {
+    AddDoc("doc" + std::to_string(i) + ".slp",
+           base + base + base + "tail" + std::to_string(i));
+  }
+  Result<std::unique_ptr<Corpus>> corpus = Corpus::Open(dir_);
+  ASSERT_TRUE(corpus.ok());
+  Result<Query> query =
+      Query::Compile(".*x{action=put}.*", "acdeilnoprstu=0123456789g ");
+  ASSERT_TRUE(query.ok());
+
+  CorpusEvalStats isolated, shared;
+  RunEval(**corpus, *query, false, false, &isolated);
+  RunEval(**corpus, *query, false, true, &shared);
+  EXPECT_EQ(isolated.docs_prepared, 6u);
+  EXPECT_EQ(shared.docs_prepared, 6u);
+  EXPECT_EQ(shared.memo_shared_preparations, 6u);
+  EXPECT_EQ(shared.memo_fallbacks, 0u);
+  EXPECT_EQ(shared.prepare_products, isolated.prepare_products);
+  EXPECT_GT(shared.prepare_memo_hits, isolated.prepare_memo_hits);
+}
+
+// ------------------------------------------------------------ SafeJoin ----
+
+TEST(SafeJoin, AcceptsPlainComponentsOnly) {
+  EXPECT_TRUE(util::SafePathComponent("doc.slp"));
+  EXPECT_TRUE(util::SafePathComponent("a-b_c.123"));
+  EXPECT_FALSE(util::SafePathComponent(""));
+  EXPECT_FALSE(util::SafePathComponent(".hidden"));
+  EXPECT_FALSE(util::SafePathComponent(".."));
+  EXPECT_FALSE(util::SafePathComponent("a/b"));
+  EXPECT_FALSE(util::SafePathComponent("a\\b"));
+  EXPECT_FALSE(util::SafePathComponent(std::string("a\0b", 3)));
+  EXPECT_FALSE(util::SafePathComponent("has..dots"));
+  EXPECT_FALSE(util::SafePathComponent(std::string(300, 'x')));
+  EXPECT_TRUE(util::SafePathComponent(std::string(300, 'x'), 512));
+}
+
+TEST(SafeJoin, JoinsUnderRootOrRefuses) {
+  EXPECT_EQ(util::SafeJoin("/root", "doc.slp"),
+            std::optional<std::string>("/root/doc.slp"));
+  EXPECT_FALSE(util::SafeJoin("/root", "../etc/passwd").has_value());
+  EXPECT_FALSE(util::SafeJoin("/root", "/abs").has_value());
+  EXPECT_FALSE(util::SafeJoin("/root", "").has_value());
+}
+
+}  // namespace
+}  // namespace slpspan

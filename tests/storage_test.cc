@@ -17,6 +17,7 @@
 #include "slpspan/textgen.h"
 #include "storage/bundle_format.h"
 #include "storage/prepared_bundle.h"
+#include "storage/spill_store.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -439,6 +440,101 @@ TEST(SizeAwareAdmission, OversizedEntryDoesNotThrashTheShard) {
   EXPECT_GT(Runtime::cache_stats().admission_rejects, rejects_before);
   EXPECT_EQ(1u, resident->cache_stats().entries)
       << "rejecting the oversized entry must not evict the resident one";
+}
+
+// ------------------------------------------------------ warm-start index ----
+
+// The spill.index fast path must reproduce exactly what the stat walk would
+// have found: same entries, same byte totals, and the LRU order the last
+// process left behind (MRU first), so budget reclamation after a restart
+// still deletes the coldest bundles first.
+TEST(SpillIndex, RestartAdoptsIndexAndPreservesLruOrder) {
+  const std::string dir = FreshDir("spill_index_warm");
+  const std::string image_a(100, 'a');
+  const std::string image_b(100, 'b');
+  const std::string image_c(100, 'c');
+  {
+    Result<std::unique_ptr<storage::SpillStore>> store =
+        storage::SpillStore::Open({.directory = dir});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(1, 10, image_a).ok());
+    ASSERT_TRUE((*store)->Put(2, 10, image_b).ok());
+    ASSERT_TRUE((*store)->Put(3, 10, image_c).ok());
+    // Three Puts are below the flush interval: only the destructor's final
+    // flush can produce the index the next Open adopts.
+    EXPECT_EQ(0u, (*store)->GetStats().index_writes);
+  }
+  ASSERT_TRUE(fs::exists(dir + "/" + storage::kSpillIndexFileName));
+
+  Result<std::unique_ptr<storage::SpillStore>> warm =
+      storage::SpillStore::Open({.directory = dir});
+  ASSERT_TRUE(warm.ok());
+  const storage::SpillStore::Stats stats = (*warm)->GetStats();
+  EXPECT_TRUE(stats.warmed_from_index);
+  EXPECT_EQ(3u, stats.entries);
+  EXPECT_EQ(300u, stats.bytes);
+  EXPECT_TRUE((*warm)->Contains(1, 10));
+  EXPECT_TRUE((*warm)->Contains(2, 10));
+  EXPECT_TRUE((*warm)->Contains(3, 10));
+
+  // A third process with a budget for one bundle must keep the bundle that
+  // was most recently used *two* processes ago — order came from the index.
+  { std::unique_ptr<storage::SpillStore> flush = std::move(*warm); }
+  Result<std::unique_ptr<storage::SpillStore>> tight =
+      storage::SpillStore::Open({.directory = dir, .byte_budget = 150});
+  ASSERT_TRUE(tight.ok());
+  EXPECT_TRUE((*tight)->GetStats().warmed_from_index);
+  EXPECT_TRUE((*tight)->Contains(3, 10)) << "MRU bundle must survive";
+  EXPECT_FALSE((*tight)->Contains(1, 10));
+  EXPECT_FALSE((*tight)->Contains(2, 10));
+}
+
+// A corrupt, truncated, or stale index is a hint that failed validation:
+// Open must fall back to the stat walk and still see every bundle.
+TEST(SpillIndex, CorruptOrStaleIndexFallsBackToStatWalk) {
+  const std::string dir = FreshDir("spill_index_corrupt");
+  {
+    Result<std::unique_ptr<storage::SpillStore>> store =
+        storage::SpillStore::Open({.directory = dir});
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(7, 70, std::string(64, 'x')).ok());
+    ASSERT_TRUE((*store)->Put(8, 70, std::string(64, 'y')).ok());
+  }
+  const std::string index_path = dir + "/" + storage::kSpillIndexFileName;
+  const std::string good_index = ReadFile(index_path);
+  ASSERT_FALSE(good_index.empty());
+
+  // Corruption: flip a payload byte, truncate, or scribble the magic.
+  for (const std::string& bad :
+       {[&] {
+          std::string b = good_index;
+          b[b.size() - 1] ^= 0x41;
+          return b;
+        }(),
+        good_index.substr(0, good_index.size() / 2), std::string("SPIX")}) {
+    WriteFile(index_path, bad);
+    Result<std::unique_ptr<storage::SpillStore>> store =
+        storage::SpillStore::Open({.directory = dir});
+    ASSERT_TRUE(store.ok());
+    const storage::SpillStore::Stats stats = (*store)->GetStats();
+    EXPECT_FALSE(stats.warmed_from_index);
+    EXPECT_EQ(2u, stats.entries) << "fallback walk must find every bundle";
+    EXPECT_TRUE((*store)->Contains(7, 70));
+    EXPECT_TRUE((*store)->Contains(8, 70));
+    // Leave a fresh, valid index behind for the next iteration's overwrite.
+  }
+
+  // Staleness: a bundle deleted behind the store's back must invalidate the
+  // index (names no longer match), not resurrect a phantom entry.
+  ASSERT_TRUE(
+      fs::remove(dir + "/" + storage::SpillFileName(8, 70)));
+  Result<std::unique_ptr<storage::SpillStore>> stale =
+      storage::SpillStore::Open({.directory = dir});
+  ASSERT_TRUE(stale.ok());
+  EXPECT_FALSE((*stale)->GetStats().warmed_from_index);
+  EXPECT_EQ(1u, (*stale)->GetStats().entries);
+  EXPECT_TRUE((*stale)->Contains(7, 70));
+  EXPECT_FALSE((*stale)->Contains(8, 70));
 }
 
 TEST(Recharge, LazyCountTablesAreChargedWhenMaterialized) {

@@ -52,9 +52,21 @@ raw-socket-outside-net
     to the network through the net:: wrappers so fd lifetimes, EINTR
     retries and nonblocking setup live in one audited layer.
 
+catalog-io-outside-storage-corpus
+    The checksummed on-disk container surface — the bundle/catalog magics,
+    Checksum64, SealBundle/OpenBundle, WriteFileAtomic and the spill-index
+    file name — may appear only under src/storage/ and src/corpus/. Other
+    layers read and write those files through the typed APIs (bundle
+    round-trips, Catalog::Serialize/Deserialize, SpillStore), so every
+    byte-level format decision and its corruption handling stays in two
+    audited directories. (BundleWriter/BundleReader as pure in-memory
+    codecs are fine anywhere — the net framing reuses them — it is the
+    *file container* surface that is fenced.)
+
 docs-presence
     docs/ARCHITECTURE.md, docs/PREPARATION.md, docs/STATIC_ANALYSIS.md,
-    docs/KERNELS.md and docs/WIRE_PROTOCOL.md exist and are non-empty.
+    docs/KERNELS.md, docs/WIRE_PROTOCOL.md and docs/CORPUS.md exist and
+    are non-empty.
 
 Suppressions
 ------------
@@ -76,6 +88,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 USER_INPUT_REACHABLE = [
     "src/api/",
     "src/storage/",
+    "src/corpus/",
     "src/spanner/regex_parser",
     "src/spanner/regex_compile",
     "src/slp/serialize",
@@ -97,6 +110,13 @@ ACCESS_TMPL = (r"\b{name}\s*\.\s*value\s*\(\)|\*\s*{name}\b|"
 
 AVX2_RE = re.compile(r"\b_mm256_\w+|\b__m256i?\b|immintrin\.h")
 
+# File-container surface only: BundleWriter/BundleReader are excluded on
+# purpose (src/net/frame.cc reuses them as in-memory codecs).
+CATALOG_IO_RE = re.compile(
+    r"\bkBundleMagic\b|\bkCatalogMagic\b|\bChecksum64\s*\(|"
+    r"\bSealBundle\s*\(|\bOpenBundle\s*\(|\bWriteFileAtomic\s*\(|"
+    r"\bkSpillIndexFileName\b")
+
 RAW_SOCKET_RE = re.compile(
     r"<sys/socket\.h>|<sys/epoll\.h>|<netinet/|<arpa/inet\.h>|"
     r"<sys/eventfd\.h>|\bepoll_(create1?|ctl|wait)\s*\(|\beventfd\s*\(|"
@@ -108,6 +128,7 @@ REQUIRED_DOCS = [
     "docs/STATIC_ANALYSIS.md",
     "docs/KERNELS.md",
     "docs/WIRE_PROTOCOL.md",
+    "docs/CORPUS.md",
 ]
 
 
@@ -260,6 +281,26 @@ def check_raw_socket_outside_net(root, findings):
                          "handling stays in one audited layer"))
 
 
+def check_catalog_io_outside_storage_corpus(root, findings):
+    rule = "catalog-io-outside-storage-corpus"
+    for path in list_source_files(root):
+        rel = relpath(root, path)
+        if rel.startswith("src/storage/") or rel.startswith("src/corpus/"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if allowed(line, rule):
+                    continue
+                m = CATALOG_IO_RE.search(strip_comment(line))
+                if m:
+                    findings.append(
+                        (rel, lineno, rule,
+                         f"container-format symbol '{m.group(0)}' outside "
+                         "src/storage/ and src/corpus/; go through the "
+                         "typed bundle/catalog APIs so the on-disk format "
+                         "stays in two audited layers"))
+
+
 def check_docs_presence(root, findings):
     rule = "docs-presence"
     for doc in REQUIRED_DOCS:
@@ -275,6 +316,7 @@ CHECKS = [
     check_unchecked_result_value,
     check_avx2_outside_kernels,
     check_raw_socket_outside_net,
+    check_catalog_io_outside_storage_corpus,
     check_docs_presence,
 ]
 
@@ -309,6 +351,10 @@ SEEDED = {
     "raw-socket-outside-net": (
         "src/runtime/seeded_socket.cc",
         "// seeded self-test file\n#include <sys/socket.h>\n"),
+    "catalog-io-outside-storage-corpus": (
+        "src/runtime/seeded_catalog.cc",
+        "// seeded self-test file\n"
+        "void F() { storage::WriteFileAtomic(p, bytes); }\n"),
     "docs-presence": (None, None),  # tested by simply omitting the docs
 }
 

@@ -22,6 +22,10 @@
 //                     [--op=check|count|extract] [--limit=N]
 //                     [--priority=interactive|batch|background]
 //                     [--deadline-ms=T]
+//   slpspan corpus    build <dir>
+//   slpspan corpus    query <dir> <pattern> [--op=check|count|extract]
+//                     [--limit=N] [--threads=N] [--alphabet=CHARS]
+//                     [--no-prefilter] [--no-share] [--verbose]
 //
 // `extract` streams span-tuples through Engine::Extract with early exit at
 // --limit (Theorem 8.10; tuples past the limit are never computed), `count`
@@ -59,6 +63,17 @@
 // report. `query` is the matching client: one request against a running
 // server, results printed as span lists (document text is not echoed — the
 // client only has spans, by design).
+//
+// `corpus build` ingests a directory of .slp files into its checksummed
+// "corpus.catalog" (fingerprints, sizes, pre-filter summaries; identical
+// grammars share one entry). `corpus query` runs one compiled pattern over
+// the whole catalogued corpus: documents refuted by the summary pre-filter
+// are skipped without touching their grammar, survivors are evaluated on a
+// Session worker pool sharing one cross-document product memo, and results
+// stream in catalog order. `--no-prefilter` / `--no-share` disable the two
+// optimizations (results are bit-identical; only the work changes) and the
+// run ends with a corpus report: scanned/skipped/evaluated/matched counts
+// and the corpus-wide memo hit rate.
 //
 // `prepare` exports the prepared state for one (document, pattern) pair as a
 // bundle: `-o file.prep` for an explicit artifact, `--spill-dir=DIR` to drop
@@ -120,7 +135,12 @@ int Usage() {
                "  slpspan query --connect=HOST:PORT <document> <pattern> "
                "[--op=check|count|extract]\n"
                "                [--limit=N] [--priority=interactive|batch|"
-               "background] [--deadline-ms=T]\n");
+               "background] [--deadline-ms=T]\n"
+               "  slpspan corpus build <dir>\n"
+               "  slpspan corpus query <dir> <pattern> "
+               "[--op=check|count|extract] [--limit=N]\n"
+               "                [--threads=N] [--alphabet=CHARS] "
+               "[--no-prefilter] [--no-share] [--verbose]\n");
   return 2;
 }
 
@@ -145,6 +165,8 @@ struct Flags {
   uint64_t drain_ms = 5000;           // serve: graceful-drain timeout
   uint64_t duration_ms = 0;           // serve: 0 = run until stdin EOF
   bool async = false;        // batch: Submit/Ticket path instead of EvalBatch
+  bool no_prefilter = false;  // corpus query: disable the summary pre-filter
+  bool no_share = false;      // corpus query: isolate every preparation
   bool rebalance = false;
   bool verbose = false;      // prepare: print PrepareStats
   bool naive = false;        // prepare: disable product memoization
@@ -209,6 +231,10 @@ Flags ParseFlags(int argc, char** argv) {
       flags.parse_error |= !ParseUint(arg.substr(14), &flags.duration_ms);
     } else if (arg == "--async") {
       flags.async = true;
+    } else if (arg == "--no-prefilter") {
+      flags.no_prefilter = true;
+    } else if (arg == "--no-share") {
+      flags.no_share = true;
     } else if (arg.rfind("--spill-dir=", 0) == 0) {
       flags.spill_dir = arg.substr(12);
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -828,6 +854,127 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------- corpus ----
+
+int CmdCorpusBuild(const Flags& flags) {
+  if (flags.positional.size() != 2) return Usage();
+  const auto start = std::chrono::steady_clock::now();
+  // rebuild = true: "build" is the explicit re-ingest command; plain
+  // "corpus query" adopts a fresh catalog without it.
+  Result<std::unique_ptr<Corpus>> corpus =
+      Corpus::Open(flags.positional[1], {.rebuild = true});
+  if (!corpus.ok()) return Fail(corpus.status());
+  uint64_t files = 0;
+  for (const Corpus::DocumentInfo& d : (*corpus)->documents()) {
+    files += 1 + d.aliases.size();
+  }
+  std::printf("catalogued %llu distinct document(s) across %llu file(s) in "
+              "%.1f ms\n",
+              static_cast<unsigned long long>((*corpus)->documents().size()),
+              static_cast<unsigned long long>(files), MillisSince(start));
+  return 0;
+}
+
+int CmdCorpusQuery(const Flags& flags) {
+  if (flags.positional.size() != 3) return Usage();
+  EngineRequest::Op op = EngineRequest::Op::kExtract;
+  if (flags.op == "check") op = EngineRequest::Op::kIsNonEmpty;
+  else if (flags.op == "count") op = EngineRequest::Op::kCount;
+  else if (flags.op != "extract") return Usage();
+
+  Result<std::unique_ptr<Corpus>> corpus = Corpus::Open(flags.positional[1]);
+  if (!corpus.ok()) return Fail(corpus.status());
+  Result<Query> query = Query::Compile(flags.positional[2], flags.alphabet);
+  if (!query.ok()) return Fail(query.status());
+
+  CorpusEvalOptions opts;
+  opts.threads = static_cast<uint32_t>(flags.threads);
+  if (op == EngineRequest::Op::kExtract) opts.limit = flags.limit;
+  opts.prefilter = !flags.no_prefilter;
+  opts.share_memo = !flags.no_share;
+
+  const VariableSet& vars = query->vars();
+  const auto start = std::chrono::steady_clock::now();
+  CorpusEvalStats stats;
+  const Status st = (*corpus)->Eval(
+      *query, op, opts,
+      [&](const CorpusDocResult& r) {
+        if (!r.output.ok()) {
+          std::fprintf(stderr, "%s: %s\n", r.name.c_str(),
+                       r.output.status().ToString().c_str());
+          return true;  // a bad document fails alone, the run continues
+        }
+        const EngineOutput& out = *r.output;
+        switch (op) {
+          case EngineRequest::Op::kIsNonEmpty:
+            if (out.nonempty) std::printf("%s\n", r.name.c_str());
+            break;
+          case EngineRequest::Op::kCount:
+            if (out.count.value > 0) {
+              std::printf("%s\t%llu%s\n", r.name.c_str(),
+                          static_cast<unsigned long long>(out.count.value),
+                          out.count.exact ? "" : "+");
+            }
+            break;
+          case EngineRequest::Op::kExtract:
+            if (!out.tuples.empty()) {
+              std::printf("%s\t%llu tuple(s)\n", r.name.c_str(),
+                          static_cast<unsigned long long>(out.tuples.size()));
+              if (flags.verbose) {
+                for (const SpanTuple& t : out.tuples) {
+                  std::printf(" ");
+                  for (VarId v = 0; v < t.num_vars(); ++v) {
+                    if (!t.Get(v).has_value()) {
+                      std::printf(" %s=_", vars.Name(v).c_str());
+                      continue;
+                    }
+                    std::printf(" %s=[%llu,%llu>", vars.Name(v).c_str(),
+                                static_cast<unsigned long long>(t.Get(v)->begin),
+                                static_cast<unsigned long long>(t.Get(v)->end));
+                  }
+                  std::printf("\n");
+                }
+              }
+            }
+            break;
+        }
+        return true;
+      },
+      &stats);
+  if (!st.ok()) return Fail(st);
+
+  std::printf("-- %llu scanned, %llu skipped by pre-filter, %llu evaluated, "
+              "%llu failed, %llu matched in %.1f ms\n",
+              static_cast<unsigned long long>(stats.docs_scanned),
+              static_cast<unsigned long long>(stats.docs_skipped),
+              static_cast<unsigned long long>(stats.docs_evaluated),
+              static_cast<unsigned long long>(stats.docs_failed),
+              static_cast<unsigned long long>(stats.docs_matched),
+              MillisSince(start));
+  if (stats.docs_prepared > 0) {
+    std::printf("-- %llu prepared; %llu matrix ops, %llu memo hits "
+                "(%.1f%% corpus-wide)%s\n",
+                static_cast<unsigned long long>(stats.docs_prepared),
+                static_cast<unsigned long long>(stats.prepare_products),
+                static_cast<unsigned long long>(stats.prepare_memo_hits),
+                100.0 * stats.memo_hit_rate(),
+                opts.share_memo ? "" : " [isolated]");
+  }
+  if (stats.memo_fallbacks > 0) {
+    std::printf("-- shared memo full: %llu preparation(s) fell back to "
+                "isolated memos\n",
+                static_cast<unsigned long long>(stats.memo_fallbacks));
+  }
+  return stats.docs_matched > 0 ? 0 : 3;
+}
+
+int CmdCorpus(const Flags& flags) {
+  if (flags.positional.empty()) return Usage();
+  if (flags.positional[0] == "build") return CmdCorpusBuild(flags);
+  if (flags.positional[0] == "query") return CmdCorpusQuery(flags);
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -846,5 +993,6 @@ int main(int argc, char** argv) {
   if (cmd == "batch") return CmdBatch(flags);
   if (cmd == "serve") return CmdServe(flags);
   if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "corpus") return CmdCorpus(flags);
   return Usage();
 }
