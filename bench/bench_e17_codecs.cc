@@ -1,0 +1,193 @@
+// Experiment E17 — what the bundle codec layer buys on disk.
+//
+// Over the E11 storage workloads (log 1k / log 16k / dna 256k), export the
+// prepared state under the legacy v1 format and under format v2 with each
+// codec preference, and compare bundle sizes. The acceptance bar, asserted
+// by exit code:
+//
+//   (a) corpus-wide, sum(v1 bytes) / sum(auto bytes) >= 1.5x — the
+//       tentpole compression claim;
+//   (b) the default (kAuto) is never larger than any fixed codec choice
+//       (it picks the smallest eligible encoding per stream);
+//   (c) every bundle, under every codec, loads back and answers Count
+//       identically to the in-memory preparation — compression never
+//       trades away correctness.
+//
+// Also reports disk-warm load time per codec so the E11 ≥10× disk-warm
+// story can be sanity-checked against the decode cost (v2 decoding is
+// sequential stream work over fewer bytes; E11 itself still enforces its
+// bar on the default path).
+//
+// Emits one JSON document ("JSON: " line and --json=PATH) extending the
+// BENCH_*.json trajectory.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "slpspan/slpspan.h"
+#include "slpspan/textgen.h"
+
+namespace slpspan {
+namespace {
+
+std::string TempDir() {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "slpspan_e17").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+struct CodecChoice {
+  const char* name;
+  BundleCodec codec;
+};
+
+constexpr CodecChoice kChoices[] = {
+    {"v1", BundleCodec::kV1},           {"raw", BundleCodec::kRaw},
+    {"varintgb", BundleCodec::kVarintGB}, {"bitpack", BundleCodec::kBitPack},
+    {"eliasfano", BundleCodec::kEliasFano}, {"auto", BundleCodec::kAuto}};
+
+bool CodecSweep(const std::string& dir, bench::Json* json) {
+  bench::Table table("E17: bundle bytes per codec (v1 = legacy format)",
+                     {"workload", "v1 (KiB)", "raw", "varintgb", "bitpack",
+                      "eliasfano", "auto", "v1/auto", "t_load auto (us)"});
+
+  struct Workload {
+    const char* name;
+    std::string text;
+    const char* pattern;
+    std::string alphabet;
+  };
+  std::string ascii;
+  for (char c = 32; c < 127; ++c) ascii += c;
+  ascii += '\n';
+  const Workload workloads[] = {
+      {"log 1k lines", GenerateLog({.lines = 1000, .seed = 5}),
+       ".*user=x{u[0-9]+}.*", ascii},
+      {"log 16k lines", GenerateLog({.lines = 16000, .seed = 6}),
+       ".*user=x{u[0-9]+}.*", ascii},
+      {"dna 256k",
+       GenerateDna({.length = 1 << 18, .motif_rate = 0.001, .seed = 7}),
+       ".*x{ACGTACGT}.*", "ACGT"},
+  };
+
+  bool ok = true;
+  uint64_t sum_v1 = 0, sum_auto = 0;
+  std::vector<std::string> rows;
+  int wi = 0;
+  for (const Workload& w : workloads) {
+    ++wi;
+    Result<Query> query = Query::Compile(w.pattern, w.alphabet);
+    SLPSPAN_CHECK(query.ok());
+    const DocumentPtr doc = *Document::FromText(w.text);
+    const uint64_t expected = Engine(*query, doc).Count()->value;
+
+    uint64_t bytes[std::size(kChoices)] = {};
+    double t_load_auto = 0;
+    for (size_t c = 0; c < std::size(kChoices); ++c) {
+      const std::string path = dir + "/w" + std::to_string(wi) + "_" +
+                               kChoices[c].name + ".prep";
+      SLPSPAN_CHECK(
+          doc->SavePrepared(*query, path, nullptr, kChoices[c].codec).ok());
+      bytes[c] = std::filesystem::file_size(path);
+
+      // (c) correctness under every codec: load into a fresh wrapper and
+      // re-answer Count.
+      const DocumentPtr warm = Document::FromSlp(doc->slp());
+      const double t_load = bench::TimeSeconds([&] {
+        const DocumentPtr fresh = Document::FromSlp(doc->slp());
+        SLPSPAN_CHECK(fresh->LoadPrepared(*query, path).ok());
+        SLPSPAN_CHECK(Engine(*query, fresh).Count().ok());
+      });
+      SLPSPAN_CHECK(warm->LoadPrepared(*query, path).ok());
+      if (Engine(*query, warm).Count()->value != expected) {
+        std::fprintf(stderr, "E17 FAIL: %s/%s loads a wrong count\n", w.name,
+                     kChoices[c].name);
+        ok = false;
+      }
+      if (kChoices[c].codec == BundleCodec::kAuto) t_load_auto = t_load;
+    }
+
+    const uint64_t v1 = bytes[0], auto_bytes = bytes[std::size(kChoices) - 1];
+    sum_v1 += v1;
+    sum_auto += auto_bytes;
+    // (b) auto is the per-stream minimum; no fixed choice may beat it.
+    for (size_t c = 0; c < std::size(kChoices); ++c) {
+      if (auto_bytes > bytes[c]) {
+        std::fprintf(stderr, "E17 FAIL: %s auto (%llu B) > %s (%llu B)\n",
+                     w.name, static_cast<unsigned long long>(auto_bytes),
+                     kChoices[c].name,
+                     static_cast<unsigned long long>(bytes[c]));
+        ok = false;
+      }
+    }
+
+    table.AddRow(
+        {w.name, bench::FmtDouble(static_cast<double>(v1) / 1024, 1),
+         bench::FmtDouble(static_cast<double>(bytes[1]) / 1024, 1),
+         bench::FmtDouble(static_cast<double>(bytes[2]) / 1024, 1),
+         bench::FmtDouble(static_cast<double>(bytes[3]) / 1024, 1),
+         bench::FmtDouble(static_cast<double>(bytes[4]) / 1024, 1),
+         bench::FmtDouble(static_cast<double>(auto_bytes) / 1024, 1),
+         bench::FmtDouble(static_cast<double>(v1) / auto_bytes, 2),
+         bench::FmtMicros(t_load_auto)});
+    bench::Json row;
+    row.Put("workload", std::string(w.name));
+    for (size_t c = 0; c < std::size(kChoices); ++c) {
+      row.Put(std::string("bytes_") + kChoices[c].name, bytes[c]);
+    }
+    row.Put("t_load_auto_us", t_load_auto * 1e6);
+    rows.push_back(row.Str());
+  }
+  table.Print();
+
+  const double ratio = static_cast<double>(sum_v1) / sum_auto;
+  std::printf("\nE17 corpus compression: %llu -> %llu bytes (%.2fx)\n",
+              static_cast<unsigned long long>(sum_v1),
+              static_cast<unsigned long long>(sum_auto), ratio);
+  // (a) the tentpole bar.
+  if (ratio < 1.5) {
+    std::fprintf(stderr, "E17 FAIL: corpus ratio %.2fx < 1.5x bar\n", ratio);
+    ok = false;
+  }
+  json->PutRaw("e17_codecs", bench::Json::Array(rows));
+  json->Put("e17_sum_v1_bytes", sum_v1);
+  json->Put("e17_sum_auto_bytes", sum_auto);
+  json->Put("e17_corpus_ratio", ratio);
+  json->Put("e17_ratio_15x", std::string(ratio >= 1.5 ? "true" : "false"));
+  return ok;
+}
+
+}  // namespace
+}  // namespace slpspan
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  const std::string dir = slpspan::TempDir();
+  slpspan::bench::Json json;
+  json.Put("bench", std::string("e17_codecs"));
+  const bool ok = slpspan::CodecSweep(dir, &json);
+  std::filesystem::remove_all(dir);
+
+  const std::string out = json.Str();
+  std::printf("\nJSON: %s\n", out.c_str());
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << out << "\n";
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return ok ? 0 : 1;
+}

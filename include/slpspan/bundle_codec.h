@@ -1,0 +1,28 @@
+// BundleCodec — the public knob selecting how an exported ".prep" bundle
+// encodes its integer sections (Document::SavePrepared, `slpspan prepare
+// --codec=`). The default, kAuto, writes format v2 and picks the smallest
+// eligible encoding per section; kV1 reproduces the legacy v1 format
+// byte-for-byte (v1 bundles stay readable forever). Every other value
+// forces one codec family for all codec-bearing sections — chiefly useful
+// for tests, benchmarks and the CI codec matrix. Loading is always
+// automatic: the reader follows the per-section tags, so the codec used to
+// write a bundle never needs to be known to read it. See
+// docs/STORAGE_CODECS.md.
+
+#ifndef SLPSPAN_PUBLIC_BUNDLE_CODEC_H_
+#define SLPSPAN_PUBLIC_BUNDLE_CODEC_H_
+
+namespace slpspan {
+
+enum class BundleCodec {
+  kV1,        ///< legacy format v1, byte-for-byte (no per-section codecs)
+  kRaw,       ///< format v2, every section tagged raw (uncompressed)
+  kVarintGB,  ///< format v2, group-varint integer streams
+  kBitPack,   ///< format v2, block-bitpacked integer streams
+  kEliasFano, ///< format v2, Elias-Fano position lists (other streams raw)
+  kAuto,      ///< format v2, smallest eligible encoding per section
+};
+
+}  // namespace slpspan
+
+#endif  // SLPSPAN_PUBLIC_BUNDLE_CODEC_H_

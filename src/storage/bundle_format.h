@@ -4,13 +4,18 @@
 // Layout (all integers little-endian, fixed width):
 //
 //   magic      8   "SLPPREP\n"
-//   version    u32 (kBundleVersion)
+//   version    u32 (1 or 2; kBundleVersion is what new bundles write)
 //   flags      u32 (bit 0: counter section present)
 //   doc_fp     u64 fingerprint of the *base* document grammar
 //   query_fp   u64 fingerprint of the compiled query
 //   payload    u64 byte length of everything after the header
 //   checksum   u64 Checksum64 of the payload bytes
 //   <payload>      sections: grammar, eval tables, optional counter
+//
+// Version 2 keeps the header identical and changes only the payload
+// sections: integer streams carry a per-section codec tag (see
+// src/storage/codec/codec.h and docs/STORAGE_CODECS.md). Version 1
+// bundles remain readable byte-for-byte.
 //
 // Readers are strictly bounds-checked: every primitive read validates the
 // remaining length first, so truncated or corrupt input surfaces as a
@@ -32,7 +37,8 @@ namespace slpspan {
 namespace storage {
 
 inline constexpr char kBundleMagic[8] = {'S', 'L', 'P', 'P', 'R', 'E', 'P', '\n'};
-inline constexpr uint32_t kBundleVersion = 1;
+inline constexpr uint32_t kBundleVersionV1 = 1;
+inline constexpr uint32_t kBundleVersion = 2;
 inline constexpr uint32_t kBundleFlagHasCounter = 1u << 0;
 inline constexpr size_t kBundleHeaderSize = 8 + 4 + 4 + 8 + 8 + 8 + 8;
 
@@ -131,6 +137,13 @@ class BundleReader {
     data_ += size;
     return Status::OK();
   }
+  /// Advances past `size` bytes without copying (zero-copy decoders read
+  /// through cursor() first, then consume the range).
+  Status Skip(size_t size) {
+    if (remaining() < size) return Truncated();
+    data_ += size;
+    return Status::OK();
+  }
 
  private:
   static Status Truncated() { return Status::Corruption("truncated bundle"); }
@@ -148,12 +161,14 @@ struct BundleHeader {
 };
 
 /// Prepends a header (with the payload's size and CRC filled in) to
-/// `payload` and returns the complete bundle image.
-std::string SealBundle(uint32_t flags, uint64_t doc_fp, uint64_t query_fp,
-                       std::string payload);
+/// `payload` and returns the complete bundle image. `version` must be a
+/// version the reader accepts (kBundleVersionV1 or kBundleVersion) and
+/// must match the section layout the payload was written in.
+std::string SealBundle(uint32_t version, uint32_t flags, uint64_t doc_fp,
+                       uint64_t query_fp, std::string payload);
 
-/// Validates magic, version, payload bounds and CRC of a complete bundle
-/// image; on success the payload spans
+/// Validates magic, version (1 and 2 are accepted), payload bounds and CRC
+/// of a complete bundle image; on success the payload spans
 /// [data + kBundleHeaderSize, data + kBundleHeaderSize + header.payload_size).
 Result<BundleHeader> OpenBundle(const uint8_t* data, size_t size);
 

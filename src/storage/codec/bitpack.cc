@@ -1,0 +1,102 @@
+// Block bitpacking (SIMD-BP128 style): 128-value blocks, each stored as a
+// width byte (the block's max significant bit count, 0..64) followed by
+// ceil(count*width/8) bytes of LSB-first packed bits. A block of zeros
+// costs one byte; the per-nt index arrays of real bundles pack to the
+// pool's log2 in bits instead of 16 or 32. Unpacking dispatches through
+// BitPackOps (scalar / AVX2).
+#include <bit>
+#include <cstring>
+
+#include "core/kernels/kernels.h"
+#include "storage/codec/bitpack.h"
+#include "storage/codec/codec.h"
+
+namespace slpspan {
+namespace storage {
+namespace codec {
+
+namespace {
+
+constexpr size_t kBlockSize = 128;
+
+inline size_t PackedBytes(size_t count, unsigned width) {
+  return (count * width + 7) / 8;
+}
+
+class BitPackCodecImpl final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kBitPack; }
+  const char* name() const override { return "bitpack"; }
+
+  void Encode(const uint64_t* values, size_t count,
+              BundleWriter* w) const override {
+    for (size_t base = 0; base < count; base += kBlockSize) {
+      const size_t n = count - base < kBlockSize ? count - base : kBlockSize;
+      uint64_t max = 0;
+      for (size_t i = 0; i < n; ++i) max |= values[base + i];
+      const unsigned width = static_cast<unsigned>(std::bit_width(max));
+      w->U8(static_cast<uint8_t>(width));
+      unsigned __int128 acc = 0;
+      unsigned acc_bits = 0;
+      for (size_t i = 0; i < n; ++i) {
+        acc |= static_cast<unsigned __int128>(values[base + i]) << acc_bits;
+        acc_bits += width;
+        while (acc_bits >= 8) {
+          w->U8(static_cast<uint8_t>(acc));
+          acc >>= 8;
+          acc_bits -= 8;
+        }
+      }
+      if (acc_bits > 0) w->U8(static_cast<uint8_t>(acc));
+    }
+  }
+
+  Status Decode(BundleReader* r, size_t count,
+                std::vector<uint64_t>* out) const override {
+    // Minimum size: one width byte per block (an all-zero stream). The
+    // division form is overflow-proof for adversarial counts.
+    if (count / kBlockSize > r->remaining() ||
+        r->remaining() < (count + kBlockSize - 1) / kBlockSize) {
+      return Status::Corruption("truncated bitpack stream");
+    }
+    out->resize(count);
+    const BitPackOps& ops = ActiveBitPackOps();
+    for (size_t base = 0; base < count; base += kBlockSize) {
+      const size_t n = count - base < kBlockSize ? count - base : kBlockSize;
+      uint8_t width = 0;
+      Status st = r->U8(&width);
+      if (!st.ok()) return st;
+      if (width > 64) return Status::Corruption("bitpack width out of range");
+      const size_t bytes = PackedBytes(n, width);
+      const uint8_t* src = r->cursor();
+      st = r->Skip(bytes);
+      if (!st.ok()) return st;
+      ops.unpack(src, width, n, out->data() + base);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Codec& BitPackCodec() {
+  static const BitPackCodecImpl codec;
+  return codec;
+}
+
+const BitPackOps& ActiveBitPackOps() {
+  // Resolved once, from the matrix-kernel dispatch: that layer already
+  // folds in CPUID and the SLPSPAN_KERNEL override, so the codec and the
+  // kernels always select the same instruction set.
+  static const BitPackOps* ops = [] {
+    if (std::strcmp(kernels::ActiveKernel().name, "avx2") == 0) {
+      if (const BitPackOps* avx2 = Avx2BitPackOpsImpl()) return avx2;
+    }
+    return &ScalarBitPackOps();
+  }();
+  return *ops;
+}
+
+}  // namespace codec
+}  // namespace storage
+}  // namespace slpspan

@@ -1,0 +1,51 @@
+// Internal dispatch table for the block-bitpacking codec's unpack hot loop,
+// mirroring the src/core/kernels/ pattern: a scalar baseline TU that is
+// always available and an AVX2 TU compiled with -mavx2 in isolation,
+// selected at runtime behind the same CPUID check and SLPSPAN_KERNEL
+// override as the matrix kernels (so the CI kernel matrix exercises both
+// decode paths for free).
+//
+// The packed layout is an LSB-first bit stream over little-endian bytes:
+// value i of a block occupies bits [i*width, (i+1)*width). Packing is
+// scalar-only (encode is off the warm-load critical path); unpacking is
+// what the table accelerates.
+
+#ifndef SLPSPAN_STORAGE_CODEC_BITPACK_H_
+#define SLPSPAN_STORAGE_CODEC_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slpspan {
+namespace storage {
+namespace codec {
+
+/// One instruction-set implementation of the bitpack unpack loop.
+struct BitPackOps {
+  const char* name;
+
+  /// Unpacks `count` values of `width` bits (0 <= width <= 64) from `src`
+  /// into `dst`. `src` holds at least ceil(count*width/8) bytes — the
+  /// caller (BitPackCodec::Decode) has already bounds-checked that length
+  /// against the reader.
+  void (*unpack)(const uint8_t* src, unsigned width, size_t count,
+                 uint64_t* dst);
+};
+
+/// The portable baseline (always available).
+const BitPackOps& ScalarBitPackOps();
+
+/// Internal hook for the -mavx2 translation unit: the raw AVX2 table when
+/// compiled in, else nullptr. Callers go through ActiveBitPackOps(), which
+/// adds the CPUID/dispatch check.
+const BitPackOps* Avx2BitPackOpsImpl();
+
+/// The dispatched table: AVX2 when the matrix-kernel dispatch resolved to
+/// AVX2 (CPUID plus the SLPSPAN_KERNEL override), scalar otherwise.
+const BitPackOps& ActiveBitPackOps();
+
+}  // namespace codec
+}  // namespace storage
+}  // namespace slpspan
+
+#endif  // SLPSPAN_STORAGE_CODEC_BITPACK_H_

@@ -1,0 +1,88 @@
+// AVX2 bitpack unpacking: widening loads for the byte-aligned width
+// classes (8/16/32/64 bits per value), which VarintGB-style data and the
+// matrix-pool index arrays land on constantly; every other width delegates
+// to the scalar shift register. Compiled with -mavx2 in isolation (the
+// codec counterpart of kernels_avx2.cc, allowed by the repo_lint
+// avx2-outside-kernels rule); nothing here executes unless the kernel
+// dispatch resolved to AVX2.
+#include "storage/codec/bitpack.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace slpspan {
+namespace storage {
+namespace codec {
+namespace {
+
+void UnpackAvx2(const uint8_t* src, unsigned width, size_t count,
+                uint64_t* dst) {
+  size_t i = 0;
+  switch (width) {
+    case 8:
+      for (; i + 4 <= count; i += 4, src += 4) {
+        uint32_t quad;
+        std::memcpy(&quad, src, 4);
+        const __m256i v =
+            _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(quad)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+      }
+      break;
+    case 16:
+      for (; i + 4 <= count; i += 4, src += 8) {
+        const __m256i v = _mm256_cvtepu16_epi64(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+      }
+      break;
+    case 32:
+      for (; i + 4 <= count; i += 4, src += 16) {
+        const __m256i v = _mm256_cvtepu32_epi64(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+      }
+      break;
+    case 64:
+      std::memcpy(dst, src, count * 8);
+      return;
+    default:
+      // Non-byte-aligned widths share the scalar shift register.
+      ScalarBitPackOps().unpack(src, width, count, dst);
+      return;
+  }
+  // Byte-aligned tail (fewer than four values left; src has advanced).
+  const size_t bytes = width / 8;
+  for (; i < count; ++i, src += bytes) {
+    uint64_t v = 0;
+    std::memcpy(&v, src, bytes);
+    dst[i] = v;
+  }
+}
+
+}  // namespace
+
+const BitPackOps* Avx2BitPackOpsImpl() {
+  static constexpr BitPackOps ops = {"avx2", UnpackAvx2};
+  return &ops;
+}
+
+}  // namespace codec
+}  // namespace storage
+}  // namespace slpspan
+
+#else  // !defined(__AVX2__)
+
+namespace slpspan {
+namespace storage {
+namespace codec {
+
+const BitPackOps* Avx2BitPackOpsImpl() { return nullptr; }
+
+}  // namespace codec
+}  // namespace storage
+}  // namespace slpspan
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,116 @@
+// Scalar baseline for the bitpack unpack loop. Portable to any target;
+// also the tail/odd-width fallback the AVX2 table delegates to.
+//
+// The hot path is a 64-bit bit-buffer refilled with one unaligned 64-bit
+// load per refill instead of byte-at-a-time: a refill tops the buffer up
+// to >= 57 valid bits, so any width <= 57 needs at most one refill per
+// value. Reads never cross the block's own byte span (exactly
+// ceil(count*width/8) bytes are valid — the stream may end right after),
+// so the loop falls back to byte refills for the last < 8 bytes. Widths
+// 58..64 (values near 2^64, never produced by our streams but legal
+// input) take a 128-bit shift-register slow path.
+#include <cstring>
+
+#include "storage/codec/bitpack.h"
+
+namespace slpspan {
+namespace storage {
+namespace codec {
+
+namespace {
+
+void UnpackWide(const uint8_t* src, unsigned width, size_t count,
+                uint64_t* dst) {
+  const uint64_t mask =
+      width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  unsigned __int128 acc = 0;
+  unsigned acc_bits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    while (acc_bits < width) {
+      acc |= static_cast<unsigned __int128>(*src++) << acc_bits;
+      acc_bits += 8;
+    }
+    dst[i] = static_cast<uint64_t>(acc) & mask;
+    acc >>= width;
+    acc_bits -= width;
+  }
+}
+
+void UnpackScalar(const uint8_t* src, unsigned width, size_t count,
+                  uint64_t* dst) {
+  if (width == 0) {
+    std::memset(dst, 0, count * sizeof(uint64_t));
+    return;
+  }
+  if (width == 64) {
+    std::memcpy(dst, src, count * sizeof(uint64_t));
+    return;
+  }
+  if (width > 57) {
+    UnpackWide(src, width, count, dst);
+    return;
+  }
+  // Byte-aligned widths decode with plain widening loads.
+  if (width == 8) {
+    for (size_t i = 0; i < count; ++i) dst[i] = src[i];
+    return;
+  }
+  if (width == 16) {
+    for (size_t i = 0; i < count; ++i) {
+      uint16_t v;
+      std::memcpy(&v, src + 2 * i, sizeof v);
+      dst[i] = v;
+    }
+    return;
+  }
+  if (width == 32) {
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t v;
+      std::memcpy(&v, src + 4 * i, sizeof v);
+      dst[i] = v;
+    }
+    return;
+  }
+
+  const uint8_t* const end = src + (count * width + 7) / 8;
+  const uint64_t mask = (uint64_t{1} << width) - 1;
+  uint64_t buf = 0;
+  unsigned bits = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (bits < width) {
+      if (end - src >= 8) {
+        uint64_t next;
+        std::memcpy(&next, src, sizeof next);
+        // Consume only the whole bytes that fit above the `bits` valid
+        // bits; mask the rest off so the buffer's upper bits stay zero.
+        const unsigned consumed = (64 - bits) >> 3;
+        if (bits == 0) {
+          buf = next;
+        } else {
+          buf |= (next & ((uint64_t{1} << (8 * consumed)) - 1)) << bits;
+        }
+        src += consumed;
+        bits += 8 * consumed;
+      } else {
+        do {
+          buf |= static_cast<uint64_t>(*src++) << bits;
+          bits += 8;
+        } while (bits < width);
+      }
+    }
+    dst[i] = buf & mask;
+    buf >>= width;
+    bits -= width;
+  }
+}
+
+}  // namespace
+
+const BitPackOps& ScalarBitPackOps() {
+  static constexpr BitPackOps ops = {"scalar", UnpackScalar};
+  return ops;
+}
+
+}  // namespace codec
+}  // namespace storage
+}  // namespace slpspan

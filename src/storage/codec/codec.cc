@@ -1,0 +1,118 @@
+// Codec registry and the tagged-stream helpers every v2 section goes
+// through; the raw (fixed-width) codec lives here too.
+#include "storage/codec/codec.h"
+
+namespace slpspan {
+namespace storage {
+namespace codec {
+
+namespace {
+
+class RawCodecImpl final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kRaw; }
+  const char* name() const override { return "raw"; }
+
+  void Encode(const uint64_t* values, size_t count,
+              BundleWriter* w) const override {
+    for (size_t i = 0; i < count; ++i) w->U64(values[i]);
+  }
+
+  Status Decode(BundleReader* r, size_t count,
+                std::vector<uint64_t>* out) const override {
+    if (r->remaining() / 8 < count) {
+      return Status::Corruption("truncated raw stream");
+    }
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) (void)r->U64(&(*out)[i]);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Codec& RawCodec() {
+  static const RawCodecImpl codec;
+  return codec;
+}
+
+const Codec* CodecById(uint8_t id) {
+  switch (static_cast<CodecId>(id)) {
+    case CodecId::kRaw:
+      return &RawCodec();
+    case CodecId::kVarintGB:
+      return &VarintGBCodec();
+    case CodecId::kBitPack:
+      return &BitPackCodec();
+    case CodecId::kEliasFano:
+      return &EliasFanoCodec();
+  }
+  return nullptr;
+}
+
+void WriteTaggedU64s(const uint64_t* values, size_t count, BundleCodec choice,
+                     StreamKind kind, BundleWriter* w) {
+  const Codec* fixed = nullptr;
+  switch (choice) {
+    case BundleCodec::kV1:  // v1 has no tagged streams; treat as raw
+    case BundleCodec::kRaw:
+      fixed = &RawCodec();
+      break;
+    case BundleCodec::kVarintGB:
+      fixed = &VarintGBCodec();
+      break;
+    case BundleCodec::kBitPack:
+      fixed = &BitPackCodec();
+      break;
+    case BundleCodec::kEliasFano:
+      // Elias-Fano only represents monotone streams; forcing it leaves
+      // general streams raw (the position lists still get EF).
+      fixed = kind == StreamKind::kMonotone ? &EliasFanoCodec() : &RawCodec();
+      break;
+    case BundleCodec::kAuto:
+      break;
+  }
+  if (fixed != nullptr) {
+    w->U8(static_cast<uint8_t>(fixed->id()));
+    fixed->Encode(values, count, w);
+    return;
+  }
+  // Auto: encode with every eligible codec and keep the smallest (raw wins
+  // ties — it is also the fastest to decode). Encode-side only; readers
+  // never re-derive this choice, they follow the tag.
+  const Codec* best = &RawCodec();
+  std::string best_payload;
+  {
+    BundleWriter scratch;
+    best->Encode(values, count, &scratch);
+    best_payload = scratch.TakeBuffer();
+  }
+  std::vector<const Codec*> candidates = {&VarintGBCodec(), &BitPackCodec()};
+  if (kind == StreamKind::kMonotone) candidates.push_back(&EliasFanoCodec());
+  for (const Codec* candidate : candidates) {
+    BundleWriter scratch;
+    candidate->Encode(values, count, &scratch);
+    if (scratch.buffer().size() < best_payload.size()) {
+      best = candidate;
+      best_payload = scratch.TakeBuffer();
+    }
+  }
+  w->U8(static_cast<uint8_t>(best->id()));
+  w->Bytes(best_payload.data(), best_payload.size());
+}
+
+Status ReadTaggedU64s(BundleReader* r, size_t count,
+                      std::vector<uint64_t>* out) {
+  uint8_t id = 0;
+  Status st = r->U8(&id);
+  if (!st.ok()) return st;
+  const Codec* codec = CodecById(id);
+  if (codec == nullptr) {
+    return Status::Corruption("unknown codec tag " + std::to_string(id));
+  }
+  return codec->Decode(r, count, out);
+}
+
+}  // namespace codec
+}  // namespace storage
+}  // namespace slpspan

@@ -1,0 +1,128 @@
+// Elias-Fano encoding of monotone non-decreasing sequences — the sparse
+// matrix and sparse leaf-grid position lists. Each value splits into l low
+// bits (packed) and a high part (unary-coded gaps in a bitvector); with
+// l ~ floor(log2(max/count)) the cost approaches the information-theoretic
+// 2 + log2(universe/count) bits per position.
+//
+// Layout (empty streams encode to zero bytes — the count always comes from
+// surrounding section data): varint max (the last value), one byte l,
+// ceil(count*l/8) bytes of packed low bits, and ceil((count + (max >> l))/8)
+// bytes of high-bits bitvector (for each value, its gap in zeros, then a
+// one).
+#include <bit>
+#include <limits>
+
+#include "storage/codec/bitpack.h"
+#include "storage/codec/codec.h"
+
+namespace slpspan {
+namespace storage {
+namespace codec {
+
+namespace {
+
+class EliasFanoCodecImpl final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kEliasFano; }
+  const char* name() const override { return "eliasfano"; }
+
+  void Encode(const uint64_t* values, size_t count,
+              BundleWriter* w) const override {
+    if (count == 0) return;
+    const uint64_t max = values[count - 1];
+    w->Varint(max);
+    const unsigned l =
+        max / count <= 1
+            ? 0
+            : static_cast<unsigned>(std::bit_width(max / count)) - 1;
+    w->U8(static_cast<uint8_t>(l));
+    // Low bits, packed LSB-first.
+    const uint64_t low_mask = l == 0 ? 0 : (uint64_t{1} << l) - 1;
+    unsigned __int128 acc = 0;
+    unsigned acc_bits = 0;
+    for (size_t i = 0; i < count; ++i) {
+      acc |= static_cast<unsigned __int128>(values[i] & low_mask) << acc_bits;
+      acc_bits += l;
+      while (acc_bits >= 8) {
+        w->U8(static_cast<uint8_t>(acc));
+        acc >>= 8;
+        acc_bits -= 8;
+      }
+    }
+    if (acc_bits > 0) w->U8(static_cast<uint8_t>(acc));
+    // High bits: unary gaps.
+    const size_t high_bits = count + static_cast<size_t>(max >> l);
+    std::vector<uint8_t> high((high_bits + 7) / 8, 0);
+    for (size_t i = 0; i < count; ++i) {
+      const size_t pos = static_cast<size_t>(values[i] >> l) + i;
+      high[pos / 8] |= static_cast<uint8_t>(1u << (pos % 8));
+    }
+    w->Bytes(high.data(), high.size());
+  }
+
+  Status Decode(BundleReader* r, size_t count,
+                std::vector<uint64_t>* out) const override {
+    if (count == 0) {
+      out->clear();
+      return Status::OK();
+    }
+    uint64_t max = 0;
+    Status st = r->Varint(&max);
+    if (!st.ok()) return st;
+    uint8_t l = 0;
+    st = r->U8(&l);
+    if (!st.ok()) return st;
+    if (l > 63) return Status::Corruption("elias-fano low width out of range");
+    const uint64_t hi_last = max >> l;
+    // Validate both array lengths against the remaining payload before any
+    // allocation; all arithmetic is overflow-guarded.
+    constexpr size_t kSizeMax = std::numeric_limits<size_t>::max();
+    if (l != 0 && count > (kSizeMax - 7) / l) {
+      return Status::Corruption("elias-fano low bits overflow");
+    }
+    const size_t low_bytes = (count * static_cast<size_t>(l) + 7) / 8;
+    if (hi_last > kSizeMax - count || count + hi_last > kSizeMax - 7) {
+      return Status::Corruption("elias-fano high bits overflow");
+    }
+    const size_t high_bits = count + static_cast<size_t>(hi_last);
+    const size_t high_bytes = (high_bits + 7) / 8;
+    if (r->remaining() < low_bytes ||
+        r->remaining() - low_bytes < high_bytes) {
+      return Status::Corruption("truncated elias-fano stream");
+    }
+    out->resize(count);
+    const uint8_t* low = r->cursor();
+    (void)r->Skip(low_bytes);
+    ScalarBitPackOps().unpack(low, l, count, out->data());
+    const uint8_t* high = r->cursor();
+    (void)r->Skip(high_bytes);
+    // Walk the unary high bits: the i-th one-bit at overall position p
+    // encodes a high part of p - i.
+    size_t idx = 0;
+    for (size_t pos = 0; pos < high_bits && idx < count; ++pos) {
+      if ((high[pos / 8] >> (pos % 8)) & 1) {
+        const uint64_t hi = static_cast<uint64_t>(pos - idx);
+        if (hi > hi_last) {
+          return Status::Corruption("elias-fano position exceeds universe");
+        }
+        (*out)[idx] |= hi << l;
+        ++idx;
+      }
+    }
+    if (idx != count) {
+      return Status::Corruption("elias-fano high bits exhausted early");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Codec& EliasFanoCodec() {
+  static const EliasFanoCodecImpl codec;
+  return codec;
+}
+
+}  // namespace codec
+}  // namespace storage
+}  // namespace slpspan

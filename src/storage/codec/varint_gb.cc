@@ -1,0 +1,91 @@
+// Group-varint (VarintGB) adapted to u64: four values share one tag byte
+// whose 2-bit fields select a byte length of 1, 2, 4 or 8 per value. One
+// branch-light length lookup replaces the per-byte continuation-bit test of
+// LEB128, and the counter section's small key deltas and counts land in the
+// 1-byte class almost every time.
+#include <cstddef>
+
+#include "storage/codec/codec.h"
+
+namespace slpspan {
+namespace storage {
+namespace codec {
+
+namespace {
+
+constexpr size_t kGroupSize = 4;
+// 2-bit length classes: 0 -> 1 byte, 1 -> 2, 2 -> 4, 3 -> 8.
+constexpr size_t kClassBytes[4] = {1, 2, 4, 8};
+
+inline unsigned LengthClass(uint64_t v) {
+  if (v < (uint64_t{1} << 8)) return 0;
+  if (v < (uint64_t{1} << 16)) return 1;
+  if (v < (uint64_t{1} << 32)) return 2;
+  return 3;
+}
+
+class VarintGBCodecImpl final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kVarintGB; }
+  const char* name() const override { return "varintgb"; }
+
+  void Encode(const uint64_t* values, size_t count,
+              BundleWriter* w) const override {
+    for (size_t base = 0; base < count; base += kGroupSize) {
+      const size_t n = count - base < kGroupSize ? count - base : kGroupSize;
+      uint8_t tag = 0;
+      for (size_t i = 0; i < n; ++i) {
+        tag |= static_cast<uint8_t>(LengthClass(values[base + i]) << (2 * i));
+      }
+      w->U8(tag);
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t v = values[base + i];
+        const size_t bytes = kClassBytes[(tag >> (2 * i)) & 3];
+        for (size_t b = 0; b < bytes; ++b) {
+          w->U8(static_cast<uint8_t>(v >> (8 * b)));
+        }
+      }
+    }
+  }
+
+  Status Decode(BundleReader* r, size_t count,
+                std::vector<uint64_t>* out) const override {
+    // Minimum size: one tag byte per group plus one byte per value.
+    const size_t groups = (count + kGroupSize - 1) / kGroupSize;
+    if (r->remaining() < groups || r->remaining() - groups < count) {
+      return Status::Corruption("truncated varintgb stream");
+    }
+    out->resize(count);
+    for (size_t base = 0; base < count; base += kGroupSize) {
+      const size_t n = count - base < kGroupSize ? count - base : kGroupSize;
+      uint8_t tag = 0;
+      Status st = r->U8(&tag);
+      if (!st.ok()) return st;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t bytes = kClassBytes[(tag >> (2 * i)) & 3];
+        if (r->remaining() < bytes) {
+          return Status::Corruption("truncated varintgb group");
+        }
+        uint64_t v = 0;
+        for (size_t b = 0; b < bytes; ++b) {
+          uint8_t byte = 0;
+          (void)r->U8(&byte);
+          v |= static_cast<uint64_t>(byte) << (8 * b);
+        }
+        (*out)[base + i] = v;
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+const Codec& VarintGBCodec() {
+  static const VarintGBCodecImpl codec;
+  return codec;
+}
+
+}  // namespace codec
+}  // namespace storage
+}  // namespace slpspan

@@ -1,5 +1,11 @@
 // Prepared-state bundles: write a PreparedState to disk and load it back,
 // optionally mmap-backed, with document/query fingerprint verification.
+//
+// Two payload layouts share this file: format v1 (raw sections, still
+// written under BundleCodec::kV1 and readable forever) and format v2,
+// whose sections route their integer streams through the codec layer
+// (src/storage/codec/) behind per-section tags. See docs/STORAGE_CODECS.md
+// for the byte-level v2 map.
 #include "storage/prepared_bundle.h"
 
 #include <unistd.h>
@@ -17,6 +23,7 @@
 #include "core/tables.h"
 #include "slp/slp.h"
 #include "storage/bundle_format.h"
+#include "storage/codec/codec.h"
 #include "storage/mmap_file.h"
 
 namespace slpspan {
@@ -24,8 +31,21 @@ namespace storage {
 
 namespace {
 
+using codec::ReadTaggedU64s;
+using codec::StreamKind;
+using codec::WriteTaggedU64s;
+
+// Per-matrix / per-grid layout tags. kDense/kSparse are the v1 raw layouts
+// (still chosen by v2 writers when they win on size); the coded layouts
+// wrap their streams in codec tags and appear in v2 bundles only.
 constexpr uint8_t kDense = 0;
 constexpr uint8_t kSparse = 1;
+constexpr uint8_t kDenseCoded = 2;
+constexpr uint8_t kSparseCoded = 3;
+
+// Grammar-section tags (v2 only; v1 has no tag byte).
+constexpr uint8_t kGrammarRaw = 0;
+constexpr uint8_t kGrammarCompact = 1;
 
 // ------------------------------------------------------------- grammar ----
 
@@ -63,6 +83,96 @@ Result<Slp> ReadGrammar(BundleReader* r) {
   return Slp::FromRules(rules, root);
 }
 
+// Compact grammar (Takasaka & I spirit): the SLP is topologically numbered
+// — both children of an inner non-terminal have strictly smaller ids — so
+// a rule a -> (left, right) stores the positive deltas a-left and a-right
+// as varints, and a leaf bitmap plus varint terminal symbols covers the
+// rest. Real grammars reference recent non-terminals constantly, so the
+// deltas land in one or two bytes instead of v1's fixed eight per rule.
+void WriteGrammarCompact(const Slp& slp, BundleWriter* w) {
+  const uint32_t n = slp.NumNonTerminals();
+  w->Varint(n);
+  w->Varint(slp.root());
+  std::vector<uint8_t> leaf_bits((n + 7) / 8, 0);
+  for (NtId a = 0; a < n; ++a) {
+    if (slp.IsLeaf(a)) leaf_bits[a / 8] |= static_cast<uint8_t>(1u << (a % 8));
+  }
+  w->Bytes(leaf_bits.data(), leaf_bits.size());
+  for (NtId a = 0; a < n; ++a) {
+    if (slp.IsLeaf(a)) {
+      w->Varint(slp.LeafSymbol(a));
+    } else {
+      w->Varint(a - slp.Left(a));
+      w->Varint(a - slp.Right(a));
+    }
+  }
+}
+
+Result<Slp> ReadGrammarCompact(BundleReader* r) {
+  uint64_t num_nts = 0, root = 0;
+  Status st = r->Varint(&num_nts);
+  if (st.ok()) st = r->Varint(&root);
+  if (!st.ok()) return st;
+  if (num_nts == 0) return Status::Corruption("bundle grammar is empty");
+  if (num_nts > 0xFFFFFFFFull || root > 0xFFFFFFFFull) {
+    return Status::Corruption("bundle grammar id out of range");
+  }
+  const uint32_t n = static_cast<uint32_t>(num_nts);
+  const size_t bitmap_bytes = (static_cast<size_t>(n) + 7) / 8;
+  if (r->remaining() < bitmap_bytes) {
+    return Status::Corruption("truncated bundle grammar");
+  }
+  const uint8_t* leaf_bits = r->cursor();
+  (void)r->Skip(bitmap_bytes);
+  std::vector<std::pair<uint32_t, NtId>> rules;
+  rules.reserve(n);
+  for (uint32_t a = 0; a < n; ++a) {
+    if ((leaf_bits[a / 8] >> (a % 8)) & 1) {
+      uint64_t symbol = 0;
+      st = r->Varint(&symbol);
+      if (!st.ok()) return st;
+      if (symbol > 0xFFFFFFFFull) {
+        return Status::Corruption("bundle grammar symbol out of range");
+      }
+      rules.emplace_back(static_cast<uint32_t>(symbol), kInvalidNt);
+    } else {
+      uint64_t dl = 0, dr = 0;
+      st = r->Varint(&dl);
+      if (st.ok()) st = r->Varint(&dr);
+      if (!st.ok()) return st;
+      // Topological numbering: children are strictly smaller, so both
+      // deltas are in [1, a].
+      if (dl == 0 || dl > a || dr == 0 || dr > a) {
+        return Status::Corruption("bundle grammar child delta out of range");
+      }
+      rules.emplace_back(a - static_cast<uint32_t>(dl),
+                         a - static_cast<uint32_t>(dr));
+    }
+  }
+  return Slp::FromRules(rules, static_cast<uint32_t>(root));
+}
+
+void WriteGrammarV2(const Slp& slp, BundleCodec choice, BundleWriter* w) {
+  if (choice == BundleCodec::kRaw) {
+    w->U8(kGrammarRaw);
+    WriteGrammar(slp, w);
+  } else {
+    w->U8(kGrammarCompact);
+    WriteGrammarCompact(slp, w);
+  }
+}
+
+Result<Slp> ReadGrammarV2(BundleReader* r) {
+  uint8_t tag = 0;
+  Status st = r->U8(&tag);
+  if (!st.ok()) return st;
+  if (tag == kGrammarRaw) return ReadGrammar(r);
+  if (tag != kGrammarCompact) {
+    return Status::Corruption("unknown grammar section tag");
+  }
+  return ReadGrammarCompact(r);
+}
+
 // ------------------------------------------------------------ matrices ----
 
 // Serialization iterates logical words only: the in-memory rows are padded
@@ -97,7 +207,50 @@ void WriteMatrix(const BoolMatrix& m, uint32_t q, BundleWriter* w) {
   }
 }
 
-Status ReadMatrix(BundleReader* r, uint32_t q, BoolMatrix* out) {
+// v2 matrices pick the smaller of two codec-backed layouts: dense-coded
+// (every logical word through one tagged stream) or sparse-coded (the
+// strictly increasing non-zero word positions — Elias-Fano territory —
+// plus the non-zero words themselves).
+void WriteMatrixV2(const BoolMatrix& m, uint32_t q, BundleCodec choice,
+                   BundleWriter* w) {
+  if (choice == BundleCodec::kRaw) {
+    WriteMatrix(m, q, w);
+    return;
+  }
+  const uint32_t words = m.logical_words_per_row();
+  std::vector<uint64_t> all;
+  all.reserve(static_cast<size_t>(q) * words);
+  std::vector<uint64_t> positions, bits;
+  for (uint32_t i = 0; i < q; ++i) {
+    const uint64_t* row = m.Row(i);
+    for (uint32_t k = 0; k < words; ++k) {
+      all.push_back(row[k]);
+      if (row[k] != 0) {
+        positions.push_back(static_cast<uint64_t>(i) * words + k);
+        bits.push_back(row[k]);
+      }
+    }
+  }
+  BundleWriter dense;
+  WriteTaggedU64s(all.data(), all.size(), choice, StreamKind::kGeneral,
+                  &dense);
+  BundleWriter sparse;
+  sparse.U32(static_cast<uint32_t>(positions.size()));
+  WriteTaggedU64s(positions.data(), positions.size(), choice,
+                  StreamKind::kMonotone, &sparse);
+  WriteTaggedU64s(bits.data(), bits.size(), choice, StreamKind::kGeneral,
+                  &sparse);
+  if (sparse.buffer().size() < dense.buffer().size()) {
+    w->U8(kSparseCoded);
+    w->Bytes(sparse.buffer().data(), sparse.buffer().size());
+  } else {
+    w->U8(kDenseCoded);
+    w->Bytes(dense.buffer().data(), dense.buffer().size());
+  }
+}
+
+Status ReadMatrix(BundleReader* r, uint32_t q, bool allow_coded,
+                  BoolMatrix* out) {
   uint8_t format = 0;
   Status st = r->U8(&format);
   if (!st.ok()) return st;
@@ -116,23 +269,62 @@ Status ReadMatrix(BundleReader* r, uint32_t q, BoolMatrix* out) {
     out->CacheRowPopcounts();
     return Status::OK();
   }
-  if (format != kSparse) return Status::Corruption("unknown matrix format");
+  if (format == kSparse) {
+    uint32_t nonzero = 0;
+    st = r->U32(&nonzero);
+    if (!st.ok()) return st;
+    if (r->remaining() < static_cast<size_t>(nonzero) * 12) {
+      return Status::Corruption("truncated sparse matrix");
+    }
+    *out = BoolMatrix(q);
+    for (uint32_t e = 0; e < nonzero; ++e) {
+      uint32_t index = 0;
+      uint64_t bits = 0;
+      (void)r->U32(&index);
+      (void)r->U64(&bits);
+      if (index >= total_words) {
+        return Status::Corruption("sparse matrix word index out of range");
+      }
+      out->MutableRow(index / words)[index % words] = bits;
+    }
+    out->CacheRowPopcounts();
+    return Status::OK();
+  }
+  if (!allow_coded || (format != kDenseCoded && format != kSparseCoded)) {
+    return Status::Corruption("unknown matrix format");
+  }
+  if (format == kDenseCoded) {
+    std::vector<uint64_t> all;
+    st = ReadTaggedU64s(r, total_words, &all);
+    if (!st.ok()) return st;
+    *out = BoolMatrix(q);
+    for (uint32_t i = 0; i < q; ++i) {
+      uint64_t* row = out->MutableRow(i);
+      for (uint32_t k = 0; k < words; ++k) {
+        row[k] = all[static_cast<size_t>(i) * words + k];
+      }
+    }
+    out->CacheRowPopcounts();
+    return Status::OK();
+  }
   uint32_t nonzero = 0;
   st = r->U32(&nonzero);
   if (!st.ok()) return st;
-  if (r->remaining() < static_cast<size_t>(nonzero) * 12) {
-    return Status::Corruption("truncated sparse matrix");
+  if (nonzero > total_words) {
+    return Status::Corruption("sparse matrix overfull");
   }
+  std::vector<uint64_t> positions, bits;
+  st = ReadTaggedU64s(r, nonzero, &positions);
+  if (st.ok()) st = ReadTaggedU64s(r, nonzero, &bits);
+  if (!st.ok()) return st;
   *out = BoolMatrix(q);
   for (uint32_t e = 0; e < nonzero; ++e) {
-    uint32_t index = 0;
-    uint64_t bits = 0;
-    (void)r->U32(&index);
-    (void)r->U64(&bits);
+    const uint64_t index = positions[e];
     if (index >= total_words) {
       return Status::Corruption("sparse matrix word index out of range");
     }
-    out->MutableRow(index / words)[index % words] = bits;
+    out->MutableRow(static_cast<uint32_t>(index / words))[index % words] =
+        bits[e];
   }
   out->CacheRowPopcounts();
   return Status::OK();
@@ -161,8 +353,24 @@ void WriteMatrixPool(const EvalTables& tables, uint32_t q, BundleWriter* w) {
   }
 }
 
-Status ReadMatrixPool(BundleReader* r, uint32_t n, uint32_t q,
-                      std::vector<BoolMatrix>* pool,
+// v2: the per-nt u/w index arrays — 2n values in [0, pool) — go through
+// one tagged stream; bitpacking takes them to ~log2(pool) bits each
+// instead of 16 or 32.
+void WriteMatrixPoolV2(const EvalTables& tables, uint32_t q,
+                       BundleCodec choice, BundleWriter* w) {
+  const std::vector<BoolMatrix>& pool = tables.pool();
+  w->U32(static_cast<uint32_t>(pool.size()));
+  for (const BoolMatrix& m : pool) WriteMatrixV2(m, q, choice, w);
+  std::vector<uint64_t> indexes;
+  indexes.reserve(tables.u_indexes().size() + tables.w_indexes().size());
+  for (const uint32_t idx : tables.u_indexes()) indexes.push_back(idx);
+  for (const uint32_t idx : tables.w_indexes()) indexes.push_back(idx);
+  WriteTaggedU64s(indexes.data(), indexes.size(), choice,
+                  StreamKind::kGeneral, w);
+}
+
+Status ReadMatrixPool(BundleReader* r, uint32_t version, uint32_t n,
+                      uint32_t q, std::vector<BoolMatrix>* pool,
                       std::vector<uint32_t>* u_idx,
                       std::vector<uint32_t>* w_idx) {
   uint32_t num_unique = 0;
@@ -172,10 +380,26 @@ Status ReadMatrixPool(BundleReader* r, uint32_t n, uint32_t q,
   if (num_unique > r->remaining()) {  // every matrix takes >= 1 byte
     return Status::Corruption("truncated matrix pool");
   }
+  const bool coded = version >= 2;
   pool->resize(num_unique);
   for (uint32_t m = 0; m < num_unique; ++m) {
-    st = ReadMatrix(r, q, &(*pool)[m]);
+    st = ReadMatrix(r, q, coded, &(*pool)[m]);
     if (!st.ok()) return st;
+  }
+  if (coded) {
+    std::vector<uint64_t> indexes;
+    st = ReadTaggedU64s(r, static_cast<size_t>(n) * 2, &indexes);
+    if (!st.ok()) return st;
+    u_idx->resize(n);
+    w_idx->resize(n);
+    for (uint32_t a = 0; a < 2 * n; ++a) {
+      if (indexes[a] >= num_unique) {
+        return Status::Corruption("matrix index out of range");
+      }
+      (a < n ? (*u_idx)[a] : (*w_idx)[a - n]) =
+          static_cast<uint32_t>(indexes[a]);
+    }
+    return Status::OK();
   }
   const bool narrow = num_unique <= 0xFFFF;
   if (r->remaining() < static_cast<size_t>(n) * 2 * (narrow ? 2 : 4)) {
@@ -243,6 +467,49 @@ void WriteLeafGrid(const Slp& slp, const EvalTables& tables, NtId leaf,
   }
 }
 
+// v2 grids mirror the matrix layout choice: dense-coded streams every
+// cell's length (mostly zero -> bitpack collapses them), sparse-coded
+// streams the non-empty cell positions (monotone -> Elias-Fano) plus their
+// lengths; the mask payload rides one tagged stream either way.
+void WriteLeafGridV2(const Slp& slp, const EvalTables& tables, NtId leaf,
+                     uint32_t q, BundleCodec choice, BundleWriter* w) {
+  if (choice == BundleCodec::kRaw) {
+    WriteLeafGrid(slp, tables, leaf, q, w);
+    return;
+  }
+  std::vector<uint64_t> lens, masks, positions, sparse_lens;
+  lens.reserve(static_cast<size_t>(q) * q);
+  for (StateId i = 0; i < q; ++i) {
+    for (StateId j = 0; j < q; ++j) {
+      const auto& cell = tables.LeafCell(leaf, i, j);
+      lens.push_back(cell.size());
+      if (!cell.empty()) {
+        positions.push_back(static_cast<uint64_t>(i) * q + j);
+        sparse_lens.push_back(cell.size());
+      }
+      for (const MarkerMask mask : cell) masks.push_back(mask);
+    }
+  }
+  BundleWriter dense;
+  WriteTaggedU64s(lens.data(), lens.size(), choice, StreamKind::kGeneral,
+                  &dense);
+  BundleWriter sparse;
+  sparse.U32(static_cast<uint32_t>(positions.size()));
+  WriteTaggedU64s(positions.data(), positions.size(), choice,
+                  StreamKind::kMonotone, &sparse);
+  WriteTaggedU64s(sparse_lens.data(), sparse_lens.size(), choice,
+                  StreamKind::kGeneral, &sparse);
+  if (sparse.buffer().size() < dense.buffer().size()) {
+    w->U8(kSparseCoded);
+    w->Bytes(sparse.buffer().data(), sparse.buffer().size());
+  } else {
+    w->U8(kDenseCoded);
+    w->Bytes(dense.buffer().data(), dense.buffer().size());
+  }
+  WriteTaggedU64s(masks.data(), masks.size(), choice, StreamKind::kGeneral,
+                  w);
+}
+
 Status ReadCellMasks(BundleReader* r, uint32_t len,
                      std::vector<MarkerMask>* cell) {
   if (r->remaining() < static_cast<size_t>(len) * 8) {
@@ -253,7 +520,40 @@ Status ReadCellMasks(BundleReader* r, uint32_t len,
   return Status::OK();
 }
 
-Status ReadLeafGrid(BundleReader* r, uint32_t q, LeafGrid* grid) {
+// Shared tail of the v2 grid layouts: validate the per-cell lengths, then
+// decode the single mask stream and deal it out.
+Status FillGridFromLens(BundleReader* r, const std::vector<uint64_t>& cells_at,
+                        const std::vector<uint64_t>& lens, size_t cells,
+                        LeafGrid* grid) {
+  uint64_t total_masks = 0;
+  for (size_t e = 0; e < lens.size(); ++e) {
+    if (lens[e] > 0xFFFFFFFFull) {
+      return Status::Corruption("leaf cell length out of range");
+    }
+    total_masks += lens[e];
+    if (total_masks > (uint64_t{1} << 32)) {
+      return Status::Corruption("leaf grid mask count out of range");
+    }
+    if (cells_at[e] >= cells) {
+      return Status::Corruption("leaf cell index out of range");
+    }
+  }
+  std::vector<uint64_t> masks;
+  Status st = ReadTaggedU64s(r, static_cast<size_t>(total_masks), &masks);
+  if (!st.ok()) return st;
+  grid->resize(cells);
+  size_t offset = 0;
+  for (size_t e = 0; e < lens.size(); ++e) {
+    const size_t len = static_cast<size_t>(lens[e]);
+    (*grid)[static_cast<size_t>(cells_at[e])].assign(
+        masks.begin() + offset, masks.begin() + offset + len);
+    offset += len;
+  }
+  return Status::OK();
+}
+
+Status ReadLeafGrid(BundleReader* r, uint32_t q, bool allow_coded,
+                    LeafGrid* grid) {
   uint8_t format = 0;
   Status st = r->U8(&format);
   if (!st.ok()) return st;
@@ -271,34 +571,63 @@ Status ReadLeafGrid(BundleReader* r, uint32_t q, LeafGrid* grid) {
     }
     return Status::OK();
   }
-  if (format != kSparse) return Status::Corruption("unknown leaf grid format");
-  uint32_t nonempty = 0;
-  st = r->U32(&nonempty);
-  if (!st.ok()) return st;
-  if (r->remaining() < static_cast<size_t>(nonempty) * 8) {
-    return Status::Corruption("truncated sparse leaf grid");
+  if (format == kSparse) {
+    uint32_t nonempty = 0;
+    st = r->U32(&nonempty);
+    if (!st.ok()) return st;
+    if (r->remaining() < static_cast<size_t>(nonempty) * 8) {
+      return Status::Corruption("truncated sparse leaf grid");
+    }
+    // A sparse grid materializes q×q cell vectors from almost no payload, so
+    // cap the expansion factor: an honest bundle's other sections already
+    // cost bytes proportional to q, making a grid thousands of times larger
+    // than the whole remaining payload physically implausible — while a
+    // forged q near 2^16 would otherwise demand ~100 GiB of empty vectors.
+    if (cells / 1024 > r->remaining()) {
+      return Status::Corruption("implausible leaf grid dimension");
+    }
+    grid->resize(cells);
+    for (uint32_t e = 0; e < nonempty; ++e) {
+      uint32_t index = 0, len = 0;
+      (void)r->U32(&index);
+      st = r->U32(&len);
+      if (!st.ok()) return st;
+      if (index >= cells) {
+        return Status::Corruption("leaf cell index out of range");
+      }
+      st = ReadCellMasks(r, len, &(*grid)[index]);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
   }
-  // A sparse grid materializes q×q cell vectors from almost no payload, so
-  // cap the expansion factor: an honest bundle's other sections already
-  // cost bytes proportional to q, making a grid thousands of times larger
-  // than the whole remaining payload physically implausible — while a
-  // forged q near 2^16 would otherwise demand ~100 GiB of empty vectors.
+  if (!allow_coded || (format != kDenseCoded && format != kSparseCoded)) {
+    return Status::Corruption("unknown leaf grid format");
+  }
+  // Same implausible-dimension cap as the raw sparse layout: every coded
+  // grid still costs at least cells/128 tag-stream bytes when dense and a
+  // position stream when sparse.
   if (cells / 1024 > r->remaining()) {
     return Status::Corruption("implausible leaf grid dimension");
   }
-  grid->resize(cells);
-  for (uint32_t e = 0; e < nonempty; ++e) {
-    uint32_t index = 0, len = 0;
-    (void)r->U32(&index);
-    st = r->U32(&len);
+  if (format == kDenseCoded) {
+    std::vector<uint64_t> lens;
+    st = ReadTaggedU64s(r, cells, &lens);
     if (!st.ok()) return st;
-    if (index >= cells) {
-      return Status::Corruption("leaf cell index out of range");
-    }
-    st = ReadCellMasks(r, len, &(*grid)[index]);
-    if (!st.ok()) return st;
+    std::vector<uint64_t> cells_at(cells);
+    for (size_t c = 0; c < cells; ++c) cells_at[c] = c;
+    return FillGridFromLens(r, cells_at, lens, cells, grid);
   }
-  return Status::OK();
+  uint32_t nonempty = 0;
+  st = r->U32(&nonempty);
+  if (!st.ok()) return st;
+  if (nonempty > cells) {
+    return Status::Corruption("leaf grid overfull");
+  }
+  std::vector<uint64_t> positions, lens;
+  st = ReadTaggedU64s(r, nonempty, &positions);
+  if (st.ok()) st = ReadTaggedU64s(r, nonempty, &lens);
+  if (!st.ok()) return st;
+  return FillGridFromLens(r, positions, lens, cells, grid);
 }
 
 // ------------------------------------------------------------- counter ----
@@ -316,6 +645,35 @@ void WriteCounter(const CountTables& counter, BundleWriter* w) {
   }
   w->U32(static_cast<uint32_t>(parts.final_states.size()));
   for (const StateId s : parts.final_states) w->U32(s);
+  w->U64(parts.total);
+  w->U8(parts.overflow ? 1 : 0);
+}
+
+// v2: the same delta transform, but keys and counts ride two tagged
+// streams (VarintGB or bitpack, whichever wins) instead of interleaved
+// LEB128 — and the final states pack too.
+void WriteCounterV2(const CountTables& counter, BundleCodec choice,
+                    BundleWriter* w) {
+  const CountTables::Parts parts = counter.ExportParts();
+  w->U64(parts.counts.size());
+  std::vector<uint64_t> deltas, counts;
+  deltas.reserve(parts.counts.size());
+  counts.reserve(parts.counts.size());
+  uint64_t prev_key = 0;
+  for (const auto& [key, count] : parts.counts) {
+    deltas.push_back(key - prev_key);
+    counts.push_back(count);
+    prev_key = key;
+  }
+  WriteTaggedU64s(deltas.data(), deltas.size(), choice, StreamKind::kGeneral,
+                  w);
+  WriteTaggedU64s(counts.data(), counts.size(), choice, StreamKind::kGeneral,
+                  w);
+  w->U32(static_cast<uint32_t>(parts.final_states.size()));
+  std::vector<uint64_t> finals(parts.final_states.begin(),
+                               parts.final_states.end());
+  WriteTaggedU64s(finals.data(), finals.size(), choice, StreamKind::kGeneral,
+                  w);
   w->U64(parts.total);
   w->U8(parts.overflow ? 1 : 0);
 }
@@ -354,33 +712,94 @@ Result<CountTables::Parts> ReadCounterParts(BundleReader* r) {
   return parts;
 }
 
+Result<CountTables::Parts> ReadCounterPartsV2(BundleReader* r) {
+  CountTables::Parts parts;
+  uint64_t num_counts = 0;
+  Status st = r->U64(&num_counts);
+  if (!st.ok()) return st;
+  // Each entry takes >= 1 stream byte after the densest packing; the codec
+  // decoders re-check their own exact minimums.
+  if (num_counts / 128 > r->remaining()) {
+    return Status::Corruption("truncated counter section");
+  }
+  std::vector<uint64_t> deltas, counts;
+  st = ReadTaggedU64s(r, static_cast<size_t>(num_counts), &deltas);
+  if (st.ok()) st = ReadTaggedU64s(r, static_cast<size_t>(num_counts), &counts);
+  if (!st.ok()) return st;
+  parts.counts.reserve(num_counts);
+  uint64_t key = 0;
+  for (uint64_t e = 0; e < num_counts; ++e) {
+    key += deltas[e];
+    parts.counts.emplace_back(key, counts[e]);
+  }
+  uint32_t num_final = 0;
+  st = r->U32(&num_final);
+  if (!st.ok()) return st;
+  std::vector<uint64_t> finals;
+  st = ReadTaggedU64s(r, num_final, &finals);
+  if (!st.ok()) return st;
+  parts.final_states.resize(num_final);
+  for (uint32_t e = 0; e < num_final; ++e) {
+    if (finals[e] > 0xFFFFFFFFull) {
+      return Status::Corruption("counter final state out of range");
+    }
+    parts.final_states[e] = static_cast<StateId>(finals[e]);
+  }
+  uint8_t overflow = 0;
+  st = r->U64(&parts.total);
+  if (st.ok()) st = r->U8(&overflow);
+  if (!st.ok()) return st;
+  parts.overflow = overflow != 0;
+  return parts;
+}
+
 }  // namespace
 
 // ----------------------------------------------------------- top level ----
 
 std::string SerializePreparedState(const api_internal::PreparedState& state,
-                                   uint64_t doc_fp, uint64_t query_fp) {
+                                   uint64_t doc_fp, uint64_t query_fp,
+                                   BundleCodec codec) {
   const Slp& slp = state.prepared.slp();
   const EvalTables& tables = state.prepared.tables();
   const uint32_t q = tables.q();
+  const bool v1 = codec == BundleCodec::kV1;
 
   BundleWriter payload;
-  WriteGrammar(slp, &payload);
+  if (v1) {
+    WriteGrammar(slp, &payload);
+  } else {
+    WriteGrammarV2(slp, codec, &payload);
+  }
   payload.U32(q);
-  WriteMatrixPool(tables, q, &payload);
+  if (v1) {
+    WriteMatrixPool(tables, q, &payload);
+  } else {
+    WriteMatrixPoolV2(tables, q, codec, &payload);
+  }
   uint32_t num_leaves = 0;
   for (NtId a = 0; a < slp.NumNonTerminals(); ++a) num_leaves += slp.IsLeaf(a);
   payload.U32(num_leaves);
   for (NtId a = 0; a < slp.NumNonTerminals(); ++a) {
-    if (slp.IsLeaf(a)) WriteLeafGrid(slp, tables, a, q, &payload);
+    if (!slp.IsLeaf(a)) continue;
+    if (v1) {
+      WriteLeafGrid(slp, tables, a, q, &payload);
+    } else {
+      WriteLeafGridV2(slp, tables, a, q, codec, &payload);
+    }
   }
 
   uint32_t flags = 0;
   if (const CountTables* counter = state.CounterIfReady()) {
     flags |= kBundleFlagHasCounter;
-    WriteCounter(*counter, &payload);
+    if (v1) {
+      WriteCounter(*counter, &payload);
+    } else {
+      WriteCounterV2(*counter, codec, &payload);
+    }
   }
-  return SealBundle(flags, doc_fp, query_fp, payload.TakeBuffer());
+  return SealBundle(v1 ? kBundleVersionV1 : kBundleVersion, flags, doc_fp,
+                    query_fp, payload.TakeBuffer());
 }
 
 Result<StatePtr> DeserializePreparedState(
@@ -398,9 +817,11 @@ Result<StatePtr> DeserializePreparedState(
         "bundle was built for a different query (fingerprint mismatch)");
   }
 
+  const uint32_t version = header->version;
+  const bool coded = version >= 2;
   BundleReader reader(data + kBundleHeaderSize, header->payload_size);
 
-  Result<Slp> slp = ReadGrammar(&reader);
+  Result<Slp> slp = coded ? ReadGrammarV2(&reader) : ReadGrammar(&reader);
   if (!slp.ok()) return slp.status();
 
   uint32_t q = 0;
@@ -412,7 +833,7 @@ Result<StatePtr> DeserializePreparedState(
   const uint32_t n = slp->NumNonTerminals();
   std::vector<BoolMatrix> pool;
   std::vector<uint32_t> u_idx, w_idx;
-  st = ReadMatrixPool(&reader, n, q, &pool, &u_idx, &w_idx);
+  st = ReadMatrixPool(&reader, version, n, q, &pool, &u_idx, &w_idx);
   if (!st.ok()) return st;
   uint32_t num_leaves = 0;
   st = reader.U32(&num_leaves);
@@ -422,7 +843,7 @@ Result<StatePtr> DeserializePreparedState(
   }
   std::vector<LeafGrid> leaf_cells(num_leaves);
   for (uint32_t l = 0; l < num_leaves; ++l) {
-    st = ReadLeafGrid(&reader, q, &leaf_cells[l]);
+    st = ReadLeafGrid(&reader, q, coded, &leaf_cells[l]);
     if (!st.ok()) return st;
   }
   Result<EvalTables> tables =
@@ -442,12 +863,14 @@ Result<StatePtr> DeserializePreparedState(
   if ((header->flags & kBundleFlagHasCounter) != 0) {
     counter_section.assign(reinterpret_cast<const char*>(reader.cursor()),
                            reader.remaining());
-    loader = [](const Slp& bound_slp, const Nfa& nfa,
-                const EvalTables& bound_tables,
-                const std::string& section) -> std::optional<CountTables> {
+    loader = [coded](const Slp& bound_slp, const Nfa& nfa,
+                     const EvalTables& bound_tables,
+                     const std::string& section) -> std::optional<CountTables> {
       BundleReader counter_reader(
           reinterpret_cast<const uint8_t*>(section.data()), section.size());
-      Result<CountTables::Parts> parts = ReadCounterParts(&counter_reader);
+      Result<CountTables::Parts> parts =
+          coded ? ReadCounterPartsV2(&counter_reader)
+                : ReadCounterParts(&counter_reader);
       if (!parts.ok()) return std::nullopt;
       Result<CountTables> counter = CountTables::FromParts(
           bound_slp, nfa, bound_tables, std::move(parts).value());
@@ -495,8 +918,10 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
 
 Status WritePreparedBundleFile(const std::string& path,
                                const api_internal::PreparedState& state,
-                               uint64_t doc_fp, uint64_t query_fp) {
-  return WriteFileAtomic(path, SerializePreparedState(state, doc_fp, query_fp));
+                               uint64_t doc_fp, uint64_t query_fp,
+                               BundleCodec codec) {
+  return WriteFileAtomic(path,
+                         SerializePreparedState(state, doc_fp, query_fp, codec));
 }
 
 Result<StatePtr> LoadPreparedBundleFile(

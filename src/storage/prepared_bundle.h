@@ -19,6 +19,14 @@
 //   [counter]   (optional, header flag) the CountTables snapshot: key-sorted
 //               packed-triple counts, final states, total, overflow bit.
 //
+// That is the v1 layout, still written under BundleCodec::kV1 and readable
+// forever. Format v2 (the default) keeps the same section order but routes
+// every integer stream through the codec layer (src/storage/codec/) behind
+// per-section tags: a compact delta-varint grammar, dense-coded /
+// sparse-coded matrices and grids (Elias-Fano positions, bitpacked or
+// VarintGB payloads), and packed counter streams. The reader always follows
+// the tags in the file; docs/STORAGE_CODECS.md has the byte-level map.
+//
 // Deserialization is strictly bounds-checked (see bundle_format.h) and
 // returns Status errors — kCorruption for damaged input, kInvalidArgument
 // for a bundle built for a different document or query — never aborting.
@@ -34,6 +42,7 @@
 #include <string>
 
 #include "api/internal.h"
+#include "slpspan/bundle_codec.h"
 #include "util/status.h"
 
 namespace slpspan {
@@ -42,9 +51,12 @@ namespace storage {
 using StatePtr = std::shared_ptr<const api_internal::PreparedState>;
 
 /// Serializes `state` (grammar + tables + counter-if-materialized) into a
-/// sealed bundle image.
+/// sealed bundle image. `codec` picks the section encoding: kV1 reproduces
+/// the legacy format byte-for-byte, everything else writes format v2 with
+/// the requested codec preference (kAuto: smallest per stream).
 std::string SerializePreparedState(const api_internal::PreparedState& state,
-                                   uint64_t doc_fp, uint64_t query_fp);
+                                   uint64_t doc_fp, uint64_t query_fp,
+                                   BundleCodec codec = BundleCodec::kAuto);
 
 /// Deserializes a bundle image. The expected fingerprints come from the
 /// (document, query) pair the caller wants to serve; a mismatch is
@@ -68,7 +80,8 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes);
 /// Atomic bundle file write: SerializePreparedState + WriteFileAtomic.
 Status WritePreparedBundleFile(const std::string& path,
                                const api_internal::PreparedState& state,
-                               uint64_t doc_fp, uint64_t query_fp);
+                               uint64_t doc_fp, uint64_t query_fp,
+                               BundleCodec codec = BundleCodec::kAuto);
 
 /// mmap-backed bundle file read (see mmap_file.h) + DeserializePreparedState.
 Result<StatePtr> LoadPreparedBundleFile(

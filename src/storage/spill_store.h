@@ -3,7 +3,11 @@
 // A SpillStore owns one directory of prepared bundles (.prep files named by
 // content fingerprints, see prepared_bundle.h) with its own byte budget and
 // LRU reclamation: when the directory exceeds the budget, the
-// least-recently-touched bundles are deleted. Opening a store scans the
+// least-recently-touched bundles are deleted. The budget is charged with
+// each bundle's *encoded* on-disk size (image.size() as serialized, not
+// the in-RAM table footprint), so the v2 codec layer
+// (docs/STORAGE_CODECS.md) directly admits more bundles under the same
+// budget. Opening a store scans the
 // directory, so spilled preparation work survives process restarts — and
 // bundles exported with Document::SavePrepared under the canonical name
 // pre-warm a fleet.
